@@ -1,0 +1,38 @@
+# Standard entry points for the Spawn & Merge reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figure3 figure3-full soak examples
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerates Figure 3 and the Section III analysis (scaled-down sweep).
+figure3:
+	$(GO) run ./cmd/figure3 -repeats 3
+
+# The paper's full l <= 10000 sweep (takes on the order of an hour).
+figure3-full:
+	$(GO) run ./cmd/figure3 -full -repeats 3
+
+soak:
+	$(GO) run ./cmd/soak -duration 60s
+
+examples:
+	for ex in quickstart server simulation collabtext semaphore distributed bank pipeline stencil; do \
+		echo "=== $$ex ==="; $(GO) run ./examples/$$ex || exit 1; \
+	done

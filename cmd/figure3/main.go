@@ -1,0 +1,69 @@
+// Figure3 regenerates Figure 3 of the paper: simulation time against host
+// workload l (SHA-1 iterations per message) for the four test setups —
+// conventional non-deterministic/deterministic and Spawn & Merge
+// non-deterministic/deterministic. It prints the measurement table, an
+// ASCII rendering of the figure, and the quantitative claims of Section
+// III (constant Spawn & Merge overhead, relative overhead shrinking with
+// l, the det-vs-nondet gap, linear growth of both substrates).
+//
+// The default sweep is scaled down so it finishes in a couple of minutes;
+// -full runs the paper's exact parameters (l up to 10000, which takes on
+// the order of an hour of CPU).
+//
+//	go run ./cmd/figure3
+//	go run ./cmd/figure3 -full -repeats 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full sweep (l = 0..10000 in steps of 1000)")
+	ablation := flag.Bool("ablation", false, "also measure the copy-on-write ablation engines (spawnmerge-*-cow)")
+	repeats := flag.Int("repeats", 1, "runs averaged per data point")
+	hosts := flag.Int("hosts", 20, "simulated hosts (paper: 20)")
+	messages := flag.Int("messages", 100, "initial messages (paper: 100)")
+	ttl := flag.Int("ttl", 100, "hops per message (paper: 100)")
+	quiet := flag.Bool("quiet", false, "suppress per-measurement progress")
+	flag.Parse()
+
+	workloads := []int{0, 250, 500, 1000, 1500, 2000}
+	if *full {
+		workloads = []int{0, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
+	}
+
+	cfg := bench.SweepConfig{
+		Base:      netsim.Config{Hosts: *hosts, Messages: *messages, TTL: *ttl, Seed: 1},
+		Workloads: workloads,
+		Repeats:   *repeats,
+	}
+	if *ablation {
+		cfg.Engines = append(append([]string{}, bench.EngineOrder...),
+			"spawnmerge-nondet-cow", "spawnmerge-det-cow")
+	}
+	if !*quiet {
+		cfg.Verbose = os.Stderr
+		fmt.Fprintf(os.Stderr, "sweeping l over %v (%d hosts, %d messages, TTL %d, %d repeat(s) per point)\n",
+			workloads, *hosts, *messages, *ttl, *repeats)
+	}
+
+	points, err := bench.Sweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Figure 3: simulation time vs host workload ===")
+	bench.WriteTable(os.Stdout, points)
+	fmt.Println()
+	bench.WriteASCIIChart(os.Stdout, points, 16)
+	fmt.Println()
+	fmt.Println("=== Section III claims ===")
+	bench.WriteAnalysis(os.Stdout, bench.Analyze(points))
+}

@@ -1,0 +1,101 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The paper's Listing 1: a spawned child and its parent append to the
+// same logical list without locks; the deterministic merge interleaves
+// the operations identically on every run.
+func ExampleRun() {
+	list := repro.NewList(1, 2, 3)
+	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		l := data[0].(*repro.List[int])
+		t := ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+			data[0].(*repro.List[int]).Append(5)
+			return nil
+		}, l)
+		l.Append(4)
+		return ctx.MergeAllFromSet([]*repro.Task{t})
+	}, list)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(list.Values())
+	// Output: [1 2 3 4 5]
+}
+
+// Sync lets a long-running child merge intermediate results with its
+// parent and continue on a fresh copy (Section II.E of the paper).
+func ExampleCtx_Sync() {
+	counter := repro.NewCounter(0)
+	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		h := ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+			c := data[0].(*repro.Counter)
+			for i := 0; i < 3; i++ {
+				c.Inc()
+				if err := ctx.Sync(); err != nil { // merge and continue
+					return err
+				}
+			}
+			return nil
+		}, data[0])
+		for i := 0; i < 4; i++ {
+			if err := ctx.MergeAllFromSet([]*repro.Task{h}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, counter)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(counter.Value())
+	// Output: 3
+}
+
+// Condition functions validate post-conditions before a merge is
+// accepted; a rejected merge discards the child's changes — the paper's
+// rollback that never happens because of conflicts, only because the
+// application said no.
+func ExampleWithCondition() {
+	balance := repro.NewCounter(100)
+	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+			data[0].(*repro.Counter).Add(-150) // would overdraw
+			return nil
+		}, data[0])
+		noOverdraft := repro.WithCondition(func(preview []repro.Mergeable) bool {
+			return preview[0].(*repro.Counter).Value() >= 0
+		})
+		_ = ctx.MergeAll(noOverdraft) // the rejection is reported here
+		return nil
+	}, balance)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(balance.Value())
+	// Output: 100
+}
+
+// Concurrent edits to one text buffer converge through operational
+// transformation — the technique's original habitat.
+func ExampleText() {
+	doc := repro.NewText("Hello world")
+	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		d := data[0].(*repro.Text)
+		ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+			data[0].(*repro.Text).Append("!") // one editor appends
+			return nil
+		}, d)
+		d.Insert(5, ",") // the other edits the middle concurrently
+		return ctx.MergeAll()
+	}, doc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(doc.String())
+	// Output: Hello, world!
+}

@@ -1,0 +1,153 @@
+// Server runs the paper's Listing 3: a key-value server whose root task
+// owns the data, an accept task that blocks on incoming connections and
+// Clones a sibling per connection, and connection tasks that Sync() after
+// every request to merge their changes into the root. The root merges on
+// a first-completed basis with MergeAny — the paper's explicit
+// non-determinism for reacting to unpredictable clients — yet the store
+// operations themselves remain race-free by construction.
+//
+// Networking runs over an in-memory transport (internal/memnet) so the
+// example is hermetic; the task structure is identical to real TCP.
+//
+//	go run ./examples/server [-clients 4] [-requests 3]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"repro"
+	"repro/internal/memnet"
+)
+
+// accept is Listing 3's accept(): loop on the blocking Accept and clone a
+// sibling task per connection. The clone inherits stale data copies and
+// must Sync before touching them.
+func accept(listener *memnet.Listener) repro.Func {
+	return func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		for {
+			socket, err := listener.Accept()
+			if err != nil {
+				return nil // listener closed: server shutting down
+			}
+			ctx.Clone(conn(socket))
+		}
+	}
+}
+
+// conn is Listing 3's conn(): refresh the inherited data with Sync, then
+// serve requests, syncing after each one so the root sees the changes.
+func conn(socket net.Conn) repro.Func {
+	return func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		defer socket.Close()
+		if err := ctx.Sync(); err != nil { // the clone's data is outdated
+			return err
+		}
+		store := data[0].(*repro.Map[string, string])
+		served := data[1].(*repro.Counter)
+		r := bufio.NewReader(socket)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil // client hung up: task completes
+			}
+			reply := handle(store, strings.TrimSpace(line))
+			served.Inc()
+			if err := ctx.Sync(); err != nil { // merge this request's work
+				fmt.Fprintf(socket, "ERR %v\n", err)
+				return err
+			}
+			fmt.Fprintf(socket, "%s\n", reply)
+		}
+	}
+}
+
+// handle executes one request against the task's copy of the store.
+func handle(store *repro.Map[string, string], req string) string {
+	parts := strings.SplitN(req, " ", 3)
+	switch parts[0] {
+	case "SET":
+		if len(parts) < 3 {
+			return "ERR usage: SET key value"
+		}
+		store.Set(parts[1], parts[2])
+		return "OK"
+	case "GET":
+		if len(parts) < 2 {
+			return "ERR usage: GET key"
+		}
+		if v, ok := store.Get(parts[1]); ok {
+			return v
+		}
+		return "(nil)"
+	default:
+		return "ERR unknown command"
+	}
+}
+
+func main() {
+	clients := flag.Int("clients", 4, "concurrent clients")
+	requests := flag.Int("requests", 3, "SET requests per client")
+	flag.Parse()
+
+	listener := memnet.Listen(*clients)
+	store := repro.NewMap[string, string]()
+	served := repro.NewCounter(0)
+
+	// Drive the clients from plain goroutines — they are the outside
+	// world, beyond the deterministic core.
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sock, err := listener.Dial()
+			if err != nil {
+				return
+			}
+			defer sock.Close()
+			r := bufio.NewReader(sock)
+			for i := 0; i < *requests; i++ {
+				fmt.Fprintf(sock, "SET client%d-key%d value%d\n", c, i, i)
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+			}
+			fmt.Fprintf(sock, "GET client%d-key0\n", c)
+			if reply, err := r.ReadString('\n'); err == nil {
+				fmt.Printf("  client %d read back: %s", c, reply)
+			}
+		}(c)
+	}
+	go func() {
+		wg.Wait()
+		listener.Close() // all clients done: stop accepting
+	}()
+
+	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+		ctx.Spawn(accept(listener), data...)
+		for {
+			if _, err := ctx.MergeAny(); err != nil {
+				if errors.Is(err, repro.ErrNothingToMerge) {
+					return nil // accept task and all connections finished
+				}
+				return err
+			}
+		}
+	}, store, served)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d requests; final store (%d keys):\n", served.Value(), store.Len())
+	for _, k := range store.Keys() {
+		v, _ := store.Get(k)
+		fmt.Printf("  %s = %s\n", k, v)
+	}
+}

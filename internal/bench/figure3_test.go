@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// smallSweep runs a scaled-down Figure 3 sweep (small network, low l) so
+// the harness logic is exercised quickly; the full-scale sweep lives in
+// cmd/figure3 and bench_test.go.
+func smallSweep(t *testing.T) []Point {
+	t.Helper()
+	points, err := Sweep(SweepConfig{
+		Base:      netsim.Config{Hosts: 4, Messages: 8, TTL: 5, Seed: 3},
+		Workloads: []int{0, 40},
+		Repeats:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestSweepShape(t *testing.T) {
+	points := smallSweep(t)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		for _, name := range EngineOrder {
+			if _, ok := p.Millis[name]; !ok {
+				t.Fatalf("missing engine %s at l=%d", name, p.Workload)
+			}
+		}
+	}
+}
+
+func TestAnalyzeAndRender(t *testing.T) {
+	points := []Point{
+		{Workload: 0, Millis: map[string]float64{
+			"conventional-nondet": 10, "conventional-det": 10,
+			"spawnmerge-nondet": 410, "spawnmerge-det": 400,
+		}},
+		{Workload: 1000, Millis: map[string]float64{
+			"conventional-nondet": 1500, "conventional-det": 1500,
+			"spawnmerge-nondet": 2070, "spawnmerge-det": 2000,
+		}},
+		{Workload: 10000, Millis: map[string]float64{
+			"conventional-nondet": 14000, "conventional-det": 14000,
+			"spawnmerge-nondet": 14980, "spawnmerge-det": 14700,
+		}},
+	}
+	a := Analyze(points)
+	if a.ConstantOverheadMillis != 400 {
+		t.Fatalf("constant overhead = %v", a.ConstantOverheadMillis)
+	}
+	if a.OverheadPercentAtLowL < 37 || a.OverheadPercentAtLowL > 39 {
+		t.Fatalf("low-l overhead = %v, want ~38", a.OverheadPercentAtLowL)
+	}
+	if a.OverheadPercentAtHighL > 8 {
+		t.Fatalf("high-l overhead = %v, want ~7", a.OverheadPercentAtHighL)
+	}
+	if a.DetGapPercent <= 0 {
+		t.Fatalf("det gap = %v, want positive", a.DetGapPercent)
+	}
+	if a.ConvFit.R2 < 0.99 || a.ConvFit.Slope <= 0 {
+		t.Fatalf("conventional fit = %+v", a.ConvFit)
+	}
+
+	var sb strings.Builder
+	WriteTable(&sb, points)
+	WriteAnalysis(&sb, a)
+	WriteASCIIChart(&sb, points, 10)
+	out := sb.String()
+	for _, want := range []string{"conventional-nondet", "38", "paper", "Simulation time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if a := Analyze(nil); a.ConstantOverheadMillis != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+// TestSweepOverheadDirection is a live miniature of the paper's headline
+// measurement: Spawn & Merge must carry a positive constant overhead at
+// l=0, and execution time must grow with l for both substrates.
+func TestSweepOverheadDirection(t *testing.T) {
+	points, err := Sweep(SweepConfig{
+		Base:      netsim.Config{Hosts: 4, Messages: 8, TTL: 8, Seed: 3},
+		Workloads: []int{0, 300},
+		Repeats:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := points[0], points[1]
+	if p0.Millis["spawnmerge-nondet"] <= p0.Millis["conventional-nondet"] {
+		t.Errorf("expected Spawn&Merge overhead at l=0: sm=%.2fms conv=%.2fms",
+			p0.Millis["spawnmerge-nondet"], p0.Millis["conventional-nondet"])
+	}
+	for _, name := range EngineOrder {
+		if p1.Millis[name] <= p0.Millis[name] {
+			t.Errorf("%s: time should grow with l (%.2f -> %.2f ms)", name, p0.Millis[name], p1.Millis[name])
+		}
+	}
+}

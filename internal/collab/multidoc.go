@@ -1,0 +1,170 @@
+package collab
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/memnet"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// MultiServer hosts a fixed set of named documents. Every connection task
+// receives copies of all documents (they are one data set, merged
+// atomically per request), selects one with USE and edits it; different
+// clients can edit different documents — or the same one — concurrently.
+type MultiServer struct {
+	listener *memnet.Listener
+	names    []string
+	docs     []*mergeable.Text
+	edits    *mergeable.Counter
+	done     chan struct{}
+	err      error
+}
+
+// ServeDocs starts a multi-document server. The document set is fixed for
+// the server's lifetime (the task data passed at Spawn is a fixed set);
+// initial maps name to initial content.
+func ServeDocs(listener *memnet.Listener, initial map[string]string) *MultiServer {
+	names := make([]string, 0, len(initial))
+	for name := range initial {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic data layout
+	s := &MultiServer{
+		listener: listener,
+		names:    names,
+		edits:    mergeable.NewCounter(0),
+		done:     make(chan struct{}),
+	}
+	data := make([]mergeable.Mergeable, 0, len(names)+1)
+	for _, name := range names {
+		doc := mergeable.NewText(initial[name])
+		s.docs = append(s.docs, doc)
+		data = append(data, doc)
+	}
+	data = append(data, s.edits)
+
+	go func() {
+		defer close(s.done)
+		s.err = task.Run(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+			ctx.Spawn(s.acceptTask, d...)
+			for {
+				if _, err := ctx.MergeAny(); err != nil {
+					if errors.Is(err, task.ErrNothingToMerge) {
+						return nil
+					}
+					continue
+				}
+			}
+		}, data...)
+	}()
+	return s
+}
+
+// Wait blocks until the server's task tree has completed.
+func (s *MultiServer) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Document returns a document's final content. Valid after Wait.
+func (s *MultiServer) Document(name string) (string, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return s.docs[i].String(), true
+		}
+	}
+	return "", false
+}
+
+// Names returns the hosted document names, sorted.
+func (s *MultiServer) Names() []string { return append([]string(nil), s.names...) }
+
+// Edits returns the number of applied edits. Valid after Wait.
+func (s *MultiServer) Edits() int64 { return s.edits.Value() }
+
+func (s *MultiServer) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	for {
+		socket, err := s.listener.Accept()
+		if err != nil {
+			return nil
+		}
+		ctx.Clone(s.connTask(socket))
+	}
+}
+
+func (s *MultiServer) connTask(socket net.Conn) task.Func {
+	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		defer socket.Close()
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		edits := data[len(s.names)].(*mergeable.Counter)
+		current := -1
+		r := bufio.NewReader(socket)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil
+			}
+			line = strings.TrimSpace(line)
+			if name, ok := strings.CutPrefix(line, "USE "); ok {
+				idx := s.docIndex(strings.TrimSpace(name))
+				if idx < 0 {
+					fmt.Fprintf(socket, "ERR no document %q\n", name)
+					continue
+				}
+				current = idx
+				fmt.Fprintf(socket, "OK %s\n", strconv.Quote(data[idx].(*mergeable.Text).String()))
+				continue
+			}
+			if line == "LIST" {
+				fmt.Fprintf(socket, "OK %s\n", strconv.Quote(strings.Join(s.names, ",")))
+				continue
+			}
+			if current < 0 {
+				fmt.Fprintf(socket, "ERR select a document with USE first\n")
+				continue
+			}
+			doc := data[current].(*mergeable.Text)
+			reply, mutated, quit := applyRequest(doc, line)
+			if mutated {
+				edits.Inc()
+			}
+			if err := ctx.Sync(); err != nil {
+				fmt.Fprintf(socket, "ERR %v\n", err)
+				return err
+			}
+			fmt.Fprintf(socket, "%s %s\n", reply, strconv.Quote(doc.String()))
+			if quit {
+				return nil
+			}
+		}
+	}
+}
+
+func (s *MultiServer) docIndex(name string) int {
+	for i, n := range s.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Use selects the named document for subsequent edits on this client and
+// returns its current content.
+func (c *Client) Use(name string) (string, error) {
+	return c.roundtrip("USE %s", name)
+}
+
+// List returns the comma-joined document names hosted by a MultiServer.
+func (c *Client) List() (string, error) {
+	return c.roundtrip("LIST")
+}

@@ -1,0 +1,159 @@
+package collab
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memnet"
+)
+
+func startMultiServer(t *testing.T, initial map[string]string) (*MultiServer, *memnet.Listener, func() *MultiServer) {
+	t.Helper()
+	l := memnet.Listen(16)
+	s := ServeDocs(l, initial)
+	stop := func() *MultiServer {
+		l.Close()
+		done := make(chan struct{})
+		go func() {
+			s.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("multi-doc server did not shut down")
+		}
+		return s
+	}
+	return s, l, stop
+}
+
+func TestMultiDocBasics(t *testing.T) {
+	_, l, stop := startMultiServer(t, map[string]string{
+		"notes": "n",
+		"todo":  "t",
+	})
+	c, err := Dial(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names != "notes,todo" {
+		t.Fatalf("names = %q", names)
+	}
+	if _, err := c.Insert(0, "x"); err == nil {
+		t.Fatal("editing before USE should error")
+	}
+	doc, err := c.Use("notes")
+	if err != nil || doc != "n" {
+		t.Fatalf("use notes = %q, %v", doc, err)
+	}
+	if doc, err = c.Insert(1, "ote"); err != nil || doc != "note" {
+		t.Fatalf("insert = %q, %v", doc, err)
+	}
+	if doc, err = c.Use("todo"); err != nil || doc != "t" {
+		t.Fatalf("use todo = %q, %v", doc, err)
+	}
+	if doc, err = c.Insert(1, "odo"); err != nil || doc != "todo" {
+		t.Fatalf("insert = %q, %v", doc, err)
+	}
+	if _, err := c.Use("missing"); err == nil {
+		t.Fatal("unknown document should error")
+	}
+	c.Close()
+	s := stop()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Document("notes"); got != "note" {
+		t.Fatalf("notes = %q", got)
+	}
+	if got, _ := s.Document("todo"); got != "todo" {
+		t.Fatalf("todo = %q", got)
+	}
+	if _, ok := s.Document("missing"); ok {
+		t.Fatal("missing doc should not resolve")
+	}
+	if s.Edits() != 2 {
+		t.Fatalf("edits = %d", s.Edits())
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "notes" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+// TestMultiDocConcurrentClients has clients hammer two documents
+// concurrently — same and different documents — and checks nothing is
+// lost anywhere.
+func TestMultiDocConcurrentClients(t *testing.T) {
+	_, l, stop := startMultiServer(t, map[string]string{"a": "", "b": ""})
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(l)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			docName := "a"
+			if id%2 == 1 {
+				docName = "b"
+			}
+			if _, err := c.Use(docName); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 4; j++ {
+				doc, err := c.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Insert(len([]rune(doc)), fmt.Sprintf("c%d-%d;", id, j)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := stop()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Document("a")
+	b, _ := s.Document("b")
+	for id := 0; id < clients; id++ {
+		target := a
+		if id%2 == 1 {
+			target = b
+		}
+		for j := 0; j < 4; j++ {
+			frag := fmt.Sprintf("c%d-%d;", id, j)
+			if strings.Count(target, frag) != 1 {
+				t.Errorf("fragment %q not exactly once in %q", frag, target)
+			}
+		}
+	}
+	if s.Edits() != clients*4 {
+		t.Errorf("edits = %d", s.Edits())
+	}
+}

@@ -1,0 +1,249 @@
+// Package collab is a collaborative text-editing server built on Spawn &
+// Merge — operational transformation's home domain (the paper adopts OT
+// from CSCW research on "concurrent editors of a document") served with
+// the paper's own server architecture (Listing 3): an accept task blocks
+// on incoming connections and Clones a sibling per client; every client's
+// connection task edits its own copy of the document and merges through
+// Sync after each request; the root merges first-completed-first with
+// MergeAny.
+//
+// Concurrent edits from different clients are reconciled by the OT merge
+// exactly as in a classic collaborative editor: no locks, no rejected
+// edits, every client converges onto the same document.
+package collab
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/memnet"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Server is a running collaborative document server. Create one with
+// Serve; stop it by closing the listener (and the clients).
+type Server struct {
+	listener *memnet.Listener
+	doc      *mergeable.Text
+	edits    *mergeable.Counter
+	done     chan struct{}
+	err      error
+}
+
+// Serve starts a server for a single shared document with the given
+// initial content. It returns immediately; the deterministic core runs
+// until the listener closes and every connection task has completed.
+func Serve(listener *memnet.Listener, initial string) *Server {
+	s := &Server{
+		listener: listener,
+		doc:      mergeable.NewText(initial),
+		edits:    mergeable.NewCounter(0),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.err = task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			ctx.Spawn(s.acceptTask, data...)
+			for {
+				if _, err := ctx.MergeAny(); err != nil {
+					if errors.Is(err, task.ErrNothingToMerge) {
+						return nil
+					}
+					// A connection task failing (client protocol error,
+					// broken pipe) must not take the server down.
+					continue
+				}
+			}
+		}, s.doc, s.edits)
+	}()
+	return s
+}
+
+// Wait blocks until the server's task tree has completed and returns its
+// error.
+func (s *Server) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Document returns the final document. Valid after Wait.
+func (s *Server) Document() string { return s.doc.String() }
+
+// Edits returns the number of applied edit requests. Valid after Wait.
+func (s *Server) Edits() int64 { return s.edits.Value() }
+
+// acceptTask is Listing 3's accept(): clone a connection task per client.
+func (s *Server) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	for {
+		socket, err := s.listener.Accept()
+		if err != nil {
+			return nil // listener closed: shutting down
+		}
+		ctx.Clone(s.connTask(socket))
+	}
+}
+
+// connTask is Listing 3's conn(): refresh the inherited stale copy, then
+// serve edit requests, syncing after each one.
+func (s *Server) connTask(socket net.Conn) task.Func {
+	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		defer socket.Close()
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		doc := data[0].(*mergeable.Text)
+		edits := data[1].(*mergeable.Counter)
+		r := bufio.NewReader(socket)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil // client hung up
+			}
+			reply, mutated, quit := applyRequest(doc, strings.TrimSpace(line))
+			if mutated {
+				edits.Inc()
+			}
+			if err := ctx.Sync(); err != nil { // merge this request's edit
+				fmt.Fprintf(socket, "ERR %v\n", err)
+				return err
+			}
+			// The reply always carries the post-merge document, so the
+			// client sees concurrent edits no later than its next
+			// round-trip.
+			fmt.Fprintf(socket, "%s %s\n", reply, strconv.Quote(doc.String()))
+			if quit {
+				return nil
+			}
+		}
+	}
+}
+
+// applyRequest parses and executes one protocol line against the task's
+// copy. Protocol:
+//
+//	INS <pos> <quoted-text>   insert text at rune position pos
+//	DEL <pos> <n>             delete n runes at pos
+//	GET                       no edit, just fetch the document
+//	BYE                       close the session
+//
+// Out-of-range positions are clamped into the current document — the
+// collaborative-editing convention (the client's view may be one exchange
+// behind).
+func applyRequest(doc *mergeable.Text, line string) (reply string, mutated, quit bool) {
+	fields := strings.SplitN(line, " ", 3)
+	switch fields[0] {
+	case "INS":
+		if len(fields) < 3 {
+			return "ERR usage: INS <pos> <quoted-text>", false, false
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "ERR bad position", false, false
+		}
+		text, err := strconv.Unquote(fields[2])
+		if err != nil {
+			return "ERR bad text literal", false, false
+		}
+		pos = clamp(pos, 0, doc.Len())
+		doc.Insert(pos, text)
+		return "OK", true, false
+	case "DEL":
+		if len(fields) < 3 {
+			return "ERR usage: DEL <pos> <n>", false, false
+		}
+		pos, err1 := strconv.Atoi(fields[1])
+		n, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return "ERR bad numbers", false, false
+		}
+		pos = clamp(pos, 0, doc.Len())
+		n = clamp(n, 0, doc.Len()-pos)
+		if n > 0 {
+			doc.Delete(pos, n)
+			return "OK", true, false
+		}
+		return "OK", false, false
+	case "GET":
+		return "OK", false, false
+	case "BYE":
+		return "OK", false, true
+	default:
+		return "ERR unknown command", false, false
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Client is a test/demo client for the collaborative server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects a new client.
+func Dial(listener *memnet.Listener) (*Client, error) {
+	conn, err := listener.Dial()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// roundtrip sends one request line and parses the reply.
+func (c *Client) roundtrip(format string, args ...any) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, format+"\n", args...); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	status, rest, _ := strings.Cut(line, " ")
+	if status != "OK" {
+		return "", fmt.Errorf("collab: server: %s %s", status, rest)
+	}
+	doc, err := strconv.Unquote(strings.TrimSpace(rest))
+	if err != nil {
+		return "", fmt.Errorf("collab: bad reply %q: %w", line, err)
+	}
+	return doc, nil
+}
+
+// Insert inserts text at pos and returns the post-merge document.
+func (c *Client) Insert(pos int, text string) (string, error) {
+	return c.roundtrip("INS %d %s", pos, strconv.Quote(text))
+}
+
+// Delete removes n runes at pos and returns the post-merge document.
+func (c *Client) Delete(pos, n int) (string, error) {
+	return c.roundtrip("DEL %d %d", pos, n)
+}
+
+// Get fetches the current document.
+func (c *Client) Get() (string, error) {
+	return c.roundtrip("GET")
+}
+
+// Bye ends the session gracefully and closes the connection.
+func (c *Client) Bye() error {
+	_, err := c.roundtrip("BYE")
+	c.conn.Close()
+	return err
+}
+
+// Close terminates the connection without a goodbye.
+func (c *Client) Close() { c.conn.Close() }

@@ -1,0 +1,236 @@
+package collab
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memnet"
+)
+
+// startServer spins up a server and returns it with its listener and a
+// shutdown helper guarded by a deadline.
+func startServer(t *testing.T, initial string) (*Server, *memnet.Listener, func() *Server) {
+	t.Helper()
+	l := memnet.Listen(16)
+	s := Serve(l, initial)
+	stop := func() *Server {
+		l.Close()
+		done := make(chan struct{})
+		go func() {
+			s.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+		return s
+	}
+	return s, l, stop
+}
+
+func TestSingleClientEditing(t *testing.T) {
+	_, l, stop := startServer(t, "hello")
+	c, err := Dial(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Insert(5, " world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "hello world" {
+		t.Fatalf("doc = %q", doc)
+	}
+	doc, err = c.Delete(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "ello world" {
+		t.Fatalf("doc = %q", doc)
+	}
+	doc, err = c.Insert(0, "H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "Hello world" {
+		t.Fatalf("doc = %q", doc)
+	}
+	if err := c.Bye(); err != nil {
+		t.Fatal(err)
+	}
+	s := stop()
+	if s.Wait() != nil {
+		t.Fatal(s.Wait())
+	}
+	if s.Document() != "Hello world" {
+		t.Fatalf("final doc = %q", s.Document())
+	}
+	if s.Edits() != 3 {
+		t.Fatalf("edits = %d", s.Edits())
+	}
+}
+
+// TestConcurrentClientsConverge is the collaborative-editing core: many
+// clients append their own lines concurrently; every line must survive
+// into the converged document exactly once.
+func TestConcurrentClientsConverge(t *testing.T) {
+	_, l, stop := startServer(t, "")
+	const clients = 6
+	const linesEach = 5
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(l)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < linesEach; j++ {
+				// Append at the end of whatever document version the
+				// client last saw; OT places concurrent appends safely.
+				doc, err := c.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				line := fmt.Sprintf("client%d-line%d\n", id, j)
+				if _, err := c.Insert(len([]rune(doc)), line); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- c.Bye()
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := stop()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Document()
+	for id := 0; id < clients; id++ {
+		for j := 0; j < linesEach; j++ {
+			line := fmt.Sprintf("client%d-line%d\n", id, j)
+			if got := strings.Count(doc, line); got != 1 {
+				t.Errorf("line %q appears %d times", strings.TrimSpace(line), got)
+			}
+		}
+	}
+	if s.Edits() != clients*linesEach {
+		t.Errorf("edits = %d, want %d", s.Edits(), clients*linesEach)
+	}
+}
+
+// TestConcurrentEditorsAtSamePosition lets two clients fight over the
+// document head; OT must keep both edits.
+func TestConcurrentEditorsAtSamePosition(t *testing.T) {
+	_, l, stop := startServer(t, "base")
+	a, err := Dial(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dial(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Insert(0, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(0, "B"); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := a.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "A") || !strings.Contains(doc, "B") || !strings.Contains(doc, "base") {
+		t.Fatalf("doc = %q, lost an edit", doc)
+	}
+	a.Close()
+	b.Close()
+	s := stop()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProtocolErrors exercises the server's error replies without
+// killing the session or the server.
+func TestProtocolErrors(t *testing.T) {
+	_, l, stop := startServer(t, "abc")
+	c, err := Dial(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundtrip("NONSENSE"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if _, err := c.roundtrip("INS x y"); err == nil {
+		t.Error("bad position should error")
+	}
+	if _, err := c.roundtrip("INS 0 notquoted"); err == nil {
+		t.Error("bad literal should error")
+	}
+	if _, err := c.roundtrip("DEL 0"); err == nil {
+		t.Error("missing arg should error")
+	}
+	// The session still works afterwards.
+	doc, err := c.Insert(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "xabc" {
+		t.Fatalf("doc = %q", doc)
+	}
+	// Clamped edits succeed.
+	if _, err := c.Insert(999, "!"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(999, 5); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := stop().Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbruptDisconnects drops clients mid-session; the server must keep
+// running and shut down cleanly.
+func TestAbruptDisconnects(t *testing.T) {
+	_, l, stop := startServer(t, "")
+	for i := 0; i < 4; i++ {
+		c, err := Dial(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Insert(0, "x"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close() // no goodbye
+	}
+	s := stop()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Document(); got != "xxxx" {
+		t.Fatalf("doc = %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+package cow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyVector(t *testing.T) {
+	var v Vector[int]
+	if v.Len() != 0 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	v2 := New[int]()
+	if v2.Len() != 0 || len(v2.Slice()) != 0 {
+		t.Fatalf("New() not empty")
+	}
+}
+
+func TestAppendGet(t *testing.T) {
+	v := New[int]()
+	const n = 5000 // crosses several trie levels
+	for i := 0; i < n; i++ {
+		v = v.Append(i)
+	}
+	if v.Len() != n {
+		t.Fatalf("len = %d", v.Len())
+	}
+	for i := 0; i < n; i++ {
+		if got := v.Get(i); got != i {
+			t.Fatalf("Get(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	v1 := New(1, 2, 3)
+	v2 := v1.Append(4)
+	v3 := v2.Set(0, 100)
+	if !reflect.DeepEqual(v1.Slice(), []int{1, 2, 3}) {
+		t.Fatalf("v1 mutated: %v", v1.Slice())
+	}
+	if !reflect.DeepEqual(v2.Slice(), []int{1, 2, 3, 4}) {
+		t.Fatalf("v2 = %v", v2.Slice())
+	}
+	if !reflect.DeepEqual(v3.Slice(), []int{100, 2, 3, 4}) {
+		t.Fatalf("v3 = %v", v3.Slice())
+	}
+}
+
+func TestSetDeepInTrie(t *testing.T) {
+	v := New[int]()
+	for i := 0; i < 2000; i++ {
+		v = v.Append(i)
+	}
+	w := v.Set(777, -1)
+	if v.Get(777) != 777 {
+		t.Fatalf("original changed")
+	}
+	if w.Get(777) != -1 {
+		t.Fatalf("set missed: %d", w.Get(777))
+	}
+	if w.Get(776) != 776 || w.Get(778) != 778 {
+		t.Fatalf("neighbors disturbed")
+	}
+}
+
+func TestPop(t *testing.T) {
+	v := New[int]()
+	const n = 100
+	for i := 0; i < n; i++ {
+		v = v.Append(i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := v.Get(i); got != i {
+			t.Fatalf("Get(%d) = %d before pop", i, got)
+		}
+		v = v.Pop()
+		if v.Len() != i {
+			t.Fatalf("len = %d after popping to %d", v.Len(), i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"get-empty": func() { New[int]().Get(0) },
+		"get-neg":   func() { New(1).Get(-1) },
+		"set-oob":   func() { New(1).Set(5, 9) },
+		"pop-empty": func() { New[int]().Pop() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestModelEquivalence drives a random op sequence against the vector and
+// a plain slice model and demands identical observable behavior —
+// including persistence of earlier versions.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := New[int]()
+		model := []int{}
+		type snapshot struct {
+			v     Vector[int]
+			model []int
+		}
+		var snaps []snapshot
+		for step := 0; step < 300; step++ {
+			switch op := r.Intn(10); {
+			case op < 5 || len(model) == 0: // append
+				x := r.Intn(1000)
+				v = v.Append(x)
+				model = append(append([]int(nil), model...), x)
+			case op < 7: // set
+				i := r.Intn(len(model))
+				x := r.Intn(1000)
+				v = v.Set(i, x)
+				model = append([]int(nil), model...)
+				model[i] = x
+			case op < 9: // pop
+				v = v.Pop()
+				model = model[:len(model)-1]
+			default: // snapshot
+				snaps = append(snaps, snapshot{v, model})
+			}
+			if v.Len() != len(model) {
+				t.Logf("seed %d step %d: len %d != %d", seed, step, v.Len(), len(model))
+				return false
+			}
+			i := 0
+			if len(model) > 0 {
+				i = r.Intn(len(model))
+				if v.Get(i) != model[i] {
+					t.Logf("seed %d step %d: Get(%d) = %d != %d", seed, step, i, v.Get(i), model[i])
+					return false
+				}
+			}
+		}
+		for k, s := range snaps {
+			if !reflect.DeepEqual(s.v.Slice(), s.model) {
+				t.Logf("seed %d: snapshot %d diverged: %v != %v", seed, k, s.v.Slice(), s.model)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeGrowthAcrossLevels(t *testing.T) {
+	v := New[int]()
+	const n = 40000 // > 32*32*32 forces three levels
+	for i := 0; i < n; i++ {
+		v = v.Append(i)
+	}
+	for _, i := range []int{0, 31, 32, 1023, 1024, 32767, 32768, n - 1} {
+		if v.Get(i) != i {
+			t.Fatalf("Get(%d) = %d", i, v.Get(i))
+		}
+	}
+}

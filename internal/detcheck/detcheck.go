@@ -1,0 +1,82 @@
+// Package detcheck is the determinism checker used across the test suite
+// and the CLI tools: it runs a scenario repeatedly — optionally across
+// several GOMAXPROCS settings — and verifies every execution produced the
+// same fingerprint. A deterministic program has exactly one observable
+// outcome; any second fingerprint is a reportable violation.
+package detcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Scenario produces one run's result fingerprint. It must build all its
+// state internally so repeated invocations are independent.
+type Scenario func() (uint64, error)
+
+// Report summarizes a determinism check.
+type Report struct {
+	Runs         int
+	Fingerprints map[uint64]int // fingerprint -> occurrences
+}
+
+// Deterministic reports whether all runs agreed.
+func (r Report) Deterministic() bool { return len(r.Fingerprints) <= 1 }
+
+// String renders the report.
+func (r Report) String() string {
+	if r.Deterministic() {
+		for fp := range r.Fingerprints {
+			return fmt.Sprintf("deterministic: %d runs, fingerprint %016x", r.Runs, fp)
+		}
+		return fmt.Sprintf("deterministic: %d runs", r.Runs)
+	}
+	fps := make([]uint64, 0, len(r.Fingerprints))
+	for fp := range r.Fingerprints {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NON-DETERMINISTIC: %d distinct outcomes over %d runs:", len(fps), r.Runs)
+	for _, fp := range fps {
+		fmt.Fprintf(&sb, " %016x×%d", fp, r.Fingerprints[fp])
+	}
+	return sb.String()
+}
+
+// Check runs scenario n times and collects the outcome fingerprints.
+func Check(n int, scenario Scenario) (Report, error) {
+	rep := Report{Runs: n, Fingerprints: make(map[uint64]int)}
+	for i := 0; i < n; i++ {
+		fp, err := scenario()
+		if err != nil {
+			return rep, fmt.Errorf("detcheck: run %d failed: %w", i, err)
+		}
+		rep.Fingerprints[fp]++
+	}
+	return rep, nil
+}
+
+// CheckAcrossProcs runs scenario n times under each of the given
+// GOMAXPROCS values (restoring the original afterwards), accumulating all
+// outcomes into one report — the paper's "regardless of the number of
+// cores" claim in executable form.
+func CheckAcrossProcs(n int, procs []int, scenario Scenario) (Report, error) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	rep := Report{Fingerprints: make(map[uint64]int)}
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		sub, err := Check(n, scenario)
+		rep.Runs += sub.Runs
+		for fp, c := range sub.Fingerprints {
+			rep.Fingerprints[fp] += c
+		}
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,53 @@
+package detcheck
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCheckDeterministic(t *testing.T) {
+	rep, err := Check(10, func() (uint64, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic() || rep.Runs != 10 || rep.Fingerprints[42] != 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "deterministic") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestCheckNonDeterministic(t *testing.T) {
+	var n atomic.Uint64
+	rep, err := Check(6, func() (uint64, error) { return n.Add(1) % 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deterministic() {
+		t.Fatalf("should detect divergence: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "NON-DETERMINISTIC: 2 distinct") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestCheckError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Check(3, func() (uint64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckAcrossProcs(t *testing.T) {
+	rep, err := CheckAcrossProcs(3, []int{1, 2}, func() (uint64, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 6 || !rep.Deterministic() {
+		t.Fatalf("report = %+v", rep)
+	}
+}

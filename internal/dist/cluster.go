@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Cluster is a set of worker nodes reachable from the coordinator. Nodes
+// share no memory with the coordinator or each other: all state crosses
+// as serialized snapshots and operations (the MPI model, over the memnet
+// transport).
+type Cluster struct {
+	nodes []*workerNode
+}
+
+// NewCluster starts n worker nodes.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, newWorkerNode(i))
+	}
+	return c
+}
+
+// Size returns the number of worker nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Close shuts the cluster down. Remote tasks already running finish their
+// current conversation and die with their connections.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.close()
+	}
+}
+
+// SpawnRemote spawns a task whose body runs on worker node `node`,
+// executing the function registered under fnName with snapshot copies of
+// data. The returned handle is an ordinary *task.Task: the local child is
+// a proxy that replays the remote operations, so every Merge flavor,
+// Sync-merge, condition function and Abort works on remote tasks exactly
+// as on local ones — including the determinism of MergeAll ordering.
+func (c *Cluster) SpawnRemote(ctx *task.Ctx, node int, fnName string, data ...mergeable.Mergeable) *task.Task {
+	return ctx.Spawn(func(ctx *task.Ctx, copies []mergeable.Mergeable) error {
+		if node < 0 || node >= len(c.nodes) {
+			return fmt.Errorf("dist: no worker node %d", node)
+		}
+		conn, err := c.nodes[node].listener.Dial()
+		if err != nil {
+			return fmt.Errorf("dist: dial node %d: %w", node, err)
+		}
+		p := newPeer(conn)
+		defer p.close()
+
+		spawn := envelope{Kind: kindSpawn, Fn: fnName}
+		snaps, err := encodeSnapshots(copies)
+		if err != nil {
+			return err
+		}
+		spawn.Snapshots = snaps
+		if err := p.send(spawn); err != nil {
+			return fmt.Errorf("dist: spawn send: %w", err)
+		}
+		return c.proxyLoop(ctx, p, copies)
+	}, data...)
+}
+
+// proxyLoop relays between the remote task and the local runtime: remote
+// operations are re-issued as the proxy's own, remote syncs become local
+// syncs, remote completion completes the proxy.
+func (c *Cluster) proxyLoop(ctx *task.Ctx, p *peer, copies []mergeable.Mergeable) error {
+	for {
+		msg, err := p.recv()
+		if err != nil {
+			return fmt.Errorf("dist: proxy recv: %w", err)
+		}
+		switch msg.Kind {
+		case kindSync:
+			if err := replayOps(copies, msg.Ops); err != nil {
+				return err
+			}
+			syncErr := ctx.Sync()
+			reply := envelope{Kind: kindReply}
+			switch {
+			case errors.Is(syncErr, task.ErrAborted):
+				reply.Err = wireAborted
+				if err := p.send(reply); err != nil {
+					return fmt.Errorf("dist: proxy reply: %w", err)
+				}
+				return task.ErrAborted
+			case errors.Is(syncErr, task.ErrMergeRejected):
+				reply.Err = wireRejected
+			case syncErr != nil:
+				return syncErr
+			}
+			snaps, err := encodeSnapshots(copies)
+			if err != nil {
+				return err
+			}
+			reply.Snapshots = snaps
+			if err := p.send(reply); err != nil {
+				return fmt.Errorf("dist: proxy reply: %w", err)
+			}
+		case kindDone:
+			if msg.Err != "" {
+				// A failed remote task contributes nothing, like a failed
+				// local task; skip the replay and surface the error.
+				return errRemote{msg: msg.Err}
+			}
+			if err := replayOps(copies, msg.Ops); err != nil {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected message kind %d", msg.Kind)
+		}
+	}
+}
+
+func encodeSnapshots(data []mergeable.Mergeable) ([]snapshot, error) {
+	snaps := make([]snapshot, len(data))
+	for i, m := range data {
+		codec, err := codecFor(m)
+		if err != nil {
+			return nil, err
+		}
+		b, err := codec.Encode(m)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode %T: %w", m, err)
+		}
+		snaps[i] = snapshot{Codec: codec.Name(), Data: b}
+	}
+	return snaps, nil
+}
+
+func replayOps(copies []mergeable.Mergeable, ops []opsOf) error {
+	if len(ops) != len(copies) {
+		return fmt.Errorf("dist: remote sent ops for %d structures, have %d", len(ops), len(copies))
+	}
+	for i, o := range ops {
+		if err := mergeable.ReplayAsLocal(copies[i], o.Ops); err != nil {
+			return fmt.Errorf("dist: replay remote ops: %w", err)
+		}
+	}
+	return nil
+}

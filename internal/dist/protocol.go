@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"encoding/gob"
+	"net"
+
+	"repro/internal/ot"
+)
+
+// The wire protocol: one stream connection per remote task, carrying gob
+// envelopes. The coordinator-side proxy sends a spawn message, then the
+// conversation alternates worker→coordinator sync/done messages with
+// coordinator→worker replies.
+
+type msgKind uint8
+
+const (
+	kindSpawn msgKind = iota + 1
+	kindSync
+	kindReply
+	kindDone
+)
+
+// snapshot is one structure's serialized value plus the codec to decode
+// it with.
+type snapshot struct {
+	Codec string
+	Data  []byte
+}
+
+// opsOf wraps one structure's operation list (gob cannot encode a naked
+// [][]ot.Op with interface elements reliably across versions; a named
+// struct keeps the schema explicit).
+type opsOf struct {
+	Ops []ot.Op
+}
+
+// envelope is the single wire message type.
+type envelope struct {
+	Kind msgKind
+
+	// kindSpawn: function name and the initial structure snapshots.
+	Fn        string
+	Snapshots []snapshot
+
+	// kindSync, kindDone: the remote task's local operations per
+	// structure since the last sync; kindDone also carries the task's
+	// error, kindReply the merge outcome ("", "rejected" or "aborted")
+	// and the refreshed snapshots.
+	Ops []opsOf
+	Err string
+}
+
+// peer wraps a connection with gob codecs.
+type peer struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newPeer(conn net.Conn) *peer {
+	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (p *peer) send(e envelope) error { return p.enc.Encode(e) }
+
+func (p *peer) recv() (envelope, error) {
+	var e envelope
+	err := p.dec.Decode(&e)
+	return e, err
+}
+
+func (p *peer) close() { p.conn.Close() }

@@ -1,0 +1,217 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/memnet"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// WorkerFunc is the body of a remote task. It runs on a worker node with
+// rebuilt copies of the structures passed to SpawnRemote, in the same
+// order. wctx.Sync ships the recorded operations to the coordinator and
+// refreshes the copies, exactly like task.Ctx.Sync does locally.
+type WorkerFunc func(wctx *WorkerCtx, data []mergeable.Mergeable) error
+
+// WorkerCtx is the remote task's handle to the coordinator.
+type WorkerCtx struct {
+	peer *peer
+	data []mergeable.Mergeable
+}
+
+// Sync sends the task's operations since the last sync to the
+// coordinator, waits for the merge, and refreshes the local copies from
+// the coordinator's state. It returns task.ErrAborted when the
+// coordinator aborted this task and task.ErrMergeRejected when a merge
+// condition discarded the changes (the copies are refreshed regardless,
+// mirroring the local semantics).
+func (w *WorkerCtx) Sync() error {
+	msg := envelope{Kind: kindSync, Ops: make([]opsOf, len(w.data))}
+	for i, m := range w.data {
+		msg.Ops[i] = opsOf{Ops: m.Log().TakeLocal()}
+	}
+	if err := w.peer.send(msg); err != nil {
+		return fmt.Errorf("dist: sync send: %w", err)
+	}
+	reply, err := w.peer.recv()
+	if err != nil {
+		return fmt.Errorf("dist: sync recv: %w", err)
+	}
+	if reply.Kind != kindReply {
+		return fmt.Errorf("dist: unexpected message kind %d during sync", reply.Kind)
+	}
+	if reply.Err == wireAborted {
+		return task.ErrAborted
+	}
+	if err := w.refresh(reply.Snapshots); err != nil {
+		return err
+	}
+	if reply.Err == wireRejected {
+		return task.ErrMergeRejected
+	}
+	return nil
+}
+
+// refresh replaces the worker's copies with decoded coordinator state.
+func (w *WorkerCtx) refresh(snaps []snapshot) error {
+	if len(snaps) != len(w.data) {
+		return fmt.Errorf("dist: refresh carries %d snapshots for %d structures", len(snaps), len(w.data))
+	}
+	for i, s := range snaps {
+		c, err := codecByName(s.Codec)
+		if err != nil {
+			return err
+		}
+		fresh, err := c.Decode(s.Data)
+		if err != nil {
+			return fmt.Errorf("dist: refresh decode: %w", err)
+		}
+		if err := w.data[i].AdoptFrom(fresh); err != nil {
+			return err
+		}
+		w.data[i].Log().TakeLocal() // adoption is not an operation
+	}
+	return nil
+}
+
+const (
+	wireAborted  = "\x00aborted"
+	wireRejected = "\x00rejected"
+)
+
+// workerNode is one simulated remote address space: a listener plus an
+// accept loop, each accepted connection hosting one remote task.
+type workerNode struct {
+	id       int
+	listener *memnet.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+func newWorkerNode(id int) *workerNode {
+	n := &workerNode{id: id, listener: memnet.Listen(64), conns: make(map[net.Conn]bool)}
+	go n.acceptLoop()
+	return n
+}
+
+// close simulates node failure (or shutdown): no new connections, and
+// every in-flight task connection is torn down so peers observe the
+// failure instead of waiting forever.
+func (n *workerNode) close() {
+	n.listener.Close()
+	n.mu.Lock()
+	n.closed = true
+	for c := range n.conns {
+		c.Close()
+	}
+	n.conns = nil
+	n.mu.Unlock()
+}
+
+func (n *workerNode) track(conn net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return false
+	}
+	n.conns[conn] = true
+	return true
+}
+
+func (n *workerNode) untrack(conn net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conns != nil {
+		delete(n.conns, conn)
+	}
+}
+
+func (n *workerNode) acceptLoop() {
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		if !n.track(conn) {
+			return
+		}
+		go func() {
+			defer n.untrack(conn)
+			n.serveTask(newPeer(conn))
+		}()
+	}
+}
+
+// serveTask hosts one remote task: decode the spawn message, rebuild the
+// structures, run the registered function, and report completion.
+func (n *workerNode) serveTask(p *peer) {
+	defer p.close()
+	spawn, err := p.recv()
+	if err != nil || spawn.Kind != kindSpawn {
+		return
+	}
+
+	data := make([]mergeable.Mergeable, len(spawn.Snapshots))
+	for i, s := range spawn.Snapshots {
+		c, err := codecByName(s.Codec)
+		if err != nil {
+			p.send(envelope{Kind: kindDone, Err: err.Error()})
+			return
+		}
+		m, err := c.Decode(s.Data)
+		if err != nil {
+			p.send(envelope{Kind: kindDone, Err: err.Error()})
+			return
+		}
+		m.Log().TakeLocal() // reconstruction is not local history
+		data[i] = m
+	}
+	fn, err := funcByName(spawn.Fn)
+	if err != nil {
+		p.send(envelope{Kind: kindDone, Err: err.Error()})
+		return
+	}
+
+	wctx := &WorkerCtx{peer: p, data: data}
+	taskErr := runWorkerFunc(fn, wctx, data)
+
+	done := envelope{Kind: kindDone, Ops: make([]opsOf, len(data))}
+	for i, m := range data {
+		done.Ops[i] = opsOf{Ops: m.Log().TakeLocal()}
+	}
+	if taskErr != nil {
+		done.Err = taskErr.Error()
+	}
+	// The proxy may already be gone (e.g. it aborted us); a failed send
+	// is fine, the coordinator side has everything it needs.
+	_ = p.send(done)
+}
+
+// runWorkerFunc isolates panics exactly like the local runtime does.
+func runWorkerFunc(fn WorkerFunc, wctx *WorkerCtx, data []mergeable.Mergeable) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = task.PanicError{Value: r}
+		}
+	}()
+	return fn(wctx, data)
+}
+
+// errRemote wraps a worker-reported failure.
+type errRemote struct{ msg string }
+
+func (e errRemote) Error() string { return "dist: remote task failed: " + e.msg }
+
+// IsRemoteError reports whether err is a failure reported by a remote
+// worker (as opposed to a transport or runtime error).
+func IsRemoteError(err error) bool {
+	var re errRemote
+	return errors.As(err, &re)
+}

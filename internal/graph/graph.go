@@ -1,0 +1,164 @@
+// Package graph provides deterministic parallel graph algorithms built on
+// Spawn & Merge — a second generality probe (with package mapreduce) for
+// the paper's closing question about further use cases.
+//
+// The algorithms are level-synchronous: each BFS level fans the frontier
+// out over tasks whose only output is a mergeable set of neighbor
+// candidates. Sets merge idempotently and MergeAll keeps the levels in
+// deterministic lockstep, so distances, parents and component labels are
+// identical on every run and any degree of parallelism.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Graph is a simple undirected graph as an adjacency list. Vertices are
+// 0..N-1. The zero value is unusable; create with New.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge connects u and v (undirected). It panics on out-of-range
+// vertices, matching slice semantics.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// Neighbors returns v's adjacency list (shared slice; do not modify).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// BFS computes the distance (in edges) from src to every vertex, -1 for
+// unreachable ones, expanding each level in parallel across up to tasks
+// worker tasks.
+func BFS(g *Graph, src, tasks int) ([]int, error) {
+	n := g.Len()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", src, n)
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+
+	for level := 1; len(frontier) > 0; level++ {
+		candidates := mergeable.NewSet[int]()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			t := tasks
+			if t > len(frontier) {
+				t = len(frontier)
+			}
+			for w := 0; w < t; w++ {
+				w := w
+				ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+					out := data[0].(*mergeable.Set[int])
+					// Strided partition of the frontier; the task emits
+					// every neighbor, the (deterministic) filter below
+					// keeps the unvisited ones.
+					for i := w; i < len(frontier); i += t {
+						for _, nb := range g.Neighbors(frontier[i]) {
+							out.Add(nb)
+						}
+					}
+					return nil
+				}, data[0])
+			}
+			return ctx.MergeAll()
+		}, candidates)
+		if err != nil {
+			return nil, err
+		}
+
+		frontier = frontier[:0]
+		for _, v := range candidates.Values() { // deterministic order
+			if dist[v] == -1 {
+				dist[v] = level
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Components labels every vertex with its connected component: the label
+// is the smallest vertex index in the component. BFS levels run in
+// parallel; labeling order (ascending start vertex) is deterministic.
+func Components(g *Graph, tasks int) ([]int, error) {
+	n := g.Len()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		dist, err := BFS(g, v, tasks)
+		if err != nil {
+			return nil, err
+		}
+		for u, d := range dist {
+			if d >= 0 && labels[u] == -1 {
+				labels[u] = v
+			}
+		}
+	}
+	return labels, nil
+}
+
+// Degrees returns every vertex's degree, computed in parallel with a
+// mergeable counter per stripe — a small demonstration of commutative
+// aggregation.
+func Degrees(g *Graph, tasks int) ([]int, error) {
+	n := g.Len()
+	if tasks < 1 {
+		tasks = 1
+	}
+	out := make([]int, n)
+	counts := mergeable.NewMap[int, int]()
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		t := tasks
+		if t > n {
+			t = n
+		}
+		for w := 0; w < t; w++ {
+			w := w
+			ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				m := data[0].(*mergeable.Map[int, int])
+				for v := w; v < n; v += t {
+					m.Set(v, len(g.Neighbors(v))) // disjoint keys: conflict-free
+				}
+				return nil
+			}, data[0])
+		}
+		return ctx.MergeAll()
+	}, counts)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		d, _ := counts.Get(v)
+		out[v] = d
+	}
+	return out, nil
+}

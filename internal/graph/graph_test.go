@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// seqBFS is the reference implementation.
+func seqBFS(g *Graph, src int) []int {
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(v) {
+			if dist[nb] == -1 {
+				dist[nb] = dist[v] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+func lineGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestBFSLine(t *testing.T) {
+	g := lineGraph(6)
+	dist, err := BFS(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestBFSStarAndUnreachable(t *testing.T) {
+	g := New(6)
+	for i := 1; i < 4; i++ {
+		g.AddEdge(0, i) // star 0-{1,2,3}; 4,5 isolated
+	}
+	g.AddEdge(4, 5)
+	dist, err := BFS(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist, []int{0, 1, 1, 1, -1, -1}) {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	g := New(3)
+	if _, err := BFS(g, 9, 1); err == nil {
+		t.Fatal("out-of-range source should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad edge should panic")
+		}
+	}()
+	g.AddEdge(0, 7)
+}
+
+// TestBFSMatchesSequential drives random graphs through the parallel BFS
+// with random task counts and compares against the reference.
+func TestBFSMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		g := New(n)
+		for e := 0; e < r.Intn(3*n); e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		src := r.Intn(n)
+		tasks := 1 + r.Intn(6)
+		got, err := BFS(g, src, tasks)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := seqBFS(g, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBFSTaskCountInvariant pins that the task count never changes the
+// answer.
+func TestBFSTaskCountInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := New(40)
+	for e := 0; e < 90; e++ {
+		g.AddEdge(r.Intn(40), r.Intn(40))
+	}
+	want, err := BFS(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tasks := range []int{2, 3, 8, 64, 0} {
+		got, err := BFS(g, 0, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tasks=%d: %v != %v", tasks, got, want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5 isolated, 6 isolated
+	g.AddEdge(5, 5) // self loop
+	labels, err := Components(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, []int{0, 0, 0, 3, 3, 5, 6}) {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	deg, err := Degrees(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(deg, []int{3, 1, 1, 1}) {
+		t.Fatalf("deg = %v", deg)
+	}
+	empty := New(0)
+	if d, err := Degrees(empty, 3); err != nil || len(d) != 0 {
+		t.Fatalf("empty degrees = %v, %v", d, err)
+	}
+}

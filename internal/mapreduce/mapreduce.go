@@ -1,0 +1,165 @@
+// Package mapreduce is a deterministic parallel map/reduce framework on
+// top of Spawn & Merge — an answer to the paper's closing question about
+// the "generality ... of our approach for further interesting use cases".
+//
+// Map tasks run in parallel on copies of a shared intermediate map; each
+// publishes its shard's pre-aggregated results under shard-disjoint keys,
+// so the merges are conflict-free by construction. Reduce tasks then fold
+// disjoint key ranges into the final result, again conflict-free. Both
+// phases merge with MergeAll, so the whole computation is deterministic:
+// same inputs, same mapper/reducer, same output — bit for bit, on any
+// core count.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Mapper transforms one input into key/value pairs via emit. It runs in
+// its own task: it must not touch shared state beyond calling emit.
+type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
+
+// Reducer folds two values of one key into one. It must be associative
+// and is applied in a deterministic order.
+type Reducer[V any] func(a, b V) V
+
+// Options tunes a run. The zero value means one map task per input and a
+// reduce task per CPU-sized key chunk.
+type Options struct {
+	// MapShards bounds how many map tasks run (inputs are distributed
+	// round-robin). 0 means one task per input.
+	MapShards int
+	// ReduceShards bounds how many reduce tasks run. 0 picks a small
+	// multiple of the map shard count.
+	ReduceShards int
+}
+
+// shardKey keys the intermediate map: per-shard results stay disjoint so
+// concurrent map tasks never write the same entry.
+type shardKey[K comparable] struct {
+	Shard int
+	Key   K
+}
+
+// Run executes the map/reduce over inputs and returns the folded result.
+func Run[I any, K comparable, V any](inputs []I, m Mapper[I, K, V], r Reducer[V], opts Options) (map[K]V, error) {
+	mapShards := opts.MapShards
+	if mapShards <= 0 || mapShards > len(inputs) {
+		mapShards = len(inputs)
+	}
+	if mapShards == 0 {
+		return map[K]V{}, nil
+	}
+	reduceShards := opts.ReduceShards
+	if reduceShards <= 0 {
+		reduceShards = min(mapShards, 8)
+	}
+
+	intermediate := mergeable.NewMap[shardKey[K], V]()
+	final := mergeable.NewMap[int, map[K]V]() // reduce shard -> partial result
+
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		inter := data[0].(*mergeable.Map[shardKey[K], V])
+		out := data[1].(*mergeable.Map[int, map[K]V])
+
+		// Phase 1: map. Each task pre-aggregates locally with the reducer
+		// (the "combiner"), then publishes under its shard's keys.
+		for s := 0; s < mapShards; s++ {
+			s := s
+			ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				local := make(map[K]V)
+				emit := func(k K, v V) {
+					if old, ok := local[k]; ok {
+						local[k] = r(old, v)
+					} else {
+						local[k] = v
+					}
+				}
+				for i := s; i < len(inputs); i += mapShards {
+					m(inputs[i], emit)
+				}
+				dst := data[0].(*mergeable.Map[shardKey[K], V])
+				for k, v := range local {
+					dst.Set(shardKey[K]{Shard: s, Key: k}, v)
+				}
+				return nil
+			}, inter)
+		}
+		if err := ctx.MergeAll(); err != nil {
+			return fmt.Errorf("mapreduce: map phase: %w", err)
+		}
+
+		// Deterministic key partition for the reduce phase.
+		keys := inter.Keys() // already deterministically ordered
+		distinct := make([]K, 0, len(keys))
+		seen := make(map[K]bool, len(keys))
+		for _, sk := range keys {
+			if !seen[sk.Key] {
+				seen[sk.Key] = true
+				distinct = append(distinct, sk.Key)
+			}
+		}
+		sort.Slice(distinct, func(i, j int) bool {
+			return fmt.Sprintf("%v", distinct[i]) < fmt.Sprintf("%v", distinct[j])
+		})
+
+		// Phase 2: reduce. Each task folds a disjoint key range from its
+		// copy of the intermediate map and publishes one partial result.
+		for rs := 0; rs < reduceShards; rs++ {
+			rs := rs
+			ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				inter := data[0].(*mergeable.Map[shardKey[K], V])
+				out := data[1].(*mergeable.Map[int, map[K]V])
+				part := make(map[K]V)
+				for i := rs; i < len(distinct); i += reduceShards {
+					k := distinct[i]
+					var acc V
+					first := true
+					// Fold shard contributions in deterministic shard order.
+					for s := 0; s < mapShards; s++ {
+						if v, ok := inter.Get(shardKey[K]{Shard: s, Key: k}); ok {
+							if first {
+								acc, first = v, false
+							} else {
+								acc = r(acc, v)
+							}
+						}
+					}
+					if !first {
+						part[k] = acc
+					}
+				}
+				out.Set(rs, part)
+				return nil
+			}, inter, out)
+		}
+		if err := ctx.MergeAll(); err != nil {
+			return fmt.Errorf("mapreduce: reduce phase: %w", err)
+		}
+		_ = out
+		return nil
+	}, intermediate, final)
+	if err != nil {
+		return nil, err
+	}
+
+	result := make(map[K]V)
+	for _, rs := range final.Keys() {
+		part, _ := final.Get(rs)
+		for k, v := range part {
+			result[k] = v
+		}
+	}
+	return result, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func wordMapper(line string, emit func(string, int)) {
+	for _, w := range strings.Fields(line) {
+		emit(w, 1)
+	}
+}
+
+func sum(a, b int) int { return a + b }
+
+var corpus = []string{
+	"the quick brown fox",
+	"the lazy dog",
+	"the quick dog jumps",
+	"brown is the new black",
+}
+
+func sequentialWordCount(lines []string) map[string]int {
+	out := map[string]int{}
+	for _, l := range lines {
+		for _, w := range strings.Fields(l) {
+			out[w]++
+		}
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	got, err := Run(corpus, wordMapper, sum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialWordCount(corpus)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestShardingOptions(t *testing.T) {
+	want := sequentialWordCount(corpus)
+	for _, opts := range []Options{
+		{MapShards: 1, ReduceShards: 1},
+		{MapShards: 2, ReduceShards: 3},
+		{MapShards: 100, ReduceShards: 100}, // more shards than inputs/keys
+	} {
+		got, err := Run(corpus, wordMapper, sum, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%+v: got %v, want %v", opts, got, want)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	got, err := Run(nil, wordMapper, sum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestAgainstSequentialModel drives random integer data through a
+// sum-by-key reduction and compares with the obvious sequential fold.
+func TestAgainstSequentialModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		inputs := make([][2]int, n) // (key, value)
+		want := map[int]int{}
+		for i := range inputs {
+			k, v := r.Intn(6), r.Intn(100)
+			inputs[i] = [2]int{k, v}
+			want[k] += v
+		}
+		got, err := Run(inputs, func(in [2]int, emit func(int, int)) {
+			emit(in[0], in[1])
+		}, sum, Options{MapShards: 1 + r.Intn(5), ReduceShards: 1 + r.Intn(5)})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicWithNonAssociativeObserver uses a reducer whose result
+// depends on fold ORDER (string concatenation) to pin the framework's
+// deterministic ordering: every run must produce the same strings.
+func TestDeterministicWithNonAssociativeObserver(t *testing.T) {
+	inputs := []string{"a b", "b c", "c a", "a c b"}
+	mapper := func(line string, emit func(string, string)) {
+		for i, w := range strings.Fields(line) {
+			emit(w, fmt.Sprintf("%s%d", line[:1], i))
+		}
+	}
+	concat := func(a, b string) string { return a + "|" + b }
+	want, err := Run(inputs, mapper, concat, Options{MapShards: 3, ReduceShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := Run(inputs, mapper, concat, Options{MapShards: 3, ReduceShards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestMapperPanicPropagates ensures a crashing mapper fails the run
+// instead of silently dropping a shard.
+func TestMapperPanicPropagates(t *testing.T) {
+	_, err := Run([]string{"x"}, func(string, func(string, int)) {
+		panic("mapper exploded")
+	}, sum, Options{})
+	if err == nil {
+		t.Fatal("mapper panic should fail the run")
+	}
+	var pe error = err
+	if !strings.Contains(pe.Error(), "map phase") {
+		t.Fatalf("err = %v", err)
+	}
+	if errors.Is(err, nil) {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,84 @@
+// Package memnet provides an in-memory substitute for TCP networking so
+// the paper's server-software example (Listing 3) runs hermetically: a
+// Listener with blocking Accept semantics and full-duplex stream
+// connections built on net.Pipe. DESIGN.md records this substitution —
+// the blocking behavior the example depends on (a task parked in Accept
+// while the root merges siblings) is preserved exactly.
+package memnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by Accept and Dial after the listener closed.
+var ErrClosed = errors.New("memnet: listener closed")
+
+// Listener accepts in-memory connections. Create one with Listen.
+type Listener struct {
+	mu      sync.Mutex
+	backlog chan net.Conn
+	done    chan struct{}
+	closed  bool
+}
+
+// Listen creates a listener with the given accept backlog (minimum 1).
+func Listen(backlog int) *Listener {
+	if backlog < 1 {
+		backlog = 1
+	}
+	return &Listener{
+		backlog: make(chan net.Conn, backlog),
+		done:    make(chan struct{}),
+	}
+}
+
+// Accept blocks until a client dials in or the listener is closed.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		// Drain connections that raced with Close so dialers holding a
+		// conn get a working peer or a clear closure.
+		select {
+		case c := <-l.backlog:
+			return c, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Dial connects to the listener, returning the client end of a fresh
+// full-duplex in-memory stream. It blocks while the backlog is full.
+func (l *Listener) Dial() (net.Conn, error) {
+	// Check closure first: a ready backlog slot must not win the race
+	// against an already-closed listener.
+	select {
+	case <-l.done:
+		return nil, ErrClosed
+	default:
+	}
+	client, server := net.Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrClosed
+	}
+}
+
+// Close unblocks all pending and future Accept and Dial calls.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+	return nil
+}

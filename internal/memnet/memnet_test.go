@@ -1,0 +1,134 @@
+package memnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialAccept(t *testing.T) {
+	l := Listen(4)
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = fmt.Fprintf(conn, "echo:%s", line)
+		done <- err
+	}()
+
+	client, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := fmt.Fprintln(client, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := bufio.NewReader(client).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "echo:hello\n" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptBlocksUntilDial(t *testing.T) {
+	l := Listen(1)
+	defer l.Close()
+	got := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			got <- c
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("accept returned before dial")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := l.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-got:
+		c.Close()
+	case <-time.After(time.Second):
+		t.Fatal("accept did not observe dial")
+	}
+}
+
+func TestCloseUnblocksAccept(t *testing.T) {
+	l := Listen(1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("accept not unblocked by close")
+	}
+	if _, err := l.Dial(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dial after close = %v", err)
+	}
+	if err := l.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleConnections(t *testing.T) {
+	l := Listen(8)
+	defer l.Close()
+	const conns = 5
+	for i := 0; i < conns; i++ {
+		go func(i int) {
+			c, err := l.Dial()
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(c, "client %d\n", i)
+			c.Close()
+		}(i)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < conns; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		line, err := bufio.NewReader(c).ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[line] = true
+		c.Close()
+	}
+	if len(seen) != conns {
+		t.Fatalf("saw %d distinct clients, want %d", len(seen), conns)
+	}
+}

@@ -1,0 +1,164 @@
+package mergeable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cow"
+	"repro/internal/ot"
+)
+
+// FastList is a mergeable list backed by a persistent (copy-on-write)
+// vector: the COW counterpart of List, with O(1) CloneValue/AdoptFrom.
+// Appends and overwrites take the fast path; arbitrary transformed
+// insertions and deletions fall back to rebuilding. It exists for
+// append-heavy structures copied on every spawn and sync — in the netsim
+// ablation, the per-host processing traces.
+type FastList[T any] struct {
+	log Log
+	vec cow.Vector[T]
+}
+
+// NewFastList returns a COW-backed mergeable list holding vals.
+func NewFastList[T any](vals ...T) *FastList[T] {
+	return &FastList[T]{vec: cow.New(vals...)}
+}
+
+// Log implements Mergeable.
+func (l *FastList[T]) Log() *Log { return &l.log }
+
+// Len returns the number of elements.
+func (l *FastList[T]) Len() int {
+	l.log.ensureUsable()
+	return l.vec.Len()
+}
+
+// Get returns the element at index i.
+func (l *FastList[T]) Get(i int) T {
+	l.log.ensureUsable()
+	return l.vec.Get(i)
+}
+
+// Values returns a copy of the list's contents.
+func (l *FastList[T]) Values() []T {
+	l.log.ensureUsable()
+	return l.vec.Slice()
+}
+
+// Append adds vals to the end of the list.
+func (l *FastList[T]) Append(vals ...T) {
+	l.log.ensureUsable()
+	if len(vals) == 0 {
+		return
+	}
+	elems := make([]any, len(vals))
+	for i, v := range vals {
+		elems[i] = v
+	}
+	op := ot.SeqInsert{Pos: l.vec.Len(), Elems: elems}
+	for _, v := range vals {
+		l.vec = l.vec.Append(v)
+	}
+	l.log.Record(op)
+}
+
+// Set overwrites the element at index i.
+func (l *FastList[T]) Set(i int, v T) {
+	l.log.ensureUsable()
+	if i < 0 || i >= l.vec.Len() {
+		panic(fmt.Sprintf("mergeable: FastList.Set index %d out of range [0,%d)", i, l.vec.Len()))
+	}
+	l.vec = l.vec.Set(i, v)
+	l.log.Record(ot.SeqSet{Pos: i, Elem: v})
+}
+
+func (l *FastList[T]) applySeq(op ot.Op) error {
+	n := l.vec.Len()
+	switch v := op.(type) {
+	case ot.SeqInsert:
+		if v.Pos < 0 || v.Pos > n {
+			return fmt.Errorf("mergeable: fastlist %s out of range for length %d", v, n)
+		}
+		vals := make([]T, len(v.Elems))
+		for i, e := range v.Elems {
+			tv, ok := e.(T)
+			if !ok {
+				return fmt.Errorf("mergeable: fastlist %s carries %T, want %T", v, e, tv)
+			}
+			vals[i] = tv
+		}
+		if v.Pos == n { // append fast path
+			for _, x := range vals {
+				l.vec = l.vec.Append(x)
+			}
+			return nil
+		}
+		cur := l.vec.Slice()
+		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
+		l.vec = cow.New(out...)
+		return nil
+	case ot.SeqDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
+			return fmt.Errorf("mergeable: fastlist %s out of range for length %d", v, n)
+		}
+		cur := l.vec.Slice()
+		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
+		l.vec = cow.New(out...)
+		return nil
+	case ot.SeqSet:
+		if v.Pos < 0 || v.Pos >= n {
+			return fmt.Errorf("mergeable: fastlist %s out of range for length %d", v, n)
+		}
+		tv, ok := v.Elem.(T)
+		if !ok {
+			return fmt.Errorf("mergeable: fastlist %s carries %T", v, v.Elem)
+		}
+		l.vec = l.vec.Set(v.Pos, tv)
+		return nil
+	}
+	return fmt.Errorf("mergeable: %s is not a list operation", op.Kind())
+}
+
+// CloneValue implements Mergeable in O(1).
+func (l *FastList[T]) CloneValue() Mergeable { return &FastList[T]{vec: l.vec} }
+
+// ApplyRemote implements Mergeable.
+func (l *FastList[T]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		if err := l.applySeq(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable in O(1).
+func (l *FastList[T]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*FastList[T])
+	if !ok {
+		return adoptErr(l, src)
+	}
+	l.vec = s.vec
+	return nil
+}
+
+// Fingerprint implements Mergeable; equal contents fingerprint equal to
+// List's.
+func (l *FastList[T]) Fingerprint() uint64 {
+	var sb strings.Builder
+	sb.WriteString("list[")
+	for i := 0; i < l.vec.Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v", l.vec.Get(i))
+	}
+	sb.WriteByte(']')
+	return FingerprintString(sb.String())
+}
+
+// String renders the list like fmt does for slices.
+func (l *FastList[T]) String() string {
+	l.log.ensureUsable()
+	return fmt.Sprintf("%v", l.Values())
+}

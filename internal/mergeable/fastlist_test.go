@@ -1,0 +1,139 @@
+package mergeable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ot"
+)
+
+func TestFastListBasics(t *testing.T) {
+	l := NewFastList(1, 2, 3)
+	l.Append(4, 5)
+	l.Set(0, 10)
+	if got := l.Values(); !reflect.DeepEqual(got, []int{10, 2, 3, 4, 5}) {
+		t.Fatalf("values = %v", got)
+	}
+	if l.Len() != 5 || l.Get(4) != 5 {
+		t.Fatalf("len/get wrong")
+	}
+	if l.String() != "[10 2 3 4 5]" {
+		t.Fatalf("String() = %q", l.String())
+	}
+	l.Append() // no-op
+	if len(l.Log().LocalOps()) != 2 {
+		t.Fatalf("ops = %v", l.Log().LocalOps())
+	}
+}
+
+func TestFastListSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewFastList(1).Set(5, 1)
+}
+
+// TestFastListMatchesList drives identical operations through List and
+// FastList and demands identical state and fingerprints.
+func TestFastListMatchesList(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slow := NewList[int]()
+		fast := NewFastList[int]()
+		for step := 0; step < 250; step++ {
+			n := slow.Len()
+			switch {
+			case n == 0 || r.Intn(3) == 0:
+				v := r.Intn(1000)
+				slow.Append(v)
+				fast.Append(v)
+			case r.Intn(2) == 0:
+				i, v := r.Intn(n), r.Intn(1000)
+				slow.Set(i, v)
+				fast.Set(i, v)
+			default:
+				// Remote ops of every shape, including mid-list edits that
+				// exercise FastList's rebuild fallback.
+				var op ot.Op
+				switch r.Intn(3) {
+				case 0:
+					op = ot.SeqInsert{Pos: r.Intn(n + 1), Elems: []any{r.Intn(1000)}}
+				case 1:
+					pos := r.Intn(n)
+					op = ot.SeqDelete{Pos: pos, N: 1 + r.Intn(n-pos)}
+				default:
+					op = ot.SeqSet{Pos: r.Intn(n), Elem: r.Intn(1000)}
+				}
+				if err := slow.ApplyRemote([]ot.Op{op}); err != nil {
+					return false
+				}
+				if err := fast.ApplyRemote([]ot.Op{op}); err != nil {
+					return false
+				}
+			}
+			sv := append([]int{}, slow.Values()...)
+			fv := append([]int{}, fast.Values()...)
+			if !reflect.DeepEqual(sv, fv) {
+				t.Logf("seed %d step %d: %v vs %v", seed, step, sv, fv)
+				return false
+			}
+			if slow.Fingerprint() != fast.Fingerprint() {
+				t.Logf("seed %d step %d: fingerprint mismatch", seed, step)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastListCloneAdopt(t *testing.T) {
+	l := NewFastList(1, 2)
+	c := l.CloneValue().(*FastList[int])
+	c.Append(3)
+	if l.Len() != 2 {
+		t.Fatal("clone leaked")
+	}
+	dst := NewFastList[int]()
+	if err := dst.AdoptFrom(l); err != nil || dst.Len() != 2 {
+		t.Fatalf("adopt: %v", err)
+	}
+	if err := dst.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatal("foreign adopt should fail")
+	}
+	if dst.Fingerprint() != l.Fingerprint() {
+		t.Fatal("fingerprints should match")
+	}
+	for _, op := range []ot.Op{
+		ot.SeqInsert{Pos: 9, Elems: []any{1}},
+		ot.SeqInsert{Pos: 0, Elems: []any{"bad"}},
+		ot.SeqDelete{Pos: 0, N: 9},
+		ot.SeqSet{Pos: 9, Elem: 1},
+		ot.SeqSet{Pos: 0, Elem: "bad"},
+		ot.CounterAdd{Delta: 1},
+	} {
+		if err := dst.ApplyRemote([]ot.Op{op}); err == nil {
+			t.Errorf("apply %v should fail", op)
+		}
+	}
+}
+
+// TestFastListMergeWithRuntimeShapes replays the Listing 1 merge against
+// the COW list.
+func TestFastListMergeWithRuntimeShapes(t *testing.T) {
+	list := NewFastList(1, 2, 3)
+	childM, base := spawnCopy(list)
+	child := childM.(*FastList[int])
+	child.Append(5)
+	list.Append(4)
+	mergeInto(t, list, child, base)
+	if got := list.Values(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("merged = %v", got)
+	}
+}

@@ -1,0 +1,207 @@
+package mergeable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cow"
+	"repro/internal/ot"
+)
+
+// FastQueue is a mergeable FIFO queue backed by a persistent
+// (copy-on-write) vector instead of a deep-copied slice. It implements
+// the optimization the paper's conclusion announces as future work:
+// because the vector is immutable and structurally shared, CloneValue and
+// AdoptFrom are O(1), which removes most of the constant spawn/sync
+// copying overhead Section III measures. Semantics are identical to
+// Queue; the netsim ablation engines and BenchmarkCloneDeepVsCOW quantify
+// the difference.
+//
+// Representation: vec holds the queue's elements from index head onward.
+// PopFront advances head instead of copying; the prefix is compacted away
+// once it dominates the vector.
+type FastQueue[T any] struct {
+	log  Log
+	vec  cow.Vector[T]
+	head int
+}
+
+// NewFastQueue returns a COW-backed mergeable queue holding vals
+// front-to-back.
+func NewFastQueue[T any](vals ...T) *FastQueue[T] {
+	return &FastQueue[T]{vec: cow.New(vals...)}
+}
+
+// Log implements Mergeable.
+func (q *FastQueue[T]) Log() *Log { return &q.log }
+
+// Len returns the number of queued elements.
+func (q *FastQueue[T]) Len() int {
+	q.log.ensureUsable()
+	return q.vec.Len() - q.head
+}
+
+// Empty reports whether the queue holds no elements.
+func (q *FastQueue[T]) Empty() bool { return q.Len() == 0 }
+
+// Push appends v to the back of the queue.
+func (q *FastQueue[T]) Push(v T) {
+	q.log.ensureUsable()
+	op := ot.SeqInsert{Pos: q.vec.Len() - q.head, Elems: []any{v}}
+	q.vec = q.vec.Append(v)
+	q.log.Record(op)
+}
+
+// PopFront removes and returns the front element. ok is false when the
+// queue is empty.
+func (q *FastQueue[T]) PopFront() (v T, ok bool) {
+	q.log.ensureUsable()
+	if q.vec.Len() == q.head {
+		return v, false
+	}
+	v = q.vec.Get(q.head)
+	q.head++
+	q.maybeCompact()
+	q.log.Record(ot.SeqDelete{Pos: 0, N: 1})
+	return v, true
+}
+
+// Peek returns the front element without removing it.
+func (q *FastQueue[T]) Peek() (v T, ok bool) {
+	q.log.ensureUsable()
+	if q.vec.Len() == q.head {
+		return v, false
+	}
+	return q.vec.Get(q.head), true
+}
+
+// Values returns a copy of the queued elements, front first.
+func (q *FastQueue[T]) Values() []T {
+	q.log.ensureUsable()
+	out := make([]T, 0, q.Len())
+	for i := q.head; i < q.vec.Len(); i++ {
+		out = append(out, q.vec.Get(i))
+	}
+	return out
+}
+
+// maybeCompact rebuilds the vector without the consumed prefix once the
+// prefix dominates, keeping memory proportional to the live queue.
+func (q *FastQueue[T]) maybeCompact() {
+	if q.head < 64 || q.head <= q.vec.Len()/2 {
+		return
+	}
+	q.vec = cow.New(q.tail()...)
+	q.head = 0
+}
+
+func (q *FastQueue[T]) tail() []T {
+	out := make([]T, 0, q.vec.Len()-q.head)
+	for i := q.head; i < q.vec.Len(); i++ {
+		out = append(out, q.vec.Get(i))
+	}
+	return out
+}
+
+// applySeq applies one remote sequence op. Front deletions and back
+// insertions — the only shapes queue usage produces — take O(1)/O(log n)
+// fast paths; anything else falls back to rebuilding, which stays correct
+// for arbitrary transformed operations.
+func (q *FastQueue[T]) applySeq(op ot.Op) error {
+	n := q.vec.Len() - q.head
+	switch v := op.(type) {
+	case ot.SeqInsert:
+		if v.Pos < 0 || v.Pos > n {
+			return fmt.Errorf("mergeable: fastqueue %s out of range for length %d", v, n)
+		}
+		vals := make([]T, len(v.Elems))
+		for i, e := range v.Elems {
+			tv, ok := e.(T)
+			if !ok {
+				return fmt.Errorf("mergeable: fastqueue %s carries %T, want %T", v, e, tv)
+			}
+			vals[i] = tv
+		}
+		if v.Pos == n { // append fast path
+			for _, x := range vals {
+				q.vec = q.vec.Append(x)
+			}
+			return nil
+		}
+		cur := q.tail()
+		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
+		q.vec, q.head = cow.New(out...), 0
+		return nil
+	case ot.SeqDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
+			return fmt.Errorf("mergeable: fastqueue %s out of range for length %d", v, n)
+		}
+		if v.Pos == 0 { // front-deletion fast path
+			q.head += v.N
+			q.maybeCompact()
+			return nil
+		}
+		cur := q.tail()
+		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
+		q.vec, q.head = cow.New(out...), 0
+		return nil
+	case ot.SeqSet:
+		if v.Pos < 0 || v.Pos >= n {
+			return fmt.Errorf("mergeable: fastqueue %s out of range for length %d", v, n)
+		}
+		tv, ok := v.Elem.(T)
+		if !ok {
+			return fmt.Errorf("mergeable: fastqueue %s carries %T", v, v.Elem)
+		}
+		q.vec = q.vec.Set(q.head+v.Pos, tv)
+		return nil
+	}
+	return fmt.Errorf("mergeable: %s is not a queue operation", op.Kind())
+}
+
+// CloneValue implements Mergeable. It is O(1): the persistent vector is
+// shared structurally.
+func (q *FastQueue[T]) CloneValue() Mergeable {
+	return &FastQueue[T]{vec: q.vec, head: q.head}
+}
+
+// ApplyRemote implements Mergeable.
+func (q *FastQueue[T]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		if err := q.applySeq(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable. Also O(1).
+func (q *FastQueue[T]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*FastQueue[T])
+	if !ok {
+		return adoptErr(q, src)
+	}
+	q.vec, q.head = s.vec, s.head
+	return nil
+}
+
+// Fingerprint implements Mergeable. It matches Queue's fingerprint for
+// equal contents, so cross-ablation oracles can compare them directly.
+func (q *FastQueue[T]) Fingerprint() uint64 {
+	var sb strings.Builder
+	sb.WriteString("queue[")
+	for i := q.head; i < q.vec.Len(); i++ {
+		if i > q.head {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v", q.vec.Get(i))
+	}
+	sb.WriteByte(']')
+	return FingerprintString(sb.String())
+}
+
+// String renders the queue front-to-back.
+func (q *FastQueue[T]) String() string {
+	q.log.ensureUsable()
+	return fmt.Sprintf("%v", q.Values())
+}

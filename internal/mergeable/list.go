@@ -1,0 +1,187 @@
+package mergeable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ot"
+)
+
+// List is a mergeable ordered sequence of values, the workhorse structure of
+// the paper's examples (Listing 1 operates on a mergeable list).
+//
+// Concurrent modifications by different tasks are reconciled element-wise
+// with the sequence OT algebra: insertions shift concurrent indices,
+// deletions absorb overlapping deletions, and a deletion crossing a
+// concurrent insertion splits around it.
+type List[T any] struct {
+	log   Log
+	elems []T
+}
+
+// NewList returns a mergeable list holding vals.
+func NewList[T any](vals ...T) *List[T] {
+	l := &List[T]{}
+	l.elems = append(l.elems, vals...)
+	return l
+}
+
+// Log implements Mergeable.
+func (l *List[T]) Log() *Log { return &l.log }
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int {
+	l.log.ensureUsable()
+	return len(l.elems)
+}
+
+// Get returns the element at index i.
+func (l *List[T]) Get(i int) T {
+	l.log.ensureUsable()
+	return l.elems[i]
+}
+
+// Values returns a copy of the list's contents.
+func (l *List[T]) Values() []T {
+	l.log.ensureUsable()
+	return append([]T(nil), l.elems...)
+}
+
+// Append adds vals to the end of the list.
+func (l *List[T]) Append(vals ...T) {
+	l.Insert(len(l.elems), vals...)
+}
+
+// Insert inserts vals before index i.
+func (l *List[T]) Insert(i int, vals ...T) {
+	l.log.ensureUsable()
+	if i < 0 || i > len(l.elems) {
+		panic(fmt.Sprintf("mergeable: List.Insert index %d out of range [0,%d]", i, len(l.elems)))
+	}
+	if len(vals) == 0 {
+		return
+	}
+	elems := make([]any, len(vals))
+	for j, v := range vals {
+		elems[j] = v
+	}
+	op := ot.SeqInsert{Pos: i, Elems: elems}
+	l.applySeq(op)
+	l.log.Record(op)
+}
+
+// Delete removes the element at index i.
+func (l *List[T]) Delete(i int) { l.DeleteN(i, 1) }
+
+// DeleteN removes n consecutive elements starting at index i.
+func (l *List[T]) DeleteN(i, n int) {
+	l.log.ensureUsable()
+	if n < 0 || i < 0 || i+n > len(l.elems) {
+		panic(fmt.Sprintf("mergeable: List.DeleteN range [%d,%d) out of range [0,%d]", i, i+n, len(l.elems)))
+	}
+	if n == 0 {
+		return
+	}
+	op := ot.SeqDelete{Pos: i, N: n}
+	l.applySeq(op)
+	l.log.Record(op)
+}
+
+// Set overwrites the element at index i.
+func (l *List[T]) Set(i int, v T) {
+	l.log.ensureUsable()
+	if i < 0 || i >= len(l.elems) {
+		panic(fmt.Sprintf("mergeable: List.Set index %d out of range [0,%d)", i, len(l.elems)))
+	}
+	op := ot.SeqSet{Pos: i, Elem: v}
+	l.applySeq(op)
+	l.log.Record(op)
+}
+
+// applySeq applies a sequence op to the typed element slice.
+func (l *List[T]) applySeq(op ot.Op) error {
+	switch v := op.(type) {
+	case ot.SeqInsert:
+		if v.Pos < 0 || v.Pos > len(l.elems) {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		}
+		vals := make([]T, len(v.Elems))
+		for i, e := range v.Elems {
+			tv, ok := e.(T)
+			if !ok {
+				return fmt.Errorf("mergeable: list %s carries %T, want %T", v, e, tv)
+			}
+			vals[i] = tv
+		}
+		l.elems = append(l.elems[:v.Pos:v.Pos], append(vals, l.elems[v.Pos:]...)...)
+		return nil
+	case ot.SeqDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(l.elems) {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		}
+		l.elems = append(l.elems[:v.Pos], l.elems[v.Pos+v.N:]...)
+		return nil
+	case ot.SeqSet:
+		if v.Pos < 0 || v.Pos >= len(l.elems) {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		}
+		tv, ok := v.Elem.(T)
+		if !ok {
+			return fmt.Errorf("mergeable: list %s carries %T", v, v.Elem)
+		}
+		l.elems[v.Pos] = tv
+		return nil
+	}
+	return fmt.Errorf("mergeable: %s is not a list operation", op.Kind())
+}
+
+// CloneValue implements Mergeable.
+func (l *List[T]) CloneValue() Mergeable {
+	c := &List[T]{}
+	c.elems = append([]T(nil), l.elems...)
+	return c
+}
+
+// ApplyRemote implements Mergeable.
+func (l *List[T]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		if err := l.applySeq(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (l *List[T]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*List[T])
+	if !ok {
+		return adoptErr(l, src)
+	}
+	l.elems = append(l.elems[:0:0], s.elems...)
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (l *List[T]) Fingerprint() uint64 {
+	return FingerprintString(l.render())
+}
+
+func (l *List[T]) render() string {
+	var sb strings.Builder
+	sb.WriteString("list[")
+	for i, e := range l.elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v", e)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// String renders the list like fmt does for slices.
+func (l *List[T]) String() string {
+	l.log.ensureUsable()
+	return fmt.Sprintf("%v", l.elems)
+}

@@ -1,0 +1,307 @@
+package mergeable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ot"
+)
+
+// mergeInto emulates a runtime merge step for tests: child was cloned from
+// parent at base version; its local ops are transformed against the
+// parent's committed history since base and applied to the parent.
+func mergeInto(t *testing.T, parent, child Mergeable, base int) {
+	t.Helper()
+	parent.Log().Commit(parent.Log().TakeLocal())
+	server := parent.Log().CommittedSince(base)
+	transformed := ot.TransformAgainst(child.Log().TakeLocal(), server)
+	if err := parent.ApplyRemote(transformed); err != nil {
+		t.Fatalf("merge apply: %v", err)
+	}
+	parent.Log().Commit(transformed)
+}
+
+// spawnCopy emulates Spawn for tests: flush the parent's local ops and
+// return a copy plus its base version.
+func spawnCopy(parent Mergeable) (Mergeable, int) {
+	parent.Log().Commit(parent.Log().TakeLocal())
+	return parent.CloneValue(), parent.Log().CommittedLen()
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList(1, 2, 3)
+	if l.Len() != 3 || l.Get(0) != 1 {
+		t.Fatalf("unexpected list %v", l.Values())
+	}
+	l.Append(4)
+	l.Insert(0, 0)
+	l.Set(2, 20)
+	l.Delete(4)
+	if got := l.Values(); !reflect.DeepEqual(got, []int{0, 1, 20, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	if len(l.Log().LocalOps()) != 4 {
+		t.Fatalf("expected 4 recorded ops, got %v", l.Log().LocalOps())
+	}
+	if l.String() != "[0 1 20 3]" {
+		t.Fatalf("String() = %q", l.String())
+	}
+}
+
+func TestListPanicsOnBadIndex(t *testing.T) {
+	l := NewList(1)
+	for name, f := range map[string]func(){
+		"insert":  func() { l.Insert(5, 9) },
+		"delete":  func() { l.Delete(3) },
+		"deleteN": func() { l.DeleteN(0, 2) },
+		"set":     func() { l.Set(-1, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestListing1 replays Listing 1 of the paper at the data-structure level:
+// parent appends 4, child (spawned copy) appends 5, merge yields
+// [1 2 3 4 5].
+func TestListing1(t *testing.T) {
+	list := NewList(1, 2, 3)
+	childCopy, base := spawnCopy(list)
+	child := childCopy.(*List[int])
+
+	child.Append(5) // f(l) in the child task
+	list.Append(4)  // parent appends concurrently
+
+	mergeInto(t, list, child, base)
+	if got := list.Values(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("merged list = %v, want [1 2 3 4 5]", got)
+	}
+}
+
+func TestListMergeConflictingInserts(t *testing.T) {
+	list := NewList("a", "b", "c")
+	c1m, b1 := spawnCopy(list)
+	c2m, b2 := spawnCopy(list)
+	c1 := c1m.(*List[string])
+	c2 := c2m.(*List[string])
+
+	c1.Delete(2)      // del(2) — Figure 1's process A
+	c2.Insert(0, "d") // ins(0,d) — Figure 1's process B
+
+	mergeInto(t, list, c1, b1)
+	mergeInto(t, list, c2, b2)
+	if got := list.Values(); !reflect.DeepEqual(got, []string{"d", "a", "b"}) {
+		t.Fatalf("merged list = %v, want [d a b] (Figure 2)", got)
+	}
+}
+
+func TestListCloneIndependence(t *testing.T) {
+	l := NewList(1, 2, 3)
+	c := l.CloneValue().(*List[int])
+	c.Append(4)
+	if l.Len() != 3 {
+		t.Fatalf("clone mutation leaked into parent: %v", l.Values())
+	}
+	if len(c.Log().LocalOps()) != 1 {
+		t.Fatalf("clone should start with empty log")
+	}
+}
+
+func TestListAdoptFrom(t *testing.T) {
+	l := NewList(1, 2)
+	src := NewList(7, 8, 9)
+	if err := l.AdoptFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Set(0, 100)
+	if got := l.Values(); !reflect.DeepEqual(got, []int{7, 8, 9}) {
+		t.Fatalf("adopt failed or aliased: %v", got)
+	}
+	if err := l.AdoptFrom(NewText("x")); err == nil {
+		t.Fatalf("adopting foreign type should fail")
+	}
+}
+
+func TestListApplyRemoteErrors(t *testing.T) {
+	l := NewList(1, 2)
+	if err := l.ApplyRemote([]ot.Op{ot.SeqInsert{Pos: 9, Elems: []any{3}}}); err == nil {
+		t.Fatalf("out-of-range remote op should fail")
+	}
+	if err := l.ApplyRemote([]ot.Op{ot.SeqInsert{Pos: 0, Elems: []any{"wrong type"}}}); err == nil {
+		t.Fatalf("wrong payload type should fail")
+	}
+	if err := l.ApplyRemote([]ot.Op{ot.SeqSet{Pos: 0, Elem: "bad"}}); err == nil {
+		t.Fatalf("wrong set payload type should fail")
+	}
+	if err := l.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op family should fail")
+	}
+	if err := l.ApplyRemote([]ot.Op{ot.SeqDelete{Pos: 0, N: 5}}); err == nil {
+		t.Fatalf("out-of-range delete should fail")
+	}
+}
+
+func TestListFingerprint(t *testing.T) {
+	a := NewList(1, 2, 3)
+	b := NewList(1, 2, 3)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal lists must have equal fingerprints")
+	}
+	b.Append(4)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("different lists should differ in fingerprint")
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := NewQueue[string]()
+	if !q.Empty() {
+		t.Fatalf("new queue should be empty")
+	}
+	if _, ok := q.PopFront(); ok {
+		t.Fatalf("pop of empty queue should report !ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatalf("peek of empty queue should report !ok")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %v/%v", v, ok)
+	}
+	v, ok := q.PopFront()
+	if !ok || v != "a" {
+		t.Fatalf("pop = %v/%v", v, ok)
+	}
+	if got := q.Values(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("values = %v", got)
+	}
+	if q.String() != "[b]" {
+		t.Fatalf("String() = %q", q.String())
+	}
+}
+
+// TestQueueProducerConsumerMerge exercises the simulation pattern: one
+// child pushes into a queue while the owner pops from it.
+func TestQueueProducerConsumerMerge(t *testing.T) {
+	q := NewQueue(1, 2)
+	producerM, base := spawnCopy(q)
+	producer := producerM.(*Queue[int])
+
+	producer.Push(3)
+	producer.Push(4)
+	if v, _ := q.PopFront(); v != 1 { // owner concurrently consumes
+		t.Fatalf("popped %d", v)
+	}
+
+	mergeInto(t, q, producer, base)
+	if got := q.Values(); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("merged queue = %v, want [2 3 4]", got)
+	}
+}
+
+// TestQueueConcurrentPopCollapses documents the at-least-once semantics of
+// racing pops: two copies popping the same element merge into a single
+// removal.
+func TestQueueConcurrentPopCollapses(t *testing.T) {
+	q := NewQueue("x", "y")
+	c1m, b1 := spawnCopy(q)
+	c2m, b2 := spawnCopy(q)
+	c1 := c1m.(*Queue[string])
+	c2 := c2m.(*Queue[string])
+
+	v1, _ := c1.PopFront()
+	v2, _ := c2.PopFront()
+	if v1 != "x" || v2 != "x" {
+		t.Fatalf("both copies should see the same front: %q %q", v1, v2)
+	}
+	mergeInto(t, q, c1, b1)
+	mergeInto(t, q, c2, b2)
+	if got := q.Values(); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Fatalf("merged queue = %v, want [y]: concurrent pops must collapse", got)
+	}
+}
+
+func TestQueueAdoptAndClone(t *testing.T) {
+	q := NewQueue(1, 2, 3)
+	c := q.CloneValue().(*Queue[int])
+	c.Push(4)
+	if q.Len() != 3 {
+		t.Fatalf("clone aliased parent")
+	}
+	other := NewQueue(9)
+	if err := other.AdoptFrom(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Values(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("adopt = %v", got)
+	}
+	if err := other.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("adopting foreign type should fail")
+	}
+	if err := other.ApplyRemote([]ot.Op{ot.RegisterSet{Value: 1}}); err == nil {
+		t.Fatalf("foreign op family should fail")
+	}
+	if other.Fingerprint() != q.Fingerprint() {
+		t.Fatalf("equal queues must share fingerprints")
+	}
+}
+
+// TestListMergePropertyReplay drives random mutations on parent and child
+// copies and checks the runtime invariant: replaying the parent's committed
+// history from the spawn-time state reproduces the merged state.
+func TestListMergePropertyReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		parent := NewList[int]()
+		for i := 0; i < r.Intn(6); i++ {
+			parent.Append(r.Intn(100))
+		}
+		parent.Log().Commit(parent.Log().TakeLocal())
+		baseVals := parent.Values()
+		baseVer := parent.Log().CommittedLen()
+
+		childM, base := spawnCopy(parent)
+		child := childM.(*List[int])
+
+		mutate := func(l *List[int]) {
+			for i := 0; i < r.Intn(5); i++ {
+				switch n := l.Len(); {
+				case n == 0 || r.Intn(3) == 0:
+					l.Insert(r.Intn(n+1), r.Intn(100))
+				case r.Intn(2) == 0:
+					l.Delete(r.Intn(n))
+				default:
+					l.Set(r.Intn(n), r.Intn(100))
+				}
+			}
+		}
+		mutate(parent)
+		mutate(child)
+		mergeInto(t, parent, child, base)
+
+		// Replay committed history since the pre-spawn version.
+		replay := NewList[int]()
+		replay.elems = append([]int(nil), baseVals...)
+		if err := replay.ApplyRemote(parent.Log().CommittedSince(baseVer)); err != nil {
+			t.Logf("seed %d: replay error: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(replay.Values(), parent.Values()) {
+			t.Logf("seed %d: replay=%v merged=%v", seed, replay.Values(), parent.Values())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package mergeable
+
+import (
+	"testing"
+
+	"repro/internal/ot"
+)
+
+func TestLogRecordTake(t *testing.T) {
+	var l Log
+	l.Record(ot.CounterAdd{Delta: 1})
+	l.Record(ot.CounterAdd{Delta: 2})
+	if len(l.LocalOps()) != 2 {
+		t.Fatalf("local = %v", l.LocalOps())
+	}
+	ops := l.TakeLocal()
+	if len(ops) != 2 || len(l.LocalOps()) != 0 {
+		t.Fatalf("take = %v, remaining %v", ops, l.LocalOps())
+	}
+}
+
+func TestLogCommitVersions(t *testing.T) {
+	var l Log
+	if l.CommittedLen() != 0 {
+		t.Fatalf("new log version = %d", l.CommittedLen())
+	}
+	l.Commit([]ot.Op{ot.CounterAdd{Delta: 1}, ot.CounterAdd{Delta: 2}})
+	l.Commit(nil) // no-op
+	if l.CommittedLen() != 2 {
+		t.Fatalf("version = %d", l.CommittedLen())
+	}
+	since := l.CommittedSince(1)
+	if len(since) != 1 || since[0].(ot.CounterAdd).Delta != 2 {
+		t.Fatalf("since(1) = %v", since)
+	}
+	if got := l.CommittedSince(2); len(got) != 0 {
+		t.Fatalf("since(end) = %v", got)
+	}
+}
+
+func TestLogTrim(t *testing.T) {
+	var l Log
+	for i := 1; i <= 5; i++ {
+		l.Commit([]ot.Op{ot.CounterAdd{Delta: int64(i)}})
+	}
+	l.Trim(3)
+	if l.CommittedLen() != 5 {
+		t.Fatalf("trim changed version: %d", l.CommittedLen())
+	}
+	since := l.CommittedSince(3)
+	if len(since) != 2 || since[0].(ot.CounterAdd).Delta != 4 {
+		t.Fatalf("since(3) after trim = %v", since)
+	}
+	l.Trim(2) // trimming backwards is a no-op
+	if got := l.CommittedSince(3); len(got) != 2 {
+		t.Fatalf("backwards trim changed state: %v", got)
+	}
+	l.Trim(99) // beyond the end clamps
+	if l.CommittedLen() != 5 || len(l.CommittedSince(5)) != 0 {
+		t.Fatalf("over-trim broke the log")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("reading trimmed history should panic")
+		}
+	}()
+	l.CommittedSince(1)
+}
+
+func TestLogStale(t *testing.T) {
+	l := NewList(1, 2)
+	l.Log().MarkStale()
+	if !l.Log().Stale() {
+		t.Fatalf("should be stale")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("using a stale structure should panic")
+			}
+		}()
+		l.Append(3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("reading a stale structure should panic")
+			}
+		}()
+		_ = l.Len()
+	}()
+	l.Log().ClearStale()
+	l.Append(3) // usable again
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestCombineFingerprints(t *testing.T) {
+	a := CombineFingerprints(1, 2, 3)
+	b := CombineFingerprints(1, 2, 3)
+	c := CombineFingerprints(3, 2, 1)
+	if a != b {
+		t.Fatalf("combine not deterministic")
+	}
+	if a == c {
+		t.Fatalf("combine should be order sensitive")
+	}
+	if FingerprintBytes([]byte("x")) != FingerprintString("x") {
+		t.Fatalf("byte and string fingerprints should agree")
+	}
+}

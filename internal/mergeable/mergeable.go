@@ -1,0 +1,205 @@
+// Package mergeable provides the library of mergeable data structures that
+// Spawn & Merge tasks operate on: lists, queues, text buffers, maps, sets,
+// counters, registers and trees.
+//
+// Every structure records the operations applied to it in an operation log
+// (the operation-centric view of Section II.A of the paper). The task
+// runtime uses the log to merge divergent copies with operational
+// transformation: a child's local operations are transformed against the
+// suffix of the parent's committed history the child has not seen, then
+// applied to the parent and appended to that history.
+//
+// Structures are task-local by design — a task mutates only its own copies,
+// so no internal locking exists or is needed. Sharing a structure between
+// goroutines outside the Spawn/Merge protocol is a programming error.
+//
+// Programmers can add custom mergeable structures by implementing the
+// Mergeable interface, exactly as the paper intends ("programmers can use
+// an interface to implement new mergeable data structures").
+package mergeable
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/ot"
+)
+
+// Mergeable is the contract between a data structure and the Spawn & Merge
+// runtime. All provided structures implement it; user-defined structures
+// may too.
+//
+// A structure must route every local mutation through its Log (apply the
+// operation to its own state, then Log().Record(op)) and must be able to
+// apply *remote* (already transformed) operations without re-recording
+// them.
+type Mergeable interface {
+	// Log exposes the structure's operation log. The runtime uses it to
+	// take local operations at merge time, to commit transformed
+	// operations to the shared history, and to mark copies stale.
+	Log() *Log
+
+	// CloneValue returns a deep copy of the structure's current value with
+	// a fresh, empty log. The runtime calls it on Spawn, Sync and when
+	// building merge previews for condition functions.
+	CloneValue() Mergeable
+
+	// ApplyRemote applies already-transformed operations to the value
+	// without recording them as local operations. The runtime calls it
+	// with a child's transformed operations at merge time.
+	ApplyRemote(ops []ot.Op) error
+
+	// AdoptFrom replaces this structure's value with a deep copy of src,
+	// which must have the same concrete type. The runtime uses it to
+	// refresh a child's copies after Sync.
+	AdoptFrom(src Mergeable) error
+
+	// Fingerprint returns a hash of the current value. Equal values yield
+	// equal fingerprints; the determinism checker and tests rely on it.
+	Fingerprint() uint64
+}
+
+// Log is the operation log embedded in every mergeable structure. It keeps
+//
+//   - the committed history: operations already merged into this copy, in
+//     the deterministic merge order. Children remember the history length
+//     at copy time (their base version) and are later transformed against
+//     everything committed after it.
+//   - the local operations: mutations applied by the owning task since the
+//     last flush, not yet part of any shared history.
+//
+// The committed history can be trimmed once no live child's base precedes
+// a prefix; offset keeps version numbers stable across trims.
+type Log struct {
+	committed []ot.Op
+	offset    int
+	local     []ot.Op
+	stale     bool
+}
+
+// Record appends a local operation. Structures call it from every mutator.
+func (l *Log) Record(op ot.Op) {
+	l.ensureUsable()
+	l.local = append(l.local, op)
+}
+
+// LocalOps returns the not-yet-committed local operations (shared slice;
+// callers must not modify it).
+func (l *Log) LocalOps() []ot.Op { return l.local }
+
+// TakeLocal removes and returns the local operations.
+func (l *Log) TakeLocal() []ot.Op {
+	ops := l.local
+	l.local = nil
+	return ops
+}
+
+// CommittedLen returns the version number of the committed history: the
+// total number of operations ever committed, including trimmed ones.
+func (l *Log) CommittedLen() int { return l.offset + len(l.committed) }
+
+// CommittedSince returns the committed operations from version base
+// onwards. It panics if base precedes the trimmed prefix, which would mean
+// the runtime trimmed history still needed by a live child.
+func (l *Log) CommittedSince(base int) []ot.Op {
+	if base < l.offset {
+		panic(fmt.Sprintf("mergeable: history before version %d was trimmed (need base %d)", l.offset, base))
+	}
+	return l.committed[base-l.offset:]
+}
+
+// Commit appends operations to the committed history.
+func (l *Log) Commit(ops []ot.Op) {
+	if len(ops) > 0 {
+		l.committed = append(l.committed, ops...)
+	}
+}
+
+// Trim drops committed history before version min. The runtime calls it
+// with the minimum base version across live children so long-running tasks
+// (e.g. the network simulation) do not accumulate unbounded history.
+func (l *Log) Trim(min int) {
+	if min <= l.offset {
+		return
+	}
+	if max := l.CommittedLen(); min > max {
+		min = max
+	}
+	n := min - l.offset
+	l.committed = append([]ot.Op(nil), l.committed[n:]...)
+	l.offset = min
+}
+
+// RetainedLen returns how many committed operations are physically
+// retained (not yet trimmed). Tests use it to verify history trimming.
+func (l *Log) RetainedLen() int { return len(l.committed) }
+
+// MarkStale marks the copy unusable until refreshed (used for clones, which
+// per Section II.E inherit an outdated value and must Sync first).
+func (l *Log) MarkStale() { l.stale = true }
+
+// ClearStale marks the copy usable again after a refresh.
+func (l *Log) ClearStale() { l.stale = false }
+
+// Stale reports whether the copy must be refreshed before use.
+func (l *Log) Stale() bool { return l.stale }
+
+// ensureUsable panics when a stale copy is accessed. A clone's data is only
+// a placeholder until its first Sync (Section II.E of the paper).
+func (l *Log) ensureUsable() {
+	if l.stale {
+		panic("mergeable: structure is stale; a cloned task must call Sync() before using its data")
+	}
+}
+
+// reset clears the log completely (used by CloneValue implementations).
+func (l *Log) reset() { *l = Log{} }
+
+// FingerprintBytes hashes a byte rendering of a value with FNV-1a. All
+// provided structures derive their Fingerprint from a deterministic
+// rendering of their value.
+func FingerprintBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// FingerprintString hashes a string rendering of a value.
+func FingerprintString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// CombineFingerprints folds several structure fingerprints into one,
+// order-sensitively.
+func CombineFingerprints(fps ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, fp := range fps {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fp >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ReplayAsLocal applies ops to m and records them as m's own local
+// operations. Distribution proxies use it to re-issue a remote task's
+// operations as their own, so the standard merge machinery propagates
+// them.
+func ReplayAsLocal(m Mergeable, ops []ot.Op) error {
+	for _, op := range ops {
+		if err := m.ApplyRemote([]ot.Op{op}); err != nil {
+			return err
+		}
+		m.Log().Record(op)
+	}
+	return nil
+}
+
+// adoptErr builds the error returned when AdoptFrom receives a foreign type.
+func adoptErr(dst, src Mergeable) error {
+	return fmt.Errorf("mergeable: cannot adopt %T into %T", src, dst)
+}

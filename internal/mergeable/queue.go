@@ -1,0 +1,159 @@
+package mergeable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ot"
+)
+
+// Queue is a mergeable FIFO queue, the structure used by the paper's
+// network-simulation example (Listing 4: "MergeableQueue").
+//
+// Push appends to the back; PopFront removes from the front. Under the
+// sequence OT algebra a pop that races another pop of the same element
+// collapses into a single removal, so a queue with one consumer per queue —
+// the simulation's shape — behaves exactly like a locked queue, without the
+// lock.
+type Queue[T any] struct {
+	log   Log
+	elems []T
+}
+
+// NewQueue returns a mergeable queue holding vals front-to-back.
+func NewQueue[T any](vals ...T) *Queue[T] {
+	q := &Queue[T]{}
+	q.elems = append(q.elems, vals...)
+	return q
+}
+
+// Log implements Mergeable.
+func (q *Queue[T]) Log() *Log { return &q.log }
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.log.ensureUsable()
+	return len(q.elems)
+}
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+
+// Push appends v to the back of the queue.
+func (q *Queue[T]) Push(v T) {
+	q.log.ensureUsable()
+	op := ot.SeqInsert{Pos: len(q.elems), Elems: []any{v}}
+	q.elems = append(q.elems, v)
+	q.log.Record(op)
+}
+
+// PopFront removes and returns the front element. ok is false when the
+// queue is empty.
+func (q *Queue[T]) PopFront() (v T, ok bool) {
+	q.log.ensureUsable()
+	if len(q.elems) == 0 {
+		return v, false
+	}
+	v = q.elems[0]
+	q.elems = append(q.elems[:0], q.elems[1:]...)
+	q.log.Record(ot.SeqDelete{Pos: 0, N: 1})
+	return v, true
+}
+
+// Peek returns the front element without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	q.log.ensureUsable()
+	if len(q.elems) == 0 {
+		return v, false
+	}
+	return q.elems[0], true
+}
+
+// Values returns a copy of the queued elements, front first.
+func (q *Queue[T]) Values() []T {
+	q.log.ensureUsable()
+	return append([]T(nil), q.elems...)
+}
+
+func (q *Queue[T]) applySeq(op ot.Op) error {
+	switch v := op.(type) {
+	case ot.SeqInsert:
+		if v.Pos < 0 || v.Pos > len(q.elems) {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		}
+		vals := make([]T, len(v.Elems))
+		for i, e := range v.Elems {
+			tv, ok := e.(T)
+			if !ok {
+				return fmt.Errorf("mergeable: queue %s carries %T, want %T", v, e, tv)
+			}
+			vals[i] = tv
+		}
+		q.elems = append(q.elems[:v.Pos:v.Pos], append(vals, q.elems[v.Pos:]...)...)
+		return nil
+	case ot.SeqDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(q.elems) {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		}
+		q.elems = append(q.elems[:v.Pos], q.elems[v.Pos+v.N:]...)
+		return nil
+	case ot.SeqSet:
+		if v.Pos < 0 || v.Pos >= len(q.elems) {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		}
+		tv, ok := v.Elem.(T)
+		if !ok {
+			return fmt.Errorf("mergeable: queue %s carries %T", v, v.Elem)
+		}
+		q.elems[v.Pos] = tv
+		return nil
+	}
+	return fmt.Errorf("mergeable: %s is not a queue operation", op.Kind())
+}
+
+// CloneValue implements Mergeable.
+func (q *Queue[T]) CloneValue() Mergeable {
+	c := &Queue[T]{}
+	c.elems = append([]T(nil), q.elems...)
+	return c
+}
+
+// ApplyRemote implements Mergeable.
+func (q *Queue[T]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		if err := q.applySeq(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (q *Queue[T]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Queue[T])
+	if !ok {
+		return adoptErr(q, src)
+	}
+	q.elems = append(q.elems[:0:0], s.elems...)
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (q *Queue[T]) Fingerprint() uint64 {
+	var sb strings.Builder
+	sb.WriteString("queue[")
+	for i, e := range q.elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v", e)
+	}
+	sb.WriteByte(']')
+	return FingerprintString(sb.String())
+}
+
+// String renders the queue front-to-back.
+func (q *Queue[T]) String() string {
+	q.log.ensureUsable()
+	return fmt.Sprintf("%v", q.elems)
+}

@@ -1,0 +1,395 @@
+package mergeable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ot"
+)
+
+// Counter is a mergeable integer counter. Increments commute, so
+// concurrent additions from any number of tasks simply accumulate — the
+// cheapest possible merge. The network simulation uses one to count
+// processed hops.
+type Counter struct {
+	log   Log
+	value int64
+}
+
+// NewCounter returns a counter initialized to v.
+func NewCounter(v int64) *Counter { return &Counter{value: v} }
+
+// Log implements Mergeable.
+func (c *Counter) Log() *Log { return &c.log }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.log.ensureUsable()
+	return c.value
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) {
+	c.log.ensureUsable()
+	if delta == 0 {
+		return
+	}
+	c.value += delta
+	c.log.Record(ot.CounterAdd{Delta: delta})
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// CloneValue implements Mergeable.
+func (c *Counter) CloneValue() Mergeable { return &Counter{value: c.value} }
+
+// ApplyRemote implements Mergeable.
+func (c *Counter) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		add, ok := op.(ot.CounterAdd)
+		if !ok {
+			return fmt.Errorf("mergeable: %s is not a counter operation", op.Kind())
+		}
+		c.value += add.Delta
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (c *Counter) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Counter)
+	if !ok {
+		return adoptErr(c, src)
+	}
+	c.value = s.value
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (c *Counter) Fingerprint() uint64 {
+	return FingerprintString(fmt.Sprintf("counter:%d", c.value))
+}
+
+// String renders the counter value.
+func (c *Counter) String() string {
+	c.log.ensureUsable()
+	return fmt.Sprintf("%d", c.value)
+}
+
+// Register is a mergeable single-value cell. Concurrent assignments are
+// resolved deterministically: the earlier-merged side wins. The network
+// simulation uses one as its stop flag.
+type Register[T any] struct {
+	log   Log
+	value T
+}
+
+// NewRegister returns a register initialized to v.
+func NewRegister[T any](v T) *Register[T] { return &Register[T]{value: v} }
+
+// Log implements Mergeable.
+func (r *Register[T]) Log() *Log { return &r.log }
+
+// Get returns the current value.
+func (r *Register[T]) Get() T {
+	r.log.ensureUsable()
+	return r.value
+}
+
+// Set assigns v.
+func (r *Register[T]) Set(v T) {
+	r.log.ensureUsable()
+	r.value = v
+	r.log.Record(ot.RegisterSet{Value: v})
+}
+
+// CloneValue implements Mergeable.
+func (r *Register[T]) CloneValue() Mergeable { return &Register[T]{value: r.value} }
+
+// ApplyRemote implements Mergeable.
+func (r *Register[T]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		set, ok := op.(ot.RegisterSet)
+		if !ok {
+			return fmt.Errorf("mergeable: %s is not a register operation", op.Kind())
+		}
+		v, ok := set.Value.(T)
+		if !ok {
+			return fmt.Errorf("mergeable: register %s carries %T", set, set.Value)
+		}
+		r.value = v
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (r *Register[T]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Register[T])
+	if !ok {
+		return adoptErr(r, src)
+	}
+	r.value = s.value
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (r *Register[T]) Fingerprint() uint64 {
+	return FingerprintString(fmt.Sprintf("register:%v", r.value))
+}
+
+// Map is a mergeable key-value map. Writes to distinct keys commute;
+// concurrent writes to the same key are resolved deterministically in
+// favor of the earlier-merged side.
+type Map[K comparable, V any] struct {
+	log Log
+	m   map[K]V
+}
+
+// NewMap returns an empty mergeable map.
+func NewMap[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{m: make(map[K]V)}
+}
+
+// Log implements Mergeable.
+func (m *Map[K, V]) Log() *Log { return &m.log }
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int {
+	m.log.ensureUsable()
+	return len(m.m)
+}
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	m.log.ensureUsable()
+	v, ok := m.m[k]
+	return v, ok
+}
+
+// Set stores v under k.
+func (m *Map[K, V]) Set(k K, v V) {
+	m.log.ensureUsable()
+	m.m[k] = v
+	m.log.Record(ot.MapSet{Key: k, Value: v})
+}
+
+// Delete removes k.
+func (m *Map[K, V]) Delete(k K) {
+	m.log.ensureUsable()
+	if _, ok := m.m[k]; !ok {
+		return
+	}
+	delete(m.m, k)
+	m.log.Record(ot.MapDelete{Key: k})
+}
+
+// Keys returns the keys in deterministic (rendered) order.
+func (m *Map[K, V]) Keys() []K {
+	m.log.ensureUsable()
+	keys := make([]K, 0, len(m.m))
+	for k := range m.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprintf("%v", keys[i]) < fmt.Sprintf("%v", keys[j])
+	})
+	return keys
+}
+
+// CloneValue implements Mergeable.
+func (m *Map[K, V]) CloneValue() Mergeable {
+	c := NewMap[K, V]()
+	for k, v := range m.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// ApplyRemote implements Mergeable.
+func (m *Map[K, V]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		switch v := op.(type) {
+		case ot.MapSet:
+			k, ok := v.Key.(K)
+			if !ok {
+				return fmt.Errorf("mergeable: map %s carries key %T", v, v.Key)
+			}
+			val, ok := v.Value.(V)
+			if !ok {
+				return fmt.Errorf("mergeable: map %s carries value %T", v, v.Value)
+			}
+			m.m[k] = val
+		case ot.MapDelete:
+			k, ok := v.Key.(K)
+			if !ok {
+				return fmt.Errorf("mergeable: map %s carries key %T", v, v.Key)
+			}
+			delete(m.m, k)
+		default:
+			return fmt.Errorf("mergeable: %s is not a map operation", op.Kind())
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (m *Map[K, V]) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Map[K, V])
+	if !ok {
+		return adoptErr(m, src)
+	}
+	m.m = make(map[K]V, len(s.m))
+	for k, v := range s.m {
+		m.m[k] = v
+	}
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (m *Map[K, V]) Fingerprint() uint64 {
+	var sb strings.Builder
+	sb.WriteString("map{")
+	for _, k := range m.keysForRender() {
+		fmt.Fprintf(&sb, "%v=%v;", k, m.m[k])
+	}
+	sb.WriteByte('}')
+	return FingerprintString(sb.String())
+}
+
+func (m *Map[K, V]) keysForRender() []K {
+	keys := make([]K, 0, len(m.m))
+	for k := range m.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprintf("%v", keys[i]) < fmt.Sprintf("%v", keys[j])
+	})
+	return keys
+}
+
+// Set is a mergeable mathematical set. Concurrent adds of the same element
+// are idempotent; an add racing a remove of the same element is resolved in
+// favor of the earlier-merged side.
+type Set[K comparable] struct {
+	log Log
+	m   map[K]bool
+}
+
+// NewSet returns a mergeable set holding vals.
+func NewSet[K comparable](vals ...K) *Set[K] {
+	s := &Set[K]{m: make(map[K]bool, len(vals))}
+	for _, v := range vals {
+		s.m[v] = true
+	}
+	return s
+}
+
+// Log implements Mergeable.
+func (s *Set[K]) Log() *Log { return &s.log }
+
+// Len returns the number of elements.
+func (s *Set[K]) Len() int {
+	s.log.ensureUsable()
+	return len(s.m)
+}
+
+// Contains reports whether v is in the set.
+func (s *Set[K]) Contains(v K) bool {
+	s.log.ensureUsable()
+	return s.m[v]
+}
+
+// Add inserts v.
+func (s *Set[K]) Add(v K) {
+	s.log.ensureUsable()
+	if s.m[v] {
+		return
+	}
+	s.m[v] = true
+	s.log.Record(ot.SetAdd{Elem: v})
+}
+
+// Remove deletes v.
+func (s *Set[K]) Remove(v K) {
+	s.log.ensureUsable()
+	if !s.m[v] {
+		return
+	}
+	delete(s.m, v)
+	s.log.Record(ot.SetRemove{Elem: v})
+}
+
+// Values returns the elements in deterministic (rendered) order.
+func (s *Set[K]) Values() []K {
+	s.log.ensureUsable()
+	return s.valuesForRender()
+}
+
+func (s *Set[K]) valuesForRender() []K {
+	vals := make([]K, 0, len(s.m))
+	for v := range s.m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		return fmt.Sprintf("%v", vals[i]) < fmt.Sprintf("%v", vals[j])
+	})
+	return vals
+}
+
+// CloneValue implements Mergeable.
+func (s *Set[K]) CloneValue() Mergeable {
+	c := NewSet[K]()
+	for k := range s.m {
+		c.m[k] = true
+	}
+	return c
+}
+
+// ApplyRemote implements Mergeable.
+func (s *Set[K]) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		switch v := op.(type) {
+		case ot.SetAdd:
+			k, ok := v.Elem.(K)
+			if !ok {
+				return fmt.Errorf("mergeable: set %s carries %T", v, v.Elem)
+			}
+			s.m[k] = true
+		case ot.SetRemove:
+			k, ok := v.Elem.(K)
+			if !ok {
+				return fmt.Errorf("mergeable: set %s carries %T", v, v.Elem)
+			}
+			delete(s.m, k)
+		default:
+			return fmt.Errorf("mergeable: %s is not a set operation", op.Kind())
+		}
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (s *Set[K]) AdoptFrom(src Mergeable) error {
+	o, ok := src.(*Set[K])
+	if !ok {
+		return adoptErr(s, src)
+	}
+	s.m = make(map[K]bool, len(o.m))
+	for k := range o.m {
+		s.m[k] = true
+	}
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (s *Set[K]) Fingerprint() uint64 {
+	var sb strings.Builder
+	sb.WriteString("set{")
+	for _, v := range s.valuesForRender() {
+		fmt.Fprintf(&sb, "%v;", v)
+	}
+	sb.WriteByte('}')
+	return FingerprintString(sb.String())
+}

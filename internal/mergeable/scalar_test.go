@@ -1,0 +1,296 @@
+package mergeable
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ot"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter(10)
+	c.Add(5)
+	c.Inc()
+	c.Add(0) // no-op, should not record
+	if c.Value() != 16 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if len(c.Log().LocalOps()) != 2 {
+		t.Fatalf("ops = %v", c.Log().LocalOps())
+	}
+	if c.String() != "16" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestCounterConcurrentAddsAccumulate(t *testing.T) {
+	c := NewCounter(0)
+	m1, b1 := spawnCopy(c)
+	m2, b2 := spawnCopy(c)
+	m1.(*Counter).Add(3)
+	m2.(*Counter).Add(4)
+	c.Add(1)
+	mergeInto(t, c, m1, b1)
+	mergeInto(t, c, m2, b2)
+	if c.Value() != 8 {
+		t.Fatalf("value = %d, want 8", c.Value())
+	}
+}
+
+func TestCounterAdoptApplyErrors(t *testing.T) {
+	c := NewCounter(0)
+	if err := c.AdoptFrom(NewText("x")); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	if err := c.ApplyRemote([]ot.Op{ot.RegisterSet{Value: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+	d := NewCounter(5)
+	if err := c.AdoptFrom(d); err != nil || c.Value() != 5 {
+		t.Fatalf("adopt: %v, value %d", err, c.Value())
+	}
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Fatalf("equal counters must share fingerprints")
+	}
+}
+
+func TestRegisterBasics(t *testing.T) {
+	r := NewRegister("initial")
+	r.Set("next")
+	if r.Get() != "next" {
+		t.Fatalf("get = %q", r.Get())
+	}
+	if len(r.Log().LocalOps()) != 1 {
+		t.Fatalf("ops = %v", r.Log().LocalOps())
+	}
+}
+
+// TestRegisterEarlierMergeWins pins the deterministic conflict resolution:
+// the first-merged child's write survives a later conflicting write.
+func TestRegisterEarlierMergeWins(t *testing.T) {
+	r := NewRegister(0)
+	m1, b1 := spawnCopy(r)
+	m2, b2 := spawnCopy(r)
+	m1.(*Register[int]).Set(1)
+	m2.(*Register[int]).Set(2)
+	mergeInto(t, r, m1, b1)
+	mergeInto(t, r, m2, b2)
+	if r.Get() != 1 {
+		t.Fatalf("value = %d, want 1 (earlier merge wins)", r.Get())
+	}
+}
+
+func TestRegisterAdoptApply(t *testing.T) {
+	r := NewRegister(1)
+	if err := r.ApplyRemote([]ot.Op{ot.RegisterSet{Value: 9}}); err != nil || r.Get() != 9 {
+		t.Fatalf("apply remote: %v", err)
+	}
+	if err := r.ApplyRemote([]ot.Op{ot.RegisterSet{Value: "bad"}}); err == nil {
+		t.Fatalf("wrong payload type should fail")
+	}
+	if err := r.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+	o := NewRegister(7)
+	if err := r.AdoptFrom(o); err != nil || r.Get() != 7 {
+		t.Fatalf("adopt: %v", err)
+	}
+	if err := r.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	clone := r.CloneValue().(*Register[int])
+	if clone.Get() != 7 || clone.Fingerprint() != r.Fingerprint() {
+		t.Fatalf("clone mismatch")
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[string, int]()
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Delete("a")
+	m.Delete("missing") // no-op, not recorded
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, ok := m.Get("b"); !ok || v != 2 {
+		t.Fatalf("get b = %d/%v", v, ok)
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatalf("a should be deleted")
+	}
+	if len(m.Log().LocalOps()) != 3 {
+		t.Fatalf("ops = %v", m.Log().LocalOps())
+	}
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestMapMergeDistinctKeysCommute(t *testing.T) {
+	m := NewMap[string, int]()
+	m.Set("base", 0)
+	c1, b1 := spawnCopy(m)
+	c2, b2 := spawnCopy(m)
+	c1.(*Map[string, int]).Set("x", 1)
+	c2.(*Map[string, int]).Set("y", 2)
+	mergeInto(t, m, c1, b1)
+	mergeInto(t, m, c2, b2)
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"base", "x", "y"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestMapMergeSameKeyEarlierWins(t *testing.T) {
+	m := NewMap[string, string]()
+	c1, b1 := spawnCopy(m)
+	c2, b2 := spawnCopy(m)
+	c1.(*Map[string, string]).Set("k", "first")
+	c2.(*Map[string, string]).Set("k", "second")
+	mergeInto(t, m, c1, b1)
+	mergeInto(t, m, c2, b2)
+	if v, _ := m.Get("k"); v != "first" {
+		t.Fatalf("k = %q, want first (earlier merge wins)", v)
+	}
+}
+
+func TestMapApplyAdoptErrors(t *testing.T) {
+	m := NewMap[string, int]()
+	if err := m.ApplyRemote([]ot.Op{ot.MapSet{Key: 1, Value: 2}}); err == nil {
+		t.Fatalf("wrong key type should fail")
+	}
+	if err := m.ApplyRemote([]ot.Op{ot.MapSet{Key: "k", Value: "v"}}); err == nil {
+		t.Fatalf("wrong value type should fail")
+	}
+	if err := m.ApplyRemote([]ot.Op{ot.MapDelete{Key: 3.5}}); err == nil {
+		t.Fatalf("wrong delete key type should fail")
+	}
+	if err := m.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+	if err := m.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	src := NewMap[string, int]()
+	src.Set("z", 26)
+	if err := m.AdoptFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get("z"); v != 26 {
+		t.Fatalf("adopt missed value")
+	}
+	clone := m.CloneValue().(*Map[string, int])
+	clone.Set("w", 1)
+	if m.Len() != 1 {
+		t.Fatalf("clone aliased parent")
+	}
+	if m.Fingerprint() != src.Fingerprint() {
+		t.Fatalf("equal maps must share fingerprints")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet("a", "b")
+	s.Add("c")
+	s.Add("a") // idempotent, not recorded
+	s.Remove("b")
+	s.Remove("zz") // absent, not recorded
+	if s.Len() != 2 || !s.Contains("a") || !s.Contains("c") || s.Contains("b") {
+		t.Fatalf("set = %v", s.Values())
+	}
+	if len(s.Log().LocalOps()) != 2 {
+		t.Fatalf("ops = %v", s.Log().LocalOps())
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("values = %v", got)
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	s := NewSet(1, 2)
+	c1, b1 := spawnCopy(s)
+	c2, b2 := spawnCopy(s)
+	c1.(*Set[int]).Add(3)
+	c2.(*Set[int]).Add(3) // same add: idempotent
+	c2.(*Set[int]).Remove(1)
+	mergeInto(t, s, c1, b1)
+	mergeInto(t, s, c2, b2)
+	if got := s.Values(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("merged set = %v", got)
+	}
+}
+
+// TestSetRemoveThenReAddYieldsToEarlierRemove pins the priority rule in
+// the presence of duplicate removes: identical concurrent removes are
+// idempotent (kept, never annihilated — see ot.SetRemove.Transform), so
+// c2's re-add still transforms against c1's earlier-merged remove and is
+// absorbed. The earlier merge wins, consistently with every other
+// write-write conflict.
+func TestSetRemoveThenReAddYieldsToEarlierRemove(t *testing.T) {
+	s := NewSet("x")
+	c1, b1 := spawnCopy(s)
+	c2, b2 := spawnCopy(s)
+	c1.(*Set[string]).Remove("x")
+	c2m := c2.(*Set[string])
+	c2m.Remove("x")
+	c2m.Add("x")
+	mergeInto(t, s, c1, b1)
+	mergeInto(t, s, c2, b2)
+	if s.Contains("x") {
+		t.Fatalf("earlier-merged remove should win over the re-add, set = %v", s.Values())
+	}
+}
+
+// TestSetAddVsRemoveEarlierWins pins the priority rule for a direct
+// add/remove conflict: the earlier-merged remove absorbs the later add.
+func TestSetAddVsRemoveEarlierWins(t *testing.T) {
+	s := NewSet[string]()
+	c1, b1 := spawnCopy(s)
+	c2, b2 := spawnCopy(s)
+	c1.(*Set[string]).Add("x")
+	c2.(*Set[string]).Add("x") // idempotent with c1's add: survives either way
+	mergeInto(t, s, c1, b1)
+	mergeInto(t, s, c2, b2)
+	if !s.Contains("x") {
+		t.Fatalf("concurrent adds should converge to present")
+	}
+
+	s2 := NewSet("y")
+	d1, db1 := spawnCopy(s2)
+	d2, db2 := spawnCopy(s2)
+	d1.(*Set[string]).Remove("y")
+	d2.(*Set[string]).Add("y") // no-op locally (already present), nothing recorded
+	mergeInto(t, s2, d1, db1)
+	mergeInto(t, s2, d2, db2)
+	if s2.Contains("y") {
+		t.Fatalf("remove should win over a non-recorded add, set = %v", s2.Values())
+	}
+}
+
+func TestSetApplyAdoptErrors(t *testing.T) {
+	s := NewSet[int]()
+	if err := s.ApplyRemote([]ot.Op{ot.SetAdd{Elem: "bad"}}); err == nil {
+		t.Fatalf("wrong elem type should fail")
+	}
+	if err := s.ApplyRemote([]ot.Op{ot.SetRemove{Elem: "bad"}}); err == nil {
+		t.Fatalf("wrong remove type should fail")
+	}
+	if err := s.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+	if err := s.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	src := NewSet(4, 5)
+	if err := s.AdoptFrom(src); err != nil || s.Len() != 2 {
+		t.Fatalf("adopt: %v", err)
+	}
+	clone := s.CloneValue().(*Set[int])
+	clone.Add(6)
+	if s.Len() != 2 {
+		t.Fatalf("clone aliased parent")
+	}
+	if s.Fingerprint() != src.Fingerprint() {
+		t.Fatalf("equal sets must share fingerprints")
+	}
+}

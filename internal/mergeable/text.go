@@ -1,0 +1,105 @@
+package mergeable
+
+import (
+	"fmt"
+
+	"repro/internal/ot"
+)
+
+// Text is a mergeable text buffer — the collaborative-editing structure
+// operational transformation was invented for. Positions address runes.
+type Text struct {
+	log   Log
+	runes []rune
+}
+
+// NewText returns a mergeable text buffer initialized with s.
+func NewText(s string) *Text {
+	return &Text{runes: []rune(s)}
+}
+
+// Log implements Mergeable.
+func (t *Text) Log() *Log { return &t.log }
+
+// Len returns the length in runes.
+func (t *Text) Len() int {
+	t.log.ensureUsable()
+	return len(t.runes)
+}
+
+// String returns the buffer contents.
+func (t *Text) String() string {
+	t.log.ensureUsable()
+	return string(t.runes)
+}
+
+// Insert inserts s before rune position pos.
+func (t *Text) Insert(pos int, s string) {
+	t.log.ensureUsable()
+	if pos < 0 || pos > len(t.runes) {
+		panic(fmt.Sprintf("mergeable: Text.Insert position %d out of range [0,%d]", pos, len(t.runes)))
+	}
+	if s == "" {
+		return
+	}
+	op := ot.TextInsert{Pos: pos, Text: s}
+	t.mustApply(op)
+	t.log.Record(op)
+}
+
+// Append adds s to the end of the buffer.
+func (t *Text) Append(s string) { t.Insert(len(t.runes), s) }
+
+// Delete removes n runes starting at position pos.
+func (t *Text) Delete(pos, n int) {
+	t.log.ensureUsable()
+	if n < 0 || pos < 0 || pos+n > len(t.runes) {
+		panic(fmt.Sprintf("mergeable: Text.Delete range [%d,%d) out of range [0,%d]", pos, pos+n, len(t.runes)))
+	}
+	if n == 0 {
+		return
+	}
+	op := ot.TextDelete{Pos: pos, N: n}
+	t.mustApply(op)
+	t.log.Record(op)
+}
+
+func (t *Text) mustApply(op ot.Op) {
+	out, err := ot.ApplyText(t.runes, op)
+	if err != nil {
+		panic(err)
+	}
+	t.runes = out
+}
+
+// CloneValue implements Mergeable.
+func (t *Text) CloneValue() Mergeable {
+	return &Text{runes: append([]rune(nil), t.runes...)}
+}
+
+// ApplyRemote implements Mergeable.
+func (t *Text) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		out, err := ot.ApplyText(t.runes, op)
+		if err != nil {
+			return err
+		}
+		t.runes = out
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (t *Text) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Text)
+	if !ok {
+		return adoptErr(t, src)
+	}
+	t.runes = append(t.runes[:0:0], s.runes...)
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (t *Text) Fingerprint() uint64 {
+	return FingerprintString("text:" + string(t.runes))
+}

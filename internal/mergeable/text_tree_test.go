@@ -1,0 +1,212 @@
+package mergeable
+
+import (
+	"testing"
+
+	"repro/internal/ot"
+)
+
+func TestTextBasics(t *testing.T) {
+	txt := NewText("hello")
+	txt.Append(" world")
+	txt.Delete(0, 1)
+	txt.Insert(0, "H")
+	if txt.String() != "Hello world" {
+		t.Fatalf("got %q", txt.String())
+	}
+	if txt.Len() != 11 {
+		t.Fatalf("len = %d", txt.Len())
+	}
+	if len(txt.Log().LocalOps()) != 3 {
+		t.Fatalf("ops = %v", txt.Log().LocalOps())
+	}
+	txt.Insert(0, "") // no-op
+	txt.Delete(0, 0)  // no-op
+	if len(txt.Log().LocalOps()) != 3 {
+		t.Fatalf("no-ops should not be recorded")
+	}
+}
+
+func TestTextPanicsOnBadRange(t *testing.T) {
+	txt := NewText("ab")
+	for name, f := range map[string]func(){
+		"insert": func() { txt.Insert(5, "x") },
+		"delete": func() { txt.Delete(1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestTextCollaborativeMerge is the collaborative-editing scenario OT was
+// born for: two children edit a shared document, merges converge.
+func TestTextCollaborativeMerge(t *testing.T) {
+	doc := NewText("The quick fox")
+	aliceM, ba := spawnCopy(doc)
+	bobM, bb := spawnCopy(doc)
+	alice := aliceM.(*Text)
+	bob := bobM.(*Text)
+
+	alice.Insert(9, " brown") // "The quick brown fox"
+	bob.Append(" jumps")      // "The quick fox jumps"
+
+	mergeInto(t, doc, alice, ba)
+	mergeInto(t, doc, bob, bb)
+	if doc.String() != "The quick brown fox jumps" {
+		t.Fatalf("merged doc = %q", doc.String())
+	}
+}
+
+func TestTextAdoptApplyErrors(t *testing.T) {
+	txt := NewText("ab")
+	if err := txt.ApplyRemote([]ot.Op{ot.TextInsert{Pos: 9, Text: "x"}}); err == nil {
+		t.Fatalf("out-of-range remote op should fail")
+	}
+	if err := txt.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+	if err := txt.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	src := NewText("source")
+	if err := txt.AdoptFrom(src); err != nil || txt.String() != "source" {
+		t.Fatalf("adopt: %v %q", err, txt.String())
+	}
+	clone := txt.CloneValue().(*Text)
+	clone.Append("!")
+	if txt.String() != "source" {
+		t.Fatalf("clone aliased parent")
+	}
+	if txt.Fingerprint() != src.Fingerprint() {
+		t.Fatalf("equal texts must share fingerprints")
+	}
+}
+
+func buildTestTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree("root")
+	if err := tr.InsertNode([]int{0}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InsertNode([]int{1}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InsertNode([]int{0, 0}, "a0"); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := buildTestTree(t)
+	if tr.String() != "root(a(a0) b)" {
+		t.Fatalf("tree = %s", tr.String())
+	}
+	if v, err := tr.Value(0, 0); err != nil || v != "a0" {
+		t.Fatalf("value = %v/%v", v, err)
+	}
+	if n, err := tr.ChildCount(); err != nil || n != 2 {
+		t.Fatalf("children = %d/%v", n, err)
+	}
+	if err := tr.SetValue([]int{1}, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DeleteNode([]int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "root(a B)" {
+		t.Fatalf("tree = %s", tr.String())
+	}
+	if len(tr.Log().LocalOps()) != 5 {
+		t.Fatalf("ops = %v", tr.Log().LocalOps())
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr := buildTestTree(t)
+	if err := tr.InsertNode([]int{9, 0}, "x"); err == nil {
+		t.Fatalf("bad path should fail")
+	}
+	if err := tr.DeleteNode([]int{9}); err == nil {
+		t.Fatalf("bad delete should fail")
+	}
+	if err := tr.SetValue([]int{0, 9}, "x"); err == nil {
+		t.Fatalf("bad set should fail")
+	}
+	if _, err := tr.Value(7); err == nil {
+		t.Fatalf("bad value path should fail")
+	}
+	if _, err := tr.ChildCount(7); err == nil {
+		t.Fatalf("bad childcount path should fail")
+	}
+}
+
+func TestTreeMergeSiblingShift(t *testing.T) {
+	tr := buildTestTree(t)
+	c1m, b1 := spawnCopy(tr)
+	c2m, b2 := spawnCopy(tr)
+	c1 := c1m.(*Tree)
+	c2 := c2m.(*Tree)
+
+	if err := c1.InsertNode([]int{0}, "new"); err != nil { // prepend sibling
+		t.Fatal(err)
+	}
+	if err := c2.SetValue([]int{1}, "B"); err != nil { // rename node b
+		t.Fatal(err)
+	}
+	mergeInto(t, tr, c1, b1)
+	mergeInto(t, tr, c2, b2)
+	if tr.String() != "root(new a(a0) B)" {
+		t.Fatalf("merged tree = %s", tr.String())
+	}
+}
+
+func TestTreeMergeDeleteAbsorbsInnerEdit(t *testing.T) {
+	tr := buildTestTree(t)
+	c1m, b1 := spawnCopy(tr)
+	c2m, b2 := spawnCopy(tr)
+	c1 := c1m.(*Tree)
+	c2 := c2m.(*Tree)
+
+	if err := c1.DeleteNode([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SetValue([]int{0, 0}, "edited"); err != nil {
+		t.Fatal(err)
+	}
+	mergeInto(t, tr, c1, b1)
+	mergeInto(t, tr, c2, b2)
+	if tr.String() != "root(b)" {
+		t.Fatalf("merged tree = %s", tr.String())
+	}
+}
+
+func TestTreeCloneAdopt(t *testing.T) {
+	tr := buildTestTree(t)
+	clone := tr.CloneValue().(*Tree)
+	if err := clone.SetValue(nil, "other"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "root(a(a0) b)" {
+		t.Fatalf("clone aliased parent: %s", tr.String())
+	}
+	dst := NewTree("x")
+	if err := dst.AdoptFrom(tr); err != nil {
+		t.Fatal(err)
+	}
+	if dst.String() != tr.String() || dst.Fingerprint() != tr.Fingerprint() {
+		t.Fatalf("adopt mismatch: %s vs %s", dst.String(), tr.String())
+	}
+	if err := dst.AdoptFrom(NewCounter(0)); err == nil {
+		t.Fatalf("foreign adopt should fail")
+	}
+	if err := dst.ApplyRemote([]ot.Op{ot.CounterAdd{Delta: 1}}); err == nil {
+		t.Fatalf("foreign op should fail")
+	}
+}

@@ -1,0 +1,174 @@
+package mergeable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ot"
+)
+
+// Tree is a mergeable ordered tree: every node holds a value and an ordered
+// list of children, addressed by the path of child indices from the root.
+// Concurrent structural edits are reconciled with the tree OT algebra
+// (sibling indices shift; edits inside a concurrently deleted subtree are
+// absorbed).
+type Tree struct {
+	log  Log
+	root *ot.TreeNode
+}
+
+// NewTree returns a mergeable tree whose root holds rootValue.
+func NewTree(rootValue any) *Tree {
+	return &Tree{root: &ot.TreeNode{Value: rootValue}}
+}
+
+// Log implements Mergeable.
+func (t *Tree) Log() *Log { return &t.log }
+
+// Value returns the value of the node at path (empty path = root).
+func (t *Tree) Value(path ...int) (any, error) {
+	t.log.ensureUsable()
+	n, err := t.nodeAt(path)
+	if err != nil {
+		return nil, err
+	}
+	return n.Value, nil
+}
+
+// ChildCount returns the number of children of the node at path.
+func (t *Tree) ChildCount(path ...int) (int, error) {
+	t.log.ensureUsable()
+	n, err := t.nodeAt(path)
+	if err != nil {
+		return 0, err
+	}
+	return len(n.Children), nil
+}
+
+func (t *Tree) nodeAt(path []int) (*ot.TreeNode, error) {
+	n := t.root
+	for depth, idx := range path {
+		if idx < 0 || idx >= len(n.Children) {
+			return nil, fmt.Errorf("mergeable: tree path %v invalid at depth %d", path, depth)
+		}
+		n = n.Children[idx]
+	}
+	return n, nil
+}
+
+// InsertNode inserts a new leaf holding value at path; the last path
+// element is the sibling index among the parent's children.
+func (t *Tree) InsertNode(path []int, value any) error {
+	return t.InsertSubtree(path, &ot.TreeNode{Value: value})
+}
+
+// InsertSubtree inserts a copy of subtree at path.
+func (t *Tree) InsertSubtree(path []int, subtree *ot.TreeNode) error {
+	t.log.ensureUsable()
+	op := ot.TreeInsert{Path: append([]int(nil), path...), Subtree: ot.CloneTree(subtree)}
+	root, err := ot.ApplyTree(t.root, op)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.log.Record(op)
+	return nil
+}
+
+// DeleteNode removes the node at path together with its subtree.
+func (t *Tree) DeleteNode(path []int) error {
+	t.log.ensureUsable()
+	op := ot.TreeDelete{Path: append([]int(nil), path...)}
+	root, err := ot.ApplyTree(t.root, op)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.log.Record(op)
+	return nil
+}
+
+// SetValue overwrites the value of the node at path.
+func (t *Tree) SetValue(path []int, value any) error {
+	t.log.ensureUsable()
+	op := ot.TreeSet{Path: append([]int(nil), path...), Value: value}
+	root, err := ot.ApplyTree(t.root, op)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.log.Record(op)
+	return nil
+}
+
+// Snapshot returns a deep copy of the tree's current root node, for
+// serialization or inspection.
+func (t *Tree) Snapshot() *ot.TreeNode {
+	t.log.ensureUsable()
+	return ot.CloneTree(t.root)
+}
+
+// NewTreeFromSnapshot builds a tree owning a deep copy of root.
+func NewTreeFromSnapshot(root *ot.TreeNode) *Tree {
+	if root == nil {
+		root = &ot.TreeNode{}
+	}
+	return &Tree{root: ot.CloneTree(root)}
+}
+
+// CloneValue implements Mergeable.
+func (t *Tree) CloneValue() Mergeable {
+	return &Tree{root: ot.CloneTree(t.root)}
+}
+
+// ApplyRemote implements Mergeable.
+func (t *Tree) ApplyRemote(ops []ot.Op) error {
+	for _, op := range ops {
+		root, err := ot.ApplyTree(t.root, op)
+		if err != nil {
+			return err
+		}
+		t.root = root
+	}
+	return nil
+}
+
+// AdoptFrom implements Mergeable.
+func (t *Tree) AdoptFrom(src Mergeable) error {
+	s, ok := src.(*Tree)
+	if !ok {
+		return adoptErr(t, src)
+	}
+	t.root = ot.CloneTree(s.root)
+	return nil
+}
+
+// Fingerprint implements Mergeable.
+func (t *Tree) Fingerprint() uint64 {
+	var sb strings.Builder
+	renderNode(&sb, t.root)
+	return FingerprintString(sb.String())
+}
+
+// String renders the tree as value(child child ...).
+func (t *Tree) String() string {
+	t.log.ensureUsable()
+	var sb strings.Builder
+	renderNode(&sb, t.root)
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, n *ot.TreeNode) {
+	fmt.Fprintf(sb, "%v", n.Value)
+	if len(n.Children) == 0 {
+		return
+	}
+	sb.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		renderNode(sb, c)
+	}
+	sb.WriteByte(')')
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import "testing"
+
+// TestChannelBaselineCompletes verifies the Go-idiomatic baseline
+// processes exactly the configured hops.
+func TestChannelBaselineCompletes(t *testing.T) {
+	for _, e := range BaselineEngines() {
+		cfg := testConfig(e.Routing, 0)
+		r := runWithDeadline(t, e.Name, cfg)
+		if r.Hops != cfg.TotalHops() {
+			t.Errorf("%s: hops = %d, want %d", e.Name, r.Hops, cfg.TotalHops())
+		}
+		if r.Engine != e.Name {
+			t.Errorf("engine name = %q", r.Engine)
+		}
+	}
+}
+
+// TestChannelBaselineMatchesMutexBaseline pins that the two conventional
+// substrates simulate the same network: identical traces for ring
+// routing, identical processed-message multisets for hash routing.
+func TestChannelBaselineMatchesMutexBaseline(t *testing.T) {
+	ring := testConfig(RouteRing, 0)
+	a := runWithDeadline(t, "conventional-det", ring)
+	b := runWithDeadline(t, "channels-det", ring)
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("ring traces differ between mutex (%x) and channel (%x) baselines", a.Fingerprint, b.Fingerprint)
+	}
+	hash := testConfig(RouteHash, 0)
+	c := runWithDeadline(t, "conventional-nondet", hash)
+	d := runWithDeadline(t, "channels-nondet", hash)
+	if c.TraceMultisetFingerprint() != d.TraceMultisetFingerprint() {
+		t.Errorf("hash-routing multisets differ between baselines")
+	}
+}
+
+// TestChannelDetDeterministic repeats the deterministic channel setup.
+func TestChannelDetDeterministic(t *testing.T) {
+	cfg := testConfig(RouteRing, 0)
+	want := runWithDeadline(t, "channels-det", cfg).Fingerprint
+	for i := 0; i < 4; i++ {
+		if got := runWithDeadline(t, "channels-det", cfg).Fingerprint; got != want {
+			t.Errorf("run %d: %x != %x", i, got, want)
+		}
+	}
+}

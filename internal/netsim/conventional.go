@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// lockedQueue is the conventional substrate: a mutex-protected FIFO with a
+// blocking read, the "thread with an incoming queue" of Section III.
+type lockedQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func newLockedQueue(initial []Message) *lockedQueue {
+	q := &lockedQueue{items: append([]Message(nil), initial...)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends m and wakes a blocked reader.
+func (q *lockedQueue) push(m Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a message is available or the queue is closed.
+func (q *lockedQueue) pop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Message{}, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+// close wakes every blocked reader permanently.
+func (q *lockedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// RunConventional executes the simulation with the conventional
+// implementation: one goroutine per host performing blocking reads on a
+// locked queue, exactly as the paper's baseline does with C++11 threads.
+// With cfg.Routing == RouteHash this is the paper's non-deterministic
+// setup (concurrent pushes race for queue positions); with RouteRing it is
+// the deterministic baseline.
+func RunConventional(cfg Config) Result {
+	queues := make([]*lockedQueue, cfg.Hosts)
+	for i, initial := range cfg.initialMessages() {
+		queues[i] = newLockedQueue(initial)
+	}
+	traces := make([][]uint64, cfg.Hosts)
+
+	var remaining atomic.Int64
+	remaining.Store(cfg.TotalHops())
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.Hosts; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := queues[id].pop()
+				if !ok {
+					return
+				}
+				digest := Work(m.Payload, cfg.Workload)
+				traces[id] = append(traces[id], digest)
+				if m.TTL > 1 {
+					queues[cfg.Routing.dest(id, digest, cfg.Hosts)].push(Message{Payload: digest, TTL: m.TTL - 1})
+				}
+				if remaining.Add(-1) == 0 {
+					for _, q := range queues {
+						q.close()
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	name := "conventional-nondet"
+	if cfg.Routing == RouteRing {
+		name = "conventional-det"
+	}
+	return Result{
+		Engine:      name,
+		Config:      cfg,
+		Hops:        cfg.TotalHops() - remaining.Load(),
+		Elapsed:     elapsed,
+		Fingerprint: fingerprintTraces(traces),
+		Traces:      traces,
+	}
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import "testing"
+
+// TestCOWEnginesComplete checks the copy-on-write ablation engines run the
+// full simulation.
+func TestCOWEnginesComplete(t *testing.T) {
+	for _, e := range AblationEngines() {
+		cfg := testConfig(e.Routing, 0)
+		r := runWithDeadline(t, e.Name, cfg)
+		if r.Hops != cfg.TotalHops() {
+			t.Errorf("%s: hops = %d, want %d", e.Name, r.Hops, cfg.TotalHops())
+		}
+		if r.Engine != e.Name {
+			t.Errorf("engine name = %q", r.Engine)
+		}
+	}
+}
+
+// TestCOWEnginesMatchDefaultEngines is the ablation's correctness oracle:
+// COW storage must not change the simulation's result in any way — the
+// per-host traces must be identical to the deep-copy engines', not merely
+// equivalent.
+func TestCOWEnginesMatchDefaultEngines(t *testing.T) {
+	pairs := [][2]string{
+		{"spawnmerge-nondet", "spawnmerge-nondet-cow"},
+		{"spawnmerge-det", "spawnmerge-det-cow"},
+	}
+	for _, pair := range pairs {
+		var cfg Config
+		if pair[0] == "spawnmerge-det" {
+			cfg = testConfig(RouteRing, 0)
+		} else {
+			cfg = testConfig(RouteHash, 0)
+		}
+		base := runWithDeadline(t, pair[0], cfg)
+		cow := runWithDeadline(t, pair[1], cfg)
+		if base.Fingerprint != cow.Fingerprint {
+			t.Errorf("%s (%x) and %s (%x) diverged — storage must not change semantics",
+				pair[0], base.Fingerprint, pair[1], cow.Fingerprint)
+		}
+	}
+}
+
+// TestCOWEnginesDeterministic repeats the COW engines and demands stable
+// fingerprints.
+func TestCOWEnginesDeterministic(t *testing.T) {
+	for _, e := range AblationEngines() {
+		cfg := testConfig(e.Routing, 0)
+		want := runWithDeadline(t, e.Name, cfg).Fingerprint
+		for i := 0; i < 3; i++ {
+			if got := runWithDeadline(t, e.Name, cfg).Fingerprint; got != want {
+				t.Errorf("%s: run %d fingerprint %x != %x", e.Name, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/task"
+)
+
+// TestHostFailureUnwindsCleanly injects a panic into one host mid-
+// simulation and verifies the runtime aborts the remaining hosts and
+// unwinds with an error instead of hanging — the failure path of a
+// long-running Spawn & Merge program.
+func TestHostFailureUnwindsCleanly(t *testing.T) {
+	cfg := testConfig(RouteRing, 0)
+	cfg.failAtHop = 10
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := RunSpawnMerge(cfg)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("injected failure should surface as an error")
+		}
+		var pe task.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want wrapped PanicError", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("simulation hung after injected host failure")
+	}
+}

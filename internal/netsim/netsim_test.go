@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// testConfig keeps the simulation small enough for quick, race-enabled
+// test runs while keeping all the structure of the paper's setup.
+func testConfig(routing Routing, workload int) Config {
+	return Config{Hosts: 4, Messages: 8, TTL: 6, Workload: workload, Routing: routing, Seed: 7}
+}
+
+func runWithDeadline(t *testing.T, name string, cfg Config) Result {
+	t.Helper()
+	type out struct {
+		r   Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		r, err := RunEngine(name, cfg)
+		ch <- out{r, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("%s: %v", name, o.err)
+		}
+		return o.r
+	case <-time.After(120 * time.Second):
+		t.Fatalf("%s: simulation hung", name)
+		return Result{}
+	}
+}
+
+func TestWorkDeterministicAndLoadSensitive(t *testing.T) {
+	a := Work(42, 0)
+	b := Work(42, 0)
+	if a != b {
+		t.Fatalf("Work is not deterministic: %x != %x", a, b)
+	}
+	if Work(42, 1) == a {
+		t.Fatalf("extra iterations should change the digest")
+	}
+	if Work(43, 0) == a {
+		t.Fatalf("different payloads should hash differently")
+	}
+}
+
+func TestInitialMessageDistribution(t *testing.T) {
+	cfg := testConfig(RouteHash, 0)
+	queues := cfg.initialMessages()
+	if len(queues) != cfg.Hosts {
+		t.Fatalf("queues = %d", len(queues))
+	}
+	total := 0
+	for _, q := range queues {
+		total += len(q)
+		for _, m := range q {
+			if m.TTL != cfg.TTL {
+				t.Fatalf("TTL = %d", m.TTL)
+			}
+		}
+	}
+	if total != cfg.Messages {
+		t.Fatalf("distributed %d messages, want %d", total, cfg.Messages)
+	}
+	// Round-robin: hosts differ by at most one message.
+	if len(queues[0])-len(queues[cfg.Hosts-1]) > 1 {
+		t.Fatalf("unbalanced distribution: %d vs %d", len(queues[0]), len(queues[cfg.Hosts-1]))
+	}
+}
+
+func TestRouting(t *testing.T) {
+	if RouteRing.dest(3, 12345, 4) != 0 {
+		t.Fatalf("ring dest wrong")
+	}
+	if RouteHash.dest(3, 13, 4) != 1 {
+		t.Fatalf("hash dest wrong")
+	}
+	if RouteRing.String() != "ring" || RouteHash.String() != "hash" {
+		t.Fatalf("routing names wrong")
+	}
+}
+
+// TestAllEnginesComplete verifies every engine processes exactly
+// Messages×TTL hops.
+func TestAllEnginesComplete(t *testing.T) {
+	for _, e := range Engines() {
+		cfg := testConfig(e.Routing, 0)
+		r := runWithDeadline(t, e.Name, cfg)
+		if r.Hops != cfg.TotalHops() {
+			t.Errorf("%s: hops = %d, want %d", e.Name, r.Hops, cfg.TotalHops())
+		}
+		if r.Engine != e.Name {
+			t.Errorf("engine name = %q, want %q", r.Engine, e.Name)
+		}
+		total := 0
+		for _, tr := range r.Traces {
+			total += len(tr)
+		}
+		if int64(total) != cfg.TotalHops() {
+			t.Errorf("%s: trace entries = %d, want %d", e.Name, total, cfg.TotalHops())
+		}
+	}
+}
+
+// TestDeterministicEnginesStable is the headline determinism check: every
+// engine that claims deterministic results must fingerprint identically
+// across repeated runs. This covers the paper's central claim that under
+// Spawn & Merge even the hash-routing simulation is deterministic.
+func TestDeterministicEnginesStable(t *testing.T) {
+	const runs = 5
+	for _, e := range Engines() {
+		if !e.DeterministicResults {
+			continue
+		}
+		cfg := testConfig(e.Routing, 0)
+		want := runWithDeadline(t, e.Name, cfg).Fingerprint
+		for i := 1; i < runs; i++ {
+			if got := runWithDeadline(t, e.Name, cfg).Fingerprint; got != want {
+				t.Errorf("%s: run %d fingerprint %x != %x", e.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCrossEngineTraceMultisets pins a strong cross-engine oracle: message
+// paths are content-determined, so the multiset of (host, digest)
+// processings must agree between the conventional and the Spawn & Merge
+// engines for the same routing — the engines simulate the same network.
+func TestCrossEngineTraceMultisets(t *testing.T) {
+	for _, routing := range []Routing{RouteHash, RouteRing} {
+		cfg := testConfig(routing, 0)
+		var names []string
+		if routing == RouteHash {
+			names = []string{"conventional-nondet", "spawnmerge-nondet"}
+		} else {
+			names = []string{"conventional-det", "spawnmerge-det"}
+		}
+		a := runWithDeadline(t, names[0], cfg)
+		b := runWithDeadline(t, names[1], cfg)
+		if a.TraceMultisetFingerprint() != b.TraceMultisetFingerprint() {
+			t.Errorf("routing %s: %s and %s disagree on the processed-message multiset",
+				routing, names[0], names[1])
+		}
+	}
+}
+
+// TestRingEnginesIdenticalTraces checks the stronger property for ring
+// routing: with a single producer per queue, even the per-host processing
+// order must match between substrates.
+func TestRingEnginesIdenticalTraces(t *testing.T) {
+	cfg := testConfig(RouteRing, 0)
+	conv := runWithDeadline(t, "conventional-det", cfg)
+	sm := runWithDeadline(t, "spawnmerge-det", cfg)
+	if conv.Fingerprint != sm.Fingerprint {
+		t.Errorf("ring traces differ between conventional (%x) and spawn-merge (%x)",
+			conv.Fingerprint, sm.Fingerprint)
+	}
+}
+
+// TestWorkloadChangesResultNotDeterminism sweeps l and confirms results
+// stay deterministic while the digests (and thus fingerprints) change.
+func TestWorkloadChangesResultNotDeterminism(t *testing.T) {
+	cfg0 := testConfig(RouteHash, 0)
+	cfg5 := testConfig(RouteHash, 5)
+	r0 := runWithDeadline(t, "spawnmerge-nondet", cfg0)
+	r5a := runWithDeadline(t, "spawnmerge-nondet", cfg5)
+	r5b := runWithDeadline(t, "spawnmerge-nondet", cfg5)
+	if r0.Fingerprint == r5a.Fingerprint {
+		t.Errorf("different workloads should produce different traces")
+	}
+	if r5a.Fingerprint != r5b.Fingerprint {
+		t.Errorf("workload 5 runs diverged: %x != %x", r5a.Fingerprint, r5b.Fingerprint)
+	}
+}
+
+// TestSeedChangesResult confirms the seed feeds through to the traces.
+func TestSeedChangesResult(t *testing.T) {
+	cfg := testConfig(RouteHash, 0)
+	a := runWithDeadline(t, "spawnmerge-nondet", cfg)
+	cfg.Seed = 99
+	b := runWithDeadline(t, "spawnmerge-nondet", cfg)
+	if a.Fingerprint == b.Fingerprint {
+		t.Errorf("different seeds should produce different traces")
+	}
+}
+
+// TestUnknownEngine covers the harness error path.
+func TestUnknownEngine(t *testing.T) {
+	if _, err := RunEngine("no-such-engine", DefaultConfig()); err == nil {
+		t.Fatal("unknown engine should error")
+	}
+}
+
+// TestDefaultConfigMatchesPaper pins the paper's evaluation parameters.
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Hosts != 20 || cfg.Messages != 100 || cfg.TTL != 100 {
+		t.Fatalf("default config %+v does not match the paper (20 hosts, 100 messages, TTL 100)", cfg)
+	}
+	if cfg.TotalHops() != 10000 {
+		t.Fatalf("total hops = %d, want 10000", cfg.TotalHops())
+	}
+}

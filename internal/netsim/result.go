@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// Result captures the outcome of one simulation run. Two runs of a
+// deterministic engine must produce identical Fingerprints; the elapsed
+// time feeds the Figure 3 measurements.
+type Result struct {
+	Engine      string
+	Config      Config
+	Hops        int64         // processed hops (always Config.TotalHops on success)
+	Elapsed     time.Duration // wall time of the simulation proper
+	Fingerprint uint64        // order-sensitive hash of every host's processing trace
+	Traces      [][]uint64    // per host: digests in processing order
+	// Rounds counts the MergeAll cycles a Spawn & Merge engine needed
+	// (zero for the conventional engines). The paper attributes the
+	// det-vs-nondet gap to hash routing clustering several messages on
+	// one host, "processed in consecutive simulation cycles" — visible
+	// here as a higher round count for the same hop count.
+	Rounds int64
+}
+
+// fingerprintTraces folds the per-host processing traces into one
+// order-sensitive hash. The trace — which messages a host processed, in
+// which order — is precisely where the conventional non-deterministic
+// implementation shows run-to-run variation.
+func fingerprintTraces(traces [][]uint64) uint64 {
+	fps := make([]uint64, 0, len(traces))
+	for id, tr := range traces {
+		s := fmt.Sprintf("host%d:", id)
+		for _, d := range tr {
+			s += fmt.Sprintf("%x,", d)
+		}
+		fps = append(fps, mergeable.FingerprintString(s))
+	}
+	return mergeable.CombineFingerprints(fps...)
+}
+
+// TraceMultisetFingerprint hashes the traces ignoring per-host processing
+// order. All four engines must agree on it for ring routing (same
+// messages traverse the same hosts), making it a strong cross-engine
+// oracle even where processing order legitimately differs.
+func (r Result) TraceMultisetFingerprint() uint64 {
+	fps := make([]uint64, 0, len(r.Traces))
+	for id, tr := range r.Traces {
+		var sum uint64
+		for _, d := range tr {
+			// Commutative fold per host: order-insensitive, host-sensitive.
+			sum += mergeable.FingerprintString(fmt.Sprintf("h%d/%x", id, d))
+		}
+		fps = append(fps, sum)
+	}
+	return mergeable.CombineFingerprints(fps...)
+}

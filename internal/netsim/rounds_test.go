@@ -1,0 +1,66 @@
+package netsim
+
+import "testing"
+
+// TestDetGapExplainedByRounds pins the paper's explanation for the
+// det-vs-nondet performance gap: hash routing clusters several messages
+// on one host, which then needs consecutive simulation cycles to drain
+// them — so the hash-routing simulation takes more MergeAll rounds than
+// the ring-routing one for the same number of hops.
+func TestDetGapExplainedByRounds(t *testing.T) {
+	cfgRing := testConfig(RouteRing, 0)
+	cfgHash := testConfig(RouteHash, 0)
+	ring := runWithDeadline(t, "spawnmerge-det", cfgRing)
+	hash := runWithDeadline(t, "spawnmerge-nondet", cfgHash)
+	if ring.Hops != hash.Hops {
+		t.Fatalf("hop counts differ: %d vs %d", ring.Hops, hash.Hops)
+	}
+	if ring.Rounds == 0 || hash.Rounds == 0 {
+		t.Fatalf("rounds not counted: ring=%d hash=%d", ring.Rounds, hash.Rounds)
+	}
+	if hash.Rounds < ring.Rounds {
+		t.Errorf("hash routing should need at least as many rounds as ring (clustering): ring=%d hash=%d",
+			ring.Rounds, hash.Rounds)
+	}
+	// Ring routing drains perfectly: every host processes one message per
+	// round, so rounds == hops per host (messages/hosts * TTL) plus the
+	// startup round in which the hosts' first Sync delivers nothing
+	// (Listing 4 syncs at the top of the loop).
+	perfect := cfgRing.TotalHops()/int64(cfgRing.Hosts) + 1
+	if ring.Rounds != perfect {
+		t.Errorf("ring rounds = %d, want the perfect pipeline %d", ring.Rounds, perfect)
+	}
+	// The conventional engines report no rounds.
+	conv := runWithDeadline(t, "conventional-det", cfgRing)
+	if conv.Rounds != 0 {
+		t.Errorf("conventional engine should not report rounds, got %d", conv.Rounds)
+	}
+}
+
+// TestHotspotDistribution pins the clustering stress case: all messages
+// starting on one host force far more simulation cycles for the same hop
+// count, and the result still satisfies the hash-chain model.
+func TestHotspotDistribution(t *testing.T) {
+	base := testConfig(RouteRing, 0)
+	hot := base
+	hot.Hotspot = true
+
+	spread := runWithDeadline(t, "spawnmerge-det", base)
+	clustered := runWithDeadline(t, "spawnmerge-det", hot)
+	if clustered.Hops != spread.Hops {
+		t.Fatalf("hop counts differ: %d vs %d", clustered.Hops, spread.Hops)
+	}
+	if clustered.Rounds <= spread.Rounds {
+		t.Errorf("hotspot should need more rounds: %d vs %d", clustered.Rounds, spread.Rounds)
+	}
+	hotCfg := hot
+	hotCfg.Routing = RouteRing
+	if err := VerifyTraceChains(clustered, hotCfg); err != nil {
+		t.Errorf("hotspot result fails verification: %v", err)
+	}
+	// Determinism holds for the hotspot too.
+	again := runWithDeadline(t, "spawnmerge-det", hot)
+	if again.Fingerprint != clustered.Fingerprint {
+		t.Errorf("hotspot run not deterministic")
+	}
+}

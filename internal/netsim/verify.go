@@ -1,0 +1,53 @@
+package netsim
+
+import "fmt"
+
+// VerifyTraceChains checks a simulation result against the abstract model
+// of the workload, independent of any engine: every message's payload
+// evolves as a SHA-1 hash chain, and routing is a pure function of the
+// digests, so each initial message determines the exact sequence of
+// (host, digest) processings it must have caused. The verifier recomputes
+// every message's chain, consumes the matching entries from the per-host
+// trace multisets, and requires that exactly the whole trace is consumed.
+//
+// Passing this check means the engine processed every message exactly
+// TTL times, at the right hosts, with the right payload evolution — a
+// far stronger oracle than comparing hop counts.
+func VerifyTraceChains(r Result, cfg Config) error {
+	if len(r.Traces) != cfg.Hosts {
+		return fmt.Errorf("netsim: verify: %d traces for %d hosts", len(r.Traces), cfg.Hosts)
+	}
+	// Per-host multiset of trace digests.
+	remaining := make([]map[uint64]int, cfg.Hosts)
+	total := 0
+	for h, tr := range r.Traces {
+		remaining[h] = make(map[uint64]int, len(tr))
+		for _, d := range tr {
+			remaining[h][d]++
+			total++
+		}
+	}
+
+	for i := 0; i < cfg.Messages; i++ {
+		payload := splitmix64(cfg.Seed + uint64(i))
+		host := i % cfg.Hosts
+		if cfg.Hotspot {
+			host = 0
+		}
+		for hop := 1; hop <= cfg.TTL; hop++ {
+			digest := Work(payload, cfg.Workload)
+			if remaining[host][digest] == 0 {
+				return fmt.Errorf("netsim: verify: message %d hop %d: digest %x missing from host %d's trace",
+					i, hop, digest, host)
+			}
+			remaining[host][digest]--
+			total--
+			host = cfg.Routing.dest(host, digest, cfg.Hosts)
+			payload = digest
+		}
+	}
+	if total != 0 {
+		return fmt.Errorf("netsim: verify: %d unexplained trace entries remain", total)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package ot
+
+// Compaction merges adjacent, sequentially composed operations into
+// single equivalent operations before they are transformed and shipped
+// upward at merge time. The transformation control algorithm is quadratic
+// in the number of operations on each side, so collapsing runs — a queue
+// drained with 100 pops is 100 del(0,1) ops but one del(0,100) — directly
+// cuts merge cost and history growth. Compaction is applied to a task's
+// outgoing contribution only; committed history positions never move, so
+// the version bookkeeping (bases, floors) is unaffected.
+//
+// Soundness: compact(a·b) must have the same effect as a·b both when
+// applied directly and after transformation against any concurrent
+// sequence. The rules below only merge pairs whose composition is exactly
+// expressible as one operation of the same family; the property test
+// TestCompactTransformEquivalence checks effect-equality under random
+// concurrent histories.
+
+// CompactSeq rewrites ops (a sequentially composed operation list from
+// one structure's log) into an equivalent, usually shorter list.
+// Operations it does not understand pass through unchanged.
+func CompactSeq(ops []Op) []Op {
+	if len(ops) < 2 {
+		return ops
+	}
+	out := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if len(out) > 0 {
+			if merged, ok := tryMergeAdjacent(out[len(out)-1], op); ok {
+				if merged == nil {
+					out = out[:len(out)-1] // the pair cancelled out
+				} else {
+					out[len(out)-1] = merged
+				}
+				continue
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// tryMergeAdjacent merges two sequentially adjacent operations when their
+// composition is one operation. A nil, true result means the pair is a
+// no-op.
+func tryMergeAdjacent(a, b Op) (Op, bool) {
+	switch x := a.(type) {
+	case SeqInsert:
+		if y, ok := b.(SeqInsert); ok {
+			// Insert into (or adjacent to) the span just inserted: splice.
+			if y.Pos >= x.Pos && y.Pos <= x.Pos+len(x.Elems) {
+				elems := make([]any, 0, len(x.Elems)+len(y.Elems))
+				k := y.Pos - x.Pos
+				elems = append(elems, x.Elems[:k]...)
+				elems = append(elems, y.Elems...)
+				elems = append(elems, x.Elems[k:]...)
+				return SeqInsert{Pos: x.Pos, Elems: elems}, true
+			}
+		}
+	case SeqDelete:
+		if y, ok := b.(SeqDelete); ok && y.Pos == x.Pos {
+			// Deleting again at the same position extends the range.
+			return SeqDelete{Pos: x.Pos, N: x.N + y.N}, true
+		}
+	case TextInsert:
+		if y, ok := b.(TextInsert); ok {
+			xr := []rune(x.Text)
+			if y.Pos >= x.Pos && y.Pos <= x.Pos+len(xr) {
+				k := y.Pos - x.Pos
+				return TextInsert{Pos: x.Pos, Text: string(xr[:k]) + y.Text + string(xr[k:])}, true
+			}
+		}
+	case TextDelete:
+		if y, ok := b.(TextDelete); ok && y.Pos == x.Pos {
+			return TextDelete{Pos: x.Pos, N: x.N + y.N}, true
+		}
+	case CounterAdd:
+		if y, ok := b.(CounterAdd); ok {
+			if x.Delta+y.Delta == 0 {
+				return nil, true
+			}
+			return CounterAdd{Delta: x.Delta + y.Delta}, true
+		}
+	case RegisterSet:
+		if y, ok := b.(RegisterSet); ok {
+			return y, true // last assignment wins
+		}
+	case MapSet:
+		if y, ok := b.(MapSet); ok && y.Key == x.Key {
+			return y, true
+		}
+		if y, ok := b.(MapDelete); ok && y.Key == x.Key {
+			return y, true // set then delete = delete
+		}
+	case MapDelete:
+		// delete-then-set must NOT compact to the set alone: the delete
+		// absorbs a concurrent server delete during transformation,
+		// shielding the re-set; dropping it changes the merge result.
+		if y, ok := b.(MapDelete); ok && y.Key == x.Key {
+			return y, true // idempotent
+		}
+	case SetAdd:
+		if y, ok := b.(SetRemove); ok && y.Elem == x.Elem {
+			return y, true // add then remove = remove
+		}
+		if y, ok := b.(SetAdd); ok && y.Elem == x.Elem {
+			return y, true
+		}
+	case SetRemove:
+		// remove-then-add must NOT compact (same shielding effect as the
+		// map case above).
+		if y, ok := b.(SetRemove); ok && y.Elem == x.Elem {
+			return y, true
+		}
+	}
+	return nil, false
+}

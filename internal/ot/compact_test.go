@@ -1,0 +1,197 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactSeqBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Op
+		want []Op
+	}{
+		{"empty", nil, nil},
+		{"single", []Op{SeqDelete{Pos: 0, N: 1}}, []Op{SeqDelete{Pos: 0, N: 1}}},
+		{"queue-pops", []Op{SeqDelete{Pos: 0, N: 1}, SeqDelete{Pos: 0, N: 1}, SeqDelete{Pos: 0, N: 1}},
+			[]Op{SeqDelete{Pos: 0, N: 3}}},
+		{"appends", []Op{SeqInsert{Pos: 2, Elems: list(1)}, SeqInsert{Pos: 3, Elems: list(2)}},
+			[]Op{SeqInsert{Pos: 2, Elems: list(1, 2)}}},
+		{"insert-splice", []Op{SeqInsert{Pos: 2, Elems: list(1, 3)}, SeqInsert{Pos: 3, Elems: list(2)}},
+			[]Op{SeqInsert{Pos: 2, Elems: list(1, 2, 3)}}},
+		{"separate-inserts", []Op{SeqInsert{Pos: 0, Elems: list(1)}, SeqInsert{Pos: 5, Elems: list(2)}},
+			[]Op{SeqInsert{Pos: 0, Elems: list(1)}, SeqInsert{Pos: 5, Elems: list(2)}}},
+		{"counter-sum", []Op{CounterAdd{Delta: 2}, CounterAdd{Delta: 3}}, []Op{CounterAdd{Delta: 5}}},
+		{"counter-cancel", []Op{CounterAdd{Delta: 2}, CounterAdd{Delta: -2}}, nil},
+		{"register-last", []Op{RegisterSet{Value: 1}, RegisterSet{Value: 2}}, []Op{RegisterSet{Value: 2}}},
+		{"map-set-set", []Op{MapSet{Key: "k", Value: 1}, MapSet{Key: "k", Value: 2}}, []Op{MapSet{Key: "k", Value: 2}}},
+		{"map-set-del", []Op{MapSet{Key: "k", Value: 1}, MapDelete{Key: "k"}}, []Op{MapDelete{Key: "k"}}},
+		{"map-del-set-kept", []Op{MapDelete{Key: "k"}, MapSet{Key: "k", Value: 2}},
+			[]Op{MapDelete{Key: "k"}, MapSet{Key: "k", Value: 2}}}, // unsound to compact: see tryMergeAdjacent
+		{"set-rem-add-kept", []Op{SetRemove{Elem: "x"}, SetAdd{Elem: "x"}},
+			[]Op{SetRemove{Elem: "x"}, SetAdd{Elem: "x"}}},
+		{"map-other-key", []Op{MapSet{Key: "k", Value: 1}, MapSet{Key: "j", Value: 2}},
+			[]Op{MapSet{Key: "k", Value: 1}, MapSet{Key: "j", Value: 2}}},
+		{"set-add-remove", []Op{SetAdd{Elem: "x"}, SetRemove{Elem: "x"}}, []Op{SetRemove{Elem: "x"}}},
+		{"text-append", []Op{TextInsert{Pos: 0, Text: "ab"}, TextInsert{Pos: 2, Text: "cd"}},
+			[]Op{TextInsert{Pos: 0, Text: "abcd"}}},
+		{"text-del-run", []Op{TextDelete{Pos: 1, N: 2}, TextDelete{Pos: 1, N: 1}}, []Op{TextDelete{Pos: 1, N: 3}}},
+	}
+	for _, c := range cases {
+		got := CompactSeq(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: CompactSeq(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestCompactEffectEquivalence checks that a compacted sequence applied
+// directly produces the same state as the original.
+func TestCompactEffectEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r)
+		cur := append([]any(nil), s...)
+		var ops []Op
+		for i := 0; i < r.Intn(8); i++ {
+			op := randomSeqOp(r, len(cur))
+			next, err := ApplySeq(cur, op)
+			if err != nil {
+				break
+			}
+			cur = next
+			ops = append(ops, op)
+		}
+		compacted := CompactSeq(ops)
+		direct, err := applyAll(s, compacted)
+		if err != nil {
+			t.Logf("seed %d: compacted apply failed: %v (ops %v -> %v)", seed, err, ops, compacted)
+			return false
+		}
+		if !reflect.DeepEqual(direct, cur) {
+			t.Logf("seed %d: ops %v -> %v: %v != %v", seed, ops, compacted, direct, cur)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactTransformEquivalence is the critical soundness property for
+// using compaction at merge time: transforming the compacted sequence
+// against a concurrent server history must produce the same final state
+// as transforming the original sequence.
+func TestCompactTransformEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r)
+
+		genSeq := func() []Op {
+			cur := append([]any(nil), s...)
+			var ops []Op
+			for i := 0; i < r.Intn(6); i++ {
+				op := randomSeqOp(r, len(cur))
+				next, err := ApplySeq(cur, op)
+				if err != nil {
+					break
+				}
+				cur = next
+				ops = append(ops, op)
+			}
+			return ops
+		}
+		client := genSeq()
+		server := genSeq()
+
+		base, err := applyAll(s, server)
+		if err != nil {
+			return true // skip degenerate server
+		}
+		plain, err := applyAll(base, TransformAgainst(client, server))
+		if err != nil {
+			t.Logf("seed %d: plain transform apply failed: %v", seed, err)
+			return false
+		}
+		compacted, err := applyAll(base, TransformAgainst(CompactSeq(client), server))
+		if err != nil {
+			t.Logf("seed %d: compacted transform apply failed: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(plain, compacted) {
+			t.Logf("seed %d: S=%v client=%v (compact %v) server=%v: %v != %v",
+				seed, s, client, CompactSeq(client), server, plain, compacted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactScalarTransformEquivalence repeats the soundness property
+// for the scalar families.
+func TestCompactScalarTransformEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func(n int) []Op {
+			var ops []Op
+			for i := 0; i < n; i++ {
+				ops = append(ops, randomScalarOp(r))
+			}
+			return ops
+		}
+		// Single family per side, as the runtime guarantees.
+		pick := r.Intn(4)
+		filter := func(ops []Op) []Op {
+			var out []Op
+			for _, op := range ops {
+				switch op.Kind() {
+				case KindCounterAdd:
+					if pick == 0 {
+						out = append(out, op)
+					}
+				case KindMapSet, KindMapDelete:
+					if pick == 1 {
+						out = append(out, op)
+					}
+				case KindSetAdd, KindSetRemove:
+					if pick == 2 {
+						out = append(out, op)
+					}
+				case KindRegisterSet:
+					if pick == 3 {
+						out = append(out, op)
+					}
+				}
+			}
+			return out
+		}
+		client := filter(gen(8))
+		server := filter(gen(8))
+
+		base := newScalarModel()
+		base.apply(MapSet{Key: "k1", Value: 0}, SetAdd{Elem: "k1"}, RegisterSet{Value: -1})
+		base.apply(server...)
+
+		plain := base.clone()
+		plain.apply(TransformAgainst(client, server)...)
+		comp := base.clone()
+		comp.apply(TransformAgainst(CompactSeq(client), server)...)
+		if !plain.equal(comp) {
+			t.Logf("seed %d: client=%v server=%v: %+v != %+v", seed, client, server, plain, comp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformSeqsEmpty(t *testing.T) {
+	a := []Op{SeqInsert{Pos: 0, Elems: list(1)}}
+	aT, bT := TransformSeqs(a, nil)
+	if !reflect.DeepEqual(aT, a) || len(bT) != 0 {
+		t.Fatalf("transform against empty changed ops: %v %v", aT, bT)
+	}
+	aT, bT = TransformSeqs(nil, a)
+	if len(aT) != 0 || !reflect.DeepEqual(bT, a) {
+		t.Fatalf("transform of empty changed ops: %v %v", aT, bT)
+	}
+}
+
+// TestMergeOrderMatters verifies the paper's observation that in general
+// merge(x, y) != merge(y, x): the merge order decides conflicting writes.
+func TestMergeOrderMatters(t *testing.T) {
+	base := list("v")
+	x := []Op{SeqSet{Pos: 0, Elem: "x"}}
+	y := []Op{SeqSet{Pos: 0, Elem: "y"}}
+
+	// merge(x, y): x first (priority), then y transformed against x.
+	yT := TransformAgainst(y, x)
+	mergeXY, err := applyAll(base, append(append([]Op{}, x...), yT...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// merge(y, x): y first (priority), then x transformed against y.
+	xT := TransformAgainst(x, y)
+	mergeYX, err := applyAll(base, append(append([]Op{}, y...), xT...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(mergeXY, mergeYX) {
+		t.Fatalf("merge order should matter for conflicting writes, both = %v", mergeXY)
+	}
+	if mergeXY[0] != "x" || mergeYX[0] != "y" {
+		t.Fatalf("the earlier-merged side should win: %v / %v", mergeXY, mergeYX)
+	}
+}
+
+// TestThreeWayMergeLinearHistory simulates the runtime's actual shape: a
+// parent history grows linearly while several children are transformed
+// against the suffix they have not seen. All interleavings must converge.
+func TestThreeWayMergeLinearHistory(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomState(r)
+
+		// Three children derive ops from the same base.
+		children := make([][]Op, 3)
+		for i := range children {
+			cur := append([]any(nil), base...)
+			k := r.Intn(4)
+			for j := 0; j < k; j++ {
+				op := randomSeqOp(r, len(cur))
+				next, err := ApplySeq(cur, op)
+				if err != nil {
+					break
+				}
+				cur = next
+				children[i] = append(children[i], op)
+			}
+		}
+
+		// Merge them in order 0,1,2 against a growing committed history.
+		var history []Op
+		state := append([]any(nil), base...)
+		for _, ops := range children {
+			transformed := TransformAgainst(ops, history)
+			var err error
+			for _, op := range transformed {
+				state, err = ApplySeq(state, op)
+				if err != nil {
+					t.Logf("seed %d: apply failed: %v", seed, err)
+					return false
+				}
+			}
+			history = append(history, transformed...)
+		}
+
+		// Replaying the committed history from base must give the same state.
+		replay, err := applyAll(base, history)
+		if err != nil {
+			t.Logf("seed %d: replay failed: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(replay, state) {
+			t.Logf("seed %d: replay=%v state=%v", seed, replay, state)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformAgainstDeterministic(t *testing.T) {
+	client := []Op{SeqInsert{Pos: 1, Elems: list("c")}, SeqDelete{Pos: 0, N: 1}}
+	server := []Op{SeqDelete{Pos: 1, N: 2}, SeqInsert{Pos: 0, Elems: list("s")}}
+	first := TransformAgainst(client, server)
+	for i := 0; i < 50; i++ {
+		if got := TransformAgainst(client, server); !reflect.DeepEqual(got, first) {
+			t.Fatalf("TransformAgainst is not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestConcatOps(t *testing.T) {
+	a := []Op{SeqDelete{Pos: 0, N: 1}}
+	b := []Op{SeqDelete{Pos: 1, N: 1}}
+	if got := concatOps(nil, b); !reflect.DeepEqual(got, b) {
+		t.Fatalf("concat(nil,b) = %v", got)
+	}
+	if got := concatOps(a, nil); !reflect.DeepEqual(got, a) {
+		t.Fatalf("concat(a,nil) = %v", got)
+	}
+	if got := concatOps(a, b); len(got) != 2 {
+		t.Fatalf("concat(a,b) = %v", got)
+	}
+}

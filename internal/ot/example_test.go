@@ -1,0 +1,44 @@
+package ot_test
+
+import (
+	"fmt"
+
+	"repro/internal/ot"
+)
+
+// Figure 2 of the paper: transforming del(2) against a concurrent
+// ins(0,d) shifts the deletion to index 3, and both application orders
+// converge.
+func ExampleTransformPair() {
+	opA := ot.SeqDelete{Pos: 2, N: 1}
+	opB := ot.SeqInsert{Pos: 0, Elems: []any{"d"}}
+
+	aT, bT := ot.TransformPair(opA, opB)
+	fmt.Println(aT[0], bT[0])
+
+	base := []any{"a", "b", "c"}
+	siteA, _ := ot.ApplySeq(base, opA)
+	for _, op := range bT {
+		siteA, _ = ot.ApplySeq(siteA, op)
+	}
+	siteB, _ := ot.ApplySeq(base, opB)
+	for _, op := range aT {
+		siteB, _ = ot.ApplySeq(siteB, op)
+	}
+	fmt.Println(siteA, siteB)
+	// Output:
+	// del(3) ins(0,d)
+	// [d a b] [d a b]
+}
+
+// CompactSeq collapses a drained queue's pops into one ranged deletion
+// before the quadratic transform runs.
+func ExampleCompactSeq() {
+	pops := []ot.Op{
+		ot.SeqDelete{Pos: 0, N: 1},
+		ot.SeqDelete{Pos: 0, N: 1},
+		ot.SeqDelete{Pos: 0, N: 1},
+	}
+	fmt.Println(ot.CompactSeq(pops))
+	// Output: [del(0,n=3)]
+}

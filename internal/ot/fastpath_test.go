@@ -1,0 +1,119 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestScalarFastPathMatchesGeneric pins the keyed O(n+m) scalar transform
+// against the general recursion: identical effects on identical states,
+// for random single-family sequences (the runtime's shape).
+func TestScalarFastPathMatchesGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pick := r.Intn(4)
+		gen := func(n int) []Op {
+			var ops []Op
+			for len(ops) < n {
+				op := randomScalarOp(r)
+				keep := false
+				switch op.Kind() {
+				case KindCounterAdd:
+					keep = pick == 0
+				case KindMapSet, KindMapDelete:
+					keep = pick == 1
+				case KindSetAdd, KindSetRemove:
+					keep = pick == 2
+				case KindRegisterSet:
+					keep = pick == 3
+				}
+				if keep {
+					ops = append(ops, op)
+				}
+			}
+			return ops
+		}
+		client := gen(r.Intn(8))
+		server := gen(r.Intn(8))
+
+		fast, ok := transformScalarFast(client, server)
+		if !ok {
+			t.Logf("seed %d: fast path refused scalar input", seed)
+			return false
+		}
+		slow, _ := TransformSeqs(client, server)
+
+		base := newScalarModel()
+		base.apply(MapSet{Key: "k1", Value: 0}, SetAdd{Elem: "k1"}, RegisterSet{Value: -1})
+		base.apply(server...)
+		a := base.clone()
+		a.apply(fast...)
+		b := base.clone()
+		b.apply(slow...)
+		if !a.equal(b) {
+			t.Logf("seed %d: client=%v server=%v fast=%v slow=%v", seed, client, server, fast, slow)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalarFastPathFallsBack confirms positional and mixed inputs refuse
+// the fast path.
+func TestScalarFastPathFallsBack(t *testing.T) {
+	seqOp := []Op{SeqInsert{Pos: 0, Elems: list(1)}}
+	scalarOp := []Op{CounterAdd{Delta: 1}}
+	if _, ok := transformScalarFast(seqOp, scalarOp); ok {
+		t.Fatal("positional client must fall back")
+	}
+	if _, ok := transformScalarFast(scalarOp, seqOp); ok {
+		t.Fatal("positional server must fall back")
+	}
+	treeOp := []Op{TreeSet{Path: nil, Value: 1}}
+	if _, ok := transformScalarFast(treeOp, scalarOp); ok {
+		t.Fatal("tree client must fall back")
+	}
+	// Empty sides short-circuit successfully.
+	if out, ok := transformScalarFast(nil, scalarOp); !ok || len(out) != 0 {
+		t.Fatal("empty client should pass through")
+	}
+}
+
+// TestScalarFastPathAbsorption pins each absorption rule explicitly.
+func TestScalarFastPathAbsorption(t *testing.T) {
+	cases := []struct {
+		client, server Op
+		survives       bool
+	}{
+		{MapSet{Key: "k", Value: 1}, MapSet{Key: "k", Value: 2}, false},
+		{MapSet{Key: "k", Value: 1}, MapDelete{Key: "k"}, false},
+		{MapSet{Key: "k", Value: 1}, MapSet{Key: "j", Value: 2}, true},
+		{MapDelete{Key: "k"}, MapSet{Key: "k", Value: 2}, false},
+		{MapDelete{Key: "k"}, MapDelete{Key: "k"}, true}, // idempotent keep
+		{SetAdd{Elem: "x"}, SetRemove{Elem: "x"}, false},
+		{SetAdd{Elem: "x"}, SetAdd{Elem: "x"}, true},
+		{SetRemove{Elem: "x"}, SetAdd{Elem: "x"}, false},
+		{SetRemove{Elem: "x"}, SetRemove{Elem: "x"}, true},
+		{RegisterSet{Value: 1}, RegisterSet{Value: 2}, false},
+		{CounterAdd{Delta: 1}, CounterAdd{Delta: 2}, true},
+	}
+	for _, c := range cases {
+		out, ok := transformScalarFast([]Op{c.client}, []Op{c.server})
+		if !ok {
+			t.Fatalf("%v vs %v: fast path refused", c.client, c.server)
+		}
+		if got := len(out) == 1; got != c.survives {
+			t.Errorf("%v vs %v: survives=%v, want %v", c.client, c.server, got, c.survives)
+		}
+		// And it must agree with the generic path (normalize nil/empty).
+		slow, _ := TransformSeqs([]Op{c.client}, []Op{c.server})
+		if !reflect.DeepEqual(append([]Op{}, out...), append([]Op{}, slow...)) {
+			t.Errorf("%v vs %v: fast %v != slow %v", c.client, c.server, out, slow)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// These tests replicate the runtime's exact merge shape — several children
+// transformed in order against a growing linear history — for every
+// operation algebra beyond sequences (which control_test.go covers).
+// The invariant under test: replaying the committed history from the base
+// state must reproduce the state produced by incremental merging.
+
+func TestLinearHistoryText(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alphabet := []rune("abcdefgh")
+		n := r.Intn(8)
+		base := make([]rune, n)
+		for i := range base {
+			base[i] = alphabet[r.Intn(len(alphabet))]
+		}
+
+		children := make([][]Op, 3)
+		for i := range children {
+			cur := append([]rune(nil), base...)
+			for j := 0; j < r.Intn(4); j++ {
+				op := randomTextOp(r, len(cur))
+				next, err := ApplyText(cur, op)
+				if err != nil {
+					break
+				}
+				cur = next
+				children[i] = append(children[i], op)
+			}
+		}
+
+		var history []Op
+		state := append([]rune(nil), base...)
+		for _, ops := range children {
+			transformed := TransformAgainst(ops, history)
+			for _, op := range transformed {
+				next, err := ApplyText(state, op)
+				if err != nil {
+					t.Logf("seed %d: apply failed: %v", seed, err)
+					return false
+				}
+				state = next
+			}
+			history = append(history, transformed...)
+		}
+
+		replay := append([]rune(nil), base...)
+		for _, op := range history {
+			next, err := ApplyText(replay, op)
+			if err != nil {
+				t.Logf("seed %d: replay failed: %v", seed, err)
+				return false
+			}
+			replay = next
+		}
+		if string(replay) != string(state) {
+			t.Logf("seed %d: replay %q != state %q", seed, string(replay), string(state))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearHistoryScalars(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := newScalarModel()
+		base.apply(MapSet{Key: "k1", Value: 1}, SetAdd{Elem: "k2"}, RegisterSet{Value: 0}, CounterAdd{Delta: 5})
+
+		// Children produce ops of one family each so transforms are legal;
+		// the runtime guarantees this (one log per structure).
+		families := [][]func() Op{
+			{func() Op { return CounterAdd{Delta: int64(r.Intn(9) - 4)} }},
+			{func() Op { return MapSet{Key: "k1", Value: r.Intn(50)} },
+				func() Op { return MapDelete{Key: "k1"} },
+				func() Op { return MapSet{Key: "k2", Value: r.Intn(50)} }},
+			{func() Op { return SetAdd{Elem: "k1"} },
+				func() Op { return SetRemove{Elem: "k2"} }},
+			{func() Op { return RegisterSet{Value: r.Intn(50)} }},
+		}
+		family := families[r.Intn(len(families))]
+
+		children := make([][]Op, 3)
+		for i := range children {
+			for j := 0; j < r.Intn(4); j++ {
+				children[i] = append(children[i], family[r.Intn(len(family))]())
+			}
+		}
+
+		var history []Op
+		state := base.clone()
+		for _, ops := range children {
+			transformed := TransformAgainst(ops, history)
+			state.apply(transformed...)
+			history = append(history, transformed...)
+		}
+		replay := base.clone()
+		replay.apply(history...)
+		if !replay.equal(state) {
+			t.Logf("seed %d: replay %+v != state %+v (history %v)", seed, replay, state, history)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearHistoryTree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomTree(r, 2)
+
+		children := make([][]Op, 3)
+		for i := range children {
+			cur := CloneTree(base)
+			for j := 0; j < r.Intn(3); j++ {
+				op := randomTreeOp(r, cur)
+				next, err := ApplyTree(cur, op)
+				if err != nil {
+					break
+				}
+				cur = next
+				children[i] = append(children[i], op)
+			}
+		}
+
+		var history []Op
+		state := CloneTree(base)
+		for _, ops := range children {
+			transformed := TransformAgainst(ops, history)
+			for _, op := range transformed {
+				next, err := ApplyTree(state, op)
+				if err != nil {
+					t.Logf("seed %d: apply %v failed: %v", seed, op, err)
+					return false
+				}
+				state = next
+			}
+			history = append(history, transformed...)
+		}
+		replay := CloneTree(base)
+		for _, op := range history {
+			next, err := ApplyTree(replay, op)
+			if err != nil {
+				t.Logf("seed %d: replay %v failed: %v", seed, op, err)
+				return false
+			}
+			replay = next
+		}
+		if !reflect.DeepEqual(renderForTest(replay), renderForTest(state)) {
+			t.Logf("seed %d: replay %s != state %s", seed, renderForTest(replay), renderForTest(state))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func renderForTest(n *TreeNode) string {
+	if n == nil {
+		return "·"
+	}
+	s := ""
+	var walk func(*TreeNode)
+	walk = func(x *TreeNode) {
+		s += "("
+		s += stringify(x.Value)
+		for _, c := range x.Children {
+			walk(c)
+		}
+		s += ")"
+	}
+	walk(n)
+	return s
+}
+
+func stringify(v any) string {
+	switch x := v.(type) {
+	case int:
+		return string(rune('0' + x%10))
+	default:
+		return "?"
+	}
+}

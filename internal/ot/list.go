@@ -1,0 +1,154 @@
+package ot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SeqInsert inserts Elems before position Pos of a sequence (list or queue).
+// Inserting at Pos == len appends.
+type SeqInsert struct {
+	Pos   int
+	Elems []any
+}
+
+// SeqDelete removes N consecutive elements starting at position Pos.
+type SeqDelete struct {
+	Pos int
+	N   int
+}
+
+// SeqSet overwrites the element at position Pos with Elem.
+type SeqSet struct {
+	Pos  int
+	Elem any
+}
+
+// Kind implements Op.
+func (o SeqInsert) Kind() Kind { return KindSeqInsert }
+
+// Kind implements Op.
+func (o SeqDelete) Kind() Kind { return KindSeqDelete }
+
+// Kind implements Op.
+func (o SeqSet) Kind() Kind { return KindSeqSet }
+
+func (o SeqInsert) String() string {
+	parts := make([]string, len(o.Elems))
+	for i, e := range o.Elems {
+		parts[i] = fmt.Sprintf("%v", e)
+	}
+	return fmt.Sprintf("ins(%d,%s)", o.Pos, strings.Join(parts, ","))
+}
+
+func (o SeqDelete) String() string {
+	if o.N == 1 {
+		return fmt.Sprintf("del(%d)", o.Pos)
+	}
+	return fmt.Sprintf("del(%d,n=%d)", o.Pos, o.N)
+}
+
+func (o SeqSet) String() string { return fmt.Sprintf("set(%d,%v)", o.Pos, o.Elem) }
+
+// shape reduces a sequence op to its skeleton for the shared transform.
+func seqShapeOf(o Op) (seqShape, bool) {
+	switch v := o.(type) {
+	case SeqInsert:
+		return ins(v.Pos, len(v.Elems)), true
+	case SeqDelete:
+		return del(v.Pos, v.N), true
+	case SeqSet:
+		return set(v.Pos), true
+	}
+	return seqShape{}, false
+}
+
+// rebuild materializes transformed shapes back into concrete list ops,
+// carrying the original payload where one exists. Only deletions ever split,
+// so inserts and sets map onto at most one shape.
+func (o SeqInsert) rebuild(r seqResult) []Op {
+	ops := make([]Op, 0, len(r.shapes))
+	for _, s := range r.shapes {
+		ops = append(ops, SeqInsert{Pos: s.pos, Elems: o.Elems})
+	}
+	return ops
+}
+
+func (o SeqDelete) rebuild(r seqResult) []Op {
+	ops := make([]Op, 0, len(r.shapes))
+	for _, s := range r.shapes {
+		ops = append(ops, SeqDelete{Pos: s.pos, N: s.n})
+	}
+	return ops
+}
+
+func (o SeqSet) rebuild(r seqResult) []Op {
+	ops := make([]Op, 0, len(r.shapes))
+	for _, s := range r.shapes {
+		ops = append(ops, SeqSet{Pos: s.pos, Elem: o.Elem})
+	}
+	return ops
+}
+
+// Transform implements Op.
+func (o SeqInsert) Transform(other Op, otherPriority bool) []Op {
+	b, ok := seqShapeOf(other)
+	if !ok {
+		mismatch(o, other)
+	}
+	a, _ := seqShapeOf(o)
+	return o.rebuild(transformSeqShape(a, b, otherPriority))
+}
+
+// Transform implements Op.
+func (o SeqDelete) Transform(other Op, otherPriority bool) []Op {
+	b, ok := seqShapeOf(other)
+	if !ok {
+		mismatch(o, other)
+	}
+	a, _ := seqShapeOf(o)
+	return o.rebuild(transformSeqShape(a, b, otherPriority))
+}
+
+// Transform implements Op.
+func (o SeqSet) Transform(other Op, otherPriority bool) []Op {
+	b, ok := seqShapeOf(other)
+	if !ok {
+		mismatch(o, other)
+	}
+	a, _ := seqShapeOf(o)
+	return o.rebuild(transformSeqShape(a, b, otherPriority))
+}
+
+// ApplySeq applies a sequence operation to a slice and returns the updated
+// slice. It is used by the mergeable list and queue structures and by tests.
+func ApplySeq(s []any, op Op) ([]any, error) {
+	switch v := op.(type) {
+	case SeqInsert:
+		if v.Pos < 0 || v.Pos > len(s) {
+			return s, fmt.Errorf("ot: %s out of range for length %d", v, len(s))
+		}
+		out := make([]any, 0, len(s)+len(v.Elems))
+		out = append(out, s[:v.Pos]...)
+		out = append(out, v.Elems...)
+		out = append(out, s[v.Pos:]...)
+		return out, nil
+	case SeqDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(s) {
+			return s, fmt.Errorf("ot: %s out of range for length %d", v, len(s))
+		}
+		out := make([]any, 0, len(s)-v.N)
+		out = append(out, s[:v.Pos]...)
+		out = append(out, s[v.Pos+v.N:]...)
+		return out, nil
+	case SeqSet:
+		if v.Pos < 0 || v.Pos >= len(s) {
+			return s, fmt.Errorf("ot: %s out of range for length %d", v, len(s))
+		}
+		out := make([]any, len(s))
+		copy(out, s)
+		out[v.Pos] = v.Elem
+		return out, nil
+	}
+	return s, fmt.Errorf("ot: %s is not a sequence operation", op.Kind())
+}

@@ -1,0 +1,334 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustApplySeq(t *testing.T, s []any, ops ...Op) []any {
+	t.Helper()
+	var err error
+	for _, op := range ops {
+		s, err = ApplySeq(s, op)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+	}
+	return s
+}
+
+func list(vals ...any) []any { return vals }
+
+// TestFigure1Divergence reproduces Figure 1 of the paper: applying the
+// concurrent operations del(2) and ins(0,d) without transformation leaves
+// the two sites in different states.
+func TestFigure1Divergence(t *testing.T) {
+	base := list("a", "b", "c")
+	opA := SeqDelete{Pos: 2, N: 1}             // process A deletes "c"
+	opB := SeqInsert{Pos: 0, Elems: list("d")} // process B inserts "d" at the front
+
+	// Site A applies its own op, then B's raw op.
+	siteA := mustApplySeq(t, base, opA, opB)
+	// Site B applies its own op, then A's raw op.
+	siteB := mustApplySeq(t, base, opB, opA)
+
+	wantA := list("d", "a", "b")
+	wantB := list("d", "a", "c")
+	if !reflect.DeepEqual(siteA, wantA) {
+		t.Fatalf("site A = %v, want %v", siteA, wantA)
+	}
+	if !reflect.DeepEqual(siteB, wantB) {
+		t.Fatalf("site B = %v, want %v", siteB, wantB)
+	}
+	if reflect.DeepEqual(siteA, siteB) {
+		t.Fatalf("sites unexpectedly converged without OT")
+	}
+}
+
+// TestFigure2Convergence reproduces Figure 2: with operational
+// transformation both sites converge to [d, a, b].
+func TestFigure2Convergence(t *testing.T) {
+	base := list("a", "b", "c")
+	opA := SeqDelete{Pos: 2, N: 1}
+	opB := SeqInsert{Pos: 0, Elems: list("d")}
+
+	opAT, opBT := TransformPair(Op(opA), Op(opB))
+
+	siteA := mustApplySeq(t, base, opA)
+	siteA = mustApplySeq(t, siteA, opBT...)
+	siteB := mustApplySeq(t, base, opB)
+	siteB = mustApplySeq(t, siteB, opAT...)
+
+	want := list("d", "a", "b")
+	if !reflect.DeepEqual(siteA, want) {
+		t.Fatalf("site A = %v, want %v", siteA, want)
+	}
+	if !reflect.DeepEqual(siteB, want) {
+		t.Fatalf("site B = %v, want %v", siteB, want)
+	}
+	// The transformed delete must target index 3, as the paper describes.
+	if len(opAT) != 1 {
+		t.Fatalf("transformed del = %v, want single op", opAT)
+	}
+	if d, ok := opAT[0].(SeqDelete); !ok || d.Pos != 3 {
+		t.Fatalf("transformed del = %v, want del(3)", opAT[0])
+	}
+}
+
+func TestApplySeqBounds(t *testing.T) {
+	cases := []Op{
+		SeqInsert{Pos: -1, Elems: list(1)},
+		SeqInsert{Pos: 4, Elems: list(1)},
+		SeqDelete{Pos: 2, N: 2},
+		SeqDelete{Pos: -1, N: 1},
+		SeqDelete{Pos: 0, N: -1},
+		SeqSet{Pos: 3, Elem: 9},
+		SeqSet{Pos: -1, Elem: 9},
+	}
+	base := list(1, 2, 3)
+	for _, op := range cases {
+		if _, err := ApplySeq(base, op); err == nil {
+			t.Errorf("apply %v on len 3: want error, got none", op)
+		}
+	}
+	if _, err := ApplySeq(base, CounterAdd{Delta: 1}); err == nil {
+		t.Errorf("applying a counter op to a sequence should fail")
+	}
+}
+
+func TestApplySeqDoesNotAliasInput(t *testing.T) {
+	base := list(1, 2, 3)
+	out, err := ApplySeq(base, SeqSet{Pos: 0, Elem: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[0] != 1 {
+		t.Fatalf("ApplySeq mutated its input: %v", base)
+	}
+	if out[0] != 99 {
+		t.Fatalf("ApplySeq result = %v", out)
+	}
+}
+
+func TestDeleteSplitByInsert(t *testing.T) {
+	// Deleting [B,C,D] while someone inserts X between C and D must keep X.
+	base := list("A", "B", "C", "D", "E")
+	delOp := SeqDelete{Pos: 1, N: 3}
+	insOp := SeqInsert{Pos: 3, Elems: list("X")}
+
+	delT, insT := TransformPair(Op(delOp), Op(insOp))
+	left := mustApplySeq(t, mustApplySeq(t, base, delOp), insT...)
+	right := mustApplySeq(t, mustApplySeq(t, base, insOp), delT...)
+
+	want := list("A", "X", "E")
+	if !reflect.DeepEqual(left, want) || !reflect.DeepEqual(right, want) {
+		t.Fatalf("left=%v right=%v want %v", left, right, want)
+	}
+	if len(delT) != 2 {
+		t.Fatalf("delete crossing an insert should split in two, got %v", delT)
+	}
+}
+
+func TestDeleteDeleteOverlap(t *testing.T) {
+	base := list("A", "B", "C", "D", "E")
+	a := SeqDelete{Pos: 1, N: 2} // deletes B,C
+	b := SeqDelete{Pos: 2, N: 2} // deletes C,D
+
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := mustApplySeq(t, mustApplySeq(t, base, a), bT...)
+	right := mustApplySeq(t, mustApplySeq(t, base, b), aT...)
+	want := list("A", "E")
+	if !reflect.DeepEqual(left, want) || !reflect.DeepEqual(right, want) {
+		t.Fatalf("left=%v right=%v want %v", left, right, want)
+	}
+}
+
+func TestDeleteAbsorbedByIdenticalDelete(t *testing.T) {
+	a := SeqDelete{Pos: 2, N: 1}
+	b := SeqDelete{Pos: 2, N: 1}
+	aT := a.Transform(b, true)
+	if len(aT) != 0 {
+		t.Fatalf("identical concurrent delete should be absorbed, got %v", aT)
+	}
+}
+
+func TestInsertTieBreaking(t *testing.T) {
+	base := list("x")
+	a := SeqInsert{Pos: 0, Elems: list("a")}
+	b := SeqInsert{Pos: 0, Elems: list("b")}
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := mustApplySeq(t, mustApplySeq(t, base, a), bT...)
+	right := mustApplySeq(t, mustApplySeq(t, base, b), aT...)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("tie-broken inserts diverged: left=%v right=%v", left, right)
+	}
+	// Priority side (b) must end up first.
+	if !reflect.DeepEqual(left, list("b", "a", "x")) {
+		t.Fatalf("priority insert should come first, got %v", left)
+	}
+}
+
+func TestSetSetConflict(t *testing.T) {
+	base := list("v")
+	a := SeqSet{Pos: 0, Elem: "child"}
+	b := SeqSet{Pos: 0, Elem: "parent"}
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := mustApplySeq(t, mustApplySeq(t, base, a), bT...)
+	right := mustApplySeq(t, mustApplySeq(t, base, b), aT...)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("set/set diverged: left=%v right=%v", left, right)
+	}
+	if left[0] != "parent" {
+		t.Fatalf("priority write should win, got %v", left[0])
+	}
+}
+
+// randomSeqOp generates a valid random sequence op against a state of
+// length n. It may return nil when no op is possible (n == 0 allows only
+// inserts, which are always possible, so nil never actually happens).
+func randomSeqOp(r *rand.Rand, n int) Op {
+	if n == 0 {
+		return SeqInsert{Pos: 0, Elems: list(r.Intn(100))}
+	}
+	switch r.Intn(3) {
+	case 0:
+		k := 1 + r.Intn(3)
+		elems := make([]any, k)
+		for i := range elems {
+			elems[i] = r.Intn(100)
+		}
+		return SeqInsert{Pos: r.Intn(n + 1), Elems: elems}
+	case 1:
+		pos := r.Intn(n)
+		return SeqDelete{Pos: pos, N: 1 + r.Intn(n-pos)}
+	default:
+		return SeqSet{Pos: r.Intn(n), Elem: r.Intn(100)}
+	}
+}
+
+func randomState(r *rand.Rand) []any {
+	n := r.Intn(9)
+	s := make([]any, n)
+	for i := range s {
+		s[i] = r.Intn(100)
+	}
+	return s
+}
+
+// TestTP1SeqPair is the convergence property TP1 for single concurrent
+// sequence operations: apply(apply(S,a), b') == apply(apply(S,b), a').
+func TestTP1SeqPair(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r)
+		a := randomSeqOp(r, len(s))
+		b := randomSeqOp(r, len(s))
+		aT, bT := TransformPair(a, b)
+
+		left, err := applyAll(s, append([]Op{a}, bT...))
+		if err != nil {
+			t.Logf("seed %d: left apply failed: %v (a=%v b=%v aT=%v bT=%v)", seed, err, a, b, aT, bT)
+			return false
+		}
+		right, err := applyAll(s, append([]Op{b}, aT...))
+		if err != nil {
+			t.Logf("seed %d: right apply failed: %v (a=%v b=%v aT=%v bT=%v)", seed, err, a, b, aT, bT)
+			return false
+		}
+		if !reflect.DeepEqual(left, right) {
+			t.Logf("seed %d: S=%v a=%v b=%v -> left=%v right=%v", seed, s, a, b, left, right)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTP1SeqSequences extends TP1 to whole op sequences via TransformSeqs,
+// which is exactly the shape of a Spawn & Merge merge step.
+func TestTP1SeqSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r)
+
+		genSeq := func() []Op {
+			cur := append([]any(nil), s...)
+			k := r.Intn(5)
+			ops := make([]Op, 0, k)
+			for i := 0; i < k; i++ {
+				op := randomSeqOp(r, len(cur))
+				next, err := ApplySeq(cur, op)
+				if err != nil {
+					return ops
+				}
+				cur = next
+				ops = append(ops, op)
+			}
+			return ops
+		}
+		a := genSeq()
+		b := genSeq()
+		aT, bT := TransformSeqs(a, b)
+
+		left, err := applyAll(s, append(append([]Op{}, a...), bT...))
+		if err != nil {
+			t.Logf("seed %d: left apply failed: %v", seed, err)
+			return false
+		}
+		right, err := applyAll(s, append(append([]Op{}, b...), aT...))
+		if err != nil {
+			t.Logf("seed %d: right apply failed: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(left, right) {
+			t.Logf("seed %d: S=%v a=%v b=%v -> left=%v right=%v", seed, s, a, b, left, right)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func applyAll(s []any, ops []Op) ([]any, error) {
+	cur := append([]any(nil), s...)
+	var err error
+	for _, op := range ops {
+		cur, err = ApplySeq(cur, op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{SeqInsert{Pos: 0, Elems: list("d")}, "ins(0,d)"},
+		{SeqDelete{Pos: 2, N: 1}, "del(2)"},
+		{SeqDelete{Pos: 2, N: 3}, "del(2,n=3)"},
+		{SeqSet{Pos: 1, Elem: 5}, "set(1,5)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindSeqInsert.String() != "seq.ins" {
+		t.Errorf("KindSeqInsert = %q", KindSeqInsert.String())
+	}
+	if Kind(200).String() == "" {
+		t.Errorf("unknown kind should still render")
+	}
+}

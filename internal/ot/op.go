@@ -1,0 +1,119 @@
+// Package ot implements the operational transformation (OT) engine that
+// powers deterministic merging in the Spawn & Merge framework.
+//
+// The package follows the two-layer decomposition of Ellis & Gibbs (1989)
+// that the paper adopts in Section II.B:
+//
+//   - Transformation functions: every operation knows how to rewrite itself
+//     so that it applies *after* a concurrent operation has already been
+//     applied (Op.Transform).
+//   - Transformation control algorithm: TransformSeqs composes pairwise
+//     transforms into sequence-against-sequence transformation using the
+//     standard GOT identities (see control.go).
+//
+// Operations are immutable values. Transform never mutates its receiver or
+// argument; it returns fresh operations. A transform may absorb an operation
+// entirely (empty result) or split it into several operations (for example a
+// deletion split in two by a concurrent insertion in its middle).
+//
+// Ties between concurrent operations (two insertions at the same index, two
+// writes of the same key, ...) are broken by a priority flag. The Spawn &
+// Merge runtime always gives priority to the side that merged earlier (the
+// parent's already-committed history), which is what makes
+// merge(x, y) != merge(y, x) deterministic rather than racy.
+package ot
+
+import "fmt"
+
+// Kind identifies the family and role of an operation. Operations from
+// different families never meet in one transformation because every
+// mergeable structure keeps its own operation log.
+type Kind uint8
+
+// Operation kinds, grouped by the data-structure family they belong to.
+const (
+	KindInvalid Kind = iota
+
+	// Sequence family (lists, queues and — with a string payload — text).
+	KindSeqInsert
+	KindSeqDelete
+	KindSeqSet
+	KindTextInsert
+	KindTextDelete
+
+	// Counter family.
+	KindCounterAdd
+
+	// Map family.
+	KindMapSet
+	KindMapDelete
+
+	// Mathematical-set family.
+	KindSetAdd
+	KindSetRemove
+
+	// Register family.
+	KindRegisterSet
+
+	// Tree family.
+	KindTreeInsert
+	KindTreeDelete
+	KindTreeSet
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:     "invalid",
+	KindSeqInsert:   "seq.ins",
+	KindSeqDelete:   "seq.del",
+	KindSeqSet:      "seq.set",
+	KindTextInsert:  "text.ins",
+	KindTextDelete:  "text.del",
+	KindCounterAdd:  "counter.add",
+	KindMapSet:      "map.set",
+	KindMapDelete:   "map.del",
+	KindSetAdd:      "set.add",
+	KindSetRemove:   "set.rem",
+	KindRegisterSet: "reg.set",
+	KindTreeInsert:  "tree.ins",
+	KindTreeDelete:  "tree.del",
+	KindTreeSet:     "tree.set",
+}
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is a single operation recorded against a mergeable data structure.
+//
+// Implementations must be immutable: Transform returns rewritten copies and
+// never modifies the receiver or its argument.
+type Op interface {
+	// Kind reports the operation's family and role.
+	Kind() Kind
+
+	// Transform rewrites the operation so that it preserves its intention
+	// when applied after other (a concurrent operation on the same
+	// structure) has already been applied. otherPriority reports whether
+	// other wins ties; the runtime passes true when other belongs to the
+	// already-merged history.
+	//
+	// The result may be empty (the operation was absorbed, e.g. a deletion
+	// of an element the other side already deleted) or contain several
+	// operations (the operation was split).
+	Transform(other Op, otherPriority bool) []Op
+
+	// String renders the operation in the del(2)/ins(0,d) notation the
+	// paper uses in Figures 1 and 2.
+	String() string
+}
+
+// mismatch reports an attempt to transform operations from different
+// data-structure families. That can only happen through a bug in the caller
+// (each structure has its own log), so it panics.
+func mismatch(a, b Op) {
+	panic(fmt.Sprintf("ot: cannot transform %s against %s: operations belong to different families", a.Kind(), b.Kind()))
+}

@@ -1,0 +1,161 @@
+package ot
+
+import "fmt"
+
+// This file holds the operation algebras whose transforms involve no index
+// arithmetic: counters, maps, mathematical sets and registers. Their
+// transformation functions are mostly the identity; the interesting cases
+// are write-write conflicts, where exactly one side must win so both merge
+// orders converge (TP1).
+
+// CounterAdd adds Delta to a mergeable counter. Addition commutes, so the
+// transform is always the identity: concurrent increments simply accumulate.
+type CounterAdd struct {
+	Delta int64
+}
+
+// Kind implements Op.
+func (o CounterAdd) Kind() Kind { return KindCounterAdd }
+
+func (o CounterAdd) String() string { return fmt.Sprintf("add(%d)", o.Delta) }
+
+// Transform implements Op.
+func (o CounterAdd) Transform(other Op, otherPriority bool) []Op {
+	if _, ok := other.(CounterAdd); !ok {
+		mismatch(o, other)
+	}
+	return []Op{o}
+}
+
+// MapSet stores Value under Key in a mergeable map.
+type MapSet struct {
+	Key   any
+	Value any
+}
+
+// MapDelete removes Key from a mergeable map. Deleting an absent key is a
+// no-op at application time.
+type MapDelete struct {
+	Key any
+}
+
+// Kind implements Op.
+func (o MapSet) Kind() Kind { return KindMapSet }
+
+// Kind implements Op.
+func (o MapDelete) Kind() Kind { return KindMapDelete }
+
+func (o MapSet) String() string    { return fmt.Sprintf("put(%v,%v)", o.Key, o.Value) }
+func (o MapDelete) String() string { return fmt.Sprintf("remove(%v)", o.Key) }
+
+// Transform implements Op. Concurrent writes (set/set, set/delete,
+// delete/delete) to the same key are resolved in favor of the priority
+// side; everything else commutes.
+func (o MapSet) Transform(other Op, otherPriority bool) []Op {
+	switch v := other.(type) {
+	case MapSet:
+		if v.Key == o.Key && otherPriority {
+			return nil
+		}
+	case MapDelete:
+		if v.Key == o.Key && otherPriority {
+			return nil
+		}
+	default:
+		mismatch(o, other)
+	}
+	return []Op{o}
+}
+
+// Transform implements Op. Identical concurrent deletes are kept, not
+// annihilated: deletion is idempotent at application time, and pairwise
+// annihilation would make sequence transformation sensitive to duplicate
+// counts (each client delete would "consume" one server delete), which
+// breaks under operation-log compaction.
+func (o MapDelete) Transform(other Op, otherPriority bool) []Op {
+	switch v := other.(type) {
+	case MapSet:
+		if v.Key == o.Key && otherPriority {
+			return nil
+		}
+	case MapDelete:
+		// Keep: deleting an absent key is a no-op.
+	default:
+		mismatch(o, other)
+	}
+	return []Op{o}
+}
+
+// SetAdd inserts Elem into a mergeable mathematical set.
+type SetAdd struct {
+	Elem any
+}
+
+// SetRemove removes Elem from a mergeable mathematical set.
+type SetRemove struct {
+	Elem any
+}
+
+// Kind implements Op.
+func (o SetAdd) Kind() Kind { return KindSetAdd }
+
+// Kind implements Op.
+func (o SetRemove) Kind() Kind { return KindSetRemove }
+
+func (o SetAdd) String() string    { return fmt.Sprintf("add(%v)", o.Elem) }
+func (o SetRemove) String() string { return fmt.Sprintf("remove(%v)", o.Elem) }
+
+// Transform implements Op. Concurrent adds of the same element are
+// idempotent; an add racing a remove of the same element is resolved by
+// priority.
+func (o SetAdd) Transform(other Op, otherPriority bool) []Op {
+	switch v := other.(type) {
+	case SetAdd:
+		// Adding twice converges on its own.
+	case SetRemove:
+		if v.Elem == o.Elem && otherPriority {
+			return nil
+		}
+	default:
+		mismatch(o, other)
+	}
+	return []Op{o}
+}
+
+// Transform implements Op. Identical concurrent removes are kept (see
+// MapDelete.Transform for why annihilation would be wrong).
+func (o SetRemove) Transform(other Op, otherPriority bool) []Op {
+	switch v := other.(type) {
+	case SetAdd:
+		if v.Elem == o.Elem && otherPriority {
+			return nil
+		}
+	case SetRemove:
+		// Keep: removing an absent element is a no-op.
+	default:
+		mismatch(o, other)
+	}
+	return []Op{o}
+}
+
+// RegisterSet overwrites the value of a mergeable single-value register.
+type RegisterSet struct {
+	Value any
+}
+
+// Kind implements Op.
+func (o RegisterSet) Kind() Kind { return KindRegisterSet }
+
+func (o RegisterSet) String() string { return fmt.Sprintf("set(%v)", o.Value) }
+
+// Transform implements Op. Two concurrent assignments conflict; the
+// priority side wins.
+func (o RegisterSet) Transform(other Op, otherPriority bool) []Op {
+	if _, ok := other.(RegisterSet); !ok {
+		mismatch(o, other)
+	}
+	if otherPriority {
+		return nil
+	}
+	return []Op{o}
+}

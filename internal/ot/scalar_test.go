@@ -1,0 +1,208 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// scalarModel is a tiny interpreter for counter/map/set/register ops used
+// to check TP1 without involving the mergeable package.
+type scalarModel struct {
+	counter int64
+	m       map[any]any
+	set     map[any]bool
+	reg     any
+}
+
+func newScalarModel() *scalarModel {
+	return &scalarModel{m: map[any]any{}, set: map[any]bool{}}
+}
+
+func (s *scalarModel) clone() *scalarModel {
+	c := newScalarModel()
+	c.counter = s.counter
+	c.reg = s.reg
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	for k, v := range s.set {
+		c.set[k] = v
+	}
+	return c
+}
+
+func (s *scalarModel) apply(ops ...Op) {
+	for _, op := range ops {
+		switch v := op.(type) {
+		case CounterAdd:
+			s.counter += v.Delta
+		case MapSet:
+			s.m[v.Key] = v.Value
+		case MapDelete:
+			delete(s.m, v.Key)
+		case SetAdd:
+			s.set[v.Elem] = true
+		case SetRemove:
+			delete(s.set, v.Elem)
+		case RegisterSet:
+			s.reg = v.Value
+		}
+	}
+}
+
+func (s *scalarModel) equal(o *scalarModel) bool {
+	return s.counter == o.counter && s.reg == o.reg &&
+		reflect.DeepEqual(s.m, o.m) && reflect.DeepEqual(s.set, o.set)
+}
+
+func randomScalarOp(r *rand.Rand) Op {
+	keys := []any{"k1", "k2", "k3"}
+	switch r.Intn(6) {
+	case 0:
+		return CounterAdd{Delta: int64(r.Intn(10) - 5)}
+	case 1:
+		return MapSet{Key: keys[r.Intn(len(keys))], Value: r.Intn(100)}
+	case 2:
+		return MapDelete{Key: keys[r.Intn(len(keys))]}
+	case 3:
+		return SetAdd{Elem: keys[r.Intn(len(keys))]}
+	case 4:
+		return SetRemove{Elem: keys[r.Intn(len(keys))]}
+	default:
+		return RegisterSet{Value: r.Intn(100)}
+	}
+}
+
+// sameFamily reports whether two ops may legally be transformed against
+// each other (they belong to the same structure family).
+func sameFamily(a, b Op) bool {
+	family := func(o Op) int {
+		switch o.Kind() {
+		case KindCounterAdd:
+			return 1
+		case KindMapSet, KindMapDelete:
+			return 2
+		case KindSetAdd, KindSetRemove:
+			return 3
+		case KindRegisterSet:
+			return 4
+		}
+		return 0
+	}
+	return family(a) == family(b)
+}
+
+func TestTP1Scalars(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomScalarOp(r)
+		b := randomScalarOp(r)
+		if !sameFamily(a, b) {
+			return true
+		}
+		base := newScalarModel()
+		base.apply(MapSet{Key: "k1", Value: 0}, SetAdd{Elem: "k1"}, RegisterSet{Value: -1})
+
+		aT, bT := TransformPair(a, b)
+		left := base.clone()
+		left.apply(a)
+		left.apply(bT...)
+		right := base.clone()
+		right.apply(b)
+		right.apply(aT...)
+		if !left.equal(right) {
+			t.Logf("seed %d: a=%v b=%v left=%+v right=%+v", seed, a, b, left, right)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterCommutes(t *testing.T) {
+	a := CounterAdd{Delta: 2}
+	b := CounterAdd{Delta: -7}
+	aT, bT := TransformPair(Op(a), Op(b))
+	if len(aT) != 1 || len(bT) != 1 {
+		t.Fatalf("counter transforms should be identity, got %v / %v", aT, bT)
+	}
+	if aT[0].(CounterAdd).Delta != 2 || bT[0].(CounterAdd).Delta != -7 {
+		t.Fatalf("counter deltas changed: %v / %v", aT, bT)
+	}
+}
+
+func TestMapSetConflictPriorityWins(t *testing.T) {
+	child := MapSet{Key: "k", Value: "child"}
+	parent := MapSet{Key: "k", Value: "parent"}
+	childT := child.Transform(parent, true)
+	if len(childT) != 0 {
+		t.Fatalf("child write should be absorbed by priority write, got %v", childT)
+	}
+	// Different keys commute.
+	other := MapSet{Key: "other", Value: 1}
+	if got := child.Transform(other, true); len(got) != 1 {
+		t.Fatalf("independent keys should commute, got %v", got)
+	}
+}
+
+func TestMapDeleteVsSet(t *testing.T) {
+	del := MapDelete{Key: "k"}
+	set := MapSet{Key: "k", Value: 1}
+	if got := del.Transform(set, true); len(got) != 0 {
+		t.Fatalf("delete should yield to priority set, got %v", got)
+	}
+	if got := del.Transform(set, false); len(got) != 1 {
+		t.Fatalf("delete should survive a non-priority set, got %v", got)
+	}
+}
+
+func TestRegisterConflict(t *testing.T) {
+	a := RegisterSet{Value: 1}
+	b := RegisterSet{Value: 2}
+	if got := a.Transform(b, true); len(got) != 0 {
+		t.Fatalf("non-priority register write should be absorbed, got %v", got)
+	}
+	if got := a.Transform(b, false); len(got) != 1 {
+		t.Fatalf("priority register write should survive, got %v", got)
+	}
+}
+
+func TestSetAddIdempotent(t *testing.T) {
+	a := SetAdd{Elem: "x"}
+	b := SetAdd{Elem: "x"}
+	if got := a.Transform(b, true); len(got) != 1 {
+		t.Fatalf("concurrent identical adds converge by idempotence, got %v", got)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("transforming across families should panic")
+		}
+	}()
+	CounterAdd{Delta: 1}.Transform(MapSet{Key: "k", Value: 1}, true)
+}
+
+func TestScalarStrings(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{CounterAdd{Delta: 3}, "add(3)"},
+		{MapSet{Key: "k", Value: 1}, "put(k,1)"},
+		{MapDelete{Key: "k"}, "remove(k)"},
+		{SetAdd{Elem: "x"}, "add(x)"},
+		{SetRemove{Elem: "x"}, "remove(x)"},
+		{RegisterSet{Value: 9}, "set(9)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ot
+
+// This file implements the shared index arithmetic for the sequence family
+// (list, queue and text operations). The concrete operation types in list.go
+// and text.go reduce themselves to a position/length skeleton, run the
+// transformation here, and rebuild concrete operations from the result.
+
+// seqRole distinguishes the three sequence operation roles.
+type seqRole uint8
+
+const (
+	roleInsert seqRole = iota
+	roleDelete
+	roleSet
+)
+
+// seqShape is the payload-free skeleton of a sequence operation: an insert
+// of length n at pos, a deletion of n elements starting at pos, or an
+// overwrite of the single element at pos.
+type seqShape struct {
+	role seqRole
+	pos  int
+	n    int
+}
+
+// seqResult describes the outcome of transforming one sequence operation
+// against another. The original operation maps onto zero, one or two
+// shapes. For inserts and sets the payload is carried over unchanged by the
+// caller; splits only ever happen to deletions, which carry no payload.
+type seqResult struct {
+	shapes []seqShape
+}
+
+func one(s seqShape) seqResult    { return seqResult{shapes: []seqShape{s}} }
+func two(a, b seqShape) seqResult { return seqResult{shapes: []seqShape{a, b}} }
+func none() seqResult             { return seqResult{} }
+func ins(pos, n int) seqShape     { return seqShape{role: roleInsert, pos: pos, n: n} }
+func del(pos, n int) seqShape     { return seqShape{role: roleDelete, pos: pos, n: n} }
+func set(pos int) seqShape        { return seqShape{role: roleSet, pos: pos, n: 1} }
+
+// transformSeqShape rewrites shape a so that it applies after shape b,
+// preserving a's intention. bPriority breaks ties in b's favor.
+//
+// The rules are the classic list/text OT transformation functions:
+//
+//   - insert vs insert: the later position shifts right; equal positions are
+//     ordered by priority.
+//   - insert vs delete: an insert inside the deleted range collapses onto
+//     the deletion point; inserts after the range shift left.
+//   - delete vs insert: a deletion spanning the insertion point splits in
+//     two so the inserted elements survive.
+//   - delete vs delete: the overlap has already been deleted and is removed
+//     from a's range (possibly absorbing a completely).
+//   - set vs delete: overwriting a deleted element is absorbed.
+//   - set vs set at the same index: the priority side wins; the other op is
+//     absorbed so both merge orders converge (TP1).
+func transformSeqShape(a, b seqShape, bPriority bool) seqResult {
+	switch b.role {
+	case roleInsert:
+		return transformAgainstInsert(a, b, bPriority)
+	case roleDelete:
+		return transformAgainstDelete(a, b)
+	case roleSet:
+		return transformAgainstSet(a, b, bPriority)
+	}
+	return one(a)
+}
+
+func transformAgainstInsert(a, b seqShape, bPriority bool) seqResult {
+	switch a.role {
+	case roleInsert:
+		if b.pos < a.pos || (b.pos == a.pos && bPriority) {
+			a.pos += b.n
+		}
+		return one(a)
+	case roleDelete:
+		switch {
+		case b.pos <= a.pos:
+			a.pos += b.n
+			return one(a)
+		case b.pos >= a.pos+a.n:
+			return one(a)
+		default:
+			// The insertion lands strictly inside the range a intended to
+			// delete. Keep the inserted elements alive by splitting the
+			// deletion around them. The second part's position accounts for
+			// the first part having been applied already.
+			left := b.pos - a.pos
+			return two(del(a.pos, left), del(a.pos+b.n, a.n-left))
+		}
+	case roleSet:
+		if b.pos <= a.pos {
+			a.pos += b.n
+		}
+		return one(a)
+	}
+	return one(a)
+}
+
+func transformAgainstDelete(a, b seqShape) seqResult {
+	bEnd := b.pos + b.n
+	switch a.role {
+	case roleInsert:
+		switch {
+		case a.pos <= b.pos:
+			return one(a)
+		case a.pos >= bEnd:
+			a.pos -= b.n
+			return one(a)
+		default:
+			// Insertion point was deleted; collapse onto the deletion point.
+			a.pos = b.pos
+			return one(a)
+		}
+	case roleDelete:
+		aEnd := a.pos + a.n
+		if aEnd <= b.pos { // a entirely before b
+			return one(a)
+		}
+		if a.pos >= bEnd { // a entirely after b
+			a.pos -= b.n
+			return one(a)
+		}
+		// Ranges overlap: drop the part b already deleted. The survivors
+		// (a head before b and/or a tail after b) are contiguous once b has
+		// been applied.
+		head := 0
+		if a.pos < b.pos {
+			head = b.pos - a.pos
+		}
+		tail := 0
+		if aEnd > bEnd {
+			tail = aEnd - bEnd
+		}
+		if head+tail == 0 {
+			return none()
+		}
+		start := a.pos
+		if b.pos < start {
+			start = b.pos
+		}
+		return one(del(start, head+tail))
+	case roleSet:
+		switch {
+		case a.pos < b.pos:
+			return one(a)
+		case a.pos >= bEnd:
+			a.pos -= b.n
+			return one(a)
+		default:
+			// The element a wanted to overwrite no longer exists.
+			return none()
+		}
+	}
+	return one(a)
+}
+
+func transformAgainstSet(a, b seqShape, bPriority bool) seqResult {
+	if a.role == roleSet && a.pos == b.pos && bPriority {
+		// Concurrent writes to the same slot: the priority side wins, the
+		// other write is absorbed so both merge orders agree.
+		return none()
+	}
+	return one(a)
+}

@@ -1,0 +1,100 @@
+package ot
+
+import "fmt"
+
+// TextInsert inserts Text before rune position Pos of a text buffer.
+//
+// Text operations address runes, not bytes, so collaborative edits stay
+// meaningful for non-ASCII content.
+type TextInsert struct {
+	Pos  int
+	Text string
+}
+
+// TextDelete removes N runes starting at rune position Pos.
+type TextDelete struct {
+	Pos int
+	N   int
+}
+
+// Kind implements Op.
+func (o TextInsert) Kind() Kind { return KindTextInsert }
+
+// Kind implements Op.
+func (o TextDelete) Kind() Kind { return KindTextDelete }
+
+func (o TextInsert) String() string { return fmt.Sprintf("ins(%d,%q)", o.Pos, o.Text) }
+
+func (o TextDelete) String() string {
+	if o.N == 1 {
+		return fmt.Sprintf("del(%d)", o.Pos)
+	}
+	return fmt.Sprintf("del(%d,n=%d)", o.Pos, o.N)
+}
+
+func textShapeOf(o Op) (seqShape, bool) {
+	switch v := o.(type) {
+	case TextInsert:
+		return ins(v.Pos, len([]rune(v.Text))), true
+	case TextDelete:
+		return del(v.Pos, v.N), true
+	}
+	return seqShape{}, false
+}
+
+// Transform implements Op.
+func (o TextInsert) Transform(other Op, otherPriority bool) []Op {
+	b, ok := textShapeOf(other)
+	if !ok {
+		mismatch(o, other)
+	}
+	a, _ := textShapeOf(o)
+	r := transformSeqShape(a, b, otherPriority)
+	ops := make([]Op, 0, len(r.shapes))
+	for _, s := range r.shapes {
+		ops = append(ops, TextInsert{Pos: s.pos, Text: o.Text})
+	}
+	return ops
+}
+
+// Transform implements Op.
+func (o TextDelete) Transform(other Op, otherPriority bool) []Op {
+	b, ok := textShapeOf(other)
+	if !ok {
+		mismatch(o, other)
+	}
+	a, _ := textShapeOf(o)
+	r := transformSeqShape(a, b, otherPriority)
+	ops := make([]Op, 0, len(r.shapes))
+	for _, s := range r.shapes {
+		ops = append(ops, TextDelete{Pos: s.pos, N: s.n})
+	}
+	return ops
+}
+
+// ApplyText applies a text operation to a rune slice and returns the
+// updated runes. The mergeable text structure stores its content as runes
+// so repeated operations avoid re-decoding UTF-8.
+func ApplyText(r []rune, op Op) ([]rune, error) {
+	switch v := op.(type) {
+	case TextInsert:
+		if v.Pos < 0 || v.Pos > len(r) {
+			return r, fmt.Errorf("ot: %s out of range for length %d", v, len(r))
+		}
+		insRunes := []rune(v.Text)
+		out := make([]rune, 0, len(r)+len(insRunes))
+		out = append(out, r[:v.Pos]...)
+		out = append(out, insRunes...)
+		out = append(out, r[v.Pos:]...)
+		return out, nil
+	case TextDelete:
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(r) {
+			return r, fmt.Errorf("ot: %s out of range for length %d", v, len(r))
+		}
+		out := make([]rune, 0, len(r)-v.N)
+		out = append(out, r[:v.Pos]...)
+		out = append(out, r[v.Pos+v.N:]...)
+		return out, nil
+	}
+	return r, fmt.Errorf("ot: %s is not a text operation", op.Kind())
+}

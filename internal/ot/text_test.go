@@ -1,0 +1,139 @@
+package ot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func applyTextAll(s string, ops []Op) (string, error) {
+	cur := []rune(s)
+	var err error
+	for _, op := range ops {
+		cur, err = ApplyText(cur, op)
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(cur), nil
+}
+
+func TestApplyText(t *testing.T) {
+	got, err := applyTextAll("hello", []Op{
+		TextInsert{Pos: 5, Text: " world"},
+		TextDelete{Pos: 0, N: 1},
+		TextInsert{Pos: 0, Text: "H"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestApplyTextRunes(t *testing.T) {
+	// Positions address runes, not bytes.
+	got, err := applyTextAll("héllo", []Op{TextDelete{Pos: 1, N: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hllo" {
+		t.Fatalf("got %q", got)
+	}
+	got, err = applyTextAll("日本語", []Op{TextInsert{Pos: 2, Text: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "日本x語" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestApplyTextBounds(t *testing.T) {
+	for _, op := range []Op{
+		TextInsert{Pos: 6, Text: "x"},
+		TextInsert{Pos: -1, Text: "x"},
+		TextDelete{Pos: 3, N: 3},
+		TextDelete{Pos: 0, N: -1},
+	} {
+		if _, err := applyTextAll("hello", []Op{op}); err == nil {
+			t.Errorf("apply %v: want error", op)
+		}
+	}
+	if _, err := applyTextAll("hello", []Op{CounterAdd{Delta: 1}}); err == nil {
+		t.Errorf("applying a counter op to text should fail")
+	}
+}
+
+func TestTextConvergenceExample(t *testing.T) {
+	// The canonical collaborative-editing example: two users edit "Hello".
+	base := "Hello"
+	a := []Op{TextInsert{Pos: 5, Text: "!"}}                           // child appends "!"
+	b := []Op{TextDelete{Pos: 0, N: 1}, TextInsert{Pos: 0, Text: "J"}} // parent J-ifies
+
+	aT, bT := TransformSeqs(a, b)
+	left, err := applyTextAll(base, append(append([]Op{}, a...), bT...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := applyTextAll(base, append(append([]Op{}, b...), aT...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != right || left != "Jello!" {
+		t.Fatalf("left=%q right=%q, want %q", left, right, "Jello!")
+	}
+}
+
+func randomTextOp(r *rand.Rand, n int) Op {
+	if n == 0 || r.Intn(2) == 0 {
+		texts := []string{"a", "bc", "déf", "語"}
+		return TextInsert{Pos: r.Intn(n + 1), Text: texts[r.Intn(len(texts))]}
+	}
+	pos := r.Intn(n)
+	return TextDelete{Pos: pos, N: 1 + r.Intn(n-pos)}
+}
+
+func TestTP1Text(t *testing.T) {
+	alphabet := []rune("abcdefgh日本語")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10)
+		runes := make([]rune, n)
+		for i := range runes {
+			runes[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		s := string(runes)
+		a := randomTextOp(r, n)
+		b := randomTextOp(r, n)
+		aT, bT := TransformPair(a, b)
+		left, err := applyTextAll(s, append([]Op{a}, bT...))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		right, err := applyTextAll(s, append([]Op{b}, aT...))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if left != right {
+			t.Logf("seed %d: s=%q a=%v b=%v left=%q right=%q", seed, s, a, b, left, right)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextOpStrings(t *testing.T) {
+	if got := (TextInsert{Pos: 3, Text: "hi"}).String(); got != `ins(3,"hi")` {
+		t.Errorf("got %q", got)
+	}
+	if got := (TextDelete{Pos: 3, N: 1}).String(); got != "del(3)" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,262 @@
+package ot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TreeNode is the value type handled by the tree operation family. A tree
+// is an ordered hierarchy: every node holds a value and an ordered child
+// list, and nodes are addressed by the path of child indices from the root.
+// This mirrors the tree OT algebras of Ignat & Norrie (treeOPT), one of the
+// structures the paper lists as mergeable.
+type TreeNode struct {
+	Value    any
+	Children []*TreeNode
+}
+
+// CloneTree deep-copies a subtree. Values are copied by assignment, so
+// value payloads should be immutable or value types.
+func CloneTree(n *TreeNode) *TreeNode {
+	if n == nil {
+		return nil
+	}
+	c := &TreeNode{Value: n.Value}
+	if len(n.Children) > 0 {
+		c.Children = make([]*TreeNode, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = CloneTree(ch)
+		}
+	}
+	return c
+}
+
+// TreeInsert inserts Subtree as a child of the node addressed by the path
+// prefix Path[:len-1], at sibling index Path[len-1].
+type TreeInsert struct {
+	Path    []int
+	Subtree *TreeNode
+}
+
+// TreeDelete removes the node (and its whole subtree) addressed by Path.
+type TreeDelete struct {
+	Path []int
+}
+
+// TreeSet overwrites the value of the node addressed by Path. An empty path
+// addresses the root.
+type TreeSet struct {
+	Path  []int
+	Value any
+}
+
+// Kind implements Op.
+func (o TreeInsert) Kind() Kind { return KindTreeInsert }
+
+// Kind implements Op.
+func (o TreeDelete) Kind() Kind { return KindTreeDelete }
+
+// Kind implements Op.
+func (o TreeSet) Kind() Kind { return KindTreeSet }
+
+func pathString(p []int) string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+func (o TreeInsert) String() string { return fmt.Sprintf("tins(%s)", pathString(o.Path)) }
+func (o TreeDelete) String() string { return fmt.Sprintf("tdel(%s)", pathString(o.Path)) }
+func (o TreeSet) String() string    { return fmt.Sprintf("tset(%s,%v)", pathString(o.Path), o.Value) }
+
+func clonePath(p []int) []int {
+	out := make([]int, len(p))
+	copy(out, p)
+	return out
+}
+
+// pathHasPrefix reports whether path starts with (or equals) prefix.
+func pathHasPrefix(path, prefix []int) bool {
+	if len(path) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if path[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// transformPathAgainstInsert shifts path to account for an insertion at
+// insPath. selfIsInsert and otherPriority settle ties between two inserts
+// at the same slot. The boolean result is always true (an insertion never
+// invalidates another path).
+func transformPathAgainstInsert(path, insPath []int, selfIsInsert, otherPriority bool) []int {
+	d := len(insPath) - 1
+	if len(path) <= d || !pathHasPrefix(path[:d], insPath[:d]) {
+		return path
+	}
+	p := clonePath(path)
+	switch {
+	case p[d] > insPath[d]:
+		p[d]++
+	case p[d] == insPath[d]:
+		// A tie only matters between two insertions aimed at the same
+		// sibling slot. Any other operation — including an insertion whose
+		// path continues deeper — addresses the pre-existing node at this
+		// index, which the insertion shifts right.
+		if !(selfIsInsert && len(p) == d+1) || otherPriority {
+			p[d]++
+		}
+	}
+	return p
+}
+
+// transformPathAgainstDelete shifts path to account for the removal of the
+// subtree at delPath. It returns ok=false when path addressed the deleted
+// node or something inside it, in which case the operation is absorbed.
+func transformPathAgainstDelete(path, delPath []int, selfIsInsert bool) ([]int, bool) {
+	d := len(delPath) - 1
+	if len(path) <= d || !pathHasPrefix(path[:d], delPath[:d]) {
+		return path, true
+	}
+	if path[d] > delPath[d] {
+		p := clonePath(path)
+		p[d]--
+		return p, true
+	}
+	if path[d] < delPath[d] {
+		return path, true
+	}
+	// path[d] == delPath[d]: path points at the deleted node or below it.
+	if len(path) == len(delPath) && selfIsInsert {
+		// An insertion at exactly the deleted node's slot targets the gap
+		// among the siblings, not the vanished node; it stays valid.
+		return path, true
+	}
+	if pathHasPrefix(path, delPath) {
+		return nil, false
+	}
+	return path, true
+}
+
+func treeTransform(o Op, path []int, other Op, selfIsInsert, otherPriority bool, rebuild func([]int) Op) []Op {
+	switch v := other.(type) {
+	case TreeInsert:
+		return []Op{rebuild(transformPathAgainstInsert(path, v.Path, selfIsInsert, otherPriority))}
+	case TreeDelete:
+		p, ok := transformPathAgainstDelete(path, v.Path, selfIsInsert)
+		if !ok {
+			return nil
+		}
+		return []Op{rebuild(p)}
+	case TreeSet:
+		if s, isSet := o.(TreeSet); isSet && otherPriority && pathsEqual(s.Path, v.Path) {
+			// Concurrent writes to the same node's value: priority wins.
+			return nil
+		}
+		return []Op{o}
+	default:
+		mismatch(o, other)
+		return nil
+	}
+}
+
+func pathsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transform implements Op.
+func (o TreeInsert) Transform(other Op, otherPriority bool) []Op {
+	return treeTransform(o, o.Path, other, true, otherPriority, func(p []int) Op {
+		return TreeInsert{Path: p, Subtree: o.Subtree}
+	})
+}
+
+// Transform implements Op.
+func (o TreeDelete) Transform(other Op, otherPriority bool) []Op {
+	return treeTransform(o, o.Path, other, false, otherPriority, func(p []int) Op {
+		return TreeDelete{Path: p}
+	})
+}
+
+// Transform implements Op.
+func (o TreeSet) Transform(other Op, otherPriority bool) []Op {
+	return treeTransform(o, o.Path, other, false, otherPriority, func(p []int) Op {
+		return TreeSet{Path: p, Value: o.Value}
+	})
+}
+
+// ApplyTree applies a tree operation to root and returns the updated root.
+// The root node itself cannot be inserted or deleted, only its value set.
+func ApplyTree(root *TreeNode, op Op) (*TreeNode, error) {
+	switch v := op.(type) {
+	case TreeInsert:
+		if len(v.Path) == 0 {
+			return root, fmt.Errorf("ot: %s cannot replace the root", v)
+		}
+		parent, err := treeNodeAt(root, v.Path[:len(v.Path)-1])
+		if err != nil {
+			return root, fmt.Errorf("ot: %s: %w", v, err)
+		}
+		idx := v.Path[len(v.Path)-1]
+		if idx < 0 || idx > len(parent.Children) {
+			return root, fmt.Errorf("ot: %s child index out of range (have %d children)", v, len(parent.Children))
+		}
+		sub := CloneTree(v.Subtree)
+		parent.Children = append(parent.Children, nil)
+		copy(parent.Children[idx+1:], parent.Children[idx:])
+		parent.Children[idx] = sub
+		return root, nil
+	case TreeDelete:
+		if len(v.Path) == 0 {
+			return root, fmt.Errorf("ot: %s cannot delete the root", v)
+		}
+		parent, err := treeNodeAt(root, v.Path[:len(v.Path)-1])
+		if err != nil {
+			return root, fmt.Errorf("ot: %s: %w", v, err)
+		}
+		idx := v.Path[len(v.Path)-1]
+		if idx < 0 || idx >= len(parent.Children) {
+			return root, fmt.Errorf("ot: %s child index out of range (have %d children)", v, len(parent.Children))
+		}
+		parent.Children = append(parent.Children[:idx], parent.Children[idx+1:]...)
+		return root, nil
+	case TreeSet:
+		n, err := treeNodeAt(root, v.Path)
+		if err != nil {
+			return root, fmt.Errorf("ot: %s: %w", v, err)
+		}
+		n.Value = v.Value
+		return root, nil
+	}
+	return root, fmt.Errorf("ot: %s is not a tree operation", op.Kind())
+}
+
+func treeNodeAt(root *TreeNode, path []int) (*TreeNode, error) {
+	n := root
+	for depth, idx := range path {
+		if n == nil {
+			return nil, fmt.Errorf("nil node at depth %d", depth)
+		}
+		if idx < 0 || idx >= len(n.Children) {
+			return nil, fmt.Errorf("index %d out of range at depth %d (have %d children)", idx, depth, len(n.Children))
+		}
+		n = n.Children[idx]
+	}
+	if n == nil {
+		return nil, fmt.Errorf("nil node at path end")
+	}
+	return n, nil
+}

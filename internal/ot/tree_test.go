@@ -1,0 +1,267 @@
+package ot
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func leaf(v any) *TreeNode { return &TreeNode{Value: v} }
+
+func node(v any, children ...*TreeNode) *TreeNode {
+	return &TreeNode{Value: v, Children: children}
+}
+
+// renderTree serializes a tree for comparisons.
+func renderTree(n *TreeNode) string {
+	if n == nil {
+		return "·"
+	}
+	if len(n.Children) == 0 {
+		return fmt.Sprintf("%v", n.Value)
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = renderTree(c)
+	}
+	return fmt.Sprintf("%v(%s)", n.Value, strings.Join(parts, " "))
+}
+
+func mustApplyTree(t *testing.T, root *TreeNode, ops ...Op) *TreeNode {
+	t.Helper()
+	var err error
+	for _, op := range ops {
+		root, err = ApplyTree(root, op)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+	}
+	return root
+}
+
+func sampleTree() *TreeNode {
+	return node("root",
+		node("a", leaf("a0"), leaf("a1")),
+		node("b", leaf("b0")),
+		leaf("c"),
+	)
+}
+
+func TestApplyTreeBasics(t *testing.T) {
+	root := sampleTree()
+	root = mustApplyTree(t, root,
+		TreeInsert{Path: []int{1}, Subtree: leaf("x")},
+		TreeDelete{Path: []int{0, 1}},
+		TreeSet{Path: []int{3}, Value: "C"},
+	)
+	want := "root(a(a0) x b(b0) C)"
+	if got := renderTree(root); got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestApplyTreeErrors(t *testing.T) {
+	for _, op := range []Op{
+		TreeInsert{Path: nil, Subtree: leaf("x")},
+		TreeInsert{Path: []int{9, 0}, Subtree: leaf("x")},
+		TreeInsert{Path: []int{4}, Subtree: leaf("x")},
+		TreeDelete{Path: nil},
+		TreeDelete{Path: []int{7}},
+		TreeSet{Path: []int{0, 5}, Value: 1},
+	} {
+		if _, err := ApplyTree(sampleTree(), op); err == nil {
+			t.Errorf("apply %v: want error", op)
+		}
+	}
+	if _, err := ApplyTree(sampleTree(), CounterAdd{Delta: 1}); err == nil {
+		t.Errorf("applying counter op to tree should fail")
+	}
+}
+
+func TestApplyTreeInsertClonesSubtree(t *testing.T) {
+	sub := node("s", leaf("s0"))
+	root := mustApplyTree(t, sampleTree(), TreeInsert{Path: []int{0}, Subtree: sub})
+	sub.Children[0].Value = "mutated"
+	if got := renderTree(root); strings.Contains(got, "mutated") {
+		t.Fatalf("inserted subtree aliases the op payload: %s", got)
+	}
+}
+
+func TestTreeSiblingShift(t *testing.T) {
+	// A inserts at /1 while B deletes /0: B's deletion must not hit the
+	// wrong sibling, A's insertion must land between the right neighbors.
+	base := sampleTree()
+	a := TreeInsert{Path: []int{1}, Subtree: leaf("x")}
+	b := TreeDelete{Path: []int{0}}
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), a), bT...))
+	right := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), b), aT...))
+	if left != right {
+		t.Fatalf("diverged: left=%s right=%s", left, right)
+	}
+	if want := "root(x b(b0) c)"; left != want {
+		t.Fatalf("got %s, want %s", left, want)
+	}
+}
+
+func TestTreeDeleteAncestorAbsorbs(t *testing.T) {
+	a := TreeSet{Path: []int{0, 1}, Value: "X"}
+	b := TreeDelete{Path: []int{0}}
+	if got := a.Transform(b, true); len(got) != 0 {
+		t.Fatalf("op inside deleted subtree should be absorbed, got %v", got)
+	}
+	// The delete itself survives a set inside it.
+	if got := b.Transform(a, false); len(got) != 1 {
+		t.Fatalf("delete should survive interior set, got %v", got)
+	}
+}
+
+func TestTreeDeleteDeleteSameNode(t *testing.T) {
+	a := TreeDelete{Path: []int{1}}
+	b := TreeDelete{Path: []int{1}}
+	if got := a.Transform(b, true); len(got) != 0 {
+		t.Fatalf("identical deletes should be absorbed, got %v", got)
+	}
+}
+
+func TestTreeInsertTie(t *testing.T) {
+	base := sampleTree()
+	a := TreeInsert{Path: []int{1}, Subtree: leaf("A")}
+	b := TreeInsert{Path: []int{1}, Subtree: leaf("B")}
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), a), bT...))
+	right := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), b), aT...))
+	if left != right {
+		t.Fatalf("diverged: left=%s right=%s", left, right)
+	}
+	if !strings.Contains(left, "B A") {
+		t.Fatalf("priority insert should precede: %s", left)
+	}
+}
+
+func TestTreeSetSetConflict(t *testing.T) {
+	base := sampleTree()
+	a := TreeSet{Path: []int{2}, Value: "child"}
+	b := TreeSet{Path: []int{2}, Value: "parent"}
+	aT, bT := TransformPair(Op(a), Op(b))
+	left := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), a), bT...))
+	right := renderTree(mustApplyTree(t, mustApplyTree(t, CloneTree(base), b), aT...))
+	if left != right {
+		t.Fatalf("diverged: left=%s right=%s", left, right)
+	}
+	if !strings.Contains(left, "parent") || strings.Contains(left, "child") {
+		t.Fatalf("priority write should win: %s", left)
+	}
+}
+
+// randomTree builds a small random tree and returns it along with the list
+// of every node path (for op generation).
+func randomTree(r *rand.Rand, depth int) *TreeNode {
+	n := &TreeNode{Value: r.Intn(100)}
+	if depth <= 0 {
+		return n
+	}
+	kids := r.Intn(3)
+	for i := 0; i < kids; i++ {
+		n.Children = append(n.Children, randomTree(r, depth-1))
+	}
+	return n
+}
+
+func allPaths(n *TreeNode, prefix []int, out *[][]int) {
+	p := append([]int(nil), prefix...)
+	*out = append(*out, p)
+	for i, c := range n.Children {
+		allPaths(c, append(prefix, i), out)
+	}
+}
+
+func randomTreeOp(r *rand.Rand, root *TreeNode) Op {
+	var paths [][]int
+	allPaths(root, nil, &paths)
+	switch r.Intn(3) {
+	case 0: // insert under a random node
+		parent := paths[r.Intn(len(paths))]
+		n, _ := treeNodeAt(root, parent)
+		idx := r.Intn(len(n.Children) + 1)
+		return TreeInsert{Path: append(append([]int(nil), parent...), idx), Subtree: leaf(r.Intn(100))}
+	case 1: // delete a random non-root node, if any
+		if len(paths) == 1 {
+			return TreeSet{Path: nil, Value: r.Intn(100)}
+		}
+		p := paths[1+r.Intn(len(paths)-1)]
+		return TreeDelete{Path: p}
+	default:
+		return TreeSet{Path: paths[r.Intn(len(paths))], Value: r.Intn(100)}
+	}
+}
+
+func TestTP1Tree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomTree(r, 3)
+		a := randomTreeOp(r, base)
+		b := randomTreeOp(r, base)
+		aT, bT := TransformPair(a, b)
+
+		apply := func(first Op, rest []Op) (string, error) {
+			root := CloneTree(base)
+			root, err := ApplyTree(root, first)
+			if err != nil {
+				return "", err
+			}
+			for _, op := range rest {
+				root, err = ApplyTree(root, op)
+				if err != nil {
+					return "", err
+				}
+			}
+			return renderTree(root), nil
+		}
+		left, err := apply(a, bT)
+		if err != nil {
+			t.Logf("seed %d: left: %v (a=%v b=%v)", seed, err, a, b)
+			return false
+		}
+		right, err := apply(b, aT)
+		if err != nil {
+			t.Logf("seed %d: right: %v (a=%v b=%v)", seed, err, a, b)
+			return false
+		}
+		if left != right {
+			t.Logf("seed %d: base=%s a=%v b=%v left=%s right=%s", seed, renderTree(base), a, b, left, right)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneTree(t *testing.T) {
+	orig := sampleTree()
+	c := CloneTree(orig)
+	c.Children[0].Value = "changed"
+	c.Children[0].Children[0].Value = "changed"
+	if renderTree(orig) != "root(a(a0 a1) b(b0) c)" {
+		t.Fatalf("clone aliases original: %s", renderTree(orig))
+	}
+	if CloneTree(nil) != nil {
+		t.Fatalf("clone of nil should be nil")
+	}
+}
+
+func TestTreeOpStrings(t *testing.T) {
+	if got := (TreeInsert{Path: []int{1, 2}}).String(); got != "tins(/1/2)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (TreeDelete{Path: []int{0}}).String(); got != "tdel(/0)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (TreeSet{Path: []int{0}, Value: 7}).String(); got != "tset(/0,7)" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package semaphore is the executable version of Section IV.A of the
+// paper: a constructive proof that Spawn & Merge has the same expressive
+// power for synchronization as Dijkstra semaphores.
+//
+// A semaphore is modeled as a mergeable list of integers L. L[0] is the
+// semaphore's value; every following entry is the ID of a task waiting at
+// the semaphore (positive = acquire request, negative = release
+// announcement). To acquire, a worker appends its ID to L and calls Sync()
+// twice: the first Sync delivers the request to the coordinating parent,
+// the second blocks until the parent grants access — the parent simply
+// stops merging with ungranted waiters (removes them from the set S it
+// passes to MergeAnyFromSet), which leaves them blocked in their second
+// Sync. To release, a worker appends its negative ID and syncs once.
+//
+// The parent task loops on MergeAnyFromSet(S) — the explicitly
+// non-deterministic merge — because semaphore systems are themselves
+// non-deterministic. When every worker is blocked, S is empty and
+// MergeAnyFromSet returns immediately instead of blocking (Section IV.B):
+// the simulated system livelocks where the semaphore system would
+// deadlock. This package surfaces that state as ErrAllBlocked rather than
+// spinning forever, which is strictly friendlier than the paper's infinite
+// loop and makes the deadlock-detection tests possible.
+package semaphore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// ErrAllBlocked reports that every live worker is blocked waiting on a
+// semaphore — the Spawn & Merge image of a deadlocked semaphore program.
+// (The paper's construction would loop forever on MergeAnyFromSet(∅); we
+// detect and report instead.)
+var ErrAllBlocked = errors.New("semaphore: all workers blocked (simulated semaphore system is deadlocked)")
+
+// Worker is the body of one simulated thread. It may acquire and release
+// the pool's semaphores through sems and operate on its copies of the user
+// data structures.
+type Worker func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error
+
+// Sems is a worker's handle to the semaphore pool. All methods must be
+// called from the worker's own task goroutine.
+type Sems struct {
+	ctx   *task.Ctx
+	id    int64
+	lists []*mergeable.List[int64]
+}
+
+// Acquire blocks until semaphore k is acquired (Dijkstra's P operation).
+// It returns a non-nil error when the worker is aborted or the runtime
+// rejects the sync.
+func (s *Sems) Acquire(k int) error {
+	if k < 0 || k >= len(s.lists) {
+		return fmt.Errorf("semaphore: no semaphore %d", k)
+	}
+	s.lists[k].Append(s.id)
+	// First Sync wakes the parent and delivers the request.
+	if err := s.ctx.Sync(); err != nil {
+		return err
+	}
+	// Second Sync blocks until the parent merges with us again, which it
+	// only does once it granted us the semaphore.
+	return s.ctx.Sync()
+}
+
+// Release frees semaphore k (Dijkstra's V operation).
+func (s *Sems) Release(k int) error {
+	if k < 0 || k >= len(s.lists) {
+		return fmt.Errorf("semaphore: no semaphore %d", k)
+	}
+	s.lists[k].Append(-s.id)
+	return s.ctx.Sync()
+}
+
+// Mutex presents semaphore k with a lock/unlock interface — the standard
+// derived primitive.
+type Mutex struct {
+	sems *Sems
+	k    int
+}
+
+// Mutex returns a mutex view of semaphore k (which should have been
+// created with count 1).
+func (s *Sems) Mutex(k int) *Mutex { return &Mutex{sems: s, k: k} }
+
+// Lock acquires the underlying semaphore.
+func (m *Mutex) Lock() error { return m.sems.Acquire(m.k) }
+
+// Unlock releases the underlying semaphore.
+func (m *Mutex) Unlock() error { return m.sems.Release(m.k) }
+
+// Run simulates a semaphore-based multi-threaded program: one Spawn &
+// Merge worker task per entry of workers, sharing semaphores initialized
+// with the given counts and copies of the user data structures. Run
+// returns when every worker has completed and been merged, or
+// ErrAllBlocked when the simulated program deadlocks. Worker errors are
+// aggregated into the returned error.
+func Run(counts []int64, workers []Worker, userData ...mergeable.Mergeable) error {
+	nsems := len(counts)
+	lists := make([]*mergeable.List[int64], nsems)
+	rootData := make([]mergeable.Mergeable, 0, nsems+len(userData))
+	for i, c := range counts {
+		lists[i] = mergeable.NewList(c) // L[0] = semaphore value
+		rootData = append(rootData, lists[i])
+	}
+	rootData = append(rootData, userData...)
+
+	return task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		coord := &coordinator{
+			nsems:   nsems,
+			lists:   lists,
+			byID:    make(map[int64]*task.Task, len(workers)),
+			inSet:   make(map[*task.Task]bool, len(workers)),
+			blocked: make(map[int64]bool),
+		}
+		for i, w := range workers {
+			w := w
+			id := int64(i + 1)
+			h := ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+				sems := &Sems{ctx: ctx, id: id}
+				for k := 0; k < nsems; k++ {
+					sems.lists = append(sems.lists, d[k].(*mergeable.List[int64]))
+				}
+				return w(ctx, sems, d[nsems:])
+			}, rootData...)
+			coord.byID[id] = h
+			coord.inSet[h] = true
+			coord.live++
+		}
+		return coord.loop(ctx)
+	}, rootData...)
+}
+
+// coordinator is the parent-side bookkeeping of Section IV.A.
+type coordinator struct {
+	nsems   int
+	lists   []*mergeable.List[int64]
+	byID    map[int64]*task.Task
+	inSet   map[*task.Task]bool // S: children the parent is willing to merge
+	blocked map[int64]bool      // worker IDs currently waiting at a semaphore
+	live    int
+	errs    []error
+}
+
+func (c *coordinator) loop(ctx *task.Ctx) error {
+	for c.live > 0 {
+		set := make([]*task.Task, 0, len(c.inSet))
+		for h, ok := range c.inSet {
+			if ok {
+				set = append(set, h)
+			}
+		}
+		if len(set) == 0 {
+			// Every worker is blocked: MergeAnyFromSet(∅) would return
+			// immediately forever — the livelocked image of a deadlock.
+			c.errs = append(c.errs, ErrAllBlocked)
+			break
+		}
+		h, err := ctx.MergeAnyFromSet(set)
+		if errors.Is(err, task.ErrNothingToMerge) {
+			continue
+		}
+		if err != nil {
+			c.errs = append(c.errs, err)
+		}
+		if h != nil && h.Merged() {
+			c.live--
+			delete(c.inSet, h)
+		}
+		c.process()
+	}
+	// Abort whatever is still blocked so the implicit MergeAll at the end
+	// of the root task can unwind it (its changes are discarded; it is
+	// deadlocked in the simulated program anyway).
+	for _, h := range c.byID {
+		if !h.Merged() {
+			h.Abort()
+		}
+	}
+	return errors.Join(c.errs...)
+}
+
+// process applies the paper's bookkeeping after every merge: handle
+// release announcements (negative IDs), then grant semaphores to waiters
+// in FIFO order, then recompute the set S = live workers not blocked at
+// any semaphore.
+func (c *coordinator) process() {
+	for _, l := range c.lists {
+		// Releases: remove negative IDs, incrementing the value for each.
+		i := 1
+		for i < l.Len() {
+			if l.Get(i) < 0 {
+				l.Delete(i)
+				l.Set(0, l.Get(0)+1)
+			} else {
+				i++
+			}
+		}
+		// Grants: while capacity remains, pop the longest-waiting ID.
+		for l.Get(0) > 0 && l.Len() > 1 {
+			id := l.Get(1)
+			l.Delete(1)
+			l.Set(0, l.Get(0)-1)
+			delete(c.blocked, id)
+		}
+	}
+	// Recompute blocked: every ID still listed after position 0 waits.
+	stillWaiting := make(map[int64]bool)
+	for _, l := range c.lists {
+		for i := 1; i < l.Len(); i++ {
+			if id := l.Get(i); id > 0 {
+				stillWaiting[id] = true
+			}
+		}
+	}
+	c.blocked = stillWaiting
+	for id, h := range c.byID {
+		if h.Merged() {
+			continue
+		}
+		c.inSet[h] = !stillWaiting[id]
+		if !c.inSet[h] {
+			delete(c.inSet, h)
+		}
+	}
+}

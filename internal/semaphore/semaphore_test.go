@@ -1,0 +1,275 @@
+package semaphore
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+func withTimeout(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("timed out: semaphore simulation blocked unexpectedly")
+	}
+}
+
+// TestMutualExclusion is the heart of the equivalence claim: a semaphore
+// of count 1 built from Spawn/Merge/Sync must provide real mutual
+// exclusion between genuinely parallel workers. The shared atomic is
+// test-side instrumentation observing the workers' actual concurrency.
+func TestMutualExclusion(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		var inside, maxInside atomic.Int64
+		counter := mergeable.NewCounter(0)
+
+		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			for i := 0; i < 5; i++ {
+				if err := sems.Acquire(0); err != nil {
+					return err
+				}
+				n := inside.Add(1)
+				for {
+					cur := maxInside.Load()
+					if n <= cur || maxInside.CompareAndSwap(cur, n) {
+						break
+					}
+				}
+				data[0].(*mergeable.Counter).Inc()
+				time.Sleep(time.Millisecond) // widen the window
+				inside.Add(-1)
+				if err := sems.Release(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		workers := []Worker{worker, worker, worker, worker}
+		if err := Run([]int64{1}, workers, counter); err != nil {
+			t.Fatal(err)
+		}
+		if got := maxInside.Load(); got != 1 {
+			t.Fatalf("mutual exclusion violated: %d workers inside simultaneously", got)
+		}
+		if counter.Value() != 20 {
+			t.Fatalf("counter = %d, want 20", counter.Value())
+		}
+	})
+}
+
+// TestCountingSemaphore checks a count-3 semaphore admits at most three
+// holders.
+func TestCountingSemaphore(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		var inside, maxInside atomic.Int64
+		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			for i := 0; i < 3; i++ {
+				if err := sems.Acquire(0); err != nil {
+					return err
+				}
+				n := inside.Add(1)
+				for {
+					cur := maxInside.Load()
+					if n <= cur || maxInside.CompareAndSwap(cur, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inside.Add(-1)
+				if err := sems.Release(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		workers := make([]Worker, 6)
+		for i := range workers {
+			workers[i] = worker
+		}
+		if err := Run([]int64{3}, workers); err != nil {
+			t.Fatal(err)
+		}
+		if got := maxInside.Load(); got > 3 {
+			t.Fatalf("semaphore admitted %d concurrent holders, count is 3", got)
+		}
+	})
+}
+
+// TestMutexWrapper covers the derived Mutex primitive.
+func TestMutexWrapper(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		counter := mergeable.NewCounter(0)
+		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			mu := sems.Mutex(0)
+			if err := mu.Lock(); err != nil {
+				return err
+			}
+			data[0].(*mergeable.Counter).Inc()
+			return mu.Unlock()
+		}
+		if err := Run([]int64{1}, []Worker{worker, worker, worker}, counter); err != nil {
+			t.Fatal(err)
+		}
+		if counter.Value() != 3 {
+			t.Fatalf("counter = %d, want 3", counter.Value())
+		}
+	})
+}
+
+// TestDeadlockDetected builds the canonical two-lock deadlock: worker A
+// holds semaphore 0 and wants 1; worker B holds 1 and wants 0. In a real
+// semaphore system the threads deadlock; per Section IV.B the Spawn &
+// Merge simulation degenerates to MergeAnyFromSet over an empty set — a
+// livelock we detect and report as ErrAllBlocked.
+func TestDeadlockDetected(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		var aHolds0, bHolds1 atomic.Bool
+		workerA := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			if err := sems.Acquire(0); err != nil {
+				return err
+			}
+			aHolds0.Store(true)
+			for !bHolds1.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			return sems.Acquire(1) // blocks forever
+		}
+		workerB := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			if err := sems.Acquire(1); err != nil {
+				return err
+			}
+			bHolds1.Store(true)
+			for !aHolds0.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			return sems.Acquire(0) // blocks forever
+		}
+		err := Run([]int64{1, 1}, []Worker{workerA, workerB})
+		if !errors.Is(err, ErrAllBlocked) {
+			t.Fatalf("err = %v, want ErrAllBlocked", err)
+		}
+	})
+}
+
+// TestProducerConsumer implements the classic bounded buffer with three
+// semaphores (slots, items, mutex) — the standard semaphore exercise,
+// executed under the Spawn & Merge simulation with a mergeable queue as
+// the buffer.
+func TestProducerConsumer(t *testing.T) {
+	withTimeout(t, 120*time.Second, func() {
+		const items = 8
+		buf := mergeable.NewQueue[int]()
+		sink := mergeable.NewList[int]()
+
+		producer := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			q := data[0].(*mergeable.Queue[int])
+			for i := 0; i < items; i++ {
+				if err := sems.Acquire(0); err != nil { // slots
+					return err
+				}
+				if err := sems.Acquire(2); err != nil { // mutex
+					return err
+				}
+				q.Push(i)
+				if err := sems.Release(2); err != nil {
+					return err
+				}
+				if err := sems.Release(1); err != nil { // items
+					return err
+				}
+			}
+			return nil
+		}
+		consumer := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			q := data[0].(*mergeable.Queue[int])
+			out := data[1].(*mergeable.List[int])
+			for i := 0; i < items; i++ {
+				if err := sems.Acquire(1); err != nil { // items
+					return err
+				}
+				if err := sems.Acquire(2); err != nil { // mutex
+					return err
+				}
+				v, ok := q.PopFront()
+				if !ok {
+					t.Error("consumer found empty buffer despite items semaphore")
+				}
+				out.Append(v)
+				if err := sems.Release(2); err != nil {
+					return err
+				}
+				if err := sems.Release(0); err != nil { // slots
+					return err
+				}
+			}
+			return nil
+		}
+
+		// counts: slots=3, items=0, mutex=1
+		if err := Run([]int64{3, 0, 1}, []Worker{producer, consumer}, buf, sink); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("buffer should be drained, has %v", buf.Values())
+		}
+		if sink.Len() != items {
+			t.Fatalf("consumed %d items, want %d: %v", sink.Len(), items, sink.Values())
+		}
+		// FIFO buffer + single producer/consumer => order preserved.
+		for i, v := range sink.Values() {
+			if v != i {
+				t.Fatalf("out of order at %d: %v", i, sink.Values())
+			}
+		}
+	})
+}
+
+// TestAcquireBadIndex covers argument validation.
+func TestAcquireBadIndex(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			if err := sems.Acquire(5); err == nil {
+				t.Error("acquire of missing semaphore should fail")
+			}
+			if err := sems.Release(-1); err == nil {
+				t.Error("release of missing semaphore should fail")
+			}
+			return nil
+		}
+		if err := Run([]int64{1}, []Worker{worker}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestWorkerErrorPropagates ensures a failing worker surfaces in Run's
+// result and does not wedge the coordinator.
+func TestWorkerErrorPropagates(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		boom := errors.New("boom")
+		bad := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			if err := sems.Acquire(0); err != nil {
+				return err
+			}
+			return boom // dies holding the semaphore
+		}
+		good := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
+			return nil
+		}
+		err := Run([]int64{1}, []Worker{bad, good})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	})
+}

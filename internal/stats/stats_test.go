@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !approx(s.Mean, 3) || !approx(s.Min, 1) || !approx(s.Max, 5) || !approx(s.Median, 3) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !approx(s.StdDev, math.Sqrt(2.5)) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	even := Summarize([]float64{4, 1, 3, 2})
+	if !approx(even.Median, 2.5) {
+		t.Fatalf("median = %v", even.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	if !strings.Contains(s.String(), "mean=3.00") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if !approx(s.Mean, 2) {
+		t.Fatalf("mean = %v ms", s.Mean)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f := FitLinear(xs, ys)
+	if !approx(f.Slope, 2) || !approx(f.Intercept, 1) || !approx(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 5.0}
+	f := FitLinear(xs, ys)
+	if f.Slope < 0.9 || f.Slope > 1.1 {
+		t.Fatalf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("r2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if f := FitLinear([]float64{1}, []float64{1}); f.Slope != 0 {
+		t.Fatalf("single point fit = %+v", f)
+	}
+	if f := FitLinear([]float64{2, 2}, []float64{1, 5}); f.Slope != 0 {
+		t.Fatalf("vertical fit = %+v", f)
+	}
+	if f := FitLinear([]float64{1, 2}, []float64{3, 3}); !approx(f.R2, 1) || !approx(f.Slope, 0) {
+		t.Fatalf("horizontal fit = %+v", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	FitLinear([]float64{1}, []float64{1, 2})
+}
+
+func TestOverheadPercent(t *testing.T) {
+	if !approx(OverheadPercent(138, 100), 38) {
+		t.Fatalf("overhead = %v", OverheadPercent(138, 100))
+	}
+	if OverheadPercent(1, 0) != 0 {
+		t.Fatalf("zero base should yield 0")
+	}
+}

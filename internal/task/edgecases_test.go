@@ -1,0 +1,162 @@
+package task
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// TestMergeSetDuplicateHandle documents MergeAllFromSet semantics with a
+// repeated handle: a syncing child listed twice is merged twice (two sync
+// rounds); a completed child is merged once and skipped afterwards.
+func TestMergeSetDuplicateHandle(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		c := mergeable.NewCounter(0)
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				for i := 0; i < 2; i++ {
+					data[0].(*mergeable.Counter).Inc()
+					if err := ctx.Sync(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, data[0])
+			// One call, handle listed twice: merges two sync rounds.
+			if err := ctx.MergeAllFromSet([]*Task{h, h}); err != nil {
+				return err
+			}
+			if got := data[0].(*mergeable.Counter).Value(); got != 2 {
+				t.Errorf("after duplicate merge: counter = %d, want 2", got)
+			}
+			// Completed child: merged once, duplicates skipped.
+			if err := ctx.MergeAllFromSet([]*Task{h, h, h}); err != nil {
+				return err
+			}
+			return nil
+		}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Value() != 2 {
+			t.Fatalf("counter = %d", c.Value())
+		}
+	})
+}
+
+// TestSpawnWithNoData covers tasks that carry no mergeable structures —
+// pure computations coordinated only through completion.
+func TestSpawnWithNoData(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			if len(data) != 0 {
+				t.Errorf("data = %v", data)
+			}
+			return nil
+		})
+		return ctx.MergeAllFromSet([]*Task{h})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortBeforeFirstSync aborts a child before it ever reaches a
+// blocking point; its entire contribution is discarded at completion.
+func TestAbortBeforeFirstSync(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		l := mergeable.NewList[int]()
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			started := make(chan struct{})
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				close(started)
+				data[0].(*mergeable.List[int]).Append(1)
+				// Poll the abort flag like a long computation would.
+				for !ctx.Aborted() {
+					time.Sleep(time.Millisecond)
+				}
+				return nil
+			}, data[0])
+			<-started
+			h.Abort()
+			return ctx.MergeAll()
+		}, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() != 0 {
+			t.Fatalf("aborted work leaked: %v", l.Values())
+		}
+	})
+}
+
+// TestSameStructurePassedTwice passes one structure twice to a child; the
+// pairing is positional, and both positions alias the same copy state at
+// spawn. The merge must not double-apply.
+func TestSameStructurePassedTwice(t *testing.T) {
+	l := mergeable.NewList(1)
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		lst := data[0].(*mergeable.List[int])
+		ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			// Two entries, two independent copies: edits to data[0] do not
+			// show up in data[1] — they are separate copies by design.
+			data[0].(*mergeable.List[int]).Append(2)
+			data[1].(*mergeable.List[int]).Append(3)
+			return nil
+		}, lst, lst)
+		return ctx.MergeAll()
+	}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both copies' ops merge back into the one parent structure.
+	got := l.Values()
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("list = %v, want %v", got, want)
+	}
+}
+
+// TestZeroChildrenMergeAll pins MergeAll on a childless task: immediate
+// no-op.
+func TestZeroChildrenMergeAll(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		return ctx.MergeAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrAbortedIsSticky verifies a second Sync after an abort still
+// reports the abort rather than blocking forever.
+func TestErrAbortedIsSticky(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				for i := 0; ; i++ {
+					if err := ctx.Sync(); err != nil {
+						// Misbehave: sync again anyway.
+						if err2 := ctx.Sync(); !errors.Is(err2, ErrAborted) {
+							t.Errorf("second sync after abort = %v", err2)
+						}
+						return err
+					}
+				}
+			})
+			h.Abort()
+			for i := 0; i < 4; i++ {
+				if err := ctx.MergeAll(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

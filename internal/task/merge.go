@@ -1,0 +1,348 @@
+package task
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mergeable"
+	"repro/internal/ot"
+)
+
+// Condition is a post-condition evaluated against a preview of the merge
+// result (Section II.D): copies of the parent structures with the child's
+// transformed operations applied, in the child's data order. Returning
+// false rejects the merge — the child's changes are discarded, a rollback
+// that (unlike transactional memory) only ever happens because the
+// application said so, never because of write-write conflicts.
+type Condition func(preview []mergeable.Mergeable) bool
+
+// MergeOption configures a merge call.
+type MergeOption func(*mergeConfig)
+
+type mergeConfig struct {
+	cond Condition
+}
+
+// WithCondition attaches a post-condition to a merge call. It applies to
+// every child merged by that call.
+func WithCondition(cond Condition) MergeOption {
+	return func(c *mergeConfig) { c.cond = cond }
+}
+
+// evalCondition runs a user condition function, treating a panic as a
+// rejection: a crashing validator must not take down the merging parent,
+// and "could not validate" safely degrades to "do not accept".
+func evalCondition(cond Condition, preview []mergeable.Mergeable) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return cond(preview)
+}
+
+func applyOptions(opts []MergeOption) *mergeConfig {
+	cfg := &mergeConfig{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// trackStructs remembers structures handed to children so their histories
+// can be trimmed once no live child depends on old versions. Parent
+// goroutine only.
+func (t *Task) trackStructs(data []mergeable.Mergeable) {
+	if t.tracked == nil {
+		t.tracked = make(map[mergeable.Mergeable]bool)
+	}
+	for _, m := range data {
+		t.tracked[m] = true
+	}
+}
+
+// mergeSet waits for and merges the given children in slice order. Skips
+// children that were already collected (merged completions).
+func (t *Task) mergeSet(tasks []*Task, cfg *mergeConfig) error {
+	var errs []error
+	for _, c := range tasks {
+		if c.merged {
+			continue
+		}
+		t.awaitQuiescent(c)
+		if err := t.mergeChild(c, cfg); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	t.trimHistories()
+	return errors.Join(errs...)
+}
+
+// mergeAnyDynamic waits for the first of t's children — including ones
+// registered while waiting, e.g. clones — to become quiescent and merges
+// only it.
+func (t *Task) mergeAnyDynamic(cfg *mergeConfig) (*Task, error) {
+	c := t.scriptedPick()
+	if c == nil {
+		if len(t.pendingList) > 0 {
+			c = t.pendingList[0]
+			t.pendingList = t.pendingList[1:]
+		} else {
+			if len(t.liveChildren()) == 0 {
+				// No children exist, so none can appear either (only
+				// children clone): never block on the empty set (§IV.B).
+				return nil, ErrNothingToMerge
+			}
+			c = t.recvReady()
+		}
+	}
+	t.recordPick(c)
+	err := t.mergeChild(c, cfg)
+	t.trimHistories()
+	return c, err
+}
+
+// mergeAny waits for the first of the given children to become quiescent
+// and merges only it.
+func (t *Task) mergeAny(tasks []*Task, cfg *mergeConfig) (*Task, error) {
+	live := make(map[*Task]bool, len(tasks))
+	for _, c := range tasks {
+		if !c.merged {
+			live[c] = true
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrNothingToMerge
+	}
+	c := t.scriptedPick()
+	if c == nil {
+		c = t.awaitAny(live)
+	}
+	t.recordPick(c)
+	err := t.mergeChild(c, cfg)
+	t.trimHistories()
+	return c, err
+}
+
+// awaitQuiescent blocks until child c has announced quiescence (completed
+// or blocked in Sync). Announcements from other children are queued.
+func (t *Task) awaitQuiescent(c *Task) {
+	for i, q := range t.pendingList {
+		if q == c {
+			t.pendingList = append(t.pendingList[:i], t.pendingList[i+1:]...)
+			return
+		}
+	}
+	for {
+		q := t.recvReady()
+		if q == c {
+			return
+		}
+		t.pendingList = append(t.pendingList, q)
+	}
+}
+
+// awaitAny blocks until some child in set announces quiescence, in arrival
+// order (first-completed-first-merged, the paper's explicit
+// non-determinism).
+func (t *Task) awaitAny(set map[*Task]bool) *Task {
+	for i, q := range t.pendingList {
+		if set[q] {
+			t.pendingList = append(t.pendingList[:i], t.pendingList[i+1:]...)
+			return q
+		}
+	}
+	for {
+		q := t.recvReady()
+		if set[q] {
+			return q
+		}
+		t.pendingList = append(t.pendingList, q)
+	}
+}
+
+// mergeChild folds one quiescent child into the parent's structures. This
+// is the heart of the system: the child's local operations are transformed
+// against the suffix of each structure's committed history the child has
+// not seen (operational transformation serializes the concurrent
+// operations), applied, and committed. A failed, aborted or
+// condition-rejected child contributes nothing.
+//
+// The returned error reports failures the parent did not choose: the
+// child's own error or a condition rejection. Externally aborted children
+// merge silently.
+func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
+	ph := phase(c.phase.Load())
+	aborted := c.abortFlag.Load()
+	failed := ph == phaseCompleted && c.err != nil
+
+	var reportErr error
+	discard := aborted || failed
+	if failed && !aborted {
+		reportErr = fmt.Errorf("task %d: %w", c.id, c.err)
+	}
+
+	// Always flush local operations into the committed histories first:
+	// the parent's so version numbers cover everything a refreshed copy
+	// will contain, the child's so its committed history holds its full
+	// contribution in application order (its own operations interleaved
+	// with those merged in from its children).
+	for i, pm := range c.parentData {
+		pm.Log().Commit(pm.Log().TakeLocal())
+		cm := c.data[i].Log()
+		cm.Commit(cm.TakeLocal())
+	}
+
+	appliedOps := 0
+	if !discard {
+		// Transform the child's operations against the unseen history.
+		// The outgoing contribution is compacted first (adjacent pops and
+		// appends collapse into ranges), which shrinks the quadratic
+		// transform and the parent's history growth without touching any
+		// version bookkeeping. When the same parent structure appears at
+		// several data positions, later entries also transform against the
+		// earlier entries' still-pending operations — they will have been
+		// applied by the time the later ops are.
+		transformed := make([][]ot.Op, len(c.parentData))
+		var pending map[mergeable.Mergeable][]ot.Op
+		for i, pm := range c.parentData {
+			server := pm.Log().CommittedSince(c.bases[i])
+			if prior, ok := pending[pm]; ok && len(prior) > 0 {
+				server = append(append([]ot.Op{}, server...), prior...)
+			}
+			childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
+			transformed[i] = ot.TransformAgainst(childOps, server)
+			if len(transformed[i]) > 0 {
+				if pending == nil {
+					pending = make(map[mergeable.Mergeable][]ot.Op)
+				}
+				pending[pm] = append(pending[pm], transformed[i]...)
+			}
+		}
+
+		if cfg.cond != nil {
+			preview := make([]mergeable.Mergeable, len(c.parentData))
+			for i, pm := range c.parentData {
+				pv := pm.CloneValue()
+				if err := pv.ApplyRemote(transformed[i]); err != nil {
+					panic(fmt.Sprintf("task: merge preview failed, transformation invariant broken: %v", err))
+				}
+				preview[i] = pv
+			}
+			if !evalCondition(cfg.cond, preview) {
+				discard = true
+				reportErr = fmt.Errorf("task %d: %w", c.id, ErrMergeRejected)
+			}
+		}
+
+		if !discard {
+			for i, pm := range c.parentData {
+				if err := pm.ApplyRemote(transformed[i]); err != nil {
+					panic(fmt.Sprintf("task: merge failed, transformation invariant broken: %v", err))
+				}
+				pm.Log().Commit(transformed[i])
+				appliedOps += len(transformed[i])
+			}
+		}
+	}
+
+	if t.runtime.tracer != nil {
+		outcome := "merged"
+		switch {
+		case aborted:
+			outcome = "aborted"
+		case failed:
+			outcome = "failed"
+		case discard:
+			outcome = "rejected"
+		}
+		t.runtime.tracer.record(t, c, ph != phaseCompleted, outcome, appliedOps)
+	}
+
+	// Whether merged or dismissed, the parent has now consumed the child's
+	// contribution up to here.
+	for i := range c.data {
+		c.floors[i] = c.data[i].Log().CommittedLen()
+	}
+
+	if ph == phaseCompleted {
+		switch {
+		case aborted && c.err == nil:
+			c.err = ErrAborted
+		case discard && !failed && !aborted && c.err == nil:
+			c.err = ErrMergeRejected // condition rejection
+		}
+		c.merged = true
+		t.reap(c)
+		return reportErr
+	}
+
+	// The child is blocked in Sync. Refresh its copies from the parent's
+	// current state and resume it with the merge outcome.
+	var resumeErr error
+	switch {
+	case aborted:
+		resumeErr = ErrAborted
+	case discard:
+		resumeErr = ErrMergeRejected
+	}
+	if !aborted {
+		for i, pm := range c.parentData {
+			if err := c.data[i].AdoptFrom(pm); err != nil {
+				panic(fmt.Sprintf("task: refresh failed: %v", err))
+			}
+			c.data[i].Log().ClearStale()
+			c.bases[i] = pm.Log().CommittedLen()
+		}
+	}
+	c.resume <- resumeMsg{err: resumeErr}
+	if resumeErr != nil && errors.Is(resumeErr, ErrMergeRejected) {
+		return reportErr
+	}
+	return nil
+}
+
+// trimHistories drops committed history that neither a live child's base
+// version nor the upward-propagation floor still needs. Long-running
+// programs (the network simulation syncs thousands of times) would
+// otherwise accumulate unbounded operation logs.
+func (t *Task) trimHistories() {
+	if len(t.tracked) == 0 {
+		return
+	}
+	live := t.liveChildren()
+	minKeep := make(map[mergeable.Mergeable]int, len(t.tracked))
+	for m := range t.tracked {
+		minKeep[m] = m.Log().CommittedLen()
+	}
+	// History at or after a live child's base must survive.
+	for _, c := range live {
+		for i, pm := range c.parentData {
+			if b, ok := minKeep[pm]; ok && c.bases[i] < b {
+				minKeep[pm] = c.bases[i]
+			}
+		}
+	}
+	// History at or after this task's own floor must survive too: it is
+	// this task's not-yet-propagated contribution to its parent. The root
+	// has no parent to propagate to, so it is exempt.
+	if t.parent != nil {
+		for i, m := range t.data {
+			if b, ok := minKeep[m]; ok && t.floors[i] < b {
+				minKeep[m] = t.floors[i]
+			}
+		}
+	}
+	referenced := make(map[mergeable.Mergeable]bool, len(live))
+	for _, c := range live {
+		for _, pm := range c.parentData {
+			referenced[pm] = true
+		}
+	}
+	for m, b := range minKeep {
+		m.Log().Trim(b)
+		if !referenced[m] {
+			delete(t.tracked, m)
+		}
+	}
+}

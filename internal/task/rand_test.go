@@ -1,0 +1,72 @@
+package task
+
+import (
+	"testing"
+
+	"repro/internal/mergeable"
+)
+
+// randScenario builds a program whose behavior depends on task-local
+// randomness and returns its fingerprint.
+func randScenario(seed uint64) uint64 {
+	l := mergeable.NewList[int]()
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		ctx.SeedRand(seed)
+		for i := 0; i < 4; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				r := ctx.Rand()
+				cl := data[0].(*mergeable.List[int])
+				for j, n := 0, 1+r.Intn(4); j < n; j++ {
+					cl.Append(r.Intn(1000))
+				}
+				return nil
+			}, data[0])
+		}
+		l2 := data[0].(*mergeable.List[int])
+		l2.Append(ctx.Rand().Intn(1000)) // the root draws too
+		return ctx.MergeAll()
+	}, l)
+	if err != nil {
+		panic(err)
+	}
+	return l.Fingerprint()
+}
+
+// TestCtxRandDeterministic pins the extension beyond the paper's footnote
+// 1: programs drawing randomness from Ctx.Rand stay deterministic.
+func TestCtxRandDeterministic(t *testing.T) {
+	want := randScenario(42)
+	for i := 0; i < 10; i++ {
+		if got := randScenario(42); got != want {
+			t.Fatalf("run %d: fingerprint %x != %x", i, got, want)
+		}
+	}
+}
+
+// TestCtxRandSeedSensitive verifies different seeds give different
+// executions and sibling tasks draw independent streams.
+func TestCtxRandSeedSensitive(t *testing.T) {
+	if randScenario(1) == randScenario(2) {
+		t.Fatal("different seeds should change the outcome")
+	}
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		draws := make(chan int, 2)
+		for i := 0; i < 2; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				draws <- ctx.Rand().Intn(1 << 30)
+				return nil
+			})
+		}
+		if err := ctx.MergeAll(); err != nil {
+			return err
+		}
+		a, b := <-draws, <-draws
+		if a == b {
+			t.Errorf("sibling tasks drew identical values %d; streams should differ", a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

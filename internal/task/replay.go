@@ -1,0 +1,146 @@
+package task
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mergeable"
+)
+
+// Record & replay for the non-deterministic merges. Programs built only
+// from MergeAll/MergeAllFromSet are deterministic by construction; the
+// moment a program opts into MergeAny/MergeAnyFromSet (servers,
+// interactive applications), its outcome depends on which child wins each
+// race. A MergeScript captures exactly those decisions — nothing else is
+// non-deterministic in the model — so replaying the script reproduces a
+// recorded execution bit for bit. This extends the paper's debugging
+// story to the programs that deliberately left determinism behind.
+
+// MergeScript is the recorded sequence of non-deterministic merge picks.
+// Children are identified by their creation path (per-parent creation
+// sequence numbers from the root), which is stable across runs of the
+// same program; task IDs are not.
+type MergeScript struct {
+	mu      sync.Mutex
+	picks   map[string][]uint64 // parent path -> child seqs in pick order
+	cursors map[string]int      // replay progress per parent path
+}
+
+// NewMergeScript returns an empty script for RunRecording to fill.
+func NewMergeScript() *MergeScript {
+	return &MergeScript{picks: make(map[string][]uint64)}
+}
+
+// Len returns the total number of recorded picks.
+func (s *MergeScript) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.picks {
+		n += len(p)
+	}
+	return n
+}
+
+// record appends a pick made by the parent at path.
+func (s *MergeScript) record(path string, childSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.picks[path] = append(s.picks[path], childSeq)
+}
+
+// next pops the parent's next scripted pick. ok is false when the script
+// has no (further) picks for this parent — the caller falls back to live
+// first-completed behavior.
+func (s *MergeScript) next(path string) (childSeq uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cursors == nil {
+		s.cursors = make(map[string]int)
+	}
+	i := s.cursors[path]
+	p := s.picks[path]
+	if i >= len(p) {
+		return 0, false
+	}
+	s.cursors[path] = i + 1
+	return p[i], true
+}
+
+// resetCursors rewinds the script so it can drive another replay.
+func (s *MergeScript) resetCursors() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cursors = nil
+}
+
+// RunRecording is Run that additionally records every MergeAny /
+// MergeAnyFromSet decision into script. The recorded run behaves exactly
+// like a plain Run.
+func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
+	rt := &treeRuntime{record: script}
+	root := newTask(nil, fn, data, nil, nil, rt)
+	root.run()
+	return root.err
+}
+
+// RunReplaying is Run with every MergeAny / MergeAnyFromSet decision
+// forced to follow script (recorded by RunRecording from the same program
+// with the same inputs). Replayed runs reproduce the recorded execution's
+// results exactly. When the script runs dry — e.g. the program made more
+// merges this time — the merges fall back to live first-completed
+// behavior.
+func RunReplaying(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
+	script.resetCursors()
+	rt := &treeRuntime{replay: script}
+	root := newTask(nil, fn, data, nil, nil, rt)
+	root.run()
+	return root.err
+}
+
+// path returns the task's stable identity: the chain of per-parent
+// creation sequence numbers from the root.
+func (t *Task) path() string {
+	if t.parent == nil {
+		return "r"
+	}
+	return fmt.Sprintf("%s/%d", t.parent.path(), t.seq)
+}
+
+// awaitSeq blocks until the child with the given creation sequence number
+// announces quiescence. Other announcements queue up as usual.
+func (t *Task) awaitSeq(seq uint64) *Task {
+	for i, q := range t.pendingList {
+		if q.seq == seq {
+			t.pendingList = append(t.pendingList[:i], t.pendingList[i+1:]...)
+			return q
+		}
+	}
+	for {
+		q := t.recvReady()
+		if q.seq == seq {
+			return q
+		}
+		t.pendingList = append(t.pendingList, q)
+	}
+}
+
+// scriptedPick consults the replay script for this parent's next pick.
+// It returns nil when the runtime is not replaying or the script is dry.
+func (t *Task) scriptedPick() *Task {
+	if t.runtime.replay == nil {
+		return nil
+	}
+	seq, ok := t.runtime.replay.next(t.path())
+	if !ok {
+		return nil
+	}
+	return t.awaitSeq(seq)
+}
+
+// recordPick notes a non-deterministic pick when recording.
+func (t *Task) recordPick(c *Task) {
+	if t.runtime.record != nil {
+		t.runtime.record.record(t.path(), c.seq)
+	}
+}

@@ -1,0 +1,149 @@
+package task
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// racyScenario uses MergeAny over children racing to write one register —
+// a genuinely non-deterministic program. The returned values are the
+// register after each of the four merges.
+func racyScenario(run func(fn Func, data ...mergeable.Mergeable) error, delays []time.Duration) ([]int, error) {
+	reg := mergeable.NewRegister(-1)
+	var observed []int
+	err := run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		r := data[0].(*mergeable.Register[int])
+		for i := 0; i < 4; i++ {
+			i := i
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				time.Sleep(delays[i])
+				data[0].(*mergeable.Register[int]).Set(i)
+				return nil
+			}, r)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+			observed = append(observed, r.Get())
+		}
+		return nil
+	}, reg)
+	return observed, err
+}
+
+// TestRecordReplayReproducesNonDeterministicRun records a racy execution
+// and replays it repeatedly with different timing: the replayed outcomes
+// must match the recording exactly.
+func TestRecordReplayReproducesNonDeterministicRun(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		script := NewMergeScript()
+		// Record with strongly skewed delays so a specific order is likely.
+		recorded, err := racyScenario(func(fn Func, data ...mergeable.Mergeable) error {
+			return RunRecording(script, fn, data...)
+		}, []time.Duration{30 * time.Millisecond, 0, 10 * time.Millisecond, 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if script.Len() != 4 {
+			t.Fatalf("script recorded %d picks, want 4", script.Len())
+		}
+		// Replay with inverted delays: timing now favors a different
+		// order, but the script must win.
+		for i := 0; i < 10; i++ {
+			replayed, err := racyScenario(func(fn Func, data ...mergeable.Mergeable) error {
+				return RunReplaying(script, fn, data...)
+			}, []time.Duration{0, 30 * time.Millisecond, 20 * time.Millisecond, 10 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range recorded {
+				if replayed[j] != recorded[j] {
+					t.Fatalf("replay %d diverged at merge %d: %v vs recorded %v", i, j, replayed, recorded)
+				}
+			}
+		}
+	})
+}
+
+// TestReplayScriptDryFallsBack replays a script against a program that
+// performs more merges than were recorded; the surplus merges fall back
+// to live behavior instead of hanging.
+func TestReplayScriptDryFallsBack(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		script := NewMergeScript() // empty: everything falls back
+		c := mergeable.NewCounter(0)
+		err := RunReplaying(script, func(ctx *Ctx, data []mergeable.Mergeable) error {
+			for i := 0; i < 3; i++ {
+				ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+					data[0].(*mergeable.Counter).Inc()
+					return nil
+				}, data[0])
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := ctx.MergeAny(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Value() != 3 {
+			t.Fatalf("counter = %d", c.Value())
+		}
+	})
+}
+
+// TestRecordingDeterministicProgramIsHarmless records a program without
+// non-deterministic merges: the script stays empty and results match Run.
+func TestRecordingDeterministicProgramIsHarmless(t *testing.T) {
+	script := NewMergeScript()
+	c := mergeable.NewCounter(0)
+	err := RunRecording(script, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.Counter).Inc()
+			return nil
+		}, data[0])
+		return ctx.MergeAll()
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.Len() != 0 {
+		t.Fatalf("MergeAll must not be recorded, script has %d picks", script.Len())
+	}
+	if c.Value() != 1 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+// TestTaskPath pins the stable identity scheme replay relies on.
+func TestTaskPath(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		if got := ctx.task.path(); got != "r" {
+			t.Errorf("root path = %q", got)
+		}
+		var child0, child1 *Task
+		child0 = ctx.Spawn(func(inner *Ctx, data []mergeable.Mergeable) error {
+			if got := inner.task.path(); got != "r/0" {
+				t.Errorf("first child path = %q", got)
+			}
+			return nil
+		})
+		child1 = ctx.Spawn(func(inner *Ctx, data []mergeable.Mergeable) error {
+			if got := inner.task.path(); got != "r/1" {
+				t.Errorf("second child path = %q", got)
+			}
+			return nil
+		})
+		_, _ = child0, child1
+		return ctx.MergeAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

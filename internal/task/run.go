@@ -1,0 +1,37 @@
+package task
+
+import "repro/internal/mergeable"
+
+// Run executes fn as the root task of a new task tree, on the calling
+// goroutine, and returns when fn and every task it spawned have completed
+// and been merged. The structures in data are the root's working set: Run
+// operates on them directly, so after Run returns they hold the final,
+// fully merged state.
+//
+// A program whose tasks only use MergeAll/MergeAllFromSet (and whose Funcs
+// are themselves deterministic) produces identical results on every Run,
+// on any number of cores — the paper's headline guarantee. Determinism is
+// surrendered exactly where MergeAny/MergeAnyFromSet is chosen.
+func Run(fn Func, data ...mergeable.Mergeable) error {
+	rt := &treeRuntime{}
+	root := newTask(nil, fn, data, nil, nil, rt)
+	root.run()
+	return root.err
+}
+
+// RunPooled is Run with task execution bounded to maxParallel
+// simultaneous tasks — footnote 2 of the paper: tasks need not map
+// one-to-one onto threads but "may also be scheduled to be executed on a
+// pool of threads". Tasks hold an execution slot only while running user
+// code; every blocking point of the merge protocol releases it, so any
+// maxParallel >= 1 preserves both progress and the determinism
+// guarantees (results are identical to Run's).
+func RunPooled(maxParallel int, fn Func, data ...mergeable.Mergeable) error {
+	if maxParallel < 1 {
+		maxParallel = 1
+	}
+	rt := &treeRuntime{slots: make(chan struct{}, maxParallel)}
+	root := newTask(nil, fn, data, nil, nil, rt)
+	root.run()
+	return root.err
+}

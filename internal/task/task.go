@@ -1,0 +1,305 @@
+// Package task implements the paper's primary contribution: the Spawn &
+// Merge runtime for deterministic synchronization of multi-threaded
+// programs.
+//
+// An executing program is a tree of tasks. Spawn creates a child task that
+// receives deep copies of selected mergeable data structures and runs
+// concurrently — no memory is shared, so data races are impossible by
+// construction. Merge folds a child's recorded operations back into the
+// parent's structures using operational transformation (package ot), in an
+// order chosen by the parent:
+//
+//   - MergeAll / MergeAllFromSet merge deterministically, in creation or
+//     argument order. Programs that only use these are deterministic.
+//   - MergeAny / MergeAnyFromSet merge on a first-completed basis and are
+//     the explicit escape hatch for intentional non-determinism (servers,
+//     interactive programs).
+//
+// Sync lets a long-running child merge intermediate results and continue on
+// a fresh copy; Clone creates a sibling task (the blocking-accept pattern);
+// Abort marks a child's changes as unwanted. Because the wait graph is the
+// task tree and the only parent↔child cycle (Merge vs. Sync) is resolved by
+// performing the merge, deadlocks are impossible (Section IV.B).
+package task
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mergeable"
+)
+
+// Func is the body of a task. It receives the task's context and its
+// working copies of the data structures passed to Spawn, in the same
+// order. A non-nil return marks the task failed: its changes are discarded
+// when the parent merges it.
+//
+// A Func must only touch the structures it received (or ones it created) —
+// capturing a parent's structure in the closure would reintroduce shared
+// memory, which is exactly what Spawn & Merge exists to prevent.
+type Func func(ctx *Ctx, data []mergeable.Mergeable) error
+
+// phase describes why a task became quiescent.
+type phase int32
+
+const (
+	phaseRunning phase = iota
+	phaseSyncing
+	phaseCompleted
+)
+
+// resumeMsg is the parent's answer to a child blocked in Sync.
+type resumeMsg struct {
+	err error // nil, ErrAborted or ErrMergeRejected
+}
+
+// Task is a node of the task tree. The creating task receives it as a
+// handle; only the exported methods are safe to call from other tasks.
+type Task struct {
+	id     uint64
+	seq    uint64 // creation order among siblings
+	parent *Task
+	fn     Func
+
+	// Working copies this task operates on, and the parent structures they
+	// were copied from (same order). For the root task, data are the
+	// structures passed to Run and parentData is nil.
+	data       []mergeable.Mergeable
+	parentData []mergeable.Mergeable
+	// bases[i] is the version of parentData[i]'s committed history this
+	// task's copy is based on. floors[i] is the version of data[i]'s own
+	// committed history the parent has already consumed: a task's full
+	// contribution at merge time is its copy's committed history since the
+	// floor (which includes operations merged in from its own children)
+	// plus its trailing local operations. Both are written at spawn/clone
+	// time and by the parent during merges (while the task is quiescent).
+	bases  []int
+	floors []int
+
+	// Child management (this task acting as a parent).
+	mu       sync.Mutex
+	children []*Task // live (unreaped) children, creation order
+	nextSeq  uint64
+	ready    chan *Task // children announce quiescence here
+	// pendingList queues quiescent children not yet merged, in arrival
+	// order. tracked remembers structures handed to children, for history
+	// trimming. Both are touched only by this task's own goroutine.
+	pendingList []*Task
+	tracked     map[mergeable.Mergeable]bool
+
+	// Quiescence handshake (this task acting as a child).
+	phase  atomic.Int32
+	resume chan resumeMsg
+
+	// Result and flags.
+	err       error
+	merged    bool // reaped by the parent
+	abortFlag atomic.Bool
+	// rng is the lazily created task-local deterministic random source
+	// (see Ctx.Rand).
+	rng *rand.Rand
+
+	runtime *treeRuntime
+}
+
+// treeRuntime holds process-wide state shared by a task tree.
+type treeRuntime struct {
+	nextID atomic.Uint64
+	// tracer records merge decisions when non-nil (see RunTraced).
+	tracer *Trace
+	// record and replay capture / enforce the non-deterministic merge
+	// picks (see RunRecording / RunReplaying).
+	record *MergeScript
+	replay *MergeScript
+	// randSeed is the base seed for the task-local deterministic random
+	// sources (see Ctx.Rand / Ctx.SeedRand).
+	randSeed uint64
+	// jitter, when non-nil, is invoked at every blocking point of the
+	// merge protocol — a test hook that perturbs schedules to widen
+	// interleaving coverage without touching results.
+	jitter func()
+	// slots bounds how many tasks execute simultaneously when non-nil
+	// (footnote 2 of the paper: "tasks may also be scheduled to be
+	// executed on a pool of threads"). A task holds a slot while running
+	// user code and releases it across every blocking point — Sync waits,
+	// merge waits and completion — so a bounded pool can never deadlock
+	// the merge protocol.
+	slots chan struct{}
+}
+
+// acquire takes an execution slot (no-op without a pool).
+func (rt *treeRuntime) acquire() {
+	if rt.jitter != nil {
+		rt.jitter()
+	}
+	if rt.slots != nil {
+		rt.slots <- struct{}{}
+	}
+}
+
+// release returns an execution slot (no-op without a pool).
+func (rt *treeRuntime) release() {
+	if rt.slots != nil {
+		<-rt.slots
+	}
+}
+
+// ID returns the task's unique identifier within its Run.
+func (t *Task) ID() uint64 { return t.id }
+
+// Abort marks the task externally aborted (Section II.F). The task keeps
+// running until it notices — its next Sync returns ErrAborted — but
+// whatever it produces is discarded at merge time. Abort never blocks and
+// is safe to call from the parent at any time.
+func (t *Task) Abort() { t.abortFlag.Store(true) }
+
+// Aborted reports whether the task was marked externally aborted.
+func (t *Task) Aborted() bool { return t.abortFlag.Load() }
+
+// Err returns the task's recorded error. It is meaningful once the task
+// has been merged by its parent; nil means the task completed and its
+// changes were merged.
+func (t *Task) Err() error { return t.err }
+
+// Merged reports whether the task has completed and been collected by its
+// parent. It must only be called from the parent task's goroutine (the
+// same discipline as the Merge functions themselves).
+func (t *Task) Merged() bool { return t.merged }
+
+// newTask builds a task node. data are the working copies; parentData the
+// parent structures they pair with (nil for the root).
+func newTask(parent *Task, fn Func, data, parentData []mergeable.Mergeable, bases []int, rt *treeRuntime) *Task {
+	return &Task{
+		id:         rt.nextID.Add(1),
+		parent:     parent,
+		fn:         fn,
+		data:       data,
+		parentData: parentData,
+		bases:      bases,
+		floors:     make([]int, len(data)),
+		ready:      make(chan *Task),
+		resume:     make(chan resumeMsg),
+		runtime:    rt,
+	}
+}
+
+// registerChild appends c to t's live children. Called by the spawning
+// goroutine: the parent itself for Spawn, a child for Clone.
+func (t *Task) registerChild(c *Task) {
+	t.mu.Lock()
+	c.seq = t.nextSeq
+	t.nextSeq++
+	t.children = append(t.children, c)
+	t.mu.Unlock()
+}
+
+// liveChildren snapshots the live children in creation order.
+func (t *Task) liveChildren() []*Task {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Task(nil), t.children...)
+}
+
+// recvReady blocks until a child announces quiescence, releasing this
+// task's execution slot for the duration so a bounded pool keeps making
+// progress while the parent waits.
+func (t *Task) recvReady() *Task {
+	t.runtime.release()
+	q := <-t.ready
+	t.runtime.acquire()
+	return q
+}
+
+// reap removes a completed, merged child from the live list.
+func (t *Task) reap(c *Task) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, x := range t.children {
+		if x == c {
+			t.children = append(t.children[:i], t.children[i+1:]...)
+			break
+		}
+	}
+}
+
+// run executes the task body on the current goroutine, performs the
+// implicit MergeAll of Section II.D ("whenever a task that still has
+// running child tasks finishes MergeAll is called implicitly") and
+// announces completion to the parent.
+func (t *Task) run() {
+	ctx := &Ctx{task: t}
+	t.runtime.acquire()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = PanicError{Value: r}
+			}
+		}()
+		t.err = t.fn(ctx, t.data)
+	}()
+
+	if t.err != nil {
+		// A failed task cannot accept its children's changes — its own
+		// copies are about to be dismissed. Abort them so they unwind.
+		for _, c := range t.liveChildren() {
+			c.Abort()
+		}
+	}
+	// Merge (or discard) every remaining child, including tasks cloned
+	// while the loop runs, so the subtree is fully collected before the
+	// parent observes completion.
+	for {
+		if len(t.liveChildren()) == 0 {
+			break
+		}
+		if err := ctx.MergeAll(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+
+	if t.parent == nil {
+		t.runtime.release()
+		return // root: Run returns t.err
+	}
+	t.phase.Store(int32(phaseCompleted))
+	t.runtime.release()
+	if t.runtime.jitter != nil {
+		t.runtime.jitter()
+	}
+	t.parent.ready <- t // blocks until the parent collects us
+}
+
+// enterSync blocks the calling (child) goroutine until the parent merges
+// it, then reports the merge outcome. See Ctx.Sync.
+//
+// Per Section II.E, Sync is equivalent to completing the task and spawning
+// a new one right after the merge — and completing a task implies merging
+// its own children first. enterSync therefore collects the task's live
+// children before announcing quiescence; this is also what keeps the
+// operation bookkeeping sound (a refresh while grandchild bases point into
+// the old copy state would corrupt the transformation).
+func (t *Task) enterSync() error {
+	if t.parent == nil {
+		return ErrRootSync
+	}
+	var childErr error
+	for len(t.liveChildren()) > 0 {
+		if err := t.mergeSet(t.liveChildren(), &mergeConfig{}); err != nil && childErr == nil {
+			childErr = err
+		}
+	}
+	t.phase.Store(int32(phaseSyncing))
+	t.runtime.release() // do not hold an execution slot while blocked
+	if t.runtime.jitter != nil {
+		t.runtime.jitter()
+	}
+	t.parent.ready <- t
+	msg := <-t.resume
+	t.runtime.acquire()
+	t.phase.Store(int32(phaseRunning))
+	if msg.err != nil {
+		return msg.err
+	}
+	return childErr
+}

@@ -1,0 +1,606 @@
+package task
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// withTimeout fails the test if fn does not return within d — the guard
+// used by every test that could in principle block forever.
+func withTimeout(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("timed out: runtime blocked unexpectedly")
+	}
+}
+
+// TestListing1 runs the paper's Listing 1: a child appends 5 while the
+// parent appends 4; MergeAllFromSet yields [1 2 3 4 5], always.
+func TestListing1(t *testing.T) {
+	f := func(ctx *Ctx, data []mergeable.Mergeable) error {
+		l := data[0].(*mergeable.List[int])
+		l.Append(5)
+		return nil
+	}
+	for i := 0; i < 50; i++ {
+		list := mergeable.NewList(1, 2, 3)
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			l := data[0].(*mergeable.List[int])
+			h := ctx.Spawn(f, l)
+			l.Append(4)
+			return ctx.MergeAllFromSet([]*Task{h})
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+			t.Fatalf("run %d: list = %v, want [1 2 3 4 5]", i, got)
+		}
+	}
+}
+
+// TestMergeAllCreationOrder pins deterministic merging: children are
+// merged in creation order regardless of completion order, so the
+// earliest-spawned child's conflicting write wins.
+func TestMergeAllCreationOrder(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		reg := mergeable.NewRegister("initial")
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			r := data[0].(*mergeable.Register[string])
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				time.Sleep(2 * time.Millisecond) // finishes last
+				data[0].(*mergeable.Register[string]).Set("first-spawned")
+				return nil
+			}, r)
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Register[string]).Set("second-spawned")
+				return nil
+			}, r)
+			return ctx.MergeAll()
+		}, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Get(); got != "first-spawned" {
+			t.Fatalf("run %d: register = %q, want first-spawned (creation order)", i, got)
+		}
+	}
+}
+
+// TestMergeAllFromSetArgumentOrder pins that MergeAllFromSet merges in
+// argument order, not creation order.
+func TestMergeAllFromSetArgumentOrder(t *testing.T) {
+	reg := mergeable.NewRegister(0)
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		r := data[0].(*mergeable.Register[int])
+		set := func(v int) Func {
+			return func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Register[int]).Set(v)
+				return nil
+			}
+		}
+		h1 := ctx.Spawn(set(1), r)
+		h2 := ctx.Spawn(set(2), r)
+		return ctx.MergeAllFromSet([]*Task{h2, h1}) // reversed
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Get() != 2 {
+		t.Fatalf("register = %d, want 2 (argument order: h2 merged first, earlier merge wins)", reg.Get())
+	}
+}
+
+// TestImplicitMergeAll verifies that a returning task implicitly merges
+// its unmerged children (Section II.D).
+func TestImplicitMergeAll(t *testing.T) {
+	c := mergeable.NewCounter(0)
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		cnt := data[0].(*mergeable.Counter)
+		for i := 0; i < 5; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Counter).Inc()
+				return nil
+			}, cnt)
+		}
+		return nil // no explicit merge
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+// TestSyncLoop runs a child that repeatedly syncs intermediate results —
+// the long-running-task pattern of Section II.E.
+func TestSyncLoop(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		list := mergeable.NewList[int]()
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			l := data[0].(*mergeable.List[int])
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				cl := data[0].(*mergeable.List[int])
+				for i := 0; i < 3; i++ {
+					cl.Append(i)
+					if err := ctx.Sync(); err != nil {
+						return err
+					}
+					// After Sync the copy reflects the parent's state,
+					// including the parent's own concurrent appends.
+					if cl.Len() < i+1 {
+						t.Errorf("sync %d: copy too short: %v", i, cl.Values())
+					}
+				}
+				return nil
+			}, l)
+			for i := 0; i < 3; i++ {
+				if err := ctx.MergeAllFromSet([]*Task{h}); err != nil {
+					return err
+				}
+				l.Append(100 + i)
+			}
+			return ctx.MergeAllFromSet([]*Task{h})
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); !reflect.DeepEqual(got, []int{0, 100, 1, 101, 2, 102}) {
+			t.Fatalf("list = %v", got)
+		}
+	})
+}
+
+// TestCloneAcceptPattern exercises Clone + MergeAny: a child clones
+// siblings (the blocking-accept pattern of Section II.E) which sync fresh
+// data from the shared parent.
+func TestCloneAcceptPattern(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		counter := mergeable.NewCounter(0)
+		const clones = 4
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			cnt := data[0].(*mergeable.Counter)
+			_ = cnt
+			accept := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				for i := 0; i < clones; i++ {
+					ctx.Clone(func(ctx *Ctx, data []mergeable.Mergeable) error {
+						if err := ctx.Sync(); err != nil { // refresh stale copies
+							return err
+						}
+						data[0].(*mergeable.Counter).Inc()
+						return nil
+					})
+				}
+				return nil
+			}, cnt)
+			merged := 0
+			for merged < clones+1 { // clones + the accept task itself
+				h, err := ctx.MergeAny()
+				if errors.Is(err, ErrNothingToMerge) {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				_ = h
+				merged++
+			}
+			_ = accept
+			return nil
+		}, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counter.Value() != clones {
+			t.Fatalf("counter = %d, want %d", counter.Value(), clones)
+		}
+	})
+}
+
+// TestCloneDataStaleUntilSync verifies a clone's placeholder copies panic
+// until the first Sync refreshes them.
+func TestCloneDataStaleUntilSync(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		counter := mergeable.NewCounter(0)
+		sawPanic := false
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				ctx.Clone(func(ctx *Ctx, data []mergeable.Mergeable) error {
+					func() {
+						defer func() {
+							if recover() != nil {
+								sawPanic = true
+							}
+						}()
+						data[0].(*mergeable.Counter).Inc() // must panic: stale
+					}()
+					if err := ctx.Sync(); err != nil {
+						return err
+					}
+					data[0].(*mergeable.Counter).Inc() // fine after Sync
+					return nil
+				})
+				return nil
+			}, data[0])
+			return ctx.MergeAll()
+		}, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sawPanic {
+			t.Fatal("stale clone data should panic before Sync")
+		}
+		if counter.Value() != 1 {
+			t.Fatalf("counter = %d, want 1", counter.Value())
+		}
+	})
+}
+
+// TestAbort verifies Section II.F: an externally aborted child's changes
+// are dismissed, and the child observes the abort via Sync.
+func TestAbort(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		list := mergeable.NewList[string]()
+		var childSawAbort bool
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			l := data[0].(*mergeable.List[string])
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				cl := data[0].(*mergeable.List[string])
+				cl.Append("discarded")
+				for {
+					if err := ctx.Sync(); err != nil {
+						childSawAbort = errors.Is(err, ErrAborted)
+						return err
+					}
+					cl.Append("more")
+				}
+			}, l)
+			h.Abort()
+			// First MergeAll resumes the child's pending Sync with
+			// ErrAborted; the second collects its completion.
+			if err := ctx.MergeAll(); err != nil {
+				return err
+			}
+			if err := ctx.MergeAll(); err != nil {
+				return err
+			}
+			if !h.Aborted() {
+				t.Error("handle should report aborted")
+			}
+			if !errors.Is(h.Err(), ErrAborted) {
+				t.Errorf("handle err = %v", h.Err())
+			}
+			return nil
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if list.Len() != 0 {
+			t.Fatalf("aborted child's changes leaked: %v", list.Values())
+		}
+		if !childSawAbort {
+			t.Fatal("child should observe ErrAborted from Sync")
+		}
+	})
+}
+
+// TestChildError verifies a failed child contributes nothing and its error
+// reaches the parent's MergeAll result.
+func TestChildError(t *testing.T) {
+	list := mergeable.NewList[int]()
+	boom := errors.New("boom")
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		l := data[0].(*mergeable.List[int])
+		h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.List[int]).Append(1)
+			return boom
+		}, l)
+		err := ctx.MergeAll()
+		if !errors.Is(err, boom) {
+			t.Errorf("MergeAll err = %v, want boom", err)
+		}
+		if !errors.Is(h.Err(), boom) {
+			t.Errorf("handle err = %v", h.Err())
+		}
+		return nil
+	}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 0 {
+		t.Fatalf("failed child's changes leaked: %v", list.Values())
+	}
+}
+
+// TestChildPanic verifies panics are caught, wrapped as PanicError, and
+// treated like task failure (changes discarded, grandchildren aborted).
+func TestChildPanic(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		list := mergeable.NewList[int]()
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			l := data[0].(*mergeable.List[int])
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				cl := data[0].(*mergeable.List[int])
+				// Spawn a grandchild, then die before merging it.
+				ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+					data[0].(*mergeable.List[int]).Append(99)
+					return nil
+				}, cl)
+				cl.Append(1)
+				panic("kaboom")
+			}, l)
+			err := ctx.MergeAll()
+			var pe PanicError
+			if !errors.As(err, &pe) || pe.Value != "kaboom" {
+				t.Errorf("MergeAll err = %v, want PanicError(kaboom)", err)
+			}
+			_ = h
+			return nil
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if list.Len() != 0 {
+			t.Fatalf("panicked child's changes leaked: %v", list.Values())
+		}
+	})
+}
+
+// TestMergeCondition verifies the rollback mechanism of Section II.D for
+// completed children.
+func TestMergeCondition(t *testing.T) {
+	list := mergeable.NewList[int]()
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		l := data[0].(*mergeable.List[int])
+		spawnAppend := func(v int) *Task {
+			return ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.List[int]).Append(v)
+				return nil
+			}, l)
+		}
+		hOK := spawnAppend(3)
+		cond := WithCondition(func(preview []mergeable.Mergeable) bool {
+			// Accept only merges keeping every element below 10.
+			for _, v := range preview[0].(*mergeable.List[int]).Values() {
+				if v >= 10 {
+					return false
+				}
+			}
+			return true
+		})
+		if err := ctx.MergeAllFromSet([]*Task{hOK}, cond); err != nil {
+			t.Errorf("valid merge rejected: %v", err)
+		}
+		hBad := spawnAppend(42)
+		err := ctx.MergeAllFromSet([]*Task{hBad}, cond)
+		if !errors.Is(err, ErrMergeRejected) {
+			t.Errorf("invalid merge not rejected: %v", err)
+		}
+		if !errors.Is(hBad.Err(), ErrMergeRejected) {
+			t.Errorf("handle err = %v", hBad.Err())
+		}
+		return nil
+	}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Values(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("list = %v, want [3]", got)
+	}
+}
+
+// TestSyncMergeRejected verifies a syncing child survives a rejected merge:
+// its changes are dropped, its copies refreshed, and Sync reports
+// ErrMergeRejected (Listing 3's error-handling path).
+func TestSyncMergeRejected(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		list := mergeable.NewList[int]()
+		var syncErr error
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			l := data[0].(*mergeable.List[int])
+			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				cl := data[0].(*mergeable.List[int])
+				cl.Append(42) // will be rejected
+				syncErr = ctx.Sync()
+				if cl.Len() != 0 {
+					t.Errorf("copy not refreshed after rejection: %v", cl.Values())
+				}
+				cl.Append(7) // acceptable
+				return nil
+			}, l)
+			reject := WithCondition(func(preview []mergeable.Mergeable) bool {
+				for _, v := range preview[0].(*mergeable.List[int]).Values() {
+					if v >= 10 {
+						return false
+					}
+				}
+				return true
+			})
+			if err := ctx.MergeAllFromSet([]*Task{h}, reject); err == nil {
+				t.Error("first merge should report rejection")
+			}
+			return ctx.MergeAllFromSet([]*Task{h}, reject)
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(syncErr, ErrMergeRejected) {
+			t.Fatalf("sync err = %v", syncErr)
+		}
+		if got := list.Values(); !reflect.DeepEqual(got, []int{7}) {
+			t.Fatalf("list = %v, want [7]", got)
+		}
+	})
+}
+
+// TestMergeAnyNothingToMerge pins the non-blocking empty-set behavior that
+// Section IV.B's livelock argument depends on.
+func TestMergeAnyNothingToMerge(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		if _, err := ctx.MergeAny(); !errors.Is(err, ErrNothingToMerge) {
+			t.Errorf("MergeAny on no children = %v", err)
+		}
+		if _, err := ctx.MergeAnyFromSet(nil); !errors.Is(err, ErrNothingToMerge) {
+			t.Errorf("MergeAnyFromSet(empty) = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeForeignChild verifies the tree discipline: merging another
+// task's child fails with ErrNotChild.
+func TestMergeForeignChild(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			var grandchild *Task
+			got := make(chan *Task)
+			ctx.Spawn(func(inner *Ctx, data []mergeable.Mergeable) error {
+				h := inner.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil })
+				got <- h
+				return inner.MergeAll()
+			})
+			grandchild = <-got
+			if err := ctx.MergeAllFromSet([]*Task{grandchild}); !errors.Is(err, ErrNotChild) {
+				t.Errorf("merging grandchild = %v, want ErrNotChild", err)
+			}
+			if _, err := ctx.MergeAnyFromSet([]*Task{grandchild}); !errors.Is(err, ErrNotChild) {
+				t.Errorf("MergeAnyFromSet(grandchild) = %v, want ErrNotChild", err)
+			}
+			return ctx.MergeAll()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRootSync pins that the root cannot Sync.
+func TestRootSync(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		if err := ctx.Sync(); !errors.Is(err, ErrRootSync) {
+			t.Errorf("root Sync = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRootClonePanics pins that the root cannot Clone.
+func TestRootClonePanics(t *testing.T) {
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("root Clone should panic")
+			}
+		}()
+		ctx.Clone(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil })
+		return nil
+	})
+	if err != nil && !errors.As(err, &PanicError{}) {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedHierarchy runs a three-level task tree with data flowing
+// upward through two merge layers.
+func TestNestedHierarchy(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		c := mergeable.NewCounter(0)
+		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			cnt := data[0].(*mergeable.Counter)
+			for i := 0; i < 3; i++ {
+				ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+					mid := data[0].(*mergeable.Counter)
+					for j := 0; j < 4; j++ {
+						ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+							data[0].(*mergeable.Counter).Inc()
+							return nil
+						}, mid)
+					}
+					return ctx.MergeAll()
+				}, cnt)
+			}
+			return ctx.MergeAll()
+		}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Value() != 12 {
+			t.Fatalf("counter = %d, want 12", c.Value())
+		}
+	})
+}
+
+// TestMultipleStructures passes several structures of different types to
+// one child and checks they merge independently.
+func TestMultipleStructures(t *testing.T) {
+	list := mergeable.NewList(1)
+	txt := mergeable.NewText("a")
+	cnt := mergeable.NewCounter(0)
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		l, tx, c := data[0].(*mergeable.List[int]), data[1].(*mergeable.Text), data[2].(*mergeable.Counter)
+		ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.List[int]).Append(2)
+			data[1].(*mergeable.Text).Append("b")
+			data[2].(*mergeable.Counter).Add(5)
+			return nil
+		}, l, tx, c)
+		l.Append(3)
+		tx.Append("c")
+		c.Add(7)
+		return ctx.MergeAll()
+	}, list, txt, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := list.Values(); !reflect.DeepEqual(got, []int{1, 3, 2}) {
+		t.Fatalf("list = %v", got)
+	}
+	if txt.String() != "acb" {
+		t.Fatalf("text = %q", txt.String())
+	}
+	if cnt.Value() != 12 {
+		t.Fatalf("counter = %d", cnt.Value())
+	}
+}
+
+// TestTaskIDsAndData covers the small Ctx accessors.
+func TestTaskIDsAndData(t *testing.T) {
+	c := mergeable.NewCounter(0)
+	err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		if ctx.ID() == 0 {
+			t.Error("root should have a nonzero id")
+		}
+		if len(ctx.Data()) != 1 {
+			t.Errorf("root data = %v", ctx.Data())
+		}
+		if ctx.Aborted() {
+			t.Error("root should not be aborted")
+		}
+		h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil }, data[0])
+		if h.ID() == ctx.ID() {
+			t.Error("child id should differ")
+		}
+		return ctx.MergeAll()
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

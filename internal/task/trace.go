@@ -1,0 +1,116 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mergeable"
+)
+
+// This file backs the paper's debugging argument (Section I: determinism
+// "has the potential to significantly simplify debugging: A bug will not
+// appear only in some executions of a program"). A merge trace records
+// every merge decision; for a deterministic program the per-parent traces
+// are identical on every run, so a failing run can be compared
+// merge-by-merge against a good one.
+
+// MergeEvent describes one merge decision made by a parent task.
+type MergeEvent struct {
+	Seq      int    // position within the parent's merge sequence
+	ParentID uint64 // merging task
+	ChildID  uint64 // merged task
+	Sync     bool   // true: sync merge (child resumed); false: completion
+	Outcome  string // "merged", "aborted", "rejected" or "failed"
+	Ops      int    // transformed operations applied to the parent
+}
+
+// String renders the event compactly.
+func (e MergeEvent) String() string {
+	kind := "done"
+	if e.Sync {
+		kind = "sync"
+	}
+	return fmt.Sprintf("#%d parent %d <- child %d [%s] %s ops=%d",
+		e.Seq, e.ParentID, e.ChildID, kind, e.Outcome, e.Ops)
+}
+
+// Trace collects merge events from a traced Run. Parents merge
+// concurrently in different subtrees, so the global collection order is
+// scheduling-dependent — but each parent's own subsequence is part of the
+// program's deterministic behavior, which is what ByParent exposes.
+type Trace struct {
+	mu     sync.Mutex
+	events []MergeEvent
+	seqs   map[uint64]int
+}
+
+func (tr *Trace) record(parent, child *Task, sync bool, outcome string, ops int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.seqs == nil {
+		tr.seqs = make(map[uint64]int)
+	}
+	seq := tr.seqs[parent.id]
+	tr.seqs[parent.id] = seq + 1
+	tr.events = append(tr.events, MergeEvent{
+		Seq:      seq,
+		ParentID: parent.id,
+		ChildID:  child.id,
+		Sync:     sync,
+		Outcome:  outcome,
+		Ops:      ops,
+	})
+}
+
+// Events returns every recorded event (collection order).
+func (tr *Trace) Events() []MergeEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]MergeEvent(nil), tr.events...)
+}
+
+// ByParent groups the events into each parent's merge sequence — the
+// deterministic view.
+func (tr *Trace) ByParent() map[uint64][]MergeEvent {
+	out := make(map[uint64][]MergeEvent)
+	for _, e := range tr.Events() {
+		out[e.ParentID] = append(out[e.ParentID], e)
+	}
+	for _, evs := range out {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	}
+	return out
+}
+
+// String renders the trace grouped by parent, parents in ID order.
+func (tr *Trace) String() string {
+	byParent := tr.ByParent()
+	parents := make([]uint64, 0, len(byParent))
+	for p := range byParent {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	var sb strings.Builder
+	for _, p := range parents {
+		fmt.Fprintf(&sb, "task %d merges:\n", p)
+		for _, e := range byParent[p] {
+			fmt.Fprintf(&sb, "  %s\n", e)
+		}
+	}
+	return sb.String()
+}
+
+// RunTraced is Run with merge tracing: every merge decision in the whole
+// task tree is recorded into the returned Trace. For programs using only
+// deterministic merges, each parent's merge sequence is identical on
+// every run — diffing two traces localizes a divergence to the exact
+// merge where behavior forked.
+func RunTraced(fn Func, data ...mergeable.Mergeable) (*Trace, error) {
+	tr := &Trace{}
+	rt := &treeRuntime{tracer: tr}
+	root := newTask(nil, fn, data, nil, nil, rt)
+	root.run()
+	return tr, root.err
+}

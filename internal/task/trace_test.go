@@ -1,0 +1,154 @@
+package task
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// tracedScenario spawns children with every outcome class: a clean merge,
+// sync merges, a failure, an abort and a condition rejection.
+func tracedScenario(t *testing.T) *Trace {
+	t.Helper()
+	c := mergeable.NewCounter(0)
+	tr, err := RunTraced(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		cnt := data[0].(*mergeable.Counter)
+
+		ok := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.Counter).Inc()
+			return nil
+		}, cnt)
+		syncer := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.Counter).Inc()
+			if err := ctx.Sync(); err != nil {
+				return err
+			}
+			data[0].(*mergeable.Counter).Inc()
+			return nil
+		}, cnt)
+		failer := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			return errors.New("boom")
+		}, cnt)
+		if err := ctx.MergeAllFromSet([]*Task{ok, syncer}); err != nil {
+			return err
+		}
+		if err := ctx.MergeAllFromSet([]*Task{syncer}); err != nil {
+			return err
+		}
+		_ = ctx.MergeAllFromSet([]*Task{failer}) // expected failure
+
+		rejected := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.Counter).Add(1000)
+			return nil
+		}, cnt)
+		_ = ctx.MergeAllFromSet([]*Task{rejected}, WithCondition(func(p []mergeable.Mergeable) bool {
+			return p[0].(*mergeable.Counter).Value() < 100
+		}))
+
+		aborted := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			for {
+				if err := ctx.Sync(); err != nil {
+					return err
+				}
+			}
+		}, cnt)
+		aborted.Abort()
+		if err := ctx.MergeAll(); err != nil {
+			return err
+		}
+		return ctx.MergeAll()
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// traceShape reduces a trace to the comparable per-parent skeleton
+// (outcome/kind/ops), dropping the run-specific task IDs.
+func traceShape(tr *Trace) [][]string {
+	byParent := tr.ByParent()
+	// The scenario has a single merging parent (the root).
+	var shape [][]string
+	for _, evs := range byParent {
+		var seq []string
+		for _, e := range evs {
+			kind := "done"
+			if e.Sync {
+				kind = "sync"
+			}
+			seq = append(seq, kind+"/"+e.Outcome)
+		}
+		shape = append(shape, seq)
+	}
+	return shape
+}
+
+func TestRunTracedRecordsOutcomes(t *testing.T) {
+	withTimeout(t, 30*time.Second, func() {
+		tr := tracedScenario(t)
+		var outcomes []string
+		for _, e := range tr.Events() {
+			outcomes = append(outcomes, e.Outcome)
+		}
+		for _, want := range []string{"merged", "failed", "rejected", "aborted"} {
+			found := false
+			for _, o := range outcomes {
+				if o == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("trace missing outcome %q: %v", want, outcomes)
+			}
+		}
+		s := tr.String()
+		for _, want := range []string{"task", "sync", "merged", "ops="} {
+			if !strings.Contains(s, want) {
+				t.Errorf("trace rendering missing %q:\n%s", want, s)
+			}
+		}
+	})
+}
+
+// TestTraceDeterministic pins the debugging claim: the per-parent merge
+// sequence of a deterministic program is identical on every traced run.
+func TestTraceDeterministic(t *testing.T) {
+	withTimeout(t, 60*time.Second, func() {
+		want := traceShape(tracedScenario(t))
+		for i := 0; i < 5; i++ {
+			if got := traceShape(tracedScenario(t)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("run %d: trace shape diverged:\n%v\nvs\n%v", i, got, want)
+			}
+		}
+	})
+}
+
+// TestTraceCountsOps checks that applied-operation counts reach the
+// trace — and, incidentally, that adjacent appends were compacted into a
+// single operation while the unrelated delete stayed separate.
+func TestTraceCountsOps(t *testing.T) {
+	l := mergeable.NewList(9)
+	tr, err := RunTraced(func(ctx *Ctx, data []mergeable.Mergeable) error {
+		ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+			cl := data[0].(*mergeable.List[int])
+			cl.Append(1, 2, 3) // one insert op
+			cl.Append(4)       // compacted into the first
+			cl.Delete(0)       // separate op
+			return nil
+		}, data[0])
+		return ctx.MergeAll()
+	}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Ops != 2 {
+		t.Fatalf("events = %v, want one merge applying 2 compacted ops", evs)
+	}
+}

@@ -1,0 +1,184 @@
+// Package repro is Spawn & Merge: deterministic synchronization of
+// multi-threaded programs with operational transformation, a from-scratch
+// Go implementation of Boelmann, Schwittmann and Weis (IPDPSW 2014).
+//
+// # The model
+//
+// A program is a tree of tasks. Spawn forks a child task that receives
+// deep copies of selected mergeable data structures — no memory is shared,
+// so data races cannot exist. Every structure records the operations
+// applied to it; Merge folds a child's operations back into the parent
+// using operational transformation, so merging always succeeds (no aborts,
+// no retries). Programs that merge with the deterministic MergeAll /
+// MergeAllFromSet produce identical results on every run and any core
+// count; MergeAny / MergeAnyFromSet introduce non-determinism exactly
+// where the programmer asks for it. Deadlocks are impossible: the wait
+// graph is the task tree, and its only cycle (parent merging, child
+// syncing) resolves by performing the merge.
+//
+// # Quick start
+//
+// The paper's Listing 1 — parent and child append to one list without
+// locks, the merge interleaves them deterministically:
+//
+//	list := repro.NewList(1, 2, 3)
+//	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+//		l := data[0].(*repro.List[int])
+//		t := ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+//			data[0].(*repro.List[int]).Append(5)
+//			return nil
+//		}, l)
+//		l.Append(4)
+//		return ctx.MergeAllFromSet([]*repro.Task{t})
+//	}, list)
+//	// list is now [1 2 3 4 5] — on every run.
+//
+// The runnable programs under examples/ cover the paper's server software
+// (Listing 3), the network simulation (Listing 4), collaborative text
+// editing and the Section IV.A semaphore construction.
+//
+// This facade re-exports the implementation packages internal/task
+// (runtime), internal/mergeable (data structures) and internal/ot
+// (transformation engine).
+package repro
+
+import (
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Core runtime types, re-exported from internal/task.
+type (
+	// Ctx is a task's view of itself: Spawn, Clone, Sync and the four
+	// Merge flavors live here.
+	Ctx = task.Ctx
+	// Task is the handle a parent holds for a spawned child.
+	Task = task.Task
+	// Func is a task body.
+	Func = task.Func
+	// MergeOption configures a merge call (see WithCondition).
+	MergeOption = task.MergeOption
+	// Condition validates a merge preview (Section II.D's post-condition).
+	Condition = task.Condition
+	// PanicError wraps a panic recovered from a task body.
+	PanicError = task.PanicError
+	// Trace collects merge decisions from RunTraced.
+	Trace = task.Trace
+	// MergeEvent is one recorded merge decision.
+	MergeEvent = task.MergeEvent
+	// MergeScript records/replays non-deterministic merge picks.
+	MergeScript = task.MergeScript
+)
+
+// Mergeable data structures, re-exported from internal/mergeable.
+type (
+	// Mergeable is the interface between structures and the runtime;
+	// implement it to add custom mergeable structures.
+	Mergeable = mergeable.Mergeable
+	// Log is the operation log embedded in every structure.
+	Log = mergeable.Log
+	// List is a mergeable ordered sequence.
+	List[T any] = mergeable.List[T]
+	// Queue is a mergeable FIFO queue.
+	Queue[T any] = mergeable.Queue[T]
+	// FastList is List with copy-on-write storage: O(1) task copies.
+	FastList[T any] = mergeable.FastList[T]
+	// FastQueue is Queue with copy-on-write storage: O(1) task copies.
+	FastQueue[T any] = mergeable.FastQueue[T]
+	// Map is a mergeable key-value map.
+	Map[K comparable, V any] = mergeable.Map[K, V]
+	// Set is a mergeable mathematical set.
+	Set[K comparable] = mergeable.Set[K]
+	// Register is a mergeable single-value cell.
+	Register[T any] = mergeable.Register[T]
+	// Counter is a mergeable integer counter.
+	Counter = mergeable.Counter
+	// Text is a mergeable text buffer.
+	Text = mergeable.Text
+	// Tree is a mergeable ordered tree.
+	Tree = mergeable.Tree
+)
+
+// Runtime sentinel errors, re-exported from internal/task.
+var (
+	// ErrAborted is observed by an externally aborted task at its next Sync.
+	ErrAborted = task.ErrAborted
+	// ErrMergeRejected reports that a merge condition discarded the changes.
+	ErrMergeRejected = task.ErrMergeRejected
+	// ErrNothingToMerge is returned by MergeAny without live children.
+	ErrNothingToMerge = task.ErrNothingToMerge
+	// ErrNotChild guards the tree-shaped wait discipline.
+	ErrNotChild = task.ErrNotChild
+	// ErrRootSync is returned when the root task calls Sync.
+	ErrRootSync = task.ErrRootSync
+)
+
+// Run executes fn as the root task and returns once the whole task tree
+// has completed and merged. See task.Run.
+func Run(fn Func, data ...Mergeable) error { return task.Run(fn, data...) }
+
+// RunPooled is Run with task execution bounded to maxParallel
+// simultaneous tasks (the paper's thread-pool scheduling, footnote 2).
+// Results are identical to Run's; only the scheduling changes.
+func RunPooled(maxParallel int, fn Func, data ...Mergeable) error {
+	return task.RunPooled(maxParallel, fn, data...)
+}
+
+// RunTraced is Run with merge tracing: every merge decision is recorded
+// into the returned Trace. Deterministic programs produce identical
+// per-parent traces on every run, so two traces can be diffed to localize
+// a divergence.
+func RunTraced(fn Func, data ...Mergeable) (*Trace, error) {
+	return task.RunTraced(fn, data...)
+}
+
+// NewMergeScript returns an empty script for RunRecording.
+func NewMergeScript() *MergeScript { return task.NewMergeScript() }
+
+// RunRecording is Run that records every non-deterministic merge decision
+// (MergeAny / MergeAnyFromSet) into script, so RunReplaying can reproduce
+// the execution exactly.
+func RunRecording(script *MergeScript, fn Func, data ...Mergeable) error {
+	return task.RunRecording(script, fn, data...)
+}
+
+// RunReplaying is Run with the non-deterministic merge decisions forced
+// to follow a recorded script, reproducing that execution bit for bit.
+func RunReplaying(script *MergeScript, fn Func, data ...Mergeable) error {
+	return task.RunReplaying(script, fn, data...)
+}
+
+// WithCondition attaches a post-condition to a merge call.
+func WithCondition(cond Condition) MergeOption { return task.WithCondition(cond) }
+
+// NewList returns a mergeable list holding vals.
+func NewList[T any](vals ...T) *List[T] { return mergeable.NewList(vals...) }
+
+// NewQueue returns a mergeable FIFO queue holding vals front-to-back.
+func NewQueue[T any](vals ...T) *Queue[T] { return mergeable.NewQueue(vals...) }
+
+// NewFastList returns a copy-on-write mergeable list holding vals. Prefer
+// it over NewList for large structures copied to many tasks: cloning is
+// O(1) instead of O(n).
+func NewFastList[T any](vals ...T) *FastList[T] { return mergeable.NewFastList(vals...) }
+
+// NewFastQueue returns a copy-on-write mergeable queue holding vals.
+func NewFastQueue[T any](vals ...T) *FastQueue[T] { return mergeable.NewFastQueue(vals...) }
+
+// NewMap returns an empty mergeable map.
+func NewMap[K comparable, V any]() *Map[K, V] { return mergeable.NewMap[K, V]() }
+
+// NewSet returns a mergeable set holding vals.
+func NewSet[K comparable](vals ...K) *Set[K] { return mergeable.NewSet(vals...) }
+
+// NewRegister returns a mergeable register initialized to v.
+func NewRegister[T any](v T) *Register[T] { return mergeable.NewRegister(v) }
+
+// NewCounter returns a mergeable counter initialized to v.
+func NewCounter(v int64) *Counter { return mergeable.NewCounter(v) }
+
+// NewText returns a mergeable text buffer initialized with s.
+func NewText(s string) *Text { return mergeable.NewText(s) }
+
+// NewTree returns a mergeable tree whose root holds rootValue.
+func NewTree(rootValue any) *Tree { return mergeable.NewTree(rootValue) }
