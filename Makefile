@@ -4,7 +4,9 @@ GO ?= go
 
 .PHONY: all build vet test race bench figure3 figure3-full soak examples
 
-all: build vet test
+# race is part of all so the fault-injection suite always runs under the
+# race detector.
+all: build vet test race
 
 build:
 	$(GO) build ./...

@@ -10,7 +10,16 @@
 // Any violation stops the run with a nonzero exit and the offending seed,
 // which reproduces the failure deterministically.
 //
+// With -chaos the soak instead runs the distributed runtime under the
+// fault-injecting faultnet transport for the whole duration: every probe
+// builds a fresh cluster behind a seeded mix of latency, message drops,
+// connection resets and dial failures, and every probe that completes
+// must reproduce the fault-free fingerprint exactly — the
+// determinism-under-failover guarantee. Probes that chaos kills outright
+// are counted, not failed.
+//
 //	go run ./cmd/soak -duration 30s
+//	go run ./cmd/soak -duration 30s -chaos
 package main
 
 import (
@@ -22,8 +31,113 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
+	"repro/internal/faultnet"
+	"repro/internal/mergeable"
 	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/task"
 )
+
+func init() {
+	dist.RegisterListCodec[int]("soak-list-int")
+	for i, delta := range []int64{100, 200, 300} {
+		node := i
+		d := delta
+		dist.RegisterFunc(fmt.Sprintf("soak-chaos-%d", node), func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.List[int]).Insert(0, node+1)
+			data[1].(*mergeable.Counter).Add(d)
+			return nil
+		})
+	}
+}
+
+// chaosProbe runs the three-node distributed determinism workload on a
+// cluster whose transport injects seeded faults. It returns the merged
+// fingerprint, or the error chaos inflicted.
+func chaosProbe(seed int64, faults bool, counters *stats.Counters) (uint64, error) {
+	opts := dist.Options{Nodes: 3}
+	var fnet *faultnet.Network
+	if faults {
+		fnet = faultnet.New(faultnet.Config{
+			Seed:         seed,
+			DropProb:     0.02,
+			ResetProb:    0.01,
+			DialFailProb: 0.02,
+			MaxDelay:     500 * time.Microsecond,
+		})
+		opts.SendTimeout = time.Second
+		opts.RecvTimeout = time.Second
+		opts.HeartbeatInterval = 50 * time.Millisecond
+		opts.HeartbeatTimeout = 300 * time.Millisecond
+		opts.Retry = dist.RetryPolicy{MaxAttempts: 4}
+		opts.Listen = func(node int) dist.Listener { return fnet.Listen(node, 64) }
+	}
+	cluster := dist.NewClusterWith(opts)
+	defer func() {
+		cluster.Close()
+		if counters != nil {
+			for k, v := range cluster.Stats().Snapshot() {
+				counters.Add("dist."+k, v)
+			}
+			if fnet != nil {
+				for k, v := range fnet.Stats().Snapshot() {
+					counters.Add("faultnet."+k, v)
+				}
+			}
+		}
+	}()
+
+	list := mergeable.NewList(0)
+	cnt := mergeable.NewCounter(0)
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 3; i++ {
+			cluster.SpawnRemote(ctx, i, fmt.Sprintf("soak-chaos-%d", i), data[0], data[1])
+		}
+		return ctx.MergeAll()
+	}, list, cnt)
+	if err != nil {
+		return 0, err
+	}
+	return mergeable.CombineFingerprints(list.Fingerprint(), cnt.Fingerprint()), nil
+}
+
+// chaosSoak drives chaosProbe until the deadline, holding every
+// successful run to the fault-free fingerprint.
+func chaosSoak(duration time.Duration, baseSeed int64) {
+	want, err := chaosProbe(0, false, nil)
+	if err != nil {
+		log.Fatalf("fault-free reference probe failed: %v", err)
+	}
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+	counters := stats.NewCounters()
+	probes, lost := 0, 0
+	for time.Now().Before(deadline) {
+		s := r.Int63()
+		got, err := chaosProbe(s, true, counters)
+		probes++
+		if err != nil {
+			lost++ // chaos killed the run; that is the transport working as configured
+			continue
+		}
+		if got != want {
+			fmt.Printf("DETERMINISM VIOLATION under chaos: seed %d: %x != %x\n", s, got, want)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("clean: %d chaos probes (%d lost to injected faults, %d fingerprint-verified)\n",
+		probes, lost, probes-lost)
+	fmt.Printf("counters: %s\n", counters)
+	if probes == lost {
+		if probes == 0 {
+			fmt.Println("WARNING: duration too short, no chaos probes ran")
+		} else {
+			fmt.Println("WARNING: every probe was lost to chaos; fingerprints never checked")
+		}
+		os.Exit(1)
+	}
+}
 
 // taskProbe builds a random-shaped task tree from seed and returns its
 // result fingerprint. The shape and every operation derive from the seed,
@@ -112,9 +226,14 @@ func simProbe(r *rand.Rand) error {
 func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to soak")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
+	chaos := flag.Bool("chaos", false, "soak the distributed runtime under fault injection instead")
 	flag.Parse()
 
 	fmt.Printf("soaking for %v (base seed %d)\n", *duration, *seed)
+	if *chaos {
+		chaosSoak(*duration, *seed)
+		return
+	}
 	r := rand.New(rand.NewSource(*seed))
 	deadline := time.Now().Add(*duration)
 	taskProbes, simProbes := 0, 0

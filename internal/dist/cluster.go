@@ -3,24 +3,144 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"net"
+	"sync"
+	"time"
 
+	"repro/internal/memnet"
 	"repro/internal/mergeable"
+	"repro/internal/stats"
 	"repro/internal/task"
 )
+
+// Listener abstracts the transport a worker node listens on. The memnet
+// listener satisfies it directly; faultnet wraps one with deterministic
+// fault injection so the whole distributed runtime can run under chaos.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Dial() (net.Conn, error)
+	Close() error
+}
+
+// RetryPolicy governs how SpawnRemote survives transport trouble.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of spawn attempts across nodes
+	// (the first execution plus failovers). Zero means the default (2);
+	// negative disables failover entirely (exactly one attempt).
+	MaxAttempts int
+	// DialRetries is how many extra dials to try against one node after
+	// the first fails, with capped exponential backoff between them.
+	// Zero means the default (2); negative disables retries.
+	DialRetries int
+	// BaseBackoff is the first retry's backoff; it doubles per retry up
+	// to MaxBackoff. Zeros mean the defaults (5ms and 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// Options configures a cluster. The zero value of every field selects a
+// hardened default; pass a negative duration to disable that mechanism.
+type Options struct {
+	// Nodes is the number of worker nodes.
+	Nodes int
+	// Retry is the failover policy applied to every SpawnRemote.
+	Retry RetryPolicy
+	// SendTimeout and RecvTimeout are the per-message deadlines applied
+	// to every protocol conversation, on both the coordinator and the
+	// worker side. Defaults: 30s for sends (a send is consumed promptly
+	// by a healthy peer) and 2m for recvs (a recv legitimately spans the
+	// peer's compute or merge time). Negative disables the deadline.
+	SendTimeout time.Duration
+	RecvTimeout time.Duration
+	// HeartbeatInterval is how often the coordinator pings each node;
+	// HeartbeatTimeout bounds each ping/pong round trip. A node that
+	// misses a round is marked unhealthy (and recovers on the next
+	// successful round), so a silent partition is detected within
+	// roughly HeartbeatInterval + HeartbeatTimeout. Defaults: 250ms and
+	// 2s. Negative HeartbeatInterval disables heartbeats.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Listen builds node i's transport listener. Nil selects plain
+	// memnet; chaos tests pass a faultnet factory.
+	Listen func(node int) Listener
+}
+
+// normalized resolves defaults; negative durations collapse to zero,
+// which the peer layer treats as "no deadline".
+func (o Options) normalized() Options {
+	def := func(v, d time.Duration) time.Duration {
+		switch {
+		case v == 0:
+			return d
+		case v < 0:
+			return 0
+		}
+		return v
+	}
+	o.SendTimeout = def(o.SendTimeout, 30*time.Second)
+	o.RecvTimeout = def(o.RecvTimeout, 2*time.Minute)
+	o.HeartbeatInterval = def(o.HeartbeatInterval, 250*time.Millisecond)
+	o.HeartbeatTimeout = def(o.HeartbeatTimeout, 2*time.Second)
+	switch {
+	case o.Retry.MaxAttempts == 0:
+		o.Retry.MaxAttempts = 2
+	case o.Retry.MaxAttempts < 0:
+		o.Retry.MaxAttempts = 1
+	}
+	switch {
+	case o.Retry.DialRetries == 0:
+		o.Retry.DialRetries = 2
+	case o.Retry.DialRetries < 0:
+		o.Retry.DialRetries = 0
+	}
+	if o.Retry.BaseBackoff == 0 {
+		o.Retry.BaseBackoff = 5 * time.Millisecond
+	}
+	if o.Retry.MaxBackoff == 0 {
+		o.Retry.MaxBackoff = 250 * time.Millisecond
+	}
+	if o.Listen == nil {
+		o.Listen = func(int) Listener { return memnet.Listen(64) }
+	}
+	return o
+}
 
 // Cluster is a set of worker nodes reachable from the coordinator. Nodes
 // share no memory with the coordinator or each other: all state crosses
 // as serialized snapshots and operations (the MPI model, over the memnet
-// transport).
+// transport, optionally behind a fault-injecting wrapper).
 type Cluster struct {
-	nodes []*workerNode
+	nodes    []*workerNode
+	opts     Options
+	counters *stats.Counters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	hbWG     sync.WaitGroup
 }
 
-// NewCluster starts n worker nodes.
+// NewCluster starts n worker nodes with default hardening (deadlines,
+// heartbeats, dial retry and single-failover policy).
 func NewCluster(n int) *Cluster {
-	c := &Cluster{}
-	for i := 0; i < n; i++ {
-		c.nodes = append(c.nodes, newWorkerNode(i))
+	return NewClusterWith(Options{Nodes: n})
+}
+
+// NewClusterWith starts a cluster with explicit options.
+func NewClusterWith(opts Options) *Cluster {
+	opts = opts.normalized()
+	c := &Cluster{
+		opts:     opts,
+		counters: stats.NewCounters(),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		c.nodes = append(c.nodes, newWorkerNode(i, opts.Listen(i), opts))
+	}
+	if opts.HeartbeatInterval > 0 {
+		for _, n := range c.nodes {
+			c.hbWG.Add(1)
+			go c.heartbeatLoop(n)
+		}
 	}
 	return c
 }
@@ -28,12 +148,131 @@ func NewCluster(n int) *Cluster {
 // Size returns the number of worker nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
 
+// Stats exposes the cluster's fault-tolerance counters ("failover",
+// "transport_error", "dial_retry", "dial_fail", "heartbeat_miss",
+// "node_unhealthy").
+func (c *Cluster) Stats() *stats.Counters { return c.counters }
+
+// Healthy reports the coordinator's current view of a node. Out-of-range
+// nodes are unhealthy by definition.
+func (c *Cluster) Healthy(node int) bool {
+	if node < 0 || node >= len(c.nodes) {
+		return false
+	}
+	return c.nodes[node].healthy.Load()
+}
+
+// KillNode simulates the failure of a single node: its listener closes
+// and every in-flight connection it hosts is torn down. Remote tasks on
+// the node die; tasks that had not yet merged anything fail over to a
+// healthy node under the cluster's retry policy.
+func (c *Cluster) KillNode(node int) {
+	if node < 0 || node >= len(c.nodes) {
+		return
+	}
+	c.nodes[node].close()
+	c.markUnhealthy(c.nodes[node])
+}
+
 // Close shuts the cluster down. Remote tasks already running finish their
 // current conversation and die with their connections.
 func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.hbWG.Wait()
 	for _, n := range c.nodes {
 		n.close()
 	}
+}
+
+func (c *Cluster) markUnhealthy(n *workerNode) {
+	if n.healthy.CompareAndSwap(true, false) {
+		c.counters.Inc("node_unhealthy")
+	}
+}
+
+// heartbeatLoop is the coordinator→worker liveness probe for one node:
+// one dedicated connection, one ping/pong round per interval. A failed
+// round (dial, send, recv or wrong kind) marks the node unhealthy and
+// discards the connection; a successful round marks it healthy again, so
+// partitioned nodes recover automatically after Heal.
+func (c *Cluster) heartbeatLoop(n *workerNode) {
+	defer c.hbWG.Done()
+	ticker := time.NewTicker(c.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	var p *peer
+	defer func() {
+		if p != nil {
+			p.close()
+		}
+	}()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		if p == nil {
+			conn, err := n.listener.Dial()
+			if err != nil {
+				c.counters.Inc("heartbeat_miss")
+				c.markUnhealthy(n)
+				continue
+			}
+			p = newPeerTimeouts(conn, c.opts.HeartbeatTimeout, c.opts.HeartbeatTimeout)
+		}
+		if err := p.send(envelope{Kind: kindPing}); err == nil {
+			if msg, err := p.recv(); err == nil && msg.Kind == kindPong {
+				n.healthy.Store(true)
+				continue
+			}
+		}
+		p.close()
+		p = nil
+		c.counters.Inc("heartbeat_miss")
+		c.markUnhealthy(n)
+	}
+}
+
+// dialNode dials a node's listener with capped exponential backoff. A
+// node that stays undialable is marked unhealthy.
+func (c *Cluster) dialNode(n *workerNode) (net.Conn, error) {
+	backoff := c.opts.Retry.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retry.DialRetries; attempt++ {
+		if attempt > 0 {
+			c.counters.Inc("dial_retry")
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.opts.Retry.MaxBackoff {
+				backoff = c.opts.Retry.MaxBackoff
+			}
+		}
+		conn, err := n.listener.Dial()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	c.counters.Inc("dial_fail")
+	c.markUnhealthy(n)
+	return nil, fmt.Errorf("dial: %w", lastErr)
+}
+
+// nextHealthy picks the failover target after a failure on `failed`:
+// the first healthy node scanning forward from failed+1, wrapping
+// around. The failed node itself is considered last, and only if the
+// heartbeat still believes it healthy (a transient reset, not a death).
+// The scan order is purely positional, so failover routing — like
+// everything else in the runtime — is deterministic.
+func (c *Cluster) nextHealthy(failed int) (int, bool) {
+	n := len(c.nodes)
+	for i := 1; i <= n; i++ {
+		cand := (failed + i) % n
+		if c.nodes[cand].healthy.Load() {
+			return cand, true
+		}
+	}
+	return 0, false
 }
 
 // SpawnRemote spawns a task whose body runs on worker node `node`,
@@ -42,42 +281,79 @@ func (c *Cluster) Close() {
 // a proxy that replays the remote operations, so every Merge flavor,
 // Sync-merge, condition function and Abort works on remote tasks exactly
 // as on local ones — including the determinism of MergeAll ordering.
+//
+// Under the cluster's RetryPolicy the proxy also survives node failure:
+// if the conversation dies on a transport error before any of the remote
+// task's operations have been merged, the proxy re-spawns the registered
+// function on the next healthy node from the original snapshots. The
+// replacement execution starts from identical state and its operations
+// replay through the same proxy slot, so MergeAll ordering and the final
+// merged state are bit-identical to a fault-free run. Once a sync round
+// has been processed the remote task's effects are part of the global
+// state and the failure surfaces as an error instead (re-execution would
+// double-apply).
 func (c *Cluster) SpawnRemote(ctx *task.Ctx, node int, fnName string, data ...mergeable.Mergeable) *task.Task {
 	return ctx.Spawn(func(ctx *task.Ctx, copies []mergeable.Mergeable) error {
 		if node < 0 || node >= len(c.nodes) {
 			return fmt.Errorf("dist: no worker node %d", node)
 		}
-		conn, err := c.nodes[node].listener.Dial()
-		if err != nil {
-			return fmt.Errorf("dist: dial node %d: %w", node, err)
-		}
-		p := newPeer(conn)
-		defer p.close()
-
-		spawn := envelope{Kind: kindSpawn, Fn: fnName}
+		// The original snapshots, kept for failover re-spawns.
 		snaps, err := encodeSnapshots(copies)
 		if err != nil {
 			return err
 		}
-		spawn.Snapshots = snaps
-		if err := p.send(spawn); err != nil {
-			return fmt.Errorf("dist: spawn send: %w", err)
+		target := node
+		for attempt := 1; ; attempt++ {
+			progressed := false
+			err := c.runRemote(ctx, target, fnName, snaps, copies, &progressed)
+			if err == nil {
+				return nil
+			}
+			if progressed || !IsTransportError(err) || attempt >= c.opts.Retry.MaxAttempts {
+				return err
+			}
+			c.counters.Inc("transport_error")
+			next, ok := c.nextHealthy(target)
+			if !ok {
+				return fmt.Errorf("dist: no healthy node for failover: %w", err)
+			}
+			c.counters.Inc("failover")
+			target = next
 		}
-		return c.proxyLoop(ctx, p, copies)
 	}, data...)
+}
+
+// runRemote performs one spawn attempt against one node: dial, ship the
+// snapshots, then relay until completion. progressed is set as soon as
+// any remote operations have been merged into the coordinator's state —
+// the point past which failover is no longer sound.
+func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snapshot, copies []mergeable.Mergeable, progressed *bool) error {
+	conn, err := c.dialNode(c.nodes[node])
+	if err != nil {
+		return transportError{node: node, err: err}
+	}
+	p := newPeerTimeouts(conn, c.opts.SendTimeout, c.opts.RecvTimeout)
+	defer p.close()
+	if err := p.send(envelope{Kind: kindSpawn, Fn: fnName, Snapshots: snaps}); err != nil {
+		return transportError{node: node, err: fmt.Errorf("spawn send: %w", err)}
+	}
+	return c.proxyLoop(ctx, node, p, copies, progressed)
 }
 
 // proxyLoop relays between the remote task and the local runtime: remote
 // operations are re-issued as the proxy's own, remote syncs become local
 // syncs, remote completion completes the proxy.
-func (c *Cluster) proxyLoop(ctx *task.Ctx, p *peer, copies []mergeable.Mergeable) error {
+func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable.Mergeable, progressed *bool) error {
 	for {
 		msg, err := p.recv()
 		if err != nil {
-			return fmt.Errorf("dist: proxy recv: %w", err)
+			return transportError{node: node, err: fmt.Errorf("proxy recv: %w", err)}
 		}
 		switch msg.Kind {
 		case kindSync:
+			// From here on the remote ops enter the coordinator's merge
+			// pipeline; a later failure must not re-execute the task.
+			*progressed = true
 			if err := replayOps(copies, msg.Ops); err != nil {
 				return err
 			}
@@ -87,7 +363,7 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, p *peer, copies []mergeable.Mergeable
 			case errors.Is(syncErr, task.ErrAborted):
 				reply.Err = wireAborted
 				if err := p.send(reply); err != nil {
-					return fmt.Errorf("dist: proxy reply: %w", err)
+					return transportError{node: node, err: fmt.Errorf("proxy reply: %w", err)}
 				}
 				return task.ErrAborted
 			case errors.Is(syncErr, task.ErrMergeRejected):
@@ -101,20 +377,22 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, p *peer, copies []mergeable.Mergeable
 			}
 			reply.Snapshots = snaps
 			if err := p.send(reply); err != nil {
-				return fmt.Errorf("dist: proxy reply: %w", err)
+				return transportError{node: node, err: fmt.Errorf("proxy reply: %w", err)}
 			}
 		case kindDone:
 			if msg.Err != "" {
 				// A failed remote task contributes nothing, like a failed
 				// local task; skip the replay and surface the error.
-				return errRemote{msg: msg.Err}
+				return RemoteError{Msg: msg.Err}
 			}
 			if err := replayOps(copies, msg.Ops); err != nil {
 				return err
 			}
 			return nil
 		default:
-			return fmt.Errorf("dist: unexpected message kind %d", msg.Kind)
+			// A stream that delivers an impossible kind is corrupt —
+			// treat it like any other transport failure.
+			return transportError{node: node, err: fmt.Errorf("unexpected message kind %d", msg.Kind)}
 		}
 	}
 }

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/mergeable"
 	"repro/internal/task"
+
+	"repro/internal/testutil"
 )
 
 func init() {
@@ -66,24 +68,10 @@ func init() {
 	})
 }
 
-func withTimeout(t *testing.T, d time.Duration, fn func()) {
-	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn()
-	}()
-	select {
-	case <-done:
-	case <-time.After(d):
-		t.Fatal("timed out: distributed runtime blocked unexpectedly")
-	}
-}
-
 // TestRemoteListing1 is the paper's Listing 1 with the child running on a
 // remote node: same result, deterministically.
 func TestRemoteListing1(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		list := mergeable.NewList(1, 2, 3)
@@ -104,7 +92,7 @@ func TestRemoteListing1(t *testing.T) {
 
 // TestRemoteSyncLoop mirrors the local sync-loop test over the wire.
 func TestRemoteSyncLoop(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		list := mergeable.NewList[int]()
@@ -131,7 +119,7 @@ func TestRemoteSyncLoop(t *testing.T) {
 // TestRemoteAbort aborts a long-running remote task; the worker observes
 // ErrAborted through its remote Sync and unwinds; its changes vanish.
 func TestRemoteAbort(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		c := mergeable.NewCounter(0)
@@ -164,7 +152,7 @@ func TestRemoteAbort(t *testing.T) {
 // the wire: the worker's Sync reports the rejection and its copies are
 // refreshed.
 func TestRemoteMergeRejected(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		list := mergeable.NewList[int]()
@@ -195,7 +183,7 @@ func TestRemoteMergeRejected(t *testing.T) {
 // TestRemoteFailureDiscards verifies a failing remote task contributes
 // nothing and surfaces as a remote error.
 func TestRemoteFailureDiscards(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		list := mergeable.NewList[int]()
@@ -219,7 +207,7 @@ func TestRemoteFailureDiscards(t *testing.T) {
 // TestRemotePanicPropagates verifies remote panics arrive as remote
 // errors carrying the panic text.
 func TestRemotePanicPropagates(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
@@ -238,7 +226,7 @@ func TestRemotePanicPropagates(t *testing.T) {
 
 // TestRemoteUnknownFuncAndNode covers the registration error paths.
 func TestRemoteUnknownFuncAndNode(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
@@ -277,7 +265,7 @@ func TestDistributedDeterminism(t *testing.T) {
 		data[1].(*mergeable.Counter).Add(30)
 		return nil
 	})
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		run := func() (uint64, []int) {
 			cluster := NewCluster(3)
 			defer cluster.Close()
@@ -311,7 +299,7 @@ func TestDistributedDeterminism(t *testing.T) {
 // TestMixedLocalAndRemoteChildren merges local and remote children of the
 // same parent in creation order.
 func TestMixedLocalAndRemoteChildren(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		defer cluster.Close()
 		list := mergeable.NewList[int]()

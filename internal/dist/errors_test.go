@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+	"repro/internal/testutil"
+)
+
+// TestRemoteErrorClassification pins the typed-error contract: remote
+// failures classify with errors.Is/errors.As, never by string matching.
+func TestRemoteErrorClassification(t *testing.T) {
+	err := RemoteError{Msg: "boom"}
+	if !errors.Is(err, ErrRemoteFailed) {
+		t.Error("errors.Is(RemoteError, ErrRemoteFailed) = false")
+	}
+	wrapped := fmt.Errorf("merge: %w", err)
+	if !errors.Is(wrapped, ErrRemoteFailed) {
+		t.Error("sentinel lost through wrapping")
+	}
+	var re RemoteError
+	if !errors.As(wrapped, &re) || re.Msg != "boom" {
+		t.Errorf("errors.As recovered %+v", re)
+	}
+	if !IsRemoteError(wrapped) {
+		t.Error("IsRemoteError(wrapped) = false")
+	}
+	if errors.Is(wrapped, ErrTransport) {
+		t.Error("remote failure misclassified as transport failure")
+	}
+}
+
+// TestTransportErrorClassification covers the transport side of the
+// split: the sentinel matches, and the underlying cause stays reachable.
+func TestTransportErrorClassification(t *testing.T) {
+	err := transportError{node: 3, err: fmt.Errorf("proxy recv: %w", io.EOF)}
+	if !errors.Is(err, ErrTransport) {
+		t.Error("errors.Is(transportError, ErrTransport) = false")
+	}
+	if !errors.Is(err, io.EOF) {
+		t.Error("underlying cause lost")
+	}
+	if errors.Is(err, ErrRemoteFailed) {
+		t.Error("transport failure misclassified as remote failure")
+	}
+	if !IsTransportError(fmt.Errorf("outer: %w", err)) {
+		t.Error("IsTransportError lost through wrapping")
+	}
+}
+
+// TestRemoteFailureClassifiesEndToEnd drives a real failing remote task
+// and classifies the surfaced merge error with the sentinels.
+func TestRemoteFailureClassifiesEndToEnd(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewCluster(1)
+		defer cluster.Close()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "fail", data[0])
+			mergeErr := ctx.MergeAll()
+			if !errors.Is(mergeErr, ErrRemoteFailed) {
+				t.Errorf("MergeAll = %v, want ErrRemoteFailed", mergeErr)
+			}
+			if errors.Is(mergeErr, ErrTransport) {
+				t.Errorf("remote failure misclassified as transport: %v", mergeErr)
+			}
+			var re RemoteError
+			if !errors.As(mergeErr, &re) || re.Msg != "remote boom" {
+				t.Errorf("errors.As recovered %+v", re)
+			}
+			return nil
+		}, mergeable.NewList[int]())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/memnet"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+	"repro/internal/testutil"
+)
+
+// killGate coordinates "die on the first execution" chaos scenarios: the
+// first execution of the gated function announces itself on started and
+// blocks on release, giving the test a deterministic window to kill or
+// partition the node before any of the task's operations are merged.
+type killGate struct {
+	started chan struct{}
+	release chan struct{}
+	first   atomic.Bool
+}
+
+func newKillGate() *killGate {
+	return &killGate{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+// curGate is swapped per test run; registered functions read it at call
+// time so each run gets fresh channels.
+var curGate atomic.Pointer[killGate]
+
+func gateFirstExecution() {
+	if g := curGate.Load(); g != nil && g.first.CompareAndSwap(false, true) {
+		close(g.started)
+		<-g.release
+	}
+}
+
+func init() {
+	RegisterFunc("failover-work", func(wctx *WorkerCtx, data []mergeable.Mergeable) error {
+		gateFirstExecution()
+		l := data[0].(*mergeable.List[int])
+		l.Append(1)
+		l.Append(2)
+		data[1].(*mergeable.Counter).Add(7)
+		return nil
+	})
+	RegisterFunc("chaos-det-0", func(wctx *WorkerCtx, data []mergeable.Mergeable) error {
+		data[0].(*mergeable.List[int]).Insert(0, 10)
+		data[1].(*mergeable.Counter).Add(100)
+		return nil
+	})
+	RegisterFunc("chaos-det-1", func(wctx *WorkerCtx, data []mergeable.Mergeable) error {
+		data[0].(*mergeable.List[int]).Insert(0, 20)
+		data[1].(*mergeable.Counter).Add(200)
+		return nil
+	})
+	RegisterFunc("chaos-det-2", func(wctx *WorkerCtx, data []mergeable.Mergeable) error {
+		data[0].(*mergeable.List[int]).Insert(0, 30)
+		data[1].(*mergeable.Counter).Add(300)
+		return nil
+	})
+	RegisterFunc("stall", func(wctx *WorkerCtx, data []mergeable.Mergeable) error {
+		time.Sleep(2 * time.Second)
+		return nil
+	})
+}
+
+// failoverScenario runs the canonical failover workload on a cluster:
+// one gated remote task on node 0 plus parent-side appends. When kill is
+// true, node 0 is killed while the remote task is parked before its
+// first (and only) merge, so the cluster must transparently re-execute
+// it elsewhere. Returns the combined fingerprint and the list values.
+func failoverScenario(t *testing.T, cluster *Cluster, kill bool) (uint64, []int) {
+	t.Helper()
+	list := mergeable.NewList[int]()
+	cnt := mergeable.NewCounter(0)
+	gate := newKillGate()
+	if kill {
+		curGate.Store(gate)
+	} else {
+		curGate.Store(nil)
+	}
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		l := data[0].(*mergeable.List[int])
+		h := cluster.SpawnRemote(ctx, 0, "failover-work", l, data[1])
+		if kill {
+			<-gate.started // the doomed execution is live on node 0
+			cluster.KillNode(0)
+			close(gate.release)
+		}
+		l.Append(99)
+		return ctx.MergeAllFromSet([]*task.Task{h})
+	}, list, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mergeable.CombineFingerprints(list.Fingerprint(), cnt.Fingerprint()), list.Values()
+}
+
+// TestFailoverBeforeFirstMerge is the acceptance scenario: a worker node
+// dies mid-run before the remote task's first merged sync; the task
+// fails over to a healthy node and the final merged state is
+// bit-identical to a fault-free run.
+func TestFailoverBeforeFirstMerge(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		clean := NewCluster(2)
+		wantFP, wantVals := failoverScenario(t, clean, false)
+		clean.Close()
+
+		faulty := NewClusterWith(Options{
+			Nodes:       2,
+			RecvTimeout: 5 * time.Second,
+		})
+		defer faulty.Close()
+		gotFP, gotVals := failoverScenario(t, faulty, true)
+
+		if !reflect.DeepEqual(gotVals, wantVals) {
+			t.Fatalf("list after failover = %v, want %v", gotVals, wantVals)
+		}
+		if gotFP != wantFP {
+			t.Fatalf("fingerprint after failover = %x, want %x", gotFP, wantFP)
+		}
+		if got := faulty.Stats().Get("failover"); got != 1 {
+			t.Fatalf("failover counter = %d, want 1", got)
+		}
+		if faulty.Healthy(0) {
+			t.Fatal("killed node still considered healthy")
+		}
+		if !faulty.Healthy(1) {
+			t.Fatal("surviving node considered unhealthy")
+		}
+	})
+}
+
+// TestFailoverDeterministicAcrossSeeds repeats the kill scenario under a
+// latency-injecting faultnet with several seeds: whatever the fault
+// schedule, every run must converge to the fault-free fingerprint.
+func TestFailoverDeterministicAcrossSeeds(t *testing.T) {
+	testutil.WithTimeout(t, 120*time.Second, func() {
+		clean := NewCluster(2)
+		wantFP, _ := failoverScenario(t, clean, false)
+		clean.Close()
+
+		for seed := int64(1); seed <= 5; seed++ {
+			fnet := faultnet.New(faultnet.Config{Seed: seed, MaxDelay: 2 * time.Millisecond})
+			cluster := NewClusterWith(Options{
+				Nodes:       2,
+				RecvTimeout: 5 * time.Second,
+				Listen:      func(node int) Listener { return fnet.Listen(node, 64) },
+			})
+			gotFP, _ := failoverScenario(t, cluster, true)
+			cluster.Close()
+			if gotFP != wantFP {
+				t.Fatalf("seed %d: fingerprint %x != fault-free %x", seed, gotFP, wantFP)
+			}
+		}
+	})
+}
+
+// TestNoFailoverAfterProgress: once a remote task has merged a sync, a
+// node death must surface as a transport error instead of re-executing
+// the task (re-execution would double-apply its merged operations).
+func TestNoFailoverAfterProgress(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, RecvTimeout: 5 * time.Second})
+		defer cluster.Close()
+		c := mergeable.NewCounter(0)
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "slow-sync-loop", data[0])
+			if err := ctx.MergeAll(); err != nil { // at least one sync merged
+				return err
+			}
+			cluster.KillNode(0)
+			mergeErr := ctx.MergeAll()
+			if !IsTransportError(mergeErr) {
+				t.Errorf("MergeAll after node death = %v, want transport error", mergeErr)
+			}
+			return nil
+		}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cluster.Stats().Get("failover"); got != 0 {
+			t.Fatalf("failover counter = %d, want 0 (task had merged progress)", got)
+		}
+		if c.Value() < 1 {
+			t.Fatalf("pre-failure sync should have merged, counter = %d", c.Value())
+		}
+	})
+}
+
+// TestFailoverExhaustion: when every attempt times out, the error that
+// surfaces is a transport error and the attempt count honors the policy.
+func TestFailoverExhaustion(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		cluster := NewClusterWith(Options{
+			Nodes:       1,
+			RecvTimeout: 300 * time.Millisecond,
+			Retry:       RetryPolicy{MaxAttempts: 2},
+		})
+		defer cluster.Close()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "stall", data[0])
+			mergeErr := ctx.MergeAll()
+			if !IsTransportError(mergeErr) {
+				t.Errorf("MergeAll = %v, want transport error", mergeErr)
+			}
+			if IsRemoteError(mergeErr) {
+				t.Errorf("timeout misclassified as remote failure: %v", mergeErr)
+			}
+			return nil
+		}, mergeable.NewCounter(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cluster.Stats().Get("failover"); got != 1 {
+			t.Fatalf("failover counter = %d, want 1 (second attempt on same node)", got)
+		}
+	})
+}
+
+// flakyListener fails its first `failures` dials, then delegates to
+// memnet — a deterministic stand-in for a node that takes a moment to
+// come up.
+type flakyListener struct {
+	*memnet.Listener
+	remaining atomic.Int64
+}
+
+func (f *flakyListener) Dial() (net.Conn, error) {
+	if f.remaining.Add(-1) >= 0 {
+		return nil, errors.New("flaky: connection refused")
+	}
+	return f.Listener.Dial()
+}
+
+// TestDialRetryBackoff: transient dial failures are absorbed by the
+// capped-backoff retry loop without failing the spawn.
+func TestDialRetryBackoff(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		fl := &flakyListener{Listener: memnet.Listen(64)}
+		fl.remaining.Store(2)
+		cluster := NewClusterWith(Options{
+			Nodes:             1,
+			HeartbeatInterval: -1, // keep the flaky budget for the spawn dial
+			Retry:             RetryPolicy{DialRetries: 2},
+			Listen:            func(int) Listener { return fl },
+		})
+		defer cluster.Close()
+		list := mergeable.NewList[int]()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "append5", data[0])
+			return ctx.MergeAll()
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); !reflect.DeepEqual(got, []int{5}) {
+			t.Fatalf("list = %v, want [5]", got)
+		}
+		if got := cluster.Stats().Get("dial_retry"); got != 2 {
+			t.Fatalf("dial_retry counter = %d, want 2", got)
+		}
+	})
+}
+
+// TestHeartbeatDetectsPartitionAndRecovers: a silent partition (writes
+// blackholed, connections open) is detected within a bounded interval,
+// and the node returns to the healthy set after healing.
+func TestHeartbeatDetectsPartitionAndRecovers(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		fnet := faultnet.New(faultnet.Config{Seed: 1})
+		cluster := NewClusterWith(Options{
+			Nodes:             1,
+			HeartbeatInterval: 25 * time.Millisecond,
+			HeartbeatTimeout:  150 * time.Millisecond,
+			Listen:            func(node int) Listener { return fnet.Listen(node, 64) },
+		})
+		defer cluster.Close()
+
+		waitFor := func(desc string, cond func() bool) {
+			deadline := time.Now().Add(10 * time.Second)
+			for !cond() {
+				if time.Now().After(deadline) {
+					t.Fatalf("timed out waiting for %s", desc)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+
+		waitFor("initial healthy state", func() bool { return cluster.Healthy(0) })
+		fnet.Partition(0)
+		waitFor("partition detection", func() bool { return !cluster.Healthy(0) })
+		if cluster.Stats().Get("heartbeat_miss") == 0 {
+			t.Fatal("heartbeat_miss counter not incremented")
+		}
+		fnet.Heal(0)
+		waitFor("recovery after heal", func() bool { return cluster.Healthy(0) })
+	})
+}
+
+// TestChaosSoakDeterminism runs the three-node determinism workload
+// under a lossy, resetting, laggy network across several seeds. Runs may
+// fail outright (that is chaos doing its job), but every run that
+// succeeds must produce exactly the fault-free fingerprint.
+func TestChaosSoakDeterminism(t *testing.T) {
+	testutil.WithTimeout(t, 180*time.Second, func() {
+		curGate.Store(nil)
+		probe := func(cluster *Cluster) (uint64, error) {
+			list := mergeable.NewList(0)
+			cnt := mergeable.NewCounter(0)
+			err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for i := 0; i < 3; i++ {
+					cluster.SpawnRemote(ctx, i, []string{"chaos-det-0", "chaos-det-1", "chaos-det-2"}[i], data[0], data[1])
+				}
+				return ctx.MergeAll()
+			}, list, cnt)
+			if err != nil {
+				return 0, err
+			}
+			return mergeable.CombineFingerprints(list.Fingerprint(), cnt.Fingerprint()), nil
+		}
+
+		clean := NewCluster(3)
+		want, err := probe(clean)
+		clean.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		successes := 0
+		for seed := int64(1); seed <= 6; seed++ {
+			fnet := faultnet.New(faultnet.Config{
+				Seed:      seed,
+				DropProb:  0.02,
+				ResetProb: 0.01,
+				MaxDelay:  500 * time.Microsecond,
+			})
+			cluster := NewClusterWith(Options{
+				Nodes:             3,
+				SendTimeout:       time.Second,
+				RecvTimeout:       time.Second,
+				HeartbeatInterval: 50 * time.Millisecond,
+				HeartbeatTimeout:  300 * time.Millisecond,
+				Retry:             RetryPolicy{MaxAttempts: 4},
+				Listen:            func(node int) Listener { return fnet.Listen(node, 64) },
+			})
+			got, err := probe(cluster)
+			cluster.Close()
+			if err != nil {
+				t.Logf("seed %d: run lost to chaos (fine): %v", seed, err)
+				continue
+			}
+			successes++
+			if got != want {
+				t.Fatalf("seed %d: fingerprint %x != fault-free %x", seed, got, want)
+			}
+		}
+		if successes == 0 {
+			t.Fatal("every chaos run failed; fault mix too hot for the test to mean anything")
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"repro/internal/mergeable"
 	"repro/internal/ot"
 	"repro/internal/task"
+
+	"repro/internal/testutil"
 )
 
 func init() {
@@ -31,7 +33,7 @@ func init() {
 // runs; the coordinator-side proxy must fail with a transport error
 // rather than hang, and the parent unwinds normally.
 func TestNodeFailureSurfacesAsError(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		cluster := NewCluster(1)
 		c := mergeable.NewCounter(0)
 		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
@@ -61,7 +63,7 @@ func TestNodeFailureSurfacesAsError(t *testing.T) {
 
 // TestDialAfterClusterClose covers spawning against a dead cluster.
 func TestDialAfterClusterClose(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		cluster := NewCluster(1)
 		cluster.Close()
 		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {

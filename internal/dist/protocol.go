@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/gob"
 	"net"
+	"time"
 
 	"repro/internal/ot"
 )
@@ -10,7 +11,9 @@ import (
 // The wire protocol: one stream connection per remote task, carrying gob
 // envelopes. The coordinator-side proxy sends a spawn message, then the
 // conversation alternates worker→coordinator sync/done messages with
-// coordinator→worker replies.
+// coordinator→worker replies. A second kind of conversation carries
+// liveness probes: the coordinator dials one heartbeat connection per
+// node and exchanges ping/pong envelopes on it.
 
 type msgKind uint8
 
@@ -19,6 +22,8 @@ const (
 	kindSync
 	kindReply
 	kindDone
+	kindPing
+	kindPong
 )
 
 // snapshot is one structure's serialized value plus the codec to decode
@@ -51,20 +56,45 @@ type envelope struct {
 	Err string
 }
 
-// peer wraps a connection with gob codecs.
+// peer wraps a connection with gob codecs and optional per-message
+// deadlines. A timeout of zero disables the corresponding deadline; once
+// a deadline expires the gob stream is poisoned and the peer must be
+// discarded, which is exactly how the runtime treats it (the failure
+// surfaces as a transport error and, where safe, triggers failover).
 type peer struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn        net.Conn
+	enc         *gob.Encoder
+	dec         *gob.Decoder
+	sendTimeout time.Duration
+	recvTimeout time.Duration
 }
 
 func newPeer(conn net.Conn) *peer {
 	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
-func (p *peer) send(e envelope) error { return p.enc.Encode(e) }
+// newPeerTimeouts builds a peer whose send and recv calls each carry a
+// fresh deadline of the given duration (zero: no deadline).
+func newPeerTimeouts(conn net.Conn, sendTimeout, recvTimeout time.Duration) *peer {
+	p := newPeer(conn)
+	p.sendTimeout = sendTimeout
+	p.recvTimeout = recvTimeout
+	return p
+}
+
+func (p *peer) send(e envelope) error {
+	if p.sendTimeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(p.sendTimeout))
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
+	return p.enc.Encode(e)
+}
 
 func (p *peer) recv() (envelope, error) {
+	if p.recvTimeout > 0 {
+		p.conn.SetReadDeadline(time.Now().Add(p.recvTimeout))
+		defer p.conn.SetReadDeadline(time.Time{})
+	}
 	var e envelope
 	err := p.dec.Decode(&e)
 	return e, err

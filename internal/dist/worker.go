@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/memnet"
 	"repro/internal/mergeable"
 	"repro/internal/task"
 )
@@ -84,18 +84,25 @@ const (
 )
 
 // workerNode is one simulated remote address space: a listener plus an
-// accept loop, each accepted connection hosting one remote task.
+// accept loop, each accepted connection hosting one remote task or the
+// coordinator's heartbeat conversation.
 type workerNode struct {
 	id       int
-	listener *memnet.Listener
+	listener Listener
+	opts     Options
+
+	// healthy is the coordinator's view of the node, maintained by the
+	// heartbeat loop and by dial/transport failures.
+	healthy atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
 	closed bool
 }
 
-func newWorkerNode(id int) *workerNode {
-	n := &workerNode{id: id, listener: memnet.Listen(64), conns: make(map[net.Conn]bool)}
+func newWorkerNode(id int, l Listener, opts Options) *workerNode {
+	n := &workerNode{id: id, listener: l, opts: opts, conns: make(map[net.Conn]bool)}
+	n.healthy.Store(true)
 	go n.acceptLoop()
 	return n
 }
@@ -144,20 +151,45 @@ func (n *workerNode) acceptLoop() {
 		}
 		go func() {
 			defer n.untrack(conn)
-			n.serveTask(newPeer(conn))
+			n.serve(newPeerTimeouts(conn, n.opts.SendTimeout, n.opts.RecvTimeout))
 		}()
+	}
+}
+
+// serve dispatches one accepted connection: a kindPing opens a heartbeat
+// conversation, a kindSpawn hosts a remote task.
+func (n *workerNode) serve(p *peer) {
+	defer p.close()
+	first, err := p.recv()
+	if err != nil {
+		return
+	}
+	switch first.Kind {
+	case kindPing:
+		n.serveHeartbeat(p)
+	case kindSpawn:
+		n.serveTask(p, first)
+	}
+}
+
+// serveHeartbeat answers the coordinator's liveness probes until the
+// connection dies. The pong is sent with the node's send deadline, so a
+// stalled coordinator cannot wedge the worker.
+func (n *workerNode) serveHeartbeat(p *peer) {
+	for {
+		if err := p.send(envelope{Kind: kindPong}); err != nil {
+			return
+		}
+		msg, err := p.recv()
+		if err != nil || msg.Kind != kindPing {
+			return
+		}
 	}
 }
 
 // serveTask hosts one remote task: decode the spawn message, rebuild the
 // structures, run the registered function, and report completion.
-func (n *workerNode) serveTask(p *peer) {
-	defer p.close()
-	spawn, err := p.recv()
-	if err != nil || spawn.Kind != kindSpawn {
-		return
-	}
-
+func (n *workerNode) serveTask(p *peer, spawn envelope) {
 	data := make([]mergeable.Mergeable, len(spawn.Snapshots))
 	for i, s := range spawn.Snapshots {
 		c, err := codecByName(s.Codec)
@@ -204,14 +236,58 @@ func runWorkerFunc(fn WorkerFunc, wctx *WorkerCtx, data []mergeable.Mergeable) (
 	return fn(wctx, data)
 }
 
-// errRemote wraps a worker-reported failure.
-type errRemote struct{ msg string }
+// ErrRemoteFailed is the sentinel matched by errors.Is for every failure
+// reported by a remote worker function (as opposed to a transport or
+// runtime error). The concrete error is a RemoteError carrying the
+// worker's message.
+var ErrRemoteFailed = errors.New("dist: remote task failed")
 
-func (e errRemote) Error() string { return "dist: remote task failed: " + e.msg }
+// ErrTransport is the sentinel matched by errors.Is for every failure of
+// the conversation with a worker node — dial errors, send/recv errors
+// and deadline expiries — as opposed to an error the remote function
+// itself returned. Transport failures are the ones eligible for
+// failover.
+var ErrTransport = errors.New("dist: transport failure")
+
+// RemoteError wraps a worker-reported failure. The original error value
+// cannot cross the wire, so only its message survives; classification
+// happens via errors.Is(err, ErrRemoteFailed) or errors.As with
+// *RemoteError — never by string matching.
+type RemoteError struct{ Msg string }
+
+func (e RemoteError) Error() string { return ErrRemoteFailed.Error() + ": " + e.Msg }
+
+// Unwrap links the error to the ErrRemoteFailed sentinel for errors.Is.
+func (e RemoteError) Unwrap() error { return ErrRemoteFailed }
+
+// Is reports a match for the sentinel, so errors.Is works even through
+// further wrapping layers.
+func (e RemoteError) Is(target error) bool { return target == ErrRemoteFailed }
 
 // IsRemoteError reports whether err is a failure reported by a remote
 // worker (as opposed to a transport or runtime error).
 func IsRemoteError(err error) bool {
-	var re errRemote
-	return errors.As(err, &re)
+	return errors.Is(err, ErrRemoteFailed)
+}
+
+// transportError marks a failed conversation with a node; see
+// ErrTransport.
+type transportError struct {
+	node int
+	err  error
+}
+
+func (e transportError) Error() string {
+	return fmt.Sprintf("dist: node %d: %v", e.node, e.err)
+}
+
+func (e transportError) Unwrap() error { return e.err }
+
+func (e transportError) Is(target error) bool { return target == ErrTransport }
+
+// IsTransportError reports whether err is a transport-level failure
+// (connection, deadline or dial trouble) rather than an error returned
+// by the remote function.
+func IsTransportError(err error) bool {
+	return errors.Is(err, ErrTransport)
 }

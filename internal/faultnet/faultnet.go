@@ -1,0 +1,236 @@
+// Package faultnet wraps the memnet in-memory transport with
+// deterministic, seeded fault injection, so the distributed runtime can
+// be exercised under chaos inside ordinary tests and soak runs.
+//
+// A Network is configured with per-event probabilities and a seed; every
+// connection derives its own random stream from that seed, so a given
+// connection observes the same fault schedule on every run with the same
+// establishment order. Four fault classes are injected at the transport
+// boundary, which is exactly where a real network fails:
+//
+//   - latency: each write is delayed by a seeded duration in
+//     [0, MaxDelay), modelling a slow or congested link;
+//   - drops: a write is silently swallowed. On a stream transport a
+//     missing segment stalls the peer's decoder, so drops surface as
+//     recv deadline expiries on the other side — the failure mode the
+//     dist layer's per-message deadlines exist to catch;
+//   - resets: the connection is torn down mid-write, modelling a
+//     crashed process or an RST;
+//   - dial failures: Dial returns an injected error, modelling a
+//     refused or unreachable node.
+//
+// Independently of the probabilistic faults, Partition(node) blackholes
+// all traffic of a node's connections in both directions without closing
+// them — the silent partition that only heartbeats can detect — and
+// Heal(node) restores it.
+//
+// All injected faults wrap ErrInjected so tests can tell injected chaos
+// from genuine transport bugs, and every injection increments a named
+// counter in Stats().
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/memnet"
+	"repro/internal/stats"
+)
+
+// ErrInjected is wrapped by every fault the network injects.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config sets the fault mix. Zero values mean a perfectly healthy
+// network (the wrapper then only adds accounting).
+type Config struct {
+	// Seed derives every connection's fault schedule. Two Networks with
+	// the same Config and the same connection-establishment order inject
+	// identical fault sequences.
+	Seed int64
+	// DropProb is the probability that a single write is silently
+	// swallowed.
+	DropProb float64
+	// ResetProb is the probability that a single write kills the
+	// connection instead of delivering.
+	ResetProb float64
+	// DialFailProb is the probability that a Dial fails outright.
+	DialFailProb float64
+	// MaxDelay bounds the seeded per-write latency; zero disables
+	// latency injection.
+	MaxDelay time.Duration
+}
+
+// Network is a fault-injecting transport fabric. Create listeners on it
+// with Listen; all connections they produce share the network's
+// configuration, partition state and counters.
+type Network struct {
+	cfg Config
+
+	mu          sync.Mutex
+	partitioned map[int]bool
+
+	counters *stats.Counters
+}
+
+// New creates a network with the given fault configuration.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:         cfg,
+		partitioned: make(map[int]bool),
+		counters:    stats.NewCounters(),
+	}
+}
+
+// Stats exposes the network's fault counters ("delay", "drop", "reset",
+// "dial_fail", "partition_swallow").
+func (n *Network) Stats() *stats.Counters { return n.counters }
+
+// Partition blackholes node: every write on the node's connections — in
+// either direction — is silently swallowed until Heal. Connections stay
+// open, so only deadline or heartbeat machinery can notice.
+func (n *Network) Partition(node int) {
+	n.mu.Lock()
+	n.partitioned[node] = true
+	n.mu.Unlock()
+}
+
+// Heal reconnects a partitioned node.
+func (n *Network) Heal(node int) {
+	n.mu.Lock()
+	delete(n.partitioned, node)
+	n.mu.Unlock()
+}
+
+func (n *Network) isPartitioned(node int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned[node]
+}
+
+// Listener wraps a memnet listener for one node; both ends of every
+// connection it produces inject faults.
+type Listener struct {
+	net   *Network
+	node  int
+	inner *memnet.Listener
+
+	mu        sync.Mutex
+	dialRng   *rand.Rand
+	dialSeq   int64
+	acceptSeq int64
+}
+
+// nextSeed derives the fault-schedule seed for this listener's next
+// connection from the network seed, the node id, the connection's
+// direction and a per-direction sequence number. Keeping the dial and
+// accept sides on separate sequences means a connection's schedule does
+// not depend on how the two ends' wrap calls interleave.
+func (l *Listener) nextSeed(accept bool) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var seq int64
+	if accept {
+		l.acceptSeq++
+		seq = l.acceptSeq<<1 | 1
+	} else {
+		l.dialSeq++
+		seq = l.dialSeq << 1
+	}
+	return l.net.cfg.Seed ^ int64(l.node+1)*0x1000193 ^ seq*0x7F4A7C15F39CC60D
+}
+
+// Listen creates a fault-injecting listener for the given node id with
+// the given accept backlog.
+func (n *Network) Listen(node, backlog int) *Listener {
+	return &Listener{
+		net:     n,
+		node:    node,
+		inner:   memnet.Listen(backlog),
+		dialRng: rand.New(rand.NewSource(n.cfg.Seed ^ int64(node+1)*0x7F4A7C15F39CC60D)),
+	}
+}
+
+// Accept blocks for an inbound connection and returns its fault-wrapped
+// server end.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.wrap(c, l.node, l.nextSeed(true)), nil
+}
+
+// Dial connects to the listener, possibly failing with an injected
+// error, and returns the fault-wrapped client end.
+func (l *Listener) Dial() (net.Conn, error) {
+	l.mu.Lock()
+	fail := l.dialRng.Float64() < l.net.cfg.DialFailProb
+	l.mu.Unlock()
+	if fail {
+		l.net.counters.Inc("dial_fail")
+		return nil, fmt.Errorf("faultnet: dial node %d: %w", l.node, ErrInjected)
+	}
+	c, err := l.inner.Dial()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.wrap(c, l.node, l.nextSeed(false)), nil
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+func (n *Network) wrap(c net.Conn, node int, seed int64) net.Conn {
+	return &conn{
+		Conn: c,
+		net:  n,
+		node: node,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// conn injects faults on the write path. Reads pass through: since both
+// ends of a conversation are wrapped, every direction of traffic crosses
+// an injecting writer.
+type conn struct {
+	net.Conn
+	net  *Network
+	node int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	// Always draw all three variates so a connection's fault schedule
+	// depends only on its seed and write count, not on the configured
+	// probabilities.
+	c.mu.Lock()
+	delayFrac := c.rng.Float64()
+	drop := c.rng.Float64() < c.net.cfg.DropProb
+	reset := c.rng.Float64() < c.net.cfg.ResetProb
+	c.mu.Unlock()
+
+	if c.net.isPartitioned(c.node) {
+		c.net.counters.Inc("partition_swallow")
+		return len(b), nil
+	}
+	if reset {
+		c.net.counters.Inc("reset")
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: connection reset (node %d): %w", c.node, ErrInjected)
+	}
+	if drop {
+		c.net.counters.Inc("drop")
+		return len(b), nil
+	}
+	if d := time.Duration(delayFrac * float64(c.net.cfg.MaxDelay)); d > 0 {
+		c.net.counters.Inc("delay")
+		time.Sleep(d)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,217 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// pipePair dials one connection through the listener and returns both
+// fault-wrapped ends.
+func pipePair(t *testing.T, l *Listener) (client, server net.Conn) {
+	t.Helper()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, <-accepted
+}
+
+// readWithDeadline reads up to len(buf) bytes, failing over to a timeout
+// error instead of blocking forever.
+func readWithDeadline(c net.Conn, buf []byte, d time.Duration) (int, error) {
+	c.SetReadDeadline(time.Now().Add(d))
+	defer c.SetReadDeadline(time.Time{})
+	return c.Read(buf)
+}
+
+// TestHealthyPassThrough: a zero-fault network is a transparent pipe.
+func TestHealthyPassThrough(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		n := New(Config{Seed: 1})
+		l := n.Listen(0, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		go client.Write([]byte("hello"))
+		buf := make([]byte, 8)
+		got, err := readWithDeadline(server, buf, 2*time.Second)
+		if err != nil || string(buf[:got]) != "hello" {
+			t.Fatalf("read = %q, %v", buf[:got], err)
+		}
+	})
+}
+
+// TestDeterministicSchedule: two networks with the same seed and the
+// same connection/write sequence inject byte-identical fault schedules.
+func TestDeterministicSchedule(t *testing.T) {
+	testutil.WithTimeout(t, 20*time.Second, func() {
+		run := func() (outcomes []bool, counters map[string]int64) {
+			n := New(Config{Seed: 42, DropProb: 0.3, ResetProb: 0.1})
+			l := n.Listen(0, 4)
+			defer l.Close()
+			client, server := pipePair(t, l)
+			defer client.Close()
+			defer server.Close()
+			// Drain the server end so surviving writes don't block.
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					if _, err := server.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < 40; i++ {
+				_, err := client.Write([]byte("x"))
+				outcomes = append(outcomes, err == nil)
+				if err != nil {
+					break // reset kills the connection
+				}
+			}
+			return outcomes, n.Stats().Snapshot()
+		}
+		o1, c1 := run()
+		o2, c2 := run()
+		if len(o1) != len(o2) {
+			t.Fatalf("different schedule lengths: %d vs %d", len(o1), len(o2))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("write %d diverged: %v vs %v", i, o1[i], o2[i])
+			}
+		}
+		for _, k := range []string{"drop", "reset"} {
+			if c1[k] != c2[k] {
+				t.Fatalf("counter %s diverged: %d vs %d", k, c1[k], c2[k])
+			}
+		}
+	})
+}
+
+// TestDropSwallowsWrite: with DropProb=1 every write claims success but
+// nothing arrives — the reader can only notice via a deadline.
+func TestDropSwallowsWrite(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		n := New(Config{Seed: 7, DropProb: 1})
+		l := n.Listen(0, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		if _, err := client.Write([]byte("lost")); err != nil {
+			t.Fatalf("dropped write should claim success, got %v", err)
+		}
+		if _, err := readWithDeadline(server, make([]byte, 8), 100*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("read after drop = %v, want deadline expiry", err)
+		}
+		if n.Stats().Get("drop") == 0 {
+			t.Fatal("drop counter not incremented")
+		}
+	})
+}
+
+// TestResetKillsConnection: with ResetProb=1 the first write errors with
+// ErrInjected and the connection is dead in both directions.
+func TestResetKillsConnection(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		n := New(Config{Seed: 7, ResetProb: 1})
+		l := n.Listen(0, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		if _, err := client.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write = %v, want injected reset", err)
+		}
+		if _, err := server.Read(make([]byte, 1)); err == nil {
+			t.Fatal("server read should fail after reset")
+		}
+		if n.Stats().Get("reset") == 0 {
+			t.Fatal("reset counter not incremented")
+		}
+	})
+}
+
+// TestDialFailure: with DialFailProb=1 dials fail with ErrInjected.
+func TestDialFailure(t *testing.T) {
+	n := New(Config{Seed: 7, DialFailProb: 1})
+	l := n.Listen(0, 4)
+	defer l.Close()
+	if _, err := l.Dial(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial = %v, want injected failure", err)
+	}
+	if n.Stats().Get("dial_fail") == 0 {
+		t.Fatal("dial_fail counter not incremented")
+	}
+}
+
+// TestLatencyDelivers: injected latency delays but does not lose data.
+func TestLatencyDelivers(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		n := New(Config{Seed: 7, MaxDelay: 5 * time.Millisecond})
+		l := n.Listen(0, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		go client.Write([]byte("slow"))
+		buf := make([]byte, 8)
+		got, err := readWithDeadline(server, buf, 2*time.Second)
+		if err != nil || string(buf[:got]) != "slow" {
+			t.Fatalf("read = %q, %v", buf[:got], err)
+		}
+	})
+}
+
+// TestPartitionAndHeal: a partitioned node's traffic is blackholed in
+// both directions without closing connections; Heal restores delivery.
+func TestPartitionAndHeal(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		n := New(Config{Seed: 7})
+		l := n.Listen(3, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		n.Partition(3)
+		if _, err := client.Write([]byte("void")); err != nil {
+			t.Fatalf("partitioned write should be silently swallowed, got %v", err)
+		}
+		if _, err := server.Write([]byte("void")); err != nil {
+			t.Fatalf("reverse direction should be swallowed too, got %v", err)
+		}
+		if _, err := readWithDeadline(server, make([]byte, 8), 100*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("read during partition = %v, want deadline expiry", err)
+		}
+		if n.Stats().Get("partition_swallow") < 2 {
+			t.Fatalf("partition_swallow = %d, want >= 2", n.Stats().Get("partition_swallow"))
+		}
+
+		n.Heal(3)
+		go client.Write([]byte("back"))
+		buf := make([]byte, 8)
+		got, err := readWithDeadline(server, buf, 2*time.Second)
+		if err != nil || string(buf[:got]) != "back" {
+			t.Fatalf("read after heal = %q, %v", buf[:got], err)
+		}
+	})
+}

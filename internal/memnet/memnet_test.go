@@ -132,3 +132,79 @@ func TestMultipleConnections(t *testing.T) {
 		t.Fatalf("saw %d distinct clients, want %d", len(seen), conns)
 	}
 }
+
+// TestDialClosedListener: Dial against an already-closed listener must
+// return promptly with ErrClosed rather than blocking.
+func TestDialClosedListener(t *testing.T) {
+	l := Listen(2)
+	l.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Dial()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Dial after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Dial against a closed listener blocked")
+	}
+}
+
+// TestAcceptAfterClose: Accept on a closed listener returns ErrClosed,
+// but first drains connections that raced with Close.
+func TestAcceptAfterClose(t *testing.T) {
+	l := Listen(2)
+	client, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	l.Close()
+	// The pre-Close dial is still deliverable.
+	conn, err := l.Accept()
+	if err != nil {
+		t.Fatalf("Accept should drain the raced connection, got %v", err)
+	}
+	conn.Close()
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Accept on drained closed listener = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDuringInflightDial: closing while dialers are parked on a full
+// backlog must unblock every one of them with ErrClosed (or let the dial
+// through if it won the race), never leave them hanging.
+func TestCloseDuringInflightDial(t *testing.T) {
+	l := Listen(1)
+	// Fill the backlog so subsequent dials block.
+	if _, err := l.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	const dialers = 8
+	results := make(chan error, dialers)
+	for i := 0; i < dialers; i++ {
+		go func() {
+			_, err := l.Dial()
+			results <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the dialers park
+	l.Close()
+	for i := 0; i < dialers; i++ {
+		select {
+		case err := <-results:
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("in-flight Dial = %v, want nil or ErrClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("in-flight Dial still blocked after Close")
+		}
+	}
+	// Close must be idempotent.
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

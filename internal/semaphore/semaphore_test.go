@@ -8,28 +8,16 @@ import (
 
 	"repro/internal/mergeable"
 	"repro/internal/task"
-)
 
-func withTimeout(t *testing.T, d time.Duration, fn func()) {
-	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn()
-	}()
-	select {
-	case <-done:
-	case <-time.After(d):
-		t.Fatal("timed out: semaphore simulation blocked unexpectedly")
-	}
-}
+	"repro/internal/testutil"
+)
 
 // TestMutualExclusion is the heart of the equivalence claim: a semaphore
 // of count 1 built from Spawn/Merge/Sync must provide real mutual
 // exclusion between genuinely parallel workers. The shared atomic is
 // test-side instrumentation observing the workers' actual concurrency.
 func TestMutualExclusion(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		var inside, maxInside atomic.Int64
 		counter := mergeable.NewCounter(0)
 
@@ -71,7 +59,7 @@ func TestMutualExclusion(t *testing.T) {
 // TestCountingSemaphore checks a count-3 semaphore admits at most three
 // holders.
 func TestCountingSemaphore(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		var inside, maxInside atomic.Int64
 		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
 			for i := 0; i < 3; i++ {
@@ -108,7 +96,7 @@ func TestCountingSemaphore(t *testing.T) {
 
 // TestMutexWrapper covers the derived Mutex primitive.
 func TestMutexWrapper(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		counter := mergeable.NewCounter(0)
 		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
 			mu := sems.Mutex(0)
@@ -133,7 +121,7 @@ func TestMutexWrapper(t *testing.T) {
 // Merge simulation degenerates to MergeAnyFromSet over an empty set — a
 // livelock we detect and report as ErrAllBlocked.
 func TestDeadlockDetected(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		var aHolds0, bHolds1 atomic.Bool
 		workerA := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
 			if err := sems.Acquire(0); err != nil {
@@ -167,7 +155,7 @@ func TestDeadlockDetected(t *testing.T) {
 // executed under the Spawn & Merge simulation with a mergeable queue as
 // the buffer.
 func TestProducerConsumer(t *testing.T) {
-	withTimeout(t, 120*time.Second, func() {
+	testutil.WithTimeout(t, 120*time.Second, func() {
 		const items = 8
 		buf := mergeable.NewQueue[int]()
 		sink := mergeable.NewList[int]()
@@ -237,7 +225,7 @@ func TestProducerConsumer(t *testing.T) {
 
 // TestAcquireBadIndex covers argument validation.
 func TestAcquireBadIndex(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		worker := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
 			if err := sems.Acquire(5); err == nil {
 				t.Error("acquire of missing semaphore should fail")
@@ -256,7 +244,7 @@ func TestAcquireBadIndex(t *testing.T) {
 // TestWorkerErrorPropagates ensures a failing worker surfaces in Run's
 // result and does not wedge the coordinator.
 func TestWorkerErrorPropagates(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		boom := errors.New("boom")
 		bad := func(ctx *task.Ctx, sems *Sems, data []mergeable.Mergeable) error {
 			if err := sems.Acquire(0); err != nil {

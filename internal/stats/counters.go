@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a set of named monotonic event counters, safe for
+// concurrent use. The distributed runtime and the fault-injecting
+// transport use one each to account for retries, drops, failovers and
+// heartbeat misses, so soak runs and tests can report what the fault
+// layer actually exercised.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's current value (zero if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters as sorted "name=value" pairs.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, snap[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Inc("b")
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	want := map[string]int64{"a": 3, "b": 1}
+	if got := c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	if got := c.String(); got != "a=3 b=1" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Snapshot is a copy, not a view.
+	c.Snapshot()["a"] = 99
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("snapshot mutation leaked: a = %d", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}

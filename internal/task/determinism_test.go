@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // deterministicScenario runs a nontrivial task tree with deliberately
@@ -143,7 +145,7 @@ func (m *chMutex) Unlock() { <-m.ch }
 // permits — parent waiting in Merge while the child waits in Sync — at
 // scale and depth; per Section IV.B it must always resolve.
 func TestNoDeadlockMergeSyncCycle(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		for round := 0; round < 20; round++ {
 			c := mergeable.NewCounter(0)
 			err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -180,7 +182,7 @@ func TestNoDeadlockMergeSyncCycle(t *testing.T) {
 // TestNoDeadlockDeepTree spawns a deep chain of tasks, each syncing with
 // its parent while the parent merges — a stack of merge/sync cycles.
 func TestNoDeadlockDeepTree(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		var descend func(depth int) Func
 		descend = func(depth int) Func {
@@ -213,7 +215,7 @@ func TestNoDeadlockDeepTree(t *testing.T) {
 // growth: after thousands of sync rounds the structure's committed history
 // must stay short because every round advances the child's base.
 func TestHistoryTrimmedOnLongSyncLoop(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		const rounds = 2000
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -258,7 +260,7 @@ func TestHistoryTrimmedOnLongSyncLoop(t *testing.T) {
 // TestStressManyTasks floods the runtime with short-lived tasks under the
 // race detector.
 func TestStressManyTasks(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			cnt := data[0].(*mergeable.Counter)

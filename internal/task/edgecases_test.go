@@ -7,13 +7,15 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // TestMergeSetDuplicateHandle documents MergeAllFromSet semantics with a
 // repeated handle: a syncing child listed twice is merged twice (two sync
 // rounds); a completed child is merged once and skipped afterwards.
 func TestMergeSetDuplicateHandle(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -67,7 +69,7 @@ func TestSpawnWithNoData(t *testing.T) {
 // TestAbortBeforeFirstSync aborts a child before it ever reaches a
 // blocking point; its entire contribution is discarded at completion.
 func TestAbortBeforeFirstSync(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		l := mergeable.NewList[int]()
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			started := make(chan struct{})
@@ -134,7 +136,7 @@ func TestZeroChildrenMergeAll(t *testing.T) {
 // TestErrAbortedIsSticky verifies a second Sync after an abort still
 // reports the abort rather than blocking forever.
 func TestErrAbortedIsSticky(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			h := ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
 				for i := 0; ; i++ {

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // fuzzTask builds a seed-derived task body: a deterministic-but-arbitrary
@@ -77,7 +79,7 @@ func runFuzzTree(seed int64) uint64 {
 // TestRuntimeDeterminismFuzz runs each random tree shape several times
 // and requires identical fingerprints.
 func TestRuntimeDeterminismFuzz(t *testing.T) {
-	withTimeout(t, 120*time.Second, func() {
+	testutil.WithTimeout(t, 120*time.Second, func() {
 		f := func(seed int64) bool {
 			want := runFuzzTree(seed)
 			for i := 0; i < 3; i++ {
@@ -97,7 +99,7 @@ func TestRuntimeDeterminismFuzz(t *testing.T) {
 // TestRuntimeDeterminismFuzzPooled repeats the fuzz under a bounded pool:
 // pooling must not change any outcome.
 func TestRuntimeDeterminismFuzzPooled(t *testing.T) {
-	withTimeout(t, 120*time.Second, func() {
+	testutil.WithTimeout(t, 120*time.Second, func() {
 		runPooled := func(seed int64, pool int) uint64 {
 			l := mergeable.NewList(1, 2, 3)
 			c := mergeable.NewCounter(0)

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // runJittered executes fn with random scheduling delays injected at every
@@ -32,7 +34,7 @@ func runJittered(seed int64, fn Func, data ...mergeable.Mergeable) error {
 // TestJitteredDeterminism runs the fuzz scenario under injected runtime
 // jitter: wildly different schedules, identical results.
 func TestJitteredDeterminism(t *testing.T) {
-	withTimeout(t, 120*time.Second, func() {
+	testutil.WithTimeout(t, 120*time.Second, func() {
 		for _, seed := range []int64{1, 7, 42} {
 			l := mergeable.NewList(1, 2, 3)
 			c := mergeable.NewCounter(0)

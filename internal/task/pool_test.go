@@ -7,12 +7,14 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // TestRunPooledBoundsParallelism verifies at most maxParallel task bodies
 // execute simultaneously.
 func TestRunPooledBoundsParallelism(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		const limit = 2
 		var running, maxRunning atomic.Int64
 		err := RunPooled(limit, func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -46,7 +48,7 @@ func TestRunPooledBoundsParallelism(t *testing.T) {
 // TestRunPooledMatchesRun pins that pooling changes scheduling only:
 // results are identical to the unbounded runtime, for every pool size.
 func TestRunPooledMatchesRun(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		scenario := func(run func(fn Func, data ...mergeable.Mergeable) error) []int {
 			l := mergeable.NewList[int]()
 			err := run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -83,7 +85,7 @@ func TestRunPooledMatchesRun(t *testing.T) {
 // one — the configuration most likely to deadlock if a blocking point
 // held its slot.
 func TestRunPooledSyncLoops(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		err := RunPooled(1, func(ctx *Ctx, data []mergeable.Mergeable) error {
 			cnt := data[0].(*mergeable.Counter)

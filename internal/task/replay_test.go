@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // racyScenario uses MergeAny over children racing to write one register —
@@ -38,7 +40,7 @@ func racyScenario(run func(fn Func, data ...mergeable.Mergeable) error, delays [
 // and replays it repeatedly with different timing: the replayed outcomes
 // must match the recording exactly.
 func TestRecordReplayReproducesNonDeterministicRun(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		script := NewMergeScript()
 		// Record with strongly skewed delays so a specific order is likely.
 		recorded, err := racyScenario(func(fn Func, data ...mergeable.Mergeable) error {
@@ -72,7 +74,7 @@ func TestRecordReplayReproducesNonDeterministicRun(t *testing.T) {
 // performs more merges than were recorded; the surplus merges fall back
 // to live behavior instead of hanging.
 func TestReplayScriptDryFallsBack(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		script := NewMergeScript() // empty: everything falls back
 		c := mergeable.NewCounter(0)
 		err := RunReplaying(script, func(ctx *Ctx, data []mergeable.Mergeable) error {

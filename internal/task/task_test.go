@@ -7,23 +7,9 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
-)
 
-// withTimeout fails the test if fn does not return within d — the guard
-// used by every test that could in principle block forever.
-func withTimeout(t *testing.T, d time.Duration, fn func()) {
-	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn()
-	}()
-	select {
-	case <-done:
-	case <-time.After(d):
-		t.Fatal("timed out: runtime blocked unexpectedly")
-	}
-}
+	"repro/internal/testutil"
+)
 
 // TestListing1 runs the paper's Listing 1: a child appends 5 while the
 // parent appends 4; MergeAllFromSet yields [1 2 3 4 5], always.
@@ -127,7 +113,7 @@ func TestImplicitMergeAll(t *testing.T) {
 // TestSyncLoop runs a child that repeatedly syncs intermediate results —
 // the long-running-task pattern of Section II.E.
 func TestSyncLoop(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		list := mergeable.NewList[int]()
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			l := data[0].(*mergeable.List[int])
@@ -167,7 +153,7 @@ func TestSyncLoop(t *testing.T) {
 // siblings (the blocking-accept pattern of Section II.E) which sync fresh
 // data from the shared parent.
 func TestCloneAcceptPattern(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		counter := mergeable.NewCounter(0)
 		const clones = 4
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -212,7 +198,7 @@ func TestCloneAcceptPattern(t *testing.T) {
 // TestCloneDataStaleUntilSync verifies a clone's placeholder copies panic
 // until the first Sync refreshes them.
 func TestCloneDataStaleUntilSync(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		counter := mergeable.NewCounter(0)
 		sawPanic := false
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -251,7 +237,7 @@ func TestCloneDataStaleUntilSync(t *testing.T) {
 // TestAbort verifies Section II.F: an externally aborted child's changes
 // are dismissed, and the child observes the abort via Sync.
 func TestAbort(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		list := mergeable.NewList[string]()
 		var childSawAbort bool
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -327,7 +313,7 @@ func TestChildError(t *testing.T) {
 // TestChildPanic verifies panics are caught, wrapped as PanicError, and
 // treated like task failure (changes discarded, grandchildren aborted).
 func TestChildPanic(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		list := mergeable.NewList[int]()
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			l := data[0].(*mergeable.List[int])
@@ -405,7 +391,7 @@ func TestMergeCondition(t *testing.T) {
 // its changes are dropped, its copies refreshed, and Sync reports
 // ErrMergeRejected (Listing 3's error-handling path).
 func TestSyncMergeRejected(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		list := mergeable.NewList[int]()
 		var syncErr error
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
@@ -465,7 +451,7 @@ func TestMergeAnyNothingToMerge(t *testing.T) {
 // TestMergeForeignChild verifies the tree discipline: merging another
 // task's child fails with ErrNotChild.
 func TestMergeForeignChild(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			var grandchild *Task
 			got := make(chan *Task)
@@ -521,7 +507,7 @@ func TestRootClonePanics(t *testing.T) {
 // TestNestedHierarchy runs a three-level task tree with data flowing
 // upward through two merge layers.
 func TestNestedHierarchy(t *testing.T) {
-	withTimeout(t, 10*time.Second, func() {
+	testutil.WithTimeout(t, 10*time.Second, func() {
 		c := mergeable.NewCounter(0)
 		err := Run(func(ctx *Ctx, data []mergeable.Mergeable) error {
 			cnt := data[0].(*mergeable.Counter)

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/mergeable"
+
+	"repro/internal/testutil"
 )
 
 // tracedScenario spawns children with every outcome class: a clean merge,
@@ -89,7 +91,7 @@ func traceShape(tr *Trace) [][]string {
 }
 
 func TestRunTracedRecordsOutcomes(t *testing.T) {
-	withTimeout(t, 30*time.Second, func() {
+	testutil.WithTimeout(t, 30*time.Second, func() {
 		tr := tracedScenario(t)
 		var outcomes []string
 		for _, e := range tr.Events() {
@@ -119,7 +121,7 @@ func TestRunTracedRecordsOutcomes(t *testing.T) {
 // TestTraceDeterministic pins the debugging claim: the per-parent merge
 // sequence of a deterministic program is identical on every traced run.
 func TestTraceDeterministic(t *testing.T) {
-	withTimeout(t, 60*time.Second, func() {
+	testutil.WithTimeout(t, 60*time.Second, func() {
 		want := traceShape(tracedScenario(t))
 		for i := 0; i < 5; i++ {
 			if got := traceShape(tracedScenario(t)); !reflect.DeepEqual(got, want) {

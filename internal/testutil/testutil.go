@@ -1,0 +1,26 @@
+// Package testutil holds small helpers shared by the repository's test
+// suites.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WithTimeout fails the test if fn does not return within d — the guard
+// used by every test that could in principle block forever. The select
+// runs on the calling (test) goroutine, so the Fatal is legal; fn runs
+// on a fresh goroutine and is abandoned on timeout.
+func WithTimeout(t testing.TB, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("timed out: blocked unexpectedly")
+	}
+}
