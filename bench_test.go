@@ -79,6 +79,65 @@ func BenchmarkSpawnCopyOverhead(b *testing.B) {
 	}
 }
 
+// mergeManyStructsBody is one merge-scaling workload: a parent and one
+// child mutate `structs` lists with `ops` Sets each, then merge. The child
+// contributes on every structure, so the merge pays the full
+// compact/transform cost per position — the work the parallel engine fans
+// out.
+func mergeManyStructsBody(b *testing.B, structs, ops int) {
+	for i := 0; i < b.N; i++ {
+		data := make([]mergeable.Mergeable, structs)
+		for j := range data {
+			l := mergeable.NewList[int]()
+			for k := 0; k < 8; k++ {
+				l.Append(k)
+			}
+			data[j] = l
+		}
+		err := task.Run(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+			ch := ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+				for _, m := range d {
+					l := m.(*mergeable.List[int])
+					for k := 0; k < ops; k++ {
+						l.Set(k%8, k)
+					}
+				}
+				return nil
+			}, d...)
+			for _, m := range d {
+				l := m.(*mergeable.List[int])
+				for k := 0; k < ops; k++ {
+					l.Set((k+3)%8, -k)
+				}
+			}
+			return ctx.MergeAllFromSet([]*task.Task{ch})
+		}, data...)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeManyStructs is the merge-scaling family: 1/8/64 structures
+// × 10/100 concurrent operations each, under the serial and the parallel
+// merge engine. On a single-core machine the parallel engine falls back to
+// the inline serial path, so the two series there also document that the
+// gate costs nothing when it cannot win.
+func BenchmarkMergeManyStructs(b *testing.B) {
+	defer task.SetParallelMerge(true)
+	for _, engine := range []string{"serial", "parallel"} {
+		for _, structs := range []int{1, 8, 64} {
+			for _, ops := range []int{10, 100} {
+				name := fmt.Sprintf("%s/structs=%d/ops=%d", engine, structs, ops)
+				b.Run(name, func(b *testing.B) {
+					task.SetParallelMerge(engine == "parallel")
+					mergeManyStructsBody(b, structs, ops)
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkCloneDeepVsCOW is the ablation for the paper's announced
 // copy-on-write optimization: cloning task data as a deep-copied slice
 // (what Spawn does today) versus an O(1) persistent-vector clone.
@@ -326,6 +385,49 @@ func BenchmarkRemoteSyncRoundtrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRemoteFanout prices scattering the same snapshot to every node
+// of a cluster: per-node-encode serializes the structures once per
+// SpawnRemote, encode-once serializes them once per fan-out and shares the
+// bytes (SpawnRemoteMany). The list is large enough for the encode to be a
+// visible share of the round trip.
+func BenchmarkRemoteFanout(b *testing.B) {
+	const nodes = 4
+	vals := make([]int, 512)
+	for i := range vals {
+		vals[i] = i
+	}
+	cluster := dist.NewCluster(nodes)
+	defer cluster.Close()
+	b.Run("per-node-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := mergeable.NewList(vals...)
+			err := task.Run(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+				for n := 0; n < nodes; n++ {
+					cluster.SpawnRemote(ctx, n, "bench-append", d[0])
+				}
+				return ctx.MergeAll()
+			}, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := mergeable.NewList(vals...)
+			err := task.Run(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+				if _, err := cluster.SpawnRemoteMany(ctx, []int{0, 1, 2, 3}, "bench-append", d[0]); err != nil {
+					return err
+				}
+				return ctx.MergeAll()
+			}, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMapReduce measures the deterministic map/reduce framework on a

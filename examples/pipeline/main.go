@@ -26,15 +26,18 @@ var documents = []string{
 }
 
 func main() {
-	tokens := repro.NewList[string]()
+	// FastList (copy-on-write) rather than List for the append-only token
+	// and summary streams; the per-stage fan-out copies them to every
+	// worker, which COW makes O(1).
+	tokens := repro.NewFastList[string]()
 	scores := repro.NewMap[string, int]()
-	summary := repro.NewList[string]()
+	summary := repro.NewFastList[string]()
 	audit := repro.NewCounter(0)
 
 	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
-		tk := data[0].(*repro.List[string])
+		tk := data[0].(*repro.FastList[string])
 		sc := data[1].(*repro.Map[string, int])
-		sm := data[2].(*repro.List[string])
+		sm := data[2].(*repro.FastList[string])
 
 		// A slow, unrelated child runs across all stages; nothing waits
 		// for it until the very end.
@@ -49,7 +52,7 @@ func main() {
 		for i, doc := range documents {
 			doc := doc
 			stage1[i] = ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
-				out := data[0].(*repro.List[string])
+				out := data[0].(*repro.FastList[string])
 				out.Append(strings.Fields(doc)...)
 				return nil
 			}, tk)
@@ -81,7 +84,7 @@ func main() {
 		// Stage 3: summarize (single task, needs all stage-2 output).
 		stage3 := ctx.Spawn(func(ctx *repro.Ctx, data []repro.Mergeable) error {
 			in := data[0].(*repro.Map[string, int])
-			out := data[1].(*repro.List[string])
+			out := data[1].(*repro.FastList[string])
 			longest, best := "", 0
 			total := 0
 			for _, k := range in.Keys() {

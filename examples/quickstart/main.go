@@ -25,6 +25,10 @@ func f(ctx *repro.Ctx, data []repro.Mergeable) error {
 }
 
 func runOnce() ([]int, error) {
+	// Plain List, to match Listing 1 verbatim. Since the COW rework its
+	// CloneValue is O(1) structural sharing too; FastList remains the
+	// leaner choice for append/overwrite-only workloads (see the other
+	// examples).
 	list := repro.NewList(1, 2, 3)
 	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
 		l := data[0].(*repro.List[int])

@@ -44,11 +44,51 @@ type Vector[T any] struct {
 
 // New returns a vector holding vals.
 func New[T any](vals ...T) Vector[T] {
-	v := Vector[T]{shift: bits}
-	for _, x := range vals {
-		v = v.Append(x)
+	return FromSlice(vals)
+}
+
+// FromSlice builds a vector from vals in O(n): full leaves are packed
+// directly from the slice and the trie is assembled bottom-up, instead of
+// paying Append's per-element tail copy (which makes element-wise
+// construction O(n·width)). The result is indistinguishable from the same
+// sequence of Appends. This is the bulk-load path the zero-copy spawn
+// pipeline uses whenever a structure rebuilds its backing vector.
+func FromSlice[T any](vals []T) Vector[T] {
+	count := len(vals)
+	if count == 0 {
+		return Vector[T]{shift: bits}
 	}
-	return v
+	tailOff := 0
+	if count >= width {
+		tailOff = ((count - 1) >> bits) << bits
+	}
+	tail := append(make([]T, 0, count-tailOff), vals[tailOff:]...)
+	if tailOff == 0 {
+		return Vector[T]{count: count, shift: bits, tail: tail}
+	}
+	cur := make([]*node[T], 0, (tailOff+width-1)/width)
+	for i := 0; i < tailOff; i += width {
+		cur = append(cur, newLeaf(vals[i:i+width]))
+	}
+	// Group nodes 32 at a time until one internal root remains. The root is
+	// always internal — Get descends shift/bits levels before reading leaf
+	// values — so even a single leaf gets one grouping round.
+	shift := uint(0)
+	for len(cur) > 1 || shift == 0 {
+		next := make([]*node[T], 0, (len(cur)+width-1)/width)
+		for i := 0; i < len(cur); i += width {
+			end := i + width
+			if end > len(cur) {
+				end = len(cur)
+			}
+			n := &node[T]{}
+			copy(n.children[:], cur[i:end])
+			next = append(next, n)
+		}
+		cur = next
+		shift += bits
+	}
+	return Vector[T]{count: count, shift: shift, root: cur[0], tail: tail}
 }
 
 // Len returns the number of elements.
@@ -105,6 +145,60 @@ func (v Vector[T]) Append(x T) Vector[T] {
 		newRoot = pushTail(v.root, v.shift, v.count-1, tailNode)
 	}
 	return Vector[T]{count: v.count + 1, shift: newShift, root: newRoot, tail: []T{x}}
+}
+
+// AppendOwned is Append for a caller that exclusively owns the receiver's
+// tail buffer — no other live Vector value can observe it — and discards
+// the receiver after the call. When the tail has spare capacity the element
+// is written in place, making a run of owned appends amortize to one
+// allocation instead of one per element. Exclusive ownership holds for the
+// single-owner mutable façades in package mergeable: every operation that
+// lets a second Vector value share a tail with spare capacity (CloneValue,
+// AdoptFrom) re-establishes safety by sealing the tail first, after which
+// the next owned append copies it. All other constructors (Append, Set,
+// FromSlice, Pop) already produce sealed or freshly copied tails.
+func (v Vector[T]) AppendOwned(x T) Vector[T] {
+	n := len(v.tail)
+	if n < width {
+		if n < cap(v.tail) {
+			v.tail = append(v.tail, x)
+			v.count++
+			return v
+		}
+		newCap := 2 * n
+		if newCap < 8 {
+			newCap = 8
+		}
+		if newCap > width {
+			newCap = width
+		}
+		nt := make([]T, n, newCap)
+		copy(nt, v.tail)
+		v.tail = append(nt, x)
+		v.count++
+		return v
+	}
+	return v.Append(x) // tail full: spill into the trie
+}
+
+// Sealed returns the vector with its tail capacity clipped to its length,
+// so a later AppendOwned on either the receiver's copy or the result must
+// copy the tail before writing. Callers handing out a second reference to
+// a vector whose tail may carry spare capacity (clone, adopt) seal it
+// first; sealing a vector with an exact-capacity tail is a no-op.
+func (v Vector[T]) Sealed() Vector[T] {
+	v.tail = v.tail[:len(v.tail):len(v.tail)]
+	return v
+}
+
+// SealTail seals the receiver in place. The no-spare-capacity check makes
+// repeated sealing free: only the first seal after an owned append writes
+// anything, which matters on the clone-per-spawn hot path where the same
+// structure is cloned for many children in a row.
+func (v *Vector[T]) SealTail() {
+	if n := len(v.tail); cap(v.tail) > n {
+		v.tail = v.tail[:n:n]
+	}
 }
 
 func newPath[T any](level uint, n *node[T]) *node[T] {
@@ -168,7 +262,11 @@ func (v Vector[T]) Pop() Vector[T] {
 		return Vector[T]{shift: bits}
 	}
 	if v.count-v.tailOffset() > 1 {
-		return Vector[T]{count: v.count - 1, shift: v.shift, root: v.root, tail: v.tail[:len(v.tail)-1]}
+		// Clip capacity along with length: the dropped slot may still be
+		// visible through another vector sharing this tail, so the result
+		// must never let AppendOwned write it in place.
+		n := len(v.tail) - 1
+		return Vector[T]{count: v.count - 1, shift: v.shift, root: v.root, tail: v.tail[:n:n]}
 	}
 	// Tail exhausted: pull the previous leaf out of the trie as the new
 	// tail. Keep the (now unused) rightmost path; it is unreachable via
@@ -183,11 +281,35 @@ func (v Vector[T]) Pop() Vector[T] {
 	return Vector[T]{count: newCount, shift: v.shift, root: v.root, tail: append([]T(nil), n.values...)}
 }
 
-// Slice returns the vector's contents as a fresh slice.
+// Slice returns the vector's contents as a fresh slice. It walks the trie
+// leaves directly — O(n) — instead of paying Get's O(log n) descent per
+// element. The limit guards against the unreachable rightmost path Pop can
+// leave behind: leaves are walked left to right, so cutting at tailOffset
+// stops exactly before any stale leaf.
 func (v Vector[T]) Slice() []T {
 	out := make([]T, 0, v.count)
-	for i := 0; i < v.count; i++ {
-		out = append(out, v.Get(i))
+	if v.root != nil {
+		out = appendTrie(out, v.root, v.tailOffset())
 	}
-	return out
+	return append(out, v.tail...)
+}
+
+func appendTrie[T any](dst []T, n *node[T], limit int) []T {
+	if n == nil || len(dst) >= limit {
+		return dst
+	}
+	if n.leaf {
+		take := limit - len(dst)
+		if take > len(n.values) {
+			take = len(n.values)
+		}
+		return append(dst, n.values[:take]...)
+	}
+	for _, c := range n.children {
+		if c == nil || len(dst) >= limit {
+			break
+		}
+		dst = appendTrie(dst, c, limit)
+	}
+	return dst
 }

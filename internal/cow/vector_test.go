@@ -170,3 +170,87 @@ func TestLargeGrowthAcrossLevels(t *testing.T) {
 		}
 	}
 }
+
+// TestFromSliceMatchesAppend pins the bulk builder against element-wise
+// construction across leaf, tail and level boundaries, including continued
+// mutation of the bulk-built vector.
+func TestFromSliceMatchesAppend(t *testing.T) {
+	sizes := []int{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1025, 1056, 1057, 2100, 33000}
+	for _, n := range sizes {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i * 3
+		}
+		v := FromSlice(vals)
+		if v.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, v.Len())
+		}
+		if got := v.Slice(); !reflect.DeepEqual(got, append(make([]int, 0, n), vals...)) {
+			t.Fatalf("n=%d: Slice diverged", n)
+		}
+		for _, i := range []int{0, n / 2, n - 1} {
+			if n == 0 {
+				break
+			}
+			if v.Get(i) != vals[i] {
+				t.Fatalf("n=%d: Get(%d) = %d, want %d", n, i, v.Get(i), vals[i])
+			}
+		}
+		// The bulk-built vector must keep behaving under every mutation.
+		v2 := v.Append(-1)
+		if v2.Get(n) != -1 || v2.Len() != n+1 {
+			t.Fatalf("n=%d: Append on bulk-built vector broke", n)
+		}
+		if n > 0 {
+			if got := v.Set(n/2, -7).Get(n / 2); got != -7 {
+				t.Fatalf("n=%d: Set on bulk-built vector got %d", n, got)
+			}
+			if got := v.Pop().Len(); got != n-1 {
+				t.Fatalf("n=%d: Pop on bulk-built vector len %d", n, got)
+			}
+			// The original is untouched (persistence).
+			if v.Get(n/2) != vals[n/2] || v.Len() != n {
+				t.Fatalf("n=%d: bulk-built vector mutated in place", n)
+			}
+		}
+	}
+}
+
+// TestAppendOwnedSealing exercises the exclusive-ownership contract:
+// AppendOwned may write the tail in place only while no other vector can
+// observe it, and Sealed/Pop re-establish copy-on-append at every point a
+// second reference appears.
+func TestAppendOwnedSealing(t *testing.T) {
+	// A run of owned appends matches element-wise Append exactly.
+	var owned, plain Vector[int]
+	for i := 0; i < 100; i++ {
+		owned = owned.AppendOwned(i)
+		plain = plain.Append(i)
+	}
+	if !reflect.DeepEqual(owned.Slice(), plain.Slice()) {
+		t.Fatalf("AppendOwned diverged from Append")
+	}
+
+	// Sealing freezes the shared snapshot: appending to both the sealed
+	// vector and its copy must not let either write overwrite the other.
+	base := owned.Sealed()
+	copy1 := base.AppendOwned(-1)
+	copy2 := base.AppendOwned(-2)
+	if copy1.Get(100) != -1 || copy2.Get(100) != -2 {
+		t.Fatalf("sealed tails aliased: %d %d", copy1.Get(100), copy2.Get(100))
+	}
+	if base.Len() != 100 {
+		t.Fatalf("seal mutated the base")
+	}
+
+	// Pop must clip capacity so the dropped slot cannot be overwritten in
+	// place while the pre-pop vector still exposes it.
+	popped := base.Pop()
+	appended := popped.AppendOwned(-3)
+	if got := base.Get(99); got != 99 {
+		t.Fatalf("AppendOwned after Pop overwrote shared slot: %d", got)
+	}
+	if appended.Get(99) != -3 {
+		t.Fatalf("append after pop wrong: %d", appended.Get(99))
+	}
+}

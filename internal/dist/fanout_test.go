@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+	"repro/internal/testutil"
+)
+
+// runFanout executes one three-node fan-out of append5 over a fresh list
+// and returns the merged values, using either SpawnRemoteMany (shared
+// encode) or a loop of SpawnRemote (per-proxy encode).
+func runFanout(t *testing.T, shared bool) []int {
+	t.Helper()
+	cluster := NewCluster(3)
+	defer cluster.Close()
+	list := mergeable.NewList(1, 2, 3)
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		l := data[0].(*mergeable.List[int])
+		var handles []*task.Task
+		if shared {
+			var err error
+			handles, err = cluster.SpawnRemoteMany(ctx, []int{0, 1, 2}, "append5", l)
+			if err != nil {
+				return err
+			}
+		} else {
+			for n := 0; n < 3; n++ {
+				handles = append(handles, cluster.SpawnRemote(ctx, n, "append5", l))
+			}
+		}
+		l.Append(4)
+		return ctx.MergeAllFromSet(handles)
+	}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list.Values()
+}
+
+// TestSpawnRemoteManyMatchesSpawnRemote asserts the encode-once fan-out is
+// observably identical to the per-node-encode loop it replaces: same
+// deterministic merged state, in the same MergeAll order.
+func TestSpawnRemoteManyMatchesSpawnRemote(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		sharedVals := runFanout(t, true)
+		loopVals := runFanout(t, false)
+		if len(sharedVals) != 7 {
+			t.Fatalf("shared fan-out merged %v, want 7 elements", sharedVals)
+		}
+		if len(sharedVals) != len(loopVals) {
+			t.Fatalf("shared %v vs loop %v", sharedVals, loopVals)
+		}
+		for i := range sharedVals {
+			if sharedVals[i] != loopVals[i] {
+				t.Fatalf("shared %v vs loop %v", sharedVals, loopVals)
+			}
+		}
+	})
+}
+
+// TestSpawnRemoteManyEncodeError asserts an unencodable structure fails
+// fast: the error comes back before any proxy task exists, so the caller
+// has no children to collect.
+func TestSpawnRemoteManyEncodeError(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewCluster(1)
+		defer cluster.Close()
+		fl := mergeable.NewFastList[float32]() // no codec registered for this type
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			handles, err := cluster.SpawnRemoteMany(ctx, []int{0}, "append5", data[0])
+			if err == nil {
+				t.Error("SpawnRemoteMany accepted a structure without a codec")
+			}
+			if len(handles) != 0 {
+				t.Errorf("got %d handles alongside the error", len(handles))
+			}
+			return nil
+		}, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSpawnRemoteManyFailover asserts a shared-snapshot proxy still fails
+// over: killing the first target before the fan-out re-runs its task on
+// the next healthy node from the same encoded snapshots.
+func TestSpawnRemoteManyFailover(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, HeartbeatInterval: -1})
+		defer cluster.Close()
+		cluster.KillNode(0)
+		list := mergeable.NewList(1, 2, 3)
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			handles, err := cluster.SpawnRemoteMany(ctx, []int{0}, "append5", data[0])
+			if err != nil {
+				return err
+			}
+			return ctx.MergeAllFromSet(handles)
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); len(got) != 4 || got[3] != 5 {
+			t.Fatalf("list = %v, want [1 2 3 5]", got)
+		}
+		if cluster.Stats().Get("failover") == 0 {
+			t.Fatal("expected a failover to be recorded")
+		}
+	})
+}

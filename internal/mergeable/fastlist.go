@@ -57,7 +57,7 @@ func (l *FastList[T]) Append(vals ...T) {
 	}
 	op := ot.SeqInsert{Pos: l.vec.Len(), Elems: elems}
 	for _, v := range vals {
-		l.vec = l.vec.Append(v)
+		l.vec = l.vec.AppendOwned(v)
 	}
 	l.log.Record(op)
 }
@@ -89,7 +89,7 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 		}
 		if v.Pos == n { // append fast path
 			for _, x := range vals {
-				l.vec = l.vec.Append(x)
+				l.vec = l.vec.AppendOwned(x)
 			}
 			return nil
 		}
@@ -120,7 +120,10 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 }
 
 // CloneValue implements Mergeable in O(1).
-func (l *FastList[T]) CloneValue() Mergeable { return &FastList[T]{vec: l.vec} }
+func (l *FastList[T]) CloneValue() Mergeable {
+	l.vec.SealTail() // shared from here on; AppendOwned must copy
+	return &FastList[T]{vec: l.vec}
+}
 
 // ApplyRemote implements Mergeable.
 func (l *FastList[T]) ApplyRemote(ops []ot.Op) error {
@@ -138,6 +141,7 @@ func (l *FastList[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(l, src)
 	}
+	s.vec.SealTail() // shared from here on; see CloneValue
 	l.vec = s.vec
 	return nil
 }

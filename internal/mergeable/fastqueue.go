@@ -48,7 +48,7 @@ func (q *FastQueue[T]) Empty() bool { return q.Len() == 0 }
 func (q *FastQueue[T]) Push(v T) {
 	q.log.ensureUsable()
 	op := ot.SeqInsert{Pos: q.vec.Len() - q.head, Elems: []any{v}}
-	q.vec = q.vec.Append(v)
+	q.vec = q.vec.AppendOwned(v)
 	q.log.Record(op)
 }
 
@@ -124,7 +124,7 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		}
 		if v.Pos == n { // append fast path
 			for _, x := range vals {
-				q.vec = q.vec.Append(x)
+				q.vec = q.vec.AppendOwned(x)
 			}
 			return nil
 		}
@@ -162,6 +162,7 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 // CloneValue implements Mergeable. It is O(1): the persistent vector is
 // shared structurally.
 func (q *FastQueue[T]) CloneValue() Mergeable {
+	q.vec.SealTail() // shared from here on; AppendOwned must copy
 	return &FastQueue[T]{vec: q.vec, head: q.head}
 }
 
@@ -181,6 +182,7 @@ func (q *FastQueue[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(q, src)
 	}
+	s.vec.SealTail() // shared from here on; see CloneValue
 	q.vec, q.head = s.vec, s.head
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cow"
 	"repro/internal/ot"
 )
 
@@ -14,16 +15,21 @@ import (
 // with the sequence OT algebra: insertions shift concurrent indices,
 // deletions absorb overlapping deletions, and a deletion crossing a
 // concurrent insertion splits around it.
+//
+// The list is backed by a persistent (copy-on-write) vector, so the deep
+// copy every Spawn and Sync takes is O(1) structural sharing rather than an
+// element-wise copy — the optimization the paper's conclusion announces as
+// future work. Appends and overwrites mutate O(log n) trie nodes; arbitrary
+// insertions and deletions rebuild the vector in O(n), the same bound the
+// previous slice backing had.
 type List[T any] struct {
-	log   Log
-	elems []T
+	log Log
+	vec cow.Vector[T]
 }
 
 // NewList returns a mergeable list holding vals.
 func NewList[T any](vals ...T) *List[T] {
-	l := &List[T]{}
-	l.elems = append(l.elems, vals...)
-	return l
+	return &List[T]{vec: cow.FromSlice(vals)}
 }
 
 // Log implements Mergeable.
@@ -32,31 +38,31 @@ func (l *List[T]) Log() *Log { return &l.log }
 // Len returns the number of elements.
 func (l *List[T]) Len() int {
 	l.log.ensureUsable()
-	return len(l.elems)
+	return l.vec.Len()
 }
 
 // Get returns the element at index i.
 func (l *List[T]) Get(i int) T {
 	l.log.ensureUsable()
-	return l.elems[i]
+	return l.vec.Get(i)
 }
 
 // Values returns a copy of the list's contents.
 func (l *List[T]) Values() []T {
 	l.log.ensureUsable()
-	return append([]T(nil), l.elems...)
+	return l.vec.Slice()
 }
 
 // Append adds vals to the end of the list.
 func (l *List[T]) Append(vals ...T) {
-	l.Insert(len(l.elems), vals...)
+	l.Insert(l.vec.Len(), vals...)
 }
 
 // Insert inserts vals before index i.
 func (l *List[T]) Insert(i int, vals ...T) {
 	l.log.ensureUsable()
-	if i < 0 || i > len(l.elems) {
-		panic(fmt.Sprintf("mergeable: List.Insert index %d out of range [0,%d]", i, len(l.elems)))
+	if i < 0 || i > l.vec.Len() {
+		panic(fmt.Sprintf("mergeable: List.Insert index %d out of range [0,%d]", i, l.vec.Len()))
 	}
 	if len(vals) == 0 {
 		return
@@ -76,8 +82,8 @@ func (l *List[T]) Delete(i int) { l.DeleteN(i, 1) }
 // DeleteN removes n consecutive elements starting at index i.
 func (l *List[T]) DeleteN(i, n int) {
 	l.log.ensureUsable()
-	if n < 0 || i < 0 || i+n > len(l.elems) {
-		panic(fmt.Sprintf("mergeable: List.DeleteN range [%d,%d) out of range [0,%d]", i, i+n, len(l.elems)))
+	if n < 0 || i < 0 || i+n > l.vec.Len() {
+		panic(fmt.Sprintf("mergeable: List.DeleteN range [%d,%d) out of range [0,%d]", i, i+n, l.vec.Len()))
 	}
 	if n == 0 {
 		return
@@ -90,20 +96,23 @@ func (l *List[T]) DeleteN(i, n int) {
 // Set overwrites the element at index i.
 func (l *List[T]) Set(i int, v T) {
 	l.log.ensureUsable()
-	if i < 0 || i >= len(l.elems) {
-		panic(fmt.Sprintf("mergeable: List.Set index %d out of range [0,%d)", i, len(l.elems)))
+	if i < 0 || i >= l.vec.Len() {
+		panic(fmt.Sprintf("mergeable: List.Set index %d out of range [0,%d)", i, l.vec.Len()))
 	}
 	op := ot.SeqSet{Pos: i, Elem: v}
 	l.applySeq(op)
 	l.log.Record(op)
 }
 
-// applySeq applies a sequence op to the typed element slice.
+// applySeq applies a sequence op to the backing vector. Appends, trailing
+// deletions and overwrites take persistent-vector fast paths; interior
+// splices rebuild via the bulk loader.
 func (l *List[T]) applySeq(op ot.Op) error {
+	n := l.vec.Len()
 	switch v := op.(type) {
 	case ot.SeqInsert:
-		if v.Pos < 0 || v.Pos > len(l.elems) {
-			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		if v.Pos < 0 || v.Pos > n {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, n)
 		}
 		vals := make([]T, len(v.Elems))
 		for i, e := range v.Elems {
@@ -113,33 +122,51 @@ func (l *List[T]) applySeq(op ot.Op) error {
 			}
 			vals[i] = tv
 		}
-		l.elems = append(l.elems[:v.Pos:v.Pos], append(vals, l.elems[v.Pos:]...)...)
+		if v.Pos == n { // append fast path
+			for _, x := range vals {
+				l.vec = l.vec.AppendOwned(x)
+			}
+			return nil
+		}
+		cur := l.vec.Slice()
+		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
+		l.vec = cow.FromSlice(out)
 		return nil
 	case ot.SeqDelete:
-		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(l.elems) {
-			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, n)
 		}
-		l.elems = append(l.elems[:v.Pos], l.elems[v.Pos+v.N:]...)
+		if v.Pos+v.N == n { // trailing deletion fast path
+			for i := 0; i < v.N; i++ {
+				l.vec = l.vec.Pop()
+			}
+			return nil
+		}
+		cur := l.vec.Slice()
+		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
+		l.vec = cow.FromSlice(out)
 		return nil
 	case ot.SeqSet:
-		if v.Pos < 0 || v.Pos >= len(l.elems) {
-			return fmt.Errorf("mergeable: list %s out of range for length %d", v, len(l.elems))
+		if v.Pos < 0 || v.Pos >= n {
+			return fmt.Errorf("mergeable: list %s out of range for length %d", v, n)
 		}
 		tv, ok := v.Elem.(T)
 		if !ok {
 			return fmt.Errorf("mergeable: list %s carries %T", v, v.Elem)
 		}
-		l.elems[v.Pos] = tv
+		l.vec = l.vec.Set(v.Pos, tv)
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a list operation", op.Kind())
 }
 
-// CloneValue implements Mergeable.
+// CloneValue implements Mergeable. It is O(1): the persistent vector is
+// shared structurally, which is what makes spawning on large lists cheap.
+// Sealing the tail first keeps AppendOwned's exclusive-ownership contract:
+// once two lists share the vector, neither may append into it in place.
 func (l *List[T]) CloneValue() Mergeable {
-	c := &List[T]{}
-	c.elems = append([]T(nil), l.elems...)
-	return c
+	l.vec.SealTail()
+	return &List[T]{vec: l.vec}
 }
 
 // ApplyRemote implements Mergeable.
@@ -152,13 +179,14 @@ func (l *List[T]) ApplyRemote(ops []ot.Op) error {
 	return nil
 }
 
-// AdoptFrom implements Mergeable.
+// AdoptFrom implements Mergeable. Also O(1).
 func (l *List[T]) AdoptFrom(src Mergeable) error {
 	s, ok := src.(*List[T])
 	if !ok {
 		return adoptErr(l, src)
 	}
-	l.elems = append(l.elems[:0:0], s.elems...)
+	s.vec.SealTail() // shared from here on; see CloneValue
+	l.vec = s.vec
 	return nil
 }
 
@@ -170,7 +198,7 @@ func (l *List[T]) Fingerprint() uint64 {
 func (l *List[T]) render() string {
 	var sb strings.Builder
 	sb.WriteString("list[")
-	for i, e := range l.elems {
+	for i, e := range l.vec.Slice() {
 		if i > 0 {
 			sb.WriteByte(' ')
 		}
@@ -183,5 +211,5 @@ func (l *List[T]) render() string {
 // String renders the list like fmt does for slices.
 func (l *List[T]) String() string {
 	l.log.ensureUsable()
-	return fmt.Sprintf("%v", l.elems)
+	return fmt.Sprintf("%v", l.vec.Slice())
 }

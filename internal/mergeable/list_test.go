@@ -289,8 +289,7 @@ func TestListMergePropertyReplay(t *testing.T) {
 		mergeInto(t, parent, child, base)
 
 		// Replay committed history since the pre-spawn version.
-		replay := NewList[int]()
-		replay.elems = append([]int(nil), baseVals...)
+		replay := NewList[int](baseVals...)
 		if err := replay.ApplyRemote(parent.Log().CommittedSince(baseVer)); err != nil {
 			t.Logf("seed %d: replay error: %v", seed, err)
 			return false

@@ -70,48 +70,175 @@ type Mergeable interface {
 //
 // The committed history can be trimmed once no live child's base precedes
 // a prefix; offset keeps version numbers stable across trims.
+// Log is one pointer wide: the actual state lives behind it and is
+// allocated on first use. CloneValue runs once per structure per spawn —
+// the hottest allocation site in fan-out-heavy programs — and every clone
+// starts with an empty log, so embedding the full state inline would make
+// each clone carry (and the allocator zero) five words of dead log. With
+// the lazy handle a clone's log costs one nil pointer, and a child that
+// never mutates a structure never allocates log state at all.
 type Log struct {
+	s *logState
+}
+
+// bufOwner values: which slice currently uses logState.buf as backing.
+const (
+	bufFree int8 = iota
+	bufLocal
+	bufCommitted
+)
+
+type logState struct {
 	committed []ot.Op
 	offset    int
 	local     []ot.Op
 	stale     bool
+	// tracker is an opaque owner token for the runtime: the task currently
+	// holding this structure in its history-tracking set. It lets the
+	// per-spawn tracking pass skip structures already tracked with one
+	// pointer comparison instead of a map insert. Owned by the tracking
+	// task's goroutine, like the rest of the log.
+	tracker any
+	// buf backs short op runs without a heap allocation: local borrows it
+	// for the first recorded batch, and FlushLocal hands the borrow to
+	// committed when the history is still empty (the first flush, i.e.
+	// every structure's first spawn). bufOwner says who holds the borrow;
+	// a slice that outgrows the buffer silently migrates to the heap and
+	// the owner mark just goes stale until the next reset point.
+	bufOwner int8
+	buf      [8]ot.Op
+}
+
+// state returns the backing state, allocating it on first use.
+func (l *Log) state() *logState {
+	if l.s == nil {
+		l.s = &logState{}
+	}
+	return l.s
+}
+
+// Tracker returns the opaque owner token set by SetTracker.
+func (l *Log) Tracker() any {
+	if l.s == nil {
+		return nil
+	}
+	return l.s.tracker
+}
+
+// SetTracker records an opaque owner token. The runtime maintains the
+// invariant that a non-nil token means the structure is present in that
+// owner's tracking set.
+func (l *Log) SetTracker(v any) {
+	if v == nil && l.s == nil {
+		return
+	}
+	l.state().tracker = v
 }
 
 // Record appends a local operation. Structures call it from every mutator.
 func (l *Log) Record(op ot.Op) {
-	l.ensureUsable()
-	l.local = append(l.local, op)
+	s := l.state()
+	if s.stale {
+		l.ensureUsable()
+	}
+	if s.local == nil {
+		if s.bufOwner == bufFree {
+			s.bufOwner = bufLocal
+			s.local = s.buf[:0]
+		} else {
+			// Skip append's 1→2→4 growth ramp: a structure that records one
+			// operation almost always records a few more before the next
+			// flush.
+			s.local = make([]ot.Op, 0, 8)
+		}
+	}
+	s.local = append(s.local, op)
 }
 
 // LocalOps returns the not-yet-committed local operations (shared slice;
 // callers must not modify it).
-func (l *Log) LocalOps() []ot.Op { return l.local }
+func (l *Log) LocalOps() []ot.Op {
+	if l.s == nil {
+		return nil
+	}
+	return l.s.local
+}
 
-// TakeLocal removes and returns the local operations.
+// TakeLocal removes and returns the local operations. The returned slice is
+// the caller's to keep: when the operations sit in the log's inline buffer
+// they are copied out, so later Records never overwrite them.
 func (l *Log) TakeLocal() []ot.Op {
-	ops := l.local
-	l.local = nil
+	if l.s == nil {
+		return nil
+	}
+	s := l.s
+	ops := s.local
+	s.local = nil
+	if s.bufOwner == bufLocal {
+		s.bufOwner = bufFree
+		if len(ops) == 0 {
+			return nil
+		}
+		ops = append([]ot.Op(nil), ops...)
+	}
 	return ops
+}
+
+// FlushLocal moves the local operations into the committed history. It is
+// Commit(TakeLocal()) without the intermediate hand-off — the per-spawn and
+// per-merge flush runs over every bound structure, most with nothing
+// pending, so the empty case stays write-free.
+func (l *Log) FlushLocal() {
+	if l.s == nil || len(l.s.local) == 0 {
+		return
+	}
+	s := l.s
+	if len(s.committed) == 0 {
+		// First flush: the history simply takes over the local slice (and
+		// with it the inline-buffer borrow, if any) instead of copying.
+		s.committed = s.local
+		if s.bufOwner == bufLocal {
+			s.bufOwner = bufCommitted
+		}
+	} else {
+		s.committed = append(s.committed, s.local...)
+		if s.bufOwner == bufLocal {
+			s.bufOwner = bufFree
+		}
+	}
+	s.local = nil
 }
 
 // CommittedLen returns the version number of the committed history: the
 // total number of operations ever committed, including trimmed ones.
-func (l *Log) CommittedLen() int { return l.offset + len(l.committed) }
+func (l *Log) CommittedLen() int {
+	if l.s == nil {
+		return 0
+	}
+	return l.s.offset + len(l.s.committed)
+}
 
 // CommittedSince returns the committed operations from version base
 // onwards. It panics if base precedes the trimmed prefix, which would mean
 // the runtime trimmed history still needed by a live child.
 func (l *Log) CommittedSince(base int) []ot.Op {
-	if base < l.offset {
-		panic(fmt.Sprintf("mergeable: history before version %d was trimmed (need base %d)", l.offset, base))
+	if l.s == nil {
+		if base != 0 {
+			panic(fmt.Sprintf("mergeable: empty history cannot satisfy base %d", base))
+		}
+		return nil
 	}
-	return l.committed[base-l.offset:]
+	if base < l.s.offset {
+		panic(fmt.Sprintf("mergeable: history before version %d was trimmed (need base %d)", l.s.offset, base))
+	}
+	return l.s.committed[base-l.s.offset:]
 }
 
 // Commit appends operations to the committed history.
 func (l *Log) Commit(ops []ot.Op) {
 	if len(ops) > 0 {
-		l.committed = append(l.committed, ops...)
+		s := l.state()
+		s.committed = append(s.committed, ops...)
 	}
 }
 
@@ -119,35 +246,49 @@ func (l *Log) Commit(ops []ot.Op) {
 // with the minimum base version across live children so long-running tasks
 // (e.g. the network simulation) do not accumulate unbounded history.
 func (l *Log) Trim(min int) {
-	if min <= l.offset {
+	if l.s == nil || min <= l.s.offset {
 		return
 	}
+	s := l.s
 	if max := l.CommittedLen(); min > max {
 		min = max
 	}
-	n := min - l.offset
-	l.committed = append([]ot.Op(nil), l.committed[n:]...)
-	l.offset = min
+	n := min - s.offset
+	s.committed = append([]ot.Op(nil), s.committed[n:]...)
+	s.offset = min
+	if s.bufOwner == bufCommitted {
+		// The copy above moved the history off the inline buffer.
+		s.bufOwner = bufFree
+	}
 }
 
 // RetainedLen returns how many committed operations are physically
 // retained (not yet trimmed). Tests use it to verify history trimming.
-func (l *Log) RetainedLen() int { return len(l.committed) }
+func (l *Log) RetainedLen() int {
+	if l.s == nil {
+		return 0
+	}
+	return len(l.s.committed)
+}
 
 // MarkStale marks the copy unusable until refreshed (used for clones, which
 // per Section II.E inherit an outdated value and must Sync first).
-func (l *Log) MarkStale() { l.stale = true }
+func (l *Log) MarkStale() { l.state().stale = true }
 
 // ClearStale marks the copy usable again after a refresh.
-func (l *Log) ClearStale() { l.stale = false }
+func (l *Log) ClearStale() {
+	if l.s != nil {
+		l.s.stale = false
+	}
+}
 
 // Stale reports whether the copy must be refreshed before use.
-func (l *Log) Stale() bool { return l.stale }
+func (l *Log) Stale() bool { return l.s != nil && l.s.stale }
 
 // ensureUsable panics when a stale copy is accessed. A clone's data is only
 // a placeholder until its first Sync (Section II.E of the paper).
 func (l *Log) ensureUsable() {
-	if l.stale {
+	if l.Stale() {
 		panic("mergeable: structure is stale; a cloned task must call Sync() before using its data")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cow"
 	"repro/internal/ot"
 )
 
@@ -15,16 +16,21 @@ import (
 // collapses into a single removal, so a queue with one consumer per queue —
 // the simulation's shape — behaves exactly like a locked queue, without the
 // lock.
+//
+// The queue is backed by a persistent (copy-on-write) vector: vec holds the
+// elements from index head onward, PopFront advances head instead of
+// copying, and the consumed prefix is compacted away once it dominates.
+// CloneValue and AdoptFrom are O(1) structural sharing, which removes the
+// per-spawn deep-copy overhead Section III measures.
 type Queue[T any] struct {
-	log   Log
-	elems []T
+	log  Log
+	vec  cow.Vector[T]
+	head int
 }
 
 // NewQueue returns a mergeable queue holding vals front-to-back.
 func NewQueue[T any](vals ...T) *Queue[T] {
-	q := &Queue[T]{}
-	q.elems = append(q.elems, vals...)
-	return q
+	return &Queue[T]{vec: cow.FromSlice(vals)}
 }
 
 // Log implements Mergeable.
@@ -33,7 +39,7 @@ func (q *Queue[T]) Log() *Log { return &q.log }
 // Len returns the number of queued elements.
 func (q *Queue[T]) Len() int {
 	q.log.ensureUsable()
-	return len(q.elems)
+	return q.vec.Len() - q.head
 }
 
 // Empty reports whether the queue holds no elements.
@@ -42,8 +48,8 @@ func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
 // Push appends v to the back of the queue.
 func (q *Queue[T]) Push(v T) {
 	q.log.ensureUsable()
-	op := ot.SeqInsert{Pos: len(q.elems), Elems: []any{v}}
-	q.elems = append(q.elems, v)
+	op := ot.SeqInsert{Pos: q.vec.Len() - q.head, Elems: []any{v}}
+	q.vec = q.vec.AppendOwned(v)
 	q.log.Record(op)
 }
 
@@ -51,11 +57,12 @@ func (q *Queue[T]) Push(v T) {
 // queue is empty.
 func (q *Queue[T]) PopFront() (v T, ok bool) {
 	q.log.ensureUsable()
-	if len(q.elems) == 0 {
+	if q.vec.Len() == q.head {
 		return v, false
 	}
-	v = q.elems[0]
-	q.elems = append(q.elems[:0], q.elems[1:]...)
+	v = q.vec.Get(q.head)
+	q.head++
+	q.maybeCompact()
 	q.log.Record(ot.SeqDelete{Pos: 0, N: 1})
 	return v, true
 }
@@ -63,23 +70,45 @@ func (q *Queue[T]) PopFront() (v T, ok bool) {
 // Peek returns the front element without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
 	q.log.ensureUsable()
-	if len(q.elems) == 0 {
+	if q.vec.Len() == q.head {
 		return v, false
 	}
-	return q.elems[0], true
+	return q.vec.Get(q.head), true
 }
 
 // Values returns a copy of the queued elements, front first.
 func (q *Queue[T]) Values() []T {
 	q.log.ensureUsable()
-	return append([]T(nil), q.elems...)
+	return q.tail()
 }
 
+// maybeCompact rebuilds the vector without the consumed prefix once the
+// prefix dominates, keeping memory proportional to the live queue.
+func (q *Queue[T]) maybeCompact() {
+	if q.head < 64 || q.head <= q.vec.Len()/2 {
+		return
+	}
+	q.vec = cow.FromSlice(q.tail())
+	q.head = 0
+}
+
+func (q *Queue[T]) tail() []T {
+	if q.head == 0 {
+		return q.vec.Slice()
+	}
+	return q.vec.Slice()[q.head:]
+}
+
+// applySeq applies one remote sequence op. Front deletions and back
+// insertions — the only shapes queue usage produces — take O(1)/O(log n)
+// fast paths; anything else falls back to rebuilding, which stays correct
+// for arbitrary transformed operations.
 func (q *Queue[T]) applySeq(op ot.Op) error {
+	n := q.vec.Len() - q.head
 	switch v := op.(type) {
 	case ot.SeqInsert:
-		if v.Pos < 0 || v.Pos > len(q.elems) {
-			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		if v.Pos < 0 || v.Pos > n {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, n)
 		}
 		vals := make([]T, len(v.Elems))
 		for i, e := range v.Elems {
@@ -89,33 +118,50 @@ func (q *Queue[T]) applySeq(op ot.Op) error {
 			}
 			vals[i] = tv
 		}
-		q.elems = append(q.elems[:v.Pos:v.Pos], append(vals, q.elems[v.Pos:]...)...)
+		if v.Pos == n { // append fast path
+			for _, x := range vals {
+				q.vec = q.vec.AppendOwned(x)
+			}
+			return nil
+		}
+		cur := q.tail()
+		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
+		q.vec, q.head = cow.FromSlice(out), 0
 		return nil
 	case ot.SeqDelete:
-		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > len(q.elems) {
-			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, n)
 		}
-		q.elems = append(q.elems[:v.Pos], q.elems[v.Pos+v.N:]...)
+		if v.Pos == 0 { // front-deletion fast path
+			q.head += v.N
+			q.maybeCompact()
+			return nil
+		}
+		cur := q.tail()
+		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
+		q.vec, q.head = cow.FromSlice(out), 0
 		return nil
 	case ot.SeqSet:
-		if v.Pos < 0 || v.Pos >= len(q.elems) {
-			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, len(q.elems))
+		if v.Pos < 0 || v.Pos >= n {
+			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, n)
 		}
 		tv, ok := v.Elem.(T)
 		if !ok {
 			return fmt.Errorf("mergeable: queue %s carries %T", v, v.Elem)
 		}
-		q.elems[v.Pos] = tv
+		q.vec = q.vec.Set(q.head+v.Pos, tv)
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a queue operation", op.Kind())
 }
 
-// CloneValue implements Mergeable.
+// CloneValue implements Mergeable. It is O(1): the persistent vector is
+// shared structurally. Sealing the tail first keeps AppendOwned's
+// exclusive-ownership contract: once two queues share the vector, neither
+// may append into it in place.
 func (q *Queue[T]) CloneValue() Mergeable {
-	c := &Queue[T]{}
-	c.elems = append([]T(nil), q.elems...)
-	return c
+	q.vec.SealTail()
+	return &Queue[T]{vec: q.vec, head: q.head}
 }
 
 // ApplyRemote implements Mergeable.
@@ -128,13 +174,14 @@ func (q *Queue[T]) ApplyRemote(ops []ot.Op) error {
 	return nil
 }
 
-// AdoptFrom implements Mergeable.
+// AdoptFrom implements Mergeable. Also O(1).
 func (q *Queue[T]) AdoptFrom(src Mergeable) error {
 	s, ok := src.(*Queue[T])
 	if !ok {
 		return adoptErr(q, src)
 	}
-	q.elems = append(q.elems[:0:0], s.elems...)
+	s.vec.SealTail() // shared from here on; see CloneValue
+	q.vec, q.head = s.vec, s.head
 	return nil
 }
 
@@ -142,7 +189,7 @@ func (q *Queue[T]) AdoptFrom(src Mergeable) error {
 func (q *Queue[T]) Fingerprint() uint64 {
 	var sb strings.Builder
 	sb.WriteString("queue[")
-	for i, e := range q.elems {
+	for i, e := range q.tail() {
 		if i > 0 {
 			sb.WriteByte(' ')
 		}
@@ -155,5 +202,5 @@ func (q *Queue[T]) Fingerprint() uint64 {
 // String renders the queue front-to-back.
 func (q *Queue[T]) String() string {
 	q.log.ensureUsable()
-	return fmt.Sprintf("%v", q.elems)
+	return fmt.Sprintf("%v", q.Values())
 }

@@ -23,6 +23,21 @@ func CompactSeq(ops []Op) []Op {
 	if len(ops) < 2 {
 		return ops
 	}
+	// First check whether anything compacts at all: most merge-time logs
+	// (scattered overwrites, alternating positions) do not, and returning
+	// the input slice unchanged keeps the hot merge path allocation-free.
+	// Compaction is strictly pairwise-adjacent, so a scan over adjacent
+	// pairs is exact, not a heuristic.
+	compactable := false
+	for i := 1; i < len(ops); i++ {
+		if _, ok := tryMergeAdjacent(ops[i-1], ops[i]); ok {
+			compactable = true
+			break
+		}
+	}
+	if !compactable {
+		return ops
+	}
 	out := make([]Op, 0, len(ops))
 	for _, op := range ops {
 		if len(out) > 0 {

@@ -42,19 +42,44 @@ func TransformPair(a, b Op) (aT, bT []Op) {
 // (one deletion crossing an insertion becomes two) or be absorbed (empty
 // result); the recursion handles both because intermediate results are
 // themselves sequences.
+//
+// Homogeneous sequence-family inputs (every log of a list, queue or text
+// structure) are dispatched to the shape-based fast path, which runs the
+// same recursion without boxing intermediate operations; heterogeneous or
+// tree/scalar inputs use the generic recursion below.
 func TransformSeqs(a, b []Op) (aT, bT []Op) {
+	if len(a) == 0 || len(b) == 0 {
+		return a, b
+	}
+	if len(a) == 1 && len(b) == 1 {
+		// A single pairwise transform needs none of the fast path's scratch
+		// buffers; call it directly.
+		return TransformPair(a[0], b[0])
+	}
+	if aS, bS, ok := toShapeOps(a, b); ok {
+		aR, bR := transformShapeSeqs(aS, bS)
+		return materializeShapes(aR), materializeShapes(bR)
+	}
+	return transformSeqsGeneric(a, b)
+}
+
+// transformSeqsGeneric is the interface-typed control recursion, kept as
+// the fallback for operation families without a shape form (trees,
+// scalars, user-defined operations) and as the oracle the fast-path
+// equivalence tests compare against.
+func transformSeqsGeneric(a, b []Op) (aT, bT []Op) {
 	switch {
 	case len(a) == 0 || len(b) == 0:
 		return a, b
 	case len(a) == 1 && len(b) == 1:
 		return TransformPair(a[0], b[0])
 	case len(a) > 1:
-		a1, bMid := TransformSeqs(a[:1], b)
-		a2, bFinal := TransformSeqs(a[1:], bMid)
+		a1, bMid := transformSeqsGeneric(a[:1], b)
+		a2, bFinal := transformSeqsGeneric(a[1:], bMid)
 		return concatOps(a1, a2), bFinal
 	default: // len(a) == 1, len(b) > 1
-		aMid, b1 := TransformSeqs(a, b[:1])
-		aFinal, b2 := TransformSeqs(aMid, b[1:])
+		aMid, b1 := transformSeqsGeneric(a, b[:1])
+		aFinal, b2 := transformSeqsGeneric(aMid, b[1:])
 		return aFinal, concatOps(b1, b2)
 	}
 }
@@ -69,12 +94,29 @@ func TransformSeqs(a, b []Op) (aT, bT []Op) {
 // anything, and the server sequence is never modified by client
 // operations, so every client operation transforms independently — it
 // either survives unchanged or is absorbed by a matching server
-// operation. Sequence and tree families use the general quadratic
-// recursion. The property test TestScalarFastPathMatchesGeneric pins the
-// equivalence.
+// operation. Pure-overwrite sequence histories (SeqSet only on both
+// sides) take the analogous linear path, since overwrites never
+// reposition anything. Other sequence and tree families use the quadratic
+// recursion. The property tests TestScalarFastPathMatchesGeneric and
+// TestSetFastPathMatchesGeneric pin the equivalences.
 func TransformAgainst(client, server []Op) []Op {
+	if len(client) == 0 || len(server) == 0 {
+		return client
+	}
 	if out, ok := transformScalarFast(client, server); ok {
 		return out
+	}
+	if out, ok := transformSetFast(client, server); ok {
+		return out
+	}
+	if len(client) > 1 || len(server) > 1 {
+		// Shape fast path, materializing only the client side: the merge
+		// step discards the transformed server history, so boxing it back
+		// into interface values would be pure waste.
+		if aS, bS, ok := toShapeOps(client, server); ok {
+			aR, _ := transformShapeSeqs(aS, bS)
+			return materializeShapes(aR)
+		}
 	}
 	aT, _ := TransformSeqs(client, server)
 	return aT

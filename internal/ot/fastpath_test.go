@@ -63,6 +63,154 @@ func TestScalarFastPathMatchesGeneric(t *testing.T) {
 	}
 }
 
+// TestShapeFastPathMatchesGeneric pins the iterative shape-based sequence
+// transform against the generic interface-typed recursion: identical
+// transformed sequences (both sides), for random valid concurrent histories
+// of the list and text families — including the split (delete crossing
+// insert) and absorb cases.
+func TestShapeFastPathMatchesGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		if r.Intn(2) == 0 {
+			// List family.
+			s := randomState(r)
+			genSeq := func() []Op {
+				cur := append([]any(nil), s...)
+				k := r.Intn(6)
+				ops := make([]Op, 0, k)
+				for i := 0; i < k; i++ {
+					op := randomSeqOp(r, len(cur))
+					next, err := ApplySeq(cur, op)
+					if err != nil {
+						return ops
+					}
+					cur = next
+					ops = append(ops, op)
+				}
+				return ops
+			}
+			a, b := genSeq(), genSeq()
+			aS, bS, ok := toShapeOps(a, b)
+			if !ok {
+				t.Logf("seed %d: shape path refused list input", seed)
+				return false
+			}
+			aR, bR := transformShapeSeqs(aS, bS)
+			aFast, bFast := materializeShapes(aR), materializeShapes(bR)
+			aSlow, bSlow := transformSeqsGeneric(a, b)
+			if !reflect.DeepEqual(append([]Op{}, aFast...), append([]Op{}, aSlow...)) ||
+				!reflect.DeepEqual(append([]Op{}, bFast...), append([]Op{}, bSlow...)) {
+				t.Logf("seed %d: a=%v b=%v\nfast: aT=%v bT=%v\nslow: aT=%v bT=%v",
+					seed, a, b, aFast, bFast, aSlow, bSlow)
+				return false
+			}
+			return true
+		}
+		// Text family.
+		s := "hello, world"
+		genSeq := func() []Op {
+			cur := s
+			k := r.Intn(6)
+			ops := make([]Op, 0, k)
+			for i := 0; i < k; i++ {
+				op := randomTextOp(r, len([]rune(cur)))
+				next, err := applyTextAll(cur, []Op{op})
+				if err != nil {
+					return ops
+				}
+				cur = next
+				ops = append(ops, op)
+			}
+			return ops
+		}
+		a, b := genSeq(), genSeq()
+		aS, bS, ok := toShapeOps(a, b)
+		if !ok {
+			t.Logf("seed %d: shape path refused text input", seed)
+			return false
+		}
+		aR, bR := transformShapeSeqs(aS, bS)
+		aFast, bFast := materializeShapes(aR), materializeShapes(bR)
+		aSlow, bSlow := transformSeqsGeneric(a, b)
+		if !reflect.DeepEqual(append([]Op{}, aFast...), append([]Op{}, aSlow...)) ||
+			!reflect.DeepEqual(append([]Op{}, bFast...), append([]Op{}, bSlow...)) {
+			t.Logf("seed %d: a=%v b=%v\nfast: aT=%v bT=%v\nslow: aT=%v bT=%v",
+				seed, a, b, aFast, bFast, aSlow, bSlow)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeFastPathReusesUnchangedOps confirms the materialization step
+// returns the original interface values (no re-boxing) when a transform
+// leaves shapes untouched — the allocation contract of the fast path.
+func TestShapeFastPathReusesUnchangedOps(t *testing.T) {
+	a := []Op{SeqSet{Pos: 0, Elem: "a"}, SeqInsert{Pos: 3, Elems: list(1, 2)}}
+	b := []Op{SeqSet{Pos: 7, Elem: "b"}, SeqDelete{Pos: 6, N: 1}}
+	aS, bS, ok := toShapeOps(a, b)
+	if !ok {
+		t.Fatal("shape path refused")
+	}
+	aR, _ := transformShapeSeqs(aS, bS)
+	aT := materializeShapes(aR)
+	if len(aT) != 2 {
+		t.Fatalf("unexpected result %v", aT)
+	}
+	// The set at 0 is untouched by ops at 6/7 — must be the same value.
+	if aT[0] != a[0] {
+		t.Errorf("unchanged op was re-boxed: %v", aT[0])
+	}
+}
+
+// TestSetFastPathMatchesGeneric pins the linear SeqSet-only transform
+// against the generic recursion on both sides of the map/linear-scan size
+// threshold.
+func TestSetFastPathMatchesGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func(n int) []Op {
+			ops := make([]Op, n)
+			for i := range ops {
+				ops[i] = SeqSet{Pos: r.Intn(6), Elem: r.Intn(100)}
+			}
+			return ops
+		}
+		// Sizes straddle linearMax so both the scan and map variants run.
+		client := gen(r.Intn(14))
+		server := gen(r.Intn(14))
+		fast, ok := transformSetFast(client, server)
+		if !ok {
+			t.Logf("seed %d: fast path refused SeqSet input", seed)
+			return false
+		}
+		slow, _ := transformSeqsGeneric(client, server)
+		if !reflect.DeepEqual(append([]Op{}, fast...), append([]Op{}, slow...)) {
+			t.Logf("seed %d: client=%v server=%v fast=%v slow=%v", seed, client, server, fast, slow)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetFastPathFallsBack confirms mixed sequences refuse the SeqSet path.
+func TestSetFastPathFallsBack(t *testing.T) {
+	sets := []Op{SeqSet{Pos: 0, Elem: 1}}
+	mixed := []Op{SeqSet{Pos: 0, Elem: 1}, SeqInsert{Pos: 0, Elems: list(2)}}
+	if _, ok := transformSetFast(sets, mixed); ok {
+		t.Fatal("mixed server must fall back")
+	}
+	if _, ok := transformSetFast(mixed, sets); ok {
+		t.Fatal("mixed client must fall back")
+	}
+}
+
 // TestScalarFastPathFallsBack confirms positional and mixed inputs refuse
 // the fast path.
 func TestScalarFastPathFallsBack(t *testing.T) {

@@ -67,24 +67,24 @@ func seqShapeOf(o Op) (seqShape, bool) {
 // carrying the original payload where one exists. Only deletions ever split,
 // so inserts and sets map onto at most one shape.
 func (o SeqInsert) rebuild(r seqResult) []Op {
-	ops := make([]Op, 0, len(r.shapes))
-	for _, s := range r.shapes {
+	ops := make([]Op, 0, r.n)
+	for _, s := range r.shapes[:r.n] {
 		ops = append(ops, SeqInsert{Pos: s.pos, Elems: o.Elems})
 	}
 	return ops
 }
 
 func (o SeqDelete) rebuild(r seqResult) []Op {
-	ops := make([]Op, 0, len(r.shapes))
-	for _, s := range r.shapes {
+	ops := make([]Op, 0, r.n)
+	for _, s := range r.shapes[:r.n] {
 		ops = append(ops, SeqDelete{Pos: s.pos, N: s.n})
 	}
 	return ops
 }
 
 func (o SeqSet) rebuild(r seqResult) []Op {
-	ops := make([]Op, 0, len(r.shapes))
-	for _, s := range r.shapes {
+	ops := make([]Op, 0, r.n)
+	for _, s := range r.shapes[:r.n] {
 		ops = append(ops, SeqSet{Pos: s.pos, Elem: o.Elem})
 	}
 	return ops

@@ -27,12 +27,18 @@ type seqShape struct {
 // against another. The original operation maps onto zero, one or two
 // shapes. For inserts and sets the payload is carried over unchanged by the
 // caller; splits only ever happen to deletions, which carry no payload.
+//
+// The shapes live in an inline array rather than a heap slice: a pairwise
+// transform runs once per operation pair of the quadratic control
+// algorithm, so keeping its result off the heap removes the single largest
+// allocation source of a merge.
 type seqResult struct {
-	shapes []seqShape
+	shapes [2]seqShape
+	n      int
 }
 
-func one(s seqShape) seqResult    { return seqResult{shapes: []seqShape{s}} }
-func two(a, b seqShape) seqResult { return seqResult{shapes: []seqShape{a, b}} }
+func one(s seqShape) seqResult    { return seqResult{shapes: [2]seqShape{s, {}}, n: 1} }
+func two(a, b seqShape) seqResult { return seqResult{shapes: [2]seqShape{a, b}, n: 2} }
 func none() seqResult             { return seqResult{} }
 func ins(pos, n int) seqShape     { return seqShape{role: roleInsert, pos: pos, n: n} }
 func del(pos, n int) seqShape     { return seqShape{role: roleDelete, pos: pos, n: n} }

@@ -50,8 +50,8 @@ func (o TextInsert) Transform(other Op, otherPriority bool) []Op {
 	}
 	a, _ := textShapeOf(o)
 	r := transformSeqShape(a, b, otherPriority)
-	ops := make([]Op, 0, len(r.shapes))
-	for _, s := range r.shapes {
+	ops := make([]Op, 0, r.n)
+	for _, s := range r.shapes[:r.n] {
 		ops = append(ops, TextInsert{Pos: s.pos, Text: o.Text})
 	}
 	return ops
@@ -65,8 +65,8 @@ func (o TextDelete) Transform(other Op, otherPriority bool) []Op {
 	}
 	a, _ := textShapeOf(o)
 	r := transformSeqShape(a, b, otherPriority)
-	ops := make([]Op, 0, len(r.shapes))
-	for _, s := range r.shapes {
+	ops := make([]Op, 0, r.n)
+	for _, s := range r.shapes[:r.n] {
 		ops = append(ops, TextDelete{Pos: s.pos, N: s.n})
 	}
 	return ops

@@ -61,19 +61,34 @@ func (c *Ctx) SeedRand(seed uint64) { c.task.runtime.randSeed = seed }
 // (or rely on the implicit MergeAll when the parent's Func returns).
 func (c *Ctx) Spawn(fn Func, data ...mergeable.Mergeable) *Task {
 	p := c.task
-	copies := make([]mergeable.Mergeable, len(data))
-	bases := make([]int, len(data))
+	n := len(data)
+	copies := make([]mergeable.Mergeable, n)
+	// bases and floors share one backing array: Spawn is the hottest
+	// allocation site in fan-out-heavy programs, and the two slices have
+	// the same length and lifetime.
+	bf := make([]int, 2*n)
+	bases, floors := bf[:n:n], bf[n:]
 	for i, m := range data {
 		// Flush the parent's local operations into the committed history so
 		// the child's base version covers everything in its copy.
-		m.Log().Commit(m.Log().TakeLocal())
-		bases[i] = m.Log().CommittedLen()
+		lg := m.Log()
+		lg.FlushLocal()
+		bases[i] = lg.CommittedLen()
 		copies[i] = m.CloneValue()
+		// Track the structure for history trimming. The log's tracker token
+		// short-circuits re-insertion: fanning many children over the same
+		// data set pays one map insert per structure total, not per spawn.
+		if lg.Tracker() != p {
+			if p.tracked == nil {
+				p.tracked = make(map[mergeable.Mergeable]bool, n)
+			}
+			p.tracked[m] = true
+			lg.SetTracker(p)
+		}
 	}
-	p.trackStructs(data)
-	child := newTask(p, fn, copies, data, bases, p.runtime)
+	child := newTask(p, fn, copies, data, bases, floors, p.runtime)
 	p.registerChild(child)
-	go child.run()
+	startTask(child)
 	return child
 }
 
@@ -103,9 +118,9 @@ func (c *Ctx) Clone(fn Func) *Task {
 		cp.Log().MarkStale()
 		copies[i] = cp
 	}
-	sib := newTask(p, fn, copies, t.parentData, append([]int(nil), t.bases...), t.runtime)
+	sib := newTask(p, fn, copies, t.parentData, append([]int(nil), t.bases...), nil, t.runtime)
 	p.registerChild(sib)
-	go sib.run()
+	startTask(sib)
 	return sib
 }
 

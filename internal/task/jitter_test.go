@@ -26,7 +26,7 @@ func runJittered(seed int64, fn Func, data ...mergeable.Mergeable) error {
 		mu.Unlock()
 		time.Sleep(d)
 	}}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err
 }

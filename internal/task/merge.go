@@ -49,18 +49,6 @@ func applyOptions(opts []MergeOption) *mergeConfig {
 	return cfg
 }
 
-// trackStructs remembers structures handed to children so their histories
-// can be trimmed once no live child depends on old versions. Parent
-// goroutine only.
-func (t *Task) trackStructs(data []mergeable.Mergeable) {
-	if t.tracked == nil {
-		t.tracked = make(map[mergeable.Mergeable]bool)
-	}
-	for _, m := range data {
-		t.tracked[m] = true
-	}
-}
-
 // mergeSet waits for and merges the given children in slice order. Skips
 // children that were already collected (merged completions).
 func (t *Task) mergeSet(tasks []*Task, cfg *mergeConfig) error {
@@ -88,7 +76,7 @@ func (t *Task) mergeAnyDynamic(cfg *mergeConfig) (*Task, error) {
 			c = t.pendingList[0]
 			t.pendingList = t.pendingList[1:]
 		} else {
-			if len(t.liveChildren()) == 0 {
+			if !t.hasLiveChildren() {
 				// No children exist, so none can appear either (only
 				// children clone): never block on the empty set (§IV.B).
 				return nil, ErrNothingToMerge
@@ -186,11 +174,18 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 	// the parent's so version numbers cover everything a refreshed copy
 	// will contain, the child's so its committed history holds its full
 	// contribution in application order (its own operations interleaved
-	// with those merged in from its children).
+	// with those merged in from its children). The same pass detects a
+	// child that contributed nothing — the no-op fan-out shape — with one
+	// version comparison per position, so such merges skip the transform
+	// machinery entirely.
+	contributed := false
 	for i, pm := range c.parentData {
-		pm.Log().Commit(pm.Log().TakeLocal())
-		cm := c.data[i].Log()
-		cm.Commit(cm.TakeLocal())
+		pm.Log().FlushLocal()
+		cl := c.data[i].Log()
+		cl.FlushLocal()
+		if !contributed && cl.CommittedLen() != c.floors[i] {
+			contributed = true
+		}
 	}
 
 	appliedOps := 0
@@ -202,29 +197,28 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 		// version bookkeeping. When the same parent structure appears at
 		// several data positions, later entries also transform against the
 		// earlier entries' still-pending operations — they will have been
-		// applied by the time the later ops are.
-		transformed := make([][]ot.Op, len(c.parentData))
-		var pending map[mergeable.Mergeable][]ot.Op
-		for i, pm := range c.parentData {
-			server := pm.Log().CommittedSince(c.bases[i])
-			if prior, ok := pending[pm]; ok && len(prior) > 0 {
-				server = append(append([]ot.Op{}, server...), prior...)
+		// applied by the time the later ops are. Independent positions are
+		// fanned over the transform worker pool (parallel.go); the apply
+		// loop below stays serial in position order, so the merge result is
+		// bit-identical to a fully serial merge.
+		// transformed is nil when the child contributed nothing; the
+		// preview and apply steps then see empty contributions.
+		var transformed [][]ot.Op
+		if contributed {
+			transformed = t.transformChild(c)
+		}
+		opsAt := func(i int) []ot.Op {
+			if transformed == nil {
+				return nil
 			}
-			childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
-			transformed[i] = ot.TransformAgainst(childOps, server)
-			if len(transformed[i]) > 0 {
-				if pending == nil {
-					pending = make(map[mergeable.Mergeable][]ot.Op)
-				}
-				pending[pm] = append(pending[pm], transformed[i]...)
-			}
+			return transformed[i]
 		}
 
 		if cfg.cond != nil {
 			preview := make([]mergeable.Mergeable, len(c.parentData))
 			for i, pm := range c.parentData {
 				pv := pm.CloneValue()
-				if err := pv.ApplyRemote(transformed[i]); err != nil {
+				if err := pv.ApplyRemote(opsAt(i)); err != nil {
 					panic(fmt.Sprintf("task: merge preview failed, transformation invariant broken: %v", err))
 				}
 				preview[i] = pv
@@ -235,7 +229,7 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 			}
 		}
 
-		if !discard {
+		if !discard && transformed != nil {
 			for i, pm := range c.parentData {
 				if err := pm.ApplyRemote(transformed[i]); err != nil {
 					panic(fmt.Sprintf("task: merge failed, transformation invariant broken: %v", err))
@@ -311,6 +305,20 @@ func (t *Task) trimHistories() {
 		return
 	}
 	live := t.liveChildren()
+	if len(live) == 0 && t.parent == nil {
+		// Root with every child collected: nothing pins any history, so
+		// trim everything and drop the tracking set without building the
+		// min-version maps below. This is the tail of every fan-out.
+		for m := range t.tracked {
+			lg := m.Log()
+			lg.Trim(lg.CommittedLen())
+			delete(t.tracked, m)
+			if lg.Tracker() == t {
+				lg.SetTracker(nil)
+			}
+		}
+		return
+	}
 	minKeep := make(map[mergeable.Mergeable]int, len(t.tracked))
 	for m := range t.tracked {
 		minKeep[m] = m.Log().CommittedLen()
@@ -343,6 +351,11 @@ func (t *Task) trimHistories() {
 		m.Log().Trim(b)
 		if !referenced[m] {
 			delete(t.tracked, m)
+			// Keep the tracker-token invariant: clear it only if it is
+			// still ours (another task may have started tracking since).
+			if m.Log().Tracker() == t {
+				m.Log().SetTracker(nil)
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package task
+
+import (
+	"testing"
+
+	"repro/internal/mergeable"
+)
+
+// BenchmarkMergeServerCopy isolates how the transform step handles the
+// server history a child is transformed against. distinct: every position
+// binds its own structure, the common case — the transform reads the
+// committed history in place, with no defensive copy (the unconditional
+// merge-append this family was added to guard). aliased: one structure
+// bound at every position — the only case that still builds a merged
+// server slice, because later positions must also transform against
+// earlier positions' pending operations. Run with -benchmem: the distinct
+// case's allocs/op is the regression signal.
+func BenchmarkMergeServerCopy(b *testing.B) {
+	const n = 8
+	workload := func(b *testing.B, aliased bool) {
+		for i := 0; i < b.N; i++ {
+			data := make([]mergeable.Mergeable, n)
+			if aliased {
+				l := mergeable.NewList[int](0, 1, 2, 3, 4, 5, 6, 7)
+				for j := range data {
+					data[j] = l
+				}
+			} else {
+				for j := range data {
+					data[j] = mergeable.NewList[int](0, 1, 2, 3, 4, 5, 6, 7)
+				}
+			}
+			err := Run(func(ctx *Ctx, d []mergeable.Mergeable) error {
+				ch := ctx.Spawn(func(ctx *Ctx, d []mergeable.Mergeable) error {
+					for _, m := range d {
+						l := m.(*mergeable.List[int])
+						for k := 0; k < 10; k++ {
+							l.Set(k%8, k)
+						}
+					}
+					return nil
+				}, d...)
+				// Concurrent parent operations give the child a non-empty
+				// server history to transform against.
+				for _, m := range d {
+					l := m.(*mergeable.List[int])
+					for k := 0; k < 10; k++ {
+						l.Set((k+5)%8, -k)
+					}
+				}
+				return ctx.MergeAllFromSet([]*Task{ch})
+			}, data...)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("distinct", func(b *testing.B) { workload(b, false) })
+	b.Run("aliased", func(b *testing.B) { workload(b, true) })
+}

@@ -1,0 +1,215 @@
+package task
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mergeable"
+	"repro/internal/ot"
+)
+
+// Parallel merge engine. The transform step of a merge — compacting each
+// structure's outgoing operations and transforming them against the unseen
+// committed history — is embarrassingly parallel across structures: each
+// position reads its own child log and its own slice of the parent's
+// committed history and writes only its own result slot. This file fans
+// that work over a small shared worker pool while keeping the observable
+// merge EXACTLY deterministic: results are indexed by data position, the
+// apply/commit loop stays serial in position order, and positions that
+// alias the same parent structure (the one cross-position dependency, via
+// pending-operation chaining) are computed serially in position order on
+// the merging goroutine itself.
+//
+// On a single-core machine — or when disabled via SetParallelMerge — every
+// merge takes the inline serial path with no pool, no goroutines and no
+// extra allocation, so the engine never costs anything it cannot win back.
+
+// parallelMerge gates the pool. Enabled by default; SetParallelMerge
+// toggles it at runtime (tests pin both settings).
+var parallelMerge atomic.Bool
+
+func init() { parallelMerge.Store(true) }
+
+// SetParallelMerge enables or disables the parallel transform step of the
+// merge engine. Merge results are bit-identical either way; the switch
+// exists for benchmarking and for ruling the engine out when debugging.
+func SetParallelMerge(on bool) { parallelMerge.Store(on) }
+
+// mergePool is the process-wide transform worker pool, created lazily on
+// the first merge that can actually use it. Its size is fixed at creation
+// from GOMAXPROCS; a later GOMAXPROCS(1) does not tear it down, but the
+// per-merge gate below stops submitting to it.
+var (
+	mergePoolOnce sync.Once
+	mergeJobs     chan func()
+)
+
+func mergePoolJobs() chan func() {
+	mergePoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			return // leave nil: caller falls back to inline execution
+		}
+		mergeJobs = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range mergeJobs {
+					f()
+				}
+			}()
+		}
+	})
+	return mergeJobs
+}
+
+// submitOrRun hands f to the pool, or runs it inline when every worker is
+// busy and the queue is full. Workers only ever run pure CPU-bound
+// transforms — they never submit jobs themselves — so the inline fallback
+// is a throughput valve, not a deadlock guard.
+func submitOrRun(jobs chan func(), f func()) {
+	select {
+	case jobs <- f:
+	default:
+		f()
+	}
+}
+
+// transformChild computes the child's transformed contribution for every
+// data position: transformed[i] is c.data[i]'s outgoing operations
+// compacted and rewritten to apply after the parent history the child has
+// not seen. Positions are independent except when the same parent
+// structure is bound at several positions — later positions must also
+// transform against the earlier positions' still-pending results.
+func (t *Task) transformChild(c *Task) [][]ot.Op {
+	n := len(c.parentData)
+	transformed := make([][]ot.Op, n)
+	if n > 1 && parallelMerge.Load() && runtime.GOMAXPROCS(0) > 1 {
+		if jobs := mergePoolJobs(); jobs != nil {
+			t.transformParallel(c, transformed, jobs)
+			return transformed
+		}
+	}
+
+	// Inline serial path: pending chains operations across positions that
+	// alias one parent structure, which also makes it the aliasing oracle
+	// the parallel path must match.
+	var pending map[mergeable.Mergeable][]ot.Op
+	for i, pm := range c.parentData {
+		server := pm.Log().CommittedSince(c.bases[i])
+		if pending != nil {
+			if prior := pending[pm]; len(prior) > 0 {
+				merged := make([]ot.Op, 0, len(server)+len(prior))
+				merged = append(merged, server...)
+				merged = append(merged, prior...)
+				server = merged
+			}
+		}
+		childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
+		transformed[i] = ot.TransformAgainst(childOps, server)
+		if len(transformed[i]) > 0 {
+			if pending == nil {
+				pending = make(map[mergeable.Mergeable][]ot.Op)
+			}
+			pending[pm] = append(pending[pm], transformed[i]...)
+		}
+	}
+	return transformed
+}
+
+// transformParallel farms the independent positions over the pool and
+// computes aliased positions serially on the calling goroutine while the
+// workers run. transformed[i] is written by exactly one goroutine and read
+// only after wg.Wait(), which orders the writes before the caller's reads.
+func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func()) {
+	n := len(c.parentData)
+	aliased := aliasedPositions(c.parentData)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if aliased != nil && aliased[i] {
+			continue
+		}
+		// Skip positions with nothing outgoing without paying a dispatch:
+		// their transform is empty whatever the server history says.
+		if c.data[i].Log().CommittedLen() == c.floors[i] {
+			continue
+		}
+		i := i
+		wg.Add(1)
+		submitOrRun(jobs, func() {
+			defer wg.Done()
+			server := c.parentData[i].Log().CommittedSince(c.bases[i])
+			childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
+			transformed[i] = ot.TransformAgainst(childOps, server)
+		})
+	}
+
+	// Aliased positions: serial, in position order, chaining pending
+	// operations exactly as the inline path does.
+	if aliased != nil {
+		var pending map[mergeable.Mergeable][]ot.Op
+		for i := 0; i < n; i++ {
+			if !aliased[i] {
+				continue
+			}
+			pm := c.parentData[i]
+			server := pm.Log().CommittedSince(c.bases[i])
+			if pending != nil {
+				if prior := pending[pm]; len(prior) > 0 {
+					merged := make([]ot.Op, 0, len(server)+len(prior))
+					merged = append(merged, server...)
+					merged = append(merged, prior...)
+					server = merged
+				}
+			}
+			childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
+			transformed[i] = ot.TransformAgainst(childOps, server)
+			if len(transformed[i]) > 0 {
+				if pending == nil {
+					pending = make(map[mergeable.Mergeable][]ot.Op)
+				}
+				pending[pm] = append(pending[pm], transformed[i]...)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// aliasedPositions reports which positions bind a parent structure that
+// also appears at another position. Returns nil when every structure is
+// distinct (the overwhelmingly common case). Small bindings use a
+// quadratic scan to avoid a map allocation on the per-merge hot path.
+func aliasedPositions(parentData []mergeable.Mergeable) []bool {
+	n := len(parentData)
+	if n <= 16 {
+		var out []bool
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if parentData[i] == parentData[j] {
+					if out == nil {
+						out = make([]bool, n)
+					}
+					out[i] = true
+					out[j] = true
+					break
+				}
+			}
+		}
+		return out
+	}
+	first := make(map[mergeable.Mergeable]int, n)
+	var out []bool
+	for i, pm := range parentData {
+		if j, ok := first[pm]; ok {
+			if out == nil {
+				out = make([]bool, n)
+			}
+			out[i] = true
+			out[j] = true
+			continue
+		}
+		first[pm] = i
+	}
+	return out
+}

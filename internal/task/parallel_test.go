@@ -1,0 +1,181 @@
+package task
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/mergeable"
+)
+
+// parallelWorkload runs a spawn/merge tree over several structures and
+// returns the combined fingerprint of the final states. The workload mixes
+// the cases the parallel transform engine must keep deterministic:
+// multiple structures per child (fan-out across the pool), concurrent
+// parent edits (non-empty server histories), sync round-trips (repeated
+// merges of one child) and nested spawns.
+func parallelWorkload(t *testing.T) uint64 {
+	t.Helper()
+	const structs = 6
+	data := make([]mergeable.Mergeable, structs)
+	for i := range data {
+		l := mergeable.NewList[int]()
+		for k := 0; k < 8; k++ {
+			l.Append(k + i)
+		}
+		data[i] = l
+	}
+	err := Run(func(ctx *Ctx, d []mergeable.Mergeable) error {
+		ch := ctx.Spawn(func(ctx *Ctx, d []mergeable.Mergeable) error {
+			for round := 0; round < 3; round++ {
+				for j, m := range d {
+					l := m.(*mergeable.List[int])
+					l.Set((round+j)%8, 100*round+j)
+					l.Append(round)
+					l.Delete(0)
+				}
+				if err := ctx.Sync(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, d...)
+		grand := ctx.Spawn(func(ctx *Ctx, d []mergeable.Mergeable) error {
+			inner := ctx.Spawn(func(ctx *Ctx, d []mergeable.Mergeable) error {
+				for _, m := range d {
+					m.(*mergeable.List[int]).Append(-1)
+				}
+				return nil
+			}, d[0], d[1])
+			for j, m := range d {
+				m.(*mergeable.List[int]).Set(j%8, -j)
+			}
+			return ctx.MergeAllFromSet([]*Task{inner})
+		}, d...)
+		// Concurrent parent edits so children transform against non-empty
+		// server histories.
+		for j, m := range d {
+			l := m.(*mergeable.List[int])
+			l.Set((j+1)%8, 7*j)
+			l.Append(42)
+		}
+		return ctx.MergeAllFromSet([]*Task{ch, grand})
+	}, data...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]uint64, structs)
+	for i, m := range data {
+		fps[i] = m.Fingerprint()
+	}
+	return mergeable.CombineFingerprints(fps...)
+}
+
+// aliasWorkload binds the same parent structure at two data positions —
+// the one cross-position dependency of the transform step — plus a
+// distinct structure, and returns the final fingerprint.
+func aliasWorkload(t *testing.T) uint64 {
+	t.Helper()
+	shared := mergeable.NewList[int]()
+	other := mergeable.NewList[int]()
+	for k := 0; k < 8; k++ {
+		shared.Append(k)
+		other.Append(10 * k)
+	}
+	err := Run(func(ctx *Ctx, d []mergeable.Mergeable) error {
+		// d[0] and d[1] are independent copies of the same parent
+		// structure; both contributions land in it at merge time, the
+		// second transformed against the first's pending operations.
+		ch := ctx.Spawn(func(ctx *Ctx, d []mergeable.Mergeable) error {
+			d[0].(*mergeable.List[int]).Append(1)
+			d[1].(*mergeable.List[int]).Append(2)
+			d[2].(*mergeable.List[int]).Set(0, -1)
+			d[0].(*mergeable.List[int]).Set(3, 33)
+			d[1].(*mergeable.List[int]).Set(5, 55)
+			return nil
+		}, d[0], d[0], d[1])
+		d[0].(*mergeable.List[int]).Append(9)
+		return ctx.MergeAllFromSet([]*Task{ch})
+	}, shared, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mergeable.CombineFingerprints(shared.Fingerprint(), other.Fingerprint())
+}
+
+// withEngine runs f under a parallel-merge setting and a GOMAXPROCS value,
+// restoring both afterwards.
+func withEngine(t *testing.T, parallel bool, procs int, f func() uint64) uint64 {
+	t.Helper()
+	SetParallelMerge(parallel)
+	prev := runtime.GOMAXPROCS(procs)
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		SetParallelMerge(true)
+	}()
+	return f()
+}
+
+// TestParallelMergeDeterminism pins the engine's core guarantee: the merge
+// result is bit-identical with the transform pool on and off, at
+// GOMAXPROCS 1 and 4. At GOMAXPROCS >= 2 the pool is actually exercised;
+// at 1 the engine falls back inline even when enabled.
+func TestParallelMergeDeterminism(t *testing.T) {
+	serial := withEngine(t, false, 1, func() uint64 { return parallelWorkload(t) })
+	for _, procs := range []int{1, 4} {
+		got := withEngine(t, true, procs, func() uint64 { return parallelWorkload(t) })
+		if got != serial {
+			t.Errorf("GOMAXPROCS=%d: parallel fingerprint %#x != serial %#x", procs, got, serial)
+		}
+	}
+	// Repeat under contention so pool scheduling orders vary across runs.
+	base := withEngine(t, true, 4, func() uint64 { return parallelWorkload(t) })
+	for run := 0; run < 10; run++ {
+		got := withEngine(t, true, 4, func() uint64 { return parallelWorkload(t) })
+		if got != base {
+			t.Fatalf("run %d: fingerprint %#x != %#x — parallel merge is not deterministic", run, got, base)
+		}
+	}
+}
+
+// TestParallelMergeAliasing pins that structure aliasing (one Mergeable at
+// several data positions) merges identically with the pool on and off:
+// aliased positions must chain through the serial pending path.
+func TestParallelMergeAliasing(t *testing.T) {
+	serial := withEngine(t, false, 1, func() uint64 { return aliasWorkload(t) })
+	for _, procs := range []int{1, 4} {
+		got := withEngine(t, true, procs, func() uint64 { return aliasWorkload(t) })
+		if got != serial {
+			t.Errorf("GOMAXPROCS=%d: aliased fingerprint %#x != serial %#x", procs, got, serial)
+		}
+	}
+}
+
+// TestAliasedPositions covers the scan and map variants of alias
+// detection.
+func TestAliasedPositions(t *testing.T) {
+	a := mergeable.NewList[int]()
+	b := mergeable.NewList[int]()
+	if got := aliasedPositions([]mergeable.Mergeable{a, b}); got != nil {
+		t.Errorf("distinct structures flagged aliased: %v", got)
+	}
+	got := aliasedPositions([]mergeable.Mergeable{a, b, a})
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan variant: got %v, want %v", got, want)
+		}
+	}
+	// Force the map variant with > 16 positions.
+	big := make([]mergeable.Mergeable, 20)
+	for i := range big {
+		big[i] = mergeable.NewList[int]()
+	}
+	big[19] = big[3]
+	mgot := aliasedPositions(big)
+	for i := range big {
+		want := i == 3 || i == 19
+		if mgot[i] != want {
+			t.Fatalf("map variant: position %d aliased=%v, want %v", i, mgot[i], want)
+		}
+	}
+}

@@ -79,7 +79,7 @@ func (s *MergeScript) resetCursors() {
 // like a plain Run.
 func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
 	rt := &treeRuntime{record: script}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err
 }
@@ -93,7 +93,7 @@ func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) err
 func RunReplaying(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
 	script.resetCursors()
 	rt := &treeRuntime{replay: script}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err
 }

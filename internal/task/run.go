@@ -14,7 +14,7 @@ import "repro/internal/mergeable"
 // surrendered exactly where MergeAny/MergeAnyFromSet is chosen.
 func Run(fn Func, data ...mergeable.Mergeable) error {
 	rt := &treeRuntime{}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err
 }
@@ -31,7 +31,7 @@ func RunPooled(maxParallel int, fn Func, data ...mergeable.Mergeable) error {
 		maxParallel = 1
 	}
 	rt := &treeRuntime{slots: make(chan struct{}, maxParallel)}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err
 }

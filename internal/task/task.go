@@ -169,7 +169,14 @@ func (t *Task) Merged() bool { return t.merged }
 
 // newTask builds a task node. data are the working copies; parentData the
 // parent structures they pair with (nil for the root).
-func newTask(parent *Task, fn Func, data, parentData []mergeable.Mergeable, bases []int, rt *treeRuntime) *Task {
+func newTask(parent *Task, fn Func, data, parentData []mergeable.Mergeable, bases, floors []int, rt *treeRuntime) *Task {
+	// ready and resume are created lazily — ready when the first child is
+	// registered, resume on the first Sync — so leaf tasks (the common
+	// case in wide fan-outs) allocate neither. Spawn passes floors fused
+	// into the bases allocation; other callers pass nil.
+	if floors == nil {
+		floors = make([]int, len(data))
+	}
 	return &Task{
 		id:         rt.nextID.Add(1),
 		parent:     parent,
@@ -177,17 +184,24 @@ func newTask(parent *Task, fn Func, data, parentData []mergeable.Mergeable, base
 		data:       data,
 		parentData: parentData,
 		bases:      bases,
-		floors:     make([]int, len(data)),
-		ready:      make(chan *Task),
-		resume:     make(chan resumeMsg),
+		floors:     floors,
 		runtime:    rt,
 	}
 }
 
 // registerChild appends c to t's live children. Called by the spawning
-// goroutine: the parent itself for Spawn, a child for Clone.
+// goroutine: the parent itself for Spawn, a child for Clone. The child's
+// goroutine is started only after registration, so it observes t.ready.
 func (t *Task) registerChild(c *Task) {
 	t.mu.Lock()
+	if t.ready == nil {
+		// Buffered so quiescent children usually announce without parking:
+		// on wide fan-outs an unbuffered channel costs a scheduler
+		// round-trip per child, which dominates no-op merges on few cores.
+		// Arrival order (= merge order for MergeAny) is the channel's FIFO
+		// send order either way.
+		t.ready = make(chan *Task, 32)
+	}
 	c.seq = t.nextSeq
 	t.nextSeq++
 	t.children = append(t.children, c)
@@ -201,14 +215,58 @@ func (t *Task) liveChildren() []*Task {
 	return append([]*Task(nil), t.children...)
 }
 
+// hasLiveChildren reports whether any live child exists, without the
+// snapshot copy liveChildren makes.
+func (t *Task) hasLiveChildren() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.children) > 0
+}
+
 // recvReady blocks until a child announces quiescence, releasing this
 // task's execution slot for the duration so a bounded pool keeps making
 // progress while the parent waits.
 func (t *Task) recvReady() *Task {
+	// Read the lazily created channel under the registration lock: a clone
+	// registering a sibling from another goroutine may have just created
+	// it. Callers only reach here after observing a live child, so the
+	// channel exists.
+	t.mu.Lock()
+	ready := t.ready
+	t.mu.Unlock()
 	t.runtime.release()
-	q := <-t.ready
+	q := <-ready
 	t.runtime.acquire()
 	return q
+}
+
+// Task-runner reuse. Spawning is the framework's per-task constant cost
+// (Section III measures it), and goroutine creation is a visible slice of
+// it on fan-out-heavy programs. Finished runners park on runnerJobs and
+// pick up the next task body instead of exiting; when no runner is parked,
+// the task gets a fresh goroutine exactly as before. The pool only ever
+// holds goroutines that once ran a task, so its size is bounded by the
+// peak task concurrency. Semantics are unchanged: each task body still
+// runs on its own goroutine, never interleaved with another body.
+// runnerJobs is unbuffered on purpose: a send must only succeed when a
+// runner is already parked on the receive, otherwise a task could sit in
+// a buffer with no goroutine destined to execute it.
+var runnerJobs = make(chan *Task)
+
+// startTask hands c to a parked runner, or starts a new one.
+func startTask(c *Task) {
+	select {
+	case runnerJobs <- c:
+	default:
+		go runnerLoop(c)
+	}
+}
+
+func runnerLoop(c *Task) {
+	c.run()
+	for next := range runnerJobs {
+		next.run()
+	}
 }
 
 // reap removes a completed, merged child from the live list.
@@ -249,10 +307,7 @@ func (t *Task) run() {
 	// Merge (or discard) every remaining child, including tasks cloned
 	// while the loop runs, so the subtree is fully collected before the
 	// parent observes completion.
-	for {
-		if len(t.liveChildren()) == 0 {
-			break
-		}
+	for t.hasLiveChildren() {
 		if err := ctx.MergeAll(); err != nil && t.err == nil {
 			t.err = err
 		}
@@ -267,7 +322,7 @@ func (t *Task) run() {
 	if t.runtime.jitter != nil {
 		t.runtime.jitter()
 	}
-	t.parent.ready <- t // blocks until the parent collects us
+	t.parent.ready <- t // may block until the parent drains announcements
 }
 
 // enterSync blocks the calling (child) goroutine until the parent merges
@@ -284,10 +339,15 @@ func (t *Task) enterSync() error {
 		return ErrRootSync
 	}
 	var childErr error
-	for len(t.liveChildren()) > 0 {
+	for t.hasLiveChildren() {
 		if err := t.mergeSet(t.liveChildren(), &mergeConfig{}); err != nil && childErr == nil {
 			childErr = err
 		}
+	}
+	if t.resume == nil {
+		// Created on first Sync, before announcing quiescence: the parent
+		// reads the field only after receiving the announcement.
+		t.resume = make(chan resumeMsg)
 	}
 	t.phase.Store(int32(phaseSyncing))
 	t.runtime.release() // do not hold an execution slot while blocked

@@ -110,7 +110,7 @@ func (tr *Trace) String() string {
 func RunTraced(fn Func, data ...mergeable.Mergeable) (*Trace, error) {
 	tr := &Trace{}
 	rt := &treeRuntime{tracer: tr}
-	root := newTask(nil, fn, data, nil, nil, rt)
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return tr, root.err
 }
