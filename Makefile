@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figure3 figure3-full soak examples
+.PHONY: all build vet test race bench figure3 figure3-full soak soak-kill fuzz examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -33,6 +33,16 @@ figure3-full:
 
 soak:
 	$(GO) run ./cmd/soak -duration 60s
+
+# Crash-recovery soak: SIGKILL + resume journaled worker processes in a
+# loop, verifying every recovered fingerprint.
+soak-kill:
+	$(GO) run ./cmd/soak -kill -duration 30s
+
+# Journal recovery fuzzing (arbitrary WAL bytes must never panic and
+# must classify as corrupt / torn-tail / no-run).
+fuzz:
+	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzJournalRecover -fuzztime 30s -fuzzminimizetime 10x
 
 examples:
 	for ex in quickstart server simulation collabtext semaphore distributed bank pipeline stencil; do \

@@ -18,21 +18,32 @@
 // determinism-under-failover guarantee. Probes that chaos kills outright
 // are counted, not failed.
 //
+// With -kill the soak probes crash recovery end to end: it forks journaled
+// worker processes (RunJournaled), SIGKILLs each one at a random point
+// mid-run, resumes the journal in a fresh process (Resume) and repeats
+// until a worker completes — then holds the journaled result fingerprint
+// to an uninterrupted in-process reference. Every kill exercises a real
+// torn WAL tail; every resume exercises full recovery.
+//
 //	go run ./cmd/soak -duration 30s
 //	go run ./cmd/soak -duration 30s -chaos
+//	go run ./cmd/soak -duration 30s -kill
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 	"time"
 
 	"repro"
 	"repro/internal/dist"
 	"repro/internal/faultnet"
+	"repro/internal/journal"
 	"repro/internal/mergeable"
 	"repro/internal/netsim"
 	"repro/internal/stats"
@@ -41,6 +52,7 @@ import (
 
 func init() {
 	dist.RegisterListCodec[int]("soak-list-int")
+	dist.RegisterSetCodec[int]("soak-set-int")
 	for i, delta := range []int64{100, 200, 300} {
 		node := i
 		d := delta
@@ -139,6 +151,151 @@ func chaosSoak(duration time.Duration, baseSeed int64) {
 	}
 }
 
+// killData returns fresh instances of the -kill workload's structures.
+func killData() []mergeable.Mergeable {
+	return []mergeable.Mergeable{mergeable.NewCounter(0), mergeable.NewSet[int]()}
+}
+
+// killWorkload is the journaled workload behind -kill: three waves of
+// three children, each wave drained with MergeAny. The pick order is
+// non-deterministic, but every child's effect commutes (a distinct
+// counter bit, a distinct set element), so the final fingerprint is
+// pick-order-independent — the invariant the kill loop checks across
+// SIGKILL and resume. The sleeps keep the run long enough for the
+// parent's kill to land mid-journal.
+func killWorkload(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	for wave := 0; wave < 3; wave++ {
+		for c := 0; c < 3; c++ {
+			id := wave*3 + c
+			ctx.Spawn(func(_ *task.Ctx, data []mergeable.Mergeable) error {
+				time.Sleep(2 * time.Millisecond)
+				data[0].(*mergeable.Counter).Add(1 << id)
+				data[1].(*mergeable.Set[int]).Add(id)
+				return nil
+			}, data...)
+		}
+		for c := 0; c < 3; c++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// killReference runs the -kill workload uninterrupted and in-process,
+// returning the fingerprint every journaled worker must reproduce.
+func killReference() uint64 {
+	data := killData()
+	if err := task.Run(killWorkload, data...); err != nil {
+		log.Fatalf("kill reference run failed: %v", err)
+	}
+	return mergeable.CombineFingerprints(data[0].Fingerprint(), data[1].Fingerprint())
+}
+
+// killChild is the re-exec'd worker: resume the journal in dir, or start
+// the run if nothing durable exists yet. It is the process the parent
+// SIGKILLs.
+func killChild(dir string) {
+	_, err := repro.Resume(dir, killWorkload)
+	if err == nil {
+		os.Exit(0)
+	}
+	if !errors.Is(err, repro.ErrNoJournaledRun) {
+		log.Fatalf("kill child: resume %s: %v", dir, err)
+	}
+	// Nothing durable survived (the previous worker died before the
+	// inputs record landed). Start over in a clean directory.
+	if err := os.RemoveAll(dir); err != nil {
+		log.Fatalf("kill child: reset %s: %v", dir, err)
+	}
+	if err := repro.RunJournaled(dir, killWorkload, killData()...); err != nil {
+		log.Fatalf("kill child: run %s: %v", dir, err)
+	}
+	os.Exit(0)
+}
+
+// killSoak forks journaled workers, SIGKILLs them mid-run and resumes
+// them until one completes, then verifies the journaled fingerprint
+// against the uninterrupted reference. Repeats until the deadline.
+func killSoak(duration time.Duration, baseSeed int64) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own binary for re-exec: %v", err)
+	}
+	want := killReference()
+	counters := stats.NewCounters()
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+
+	for time.Now().Before(deadline) {
+		dir, err := os.MkdirTemp("", "soak-kill-*")
+		if err != nil {
+			log.Fatalf("mkdir: %v", err)
+		}
+		counters.Inc("kill.runs")
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				log.Fatalf("kill soak: worker never completed after %d attempts (dir %s)", attempt, dir)
+			}
+			if attempt > 0 {
+				counters.Inc("kill.resumes")
+			}
+			cmd := exec.Command(self, "-kill-child", dir)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				log.Fatalf("start worker: %v", err)
+			}
+			// Every fourth attempt runs unkilled so the loop always
+			// terminates; the others die at a random point mid-run.
+			killed := attempt%4 != 3
+			if killed {
+				time.Sleep(time.Duration(2+r.Intn(25)) * time.Millisecond)
+				_ = cmd.Process.Kill()
+				counters.Inc("kill.sigkills")
+			}
+			if err := cmd.Wait(); err == nil {
+				break
+			} else if !killed {
+				log.Fatalf("worker failed without being killed: %v", err)
+			}
+		}
+
+		// The worker exited cleanly: its journal must hold a done record
+		// whose fingerprint matches the uninterrupted reference.
+		j, err := journal.Open(dir, journal.Options{Encode: dist.EncodeSnapshot, Decode: dist.DecodeSnapshot})
+		if err != nil {
+			fmt.Printf("KILL-RESUME VIOLATION: completed journal unreadable: %v\n", err)
+			os.Exit(1)
+		}
+		rec := j.Recovery()
+		j.Close()
+		if !rec.Done {
+			fmt.Printf("KILL-RESUME VIOLATION: worker exited 0 but journal %s has no done record\n", dir)
+			os.Exit(1)
+		}
+		if rec.Fingerprint != want {
+			fmt.Printf("KILL-RESUME VIOLATION: journal %s fingerprint %x != reference %x\n", dir, rec.Fingerprint, want)
+			os.Exit(1)
+		}
+		counters.Inc("kill.verified")
+		os.RemoveAll(dir)
+	}
+
+	snap := counters.Snapshot()
+	fmt.Printf("clean: %d kill runs (%d SIGKILLs, %d resumes, %d fingerprint-verified)\n",
+		snap["kill.runs"], snap["kill.sigkills"], snap["kill.resumes"], snap["kill.verified"])
+	fmt.Printf("counters: %s\n", counters)
+	if snap["kill.runs"] == 0 {
+		fmt.Println("WARNING: duration too short, no kill runs completed")
+		os.Exit(1)
+	}
+	if snap["kill.resumes"] == 0 {
+		fmt.Println("WARNING: no worker was ever resumed; kills landed too late to test recovery")
+		os.Exit(1)
+	}
+}
+
 // taskProbe builds a random-shaped task tree from seed and returns its
 // result fingerprint. The shape and every operation derive from the seed,
 // so two executions must agree.
@@ -227,11 +384,21 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to soak")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
 	chaos := flag.Bool("chaos", false, "soak the distributed runtime under fault injection instead")
+	kill := flag.Bool("kill", false, "soak crash recovery: SIGKILL and resume journaled workers in a loop")
+	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
 	flag.Parse()
 
+	if *killChildDir != "" {
+		killChild(*killChildDir)
+		return
+	}
 	fmt.Printf("soaking for %v (base seed %d)\n", *duration, *seed)
 	if *chaos {
 		chaosSoak(*duration, *seed)
+		return
+	}
+	if *kill {
+		killSoak(*duration, *seed)
 		return
 	}
 	r := rand.New(rand.NewSource(*seed))

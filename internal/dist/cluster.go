@@ -22,6 +22,20 @@ type Listener interface {
 	Close() error
 }
 
+// RouteJournal records and replays the coordinator's failover routing
+// decisions. With one attached, every SpawnRemote's effective target —
+// the requested node, and each failover re-target after it — is recorded
+// under the proxy task's stable path, and a restarted coordinator
+// re-drives its fan-out to the nodes the previous run settled on instead
+// of re-deriving placement from current health. The journal package's
+// *Journal satisfies this interface and makes the record durable.
+type RouteJournal interface {
+	// RecordRoute durably notes that slot's task runs on node.
+	RecordRoute(slot string, node int)
+	// NextRoute returns the recorded node for slot, if any.
+	NextRoute(slot string) (node int, ok bool)
+}
+
 // RetryPolicy governs how SpawnRemote survives transport trouble.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of spawn attempts across nodes
@@ -63,6 +77,9 @@ type Options struct {
 	// Listen builds node i's transport listener. Nil selects plain
 	// memnet; chaos tests pass a faultnet factory.
 	Listen func(node int) Listener
+	// Journal, when non-nil, records and replays failover routing (see
+	// RouteJournal). Nil disables coordinator journaling.
+	Journal RouteJournal
 }
 
 // normalized resolves defaults; negative durations collapse to zero,
@@ -344,6 +361,20 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 			}
 		}
 		target := node
+		if j := c.opts.Journal; j != nil {
+			// The proxy task's creation path is stable across runs — the
+			// journal keys routing by it. A recorded route means a prior
+			// (crashed) coordinator already drove this slot's failover;
+			// re-drive it to the same node instead of starting over.
+			slot := ctx.Path()
+			if n, ok := j.NextRoute(slot); ok && n >= 0 && n < len(c.nodes) {
+				if n != target {
+					c.counters.Inc("route_replayed")
+				}
+				target = n
+			}
+			j.RecordRoute(slot, target)
+		}
 		for attempt := 1; ; attempt++ {
 			progressed := false
 			err := c.runRemote(ctx, target, fnName, snaps, copies, &progressed)
@@ -360,6 +391,9 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 			}
 			c.counters.Inc("failover")
 			target = next
+			if j := c.opts.Journal; j != nil {
+				j.RecordRoute(ctx.Path(), target)
+			}
 		}
 	}, data...)
 }

@@ -104,6 +104,31 @@ func codecByName(name string) (Codec, error) {
 	return c, nil
 }
 
+// EncodeSnapshot serializes m with its registered codec, returning the
+// codec's wire name alongside the bytes. The journal uses the same
+// codecs for durable snapshots that the cluster uses for the wire, so a
+// structure that can cross a node boundary can also cross a crash.
+func EncodeSnapshot(m mergeable.Mergeable) (codec string, data []byte, err error) {
+	c, err := codecFor(m)
+	if err != nil {
+		return "", nil, err
+	}
+	b, err := c.Encode(m)
+	if err != nil {
+		return "", nil, fmt.Errorf("dist: encode %T: %w", m, err)
+	}
+	return c.Name(), b, nil
+}
+
+// DecodeSnapshot rebuilds a structure from EncodeSnapshot's output.
+func DecodeSnapshot(codec string, data []byte) (mergeable.Mergeable, error) {
+	c, err := codecByName(codec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(data)
+}
+
 // funcCodec is the generic implementation backing the per-structure
 // constructors below.
 type funcCodec struct {

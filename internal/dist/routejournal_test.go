@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// fakeRouteJournal is an in-memory RouteJournal for unit-testing the
+// coordinator's record/replay hooks; the durable implementation lives in
+// internal/journal and is integration-tested there.
+type fakeRouteJournal struct {
+	mu     sync.Mutex
+	routes map[string]int
+}
+
+func newFakeRouteJournal() *fakeRouteJournal {
+	return &fakeRouteJournal{routes: make(map[string]int)}
+}
+
+func (f *fakeRouteJournal) RecordRoute(slot string, node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[slot] = node
+}
+
+func (f *fakeRouteJournal) NextRoute(slot string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.routes[slot]
+	return n, ok
+}
+
+// TestRouteJournalRecordsFailover: with a journal attached, a spawn that
+// fails over leaves the slot pointing at the node the task finally ran
+// on, not the one originally requested.
+func TestRouteJournalRecordsFailover(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		j := newFakeRouteJournal()
+		cluster := NewClusterWith(Options{
+			Nodes:       2,
+			RecvTimeout: 5 * time.Second,
+			Journal:     j,
+		})
+		defer cluster.Close()
+		fp, _ := failoverScenario(t, cluster, true)
+		if fp == 0 {
+			t.Fatal("scenario produced zero fingerprint")
+		}
+		if got := cluster.Stats().Get("failover"); got != 1 {
+			t.Fatalf("failover counter = %d, want 1", got)
+		}
+		if n, ok := j.NextRoute("r/0"); !ok || n != 1 {
+			t.Fatalf("journaled route for r/0 = %d,%v, want 1,true (the failover target)", n, ok)
+		}
+	})
+}
+
+// TestRouteJournalReplayRedirectsSpawn: a coordinator restarted with the
+// routes of a crashed run re-drives each slot to the node that run
+// settled on — no failover dance, identical result.
+func TestRouteJournalReplayRedirectsSpawn(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		clean := NewCluster(2)
+		want, _ := failoverScenario(t, clean, false)
+		clean.Close()
+
+		j := newFakeRouteJournal()
+		j.RecordRoute("r/0", 1) // what a crashed coordinator's failover left behind
+		cluster := NewClusterWith(Options{
+			Nodes:       2,
+			RecvTimeout: 5 * time.Second,
+			Journal:     j,
+		})
+		defer cluster.Close()
+		got, _ := failoverScenario(t, cluster, false) // requests node 0; journal redirects
+		if got != want {
+			t.Fatalf("fingerprint via replayed route = %x, want %x", got, want)
+		}
+		if c := cluster.Stats().Get("route_replayed"); c != 1 {
+			t.Fatalf("route_replayed counter = %d, want 1", c)
+		}
+		if c := cluster.Stats().Get("failover"); c != 0 {
+			t.Fatalf("failover counter = %d, want 0 (replay is not a failover)", c)
+		}
+	})
+}
+
+// TestRouteJournalIgnoresStaleNode: a journaled route pointing outside
+// the current cluster (smaller restart topology) is ignored rather than
+// crashing the spawn.
+func TestRouteJournalIgnoresStaleNode(t *testing.T) {
+	testutil.WithTimeout(t, 60*time.Second, func() {
+		clean := NewCluster(2)
+		want, _ := failoverScenario(t, clean, false)
+		clean.Close()
+
+		j := newFakeRouteJournal()
+		j.RecordRoute("r/0", 7) // node that no longer exists
+		cluster := NewClusterWith(Options{Nodes: 2, RecvTimeout: 5 * time.Second, Journal: j})
+		defer cluster.Close()
+		got, _ := failoverScenario(t, cluster, false)
+		if got != want {
+			t.Fatalf("fingerprint with stale route = %x, want %x", got, want)
+		}
+		if n, _ := j.NextRoute("r/0"); n != 0 {
+			t.Fatalf("stale route not overwritten by the actual placement, still %d", n)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A checkpoint is one atomically written file, ckpt-%08d, holding the
+// run's durable state after its Index-th root merge: the merge script so
+// far, the root structures' snapshots, and their combined fingerprint.
+// The file is written to a .tmp sibling, fsynced, renamed into place and
+// the directory fsynced — a crash leaves either the previous set of
+// checkpoints or the previous set plus one complete new file, never a
+// half-written one (stray .tmp files are deleted during recovery).
+//
+// Resume never loads state from a checkpoint — state is reproduced by
+// replaying the journal from the initial inputs, which is what makes the
+// recovered run bit-identical — but every intact checkpoint is a
+// verification anchor: when the resumed run reaches the same root-merge
+// ordinal, its fingerprint must match the stored one, or the resume has
+// diverged.
+
+// ckptPayload is a checkpoint file's framed record body.
+type ckptPayload struct {
+	Index       int
+	Script      []byte // MergeScript.Snapshot at checkpoint time
+	Snaps       []NamedSnapshot
+	Fingerprint uint64
+}
+
+// Checkpoint is recovery's view of one intact checkpoint file.
+type Checkpoint struct {
+	Index       int
+	Fingerprint uint64
+}
+
+func ckptName(idx int) string { return fmt.Sprintf("ckpt-%08d", idx) }
+
+// writeCheckpoint durably writes one checkpoint file. The write path runs
+// through wrap (crash injection); any failure is returned with the .tmp
+// file left behind, as a real death would leave it.
+func (j *Journal) writeCheckpoint(p ckptPayload) error {
+	frame, err := frameRecord(recCkpt, p)
+	if err != nil {
+		return err
+	}
+	name := filepath.Join(j.dir, ckptName(p.Index))
+	tmp := name + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint tmp: %w", err)
+	}
+	w := j.wrapWriter(f)
+	if err := j.countWrite(w, walMagic); err == nil {
+		err = j.countWrite(w, frame)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		return fmt.Errorf("journal: checkpoint rename: %w", err)
+	}
+	syncDir(j.dir)
+	return nil
+}
+
+// readCheckpoint parses one checkpoint file. Damage of any kind returns
+// an error; callers treat a damaged checkpoint as absent (the WAL is the
+// source of truth), never as fatal.
+func readCheckpoint(path string) (ckptPayload, error) {
+	var p ckptPayload
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if len(buf) < len(walMagic) || !bytes.Equal(buf[:len(walMagic)], walMagic) {
+		return p, CorruptError{File: filepath.Base(path), Offset: 0, Reason: "bad magic"}
+	}
+	recs, _, err := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	if err != nil {
+		return p, err
+	}
+	if len(recs) != 1 || recs[0].typ != recCkpt {
+		return p, CorruptError{File: filepath.Base(path), Offset: 0, Reason: "not a single checkpoint record"}
+	}
+	if err := decodeBody(recs[0], &p); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// loadCheckpoints scans dir for intact checkpoints, deleting stray .tmp
+// files a crash left behind. It returns the intact checkpoints sorted by
+// index and the payload of the latest one (nil when none survive).
+func (j *Journal) loadCheckpoints() ([]Checkpoint, *ckptPayload, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: scan checkpoints: %w", err)
+	}
+	var cks []Checkpoint
+	var latest *ckptPayload
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(j.dir, name))
+			j.counters.Inc("tmp_removed")
+			continue
+		}
+		if !strings.HasPrefix(name, "ckpt-") {
+			continue
+		}
+		p, err := readCheckpoint(filepath.Join(j.dir, name))
+		if err != nil {
+			j.counters.Inc("checkpoint_damaged")
+			continue
+		}
+		cks = append(cks, Checkpoint{Index: p.Index, Fingerprint: p.Fingerprint})
+		if latest == nil || p.Index > latest.Index {
+			cp := p
+			latest = &cp
+		}
+	}
+	sort.Slice(cks, func(a, b int) bool { return cks[a].Index < cks[b].Index })
+	return cks, latest, nil
+}
+
+// syncDir best-effort fsyncs a directory so renames and creates are
+// durable before we report success.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,63 @@
+package journal
+
+import (
+	"io"
+	"sync"
+)
+
+// CrashWriter injects a process death at an exact byte boundary: writers
+// wrapped by the same CrashWriter share one byte budget, and the write
+// that crosses it lands only its prefix — a torn write, exactly what
+// kill -9 leaves — after which every write fails with ErrCrashed. Crash
+// harnesses sweep the budget over every boundary of a reference run to
+// prove recovery works from any interleaving of durable and lost bytes.
+type CrashWriter struct {
+	mu        sync.Mutex
+	remaining int64
+	crashed   bool
+}
+
+// NewCrashWriter returns a CrashWriter that dies after n bytes.
+func NewCrashWriter(n int64) *CrashWriter {
+	return &CrashWriter{remaining: n}
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashWriter) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Wrap returns a writer that passes bytes through to w against the shared
+// budget. Pass it as Options.WrapWriter so every physical journal writer
+// (WAL and checkpoint files alike) draws from the same clock.
+func (c *CrashWriter) Wrap(w io.Writer) io.Writer {
+	return &crashProxy{c: c, w: w}
+}
+
+type crashProxy struct {
+	c *CrashWriter
+	w io.Writer
+}
+
+func (p *crashProxy) Write(b []byte) (int, error) {
+	p.c.mu.Lock()
+	defer p.c.mu.Unlock()
+	if p.c.remaining <= 0 {
+		p.c.crashed = true
+		return 0, ErrCrashed
+	}
+	if int64(len(b)) <= p.c.remaining {
+		p.c.remaining -= int64(len(b))
+		return p.w.Write(b)
+	}
+	n := p.c.remaining
+	p.c.remaining = 0
+	p.c.crashed = true
+	m, err := p.w.Write(b[:n])
+	if err != nil {
+		return m, err
+	}
+	return m, ErrCrashed
+}

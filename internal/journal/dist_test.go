@@ -1,0 +1,78 @@
+package journal
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+func init() {
+	dist.RegisterFunc("journal-route-work", func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
+		data[0].(*mergeable.List[int]).Append(42)
+		return nil
+	})
+}
+
+// routedRun drives one remote spawn, requested on node 0, through
+// cluster and returns the merged fingerprint.
+func routedRun(t *testing.T, cluster *dist.Cluster) uint64 {
+	t.Helper()
+	list := mergeable.NewList[int]()
+	err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		cluster.SpawnRemote(ctx, 0, "journal-route-work", data[0])
+		return ctx.MergeAll()
+	}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list.Fingerprint()
+}
+
+// TestCoordinatorRoutesSurviveRestart is the durable end of coordinator
+// journaling: run 1's coordinator fails over from a dead node and
+// journals the final placement; a "restarted" coordinator — a fresh
+// cluster over the journal reopened from disk — re-drives the spawn
+// straight to that node, with no failover and an identical result.
+func TestCoordinatorRoutesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.writeInputs(anyData()); err != nil {
+		t.Fatal(err)
+	}
+	clusterA := dist.NewClusterWith(dist.Options{Nodes: 2, Journal: j})
+	clusterA.KillNode(0)
+	wantFP := routedRun(t, clusterA)
+	if got := clusterA.Stats().Get("failover"); got != 1 {
+		t.Fatalf("failover counter = %d, want 1", got)
+	}
+	clusterA.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	if n, ok := j2.Recovery().Routes["r/0"]; !ok || n != 1 {
+		t.Fatalf("recovered route for r/0 = %d,%v, want 1,true", n, ok)
+	}
+	clusterB := dist.NewClusterWith(dist.Options{Nodes: 2, Journal: j2}) // both nodes healthy
+	defer clusterB.Close()
+	gotFP := routedRun(t, clusterB)
+	if gotFP != wantFP {
+		t.Fatalf("fingerprint after restart = %x, want %x", gotFP, wantFP)
+	}
+	if got := clusterB.Stats().Get("route_replayed"); got != 1 {
+		t.Fatalf("route_replayed = %d, want 1", got)
+	}
+	if got := clusterB.Stats().Get("failover"); got != 0 {
+		t.Fatalf("failover after restart = %d, want 0 (route came from the journal)", got)
+	}
+}

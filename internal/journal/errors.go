@@ -1,0 +1,82 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Callers classify failures with errors.Is — never by
+// string matching — mirroring the dist package's RemoteError/ErrTransport
+// scheme: concrete typed errors carry the details and unwrap to these.
+var (
+	// ErrCorrupt reports damage recovery cannot repair: a CRC mismatch in
+	// the middle of the WAL, an undecodable record, a checkpoint that is
+	// not a prefix of the WAL, or inputs that no longer decode. A corrupt
+	// journal must not be resumed — the durable pick history can no longer
+	// be trusted to reproduce the crashed run.
+	ErrCorrupt = errors.New("journal: corrupt")
+
+	// ErrTornTail reports an incomplete final record — the signature a
+	// killed process leaves mid-write. Unlike ErrCorrupt it is benign:
+	// Open truncates the tear and recovers everything before it. Verify
+	// surfaces it for read-only inspection.
+	ErrTornTail = errors.New("journal: torn tail")
+
+	// ErrNoRun reports that the directory holds no recoverable run: no WAL
+	// at all, or one that died before the inputs record became durable.
+	// Nothing ran to recovery-relevant effect, so the caller should simply
+	// start the run from scratch.
+	ErrNoRun = errors.New("journal: no run recorded")
+
+	// ErrDiverged reports that a resumed run did not retrace the journaled
+	// one: a replayed pick or a checkpoint fingerprint disagreed with the
+	// durable record. The program changed, or it harbors non-determinism
+	// the script does not capture.
+	ErrDiverged = errors.New("journal: resumed run diverged from journal")
+
+	// ErrCrashed is returned by writes through an exhausted CrashWriter
+	// and surfaces from a journaled run killed by crash injection.
+	ErrCrashed = errors.New("journal: injected crash")
+)
+
+// CorruptError pins corruption to a file and offset. errors.Is matches it
+// against ErrCorrupt.
+type CorruptError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+func (e CorruptError) Error() string {
+	return fmt.Sprintf("journal: corrupt: %s at %s+%d", e.Reason, e.File, e.Offset)
+}
+
+// Is classifies every CorruptError as ErrCorrupt.
+func (e CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// TornTailError pins a torn tail to its offset. errors.Is matches it
+// against ErrTornTail.
+type TornTailError struct {
+	File   string
+	Offset int64
+}
+
+func (e TornTailError) Error() string {
+	return fmt.Sprintf("journal: torn tail at %s+%d", e.File, e.Offset)
+}
+
+// Is classifies every TornTailError as ErrTornTail.
+func (e TornTailError) Is(target error) bool { return target == ErrTornTail }
+
+// DivergedError describes where a resumed run left the journaled path.
+// errors.Is matches it against ErrDiverged.
+type DivergedError struct {
+	Detail string
+}
+
+func (e DivergedError) Error() string {
+	return ErrDiverged.Error() + ": " + e.Detail
+}
+
+// Is classifies every DivergedError as ErrDiverged.
+func (e DivergedError) Is(target error) bool { return target == ErrDiverged }

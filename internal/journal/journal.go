@@ -1,0 +1,563 @@
+// Package journal makes long Spawn & Merge runs crash-recoverable. The
+// paper's determinism guarantee means a run is fully described by its
+// inputs plus the script of its sanctioned non-deterministic choices (the
+// MergeAny/MergeAnyFromSet picks): replaying that script over the same
+// inputs reproduces the identical state, bit for bit. The journal turns
+// that replay property into a recovery mechanism:
+//
+//   - a write-ahead log durably records the run's initial snapshots, then
+//     every committed pick (streamed from the MergeScript sink before the
+//     corresponding merge applies) and every dist coordinator routing
+//     decision, each record length-prefixed and CRC32-framed;
+//   - periodic checkpoints — post-merge snapshots of the root structures
+//     plus their fingerprint — are written atomically (tmp file, fsync,
+//     rename, directory fsync) every N root merges;
+//   - recovery truncates the WAL's torn tail, validates every CRC, loads
+//     the latest intact checkpoint, and resumes by re-running the program
+//     with the durable picks forced (task.RunRecoverable). The resumed
+//     run re-traces the crashed one exactly — every prior checkpoint it
+//     passes is fingerprint-verified — and keeps journaling fresh picks
+//     from where the crash cut off, so a resumed run can itself crash and
+//     be resumed again.
+//
+// Structures cross the disk boundary with the same codecs the dist layer
+// uses for the wire; callers inject them via Options (the repro facade
+// wires dist's registry in automatically).
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/mergeable"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Options configures a journal.
+type Options struct {
+	// Encode serializes one structure, returning the codec name to store
+	// alongside the bytes; Decode rebuilds it. Both are required — the
+	// dist codec registry (dist.EncodeSnapshot / dist.DecodeSnapshot)
+	// satisfies them, and the repro facade injects exactly that.
+	Encode func(m mergeable.Mergeable) (codec string, data []byte, err error)
+	Decode func(codec string, data []byte) (mergeable.Mergeable, error)
+
+	// CheckpointEvery takes a checkpoint every N root merges. Zero means
+	// the default (4); negative disables checkpoints.
+	CheckpointEvery int
+
+	// Stats, when non-nil, receives the journal's counters instead of an
+	// internal set: "record_written", "bytes_written", "pick_recorded",
+	// "pick_replayed", "checkpoint_written", "checkpoint_verified",
+	// "route_recorded", "route_replayed", "torn_tail_truncated",
+	// "torn_bytes", "resume", "done_verified", "tmp_removed",
+	// "checkpoint_damaged".
+	Stats *stats.Counters
+
+	// WrapWriter, when non-nil, intercepts every physical writer the
+	// journal opens (the WAL and each checkpoint tmp file). Crash
+	// harnesses pass (*CrashWriter).Wrap; production passes nothing.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.Encode == nil || o.Decode == nil {
+		return o, errors.New("journal: Options.Encode and Options.Decode are required")
+	}
+	switch {
+	case o.CheckpointEvery == 0:
+		o.CheckpointEvery = 4
+	case o.CheckpointEvery < 0:
+		o.CheckpointEvery = 0 // disabled
+	}
+	if o.Stats == nil {
+		o.Stats = stats.NewCounters()
+	}
+	return o, nil
+}
+
+// Recovery is what Open salvaged from a journal directory.
+type Recovery struct {
+	// Snaps are the run's initial snapshots; Picks the durable merge
+	// picks per parent path; Routes the last recorded dist routing
+	// decision per spawn slot.
+	Snaps  []NamedSnapshot
+	Picks  map[string][]uint64
+	Routes map[string]int
+	// Checkpoints are the intact checkpoints, ascending by index; Latest
+	// is the highest index (0 when none).
+	Checkpoints []Checkpoint
+	Latest      int
+	// TornTail reports that an incomplete final WAL record was truncated.
+	TornTail bool
+	// Done reports the journaled run completed; Fingerprint is its final
+	// combined fingerprint.
+	Done        bool
+	Fingerprint uint64
+}
+
+// Script rebuilds the durable picks as a replayable MergeScript.
+func (r *Recovery) Script() *task.MergeScript {
+	s := task.NewMergeScript()
+	for path, seqs := range r.Picks {
+		for _, seq := range seqs {
+			s.Append(path, seq)
+		}
+	}
+	return s
+}
+
+// Journal is an open journal: a WAL accepting appends plus the state
+// recovered from it. Safe for concurrent use — picks and routes arrive
+// from the merge paths of many tasks at once.
+type Journal struct {
+	dir      string
+	opts     Options
+	counters *stats.Counters
+
+	mu  sync.Mutex
+	wal *os.File
+	w   io.Writer // wal behind WrapWriter
+	// dead is the first write failure; once set, the journal drops every
+	// later append. The in-memory run continues (the process "died" only
+	// as far as durability is concerned — exactly a crash simulation) and
+	// the error surfaces when the run finishes.
+	dead error
+	// diverged is the first resume divergence (see ErrDiverged).
+	diverged error
+
+	// Recovered state driving a resume. recPicks/cursor implement the
+	// sink's replay-dedupe: the first len(recPicks[p]) picks a resumed
+	// run makes for path p are already durable — they are verified
+	// against the record instead of re-appended.
+	rec    *Recovery
+	cursor map[string]int
+	routes map[string]int // slot -> last recorded node (recovered + live)
+	ckpts  map[int]uint64 // intact prior checkpoints, for verification
+	record *task.MergeScript
+}
+
+// Stats returns the journal's counters.
+func (j *Journal) Stats() *stats.Counters { return j.counters }
+
+// Recovery returns what Open recovered (nil on a journal built by Create).
+func (j *Journal) Recovery() *Recovery { return j.rec }
+
+// Err returns the journal's sticky failure: the first write error (e.g.
+// an injected crash) or the first detected resume divergence.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return errors.Join(j.dead, j.diverged)
+}
+
+func (j *Journal) wrapWriter(w io.Writer) io.Writer {
+	if j.opts.WrapWriter != nil {
+		return j.opts.WrapWriter(w)
+	}
+	return w
+}
+
+// countWrite writes b fully through w, accounting the bytes that landed.
+func (j *Journal) countWrite(w io.Writer, b []byte) error {
+	n, err := w.Write(b)
+	j.counters.Add("bytes_written", int64(n))
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	return err
+}
+
+// Create initializes a fresh journal in dir (created if missing). It
+// refuses a directory that already holds a WAL — recover that with Open
+// instead of silently overwriting a run's history.
+func Create(dir string, opts Options) (*Journal, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	path := filepath.Join(dir, walName)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("journal: %s already holds a run; use Open/Resume", dir)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create wal: %w", err)
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		counters: opts.Stats,
+		wal:      f,
+		cursor:   make(map[string]int),
+		routes:   make(map[string]int),
+		ckpts:    make(map[int]uint64),
+	}
+	j.w = j.wrapWriter(f)
+	if err := j.countWrite(j.w, walMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write magic: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync wal: %w", err)
+	}
+	syncDir(dir)
+	return j, nil
+}
+
+// Open recovers the journal in dir and reopens it for appending: the
+// WAL's torn tail (if any) is physically truncated, every surviving
+// record is CRC-validated and decoded, stray checkpoint tmp files are
+// removed and damaged checkpoints discarded, and the latest intact
+// checkpoint is cross-checked against the WAL (its script must be a
+// prefix of the durable picks). See Recovery for what comes back.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: open %s: %w", dir, ErrNoRun)
+		}
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		counters: opts.Stats,
+		wal:      f,
+		cursor:   make(map[string]int),
+		routes:   make(map[string]int),
+		ckpts:    make(map[int]uint64),
+	}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek wal: %w", err)
+	}
+	j.w = j.wrapWriter(f)
+	return j, nil
+}
+
+// recover parses the WAL and checkpoint files into j.rec.
+func (j *Journal) recover() error {
+	buf, err := io.ReadAll(j.wal)
+	if err != nil {
+		return fmt.Errorf("journal: read wal: %w", err)
+	}
+	if len(buf) < len(walMagic) {
+		// The process died before even the magic was durable: nothing ran.
+		return fmt.Errorf("journal: wal shorter than magic: %w", ErrNoRun)
+	}
+	for i, b := range walMagic {
+		if buf[i] != b {
+			return CorruptError{File: walName, Offset: int64(i), Reason: "bad magic"}
+		}
+	}
+	recs, tornAt, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	rec := &Recovery{
+		Picks:  make(map[string][]uint64),
+		Routes: make(map[string]int),
+	}
+	switch {
+	case scanErr == nil:
+	case errors.Is(scanErr, ErrTornTail):
+		if err := j.wal.Truncate(tornAt); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		j.wal.Sync()
+		rec.TornTail = true
+		j.counters.Inc("torn_tail_truncated")
+		j.counters.Add("torn_bytes", int64(len(buf))-tornAt)
+	default:
+		return scanErr
+	}
+
+	for i, r := range recs {
+		switch r.typ {
+		case recInputs:
+			if i != 0 {
+				return CorruptError{File: walName, Offset: r.offset, Reason: "duplicate inputs record"}
+			}
+			var body inputsRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			rec.Snaps = body.Snaps
+		case recPick:
+			var body pickRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			rec.Picks[body.Path] = append(rec.Picks[body.Path], body.Seq)
+		case recCkpt:
+			// Markers are advisory; the checkpoint files themselves are
+			// scanned below.
+			var body ckptRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+		case recRoute:
+			var body routeRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			rec.Routes[body.Slot] = body.Node
+		case recDone:
+			var body doneRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			rec.Done = true
+			rec.Fingerprint = body.Fingerprint
+		default:
+			return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
+		}
+	}
+	if len(recs) == 0 || recs[0].typ != recInputs {
+		// Died before the inputs record became durable: the run never got
+		// past the starting line, so there is nothing to resume.
+		return fmt.Errorf("journal: no inputs record: %w", ErrNoRun)
+	}
+
+	cks, latest, err := j.loadCheckpoints()
+	if err != nil {
+		return err
+	}
+	rec.Checkpoints = cks
+	for _, c := range cks {
+		j.ckpts[c.Index] = c.Fingerprint
+	}
+	if latest != nil {
+		rec.Latest = latest.Index
+		// The checkpoint's script must be a prefix of the WAL's picks: the
+		// sink runs write-ahead of every merge, so an intact checkpoint
+		// can never know picks the WAL lost. A violation means the files
+		// are from different runs or the bytes lie.
+		snap := task.NewMergeScript()
+		if err := snap.Restore(latest.Script); err != nil {
+			return CorruptError{File: ckptName(latest.Index), Offset: 0, Reason: fmt.Sprintf("script snapshot: %v", err)}
+		}
+		for path, seqs := range snap.Picks() {
+			wal := rec.Picks[path]
+			if len(seqs) > len(wal) {
+				return CorruptError{File: ckptName(latest.Index), Offset: 0, Reason: fmt.Sprintf("checkpoint knows %d picks for %s, wal holds %d", len(seqs), path, len(wal))}
+			}
+			for k, s := range seqs {
+				if wal[k] != s {
+					return CorruptError{File: ckptName(latest.Index), Offset: 0, Reason: fmt.Sprintf("checkpoint pick %d for %s disagrees with wal", k, path)}
+				}
+			}
+		}
+	}
+	for slot, node := range rec.Routes {
+		j.routes[slot] = node
+	}
+	j.rec = rec
+	return nil
+}
+
+// Close fsyncs and closes the WAL. The journal refuses further appends.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return nil
+	}
+	if j.dead == nil {
+		j.wal.Sync()
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}
+
+// appendLocked frames and durably appends one record. Callers hold j.mu.
+func (j *Journal) appendLocked(typ byte, body any) error {
+	if j.dead != nil {
+		return j.dead
+	}
+	if j.wal == nil {
+		j.dead = errors.New("journal: closed")
+		return j.dead
+	}
+	frame, err := frameRecord(typ, body)
+	if err != nil {
+		j.dead = err
+		return err
+	}
+	if err := j.countWrite(j.w, frame); err != nil {
+		j.dead = fmt.Errorf("journal: append: %w", err)
+		return j.dead
+	}
+	if err := j.wal.Sync(); err != nil {
+		j.dead = fmt.Errorf("journal: sync: %w", err)
+		return j.dead
+	}
+	j.counters.Inc("record_written")
+	return nil
+}
+
+// writeInputs journals the run's initial snapshots. Run calls it before
+// executing any user code.
+func (j *Journal) writeInputs(data []mergeable.Mergeable) error {
+	snaps, err := j.encodeAll(data)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recInputs, inputsRec{Snaps: snaps})
+}
+
+func (j *Journal) encodeAll(data []mergeable.Mergeable) ([]NamedSnapshot, error) {
+	snaps := make([]NamedSnapshot, len(data))
+	for i, m := range data {
+		codec, b, err := j.opts.Encode(m)
+		if err != nil {
+			return nil, fmt.Errorf("journal: encode %T: %w", m, err)
+		}
+		snaps[i] = NamedSnapshot{Codec: codec, Data: b}
+	}
+	return snaps, nil
+}
+
+// decodeInputs rebuilds fresh structures from the recovered snapshots. A
+// snapshot that no longer decodes classifies as corruption: the journal
+// cannot reproduce the run.
+func (j *Journal) decodeInputs() ([]mergeable.Mergeable, error) {
+	if j.rec == nil {
+		return nil, errors.New("journal: no recovery state; decodeInputs is for opened journals")
+	}
+	data := make([]mergeable.Mergeable, len(j.rec.Snaps))
+	for i, s := range j.rec.Snaps {
+		m, err := j.opts.Decode(s.Codec, s.Data)
+		if err != nil {
+			return nil, CorruptError{File: walName, Offset: 0, Reason: fmt.Sprintf("input %d (%s) undecodable: %v", i, s.Codec, err)}
+		}
+		data[i] = m
+	}
+	return data, nil
+}
+
+// pickSink is the MergeScript streaming sink: the write-ahead append for
+// every committed non-deterministic pick. During a resume, picks that are
+// already durable are verified against the record instead of re-appended
+// — per-path order is deterministic under replay, so position k in the
+// resumed run must equal position k in the WAL.
+func (j *Journal) pickSink(path string, seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rec != nil {
+		if i := j.cursor[path]; i < len(j.rec.Picks[path]) {
+			j.cursor[path] = i + 1
+			if want := j.rec.Picks[path][i]; want != seq && j.diverged == nil {
+				j.diverged = DivergedError{Detail: fmt.Sprintf("pick %d for %s: journal has child seq %d, resumed run chose %d", i, path, want, seq)}
+			}
+			j.counters.Inc("pick_replayed")
+			return
+		}
+	}
+	if j.appendLocked(recPick, pickRec{Path: path, Seq: seq}) == nil {
+		j.counters.Inc("pick_recorded")
+	}
+}
+
+// RecordRoute journals a dist coordinator routing decision for slot —
+// dist.RouteJournal's write half. Re-recording the route a resume just
+// replayed is a no-op.
+func (j *Journal) RecordRoute(slot string, node int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cur, ok := j.routes[slot]; ok && cur == node {
+		return
+	}
+	j.routes[slot] = node
+	if j.appendLocked(recRoute, routeRec{Slot: slot, Node: node}) == nil {
+		j.counters.Inc("route_recorded")
+	}
+}
+
+// NextRoute returns the journaled routing decision for slot, if any —
+// dist.RouteJournal's replay half. A restarted coordinator re-drives its
+// fan-out to the nodes the crashed run settled on instead of re-deriving
+// placement from current health.
+func (j *Journal) NextRoute(slot string) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	node, ok := j.routes[slot]
+	if ok {
+		j.counters.Inc("route_replayed")
+	}
+	return node, ok
+}
+
+// onRootMerge is the checkpoint cadence: every CheckpointEvery root
+// merges, either verify against the intact checkpoint a prior run left at
+// this ordinal, or write a new one.
+func (j *Journal) onRootMerge(data []mergeable.Mergeable, n int) {
+	every := j.opts.CheckpointEvery
+	if every == 0 || n%every != 0 {
+		return
+	}
+	// Snapshot the script before taking j.mu: the sink runs under the
+	// script's own lock and then takes j.mu, so the reverse nesting here
+	// would deadlock. Taking the snapshot first only makes the checkpoint
+	// conservative — picks landing in between are in the WAL but not in
+	// the snapshot, preserving the prefix invariant.
+	var script []byte
+	if j.record != nil {
+		script = j.record.Snapshot()
+	}
+	fp := fingerprintAll(data)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if want, ok := j.ckpts[n]; ok {
+		if want != fp && j.diverged == nil {
+			j.diverged = DivergedError{Detail: fmt.Sprintf("checkpoint %d: journal fingerprint %016x, resumed run at %016x", n, want, fp)}
+		} else if want == fp {
+			j.counters.Inc("checkpoint_verified")
+		}
+		return
+	}
+	if j.dead != nil {
+		return
+	}
+	snaps, err := j.encodeAll(data)
+	if err != nil {
+		j.dead = err
+		return
+	}
+	if err := j.writeCheckpoint(ckptPayload{Index: n, Script: script, Snaps: snaps, Fingerprint: fp}); err != nil {
+		j.dead = err
+		return
+	}
+	j.ckpts[n] = fp
+	j.counters.Inc("checkpoint_written")
+	j.appendLocked(recCkpt, ckptRec{Index: n, Fingerprint: fp})
+}
+
+// fingerprintAll folds the structures' fingerprints in data order.
+func fingerprintAll(data []mergeable.Mergeable) uint64 {
+	fps := make([]uint64, len(data))
+	for i, m := range data {
+		fps[i] = m.Fingerprint()
+	}
+	return mergeable.CombineFingerprints(fps...)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package journal
+
+// raceEnabled mirrors the race detector's build tag so the crash sweep
+// can trade exhaustiveness for time when every run costs 10-20x.
+const raceEnabled = true

@@ -1,0 +1,140 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Run executes fn as a journaled root task: the initial snapshots of data
+// are made durable before any user code runs, every committed
+// MergeAny/MergeAnyFromSet pick streams into the WAL ahead of its merge,
+// and checkpoints land on the Options cadence. On success a done record
+// seals the journal with the final fingerprint. If the journal dies
+// mid-run (disk failure, injected crash), the in-memory run finishes but
+// Run reports the journal's failure — the caller must treat the run as
+// crashed and recover with Resume.
+func Run(dir string, opts Options, fn task.Func, data ...mergeable.Mergeable) error {
+	j, err := Create(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if err := j.writeInputs(data); err != nil {
+		return err
+	}
+	return j.execute(nil, fn, data)
+}
+
+// Resume recovers the journal in dir and re-runs fn over the recovered
+// initial snapshots with the durable picks forced, returning the final
+// structures. The replayed prefix re-traces the crashed run exactly —
+// divergence from any journaled pick or checkpoint fingerprint surfaces
+// as ErrDiverged — and execution past the prefix continues live, with
+// fresh picks journaled, so an interrupted Resume is itself resumable.
+// Resuming an already completed journal replays it fully and verifies the
+// final fingerprint — deterministic replay as a read path.
+func Resume(dir string, opts Options, fn task.Func) ([]mergeable.Mergeable, error) {
+	j, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	data, err := j.decodeInputs()
+	if err != nil {
+		return nil, err
+	}
+	j.counters.Inc("resume")
+	if err := j.execute(j.rec.Script(), fn, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// execute runs fn under RunRecoverable with the journal's hooks, then
+// seals or verifies the done record.
+func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeable.Mergeable) error {
+	record := task.NewMergeScript()
+	record.SetSink(j.pickSink)
+	j.record = record
+	runErr := task.RunRecoverable(replay, record, j.onRootMerge, fn, data...)
+	if err := errors.Join(runErr, j.Err()); err != nil {
+		return err
+	}
+	fp := fingerprintAll(data)
+	if j.rec != nil && j.rec.Done {
+		if fp != j.rec.Fingerprint {
+			return DivergedError{Detail: fmt.Sprintf("final fingerprint %016x, journal sealed at %016x", fp, j.rec.Fingerprint)}
+		}
+		j.counters.Inc("done_verified")
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recDone, doneRec{Fingerprint: fp})
+}
+
+// Verify is the read-only integrity check: it scans dir's WAL and
+// checkpoints without truncating or appending anything and reports what
+// recovery would find — nil for a clean journal, ErrTornTail for an
+// incomplete final record (recoverable), ErrCorrupt for real damage,
+// ErrNoRun for a directory with no recoverable run.
+func Verify(dir string) error {
+	buf, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("journal: verify %s: %w", dir, ErrNoRun)
+		}
+		return fmt.Errorf("journal: verify: %w", err)
+	}
+	if len(buf) < len(walMagic) {
+		return fmt.Errorf("journal: wal shorter than magic: %w", ErrNoRun)
+	}
+	for i, b := range walMagic {
+		if buf[i] != b {
+			return CorruptError{File: walName, Offset: int64(i), Reason: "bad magic"}
+		}
+	}
+	recs, _, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	if scanErr != nil && !errors.Is(scanErr, ErrTornTail) {
+		return scanErr
+	}
+	var sawInputs bool
+	for i, r := range recs {
+		var decodeErr error
+		switch r.typ {
+		case recInputs:
+			if i != 0 {
+				return CorruptError{File: walName, Offset: r.offset, Reason: "duplicate inputs record"}
+			}
+			var body inputsRec
+			decodeErr = decodeBody(r, &body)
+			sawInputs = decodeErr == nil
+		case recPick:
+			var body pickRec
+			decodeErr = decodeBody(r, &body)
+		case recCkpt:
+			var body ckptRec
+			decodeErr = decodeBody(r, &body)
+		case recRoute:
+			var body routeRec
+			decodeErr = decodeBody(r, &body)
+		case recDone:
+			var body doneRec
+			decodeErr = decodeBody(r, &body)
+		default:
+			return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
+		}
+		if decodeErr != nil {
+			return decodeErr
+		}
+	}
+	if !sawInputs {
+		return fmt.Errorf("journal: no inputs record: %w", ErrNoRun)
+	}
+	return scanErr
+}

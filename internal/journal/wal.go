@@ -1,0 +1,131 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+)
+
+// The write-ahead log is a flat stream:
+//
+//	magic (8 bytes) | record | record | ...
+//	record = u32le payload length | u32le CRC32-IEEE of payload | payload
+//	payload = 1 type byte | gob body
+//
+// Every record is written with a single Write call, so a process killed
+// mid-write leaves at most one incomplete record — the torn tail — at the
+// physical end of the file. Recovery truncates it; an inconsistency
+// anywhere before the tail is corruption, not a crash artifact.
+
+// walMagic identifies a Spawn & Merge journal, version 1.
+var walMagic = []byte("SMJRNL\x00\x01")
+
+// walName is the WAL's file name inside the journal directory.
+const walName = "wal.log"
+
+// maxRecord bounds a sane record: anything claiming to be larger is
+// corruption (the writer never produces it), not a torn write.
+const maxRecord = 1 << 28
+
+// Record types.
+const (
+	recInputs byte = 1 // the run's initial snapshots (exactly one, first)
+	recPick   byte = 2 // one committed MergeAny/MergeAnyFromSet pick
+	recCkpt   byte = 3 // checkpoint marker (the state lives in its own file)
+	recRoute  byte = 4 // one dist coordinator routing decision
+	recDone   byte = 5 // successful completion + final fingerprint
+)
+
+// NamedSnapshot is one structure's serialized value, tagged with the codec
+// that produced it (the dist codec registry's wire names).
+type NamedSnapshot struct {
+	Codec string
+	Data  []byte
+}
+
+// Record bodies (gob-encoded after the type byte).
+type inputsRec struct{ Snaps []NamedSnapshot }
+type pickRec struct {
+	Path string
+	Seq  uint64
+}
+type ckptRec struct {
+	Index       int
+	Fingerprint uint64
+}
+type routeRec struct {
+	Slot string
+	Node int
+}
+type doneRec struct{ Fingerprint uint64 }
+
+// frameRecord renders one framed record: header + type byte + gob body.
+func frameRecord(typ byte, body any) ([]byte, error) {
+	var payload bytes.Buffer
+	payload.WriteByte(typ)
+	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
+		return nil, fmt.Errorf("journal: encode record %d: %w", typ, err)
+	}
+	p := payload.Bytes()
+	frame := make([]byte, 8+len(p))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+	copy(frame[8:], p)
+	return frame, nil
+}
+
+// walRecord is one physical record surfaced by the scanner.
+type walRecord struct {
+	typ    byte
+	body   []byte // gob bytes after the type byte
+	offset int64  // offset of the record's header in the file
+}
+
+// scanWAL walks the framed records in buf (the file contents after the
+// magic). It stops at the first inconsistency: an incomplete record at the
+// physical end is reported as a TornTailError (recoverable — the caller
+// truncates at its offset); anything else is a CorruptError. base is the
+// file offset of buf's first byte, for error reporting.
+func scanWAL(buf []byte, base int64) (recs []walRecord, tornAt int64, err error) {
+	off := int64(0)
+	n := int64(len(buf))
+	for off < n {
+		if n-off < 8 {
+			return recs, base + off, TornTailError{File: walName, Offset: base + off}
+		}
+		length := int64(binary.LittleEndian.Uint32(buf[off : off+4]))
+		sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		if length == 0 || length > maxRecord {
+			return recs, 0, CorruptError{File: walName, Offset: base + off, Reason: fmt.Sprintf("implausible record length %d", length)}
+		}
+		end := off + 8 + length
+		if end > n {
+			// The record claims more bytes than the file holds — the torn
+			// tail of a killed write.
+			return recs, base + off, TornTailError{File: walName, Offset: base + off}
+		}
+		payload := buf[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == n {
+				// The final record's bytes are all present but the content
+				// is short-changed — a tear inside the last write (e.g. a
+				// page that never hit the platter). Same recovery: truncate.
+				return recs, base + off, TornTailError{File: walName, Offset: base + off}
+			}
+			return recs, 0, CorruptError{File: walName, Offset: base + off, Reason: "CRC mismatch"}
+		}
+		recs = append(recs, walRecord{typ: payload[0], body: payload[1:], offset: base + off})
+		off = end
+	}
+	return recs, 0, nil
+}
+
+// decodeBody gob-decodes a record body into v.
+func decodeBody(r walRecord, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(r.body)).Decode(v); err != nil {
+		return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("record type %d undecodable: %v", r.typ, err)}
+	}
+	return nil
+}

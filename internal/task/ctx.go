@@ -22,6 +22,12 @@ func (c *Ctx) ID() uint64 { return c.task.id }
 // received).
 func (c *Ctx) Data() []mergeable.Mergeable { return c.task.data }
 
+// Path returns the calling task's stable identity: the chain of
+// per-parent creation sequence numbers from the root (e.g. "r/0/2").
+// Unlike ID, the path is identical across runs of the same program, which
+// is what merge scripts and the journal key their records by.
+func (c *Ctx) Path() string { return c.task.path() }
+
 // Aborted reports whether the parent marked this task externally aborted.
 // Long computations without Sync points can poll it to unwind early.
 func (c *Ctx) Aborted() bool { return c.task.abortFlag.Load() }

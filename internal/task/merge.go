@@ -160,6 +160,16 @@ func (t *Task) awaitAny(set map[*Task]bool) *Task {
 // child's own error or a condition rejection. Externally aborted children
 // merge silently.
 func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
+	if t.parent == nil && t.runtime.onRootMerge != nil {
+		// Root-merge observation for the journal's checkpoint cadence: the
+		// hook runs on the root goroutine once this merge has fully landed
+		// (including the resume handshake of a synced child), so it may
+		// read the root structures without racing anything.
+		defer func() {
+			t.runtime.rootMerges++
+			t.runtime.onRootMerge(t.data, t.runtime.rootMerges)
+		}()
+	}
 	ph := phase(c.phase.Load())
 	aborted := c.abortFlag.Load()
 	failed := ph == phaseCompleted && c.err != nil

@@ -1,7 +1,10 @@
 package task
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/mergeable"
@@ -20,10 +23,18 @@ import (
 // Children are identified by their creation path (per-parent creation
 // sequence numbers from the root), which is stable across runs of the
 // same program; task IDs are not.
+//
+// A script is safe for concurrent use: pooled and fan-out-heavy programs
+// reach record/next from the merge paths of many tasks at once.
 type MergeScript struct {
 	mu      sync.Mutex
 	picks   map[string][]uint64 // parent path -> child seqs in pick order
 	cursors map[string]int      // replay progress per parent path
+	// sink, when set, observes every recorded pick as it commits — the
+	// journal's streaming write-ahead hook. It is invoked under mu, so
+	// per-path pick order in the sink matches script order exactly; the
+	// sink must not call back into the script.
+	sink func(path string, childSeq uint64)
 }
 
 // NewMergeScript returns an empty script for RunRecording to fill.
@@ -42,11 +53,88 @@ func (s *MergeScript) Len() int {
 	return n
 }
 
+// SetSink installs a streaming observer invoked for every pick as it is
+// recorded (see the field comment). Passing nil removes the sink. Install
+// it before the run starts; swapping sinks mid-run is not supported.
+func (s *MergeScript) SetSink(sink func(path string, childSeq uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
+// Append records a pick from outside a run — journal recovery uses it to
+// rebuild a script from durable pick records. The sink is not invoked.
+func (s *MergeScript) Append(path string, childSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.picks == nil {
+		s.picks = make(map[string][]uint64)
+	}
+	s.picks[path] = append(s.picks[path], childSeq)
+}
+
+// Picks returns a deep copy of the recorded picks, keyed by parent path.
+func (s *MergeScript) Picks() map[string][]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]uint64, len(s.picks))
+	for path, seqs := range s.picks {
+		out[path] = append([]uint64(nil), seqs...)
+	}
+	return out
+}
+
+// pathPicks is the stable on-disk form of one parent's picks.
+type pathPicks struct {
+	Path string
+	Seqs []uint64
+}
+
+// Snapshot returns a self-contained, deterministic encoding of the
+// recorded picks: the same picks always produce the same bytes (paths are
+// sorted), so snapshots embedded in journal checkpoints are comparable.
+// Replay cursors are not part of the snapshot.
+func (s *MergeScript) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flat := make([]pathPicks, 0, len(s.picks))
+	for path, seqs := range s.picks {
+		flat = append(flat, pathPicks{Path: path, Seqs: append([]uint64(nil), seqs...)})
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].Path < flat[j].Path })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		// Encoding strings and uint64s into a bytes.Buffer cannot fail.
+		panic(fmt.Sprintf("task: MergeScript snapshot: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Restore replaces the script's contents with a Snapshot's, rewinding the
+// replay cursors.
+func (s *MergeScript) Restore(data []byte) error {
+	var flat []pathPicks
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&flat); err != nil {
+		return fmt.Errorf("task: restore merge script: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.picks = make(map[string][]uint64, len(flat))
+	for _, p := range flat {
+		s.picks[p.Path] = p.Seqs
+	}
+	s.cursors = nil
+	return nil
+}
+
 // record appends a pick made by the parent at path.
 func (s *MergeScript) record(path string, childSeq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.picks[path] = append(s.picks[path], childSeq)
+	if s.sink != nil {
+		s.sink(path, childSeq)
+	}
 }
 
 // next pops the parent's next scripted pick. ok is false when the script
@@ -93,6 +181,31 @@ func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) err
 func RunReplaying(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
 	script.resetCursors()
 	rt := &treeRuntime{replay: script}
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
+	root.run()
+	return root.err
+}
+
+// RootMergeHook observes the root task's data after each of its merges.
+// It is invoked on the root goroutine — the only mutator of the root
+// structures — with the merge's ordinal (1-based, deterministic under
+// replay), so implementations may read the structures freely but must not
+// retain references past the call. The journal's checkpoint writer is the
+// intended implementation.
+type RootMergeHook func(data []mergeable.Mergeable, rootMerges int)
+
+// RunRecoverable is the journal's entry point: Run with the full recovery
+// hook set. replay, when non-nil, forces the recorded picks (as in
+// RunReplaying, including the live fallback once a path's picks are
+// exhausted); record, when non-nil, captures every pick — replayed or
+// fresh — firing its streaming sink (so a resumed run keeps journaling
+// where the crashed one stopped); hook, when non-nil, observes the root's
+// data after every root-level merge (the checkpoint cadence).
+func RunRecoverable(replay, record *MergeScript, hook RootMergeHook, fn Func, data ...mergeable.Mergeable) error {
+	if replay != nil {
+		replay.resetCursors()
+	}
+	rt := &treeRuntime{replay: replay, record: record, onRootMerge: hook}
 	root := newTask(nil, fn, data, nil, nil, nil, rt)
 	root.run()
 	return root.err

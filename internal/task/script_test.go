@@ -1,0 +1,160 @@
+package task
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mergeable"
+)
+
+// TestMergeScriptSnapshotRestoreRoundTrip: Snapshot's bytes are
+// deterministic and Restore rebuilds the identical pick table with the
+// cursors rewound.
+func TestMergeScriptSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewMergeScript()
+	s.Append("r", 2)
+	s.Append("r", 0)
+	s.Append("r/1", 5)
+	s.Append("r/0/3", 1)
+
+	snap := s.Snapshot()
+	if !bytes.Equal(snap, s.Snapshot()) {
+		t.Fatal("two snapshots of the same script differ")
+	}
+
+	// Same picks inserted in a different order must serialize identically.
+	s2 := NewMergeScript()
+	s2.Append("r/0/3", 1)
+	s2.Append("r/1", 5)
+	s2.Append("r", 2)
+	s2.Append("r", 0)
+	if !bytes.Equal(snap, s2.Snapshot()) {
+		t.Fatal("snapshot bytes depend on path insertion order")
+	}
+
+	restored := NewMergeScript()
+	// Burn a cursor so Restore's rewind is observable.
+	restored.Append("r", 9)
+	restored.next("r")
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Picks(), s.Picks(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored picks %v, want %v", got, want)
+	}
+	if seq, ok := restored.next("r"); !ok || seq != 2 {
+		t.Fatalf("first pick after restore = %d,%v, want 2,true (cursors not rewound)", seq, ok)
+	}
+	if err := restored.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+// TestMergeScriptSinkStreamsInScriptOrder: the sink observes every pick,
+// under the script's lock, in exactly the order the script commits them.
+func TestMergeScriptSinkStreamsInScriptOrder(t *testing.T) {
+	s := NewMergeScript()
+	type pick struct {
+		path string
+		seq  uint64
+	}
+	var got []pick
+	s.SetSink(func(path string, seq uint64) { got = append(got, pick{path, seq}) })
+
+	c := mergeable.NewCounter(0)
+	err := RunRecording(s, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 4; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Counter).Inc()
+				return nil
+			}, data[0])
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("sink observed %d picks, script recorded %d", len(got), s.Len())
+	}
+	want := s.Picks()["r"]
+	for i, p := range got {
+		if p.path != "r" || p.seq != want[i] {
+			t.Fatalf("sink pick %d = %v, script has seq %d at that position", i, p, want[i])
+		}
+	}
+}
+
+// TestMergeScriptConcurrentUse hammers record/next/Append/Snapshot/Picks
+// from many goroutines — the race detector is the assertion.
+func TestMergeScriptConcurrentUse(t *testing.T) {
+	s := NewMergeScript()
+	s.SetSink(func(string, uint64) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			path := []string{"r", "r/0", "r/1", "r/2"}[g%4]
+			for i := 0; i < 200; i++ {
+				switch g % 4 {
+				case 0:
+					s.record(path, uint64(i))
+				case 1:
+					s.Append(path, uint64(i))
+				case 2:
+					s.next(path)
+					s.Len()
+				default:
+					s.Snapshot()
+					s.Picks()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := NewMergeScript().Restore(s.Snapshot()); err != nil {
+		t.Fatalf("snapshot taken under contention does not restore: %v", err)
+	}
+}
+
+// TestRunRecoverableRootMergeHook: the hook fires once per root merge, on
+// ascending 1-based ordinals, with the root's live structures.
+func TestRunRecoverableRootMergeHook(t *testing.T) {
+	var ordinals []int
+	var values []int64
+	hook := func(data []mergeable.Mergeable, n int) {
+		ordinals = append(ordinals, n)
+		values = append(values, data[0].(*mergeable.Counter).Value())
+	}
+	c := mergeable.NewCounter(0)
+	err := RunRecoverable(nil, NewMergeScript(), hook, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 3; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Counter).Inc()
+				return nil
+			}, data[0])
+			if err := ctx.MergeAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ordinals, []int{1, 2, 3}) {
+		t.Fatalf("hook ordinals = %v, want [1 2 3]", ordinals)
+	}
+	if !reflect.DeepEqual(values, []int64{1, 2, 3}) {
+		t.Fatalf("hook observed counter values %v, want [1 2 3] (post-merge state)", values)
+	}
+}

@@ -115,6 +115,11 @@ type treeRuntime struct {
 	// randSeed is the base seed for the task-local deterministic random
 	// sources (see Ctx.Rand / Ctx.SeedRand).
 	randSeed uint64
+	// onRootMerge, when non-nil, observes the root's data after each of
+	// the root task's merges (see RootMergeHook). rootMerges counts them;
+	// both are touched only on the root goroutine.
+	onRootMerge RootMergeHook
+	rootMerges  int
 	// jitter, when non-nil, is invoked at every blocking point of the
 	// merge protocol — a test hook that perturbs schedules to widen
 	// interleaving coverage without touching results.

@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/journal"
+)
+
+func init() {
+	dist.RegisterListCodec[string]("facade-journal-list-string")
+}
+
+// journalWorkload appends three child words via MergeAny — enough
+// non-determinism to give the journal picks to record.
+func journalWorkload(ctx *Ctx, data []Mergeable) error {
+	for _, w := range []string{"crash", "consistent", "journal"} {
+		w := w
+		ctx.Spawn(func(_ *Ctx, d []Mergeable) error {
+			d[0].(*List[string]).Append(w)
+			return nil
+		}, data[0])
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.MergeAny(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestRunJournaledAndResume exercises the public crash-recovery API end
+// to end: a journaled run completes, and Resume over the sealed journal
+// reproduces the exact final structures.
+func TestRunJournaledAndResume(t *testing.T) {
+	dir := t.TempDir()
+	list := NewList[string]()
+	if err := RunJournaled(dir, journalWorkload, list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 3 {
+		t.Fatalf("journaled run produced %d words, want 3", list.Len())
+	}
+
+	out, err := Resume(dir, journalWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0].(*List[string]).Values()
+	want := list.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed list %v, want %v", got, want)
+		}
+	}
+
+	// A second journaled run over the same directory must refuse.
+	if err := RunJournaled(dir, journalWorkload, NewList[string]()); err == nil {
+		t.Fatal("RunJournaled over an existing journal succeeded")
+	}
+	// Resuming an empty directory reports ErrNoJournaledRun.
+	if _, err := Resume(t.TempDir(), journalWorkload); !errors.Is(err, ErrNoJournaledRun) {
+		t.Fatalf("Resume(empty) = %v, want ErrNoJournaledRun", err)
+	}
+}
+
+// TestJournalSentinelsAlias pins the facade re-exports to the internal
+// sentinels so errors.Is works across the boundary.
+func TestJournalSentinelsAlias(t *testing.T) {
+	if !errors.Is(journal.ErrCorrupt, ErrJournalCorrupt) ||
+		!errors.Is(journal.ErrTornTail, ErrJournalTornTail) ||
+		!errors.Is(journal.ErrNoRun, ErrNoJournaledRun) ||
+		!errors.Is(journal.ErrDiverged, ErrJournalDiverged) {
+		t.Fatal("facade journal sentinels do not alias the internal ones")
+	}
+}

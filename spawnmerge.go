@@ -43,6 +43,8 @@
 package repro
 
 import (
+	"repro/internal/dist"
+	"repro/internal/journal"
 	"repro/internal/mergeable"
 	"repro/internal/task"
 )
@@ -150,6 +152,59 @@ func RunReplaying(script *MergeScript, fn Func, data ...Mergeable) error {
 
 // WithCondition attaches a post-condition to a merge call.
 func WithCondition(cond Condition) MergeOption { return task.WithCondition(cond) }
+
+// Journal sentinel errors, re-exported from internal/journal. Classify
+// with errors.Is.
+var (
+	// ErrJournalCorrupt reports journal damage recovery cannot repair
+	// (mid-file CRC mismatch, undecodable record, inconsistent
+	// checkpoint). A corrupt journal must not be resumed.
+	ErrJournalCorrupt = journal.ErrCorrupt
+	// ErrJournalTornTail reports an incomplete final WAL record — the
+	// benign signature of a killed process. Resume truncates it and
+	// recovers everything before it.
+	ErrJournalTornTail = journal.ErrTornTail
+	// ErrNoJournaledRun reports a directory with nothing to resume: no
+	// journal, or one that died before the inputs became durable. Start
+	// the run from scratch with RunJournaled.
+	ErrNoJournaledRun = journal.ErrNoRun
+	// ErrJournalDiverged reports that a resumed run did not retrace the
+	// journaled one — the program changed, or it harbors non-determinism
+	// the merge script does not capture.
+	ErrJournalDiverged = journal.ErrDiverged
+)
+
+// journalOptions wires the journal to the dist codec registry: durable
+// snapshots use the same per-structure codecs as the cluster wire format.
+func journalOptions() journal.Options {
+	return journal.Options{Encode: dist.EncodeSnapshot, Decode: dist.DecodeSnapshot}
+}
+
+// RunJournaled is Run with crash recovery: the initial snapshots of data
+// are made durable in dir before fn starts, every committed MergeAny /
+// MergeAnyFromSet pick is written ahead of its merge, and checkpoints of
+// the root structures land periodically. If the process dies — kill -9
+// included — Resume(dir, fn) reproduces the interrupted run exactly and
+// carries it to completion.
+//
+// Every structure in data needs a registered dist codec (for example
+// dist.RegisterListCodec); built-ins Counter and Text are pre-registered.
+// dir must not already contain a journal.
+func RunJournaled(dir string, fn Func, data ...Mergeable) error {
+	return journal.Run(dir, journalOptions(), fn, data...)
+}
+
+// Resume recovers the journaled run in dir and re-executes fn over the
+// recovered inputs with the journaled picks forced, returning the final
+// structures (in the order they were passed to RunJournaled). The
+// replayed prefix is bit-identical to the interrupted run — checkpoint
+// fingerprints are verified along the way — and execution continues live
+// past the crash point, still journaled, so an interrupted Resume is
+// itself resumable. Resuming a journal whose run already completed
+// replays and verifies it, returning the same final state.
+func Resume(dir string, fn Func) ([]Mergeable, error) {
+	return journal.Resume(dir, journalOptions(), fn)
+}
 
 // NewList returns a mergeable list holding vals.
 func NewList[T any](vals ...T) *List[T] { return mergeable.NewList(vals...) }
