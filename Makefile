@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figure3 figure3-full soak soak-kill fuzz examples
+.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill fuzz fuzz-ot examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -39,10 +39,20 @@ soak:
 soak-kill:
 	$(GO) run ./cmd/soak -kill -duration 30s
 
+# Span-tree determinism soak: traced random probes must produce
+# bit-identical span trees and counter sets across GOMAXPROCS 1/4.
+soak-trace:
+	$(GO) run ./cmd/soak -trace -duration 30s
+
 # Journal recovery fuzzing (arbitrary WAL bytes must never panic and
 # must classify as corrupt / torn-tail / no-run).
 fuzz:
 	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzJournalRecover -fuzztime 30s -fuzzminimizetime 10x
+
+# OT invariant fuzzing: machine-generated concurrent histories must
+# satisfy TP1, transform-path agreement and compaction soundness.
+fuzz-ot:
+	$(GO) test ./internal/ot -run '^$$' -fuzz FuzzListTransform -fuzztime 30s -fuzzminimizetime 10x
 
 examples:
 	for ex in quickstart server simulation collabtext semaphore distributed bank pipeline stencil; do \

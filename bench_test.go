@@ -236,6 +236,70 @@ func BenchmarkSpawnMergeRoundtrip(b *testing.B) {
 	}
 }
 
+// spawnMergeRoundtripBody is the minimal spawn/merge unit of work shared
+// by the roundtrip benchmark and the tracing-overhead guards, run through
+// an arbitrary runner so the same workload prices Run, RunWith and
+// RunObserved against each other.
+func spawnMergeRoundtripBody(b *testing.B, run func(fn Func, data ...Mergeable) error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := NewList(1, 2, 3)
+		err := run(func(ctx *Ctx, d []Mergeable) error {
+			ctx.Spawn(func(ctx *Ctx, d []Mergeable) error {
+				d[0].(*List[int]).Append(4)
+				return nil
+			}, d[0])
+			return ctx.MergeAll()
+		}, l)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnMergeTraceOff runs the roundtrip workload through the
+// observability-capable runner with tracing disabled. Its allocs/op must
+// equal BenchmarkSpawnMergeRoundtrip's — the disabled tracer may cost
+// nothing on the hot path. TestTraceOffAddsNoAllocations enforces that
+// equality; this benchmark keeps the number visible in `go test -bench`
+// output and in cmd/bench's trajectory JSON.
+func BenchmarkSpawnMergeTraceOff(b *testing.B) {
+	spawnMergeRoundtripBody(b, func(fn Func, data ...Mergeable) error {
+		return RunWith(RunConfig{}, fn, data...)
+	})
+}
+
+// BenchmarkSpawnMergeTraceOn prices the enabled tracer on the same
+// workload, so the cost of turning observability on is a published number
+// rather than folklore.
+func BenchmarkSpawnMergeTraceOn(b *testing.B) {
+	tr := NewTracer()
+	spawnMergeRoundtripBody(b, func(fn Func, data ...Mergeable) error {
+		return RunObserved(tr, fn, data...)
+	})
+}
+
+// TestTraceOffAddsNoAllocations is the zero-overhead guard: the
+// spawn/merge hot path with a nil tracer must allocate exactly as much as
+// the plain runner — zero extra allocs/op.
+func TestTraceOffAddsNoAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs unhurried runs")
+	}
+	measure := func(run func(fn Func, data ...Mergeable) error) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			spawnMergeRoundtripBody(b, run)
+		}).AllocsPerOp()
+	}
+	plain := measure(Run)
+	traceOff := measure(func(fn Func, data ...Mergeable) error {
+		return RunWith(RunConfig{}, fn, data...)
+	})
+	if traceOff > plain {
+		t.Fatalf("disabled tracing costs %d allocs/op over the plain runner's %d", traceOff-plain, plain)
+	}
+}
+
 // BenchmarkSyncRoundtrip measures one Sync cycle — the per-simulation-
 // round cost each host pays in Listing 4.
 func BenchmarkSyncRoundtrip(b *testing.B) {

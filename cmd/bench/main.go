@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -45,7 +46,12 @@ var baselines = map[string]baseline{
 	"spawn_copy_overhead":              {NsPerOp: 119131, AllocsPerOp: 1406},
 	"merge_many_structs_64x100_serial": {NsPerOp: 48263501, AllocsPerOp: 220458},
 	"spawn_merge_roundtrip":            {NsPerOp: 3175, AllocsPerOp: 39},
-	"queue_push_pop":                   {NsPerOp: 243, AllocsPerOp: 4},
+	// Same workload as spawn_merge_roundtrip, run through the hook-bearing
+	// RunWith entry point with tracing disabled. The baseline is the
+	// roundtrip's own: the observability layer must be free when off
+	// (BenchmarkSpawnMergeTraceOff guards allocs/op exactly).
+	"spawn_merge_trace_off": {NsPerOp: 3175, AllocsPerOp: 39},
+	"queue_push_pop":        {NsPerOp: 243, AllocsPerOp: 4},
 }
 
 type baseline struct {
@@ -136,6 +142,25 @@ func families() []family {
 				}
 			}
 		}},
+		// BenchmarkSpawnMergeTraceOff: the roundtrip through RunWith with
+		// every hook nil — the zero-cost-when-disabled guard's workload.
+		{"spawn_merge_trace_off", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := mergeable.NewList(1, 2, 3)
+				err := task.RunWith(task.RunConfig{}, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+					ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+						d[0].(*mergeable.List[int]).Append(5)
+						return nil
+					}, d[0])
+					d[0].(*mergeable.List[int]).Append(4)
+					return ctx.MergeAll()
+				}, l)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		// BenchmarkMergeableQueue/push-pop: raw structure op cost.
 		{"queue_push_pop", func(b *testing.B) {
 			b.ReportAllocs()
@@ -214,9 +239,53 @@ func mergeManyStructs(b *testing.B, structs, ops int) {
 	}
 }
 
+// spanDump runs a fixed deterministic workload traced, diffs its span
+// tree against an existing dump at path (a prior commit's run — any
+// divergence localizes a behavior change to the exact merge), then
+// rewrites path with the current tree as JSON.
+func spanDump(path string) error {
+	tr := obs.New()
+	data := []mergeable.Mergeable{mergeable.NewList(0), mergeable.NewCounter(0)}
+	err := task.RunObserved(tr, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+		for i := 0; i < 8; i++ {
+			i := i
+			ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+				d[0].(*mergeable.List[int]).Append(i)
+				d[1].(*mergeable.Counter).Add(int64(i))
+				return nil
+			}, d...)
+		}
+		return ctx.MergeAll()
+	}, data...)
+	if err != nil {
+		return fmt.Errorf("spandump workload: %w", err)
+	}
+	tree := tr.Tree()
+	if old, err := os.ReadFile(path); err == nil {
+		var prev obs.Tree
+		if err := json.Unmarshal(old, &prev); err != nil {
+			return fmt.Errorf("spandump: parse existing %s: %w", path, err)
+		}
+		if diffs := obs.Diff(&prev, tree); len(diffs) > 0 {
+			fmt.Printf("span tree diverges from %s:\n", path)
+			for _, d := range diffs {
+				fmt.Println("  " + d)
+			}
+		} else {
+			fmt.Printf("span tree matches %s (fingerprint %016x)\n", path, tree.Fingerprint())
+		}
+	}
+	buf, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: one short round per family")
 	out := flag.String("out", "BENCH_PR2.json", "trajectory file to write")
+	spandump := flag.String("spandump", "", "write (and diff against) a reference span-tree JSON dump at this path")
 	testing.Init()
 	flag.Parse()
 
@@ -225,6 +294,14 @@ func main() {
 		data[0].(*mergeable.List[int]).Append(1)
 		return nil
 	})
+
+	if *spandump != "" {
+		if err := spanDump(*spandump); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote span tree to %s\n", *spandump)
+	}
 
 	benchtime, rounds := "300ms", 5
 	if *quick {

@@ -36,8 +36,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"runtime"
 	"time"
 
 	"repro"
@@ -46,6 +49,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/mergeable"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/task"
 )
@@ -299,7 +303,10 @@ func killSoak(duration time.Duration, baseSeed int64) {
 // taskProbe builds a random-shaped task tree from seed and returns its
 // result fingerprint. The shape and every operation derive from the seed,
 // so two executions must agree.
-func taskProbe(seed int64) uint64 {
+func taskProbe(seed int64) uint64 { return taskProbeWith(seed, nil) }
+
+// taskProbeWith is taskProbe with optional span tracing (tr may be nil).
+func taskProbeWith(seed int64, tr *repro.Tracer) uint64 {
 	list := repro.NewList(0)
 	text := repro.NewText("s")
 	counter := repro.NewCounter(0)
@@ -338,13 +345,64 @@ func taskProbe(seed int64) uint64 {
 			return nil
 		}
 	}
-	if err := repro.Run(body(seed, 3), list, text, counter); err != nil {
+	if err := repro.RunObserved(tr, body(seed, 3), list, text, counter); err != nil {
 		log.Fatalf("seed %d: task probe failed: %v", seed, err)
 	}
 	h := list.Fingerprint()
 	h ^= text.Fingerprint() * 1099511628211
 	h ^= counter.Fingerprint() * 16777619
 	return h
+}
+
+// traceSoak probes the observability layer's determinism claim: the
+// traced task probe is run at GOMAXPROCS 1 and 4 and the two span trees
+// must be bit-identical (fingerprints and exported counter sets), only
+// durations differing. A violation prints the span-tree diff — the exact
+// merge where the runs forked — and the reproducing seed.
+func traceSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistry, dumpPath string) {
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+	probes := 0
+	var lastTree *repro.SpanTree
+	for probes == 0 || time.Now().Before(deadline) {
+		s := r.Int63()
+		var trees []*repro.SpanTree
+		var counts []string
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			tr := repro.NewTracer()
+			taskProbeWith(s, tr)
+			runtime.GOMAXPROCS(prev)
+			trees = append(trees, tr.Tree())
+			counts = append(counts, tr.Counters().String())
+			if reg != nil {
+				reg.AddTracer("runtime", tr)
+			}
+		}
+		if trees[0].Fingerprint() != trees[1].Fingerprint() || counts[0] != counts[1] {
+			fmt.Printf("SPAN-TREE VIOLATION: seed %d: traced runs differ across GOMAXPROCS 1/4\n", s)
+			for _, d := range obs.Diff(trees[0], trees[1]) {
+				fmt.Println("  " + d)
+			}
+			if counts[0] != counts[1] {
+				fmt.Printf("  counters at procs=1: %s\n  counters at procs=4: %s\n", counts[0], counts[1])
+			}
+			os.Exit(1)
+		}
+		lastTree = trees[1]
+		probes++
+	}
+	fmt.Printf("clean: %d traced probes, span trees bit-identical across GOMAXPROCS 1/4 (last fingerprint %016x)\n",
+		probes, lastTree.Fingerprint())
+	if dumpPath != "" {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			log.Fatalf("span dump: %v", err)
+		}
+		lastTree.Render(f, false)
+		f.Close()
+		fmt.Printf("span tree written to %s\n", dumpPath)
+	}
 }
 
 // simProbe runs one random simulation config on a random engine,
@@ -385,12 +443,26 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
 	chaos := flag.Bool("chaos", false, "soak the distributed runtime under fault injection instead")
 	kill := flag.Bool("kill", false, "soak crash recovery: SIGKILL and resume journaled workers in a loop")
+	trace := flag.Bool("trace", false, "soak the span tracer: traced probes must be bit-identical across GOMAXPROCS 1/4")
+	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
+	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
 	flag.Parse()
 
 	if *killChildDir != "" {
 		killChild(*killChildDir)
 		return
+	}
+	var reg *repro.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = repro.NewMetricsRegistry()
+		reg.Publish("spawnmerge")
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		go http.Serve(ln, reg.Handler("spawnmerge"))
+		fmt.Printf("metrics on http://%s/metrics and /debug/vars\n", ln.Addr())
 	}
 	fmt.Printf("soaking for %v (base seed %d)\n", *duration, *seed)
 	if *chaos {
@@ -401,13 +473,24 @@ func main() {
 		killSoak(*duration, *seed)
 		return
 	}
+	if *trace {
+		traceSoak(*duration, *seed, reg, *spandump)
+		return
+	}
+	var agg *repro.Tracer
+	if reg != nil {
+		// One cumulative tracer across every probe feeds the live metrics
+		// endpoint (latency histograms and span counters).
+		agg = repro.NewTracer()
+		reg.AddTracer("runtime", agg)
+	}
 	r := rand.New(rand.NewSource(*seed))
 	deadline := time.Now().Add(*duration)
 	taskProbes, simProbes := 0, 0
 
 	for time.Now().Before(deadline) {
 		s := r.Int63()
-		want := taskProbe(s)
+		want := taskProbeWith(s, agg)
 		for i := 0; i < 3; i++ {
 			if got := taskProbe(s); got != want {
 				fmt.Printf("DETERMINISM VIOLATION: task probe seed %d: %x != %x\n", s, got, want)

@@ -9,7 +9,14 @@
 // Networking runs over an in-memory transport (internal/memnet) so the
 // example is hermetic; the task structure is identical to real TCP.
 //
+// With -metrics the server also exposes the runtime's observability
+// endpoints over real HTTP — /debug/vars (expvar JSON) and /metrics
+// (Prometheus text format) — fed by a span tracer on the whole task tree;
+// -linger keeps the process (and the endpoints) up after the workload
+// finishes, for interactive scraping.
+//
 //	go run ./examples/server [-clients 4] [-requests 3]
+//	go run ./examples/server -metrics 127.0.0.1:8321 -linger 60s
 package main
 
 import (
@@ -19,8 +26,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/memnet"
@@ -94,7 +103,23 @@ func handle(store *repro.Map[string, string], req string) string {
 func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	requests := flag.Int("requests", 3, "SET requests per client")
+	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address")
+	linger := flag.Duration("linger", 0, "keep the process (and metrics endpoints) alive this long after the workload")
 	flag.Parse()
+
+	var tracer *repro.Tracer
+	if *metricsAddr != "" {
+		tracer = repro.NewTracer()
+		reg := repro.NewMetricsRegistry()
+		reg.AddTracer("server", tracer)
+		reg.Publish("spawnmerge")
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		go http.Serve(ln, reg.Handler("spawnmerge"))
+		fmt.Printf("metrics on http://%s/metrics and /debug/vars\n", ln.Addr())
+	}
 
 	listener := memnet.Listen(*clients)
 	store := repro.NewMap[string, string]()
@@ -130,7 +155,7 @@ func main() {
 		listener.Close() // all clients done: stop accepting
 	}()
 
-	err := repro.Run(func(ctx *repro.Ctx, data []repro.Mergeable) error {
+	err := repro.RunObserved(tracer, func(ctx *repro.Ctx, data []repro.Mergeable) error {
 		ctx.Spawn(accept(listener), data...)
 		for {
 			if _, err := ctx.MergeAny(); err != nil {
@@ -149,5 +174,12 @@ func main() {
 	for _, k := range store.Keys() {
 		v, _ := store.Get(k)
 		fmt.Printf("  %s = %s\n", k, v)
+	}
+	if tracer != nil {
+		fmt.Printf("spans recorded: %d\n", tracer.SpanCount())
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %v for scrapes...\n", *linger)
+		time.Sleep(*linger)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/memnet"
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/task"
 )
@@ -80,6 +81,10 @@ type Options struct {
 	// Journal, when non-nil, records and replays failover routing (see
 	// RouteJournal). Nil disables coordinator journaling.
 	Journal RouteJournal
+	// Obs, when non-nil, receives RPC spans (rpc.send, rpc.recv,
+	// failover) on each proxy task's track, alongside whatever the task
+	// runtime itself records. Nil — the default — costs nothing.
+	Obs *obs.Tracer
 }
 
 // normalized resolves defaults; negative durations collapse to zero,
@@ -390,6 +395,9 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 				return fmt.Errorf("dist: no healthy node for failover: %w", err)
 			}
 			c.counters.Inc("failover")
+			if tr := c.opts.Obs; tr != nil {
+				tr.Emit(ctx.Path(), obs.KindFailover, fmt.Sprintf("%d->%d", target, next), -1, 0, 0)
+			}
 			target = next
 			if j := c.opts.Journal; j != nil {
 				j.RecordRoute(ctx.Path(), target)
@@ -403,6 +411,11 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 // any remote operations have been merged into the coordinator's state —
 // the point past which failover is no longer sound.
 func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snapshot, copies []mergeable.Mergeable, progressed *bool) error {
+	tr := c.opts.Obs
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	conn, err := c.dialNode(c.nodes[node])
 	if err != nil {
 		return transportError{node: node, err: err}
@@ -412,6 +425,10 @@ func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snap
 	if err := p.send(envelope{Kind: kindSpawn, Fn: fnName, Snapshots: snaps}); err != nil {
 		return transportError{node: node, err: fmt.Errorf("spawn send: %w", err)}
 	}
+	if tr != nil {
+		// Dial plus snapshot shipping: the distributed spawn's constant cost.
+		tr.Emit(ctx.Path(), obs.KindSend, fmt.Sprintf("spawn@%d", node), -1, int64(len(snaps)), time.Since(start))
+	}
 	return c.proxyLoop(ctx, node, p, copies, progressed)
 }
 
@@ -419,10 +436,29 @@ func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snap
 // operations are re-issued as the proxy's own, remote syncs become local
 // syncs, remote completion completes the proxy.
 func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable.Mergeable, progressed *bool) error {
+	tr := c.opts.Obs
+	var track string
+	if tr != nil {
+		track = ctx.Path()
+	}
 	for {
+		var recvStart time.Time
+		if tr != nil {
+			recvStart = time.Now()
+		}
 		msg, err := p.recv()
 		if err != nil {
 			return transportError{node: node, err: fmt.Errorf("proxy recv: %w", err)}
+		}
+		if tr != nil {
+			name := "sync"
+			if msg.Kind == kindDone {
+				name = "done"
+			}
+			// The duration covers the wait for the remote task's compute —
+			// rpc.recv latency is where a distributed run's time actually
+			// goes, which is exactly what the histogram should show.
+			tr.Emit(track, obs.KindRecv, fmt.Sprintf("%s@%d", name, node), -1, countOps(msg.Ops), time.Since(recvStart))
 		}
 		switch msg.Kind {
 		case kindSync:
@@ -451,8 +487,15 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable
 				return err
 			}
 			reply.Snapshots = snaps
+			var sendStart time.Time
+			if tr != nil {
+				sendStart = time.Now()
+			}
 			if err := p.send(reply); err != nil {
 				return transportError{node: node, err: fmt.Errorf("proxy reply: %w", err)}
+			}
+			if tr != nil {
+				tr.Emit(track, obs.KindSend, fmt.Sprintf("reply@%d", node), -1, int64(len(reply.Snapshots)), time.Since(sendStart))
 			}
 		case kindDone:
 			if msg.Err != "" {
@@ -486,6 +529,16 @@ func encodeSnapshots(data []mergeable.Mergeable) ([]snapshot, error) {
 		snaps[i] = snapshot{Codec: codec.Name(), Data: b}
 	}
 	return snaps, nil
+}
+
+// countOps totals the operations in a relayed message, for span op
+// counts.
+func countOps(ops []opsOf) int64 {
+	var n int64
+	for _, o := range ops {
+		n += int64(len(o.Ops))
+	}
+	return n
 }
 
 func replayOps(copies []mergeable.Mergeable, ops []opsOf) error {

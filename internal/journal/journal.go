@@ -32,8 +32,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/task"
 )
@@ -63,6 +65,11 @@ type Options struct {
 	// journal opens (the WAL and each checkpoint tmp file). Crash
 	// harnesses pass (*CrashWriter).Wrap; production passes nothing.
 	WrapWriter func(io.Writer) io.Writer
+
+	// Obs, when non-nil, receives WAL spans (wal.append, checkpoint,
+	// replay) and is also handed to the task runtime, so a journaled run
+	// gets the full span tree. Nil — the default — costs nothing.
+	Obs *obs.Tracer
 }
 
 func (o Options) normalized() (Options, error) {
@@ -416,13 +423,21 @@ func (j *Journal) appendLocked(typ byte, body any) error {
 // writeInputs journals the run's initial snapshots. Run calls it before
 // executing any user code.
 func (j *Journal) writeInputs(data []mergeable.Mergeable) error {
+	var start time.Time
+	if j.opts.Obs != nil {
+		start = time.Now()
+	}
 	snaps, err := j.encodeAll(data)
 	if err != nil {
 		return err
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.appendLocked(recInputs, inputsRec{Snaps: snaps})
+	err = j.appendLocked(recInputs, inputsRec{Snaps: snaps})
+	j.mu.Unlock()
+	if err == nil && j.opts.Obs != nil {
+		j.opts.Obs.Emit("journal", obs.KindAppend, "inputs", -1, int64(len(snaps)), time.Since(start))
+	}
+	return err
 }
 
 func (j *Journal) encodeAll(data []mergeable.Mergeable) ([]NamedSnapshot, error) {
@@ -461,6 +476,15 @@ func (j *Journal) decodeInputs() ([]mergeable.Mergeable, error) {
 // — per-path order is deterministic under replay, so position k in the
 // resumed run must equal position k in the WAL.
 func (j *Journal) pickSink(path string, seq uint64) {
+	// Pick spans live on per-path tracks ("wal/<parent path>"): the global
+	// WAL append order interleaves scheduling-dependently across parents,
+	// but each parent's own pick sequence is deterministic under replay —
+	// exactly the track discipline package obs requires.
+	tr := j.opts.Obs
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.rec != nil {
@@ -470,11 +494,17 @@ func (j *Journal) pickSink(path string, seq uint64) {
 				j.diverged = DivergedError{Detail: fmt.Sprintf("pick %d for %s: journal has child seq %d, resumed run chose %d", i, path, want, seq)}
 			}
 			j.counters.Inc("pick_replayed")
+			if tr != nil {
+				tr.Emit("wal/"+path, obs.KindReplay, "pick", -1, int64(seq), time.Since(start))
+			}
 			return
 		}
 	}
 	if j.appendLocked(recPick, pickRec{Path: path, Seq: seq}) == nil {
 		j.counters.Inc("pick_recorded")
+		if tr != nil {
+			tr.Emit("wal/"+path, obs.KindAppend, "pick", -1, int64(seq), time.Since(start))
+		}
 	}
 }
 
@@ -490,6 +520,11 @@ func (j *Journal) RecordRoute(slot string, node int) {
 	j.routes[slot] = node
 	if j.appendLocked(recRoute, routeRec{Slot: slot, Node: node}) == nil {
 		j.counters.Inc("route_recorded")
+		if tr := j.opts.Obs; tr != nil {
+			// Per-slot track: the slot's proxy task is the single logical
+			// writer of its routing history.
+			tr.Emit("route/"+slot, obs.KindAppend, "route", -1, int64(node), 0)
+		}
 	}
 }
 
@@ -524,6 +559,11 @@ func (j *Journal) onRootMerge(data []mergeable.Mergeable, n int) {
 	if j.record != nil {
 		script = j.record.Snapshot()
 	}
+	tr := j.opts.Obs
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	fp := fingerprintAll(data)
 
 	j.mu.Lock()
@@ -531,8 +571,14 @@ func (j *Journal) onRootMerge(data []mergeable.Mergeable, n int) {
 	if want, ok := j.ckpts[n]; ok {
 		if want != fp && j.diverged == nil {
 			j.diverged = DivergedError{Detail: fmt.Sprintf("checkpoint %d: journal fingerprint %016x, resumed run at %016x", n, want, fp)}
+			if tr != nil {
+				tr.Emit("journal", obs.KindCheckpoint, fmt.Sprintf("ckpt %d diverged", n), -1, 0, time.Since(start))
+			}
 		} else if want == fp {
 			j.counters.Inc("checkpoint_verified")
+			if tr != nil {
+				tr.Emit("journal", obs.KindCheckpoint, fmt.Sprintf("ckpt %d verified", n), -1, 0, time.Since(start))
+			}
 		}
 		return
 	}
@@ -551,6 +597,9 @@ func (j *Journal) onRootMerge(data []mergeable.Mergeable, n int) {
 	j.ckpts[n] = fp
 	j.counters.Inc("checkpoint_written")
 	j.appendLocked(recCkpt, ckptRec{Index: n, Fingerprint: fp})
+	if tr != nil {
+		tr.Emit("journal", obs.KindCheckpoint, fmt.Sprintf("ckpt %d written", n), -1, int64(len(snaps)), time.Since(start))
+	}
 }
 
 // fingerprintAll folds the structures' fingerprints in data order.

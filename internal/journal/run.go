@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -55,13 +56,19 @@ func Resume(dir string, opts Options, fn task.Func) ([]mergeable.Mergeable, erro
 	return data, nil
 }
 
-// execute runs fn under RunRecoverable with the journal's hooks, then
-// seals or verifies the done record.
+// execute runs fn with the journal's full hook set (recovery picks,
+// streaming record sink, checkpoint cadence, span tracer), then seals or
+// verifies the done record.
 func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeable.Mergeable) error {
 	record := task.NewMergeScript()
 	record.SetSink(j.pickSink)
 	j.record = record
-	runErr := task.RunRecoverable(replay, record, j.onRootMerge, fn, data...)
+	runErr := task.RunWith(task.RunConfig{
+		Replay:      replay,
+		Record:      record,
+		OnRootMerge: j.onRootMerge,
+		Obs:         j.opts.Obs,
+	}, fn, data...)
 	if err := errors.Join(runErr, j.Err()); err != nil {
 		return err
 	}
@@ -71,11 +78,20 @@ func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeab
 			return DivergedError{Detail: fmt.Sprintf("final fingerprint %016x, journal sealed at %016x", fp, j.rec.Fingerprint)}
 		}
 		j.counters.Inc("done_verified")
+		if tr := j.opts.Obs; tr != nil {
+			tr.Emit("journal", obs.KindReplay, "done", -1, 0, 0)
+		}
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(recDone, doneRec{Fingerprint: fp})
+	err := j.appendLocked(recDone, doneRec{Fingerprint: fp})
+	if err == nil {
+		if tr := j.opts.Obs; tr != nil {
+			tr.Emit("journal", obs.KindAppend, "done", -1, 0, 0)
+		}
+	}
+	return err
 }
 
 // Verify is the read-only integrity check: it scans dir's WAL and

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Registry binds named counter sets and histograms for export. One
+// registry backs both export formats:
+//
+//   - expvar: Publish exposes the whole registry as one JSON expvar, so it
+//     appears under /debug/vars next to the runtime's own metrics;
+//   - Prometheus text: PrometheusHandler serves the classic exposition
+//     format (counters as `counter`, histograms as `summary` quantiles),
+//     scrapeable by any Prometheus-compatible collector.
+//
+// Metric names are sanitized to the Prometheus charset on output; the
+// runtime's dotted names ("dist.failover") become underscored
+// ("spawnmerge_dist_failover").
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*stats.Counters
+	hists    map[string]*stats.Histogram
+	tracers  map[string]*Tracer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*stats.Counters),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// AddCounters registers a counter set under a group name. Counter names
+// are exported as <group>.<counter>.
+func (r *Registry) AddCounters(group string, c *stats.Counters) {
+	r.mu.Lock()
+	r.counters[group] = c
+	r.mu.Unlock()
+}
+
+// AddHistogram registers a histogram under a metric name.
+func (r *Registry) AddHistogram(name string, h *stats.Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// AddTracer registers a tracer's counters and per-kind latency
+// histograms under a group name. Histograms created by the tracer after
+// this call are picked up on every export (the tracer is re-queried, not
+// snapshotted).
+func (r *Registry) AddTracer(group string, t *Tracer) {
+	r.AddCounters(group, t.Counters())
+	r.mu.Lock()
+	if r.tracers == nil {
+		r.tracers = make(map[string]*Tracer)
+	}
+	r.tracers[group] = t
+	r.mu.Unlock()
+}
+
+// snapshot flattens everything into sorted name -> value pairs plus the
+// histogram set, under one lock.
+func (r *Registry) snapshot() (counts []counterExport, hists []histExport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for group, c := range r.counters {
+		for name, v := range c.Snapshot() {
+			counts = append(counts, counterExport{name: group + "." + name, value: v})
+		}
+	}
+	for name, h := range r.hists {
+		hists = append(hists, histExport{name: name, snap: h.Snapshot(), quantiles: h.Quantiles(0.5, 0.9, 0.99)})
+	}
+	for group, t := range r.tracers {
+		for kind, h := range t.Histograms() {
+			hists = append(hists, histExport{
+				name:      group + ".latency." + kind.String(),
+				snap:      h.Snapshot(),
+				quantiles: h.Quantiles(0.5, 0.9, 0.99),
+			})
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].name < counts[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	return counts, hists
+}
+
+type counterExport struct {
+	name  string
+	value int64
+}
+
+type histExport struct {
+	name      string
+	snap      stats.HistogramSnapshot
+	quantiles []float64 // p50, p90, p99
+}
+
+// ExpvarVar returns the registry as an expvar.Var rendering a JSON
+// object: counters as integers, histograms as {count, sum, p50, p90,
+// p99, max}.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any {
+		counts, hists := r.snapshot()
+		out := make(map[string]any, len(counts)+len(hists))
+		for _, c := range counts {
+			out[c.name] = c.value
+		}
+		for _, h := range hists {
+			out[h.name] = map[string]any{
+				"count": h.snap.Count,
+				"sum":   h.snap.Sum,
+				"p50":   h.quantiles[0],
+				"p90":   h.quantiles[1],
+				"p99":   h.quantiles[2],
+				"max":   h.snap.Max,
+			}
+		}
+		return out
+	})
+}
+
+var publishOnce sync.Map // name -> *sync.Once
+
+// Publish exposes the registry under name in the process-wide expvar
+// namespace (visible at /debug/vars). Publishing the same name twice is
+// a no-op instead of the panic expvar.Publish would raise, so tests and
+// long-lived tools can call it freely.
+func (r *Registry) Publish(name string) {
+	onceAny, _ := publishOnce.LoadOrStore(name, &sync.Once{})
+	onceAny.(*sync.Once).Do(func() {
+		expvar.Publish(name, r.ExpvarVar())
+	})
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as `counter` metrics, histograms as
+// `summary` quantile series with _sum and _count. All names carry the
+// given prefix.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) {
+	counts, hists := r.snapshot()
+	for _, c := range counts {
+		name := promName(prefix, c.name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.value)
+	}
+	qs := []string{"0.5", "0.9", "0.99"}
+	for _, h := range hists {
+		name := promName(prefix, h.name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for i, q := range qs {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q, h.quantiles[i])
+		}
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.snap.Sum, name, h.snap.Count)
+	}
+}
+
+// PrometheusHandler serves WritePrometheus over HTTP.
+func (r *Registry) PrometheusHandler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w, prefix)
+	})
+}
+
+// Handler returns a mux serving the standard observability endpoints:
+// /debug/vars (the process-wide expvar JSON, including everything this
+// registry Published) and /metrics (this registry in Prometheus text
+// format with the given prefix).
+func (r *Registry) Handler(prefix string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", r.PrometheusHandler(prefix))
+	return mux
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset.
+func promName(prefix, name string) string {
+	var sb strings.Builder
+	sb.Grow(len(prefix) + len(name) + 1)
+	if prefix != "" {
+		sb.WriteString(prefix)
+		sb.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if sb.Len() == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

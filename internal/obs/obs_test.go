@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "invalid" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatalf("out-of-range kind: %q", Kind(200).String())
+	}
+	if KindInvalid.String() != "invalid" {
+		t.Fatalf("invalid kind: %q", KindInvalid.String())
+	}
+}
+
+func TestTracerBeginEnd(t *testing.T) {
+	tr := New()
+	seq := tr.Begin("r", KindMerge, "r/0")
+	if seq != 0 {
+		t.Fatalf("first seq = %d", seq)
+	}
+	tr.Emit("r", KindTransform, "s0", seq, 3, time.Millisecond)
+	tr.End("r", seq, "r/0 merged", 3, time.Now().Add(-time.Millisecond))
+	tree := tr.Tree()
+	if len(tree.Tracks) != 1 || len(tree.Tracks[0].Spans) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	merge := tree.Tracks[0].Spans[0]
+	if merge.Name != "r/0 merged" || merge.Ops != 3 || merge.Dur <= 0 {
+		t.Fatalf("merge span = %+v", merge)
+	}
+	child := tree.Tracks[0].Spans[1]
+	if child.Parent != seq || child.Kind != KindTransform {
+		t.Fatalf("child span = %+v", child)
+	}
+	if tr.SpanCount() != 2 {
+		t.Fatalf("span count = %d", tr.SpanCount())
+	}
+	counts := tr.Counters().Snapshot()
+	if counts["span.merge"] != 1 || counts["span.transform"] != 1 || counts["ops.merge"] != 3 {
+		t.Fatalf("counters = %v", counts)
+	}
+	if tr.Histogram(KindMerge).Count() != 1 {
+		t.Fatal("merge histogram empty")
+	}
+}
+
+func TestEndOutOfRangeIsNoop(t *testing.T) {
+	tr := New()
+	tr.End("r", 0, "x", 0, time.Now())
+	tr.End("r", -1, "x", 0, time.Now())
+	if tr.SpanCount() != 0 {
+		t.Fatalf("span count = %d", tr.SpanCount())
+	}
+}
+
+// buildSampleTracer emits the same spans with different durations per
+// call: the deterministic identity with nondeterministic measurements.
+func buildSampleTracer(durScale time.Duration) *Tracer {
+	tr := New()
+	seq := tr.Begin("r", KindMerge, "r/0")
+	tr.Emit("r", KindTransform, "s0", seq, 2, durScale)
+	tr.Emit("r", KindApply, "s0", seq, 2, 3*durScale)
+	tr.End("r", seq, "r/0 merged", 2, time.Now().Add(-durScale))
+	tr.Emit("r/0", KindSync, "merged", -1, 0, 2*durScale)
+	return tr
+}
+
+func TestFingerprintIgnoresDurations(t *testing.T) {
+	a := buildSampleTracer(time.Microsecond).Tree()
+	b := buildSampleTracer(50 * time.Millisecond).Tree()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	if d := Diff(a, b); len(d) != 0 {
+		t.Fatalf("diff of identical trees: %v", d)
+	}
+}
+
+func TestFingerprintSeesIdentity(t *testing.T) {
+	base := buildSampleTracer(time.Microsecond).Tree()
+	for name, mutate := range map[string]func(*Tracer){
+		"extra span":      func(tr *Tracer) { tr.Emit("r", KindAbort, "flagged", -1, 0, 0) },
+		"different name":  func(tr *Tracer) { tr.Emit("r/1", KindSync, "aborted", -1, 0, 0) },
+		"different track": func(tr *Tracer) { tr.Emit("q", KindSync, "merged", -1, 0, 0) },
+	} {
+		tr := buildSampleTracer(time.Microsecond)
+		mutate(tr)
+		if tr.Tree().Fingerprint() == base.Fingerprint() {
+			t.Fatalf("%s: fingerprint did not change", name)
+		}
+		if d := Diff(base, tr.Tree()); len(d) == 0 {
+			t.Fatalf("%s: diff empty", name)
+		}
+	}
+}
+
+func TestTreeRenderAndString(t *testing.T) {
+	tree := buildSampleTracer(time.Microsecond).Tree()
+	out := tree.String()
+	for _, want := range []string{"r/0 merged", "merge", "transform", "apply", "sync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children of the merge span render indented one level deeper.
+	var mergeIndent, childIndent int
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.Contains(trimmed, "merge") && !strings.Contains(trimmed, "track") {
+			mergeIndent = len(line) - len(trimmed)
+		}
+		if strings.Contains(trimmed, "transform") {
+			childIndent = len(line) - len(trimmed)
+		}
+	}
+	if childIndent <= mergeIndent {
+		t.Fatalf("transform (%d) not nested under merge (%d):\n%s", childIndent, mergeIndent, out)
+	}
+}
+
+func TestDiffReportsFirstDivergence(t *testing.T) {
+	a := New()
+	a.Emit("r", KindSpawn, "r/0", -1, 1, 0)
+	a.Emit("r", KindMerge, "r/0 merged", -1, 1, 0)
+	b := New()
+	b.Emit("r", KindSpawn, "r/0", -1, 1, 0)
+	b.Emit("r", KindMerge, "r/0 aborted", -1, 1, 0)
+	b.Emit("q", KindSync, "merged", -1, 0, 0)
+	d := Diff(a.Tree(), b.Tree())
+	if len(d) == 0 {
+		t.Fatal("no divergences reported")
+	}
+	joined := strings.Join(d, "\n")
+	if !strings.Contains(joined, "r/0 merged") || !strings.Contains(joined, "r/0 aborted") {
+		t.Fatalf("diff does not show the diverging span: %v", d)
+	}
+	if !strings.Contains(joined, "q") {
+		t.Fatalf("diff does not mention the missing track: %v", d)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := Span{Seq: 2, Parent: 0, Kind: KindMerge, Name: "r/0 merged", Ops: 5, Dur: time.Millisecond}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Span
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestRegistryExpvar(t *testing.T) {
+	reg := NewRegistry()
+	c := stats.NewCounters()
+	c.Add("merges", 7)
+	reg.AddCounters("task", c)
+	h := stats.NewHistogram([]float64{0.1, 1})
+	h.Record(0.05)
+	h.Record(0.5)
+	reg.AddHistogram("latency", h)
+
+	var buf strings.Builder
+	buf.WriteString(reg.ExpvarVar().String())
+	var got map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, buf.String())
+	}
+	if got["task.merges"] != float64(7) {
+		t.Fatalf("task.merges = %v", got["task.merges"])
+	}
+	hist, ok := got["latency"].(map[string]any)
+	if !ok || hist["count"] != float64(2) {
+		t.Fatalf("latency = %v", got["latency"])
+	}
+}
+
+func TestRegistryTracerLatencies(t *testing.T) {
+	reg := NewRegistry()
+	tr := New()
+	reg.AddTracer("runtime", tr)
+	// Histograms created after AddTracer must still be exported.
+	tr.Emit("r", KindMerge, "r/0 merged", -1, 1, time.Millisecond)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb, "spawnmerge")
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE spawnmerge_runtime_span_merge counter",
+		"spawnmerge_runtime_span_merge 1",
+		"# TYPE spawnmerge_runtime_latency_merge summary",
+		`spawnmerge_runtime_latency_merge{quantile="0.5"}`,
+		"spawnmerge_runtime_latency_merge_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPublishTwiceAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	c := stats.NewCounters()
+	c.Add("beat", 1)
+	reg.AddCounters("heart", c)
+	reg.Publish("obs-test-metrics")
+	reg.Publish("obs-test-metrics") // second publish must not panic
+
+	if v := expvar.Get("obs-test-metrics"); v == nil {
+		t.Fatal("not published")
+	}
+
+	mux := reg.Handler("spawnmerge")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "spawnmerge_heart_beat 1") {
+		t.Fatalf("/metrics: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "obs-test-metrics") {
+		t.Fatalf("/debug/vars: %d", rec.Code)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"task.merges":       "pfx_task_merges",
+		"dist.rpc.send":     "pfx_dist_rpc_send",
+		"weird-name/2":      "pfx_weird_name_2",
+		"UPPER_ok":          "pfx_UPPER_ok",
+		"latency.wal.fsync": "pfx_latency_wal_fsync",
+	}
+	for in, want := range cases {
+		if got := promName("pfx", in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("", "9lives"); got != "_9lives" {
+		t.Fatalf("leading digit: %q", got)
+	}
+}

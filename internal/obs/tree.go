@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Tree is a tracer's spans frozen into a canonical, comparable form:
+// tracks sorted by key, each track's spans in emission (= program) order.
+// Two runs of a deterministic program produce Trees that are identical
+// except for durations; Fingerprint and Diff both ignore durations, so
+// they hold across runs and GOMAXPROCS settings.
+type Tree struct {
+	Tracks []Track `json:"tracks"`
+}
+
+// Track is one deterministic span sequence (a task's spans, one journal
+// pick path, one abort target).
+type Track struct {
+	Key   string `json:"key"`
+	Spans []Span `json:"spans"`
+}
+
+// Tree snapshots the tracer's spans into canonical form.
+func (t *Tracer) Tree() *Tree {
+	t.mu.Lock()
+	keys := make([]string, 0, len(t.tracks))
+	for k := range t.tracks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &Tree{Tracks: make([]Track, len(keys))}
+	for i, k := range keys {
+		out.Tracks[i] = Track{Key: k, Spans: append([]Span(nil), t.tracks[k]...)}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Fingerprint hashes the tree's deterministic content — track keys and
+// every span's seq, parent, kind, name and ops — with FNV-1a. Durations
+// are excluded, so the fingerprint of a deterministic program is stable
+// across runs and core counts.
+func (tr *Tree) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, track := range tr.Tracks {
+		io.WriteString(h, track.Key)
+		h.Write([]byte{0})
+		writeInt(int64(len(track.Spans)))
+		for _, sp := range track.Spans {
+			writeInt(int64(sp.Seq))
+			writeInt(int64(sp.Parent))
+			h.Write([]byte{byte(sp.Kind)})
+			io.WriteString(h, sp.Name)
+			h.Write([]byte{0})
+			writeInt(sp.Ops)
+		}
+	}
+	return h.Sum64()
+}
+
+// Render writes the tree as indented text, tracks in key order, nested
+// spans indented under their parents. withDurations includes the
+// wall-clock measurements (never do this for output that will be
+// fingerprinted or diffed byte-wise across runs).
+func (tr *Tree) Render(w io.Writer, withDurations bool) {
+	for _, track := range tr.Tracks {
+		fmt.Fprintf(w, "%s\n", track.Key)
+		depth := make(map[int]int, len(track.Spans))
+		for _, sp := range track.Spans {
+			d := 1
+			if sp.Parent >= 0 {
+				d = depth[sp.Parent] + 1
+			}
+			depth[sp.Seq] = d
+			fmt.Fprintf(w, "%s#%d %s %s", strings.Repeat("  ", d), sp.Seq, sp.Kind, sp.Name)
+			if sp.Ops != 0 {
+				fmt.Fprintf(w, " ops=%d", sp.Ops)
+			}
+			if withDurations {
+				fmt.Fprintf(w, " dur=%s", sp.Dur)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// String renders the tree without durations.
+func (tr *Tree) String() string {
+	var sb strings.Builder
+	tr.Render(&sb, false)
+	return sb.String()
+}
+
+// Diff compares two trees merge-by-merge, ignoring durations. It returns
+// nil when the trees are identical; otherwise a bounded list of
+// human-readable divergences (missing tracks, first differing span per
+// track), which localizes where a failing run forked from a good one.
+func Diff(a, b *Tree) []string {
+	const limit = 20
+	var out []string
+	add := func(format string, args ...any) bool {
+		if len(out) >= limit {
+			return false
+		}
+		out = append(out, fmt.Sprintf(format, args...))
+		return len(out) < limit
+	}
+	am := make(map[string][]Span, len(a.Tracks))
+	for _, t := range a.Tracks {
+		am[t.Key] = t.Spans
+	}
+	bm := make(map[string][]Span, len(b.Tracks))
+	for _, t := range b.Tracks {
+		bm[t.Key] = t.Spans
+	}
+	keys := make([]string, 0, len(am)+len(bm))
+	for k := range am {
+		keys = append(keys, k)
+	}
+	for k := range bm {
+		if _, ok := am[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		as, aok := am[k]
+		bs, bok := bm[k]
+		switch {
+		case !aok:
+			if !add("track %q only in B (%d spans)", k, len(bs)) {
+				return out
+			}
+			continue
+		case !bok:
+			if !add("track %q only in A (%d spans)", k, len(as)) {
+				return out
+			}
+			continue
+		}
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		for i := 0; i < n; i++ {
+			if !sameSpan(as[i], bs[i]) {
+				if !add("track %q span #%d: A={%s %s ops=%d parent=%d} B={%s %s ops=%d parent=%d}",
+					k, i, as[i].Kind, as[i].Name, as[i].Ops, as[i].Parent,
+					bs[i].Kind, bs[i].Name, bs[i].Ops, bs[i].Parent) {
+					return out
+				}
+				break // first divergence per track is enough
+			}
+		}
+		if len(as) != len(bs) {
+			if !add("track %q length: A=%d B=%d", k, len(as), len(bs)) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func sameSpan(a, b Span) bool {
+	return a.Seq == b.Seq && a.Parent == b.Parent && a.Kind == b.Kind && a.Name == b.Name && a.Ops == b.Ops
+}

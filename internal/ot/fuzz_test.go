@@ -1,0 +1,98 @@
+package ot
+
+import (
+	"reflect"
+	"testing"
+)
+
+// decodeFuzzOps turns raw fuzz bytes into a base state and two concurrent
+// sequence-operation lists, each sequentially valid against the base. The
+// first byte picks the base length; every following 3-byte chunk is one
+// operation (side, role, position, span), with positions and spans reduced
+// modulo the current state length so any input decodes to a valid program.
+func decodeFuzzOps(data []byte) (base []any, a, b []Op) {
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	n := int(data[0] % 8)
+	base = make([]any, n)
+	for i := range base {
+		base[i] = i
+	}
+	lens := [2]int{n, n}
+	next := 0
+	for i := 1; i+2 < len(data); i += 3 {
+		side := int(data[i] >> 7)
+		role := data[i] & 3
+		l := lens[side]
+		var op Op
+		switch {
+		case role == 0 || l == 0:
+			k := 1 + int(data[i+2]%3)
+			elems := make([]any, k)
+			for j := range elems {
+				next++
+				elems[j] = 100 + next
+			}
+			op = SeqInsert{Pos: int(data[i+1]) % (l + 1), Elems: elems}
+			lens[side] = l + k
+		case role == 1:
+			pos := int(data[i+1]) % l
+			k := 1 + int(data[i+2])%(l-pos)
+			op = SeqDelete{Pos: pos, N: k}
+			lens[side] = l - k
+		default:
+			op = SeqSet{Pos: int(data[i+1]) % l, Elem: 200 + int(data[i+2])}
+		}
+		if side == 0 {
+			a = append(a, op)
+		} else {
+			b = append(b, op)
+		}
+	}
+	return base, a, b
+}
+
+// FuzzListTransform fuzzes the sequence-family control algorithm with
+// machine-generated concurrent histories and asserts, for every decoded
+// input, the properties the merge step depends on: both transform
+// directions apply cleanly, TP1 convergence holds, compaction before
+// transformation preserves the merged state, and TransformAgainst agrees
+// with the full TransformSeqs.
+func FuzzListTransform(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0x00, 1, 1, 0x80, 1, 1})                         // insert vs insert at same pos
+	f.Add([]byte{5, 0x01, 0, 4, 0x81, 1, 2})                         // overlapping deletes
+	f.Add([]byte{4, 0x01, 1, 3, 0x80, 2, 1})                         // delete split by insert
+	f.Add([]byte{2, 0x02, 1, 9, 0x82, 1, 7})                         // set/set conflict
+	f.Add([]byte{6, 0x01, 0, 1, 0x01, 0, 1, 0x81, 2, 1, 0x82, 0, 5}) // pop run vs mixed
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, a, b := decodeFuzzOps(data)
+		apply := func(s []any, ops []Op) []any {
+			var err error
+			for _, op := range ops {
+				s, err = ApplySeq(s, op)
+				if err != nil {
+					t.Fatalf("apply %v to len-%d state: %v", op, len(s), err)
+				}
+			}
+			return s
+		}
+		aT, bT := TransformSeqs(a, b)
+		left := apply(apply(base, a), bT)
+		right := apply(apply(base, b), aT)
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("TP1 violated: a=%v b=%v\n  a·b' = %v\n  b·a' = %v", a, b, left, right)
+		}
+		// TransformAgainst(a, b) is the client-side half of TransformSeqs.
+		if against := TransformAgainst(a, b); !reflect.DeepEqual(apply(apply(base, b), against), right) {
+			t.Fatalf("TransformAgainst disagrees with TransformSeqs: a=%v b=%v", a, b)
+		}
+		// Compacting the client side must not change the merged state.
+		compacted := apply(apply(base, b), TransformAgainst(CompactSeq(a), b))
+		if !reflect.DeepEqual(compacted, right) {
+			t.Fatalf("compact+transform diverged: a=%v compact=%v b=%v\n  raw  %v\n  fast %v",
+				a, CompactSeq(a), b, right, compacted)
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package ot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Randomized property tests for the transformation functions and the
+// control algorithm. The fixed-example TP1 tests elsewhere pin the known
+// corner cases; these throw thousands of random operation pairs and
+// sequences at the same identities so unknown corners surface too. All
+// generators are seeded, so a failure report reproduces exactly.
+//
+// The properties exercised:
+//
+//	TP1:        apply(apply(S, a), b') == apply(apply(S, b), a')
+//	compaction: transform(compact(c), h) has the effect of transform(c, h)
+//
+// which are precisely the two identities the merge step relies on
+// (control.go documents why TP2 is never needed).
+
+// randSeqOp generates one sequence operation valid for a state of length n,
+// and returns the operation plus the state length after applying it.
+// Deletions and sets need a non-empty state; generation retries via insert.
+func randSeqOp(r *rand.Rand, n int) (Op, int) {
+	roll := r.Intn(3)
+	if n == 0 {
+		roll = 0
+	}
+	switch roll {
+	case 0:
+		k := 1 + r.Intn(3)
+		elems := make([]any, k)
+		for i := range elems {
+			elems[i] = r.Intn(100)
+		}
+		return SeqInsert{Pos: r.Intn(n + 1), Elems: elems}, n + k
+	case 1:
+		pos := r.Intn(n)
+		k := 1 + r.Intn(n-pos)
+		return SeqDelete{Pos: pos, N: k}, n - k
+	default:
+		return SeqSet{Pos: r.Intn(n), Elem: r.Intn(100)}, n
+	}
+}
+
+// randSeqOps generates a sequence of count operations, each valid after the
+// previous ones, starting from a state of length n.
+func randSeqOps(r *rand.Rand, n, count int) []Op {
+	ops := make([]Op, 0, count)
+	for i := 0; i < count; i++ {
+		op, next := randSeqOp(r, n)
+		ops = append(ops, op)
+		n = next
+	}
+	return ops
+}
+
+func randState(r *rand.Rand, n int) []any {
+	s := make([]any, n)
+	for i := range s {
+		s[i] = i * 10
+	}
+	return s
+}
+
+func applySeqAll(t *testing.T, s []any, ops []Op) []any {
+	t.Helper()
+	var err error
+	for _, op := range ops {
+		s, err = ApplySeq(s, op)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+	}
+	return s
+}
+
+// TestPropertyTP1ListPairs throws random concurrent operation pairs at
+// TransformPair and checks convergence from every reachable base state.
+func TestPropertyTP1ListPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(6)
+		base := randState(r, n)
+		a, _ := randSeqOp(r, n)
+		b, _ := randSeqOp(r, n)
+		aT, bT := TransformPair(a, b)
+		left := applySeqAll(t, applySeqAll(t, base, []Op{a}), bT)
+		right := applySeqAll(t, applySeqAll(t, base, []Op{b}), aT)
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("iter %d: TP1 violated for a=%v b=%v on %v:\n  a·b' = %v\n  b·a' = %v",
+				i, a, b, base, left, right)
+		}
+	}
+}
+
+// TestPropertyTP1ListSequences checks the control algorithm's convergence
+// identity for random concurrent sequences (splits and absorptions
+// included), which also exercises the shape fast path against the generic
+// recursion through TransformSeqs' internal dispatch.
+func TestPropertyTP1ListSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 1500; i++ {
+		n := r.Intn(6)
+		base := randState(r, n)
+		a := randSeqOps(r, n, 1+r.Intn(4))
+		b := randSeqOps(r, n, 1+r.Intn(4))
+		aT, bT := TransformSeqs(a, b)
+		left := applySeqAll(t, applySeqAll(t, base, a), bT)
+		right := applySeqAll(t, applySeqAll(t, base, b), aT)
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("iter %d: TP1 violated for a=%v b=%v on %v:\n  a·b' = %v\n  b·a' = %v",
+				i, a, b, base, left, right)
+		}
+	}
+}
+
+// randTextOp mirrors randSeqOp for the text family (rune positions).
+func randTextOp(r *rand.Rand, n int) (Op, int) {
+	alphabet := []rune("abπ≠z")
+	if n == 0 || r.Intn(2) == 0 {
+		k := 1 + r.Intn(3)
+		text := make([]rune, k)
+		for i := range text {
+			text[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return TextInsert{Pos: r.Intn(n + 1), Text: string(text)}, n + k
+	}
+	pos := r.Intn(n)
+	k := 1 + r.Intn(n-pos)
+	return TextDelete{Pos: pos, N: k}, n - k
+}
+
+func propApplyText(t *testing.T, s []rune, ops []Op) []rune {
+	t.Helper()
+	var err error
+	for _, op := range ops {
+		s, err = ApplyText(s, op)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+	}
+	return s
+}
+
+// TestPropertyTP1Text checks TP1 for random concurrent text edit
+// sequences, including multi-rune payloads that make positions and payload
+// lengths diverge (the classic off-by-one source in text OT).
+func TestPropertyTP1Text(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 1500; i++ {
+		n := r.Intn(6)
+		base := []rune("héllo wörld"[:0])
+		for j := 0; j < n; j++ {
+			base = append(base, rune('à'+j))
+		}
+		genSeq := func(count int) []Op {
+			ops := make([]Op, 0, count)
+			l := n
+			for j := 0; j < count; j++ {
+				op, next := randTextOp(r, l)
+				ops = append(ops, op)
+				l = next
+			}
+			return ops
+		}
+		a := genSeq(1 + r.Intn(3))
+		b := genSeq(1 + r.Intn(3))
+		aT, bT := TransformSeqs(a, b)
+		left := propApplyText(t, propApplyText(t, base, a), bT)
+		right := propApplyText(t, propApplyText(t, base, b), aT)
+		if string(left) != string(right) {
+			t.Fatalf("iter %d: TP1 violated for a=%v b=%v on %q:\n  a·b' = %q\n  b·a' = %q",
+				i, a, b, string(base), string(left), string(right))
+		}
+	}
+}
+
+// randTree builds a small random tree with n nodes.
+func randTree(r *rand.Rand, n int) *TreeNode {
+	root := &TreeNode{Value: 0}
+	nodes := []*TreeNode{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		child := &TreeNode{Value: i}
+		parent.Children = append(parent.Children, child)
+		nodes = append(nodes, child)
+	}
+	return root
+}
+
+// treePaths collects the path of every node below the root (the root
+// itself is only addressable by TreeSet's empty path).
+func treePaths(root *TreeNode) [][]int {
+	var paths [][]int
+	var walk func(n *TreeNode, path []int)
+	walk = func(n *TreeNode, path []int) {
+		for i, c := range n.Children {
+			p := append(append([]int(nil), path...), i)
+			paths = append(paths, p)
+			walk(c, p)
+		}
+	}
+	walk(root, nil)
+	return paths
+}
+
+// randTreeOp generates one tree operation valid against root, returning
+// the op and the tree after applying it.
+func randTreeOp(t *testing.T, r *rand.Rand, root *TreeNode, tag int) (Op, *TreeNode) {
+	t.Helper()
+	paths := treePaths(root)
+	roll := r.Intn(3)
+	if len(paths) == 0 {
+		roll = 0
+	}
+	var op Op
+	switch roll {
+	case 0:
+		// Insert at a random valid attachment point: any existing node's
+		// child list, any index.
+		parents := append([][]int{nil}, paths...)
+		pp := parents[r.Intn(len(parents))]
+		node, err := treeNodeAt(root, pp)
+		if err != nil {
+			t.Fatalf("path %v: %v", pp, err)
+		}
+		idx := r.Intn(len(node.Children) + 1)
+		op = TreeInsert{
+			Path:    append(append([]int(nil), pp...), idx),
+			Subtree: &TreeNode{Value: 1000 + tag},
+		}
+	case 1:
+		op = TreeDelete{Path: paths[r.Intn(len(paths))]}
+	default:
+		op = TreeSet{Path: paths[r.Intn(len(paths))], Value: 2000 + tag}
+	}
+	next, err := ApplyTree(CloneTree(root), op)
+	if err != nil {
+		t.Fatalf("apply %v: %v", op, err)
+	}
+	return op, next
+}
+
+// treeEqual is structural equality: same values, same child order. It
+// deliberately does not distinguish a nil child slice from an empty one
+// (deleting a node's last child leaves Children as a length-0 slice,
+// which reflect.DeepEqual would treat as different from never-populated).
+func treeEqual(a, b *TreeNode) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if !reflect.DeepEqual(a.Value, b.Value) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !treeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func applyTreeAll(t *testing.T, root *TreeNode, ops []Op) *TreeNode {
+	t.Helper()
+	out := CloneTree(root)
+	var err error
+	for _, op := range ops {
+		out, err = ApplyTree(out, op)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+	}
+	return out
+}
+
+// TestPropertyTP1Tree checks TP1 for random concurrent edit sequences on
+// random trees — sibling shifts, ancestor deletions absorbing whole
+// subtree edits, and insert ties at the same path all occur by volume.
+func TestPropertyTP1Tree(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 800; i++ {
+		base := randTree(r, 1+r.Intn(6))
+		genSeq := func(count, tag int) []Op {
+			ops := make([]Op, 0, count)
+			cur := base
+			for j := 0; j < count; j++ {
+				var op Op
+				op, cur = randTreeOp(t, r, cur, tag*100+j)
+				ops = append(ops, op)
+			}
+			return ops
+		}
+		a := genSeq(1+r.Intn(3), 1)
+		b := genSeq(1+r.Intn(3), 2)
+		aT, bT := TransformSeqs(a, b)
+		left := applyTreeAll(t, applyTreeAll(t, base, a), bT)
+		right := applyTreeAll(t, applyTreeAll(t, base, b), aT)
+		if !treeEqual(left, right) {
+			t.Fatalf("iter %d: TP1 violated for a=%v b=%v:\n  a·b' = %+v\n  b·a' = %+v",
+				i, a, b, left, right)
+		}
+	}
+}
+
+// TestPropertyCompactDirectEquivalence: compact(c) has the same direct
+// effect as c, for random sequentially composed sequences.
+func TestPropertyCompactDirectEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(6)
+		base := randState(r, n)
+		ops := randSeqOps(r, n, 1+r.Intn(6))
+		compacted := CompactSeq(ops)
+		raw := applySeqAll(t, base, ops)
+		fast := applySeqAll(t, base, compacted)
+		if !reflect.DeepEqual(raw, fast) {
+			t.Fatalf("iter %d: compaction changed effect of %v (→ %v):\n  raw       %v\n  compacted %v",
+				i, ops, compacted, raw, fast)
+		}
+	}
+}
+
+// TestPropertyCompactTransformEquivalence: transforming a compacted
+// contribution against a random concurrent history yields the same final
+// state as transforming the raw contribution — the exact soundness
+// condition the merge path relies on when it compacts outgoing logs.
+func TestPropertyCompactTransformEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(6)
+		base := randState(r, n)
+		client := randSeqOps(r, n, 1+r.Intn(6))
+		server := randSeqOps(r, n, 1+r.Intn(4))
+		afterServer := applySeqAll(t, base, server)
+		raw := applySeqAll(t, afterServer, TransformAgainst(client, server))
+		fast := applySeqAll(t, afterServer, TransformAgainst(CompactSeq(client), server))
+		if !reflect.DeepEqual(raw, fast) {
+			t.Fatalf("iter %d: compact+transform diverged for client=%v server=%v:\n  raw  %v\n  fast %v",
+				i, client, server, raw, fast)
+		}
+	}
+}

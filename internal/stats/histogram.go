@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram with quantile summaries,
+// safe for concurrent recording. The observability layer keeps one per
+// span kind, so a soak or bench run can report where merge time actually
+// goes (p50/p99 transform latency, checkpoint fsync cost, RPC wait)
+// without retaining every sample.
+//
+// Buckets are defined by ascending upper bounds; values above the last
+// bound land in an implicit overflow bucket. Quantiles are estimated by
+// linear interpolation inside the owning bucket and clamped to the
+// observed [min, max], so a single-sample histogram reports that sample
+// exactly at every quantile.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; len(counts) == len(bounds)+1
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. It panics on empty or non-ascending bounds — histogram shapes
+// are compile-time decisions, not data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: NewHistogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: NewHistogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram sized for span latencies in
+// seconds: exponential buckets from 1µs doubling up to ~16s, plus the
+// overflow bucket.
+func NewLatencyHistogram() *Histogram {
+	bounds := make([]float64, 25)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return NewHistogram(bounds)
+}
+
+// bucketOf returns the index of the bucket v falls into (the first bucket
+// whose upper bound is >= v; the overflow bucket otherwise).
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.mu.Lock()
+	h.counts[h.bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// RecordDuration adds one duration sample, in seconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Seconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded samples.
+// It returns 0 for an empty histogram. Estimates interpolate linearly
+// inside the owning bucket and are clamped to the observed [min, max].
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next || i == len(h.counts)-1 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			pos := (target - cum) / float64(c)
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > 1 {
+				pos = 1
+			}
+			v := lo + (hi-lo)*pos
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+	Bounds []float64 // upper bounds; Counts has one extra overflow slot
+	Counts []uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+	}
+}
+
+// Quantiles returns the given quantiles in one lock acquisition.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.quantileLocked(q)
+	}
+	return out
+}
+
+// String renders a compact summary: count, mean and the standard latency
+// quantiles.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return "n=0"
+	}
+	mean := h.sum / float64(h.count)
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		h.count, fmtSeconds(mean),
+		fmtSeconds(h.quantileLocked(0.5)),
+		fmtSeconds(h.quantileLocked(0.9)),
+		fmtSeconds(h.quantileLocked(0.99)),
+		fmtSeconds(h.max))
+}
+
+// fmtSeconds renders a seconds value as a duration-style string.
+func fmtSeconds(s float64) string {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return "?"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

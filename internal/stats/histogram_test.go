@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":         {},
+		"not ascending": {1, 1},
+		"descending":    {2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramQuantiles is the table of edge cases for the quantile
+// estimator: empty histogram, single sample, samples below the first
+// bound, overflow-bucket samples, and in-bucket interpolation.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		q       float64
+		want    float64
+		tol     float64
+	}{
+		{name: "empty returns zero", bounds: []float64{1}, samples: nil, q: 0.5, want: 0},
+		{name: "single sample p0", bounds: []float64{1, 2, 4}, samples: []float64{1.5}, q: 0, want: 1.5},
+		{name: "single sample p50", bounds: []float64{1, 2, 4}, samples: []float64{1.5}, q: 0.5, want: 1.5},
+		{name: "single sample p100", bounds: []float64{1, 2, 4}, samples: []float64{1.5}, q: 1, want: 1.5},
+		{name: "below first bound clamps to min", bounds: []float64{10, 20}, samples: []float64{3}, q: 0.5, want: 3},
+		{name: "overflow sample clamps to max", bounds: []float64{1}, samples: []float64{50}, q: 0.99, want: 50},
+		{name: "overflow mixed p100 is max", bounds: []float64{1, 2}, samples: []float64{0.5, 1.5, 99}, q: 1, want: 99},
+		{
+			name:   "interpolates inside owning bucket",
+			bounds: []float64{1, 2, 3, 4},
+			// 4 samples in (2,3]: the median lands mid-bucket, between the
+			// bucket's bounds, not on either edge.
+			samples: []float64{2.2, 2.4, 2.6, 2.8},
+			q:       0.5, want: 2.5, tol: 0.5,
+		},
+		{
+			name:    "confined to observed range in wide bucket",
+			bounds:  []float64{1, 100},
+			samples: []float64{1.2, 1.4}, // both in the wide (1,100] bucket
+			q:       0.99, want: 1.4, tol: 0.05,
+		},
+		{name: "q below zero clamps", bounds: []float64{1}, samples: []float64{0.5, 0.7}, q: -3, want: 0.5},
+		{name: "q above one clamps", bounds: []float64{1}, samples: []float64{0.5, 0.7}, q: 7, want: 0.7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, s := range tc.samples {
+				h.Record(s)
+			}
+			got := h.Quantile(tc.q)
+			if tc.tol == 0 {
+				if got != tc.want {
+					t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Fatalf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+			}
+			// Interpolated estimates must stay inside the observed range.
+			if got < tc.samples[0] || got > tc.samples[len(tc.samples)-1] {
+				t.Fatalf("Quantile(%v) = %v outside observed [%v, %v]",
+					tc.q, got, tc.samples[0], tc.samples[len(tc.samples)-1])
+			}
+		})
+	}
+}
+
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 1.7, 9} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 0.5+1.5+1.7+9 || s.Min != 0.5 || s.Max != 9 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Counts) != 3 { // two bounds + overflow
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 1 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	// The snapshot is a copy: further recording must not change it.
+	h.Record(100)
+	if s.Count != 4 {
+		t.Fatal("snapshot aliased live state")
+	}
+}
+
+func TestHistogramBoundaryValuesLandInclusive(t *testing.T) {
+	// A sample exactly on an upper bound belongs to that bucket, not the
+	// next one (bucketOf is "first bound >= v").
+	h := NewHistogram([]float64{1, 2})
+	h.Record(1)
+	h.Record(2)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 0 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+}
+
+func TestLatencyHistogramAndDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.RecordDuration(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.005) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.005", got)
+	}
+	if s := h.String(); !strings.Contains(s, "n=1") || !strings.Contains(s, "5ms") {
+		t.Fatalf("String() = %q", s)
+	}
+	if NewHistogram([]float64{1}).String() != "n=0" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i%4) + 0.5)
+	}
+	qs := h.Quantiles(0, 0.5, 1)
+	if len(qs) != 3 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	if qs[0] != 0.5 || qs[2] != 3.5 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	if qs[1] < qs[0] || qs[1] > qs[2] {
+		t.Fatalf("median %v outside [%v, %v]", qs[1], qs[0], qs[2])
+	}
+}
+
+// TestHistogramConcurrentRecording hammers one histogram from many
+// goroutines — meaningful chiefly under -race — and checks the aggregate
+// arithmetic survived.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	h := NewLatencyHistogram()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(float64(i%10+1) * 1e-6)
+				if i%100 == 0 {
+					_ = h.Quantile(0.9) // concurrent reads too
+					_ = h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	s := h.Snapshot()
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+	if s.Min != 1e-6 || s.Max != float64(10)*1e-6 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}

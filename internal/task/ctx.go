@@ -3,8 +3,10 @@ package task
 import (
 	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 )
 
 // Ctx is a task's view of itself. It is handed to the task's Func and must
@@ -67,6 +69,11 @@ func (c *Ctx) SeedRand(seed uint64) { c.task.runtime.randSeed = seed }
 // (or rely on the implicit MergeAll when the parent's Func returns).
 func (c *Ctx) Spawn(fn Func, data ...mergeable.Mergeable) *Task {
 	p := c.task
+	tr := p.runtime.obs
+	var spawnStart time.Time
+	if tr != nil {
+		spawnStart = time.Now()
+	}
 	n := len(data)
 	copies := make([]mergeable.Mergeable, n)
 	// bases and floors share one backing array: Spawn is the hottest
@@ -94,6 +101,12 @@ func (c *Ctx) Spawn(fn Func, data ...mergeable.Mergeable) *Task {
 	}
 	child := newTask(p, fn, copies, data, bases, floors, p.runtime)
 	p.registerChild(child)
+	if tr != nil {
+		// Named by the child's stable path; the duration covers the deep
+		// copies (the framework's per-spawn constant cost, Section III).
+		// Emitted before startTask so the span exists before the child runs.
+		tr.Emit(p.spanTrack(), obs.KindSpawn, child.spanTrack(), -1, int64(n), time.Since(spawnStart))
+	}
 	startTask(child)
 	return child
 }
@@ -118,6 +131,11 @@ func (c *Ctx) Clone(fn Func) *Task {
 	if p == nil {
 		panic("task: the root task cannot Clone itself")
 	}
+	tr := t.runtime.obs
+	var cloneStart time.Time
+	if tr != nil {
+		cloneStart = time.Now()
+	}
 	copies := make([]mergeable.Mergeable, len(t.data))
 	for i, m := range t.data {
 		cp := m.CloneValue()
@@ -126,6 +144,11 @@ func (c *Ctx) Clone(fn Func) *Task {
 	}
 	sib := newTask(p, fn, copies, t.parentData, append([]int(nil), t.bases...), nil, t.runtime)
 	p.registerChild(sib)
+	if tr != nil {
+		// The span goes on the cloning task's own track (the clone caller is
+		// the single writer here, not the parent the sibling attaches to).
+		tr.Emit(t.spanTrack(), obs.KindSpawn, "clone "+sib.spanTrack(), -1, int64(len(copies)), time.Since(cloneStart))
+	}
 	startTask(sib)
 	return sib
 }

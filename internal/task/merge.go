@@ -3,8 +3,11 @@ package task
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/ot"
 )
 
@@ -170,6 +173,20 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 			t.runtime.onRootMerge(t.data, t.runtime.rootMerges)
 		}()
 	}
+	// Open the merge span before any merge work. Identity (track position,
+	// child name) is fixed here; the outcome and op count land in End. The
+	// child is quiescent, so reading/caching its track from the parent
+	// goroutine is ordered by the quiescence announcement.
+	tr := t.runtime.obs
+	var mtrack string
+	var mseq int
+	var mstart time.Time
+	if tr != nil {
+		mstart = time.Now()
+		mtrack = t.spanTrack()
+		mseq = tr.Begin(mtrack, obs.KindMerge, c.spanTrack())
+	}
+
 	ph := phase(c.phase.Load())
 	aborted := c.abortFlag.Load()
 	failed := ph == phaseCompleted && c.err != nil
@@ -215,7 +232,21 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 		// preview and apply steps then see empty contributions.
 		var transformed [][]ot.Op
 		if contributed {
-			transformed = t.transformChild(c)
+			// With tracing on, transformChild fills per-position durations
+			// (measured inside the engine, so parallel positions report their
+			// own time, not the wall-clock of the whole wave). Spans are
+			// emitted here in position order regardless of which engine ran,
+			// keeping the tree identical across serial and parallel merges.
+			var tdurs []time.Duration
+			if tr != nil {
+				tdurs = make([]time.Duration, len(c.parentData))
+			}
+			transformed = t.transformChild(c, tdurs)
+			if tr != nil {
+				for i := range transformed {
+					tr.Emit(mtrack, obs.KindTransform, "s"+strconv.Itoa(i), mseq, int64(len(transformed[i])), tdurs[i])
+				}
+			}
 		}
 		opsAt := func(i int) []ot.Op {
 			if transformed == nil {
@@ -241,16 +272,23 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 
 		if !discard && transformed != nil {
 			for i, pm := range c.parentData {
+				var astart time.Time
+				if tr != nil {
+					astart = time.Now()
+				}
 				if err := pm.ApplyRemote(transformed[i]); err != nil {
 					panic(fmt.Sprintf("task: merge failed, transformation invariant broken: %v", err))
 				}
 				pm.Log().Commit(transformed[i])
 				appliedOps += len(transformed[i])
+				if tr != nil {
+					tr.Emit(mtrack, obs.KindApply, "s"+strconv.Itoa(i), mseq, int64(len(transformed[i])), time.Since(astart))
+				}
 			}
 		}
 	}
 
-	if t.runtime.tracer != nil {
+	if t.runtime.tracer != nil || tr != nil {
 		outcome := "merged"
 		switch {
 		case aborted:
@@ -260,7 +298,12 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 		case discard:
 			outcome = "rejected"
 		}
-		t.runtime.tracer.record(t, c, ph != phaseCompleted, outcome, appliedOps)
+		if t.runtime.tracer != nil {
+			t.runtime.tracer.record(t, c, ph != phaseCompleted, outcome, appliedOps)
+		}
+		if tr != nil {
+			tr.End(mtrack, mseq, c.spanTrack()+" "+outcome, int64(appliedOps), mstart)
+		}
 	}
 
 	// Whether merged or dismissed, the parent has now consumed the child's

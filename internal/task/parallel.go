@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mergeable"
 	"repro/internal/ot"
@@ -81,12 +82,17 @@ func submitOrRun(jobs chan func(), f func()) {
 // not seen. Positions are independent except when the same parent
 // structure is bound at several positions — later positions must also
 // transform against the earlier positions' still-pending results.
-func (t *Task) transformChild(c *Task) [][]ot.Op {
+//
+// durs, when non-nil, receives each position's own transform time (the
+// observability layer's per-structure spans); it must have length
+// len(c.parentData). Passing nil — the tracing-off case — measures
+// nothing and allocates nothing.
+func (t *Task) transformChild(c *Task, durs []time.Duration) [][]ot.Op {
 	n := len(c.parentData)
 	transformed := make([][]ot.Op, n)
 	if n > 1 && parallelMerge.Load() && runtime.GOMAXPROCS(0) > 1 {
 		if jobs := mergePoolJobs(); jobs != nil {
-			t.transformParallel(c, transformed, jobs)
+			t.transformParallel(c, transformed, jobs, durs)
 			return transformed
 		}
 	}
@@ -96,6 +102,10 @@ func (t *Task) transformChild(c *Task) [][]ot.Op {
 	// the parallel path must match.
 	var pending map[mergeable.Mergeable][]ot.Op
 	for i, pm := range c.parentData {
+		var start time.Time
+		if durs != nil {
+			start = time.Now()
+		}
 		server := pm.Log().CommittedSince(c.bases[i])
 		if pending != nil {
 			if prior := pending[pm]; len(prior) > 0 {
@@ -113,6 +123,9 @@ func (t *Task) transformChild(c *Task) [][]ot.Op {
 			}
 			pending[pm] = append(pending[pm], transformed[i]...)
 		}
+		if durs != nil {
+			durs[i] = time.Since(start)
+		}
 	}
 	return transformed
 }
@@ -121,7 +134,7 @@ func (t *Task) transformChild(c *Task) [][]ot.Op {
 // computes aliased positions serially on the calling goroutine while the
 // workers run. transformed[i] is written by exactly one goroutine and read
 // only after wg.Wait(), which orders the writes before the caller's reads.
-func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func()) {
+func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func(), durs []time.Duration) {
 	n := len(c.parentData)
 	aliased := aliasedPositions(c.parentData)
 
@@ -139,9 +152,18 @@ func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func(
 		wg.Add(1)
 		submitOrRun(jobs, func() {
 			defer wg.Done()
+			var start time.Time
+			if durs != nil {
+				start = time.Now()
+			}
 			server := c.parentData[i].Log().CommittedSince(c.bases[i])
 			childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
 			transformed[i] = ot.TransformAgainst(childOps, server)
+			if durs != nil {
+				// durs[i] has exactly one writer (this job); the caller reads
+				// it after wg.Wait, same ordering as transformed[i].
+				durs[i] = time.Since(start)
+			}
 		})
 	}
 
@@ -152,6 +174,10 @@ func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func(
 		for i := 0; i < n; i++ {
 			if !aliased[i] {
 				continue
+			}
+			var start time.Time
+			if durs != nil {
+				start = time.Now()
 			}
 			pm := c.parentData[i]
 			server := pm.Log().CommittedSince(c.bases[i])
@@ -170,6 +196,9 @@ func (t *Task) transformParallel(c *Task, transformed [][]ot.Op, jobs chan func(
 					pending = make(map[mergeable.Mergeable][]ot.Op)
 				}
 				pending[pm] = append(pending[pm], transformed[i]...)
+			}
+			if durs != nil {
+				durs[i] = time.Since(start)
 			}
 		}
 	}

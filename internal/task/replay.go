@@ -166,10 +166,7 @@ func (s *MergeScript) resetCursors() {
 // MergeAnyFromSet decision into script. The recorded run behaves exactly
 // like a plain Run.
 func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
-	rt := &treeRuntime{record: script}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
-	root.run()
-	return root.err
+	return RunWith(RunConfig{Record: script}, fn, data...)
 }
 
 // RunReplaying is Run with every MergeAny / MergeAnyFromSet decision
@@ -179,11 +176,7 @@ func RunRecording(script *MergeScript, fn Func, data ...mergeable.Mergeable) err
 // merges this time — the merges fall back to live first-completed
 // behavior.
 func RunReplaying(script *MergeScript, fn Func, data ...mergeable.Mergeable) error {
-	script.resetCursors()
-	rt := &treeRuntime{replay: script}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
-	root.run()
-	return root.err
+	return RunWith(RunConfig{Replay: script}, fn, data...)
 }
 
 // RootMergeHook observes the root task's data after each of its merges.
@@ -202,13 +195,7 @@ type RootMergeHook func(data []mergeable.Mergeable, rootMerges int)
 // where the crashed one stopped); hook, when non-nil, observes the root's
 // data after every root-level merge (the checkpoint cadence).
 func RunRecoverable(replay, record *MergeScript, hook RootMergeHook, fn Func, data ...mergeable.Mergeable) error {
-	if replay != nil {
-		replay.resetCursors()
-	}
-	rt := &treeRuntime{replay: replay, record: record, onRootMerge: hook}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
-	root.run()
-	return root.err
+	return RunWith(RunConfig{Replay: replay, Record: record, OnRootMerge: hook}, fn, data...)
 }
 
 // path returns the task's stable identity: the chain of per-parent

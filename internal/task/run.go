@@ -1,6 +1,55 @@
 package task
 
-import "repro/internal/mergeable"
+import (
+	"repro/internal/mergeable"
+	"repro/internal/obs"
+)
+
+// RunConfig bundles every optional runtime hook. The zero value is a
+// plain Run; the specialized runners (Run, RunPooled, RunTraced,
+// RunRecording, RunReplaying, RunRecoverable, RunObserved) are all thin
+// wrappers over RunWith with one field set.
+type RunConfig struct {
+	// MaxParallel bounds simultaneous task execution when > 0 (see
+	// RunPooled).
+	MaxParallel int
+	// Trace records merge decisions when non-nil (see RunTraced).
+	Trace *Trace
+	// Record captures every MergeAny pick when non-nil (see RunRecording).
+	Record *MergeScript
+	// Replay forces recorded MergeAny picks when non-nil (see
+	// RunReplaying). Cursors are rewound at the start of the run.
+	Replay *MergeScript
+	// OnRootMerge observes the root's data after each root-level merge
+	// (the journal's checkpoint cadence).
+	OnRootMerge RootMergeHook
+	// Obs receives hierarchical runtime spans when non-nil (see package
+	// obs and RunObserved). With Obs nil the spawn/merge hot path pays
+	// nothing — no allocations, no atomic traffic.
+	Obs *obs.Tracer
+}
+
+// RunWith executes fn as the root task of a new task tree with the given
+// configuration. It is the single entry point all other runners reduce
+// to; see Run for the core semantics.
+func RunWith(cfg RunConfig, fn Func, data ...mergeable.Mergeable) error {
+	if cfg.Replay != nil {
+		cfg.Replay.resetCursors()
+	}
+	rt := &treeRuntime{
+		tracer:      cfg.Trace,
+		record:      cfg.Record,
+		replay:      cfg.Replay,
+		onRootMerge: cfg.OnRootMerge,
+		obs:         cfg.Obs,
+	}
+	if cfg.MaxParallel > 0 {
+		rt.slots = make(chan struct{}, cfg.MaxParallel)
+	}
+	root := newTask(nil, fn, data, nil, nil, nil, rt)
+	root.run()
+	return root.err
+}
 
 // Run executes fn as the root task of a new task tree, on the calling
 // goroutine, and returns when fn and every task it spawned have completed
@@ -30,8 +79,14 @@ func RunPooled(maxParallel int, fn Func, data ...mergeable.Mergeable) error {
 	if maxParallel < 1 {
 		maxParallel = 1
 	}
-	rt := &treeRuntime{slots: make(chan struct{}, maxParallel)}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
-	root.run()
-	return root.err
+	return RunWith(RunConfig{MaxParallel: maxParallel}, fn, data...)
+}
+
+// RunObserved is Run with the observability layer enabled: every spawn,
+// merge (with nested per-structure transform and apply phases), sync and
+// abort is recorded into tracer as a span. For a deterministic program
+// the resulting span tree is identical across runs and GOMAXPROCS
+// settings, durations aside — see package obs.
+func RunObserved(tracer *obs.Tracer, fn Func, data ...mergeable.Mergeable) error {
+	return RunWith(RunConfig{Obs: tracer}, fn, data...)
 }

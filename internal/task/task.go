@@ -23,11 +23,16 @@
 package task
 
 import (
+	"context"
 	"math/rand"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 )
 
 // Func is the body of a task. It receives the task's context and its
@@ -99,8 +104,22 @@ type Task struct {
 	// rng is the lazily created task-local deterministic random source
 	// (see Ctx.Rand).
 	rng *rand.Rand
+	// track caches path() for span emission. It is written only from
+	// goroutines whose accesses to this task are already ordered by the
+	// runtime's channels (the task's own goroutine, or the parent while
+	// the task is quiescent), and only when tracing is enabled.
+	track string
 
 	runtime *treeRuntime
+}
+
+// spanTrack returns the task's stable span track (its creation path),
+// cached after the first computation. Only called when tracing is on.
+func (t *Task) spanTrack() string {
+	if t.track == "" {
+		t.track = t.path()
+	}
+	return t.track
 }
 
 // treeRuntime holds process-wide state shared by a task tree.
@@ -131,6 +150,10 @@ type treeRuntime struct {
 	// merge waits and completion — so a bounded pool can never deadlock
 	// the merge protocol.
 	slots chan struct{}
+	// obs, when non-nil, receives hierarchical spans for every runtime
+	// event (see package obs). Every hook site checks for nil first, so a
+	// run without a tracer pays nothing on the spawn/merge hot path.
+	obs *obs.Tracer
 }
 
 // acquire takes an execution slot (no-op without a pool).
@@ -157,7 +180,16 @@ func (t *Task) ID() uint64 { return t.id }
 // running until it notices — its next Sync returns ErrAborted — but
 // whatever it produces is discarded at merge time. Abort never blocks and
 // is safe to call from the parent at any time.
-func (t *Task) Abort() { t.abortFlag.Store(true) }
+func (t *Task) Abort() {
+	t.abortFlag.Store(true)
+	if tr := t.runtime.obs; tr != nil {
+		// Abort may be called from any goroutine, so the span goes on a
+		// dedicated per-target track (not the caller's or the target's own
+		// track, whose program order it is not part of). path() is computed
+		// fresh — the cross-goroutine caller must not touch the cache.
+		tr.Emit("abort:"+t.path(), obs.KindAbort, "flagged", -1, 0, 0)
+	}
+}
 
 // Aborted reports whether the task was marked externally aborted.
 func (t *Task) Aborted() bool { return t.abortFlag.Load() }
@@ -293,14 +325,18 @@ func (t *Task) reap(c *Task) {
 func (t *Task) run() {
 	ctx := &Ctx{task: t}
 	t.runtime.acquire()
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				t.err = PanicError{Value: r}
-			}
-		}()
-		t.err = t.fn(ctx, t.data)
-	}()
+	if profileLabels.Load() {
+		// Label the user-code phase so CPU and goroutine profiles attribute
+		// samples to individual tasks. Gated by an atomic so the disabled
+		// path creates no closure and no label set.
+		pprof.Do(context.Background(), pprof.Labels(
+			"task_id", strconv.FormatUint(t.id, 10),
+			"task_path", t.path(),
+			"phase", "run",
+		), func(context.Context) { t.execBody(ctx) })
+	} else {
+		t.execBody(ctx)
+	}
 
 	if t.err != nil {
 		// A failed task cannot accept its children's changes — its own
@@ -312,10 +348,14 @@ func (t *Task) run() {
 	// Merge (or discard) every remaining child, including tasks cloned
 	// while the loop runs, so the subtree is fully collected before the
 	// parent observes completion.
-	for t.hasLiveChildren() {
-		if err := ctx.MergeAll(); err != nil && t.err == nil {
-			t.err = err
-		}
+	if profileLabels.Load() && t.hasLiveChildren() {
+		pprof.Do(context.Background(), pprof.Labels(
+			"task_id", strconv.FormatUint(t.id, 10),
+			"task_path", t.path(),
+			"phase", "merge",
+		), func(context.Context) { t.collectChildren(ctx) })
+	} else {
+		t.collectChildren(ctx)
 	}
 
 	if t.parent == nil {
@@ -330,6 +370,40 @@ func (t *Task) run() {
 	t.parent.ready <- t // may block until the parent drains announcements
 }
 
+// execBody runs the task function under the panic guard. Kept as a method
+// (not an inline closure in run) so the pprof-label wrapper only
+// allocates its closure when labelling is actually enabled.
+func (t *Task) execBody(ctx *Ctx) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = PanicError{Value: r}
+		}
+	}()
+	t.err = t.fn(ctx, t.data)
+}
+
+// collectChildren merges (or discards) every remaining child, including
+// tasks cloned while the loop runs.
+func (t *Task) collectChildren(ctx *Ctx) {
+	for t.hasLiveChildren() {
+		if err := ctx.MergeAll(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+}
+
+// profileLabels gates runtime/pprof goroutine labelling of task
+// execution. Off by default: labelling costs one label-set allocation per
+// task, which fan-out benchmarks would notice.
+var profileLabels atomic.Bool
+
+// SetProfileLabels enables or disables runtime/pprof labels on task
+// goroutines. When enabled, every task body runs under labels
+// task_id=<id>, task_path=<stable path>, phase=run|merge, so CPU and
+// goroutine profiles can be filtered to a single task or to merge work
+// (go tool pprof -tagfocus phase=merge).
+func SetProfileLabels(on bool) { profileLabels.Store(on) }
+
 // enterSync blocks the calling (child) goroutine until the parent merges
 // it, then reports the merge outcome. See Ctx.Sync.
 //
@@ -342,6 +416,11 @@ func (t *Task) run() {
 func (t *Task) enterSync() error {
 	if t.parent == nil {
 		return ErrRootSync
+	}
+	tr := t.runtime.obs
+	var syncStart time.Time
+	if tr != nil {
+		syncStart = time.Now()
 	}
 	var childErr error
 	for t.hasLiveChildren() {
@@ -363,6 +442,25 @@ func (t *Task) enterSync() error {
 	msg := <-t.resume
 	t.runtime.acquire()
 	t.phase.Store(int32(phaseRunning))
+	if tr != nil {
+		// Emitted from the task's own goroutine after the parent resumed
+		// it, so the span sits at its deterministic position on this task's
+		// track. The duration covers pre-merge child collection plus the
+		// wait for the parent — the full Sync cost as the task experiences
+		// it.
+		name := "merged"
+		if msg.err != nil {
+			switch msg.err {
+			case ErrAborted:
+				name = "aborted"
+			case ErrMergeRejected:
+				name = "rejected"
+			default:
+				name = "error"
+			}
+		}
+		tr.Emit(t.spanTrack(), obs.KindSync, name, -1, 0, time.Since(syncStart))
+	}
 	if msg.err != nil {
 		return msg.err
 	}

@@ -109,8 +109,6 @@ func (tr *Trace) String() string {
 // merge where behavior forked.
 func RunTraced(fn Func, data ...mergeable.Mergeable) (*Trace, error) {
 	tr := &Trace{}
-	rt := &treeRuntime{tracer: tr}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
-	root.run()
-	return tr, root.err
+	err := RunWith(RunConfig{Trace: tr}, fn, data...)
+	return tr, err
 }

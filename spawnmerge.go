@@ -46,6 +46,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/journal"
 	"repro/internal/mergeable"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -152,6 +153,56 @@ func RunReplaying(script *MergeScript, fn Func, data ...Mergeable) error {
 
 // WithCondition attaches a post-condition to a merge call.
 func WithCondition(cond Condition) MergeOption { return task.WithCondition(cond) }
+
+// Observability layer, re-exported from internal/obs.
+type (
+	// Tracer collects hierarchical runtime spans (see RunObserved). For a
+	// deterministic program the span tree is identical across runs and
+	// core counts, durations aside.
+	Tracer = obs.Tracer
+	// Span is one recorded runtime event.
+	Span = obs.Span
+	// SpanTree is a tracer's spans frozen into canonical, comparable form
+	// (Fingerprint, Render, obs.Diff).
+	SpanTree = obs.Tree
+	// MetricsRegistry exports counters and latency histograms over expvar
+	// (/debug/vars) and the Prometheus text format (/metrics).
+	MetricsRegistry = obs.Registry
+	// RunConfig bundles every optional runtime hook for RunWith.
+	RunConfig = task.RunConfig
+)
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return obs.New() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DiffSpanTrees reports the identity divergences between two span trees,
+// ignoring durations — empty for trees of equal fingerprint. Diffing a
+// failing run against a known-good one localizes where behavior forked.
+func DiffSpanTrees(a, b *SpanTree) []string { return obs.Diff(a, b) }
+
+// RunObserved is Run with span tracing: every spawn, merge (with nested
+// per-structure transform/apply phases), sync and abort in the task tree
+// is recorded into tracer. See internal/obs for the determinism
+// guarantees of the resulting span tree.
+func RunObserved(tracer *Tracer, fn Func, data ...Mergeable) error {
+	return task.RunObserved(tracer, fn, data...)
+}
+
+// RunWith executes fn with an explicit hook configuration — the general
+// form behind Run, RunPooled, RunTraced, RunRecording, RunReplaying and
+// RunObserved, for callers combining several hooks at once.
+func RunWith(cfg RunConfig, fn Func, data ...Mergeable) error {
+	return task.RunWith(cfg, fn, data...)
+}
+
+// SetProfileLabels enables runtime/pprof labels (task_id, task_path,
+// phase=run|merge) on every task goroutine, so CPU and goroutine profiles
+// can be sliced per task or per phase. Off by default; enabling costs one
+// label-set allocation per task.
+func SetProfileLabels(on bool) { task.SetProfileLabels(on) }
 
 // Journal sentinel errors, re-exported from internal/journal. Classify
 // with errors.Is.
