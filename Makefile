@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill fuzz fuzz-ot examples
+.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill explore explore-deep fuzz fuzz-ot examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -43,6 +43,28 @@ soak-kill:
 # bit-identical span trees and counter sets across GOMAXPROCS 1/4.
 soak-trace:
 	$(GO) run ./cmd/soak -trace -duration 30s
+
+# Bounded schedule exploration: exhaustively enumerate the MergeAny
+# fixtures, then random-walk the deterministic and chaos fixtures. The
+# whole pass fits in a CI smoke budget (well under 60s).
+explore:
+	$(GO) run ./cmd/explore -scenario anyorder -strategy exhaustive
+	$(GO) run ./cmd/explore -scenario overlapany -strategy exhaustive
+	$(GO) run ./cmd/explore -scenario abortsync -strategy exhaustive -procs 1,4
+	$(GO) run ./cmd/explore -scenario fanout -schedules 32 -procs 1,4
+	$(GO) run ./cmd/explore -scenario chaos -schedules 16
+
+# Deep exploration for the nightly job: big random-walk budgets, a
+# GOMAXPROCS sweep, crash-point sweeps on the journaled fixture, and
+# failing seeds persisted under explore-seeds/ for artifact upload.
+explore-deep:
+	mkdir -p explore-seeds
+	$(GO) run ./cmd/explore -scenario fanout -schedules 512 -procs 1,2,4,8 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario anyorder -schedules 256 -procs 1,4 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario abortsync -schedules 256 -procs 1,4 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario fanout -schedules 16 -crash -crash-points 5 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario chaos -schedules 128 -seeds explore-seeds
+	$(GO) run ./cmd/soak -explore -duration 120s
 
 # Journal recovery fuzzing (arbitrary WAL bytes must never panic and
 # must classify as corrupt / torn-tail / no-run).

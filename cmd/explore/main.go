@@ -1,0 +1,162 @@
+// Explore is the schedule-exploration CLI: it drives a built-in scenario
+// through the deterministic-simulation harness (internal/explore), which
+// seizes every nondeterminism source — MergeAny/MergeAnyFromSet pick
+// order, faultnet fault injection, journal crash points — behind one
+// decision stream, and checks the paper's invariants on every schedule:
+// bit-identical fingerprints for deterministic programs, MergeAny
+// outcomes reproducible from their recorded pick order, bounded progress,
+// and crash-resume equivalence.
+//
+//	go run ./cmd/explore -list
+//	go run ./cmd/explore -scenario anyorder -strategy exhaustive
+//	go run ./cmd/explore -scenario fanout -schedules 256 -procs 1,4,8
+//	go run ./cmd/explore -scenario fanout -crash
+//	go run ./cmd/explore -scenario chaos -schedules 64 -seeds out/
+//	go run ./cmd/explore -scenario buggy -replay out/buggy-determinism-000.seed
+//
+// A violation prints its (shrunk) decision trace and exits nonzero; with
+// -seeds the trace is also persisted as a replayable seed file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/explore"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "anyorder", "built-in scenario to explore (see -list)")
+		strategy  = flag.String("strategy", "random", "exploration strategy: random | exhaustive")
+		schedules = flag.Int("schedules", 64, "schedule budget per GOMAXPROCS value")
+		seed      = flag.Int64("seed", 1, "random-walk seed")
+		maxDec    = flag.Int("max-decisions", 4096, "per-schedule decision budget")
+		stall     = flag.Duration("stall", 10*time.Second, "bounded-progress watchdog window")
+		procs     = flag.String("procs", "", "comma-separated GOMAXPROCS sweep (e.g. 1,4,8)")
+		shrink    = flag.Bool("shrink", true, "delta-debug failing schedules to minimal traces")
+		seeds     = flag.String("seeds", "", "directory to persist failing seeds into")
+		replay    = flag.String("replay", "", "replay a persisted seed file instead of exploring")
+		crash     = flag.Bool("crash", false, "sweep injected crash points over every schedule")
+		points    = flag.Int("crash-points", 3, "crash boundaries per schedule with -crash")
+		failFast  = flag.Bool("fail-fast", false, "stop at the first violation")
+		list      = flag.Bool("list", false, "list built-in scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range explore.Builtins() {
+			kind := "MergeAny"
+			if sc.Deterministic {
+				kind = "deterministic"
+			}
+			fmt.Printf("  %-12s %s\n", sc.Name, kind)
+		}
+		return
+	}
+
+	sc, ok := explore.BuiltinScenario(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "explore: unknown scenario %q (try -list)\n", *scenario)
+		os.Exit(2)
+	}
+
+	counters := stats.NewCounters()
+	opts := explore.Options{
+		Schedules:    *schedules,
+		Seed:         *seed,
+		MaxDecisions: *maxDec,
+		StallTimeout: *stall,
+		Shrink:       *shrink,
+		SeedDir:      *seeds,
+		FailFast:     *failFast,
+		Stats:        counters,
+	}
+	switch *strategy {
+	case "random":
+		opts.Strategy = explore.RandomWalk
+	case "exhaustive":
+		opts.Strategy = explore.Exhaustive
+	default:
+		fmt.Fprintf(os.Stderr, "explore: unknown strategy %q (random | exhaustive)\n", *strategy)
+		os.Exit(2)
+	}
+	if *procs != "" {
+		for _, p := range strings.Split(*procs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "explore: bad -procs entry %q\n", p)
+				os.Exit(2)
+			}
+			opts.Procs = append(opts.Procs, v)
+		}
+	}
+	if *crash {
+		opts.Crash = &explore.CrashCheck{
+			Encode: dist.EncodeSnapshot,
+			Decode: dist.DecodeSnapshot,
+			Points: *points,
+		}
+	}
+
+	if *replay != "" {
+		v, err := explore.ReplaySeed(*replay, sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+			os.Exit(2)
+		}
+		if v == nil {
+			fmt.Printf("seed %s no longer fails on %s\n", *replay, sc.Name)
+			return
+		}
+		fmt.Printf("seed reproduces: %v\n", v)
+		printViolation(v)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res, err := explore.Run(sc, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s (%s strategy, %s)\n", res, opts.Strategy, time.Since(start).Round(time.Millisecond))
+	if n := counters.Get("replay_check"); n > 0 {
+		fmt.Printf("  replay cross-checks: %d\n", n)
+	}
+	if n := counters.Get("crash_check"); n > 0 {
+		fmt.Printf("  crash sweeps: %d\n", n)
+	}
+	if n := counters.Get("shrink_try"); n > 0 {
+		fmt.Printf("  shrink probes: %d\n", n)
+	}
+	for _, v := range res.Violations {
+		fmt.Println()
+		fmt.Println(v)
+		printViolation(v)
+	}
+	if !res.Ok() {
+		os.Exit(1)
+	}
+}
+
+func printViolation(v *explore.Violation) {
+	if len(v.Trace) > 0 {
+		fmt.Printf("  minimal decision trace:\n")
+		for _, line := range strings.Split(strings.TrimRight(v.Trace.String(), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	for _, line := range v.SpanDiff {
+		fmt.Printf("  span diff: %s\n", line)
+	}
+	if v.SeedFile != "" {
+		fmt.Printf("  seed file: %s\n", v.SeedFile)
+	}
+}

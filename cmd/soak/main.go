@@ -25,9 +25,15 @@
 // to an uninterrupted in-process reference. Every kill exercises a real
 // torn WAL tail; every resume exercises full recovery.
 //
+// With -explore the soak rotates the built-in schedule-exploration
+// scenarios (internal/explore) under the random-walk strategy, so every
+// probe also exercises forced MergeAny pick orders and decision-driven
+// fault injection; -metrics exports the explorer's progress counters.
+//
 //	go run ./cmd/soak -duration 30s
 //	go run ./cmd/soak -duration 30s -chaos
 //	go run ./cmd/soak -duration 30s -kill
+//	go run ./cmd/soak -duration 30s -explore -metrics localhost:0
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/dist"
+	"repro/internal/explore"
 	"repro/internal/faultnet"
 	"repro/internal/journal"
 	"repro/internal/mergeable"
@@ -438,12 +445,48 @@ func simProbe(r *rand.Rand) error {
 	return nil
 }
 
+// exploreSoak rotates the built-in exploration scenarios under the
+// random-walk strategy until the deadline, holding every schedule to the
+// explorer's invariants (determinism, replay soundness, progress). With
+// -metrics the explorer's counters are exported under the "explore"
+// group, so /metrics shows schedules, decisions and shrink probes live.
+func exploreSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistry) {
+	counters := stats.NewCounters()
+	if reg != nil {
+		reg.AddCounters("explore", counters)
+	}
+	scenarios := explore.Builtins()
+	deadline := time.Now().Add(duration)
+	rounds := 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		sc := scenarios[i%len(scenarios)]
+		res, err := explore.Run(sc, explore.Options{
+			Schedules: 16,
+			Seed:      baseSeed + int64(i),
+			Shrink:    true,
+			Stats:     counters,
+		})
+		if err != nil {
+			fmt.Printf("EXPLORE ERROR: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		if !res.Ok() {
+			fmt.Printf("EXPLORE VIOLATION (round seed %d): %v\n", baseSeed+int64(i), res.Violations[0])
+			os.Exit(1)
+		}
+		rounds++
+	}
+	fmt.Printf("clean: %d exploration rounds, %d schedules, %d decisions, %d lost to tolerated chaos\n",
+		rounds, counters.Get("schedule"), counters.Get("decision"), counters.Get("lost"))
+}
+
 func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to soak")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
 	chaos := flag.Bool("chaos", false, "soak the distributed runtime under fault injection instead")
 	kill := flag.Bool("kill", false, "soak crash recovery: SIGKILL and resume journaled workers in a loop")
 	trace := flag.Bool("trace", false, "soak the span tracer: traced probes must be bit-identical across GOMAXPROCS 1/4")
+	explores := flag.Bool("explore", false, "soak the schedule explorer: rotate the built-in scenarios under random-walk exploration")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
 	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
@@ -475,6 +518,10 @@ func main() {
 	}
 	if *trace {
 		traceSoak(*duration, *seed, reg, *spandump)
+		return
+	}
+	if *explores {
+		exploreSoak(*duration, *seed, reg)
 		return
 	}
 	var agg *repro.Tracer

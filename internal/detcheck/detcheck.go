@@ -3,13 +3,21 @@
 // several GOMAXPROCS settings — and verifies every execution produced the
 // same fingerprint. A deterministic program has exactly one observable
 // outcome; any second fingerprint is a reportable violation.
+//
+// Since the schedule explorer landed, detcheck is a thin compatibility
+// wrapper: Check and CheckAcrossProcs ride internal/explore's random-walk
+// strategy (as Opaque scenarios — self-contained runs the explorer
+// samples but cannot steer). Programs wanting steered schedules,
+// exhaustive enumeration or shrinking counterexamples should use
+// internal/explore directly.
 package detcheck
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
+
+	"repro/internal/explore"
 )
 
 // Scenario produces one run's result fingerprint. It must build all its
@@ -48,15 +56,7 @@ func (r Report) String() string {
 
 // Check runs scenario n times and collects the outcome fingerprints.
 func Check(n int, scenario Scenario) (Report, error) {
-	rep := Report{Runs: n, Fingerprints: make(map[uint64]int)}
-	for i := 0; i < n; i++ {
-		fp, err := scenario()
-		if err != nil {
-			return rep, fmt.Errorf("detcheck: run %d failed: %w", i, err)
-		}
-		rep.Fingerprints[fp]++
-	}
-	return rep, nil
+	return run(n, nil, scenario)
 }
 
 // CheckAcrossProcs runs scenario n times under each of the given
@@ -64,18 +64,33 @@ func Check(n int, scenario Scenario) (Report, error) {
 // outcomes into one report — the paper's "regardless of the number of
 // cores" claim in executable form.
 func CheckAcrossProcs(n int, procs []int, scenario Scenario) (Report, error) {
-	orig := runtime.GOMAXPROCS(0)
-	defer runtime.GOMAXPROCS(orig)
+	return run(n, procs, scenario)
+}
+
+// run adapts the explorer's random walk to detcheck's historical
+// contract: exactly n runs per GOMAXPROCS value, stop at the first
+// failing run, report partial fingerprints alongside the error.
+func run(n int, procs []int, scenario Scenario) (Report, error) {
 	rep := Report{Fingerprints: make(map[uint64]int)}
-	for _, p := range procs {
-		runtime.GOMAXPROCS(p)
-		sub, err := Check(n, scenario)
-		rep.Runs += sub.Runs
-		for fp, c := range sub.Fingerprints {
-			rep.Fingerprints[fp] += c
-		}
-		if err != nil {
-			return rep, err
+	if n <= 0 {
+		return rep, nil
+	}
+	res, err := explore.Run(
+		explore.Opaque("detcheck", scenario),
+		explore.Options{Schedules: n, Procs: procs, FailFast: true},
+	)
+	if err != nil {
+		return rep, err
+	}
+	rep.Fingerprints = res.Outcomes
+	// Runs counts n per attempted GOMAXPROCS pass, even when a failing
+	// run cut the pass short — the historical accounting.
+	passes := (res.Schedules + n - 1) / n
+	rep.Runs = passes * n
+	for _, v := range res.Violations {
+		if v.Kind == explore.KindError {
+			idx := res.Schedules - 1 - (passes-1)*n
+			return rep, fmt.Errorf("detcheck: run %d failed: %w", idx, v.Err)
 		}
 	}
 	return rep, nil

@@ -1,0 +1,222 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/faultnet"
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// Built-in scenarios: small Spawn & Merge programs that each pin one of
+// the paper's claims under exploration. cmd/explore runs them by name;
+// the package tests use them as fixtures.
+
+func init() {
+	// The chaos scenario's structures cross node (and crash) boundaries.
+	dist.RegisterListCodec[int]("explore-list-int")
+	dist.RegisterRegisterCodec[int]("explore-reg-int")
+	for i, delta := range []int64{100, 200, 300} {
+		node, d := i, delta
+		dist.RegisterFunc(fmt.Sprintf("explore-chaos-%d", node), func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.List[int]).Insert(0, node+1)
+			data[1].(*mergeable.Counter).Add(d)
+			return nil
+		})
+	}
+}
+
+// Fanout is the determinism workhorse: three rounds of three children
+// each, all merged with MergeAll, so the paper demands one bit-identical
+// outcome on every goroutine interleaving and every GOMAXPROCS. Multiple
+// root merges also make it the crash-exploration fixture (checkpoints
+// land on the root-merge cadence).
+func Fanout() Scenario {
+	return Scenario{
+		Name:          "fanout",
+		Deterministic: true,
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			list := mergeable.NewList[int]()
+			cnt := mergeable.NewCounter(0)
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for round := 0; round < 3; round++ {
+					for child := 0; child < 3; child++ {
+						r, c := round, child
+						ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+							data[0].(*mergeable.List[int]).Append(r*10 + c)
+							data[1].(*mergeable.Counter).Inc()
+							return nil
+						}, data[0], data[1])
+					}
+					if err := ctx.MergeAll(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fn, []mergeable.Mergeable{list, cnt}
+		},
+	}
+}
+
+// AnyOrder drains a three-child fan-out with successive MergeAny calls,
+// so the merge order — and with it the list contents — is exactly the
+// explorer's pick sequence: 3×2×1 = 6 schedules, six distinct outcomes,
+// each of which must survive the replay cross-check (the recorded
+// MergeScript re-run through the production replay path).
+func AnyOrder() Scenario {
+	return Scenario{
+		Name: "anyorder",
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			list := mergeable.NewList[int]()
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for i := 0; i < 3; i++ {
+					id := i
+					ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+						data[0].(*mergeable.List[int]).Append(id)
+						return nil
+					}, data[0])
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := ctx.MergeAny(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fn, []mergeable.Mergeable{list}
+		},
+	}
+}
+
+// AbortSync races Abort against Sync: every worker checkpoints through
+// Sync three times while the root aborts one of them — which one, the
+// decision stream picks — and whether the flag lands before the victim's
+// first Sync, mid-loop, or after its body finished is up to the goroutine
+// schedule. The paper's abort contract makes the outcome deterministic
+// anyway: exactly the victim's effects are discarded, wherever the abort
+// landed, so the surviving operation count is the fingerprint.
+func AbortSync() Scenario {
+	return Scenario{
+		Name:          "abortsync",
+		Deterministic: true,
+		// Only the counter is the observable outcome: the list's contents
+		// name the surviving workers (they differ by victim), the count of
+		// committed increments must not (always two workers × three).
+		Fingerprint: func(data []mergeable.Mergeable) uint64 {
+			return uint64(data[1].(*mergeable.Counter).Value())
+		},
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			list := mergeable.NewList[int]()
+			cnt := mergeable.NewCounter(0)
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				var workers []*task.Task
+				for i := 0; i < 3; i++ {
+					id := i
+					workers = append(workers, ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+						for round := 0; round < 3; round++ {
+							data[0].(*mergeable.List[int]).Append(id*10 + round)
+							data[1].(*mergeable.Counter).Inc()
+							if err := ctx.Sync(); err != nil {
+								return nil // aborted mid-loop: bow out
+							}
+						}
+						return nil
+					}, data[0], data[1]))
+				}
+				victim := env.Decide("abort.victim", len(workers))
+				workers[victim].Abort()
+				return ctx.MergeAll()
+			}
+			return fn, []mergeable.Mergeable{list, cnt}
+		},
+	}
+}
+
+// OverlapAny exercises MergeAnyFromSet with duplicate and overlapping
+// candidate sets: the first call lists two children twice over, the
+// second call's set overlaps the first winner (leaving one live
+// candidate, which is not a decision point at all), and a final MergeAll
+// collects whatever survived.
+func OverlapAny() Scenario {
+	return Scenario{
+		Name: "overlapany",
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			list := mergeable.NewList[int]()
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				var kids []*task.Task
+				for i := 0; i < 3; i++ {
+					id := i
+					kids = append(kids, ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+						data[0].(*mergeable.List[int]).Append(id)
+						return nil
+					}, data[0]))
+				}
+				a, b, c := kids[0], kids[1], kids[2]
+				if _, err := ctx.MergeAnyFromSet([]*task.Task{a, b, a, b}); err != nil {
+					return err
+				}
+				if _, err := ctx.MergeAnyFromSet([]*task.Task{b, c}); err != nil {
+					return err
+				}
+				return ctx.MergeAll()
+			}
+			return fn, []mergeable.Mergeable{list}
+		},
+	}
+}
+
+// Chaos runs the three-node distributed workload on a faultnet transport
+// whose every fault decision — drop, reset, dial failure — comes from the
+// decision stream instead of the seeded probabilistic draws. The healthy
+// all-default schedule anchors the fingerprint; schedules that force
+// faults must either recover to the same outcome (retries, failover) or
+// die with an injected-fault error, which the scenario tolerates as a
+// lost run. Latency injection is off by construction (deciders disable
+// it), heartbeats are off by configuration, so the protocol byte stream —
+// and with it the decision trace — stays schedule-deterministic.
+func Chaos() Scenario {
+	return Scenario{
+		Name:          "chaos",
+		Deterministic: true,
+		TolerateError: func(err error) bool { return err != nil },
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			fnet := faultnet.New(faultnet.Config{Decider: env.Decide})
+			cluster := dist.NewClusterWith(dist.Options{
+				Nodes:             3,
+				SendTimeout:       time.Second,
+				RecvTimeout:       time.Second,
+				HeartbeatInterval: -1,
+				Retry:             dist.RetryPolicy{MaxAttempts: 4},
+				Listen:            func(node int) dist.Listener { return fnet.Listen(node, 64) },
+			})
+			env.Defer(cluster.Close)
+			list := mergeable.NewList(0)
+			cnt := mergeable.NewCounter(0)
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for i := 0; i < 3; i++ {
+					cluster.SpawnRemote(ctx, i, fmt.Sprintf("explore-chaos-%d", i), data[0], data[1])
+				}
+				return ctx.MergeAll()
+			}
+			return fn, []mergeable.Mergeable{list, cnt}
+		},
+	}
+}
+
+// Builtins returns the built-in scenarios in a stable order.
+func Builtins() []Scenario {
+	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos()}
+}
+
+// BuiltinScenario looks a built-in up by name.
+func BuiltinScenario(name string) (Scenario, bool) {
+	for _, sc := range Builtins() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Seed files are the explorer's portable counterexamples: a small text
+// file holding a scenario name, a violation kind and a decision trace.
+// The format is line-oriented so a failing seed reads in a CI log or a
+// bug report as-is:
+//
+//	explore-seed v1
+//	scenario: mergeany-fanout
+//	kind: determinism
+//	decision: merge:r 3 2
+//	decision: merge:r 2 1
+//
+// Decision lines are "decision: <site> <n> <pick>"; sites never contain
+// spaces (task paths are r/0/2..., fault sites fault.write:n0:...).
+
+const seedMagic = "explore-seed v1"
+
+// Seed is a parsed seed file.
+type Seed struct {
+	Scenario string
+	Kind     string
+	Trace    Trace
+}
+
+// WriteSeedFile persists a trace as a seed file at path.
+func WriteSeedFile(path, scenario, kind string, tr Trace) error {
+	var sb strings.Builder
+	sb.WriteString(seedMagic + "\n")
+	fmt.Fprintf(&sb, "scenario: %s\n", scenario)
+	fmt.Fprintf(&sb, "kind: %s\n", kind)
+	for _, d := range tr {
+		fmt.Fprintf(&sb, "decision: %s %d %d\n", d.Site, d.N, d.Pick)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("explore: write seed: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("explore: write seed: %w", err)
+	}
+	return nil
+}
+
+// ReadSeedFile parses a seed file.
+func ReadSeedFile(path string) (*Seed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("explore: read seed: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != seedMagic {
+		return nil, fmt.Errorf("explore: %s is not a seed file (want %q header)", path, seedMagic)
+	}
+	seed := &Seed{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("explore: %s:%d: malformed line %q", path, line, text)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "scenario":
+			seed.Scenario = val
+		case "kind":
+			seed.Kind = val
+		case "decision":
+			fields := strings.Fields(val)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("explore: %s:%d: decision wants \"<site> <n> <pick>\", got %q", path, line, val)
+			}
+			var d Decision
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &d.N, &d.Pick); err != nil {
+				return nil, fmt.Errorf("explore: %s:%d: bad decision numbers %q: %v", path, line, val, err)
+			}
+			d.Site = fields[0]
+			if d.N < 2 || d.Pick < 0 || d.Pick >= d.N {
+				return nil, fmt.Errorf("explore: %s:%d: decision %q out of range", path, line, val)
+			}
+			seed.Trace = append(seed.Trace, d)
+		default:
+			return nil, fmt.Errorf("explore: %s:%d: unknown key %q", path, line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("explore: read seed: %w", err)
+	}
+	if seed.Scenario == "" {
+		return nil, fmt.Errorf("explore: %s: missing scenario line", path)
+	}
+	return seed, nil
+}
+
+// ReplaySeed re-runs a persisted counterexample: it reads the seed file,
+// replays its trace into sc (which must match the seed's scenario name)
+// and re-evaluates the invariants, returning the reproduced violation or
+// nil if the seed no longer fails.
+func ReplaySeed(path string, sc Scenario, opts Options) (*Violation, error) {
+	seed, err := ReadSeedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if seed.Scenario != sc.Name {
+		return nil, fmt.Errorf("explore: seed %s is for scenario %q, not %q", path, seed.Scenario, sc.Name)
+	}
+	return ReplayTrace(sc, seed.Trace, opts)
+}
+
+// persistSeed writes a violation's trace under dir with a collision-free
+// deterministic name.
+func persistSeed(dir, scenario, kind string, ordinal int, tr Trace) (string, error) {
+	name := fmt.Sprintf("%s-%s-%03d.seed", sanitize(scenario), kind, ordinal)
+	path := filepath.Join(dir, name)
+	if err := WriteSeedFile(path, scenario, kind, tr); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

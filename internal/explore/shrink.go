@@ -1,0 +1,75 @@
+package explore
+
+import "repro/internal/stats"
+
+// shrink delta-debugs a failing decision trace to a locally minimal one:
+// the returned trace still satisfies fails, and removing any single
+// decision (or lowering any pick) from it no longer would — within the
+// re-run budget. The algorithm is ddmin-style chunk removal, refined by
+// per-decision pick lowering (a lower pick is a "smaller" choice: 0 is
+// the default alternative), finished by trimming trailing defaults —
+// which is free, because an absent trailing decision falls back to the
+// same default pick the trace would have forced.
+func shrink(tr Trace, fails func(Trace) bool, budget int, counters *stats.Counters) Trace {
+	best := tr.clone()
+	tries := 0
+	attempt := func(cand Trace) bool {
+		if tries >= budget {
+			return false
+		}
+		tries++
+		counters.Inc("shrink_try")
+		if fails(cand) {
+			best = cand.clone()
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: ddmin chunk removal. Try dropping ever-smaller chunks
+	// until no chunk of any size can go.
+	for chunk := (len(best) + 1) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(best); {
+			cand := make(Trace, 0, len(best)-chunk)
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[start+chunk:]...)
+			if attempt(cand) {
+				removed = true
+				// best changed; retry the same start against the new best.
+			} else {
+				start += chunk
+			}
+			if tries >= budget {
+				break
+			}
+		}
+		if !removed || chunk > len(best) {
+			chunk /= 2
+		}
+		if tries >= budget {
+			break
+		}
+	}
+
+	// Phase 2: lower each surviving pick toward the default.
+	for i := 0; i < len(best); i++ {
+		for best[i].Pick > 0 {
+			cand := best.clone()
+			cand[i].Pick--
+			if !attempt(cand) {
+				break
+			}
+		}
+		if tries >= budget {
+			break
+		}
+	}
+
+	// Phase 3: trailing defaults cost nothing — drop them without
+	// re-checking (an exhausted forced queue answers the default anyway).
+	for len(best) > 0 && best[len(best)-1].Pick == 0 {
+		best = best[:len(best)-1]
+	}
+	return best
+}

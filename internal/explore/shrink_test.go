@@ -1,0 +1,136 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+)
+
+// buggyScenario claims determinism but plants a schedule-dependent bug:
+// whenever child 2 wins the first MergeAny, a sentinel lands in the
+// counter. The bug needs exactly one wrong decision to fire, so the
+// shrinker must reduce any failing trace to a single decision.
+func buggyScenario() Scenario {
+	return Scenario{
+		Name:          "buggy",
+		Deterministic: true,
+		Fingerprint: func(data []mergeable.Mergeable) uint64 {
+			return uint64(data[0].(*mergeable.Counter).Value())
+		},
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			cnt := mergeable.NewCounter(0)
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				var kids []*task.Task
+				for i := 0; i < 3; i++ {
+					kids = append(kids, ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+						data[0].(*mergeable.Counter).Inc()
+						return nil
+					}, data[0]))
+				}
+				winner, err := ctx.MergeAny()
+				if err != nil {
+					return err
+				}
+				if winner == kids[2] {
+					data[0].(*mergeable.Counter).Add(999) // the injected bug
+				}
+				return ctx.MergeAll()
+			}
+			return fn, []mergeable.Mergeable{cnt}
+		},
+	}
+}
+
+// TestShrinkFindsMinimalCounterexample is the acceptance check for
+// shrinking: the injected determinism bug must be found, delta-debugged
+// to at most three decisions (this one needs exactly one), persisted as
+// a seed file, and reproduced from that file alone.
+func TestShrinkFindsMinimalCounterexample(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(buggyScenario(), Options{
+		Strategy:  Exhaustive,
+		Schedules: 50,
+		Shrink:    true,
+		SeedDir:   dir,
+		FailFast:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("the injected bug was not found")
+	}
+	v := res.Violations[0]
+	if v.Kind != KindDeterminism {
+		t.Fatalf("violation kind = %s, want %s", v.Kind, KindDeterminism)
+	}
+	if len(v.Trace) > 3 {
+		t.Errorf("shrunk trace has %d decisions, want ≤3:\n%s", len(v.Trace), v.Trace)
+	}
+	if len(v.Trace) != 1 {
+		t.Errorf("this bug needs exactly one decision, shrinker kept %d:\n%s", len(v.Trace), v.Trace)
+	}
+	if len(v.Trace) == 1 {
+		d := v.Trace[0]
+		if !strings.HasPrefix(d.Site, "merge:") || d.Pick != 2 {
+			t.Errorf("minimal decision = %v, want a merge pick of 2", d)
+		}
+	}
+	if v.SeedFile == "" {
+		t.Fatal("violation was not persisted to a seed file")
+	}
+
+	// The persisted seed alone must reproduce the violation.
+	re, err := ReplaySeed(v.SeedFile, buggyScenario(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re == nil {
+		t.Fatal("replaying the persisted seed did not reproduce the violation")
+	}
+	if re.Kind != KindDeterminism {
+		t.Errorf("replayed violation kind = %s, want %s", re.Kind, KindDeterminism)
+	}
+}
+
+// TestShrinkAlgorithm pins the shrinker's behavior on a synthetic
+// predicate: failure iff the trace sets site "x" to pick 2 somewhere —
+// everything else is noise to remove.
+func TestShrinkAlgorithm(t *testing.T) {
+	noise := Trace{
+		{Site: "a", N: 2, Pick: 1},
+		{Site: "b", N: 3, Pick: 2},
+		{Site: "x", N: 3, Pick: 2},
+		{Site: "c", N: 2, Pick: 1},
+		{Site: "d", N: 2, Pick: 1},
+	}
+	fails := func(tr Trace) bool {
+		for _, d := range tr {
+			if d.Site == "x" && d.Pick == 2 {
+				return true
+			}
+		}
+		return false
+	}
+	got := shrink(noise, fails, 200, newTestCounters())
+	if len(got) != 1 || got[0].Site != "x" || got[0].Pick != 2 {
+		t.Errorf("shrink kept %v, want just the x/2 decision", got)
+	}
+}
+
+// TestShrinkTrimsTrailingDefaults checks the free phase: trailing default
+// picks vanish without predicate re-runs.
+func TestShrinkTrimsTrailingDefaults(t *testing.T) {
+	tr := Trace{
+		{Site: "x", N: 2, Pick: 1},
+		{Site: "y", N: 2, Pick: 0},
+		{Site: "z", N: 3, Pick: 0},
+	}
+	fails := func(tr Trace) bool { return len(tr) > 0 && tr[0].Site == "x" && tr[0].Pick == 1 }
+	got := shrink(tr, fails, 200, newTestCounters())
+	if len(got) != 1 {
+		t.Errorf("shrink kept %v, want just the x decision", got)
+	}
+}

@@ -44,6 +44,19 @@ import (
 // ErrInjected is wrapped by every fault the network injects.
 var ErrInjected = errors.New("faultnet: injected fault")
 
+// Decision alternatives handed to a Config.Decider. Alternative 0 is
+// always "no fault", so a decider that falls back to 0 (the schedule
+// explorer's default) yields a healthy network.
+const (
+	// Write-path alternatives (n = 3).
+	WriteDeliver = 0
+	WriteDrop    = 1
+	WriteReset   = 2
+	// Dial-path alternatives (n = 2).
+	DialOK   = 0
+	DialFail = 1
+)
+
 // Config sets the fault mix. Zero values mean a perfectly healthy
 // network (the wrapper then only adds accounting).
 type Config struct {
@@ -62,6 +75,16 @@ type Config struct {
 	// MaxDelay bounds the seeded per-write latency; zero disables
 	// latency injection.
 	MaxDelay time.Duration
+	// Decider, when non-nil, takes over every fault decision from the
+	// seeded probabilistic streams — the schedule explorer's hook. Each
+	// write asks for one of WriteDeliver / WriteDrop / WriteReset (n=3),
+	// each dial for DialOK / DialFail (n=2). site identifies the decision
+	// point stably across runs with the same connection-establishment
+	// order ("fault.dial:n<node>", "fault.write:n<node>:<schedule seed>").
+	// Latency injection is disabled under a decider: a deterministic
+	// simulation must not sleep. Partitions stay under explicit
+	// Partition/Heal control either way.
+	Decider func(site string, n int) int
 }
 
 // Network is a fault-injecting transport fabric. Create listeners on it
@@ -167,9 +190,14 @@ func (l *Listener) Accept() (net.Conn, error) {
 // Dial connects to the listener, possibly failing with an injected
 // error, and returns the fault-wrapped client end.
 func (l *Listener) Dial() (net.Conn, error) {
-	l.mu.Lock()
-	fail := l.dialRng.Float64() < l.net.cfg.DialFailProb
-	l.mu.Unlock()
+	var fail bool
+	if d := l.net.cfg.Decider; d != nil {
+		fail = d(fmt.Sprintf("fault.dial:n%d", l.node), 2) == DialFail
+	} else {
+		l.mu.Lock()
+		fail = l.dialRng.Float64() < l.net.cfg.DialFailProb
+		l.mu.Unlock()
+	}
 	if fail {
 		l.net.counters.Inc("dial_fail")
 		return nil, fmt.Errorf("faultnet: dial node %d: %w", l.node, ErrInjected)
@@ -189,6 +217,7 @@ func (n *Network) wrap(c net.Conn, node int, seed int64) net.Conn {
 		Conn: c,
 		net:  n,
 		node: node,
+		site: fmt.Sprintf("fault.write:n%d:%016x", node, uint64(seed)),
 		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
@@ -200,20 +229,34 @@ type conn struct {
 	net.Conn
 	net  *Network
 	node int
+	// site is the connection's stable decision-point identity for
+	// Config.Decider, derived from the node and the connection seed.
+	site string
 
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 func (c *conn) Write(b []byte) (int, error) {
-	// Always draw all three variates so a connection's fault schedule
-	// depends only on its seed and write count, not on the configured
-	// probabilities.
-	c.mu.Lock()
-	delayFrac := c.rng.Float64()
-	drop := c.rng.Float64() < c.net.cfg.DropProb
-	reset := c.rng.Float64() < c.net.cfg.ResetProb
-	c.mu.Unlock()
+	var drop, reset bool
+	var delayFrac float64
+	if d := c.net.cfg.Decider; d != nil {
+		switch d(c.site, 3) {
+		case WriteDrop:
+			drop = true
+		case WriteReset:
+			reset = true
+		}
+	} else {
+		// Always draw all three variates so a connection's fault schedule
+		// depends only on its seed and write count, not on the configured
+		// probabilities.
+		c.mu.Lock()
+		delayFrac = c.rng.Float64()
+		drop = c.rng.Float64() < c.net.cfg.DropProb
+		reset = c.rng.Float64() < c.net.cfg.ResetProb
+		c.mu.Unlock()
+	}
 
 	if c.net.isPartitioned(c.node) {
 		c.net.counters.Inc("partition_swallow")

@@ -181,6 +181,77 @@ func TestLatencyDelivers(t *testing.T) {
 	})
 }
 
+// TestDeciderDrivesFaults: with a Decider installed the probabilistic
+// streams are bypassed entirely — the decider's answers script every
+// write and dial outcome, and the probabilities are ignored.
+func TestDeciderDrivesFaults(t *testing.T) {
+	testutil.WithTimeout(t, 10*time.Second, func() {
+		var sites []string
+		script := []int{WriteDeliver, WriteDrop, WriteReset}
+		step := 0
+		n := New(Config{
+			Seed:     7,
+			DropProb: 1, // must be ignored under a decider
+			Decider: func(site string, alts int) int {
+				sites = append(sites, site)
+				if alts == 2 {
+					return DialOK
+				}
+				pick := script[step%len(script)]
+				step++
+				return pick
+			},
+		})
+		l := n.Listen(5, 4)
+		defer l.Close()
+		client, server := pipePair(t, l)
+		defer client.Close()
+		defer server.Close()
+
+		// Write 1: deliver (DropProb=1 would have swallowed it).
+		go client.Write([]byte("ok"))
+		buf := make([]byte, 8)
+		got, err := readWithDeadline(server, buf, 2*time.Second)
+		if err != nil || string(buf[:got]) != "ok" {
+			t.Fatalf("scripted deliver: read = %q, %v", buf[:got], err)
+		}
+		// Write 2: drop — claims success, nothing arrives.
+		if _, err := client.Write([]byte("lost")); err != nil {
+			t.Fatalf("scripted drop should claim success, got %v", err)
+		}
+		// Write 3: reset — the connection dies with ErrInjected.
+		if _, err := client.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("scripted reset: write = %v, want injected reset", err)
+		}
+		if n.Stats().Get("drop") != 1 || n.Stats().Get("reset") != 1 {
+			t.Fatalf("counters = %v, want one drop and one reset", n.Stats().Snapshot())
+		}
+		if len(sites) == 0 || sites[0] != "fault.dial:n5" {
+			t.Fatalf("sites = %v, want dial site first", sites)
+		}
+		for _, s := range sites[1:] {
+			if len(s) < len("fault.write:n5:") || s[:len("fault.write:n5:")] != "fault.write:n5:" {
+				t.Fatalf("unexpected write site %q", s)
+			}
+		}
+	})
+}
+
+// TestDeciderDialFailure: a decider can fail dials outright.
+func TestDeciderDialFailure(t *testing.T) {
+	n := New(Config{Decider: func(site string, alts int) int {
+		if alts == 2 {
+			return DialFail
+		}
+		return WriteDeliver
+	}})
+	l := n.Listen(0, 4)
+	defer l.Close()
+	if _, err := l.Dial(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial = %v, want injected failure", err)
+	}
+}
+
 // TestPartitionAndHeal: a partitioned node's traffic is blackholed in
 // both directions without closing connections; Heal restores delivery.
 func TestPartitionAndHeal(t *testing.T) {

@@ -70,6 +70,17 @@ type Options struct {
 	// replay) and is also handed to the task runtime, so a journaled run
 	// gets the full span tree. Nil — the default — costs nothing.
 	Obs *obs.Tracer
+
+	// Choose, when non-nil, decides fresh MergeAny picks — ones the
+	// journal's own durable replay script does not cover — so the
+	// schedule explorer can pin a journaled run to an exact schedule.
+	// Journaled picks always take precedence on Resume.
+	Choose task.ChoiceFunc
+
+	// Jitter, when non-nil, is invoked at every blocking point of the
+	// merge protocol (see task.RunConfig.Jitter) — harnesses use it as a
+	// progress pulse for stall watchdogs.
+	Jitter func()
 }
 
 func (o Options) normalized() (Options, error) {

@@ -66,6 +66,8 @@ func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeab
 	runErr := task.RunWith(task.RunConfig{
 		Replay:      replay,
 		Record:      record,
+		Choose:      j.opts.Choose,
+		Jitter:      j.opts.Jitter,
 		OnRootMerge: j.onRootMerge,
 		Obs:         j.opts.Obs,
 	}, fn, data...)

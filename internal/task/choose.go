@@ -1,0 +1,61 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChoiceFunc decides which child a MergeAny / MergeAnyFromSet call merges
+// next — the scheduler hook the schedule explorer (internal/explore)
+// drives. It is consulted on the merging parent's goroutine with the
+// parent's stable path and the creation sequence numbers of the unmerged
+// candidate children, in ascending order: the live children at call time
+// for MergeAny, the given set for MergeAnyFromSet. Returning ok=true
+// forces that child — the parent waits for it to become quiescent even if
+// another candidate finishes first — which is how an explorer enumerates
+// completion orders the wall clock would never produce. Returning
+// ok=false falls back to live first-completed behavior.
+//
+// The returned childSeq must be one of candidates; anything else panics,
+// since silently waiting for a child that is not a candidate could block
+// forever. A replay script (RunConfig.Replay) takes precedence: the
+// chooser only sees merges the script does not cover.
+type ChoiceFunc func(parentPath string, candidates []uint64) (childSeq uint64, ok bool)
+
+// chosenPick consults the runtime's chooser for a MergeAny pick. set
+// restricts the candidates (MergeAnyFromSet); nil means all live
+// children (dynamic MergeAny). It returns nil when no chooser is
+// installed, no candidate exists, or the chooser declines.
+func (t *Task) chosenPick(set map[*Task]bool) *Task {
+	choose := t.runtime.choose
+	if choose == nil {
+		return nil
+	}
+	var cand []*Task
+	if set == nil {
+		cand = t.liveChildren()
+	} else {
+		cand = make([]*Task, 0, len(set))
+		for c := range set {
+			cand = append(cand, c)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+	seqs := make([]uint64, len(cand))
+	for i, c := range cand {
+		seqs[i] = c.seq
+	}
+	seq, ok := choose(t.path(), seqs)
+	if !ok {
+		return nil
+	}
+	for _, c := range cand {
+		if c.seq == seq {
+			return t.awaitSeq(seq)
+		}
+	}
+	panic(fmt.Sprintf("task: chooser picked child seq %d at %s, not among candidates %v", seq, t.path(), seqs))
+}

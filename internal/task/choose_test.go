@@ -1,0 +1,163 @@
+package task
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+)
+
+// chooseScenario spawns three children appending their index and merges
+// them with MergeAny in a loop, returning the final list contents.
+func chooseScenario(t *testing.T, cfg RunConfig) []int {
+	t.Helper()
+	list := mergeable.NewList[int]()
+	err := RunWith(cfg, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 3; i++ {
+			n := i
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				if n == 0 {
+					// The earliest-spawned child finishes last, so a live
+					// first-completed merge would almost never pick it first.
+					time.Sleep(2 * time.Millisecond)
+				}
+				data[0].(*mergeable.List[int]).Append(n)
+				return nil
+			}, data[0])
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list.Values()
+}
+
+// TestChooseForcesPickOrder pins the scheduler hook: the chooser forces
+// merge order 2,1,0 against the completion order, and sees the candidate
+// sets shrink as children are merged.
+func TestChooseForcesPickOrder(t *testing.T) {
+	var seen [][]uint64
+	choose := func(path string, candidates []uint64) (uint64, bool) {
+		if path != "r" {
+			t.Errorf("chooser path = %q, want r", path)
+		}
+		seen = append(seen, append([]uint64(nil), candidates...))
+		return candidates[len(candidates)-1], true
+	}
+	got := chooseScenario(t, RunConfig{Choose: choose})
+	if want := []int{2, 1, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("list = %v, want %v", got, want)
+	}
+	wantSeen := [][]uint64{{0, 1, 2}, {0, 1}, {0}}
+	if !reflect.DeepEqual(seen, wantSeen) {
+		t.Fatalf("candidate sets = %v, want %v", seen, wantSeen)
+	}
+}
+
+// TestChooseDecline pins the fallback: a chooser that declines leaves the
+// merge on live first-completed behavior, and the run still completes.
+func TestChooseDecline(t *testing.T) {
+	choose := func(string, []uint64) (uint64, bool) { return 0, false }
+	got := chooseScenario(t, RunConfig{Choose: choose})
+	if len(got) != 3 {
+		t.Fatalf("list = %v, want 3 elements", got)
+	}
+}
+
+// TestChooseFromSet drives MergeAnyFromSet: candidates are exactly the
+// given set (duplicates collapsed), and the forced pick wins.
+func TestChooseFromSet(t *testing.T) {
+	var seen [][]uint64
+	choose := func(path string, candidates []uint64) (uint64, bool) {
+		seen = append(seen, append([]uint64(nil), candidates...))
+		return candidates[len(candidates)-1], true
+	}
+	reg := mergeable.NewRegister(0)
+	err := RunWith(RunConfig{Choose: choose}, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		var ts []*Task
+		for i := 1; i <= 2; i++ {
+			n := i
+			ts = append(ts, ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error {
+				data[0].(*mergeable.Register[int]).Set(n)
+				return nil
+			}, data[0]))
+		}
+		// Duplicate entries must collapse to one candidate each.
+		if _, err := ctx.MergeAnyFromSet([]*Task{ts[0], ts[0], ts[1]}); err != nil {
+			return err
+		}
+		return ctx.MergeAll()
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || !reflect.DeepEqual(seen[0], []uint64{0, 1}) {
+		t.Fatalf("candidate sets = %v, want [[0 1]]", seen)
+	}
+	// Forced pick was child seq 1 (Set(2)), so its write commits first and
+	// wins the conflict; child 0's later Set(1) transforms to a no-op.
+	if got := reg.Get(); got != 2 {
+		t.Fatalf("register = %d, want 2", got)
+	}
+}
+
+// TestChooseReplayPrecedence pins that a replay script wins over the
+// chooser: scripted picks are not offered to it.
+func TestChooseReplayPrecedence(t *testing.T) {
+	script := NewMergeScript()
+	if err := RunRecording(script, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 2; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil })
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	choose := func(string, []uint64) (uint64, bool) { calls++; return 0, true }
+	err := RunWith(RunConfig{Replay: script, Choose: choose}, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		for i := 0; i < 2; i++ {
+			ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil })
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := ctx.MergeAny(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("chooser consulted %d times under a full replay script, want 0", calls)
+	}
+}
+
+// TestChooseNonCandidatePanics pins the guard against a chooser that
+// would make the parent wait for a child it could wait on forever.
+func TestChooseNonCandidatePanics(t *testing.T) {
+	choose := func(string, []uint64) (uint64, bool) { return 99, true }
+	err := RunWith(RunConfig{Choose: choose}, func(ctx *Ctx, data []mergeable.Mergeable) error {
+		ctx.Spawn(func(ctx *Ctx, data []mergeable.Mergeable) error { return nil })
+		_, err := ctx.MergeAny()
+		return err
+	})
+	var pe PanicError
+	if err == nil || !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError from non-candidate pick", err)
+	}
+}

@@ -75,6 +75,9 @@ func (t *Task) mergeSet(tasks []*Task, cfg *mergeConfig) error {
 func (t *Task) mergeAnyDynamic(cfg *mergeConfig) (*Task, error) {
 	c := t.scriptedPick()
 	if c == nil {
+		c = t.chosenPick(nil)
+	}
+	if c == nil {
 		if len(t.pendingList) > 0 {
 			c = t.pendingList[0]
 			t.pendingList = t.pendingList[1:]
@@ -106,6 +109,9 @@ func (t *Task) mergeAny(tasks []*Task, cfg *mergeConfig) (*Task, error) {
 		return nil, ErrNothingToMerge
 	}
 	c := t.scriptedPick()
+	if c == nil {
+		c = t.chosenPick(live)
+	}
 	if c == nil {
 		c = t.awaitAny(live)
 	}

@@ -20,6 +20,13 @@ type RunConfig struct {
 	// Replay forces recorded MergeAny picks when non-nil (see
 	// RunReplaying). Cursors are rewound at the start of the run.
 	Replay *MergeScript
+	// Choose decides MergeAny picks the Replay script does not cover when
+	// non-nil — the schedule explorer's scheduler hook (see ChoiceFunc).
+	Choose ChoiceFunc
+	// Jitter, when non-nil, is invoked at every blocking point of the
+	// merge protocol. Test harnesses use it both to perturb schedules
+	// (see runJittered) and as a progress pulse for stall watchdogs.
+	Jitter func()
 	// OnRootMerge observes the root's data after each root-level merge
 	// (the journal's checkpoint cadence).
 	OnRootMerge RootMergeHook
@@ -40,6 +47,8 @@ func RunWith(cfg RunConfig, fn Func, data ...mergeable.Mergeable) error {
 		tracer:      cfg.Trace,
 		record:      cfg.Record,
 		replay:      cfg.Replay,
+		choose:      cfg.Choose,
+		jitter:      cfg.Jitter,
 		onRootMerge: cfg.OnRootMerge,
 		obs:         cfg.Obs,
 	}

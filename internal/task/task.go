@@ -131,6 +131,9 @@ type treeRuntime struct {
 	// picks (see RunRecording / RunReplaying).
 	record *MergeScript
 	replay *MergeScript
+	// choose, when non-nil, decides MergeAny picks the replay script does
+	// not cover — the schedule explorer's scheduler hook (see ChoiceFunc).
+	choose ChoiceFunc
 	// randSeed is the base seed for the task-local deterministic random
 	// sources (see Ctx.Rand / Ctx.SeedRand).
 	randSeed uint64

@@ -44,6 +44,7 @@ package repro
 
 import (
 	"repro/internal/dist"
+	"repro/internal/explore"
 	"repro/internal/journal"
 	"repro/internal/mergeable"
 	"repro/internal/obs"
@@ -255,6 +256,55 @@ func RunJournaled(dir string, fn Func, data ...Mergeable) error {
 // replays and verifies it, returning the same final state.
 func Resume(dir string, fn Func) ([]Mergeable, error) {
 	return journal.Resume(dir, journalOptions(), fn)
+}
+
+// Schedule exploration, re-exported from internal/explore. The explorer
+// seizes every sanctioned nondeterminism source — MergeAny picks, faultnet
+// chaos, journal crash points — behind one seeded decision stream and
+// checks the paper's invariants on every explored schedule. See
+// internal/explore and cmd/explore.
+type (
+	// ExploreScenario is one program under exploration.
+	ExploreScenario = explore.Scenario
+	// ExploreEnv is a schedule's decision-stream view, handed to Build.
+	ExploreEnv = explore.Env
+	// ExploreOptions configures an exploration.
+	ExploreOptions = explore.Options
+	// ExploreResult summarizes one.
+	ExploreResult = explore.Result
+	// ExploreViolation is one schedule that broke an invariant.
+	ExploreViolation = explore.Violation
+	// ExploreStrategy selects random-walk or bounded-exhaustive search.
+	ExploreStrategy = explore.Strategy
+	// ExploreCrashCheck configures crash-point exploration.
+	ExploreCrashCheck = explore.CrashCheck
+)
+
+// Exploration strategies.
+const (
+	ExploreRandomWalk = explore.RandomWalk
+	ExploreExhaustive = explore.Exhaustive
+)
+
+// Explore walks sc's schedule space under opts, checking determinism,
+// MergeAny replay soundness, progress and (optionally) crash-resume
+// equivalence on every schedule. Failing schedules are shrunk to minimal
+// decision traces when opts.Shrink is set.
+func Explore(sc ExploreScenario, opts ExploreOptions) (*ExploreResult, error) {
+	return explore.Run(sc, opts)
+}
+
+// ExploreCrashCodecs returns a CrashCheck wired to the dist codec
+// registry — the same snapshot codecs RunJournaled uses — so callers only
+// fill in the sweep shape (Points, Dir).
+func ExploreCrashCodecs() *ExploreCrashCheck {
+	return &ExploreCrashCheck{Encode: dist.EncodeSnapshot, Decode: dist.DecodeSnapshot}
+}
+
+// ReplayExploreSeed re-runs a persisted counterexample seed file against
+// sc and reports the violation it reproduces (nil if it no longer fails).
+func ReplayExploreSeed(path string, sc ExploreScenario, opts ExploreOptions) (*ExploreViolation, error) {
+	return explore.ReplaySeed(path, sc, opts)
 }
 
 // NewList returns a mergeable list holding vals.
