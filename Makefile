@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill explore explore-deep fuzz fuzz-ot examples
+.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill explore explore-deep churn fuzz fuzz-ot examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -64,7 +64,18 @@ explore-deep:
 	$(GO) run ./cmd/explore -scenario abortsync -schedules 256 -procs 1,4 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario fanout -schedules 16 -crash -crash-points 5 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario chaos -schedules 128 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario churn -strategy exhaustive -schedules 4000 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario churn -schedules 16 -crash -crash-points 3 -seeds explore-seeds
+	$(GO) run ./cmd/soak -churn -duration 60s
 	$(GO) run ./cmd/soak -explore -duration 120s
+
+# Elastic-cluster churn smoke (<10s of runtime): a bounded exhaustive
+# enumeration of membership schedules (join/drain/leave/kill × explored
+# placements) plus a burst of coordinator SIGKILL/resume churn with
+# fingerprint verification.
+churn:
+	$(GO) run ./cmd/explore -scenario churn -strategy exhaustive -schedules 300
+	$(GO) run ./cmd/soak -churn -duration 4s
 
 # Journal recovery fuzzing (arbitrary WAL bytes must never panic and
 # must classify as corrupt / torn-tail / no-run).

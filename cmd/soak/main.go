@@ -25,6 +25,14 @@
 // to an uninterrupted in-process reference. Every kill exercises a real
 // torn WAL tail; every resume exercises full recovery.
 //
+// With -churn the soak probes the elastic cluster end to end: each round
+// forks a journaled coordinator process that drives seeded join/drain/
+// leave churn while placing remote work on the shifting membership,
+// SIGKILLs the coordinator mid-run, resumes it from its journal until it
+// completes, and verifies the sealed fingerprint against an uninterrupted
+// in-process run of the same seed. The recovered membership log feeds the
+// churn.* counters (-metrics exports them).
+//
 // With -explore the soak rotates the built-in schedule-exploration
 // scenarios (internal/explore) under the random-walk strategy, so every
 // probe also exercises forced MergeAny pick orders and decision-driven
@@ -33,6 +41,7 @@
 //	go run ./cmd/soak -duration 30s
 //	go run ./cmd/soak -duration 30s -chaos
 //	go run ./cmd/soak -duration 30s -kill
+//	go run ./cmd/soak -duration 30s -churn
 //	go run ./cmd/soak -duration 30s -explore -metrics localhost:0
 package main
 
@@ -70,6 +79,19 @@ func init() {
 		dist.RegisterFunc(fmt.Sprintf("soak-chaos-%d", node), func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
 			data[0].(*mergeable.List[int]).Insert(0, node+1)
 			data[1].(*mergeable.Counter).Add(d)
+			return nil
+		})
+	}
+	// The -churn workload: slot-addressed remote effects, so any
+	// placement, rebalance or resumed re-placement must reproduce the one
+	// fingerprint. The sleep widens the window for the parent's SIGKILL to
+	// land mid-journal.
+	for slot := 0; slot < churnSoakWaves*churnSoakTasks; slot++ {
+		s := slot
+		dist.RegisterFunc(fmt.Sprintf("soak-churn-%d", s), func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
+			time.Sleep(2 * time.Millisecond)
+			data[0].(*mergeable.List[int]).Append(s)
+			data[1].(*mergeable.Counter).Add(1 << uint(s))
 			return nil
 		})
 	}
@@ -307,6 +329,224 @@ func killSoak(duration time.Duration, baseSeed int64) {
 	}
 }
 
+// Churn soak sizing: waves of remote work interleaved with seeded
+// membership transitions.
+const (
+	churnSoakWaves = 3
+	churnSoakTasks = 2
+)
+
+// churnData returns fresh instances of the -churn workload's structures.
+func churnData() []mergeable.Mergeable {
+	return []mergeable.Mergeable{mergeable.NewList(0), mergeable.NewCounter(0)}
+}
+
+// churnWorkload is the journaled workload behind -churn: every wave a
+// seeded membership transition (join, drain or leave, guarded so a
+// placeable member always remains) runs before two remote tasks land on
+// seeded targets. The cluster arrives via pointer because the journal's
+// OnOpen hook builds it — membership epochs and routes must land in the
+// same crash-consistent WAL the run itself uses, so a resumed coordinator
+// re-drives the exact transition sequence under replay verification.
+func churnWorkload(seed int64, cluster **dist.Cluster) task.Func {
+	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		c := *cluster
+		r := rand.New(rand.NewSource(seed))
+		for wave := 0; wave < churnSoakWaves; wave++ {
+			var active []int
+			for _, m := range c.Members() {
+				if m.State == dist.StateActive {
+					active = append(active, m.Node)
+				}
+			}
+			switch action := r.Intn(4); {
+			case action == 1:
+				if _, err := c.Join(); err != nil {
+					return err
+				}
+			case action == 2 && len(active) >= 2:
+				if err := c.Drain(active[r.Intn(len(active))]); err != nil {
+					return err
+				}
+			case action == 3 && len(active) >= 2:
+				if err := c.Leave(active[r.Intn(len(active))]); err != nil {
+					return err
+				}
+			}
+			active = active[:0]
+			for _, m := range c.Members() {
+				if m.State == dist.StateActive {
+					active = append(active, m.Node)
+				}
+			}
+			for tk := 0; tk < churnSoakTasks; tk++ {
+				slot := wave*churnSoakTasks + tk
+				c.SpawnRemote(ctx, active[r.Intn(len(active))], fmt.Sprintf("soak-churn-%d", slot), data[0], data[1])
+			}
+			if err := ctx.MergeAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// churnJournalOptions wires a fresh two-node cluster into the journal the
+// run opens, so coordinator state (membership, routes) is journaled with
+// the run.
+func churnJournalOptions(cluster **dist.Cluster) journal.Options {
+	return journal.Options{
+		Encode: dist.EncodeSnapshot,
+		Decode: dist.DecodeSnapshot,
+		OnOpen: func(j *journal.Journal) {
+			*cluster = dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1, Journal: j})
+		},
+	}
+}
+
+// churnReference runs the -churn workload for seed uninterrupted, in
+// process and unjournaled, returning the fingerprint every killed-and-
+// resumed coordinator must reproduce.
+func churnReference(seed int64) uint64 {
+	cluster := dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1})
+	defer cluster.Close()
+	data := churnData()
+	if err := task.Run(churnWorkload(seed, &cluster), data...); err != nil {
+		log.Fatalf("churn reference run failed (seed %d): %v", seed, err)
+	}
+	return mergeable.CombineFingerprints(data[0].Fingerprint(), data[1].Fingerprint())
+}
+
+// churnChild is the re-exec'd coordinator process: resume the journaled
+// churn run in dir, or start it fresh if nothing durable exists. It is
+// the process the parent SIGKILLs mid-run.
+func churnChild(dir string, seed int64) {
+	var cluster *dist.Cluster
+	closeCluster := func() {
+		if cluster != nil {
+			cluster.Close()
+			cluster = nil
+		}
+	}
+	_, err := journal.Resume(dir, churnJournalOptions(&cluster), churnWorkload(seed, &cluster))
+	closeCluster()
+	if err == nil {
+		os.Exit(0)
+	}
+	if !errors.Is(err, journal.ErrNoRun) {
+		log.Fatalf("churn child: resume %s: %v", dir, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		log.Fatalf("churn child: reset %s: %v", dir, err)
+	}
+	err = journal.Run(dir, churnJournalOptions(&cluster), churnWorkload(seed, &cluster), churnData()...)
+	closeCluster()
+	if err != nil {
+		log.Fatalf("churn child: run %s: %v", dir, err)
+	}
+	os.Exit(0)
+}
+
+// churnSoak is the elastic-cluster endurance loop: each round picks a
+// seed, forks a journaled coordinator that churns membership while
+// hosting remote work, SIGKILLs it mid-run, resumes it until it
+// completes, and verifies the sealed fingerprint against an uninterrupted
+// in-process reference for the same seed. The recovered membership
+// records feed the churn.joins/drains/leaves counters.
+func churnSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistry) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own binary for re-exec: %v", err)
+	}
+	counters := stats.NewCounters()
+	if reg != nil {
+		reg.AddCounters("churn", counters)
+	}
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+
+	for time.Now().Before(deadline) {
+		childSeed := r.Int63()
+		want := churnReference(childSeed)
+		dir, err := os.MkdirTemp("", "soak-churn-*")
+		if err != nil {
+			log.Fatalf("mkdir: %v", err)
+		}
+		counters.Inc("runs")
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				log.Fatalf("churn soak: coordinator never completed after %d attempts (dir %s, seed %d)", attempt, dir, childSeed)
+			}
+			if attempt > 0 {
+				counters.Inc("resumes")
+			}
+			cmd := exec.Command(self, "-churn-child", dir, "-seed", fmt.Sprint(childSeed))
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				log.Fatalf("start coordinator: %v", err)
+			}
+			// Every fourth attempt runs unkilled so the loop always
+			// terminates; the others die at a random point mid-run.
+			killed := attempt%4 != 3
+			if killed {
+				time.Sleep(time.Duration(2+r.Intn(25)) * time.Millisecond)
+				_ = cmd.Process.Kill()
+				counters.Inc("sigkills")
+			}
+			if err := cmd.Wait(); err == nil {
+				break
+			} else if !killed {
+				log.Fatalf("coordinator failed without being killed (seed %d): %v", childSeed, err)
+			}
+		}
+
+		// The coordinator exited cleanly: its journal must hold a done
+		// record matching the uninterrupted reference, and its membership
+		// log is the churn audit trail.
+		j, err := journal.Open(dir, journal.Options{Encode: dist.EncodeSnapshot, Decode: dist.DecodeSnapshot})
+		if err != nil {
+			fmt.Printf("CHURN VIOLATION: completed journal unreadable (seed %d): %v\n", childSeed, err)
+			os.Exit(1)
+		}
+		rec := j.Recovery()
+		j.Close()
+		if !rec.Done {
+			fmt.Printf("CHURN VIOLATION: coordinator exited 0 but journal %s has no done record (seed %d)\n", dir, childSeed)
+			os.Exit(1)
+		}
+		if rec.Fingerprint != want {
+			fmt.Printf("CHURN VIOLATION: seed %d: resumed coordinator fingerprint %x != uninterrupted reference %x (journal %s)\n",
+				childSeed, rec.Fingerprint, want, dir)
+			os.Exit(1)
+		}
+		for _, m := range rec.Members {
+			switch dist.MemberEventKind(m.Kind) {
+			case dist.MemberJoined:
+				counters.Inc("joins")
+			case dist.MemberDraining:
+				counters.Inc("drains")
+			case dist.MemberLeft:
+				counters.Inc("leaves")
+			}
+		}
+		counters.Inc("verified")
+		os.RemoveAll(dir)
+	}
+
+	snap := counters.Snapshot()
+	fmt.Printf("clean: %d churn runs (%d SIGKILLs, %d resumes, %d fingerprint-verified; %d joins, %d drains, %d leaves)\n",
+		snap["runs"], snap["sigkills"], snap["resumes"], snap["verified"], snap["joins"], snap["drains"], snap["leaves"])
+	fmt.Printf("counters: %s\n", counters)
+	if snap["runs"] == 0 {
+		fmt.Println("WARNING: duration too short, no churn runs completed")
+		os.Exit(1)
+	}
+	if snap["resumes"] == 0 {
+		fmt.Println("WARNING: no coordinator was ever resumed; kills landed too late to test failover")
+		os.Exit(1)
+	}
+}
+
 // taskProbe builds a random-shaped task tree from seed and returns its
 // result fingerprint. The shape and every operation derive from the seed,
 // so two executions must agree.
@@ -485,15 +725,21 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
 	chaos := flag.Bool("chaos", false, "soak the distributed runtime under fault injection instead")
 	kill := flag.Bool("kill", false, "soak crash recovery: SIGKILL and resume journaled workers in a loop")
+	churn := flag.Bool("churn", false, "soak the elastic cluster: seeded join/drain/leave churn with coordinator SIGKILL, journal resume and fingerprint verification")
 	trace := flag.Bool("trace", false, "soak the span tracer: traced probes must be bit-identical across GOMAXPROCS 1/4")
 	explores := flag.Bool("explore", false, "soak the schedule explorer: rotate the built-in scenarios under random-walk exploration")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
 	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
+	churnChildDir := flag.String("churn-child", "", "internal: run one journaled -churn coordinator in this directory")
 	flag.Parse()
 
 	if *killChildDir != "" {
 		killChild(*killChildDir)
+		return
+	}
+	if *churnChildDir != "" {
+		churnChild(*churnChildDir, *seed)
 		return
 	}
 	var reg *repro.MetricsRegistry
@@ -514,6 +760,10 @@ func main() {
 	}
 	if *kill {
 		killSoak(*duration, *seed)
+		return
+	}
+	if *churn {
+		churnSoak(*duration, *seed, reg)
 		return
 	}
 	if *trace {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/memnet"
@@ -131,10 +132,31 @@ func (o Options) normalized() Options {
 // share no memory with the coordinator or each other: all state crosses
 // as serialized snapshots and operations (the MPI model, over the memnet
 // transport, optionally behind a fault-injecting wrapper).
+//
+// Membership is elastic: the node table is copy-on-write (readers load it
+// lock-free; Join/Drain/Leave/Close swap it under memMu, which serializes
+// every transition and gives the epoch counter its total order). Node ids
+// are stable forever — a departed member stays in the table as a
+// tombstone so journaled placements keep resolving.
 type Cluster struct {
-	nodes    []*workerNode
+	members  atomic.Pointer[[]*workerNode]
 	opts     Options
 	counters *stats.Counters
+
+	// memMu serializes membership transitions (and Close); epoch stamps
+	// them; closed gates every coordinator entry point.
+	memMu  sync.Mutex
+	epoch  atomic.Uint64
+	closed atomic.Bool
+
+	// watchers is the membership event fan-out (see MemberWatch).
+	watchMu  sync.Mutex
+	watchers map[*MemberWatch]struct{}
+
+	// inflightSet tracks live task conversations so drains can shed the
+	// pre-progress ones (see inflight).
+	flMu        sync.Mutex
+	inflightSet map[*inflight]struct{}
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -151,15 +173,19 @@ func NewCluster(n int) *Cluster {
 func NewClusterWith(opts Options) *Cluster {
 	opts = opts.normalized()
 	c := &Cluster{
-		opts:     opts,
-		counters: stats.NewCounters(),
-		stop:     make(chan struct{}),
+		opts:        opts,
+		counters:    stats.NewCounters(),
+		watchers:    make(map[*MemberWatch]struct{}),
+		inflightSet: make(map[*inflight]struct{}),
+		stop:        make(chan struct{}),
 	}
+	nodes := make([]*workerNode, 0, opts.Nodes)
 	for i := 0; i < opts.Nodes; i++ {
-		c.nodes = append(c.nodes, newWorkerNode(i, opts.Listen(i), opts))
+		nodes = append(nodes, newWorkerNode(i, opts.Listen(i), opts))
 	}
+	c.members.Store(&nodes)
 	if opts.HeartbeatInterval > 0 {
-		for _, n := range c.nodes {
+		for _, n := range nodes {
 			c.hbWG.Add(1)
 			go c.heartbeatLoop(n)
 		}
@@ -167,42 +193,66 @@ func NewClusterWith(opts Options) *Cluster {
 	return c
 }
 
-// Size returns the number of worker nodes.
-func (c *Cluster) Size() int { return len(c.nodes) }
+// nodeList loads the current membership table (including tombstones).
+func (c *Cluster) nodeList() []*workerNode { return *c.members.Load() }
+
+// Size returns the number of worker nodes ever admitted, departed
+// members included (node ids are never reused).
+func (c *Cluster) Size() int { return len(c.nodeList()) }
 
 // Stats exposes the cluster's fault-tolerance counters ("failover",
 // "transport_error", "dial_retry", "dial_fail", "heartbeat_miss",
-// "node_unhealthy").
+// "node_unhealthy", and the membership set: "member_join",
+// "member_drain", "member_leave", "rebalance", "placement_redirect",
+// "drain_refused", "route_stale", "watch_lagged", "leave_forced").
 func (c *Cluster) Stats() *stats.Counters { return c.counters }
 
 // Healthy reports the coordinator's current view of a node. Out-of-range
 // nodes are unhealthy by definition.
 func (c *Cluster) Healthy(node int) bool {
-	if node < 0 || node >= len(c.nodes) {
+	nodes := c.nodeList()
+	if node < 0 || node >= len(nodes) {
 		return false
 	}
-	return c.nodes[node].healthy.Load()
+	return nodes[node].healthy.Load()
 }
 
 // KillNode simulates the failure of a single node: its listener closes
 // and every in-flight connection it hosts is torn down. Remote tasks on
 // the node die; tasks that had not yet merged anything fail over to a
-// healthy node under the cluster's retry policy.
+// healthy node under the cluster's retry policy. On a closed cluster
+// every node is already down, so KillNode is a no-op.
 func (c *Cluster) KillNode(node int) {
-	if node < 0 || node >= len(c.nodes) {
+	if c.closed.Load() {
 		return
 	}
-	c.nodes[node].close()
-	c.markUnhealthy(c.nodes[node])
+	nodes := c.nodeList()
+	if node < 0 || node >= len(nodes) {
+		return
+	}
+	nodes[node].close()
+	c.markUnhealthy(nodes[node])
 }
 
 // Close shuts the cluster down. Remote tasks already running finish their
-// current conversation and die with their connections.
+// current conversation and die with their connections. Open membership
+// watches close with the cluster.
 func (c *Cluster) Close() {
+	c.memMu.Lock()
+	already := c.closed.Swap(true)
+	c.memMu.Unlock()
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.hbWG.Wait()
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		n.close()
+	}
+	if !already {
+		c.watchMu.Lock()
+		for w := range c.watchers {
+			w.closeCh(false)
+		}
+		c.watchers = make(map[*MemberWatch]struct{})
+		c.watchMu.Unlock()
 	}
 }
 
@@ -232,6 +282,11 @@ func (c *Cluster) heartbeatLoop(n *workerNode) {
 		case <-c.stop:
 			return
 		case <-ticker.C:
+		}
+		if MemberState(n.state.Load()) == StateLeft {
+			// A departed member stays in the table only as a tombstone;
+			// probing its closed listener would just mint miss counters.
+			return
 		}
 		if p == nil {
 			conn, err := n.listener.Dial()
@@ -278,23 +333,6 @@ func (c *Cluster) dialNode(n *workerNode) (net.Conn, error) {
 	c.counters.Inc("dial_fail")
 	c.markUnhealthy(n)
 	return nil, fmt.Errorf("dial: %w", lastErr)
-}
-
-// nextHealthy picks the failover target after a failure on `failed`:
-// the first healthy node scanning forward from failed+1, wrapping
-// around. The failed node itself is considered last, and only if the
-// heartbeat still believes it healthy (a transient reset, not a death).
-// The scan order is purely positional, so failover routing — like
-// everything else in the runtime — is deterministic.
-func (c *Cluster) nextHealthy(failed int) (int, bool) {
-	n := len(c.nodes)
-	for i := 1; i <= n; i++ {
-		cand := (failed + i) % n
-		if c.nodes[cand].healthy.Load() {
-			return cand, true
-		}
-	}
-	return 0, false
 }
 
 // SpawnRemote spawns a task whose body runs on worker node `node`,
@@ -353,7 +391,11 @@ func (c *Cluster) SpawnRemoteMany(ctx *task.Ctx, nodes []int, fnName string, dat
 // byte-identical.
 func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []snapshot, data []mergeable.Mergeable) *task.Task {
 	return ctx.Spawn(func(ctx *task.Ctx, copies []mergeable.Mergeable) error {
-		if node < 0 || node >= len(c.nodes) {
+		if c.closed.Load() {
+			return noCoordinatorError("spawn")
+		}
+		nodes := c.nodeList()
+		if node < 0 || node >= len(nodes) {
 			return fmt.Errorf("dist: no worker node %d", node)
 		}
 		// The original snapshots, kept for failover re-spawns.
@@ -366,37 +408,76 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 			}
 		}
 		target := node
+		// A drained (or departed) request target is redirected to the
+		// next placeable member, by the same positional scan failover
+		// uses — placement never depends on timing, only on the member
+		// table the epoch ordered.
+		if MemberState(nodes[target].state.Load()) != StateActive {
+			next, ok := c.nextPlaceable(target)
+			if !ok {
+				if d, some := c.anyDraining(); some {
+					return DrainingError{Node: d}
+				}
+				return fmt.Errorf("dist: no placeable node for task (requested %d)", node)
+			}
+			c.counters.Inc("placement_redirect")
+			target = next
+		}
 		if j := c.opts.Journal; j != nil {
 			// The proxy task's creation path is stable across runs — the
 			// journal keys routing by it. A recorded route means a prior
 			// (crashed) coordinator already drove this slot's failover;
-			// re-drive it to the same node instead of starting over.
+			// re-drive it to the same node instead of starting over. A
+			// route pointing at a member that has since departed is
+			// stale: ignore it and place afresh.
 			slot := ctx.Path()
-			if n, ok := j.NextRoute(slot); ok && n >= 0 && n < len(c.nodes) {
-				if n != target {
-					c.counters.Inc("route_replayed")
+			if n, ok := j.NextRoute(slot); ok {
+				if n >= 0 && n < len(nodes) && MemberState(nodes[n].state.Load()) != StateLeft {
+					if n != target {
+						c.counters.Inc("route_replayed")
+					}
+					target = n
+				} else {
+					c.counters.Inc("route_stale")
 				}
-				target = n
 			}
 			j.RecordRoute(slot, target)
 		}
 		for attempt := 1; ; attempt++ {
-			progressed := false
-			err := c.runRemote(ctx, target, fnName, snaps, copies, &progressed)
+			fl := &inflight{node: target}
+			err := c.runRemote(ctx, target, fnName, snaps, copies, fl)
 			if err == nil {
 				return nil
 			}
-			if progressed || !IsTransportError(err) || attempt >= c.opts.Retry.MaxAttempts {
+			rebalanced := errors.Is(err, errRebalanced)
+			refused := IsDraining(err)
+			if fl.hasProgressed() || !(IsTransportError(err) || refused) || attempt >= c.opts.Retry.MaxAttempts {
 				return err
 			}
-			c.counters.Inc("transport_error")
-			next, ok := c.nextHealthy(target)
+			switch {
+			case rebalanced:
+				// Counted by the drain that tore the conversation down.
+			case refused:
+				c.counters.Inc("drain_refused")
+			default:
+				c.counters.Inc("transport_error")
+			}
+			next, ok := c.nextPlaceable(target)
 			if !ok {
+				if d, some := c.anyDraining(); some {
+					return DrainingError{Node: d}
+				}
 				return fmt.Errorf("dist: no healthy node for failover: %w", err)
 			}
-			c.counters.Inc("failover")
-			if tr := c.opts.Obs; tr != nil {
-				tr.Emit(ctx.Path(), obs.KindFailover, fmt.Sprintf("%d->%d", target, next), -1, 0, 0)
+			if rebalanced || refused {
+				if tr := c.opts.Obs; tr != nil {
+					tr.Emit(ctx.Path(), obs.KindRebalance, fmt.Sprintf("%d->%d", target, next), -1, 0, 0)
+				}
+			} else {
+				c.counters.Inc("failover")
+				if tr := c.opts.Obs; tr != nil {
+					tr.Emit(ctx.Path(), obs.KindFailover, fmt.Sprintf("%d->%d", target, next), -1, 0, 0)
+				}
 			}
 			target = next
 			if j := c.opts.Journal; j != nil {
@@ -407,35 +488,43 @@ func (c *Cluster) spawnRemote(ctx *task.Ctx, node int, fnName string, shared []s
 }
 
 // runRemote performs one spawn attempt against one node: dial, ship the
-// snapshots, then relay until completion. progressed is set as soon as
+// snapshots, then relay until completion. fl is the conversation's
+// registration in the in-flight set: it flips to progressed as soon as
 // any remote operations have been merged into the coordinator's state —
-// the point past which failover is no longer sound.
-func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snapshot, copies []mergeable.Mergeable, progressed *bool) error {
+// the point past which failover is no longer sound — and a drain may
+// cancel it any time before that.
+func (c *Cluster) runRemote(ctx *task.Ctx, node int, fnName string, snaps []snapshot, copies []mergeable.Mergeable, fl *inflight) error {
 	tr := c.opts.Obs
 	var start time.Time
 	if tr != nil {
 		start = time.Now()
 	}
-	conn, err := c.dialNode(c.nodes[node])
+	conn, err := c.dialNode(c.nodeList()[node])
 	if err != nil {
 		return transportError{node: node, err: err}
 	}
+	fl.conn = conn
+	c.trackInflight(fl)
+	defer c.untrackInflight(fl)
 	p := newPeerTimeouts(conn, c.opts.SendTimeout, c.opts.RecvTimeout)
 	defer p.close()
 	if err := p.send(envelope{Kind: kindSpawn, Fn: fnName, Snapshots: snaps}); err != nil {
+		if fl.interrupted() {
+			return transportError{node: node, err: errRebalanced}
+		}
 		return transportError{node: node, err: fmt.Errorf("spawn send: %w", err)}
 	}
 	if tr != nil {
 		// Dial plus snapshot shipping: the distributed spawn's constant cost.
 		tr.Emit(ctx.Path(), obs.KindSend, fmt.Sprintf("spawn@%d", node), -1, int64(len(snaps)), time.Since(start))
 	}
-	return c.proxyLoop(ctx, node, p, copies, progressed)
+	return c.proxyLoop(ctx, node, p, copies, fl)
 }
 
 // proxyLoop relays between the remote task and the local runtime: remote
 // operations are re-issued as the proxy's own, remote syncs become local
 // syncs, remote completion completes the proxy.
-func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable.Mergeable, progressed *bool) error {
+func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable.Mergeable, fl *inflight) error {
 	tr := c.opts.Obs
 	var track string
 	if tr != nil {
@@ -448,6 +537,9 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable
 		}
 		msg, err := p.recv()
 		if err != nil {
+			if fl.interrupted() {
+				return transportError{node: node, err: errRebalanced}
+			}
 			return transportError{node: node, err: fmt.Errorf("proxy recv: %w", err)}
 		}
 		if tr != nil {
@@ -463,8 +555,13 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable
 		switch msg.Kind {
 		case kindSync:
 			// From here on the remote ops enter the coordinator's merge
-			// pipeline; a later failure must not re-execute the task.
-			*progressed = true
+			// pipeline; a later failure must not re-execute the task. A
+			// drain that cancelled the conversation first wins the race:
+			// the message is discarded unmerged and the task re-spawns
+			// from its original snapshot elsewhere.
+			if !fl.markProgressed() {
+				return transportError{node: node, err: errRebalanced}
+			}
 			if err := replayOps(copies, msg.Ops); err != nil {
 				return err
 			}
@@ -498,10 +595,21 @@ func (c *Cluster) proxyLoop(ctx *task.Ctx, node int, p *peer, copies []mergeable
 				tr.Emit(track, obs.KindSend, fmt.Sprintf("reply@%d", node), -1, int64(len(reply.Snapshots)), time.Since(sendStart))
 			}
 		case kindDone:
+			if msg.Err == wireDraining {
+				// The drain landed worker-side before the task started:
+				// nothing ran, re-place on an active member.
+				return DrainingError{Node: node}
+			}
 			if msg.Err != "" {
 				// A failed remote task contributes nothing, like a failed
 				// local task; skip the replay and surface the error.
 				return RemoteError{Msg: msg.Err}
+			}
+			// Completion is progress too: past this point the ops are
+			// about to merge, so a racing drain must not double-run the
+			// task. If the drain won, discard and re-spawn.
+			if !fl.markProgressed() {
+				return transportError{node: node, err: errRebalanced}
 			}
 			if err := replayOps(copies, msg.Ops); err != nil {
 				return err

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Membership error taxonomy. Like the remote/transport split in
+// worker.go, callers classify with errors.Is against the sentinels —
+// never by string matching — and reach the details with errors.As
+// against the concrete types.
+
+var (
+	// ErrDraining is the sentinel matched by errors.Is for a spawn that
+	// could not be placed because the candidate nodes are draining: the
+	// requested node refused the task (a drain landed between placement
+	// and delivery) and no non-draining alternative existed. A draining
+	// member finishes its in-flight work but accepts nothing new, so the
+	// caller should treat this like transient capacity loss — back off,
+	// or Join a replacement node.
+	ErrDraining = errors.New("dist: node draining")
+
+	// ErrStaleEpoch is the sentinel for a membership operation acting on
+	// an outdated view of the cluster: draining or removing a member that
+	// already left. The error carries the epochs involved, so callers can
+	// resubscribe (Watch) and re-derive their view.
+	ErrStaleEpoch = errors.New("dist: stale membership epoch")
+
+	// ErrNoCoordinator is the sentinel for operations on a cluster whose
+	// coordinator is gone (Close was called, or the process hosting it is
+	// restarting). Remote tasks, joins, drains and watches all need a
+	// live coordinator; a journal-backed coordinator comes back by
+	// reopening its journal and re-driving the recorded state.
+	ErrNoCoordinator = errors.New("dist: no coordinator")
+)
+
+// DrainingError reports a spawn refused by draining members. It
+// classifies as ErrDraining.
+type DrainingError struct {
+	// Node is the member that refused (or would have hosted) the task.
+	Node int
+}
+
+func (e DrainingError) Error() string {
+	return fmt.Sprintf("dist: node %d is draining and accepts no new tasks", e.Node)
+}
+
+// Unwrap links the error to the ErrDraining sentinel for errors.Is.
+func (e DrainingError) Unwrap() error { return ErrDraining }
+
+// Is reports a match for the sentinel, so errors.Is works even through
+// further wrapping layers.
+func (e DrainingError) Is(target error) bool { return target == ErrDraining }
+
+// IsDraining reports whether err is a drain refusal.
+func IsDraining(err error) bool { return errors.Is(err, ErrDraining) }
+
+// StaleEpochError reports a membership operation that referenced state
+// the cluster has moved past. It classifies as ErrStaleEpoch.
+type StaleEpochError struct {
+	// Node is the member the operation referenced.
+	Node int
+	// Epoch is the cluster epoch at which the operation was rejected.
+	Epoch uint64
+}
+
+func (e StaleEpochError) Error() string {
+	return fmt.Sprintf("dist: node %d already left the cluster (epoch %d)", e.Node, e.Epoch)
+}
+
+// Unwrap links the error to the ErrStaleEpoch sentinel for errors.Is.
+func (e StaleEpochError) Unwrap() error { return ErrStaleEpoch }
+
+// Is reports a match for the sentinel.
+func (e StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// IsStaleEpoch reports whether err is a stale-membership rejection.
+func IsStaleEpoch(err error) bool { return errors.Is(err, ErrStaleEpoch) }
+
+// noCoordinatorError wraps ErrNoCoordinator with the operation that
+// needed one.
+func noCoordinatorError(op string) error {
+	return fmt.Errorf("dist: %s: %w", op, ErrNoCoordinator)
+}
+
+// errRebalanced marks a conversation the coordinator tore down on
+// purpose to move a pre-progress task off a draining node. It rides the
+// transport-error classification (the conversation is gone either way),
+// so the ordinary failover loop re-places the task.
+var errRebalanced = errors.New("dist: task rebalanced off draining node")

@@ -53,6 +53,90 @@ func TestTransportErrorClassification(t *testing.T) {
 	}
 }
 
+// TestMembershipErrorTaxonomy pins the errors.Is classification of the
+// membership error set, mirroring the transport/remote split above:
+// every concrete error matches its own sentinel (even through wrapping)
+// and nobody else's.
+func TestMembershipErrorTaxonomy(t *testing.T) {
+	draining := DrainingError{Node: 3}
+	stale := StaleEpochError{Node: 1, Epoch: 7}
+	noCoord := noCoordinatorError("spawn")
+
+	sentinels := []struct {
+		name     string
+		sentinel error
+	}{
+		{"ErrDraining", ErrDraining},
+		{"ErrStaleEpoch", ErrStaleEpoch},
+		{"ErrNoCoordinator", ErrNoCoordinator},
+		{"ErrTransport", ErrTransport},
+		{"ErrRemoteFailed", ErrRemoteFailed},
+	}
+	cases := []struct {
+		name string
+		err  error
+		want error // the one sentinel the error must classify as
+	}{
+		{"DrainingError", draining, ErrDraining},
+		{"wrapped DrainingError", fmt.Errorf("merge: %w", draining), ErrDraining},
+		{"StaleEpochError", stale, ErrStaleEpoch},
+		{"wrapped StaleEpochError", fmt.Errorf("admin: %w", stale), ErrStaleEpoch},
+		{"noCoordinatorError", noCoord, ErrNoCoordinator},
+		{"wrapped noCoordinatorError", fmt.Errorf("run: %w", noCoord), ErrNoCoordinator},
+	}
+	for _, tc := range cases {
+		for _, s := range sentinels {
+			got := errors.Is(tc.err, s.sentinel)
+			want := s.sentinel == tc.want
+			if got != want {
+				t.Errorf("errors.Is(%s, %s) = %v, want %v", tc.name, s.name, got, want)
+			}
+		}
+	}
+}
+
+// TestMembershipErrorDetails: errors.As recovers the concrete types with
+// their payloads intact, through wrapping.
+func TestMembershipErrorDetails(t *testing.T) {
+	var d DrainingError
+	if !errors.As(fmt.Errorf("x: %w", DrainingError{Node: 5}), &d) || d.Node != 5 {
+		t.Fatalf("errors.As(DrainingError) recovered node %d, want 5", d.Node)
+	}
+	var s StaleEpochError
+	if !errors.As(fmt.Errorf("x: %w", StaleEpochError{Node: 2, Epoch: 9}), &s) || s.Node != 2 || s.Epoch != 9 {
+		t.Fatalf("errors.As(StaleEpochError) = %+v", s)
+	}
+}
+
+// TestMembershipHelperClassifiers: IsDraining/IsStaleEpoch agree with
+// errors.Is and reject foreign errors, and the internal rebalance marker
+// keeps its transport classification without leaking into the drain
+// taxonomy.
+func TestMembershipHelperClassifiers(t *testing.T) {
+	if !IsDraining(DrainingError{Node: 0}) {
+		t.Fatal("IsDraining rejected a DrainingError")
+	}
+	if IsDraining(StaleEpochError{}) || IsDraining(errors.New("other")) || IsDraining(nil) {
+		t.Fatal("IsDraining matched a non-draining error")
+	}
+	if !IsStaleEpoch(StaleEpochError{}) {
+		t.Fatal("IsStaleEpoch rejected a StaleEpochError")
+	}
+	if IsStaleEpoch(DrainingError{}) || IsStaleEpoch(nil) {
+		t.Fatal("IsStaleEpoch matched a non-stale error")
+	}
+	rebalanced := transportError{node: 1, err: errRebalanced}
+	if !IsTransportError(rebalanced) {
+		t.Fatal("rebalance marker lost its transport classification")
+	}
+	if IsDraining(rebalanced) {
+		t.Fatal("rebalance marker misclassified as a drain refusal")
+	}
+	if !errors.Is(rebalanced, errRebalanced) {
+		t.Fatal("rebalance marker not matchable by errors.Is")
+	}
+}
+
 // TestRemoteFailureClassifiesEndToEnd drives a real failing remote task
 // and classifies the surfaced merge error with the sentinels.
 func TestRemoteFailureClassifiesEndToEnd(t *testing.T) {

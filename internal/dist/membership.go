@@ -1,0 +1,459 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Elastic membership. The cluster's node set is no longer fixed at
+// construction: workers Join at runtime, Drain gracefully (finish
+// in-flight work, accept nothing new, shed pre-progress tasks onto other
+// members) and Leave. Every transition bumps a monotonically increasing
+// membership epoch, is appended to the coordinator journal when one is
+// attached (MembershipJournal), and is fanned out to subscribers as a
+// typed event — the watched-coordination-tree idiom: membership is a
+// small replicated tree of per-entity states, and consumers follow it
+// through an event stream instead of polling.
+//
+// Epochs order every placement decision: a transition that happens
+// before a spawn's placement is visible to it, one that happens after
+// surfaces as a rebalance (pre-progress tasks are re-spawned from their
+// original snapshots, so the merged result stays bit-identical — the
+// Concurrent Revisions determinacy argument: a re-spawn from the same
+// snapshot replays the same local history).
+
+// MemberState is one member's lifecycle position.
+type MemberState int32
+
+const (
+	// StateActive members host new and existing tasks.
+	StateActive MemberState = iota
+	// StateDraining members finish in-flight conversations but refuse
+	// new spawns; pre-progress tasks are rebalanced away.
+	StateDraining
+	// StateLeft members are gone: listener closed, no conversations.
+	StateLeft
+)
+
+// String returns the state's short name.
+func (s MemberState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	case StateLeft:
+		return "left"
+	}
+	return "unknown"
+}
+
+// MemberEventKind classifies a membership transition.
+type MemberEventKind uint8
+
+const (
+	// MemberJoined: a new worker node entered the cluster.
+	MemberJoined MemberEventKind = iota + 1
+	// MemberDraining: a member stopped accepting new tasks.
+	MemberDraining
+	// MemberLeft: a member departed; its listener is closed.
+	MemberLeft
+)
+
+// String returns the kind's short name.
+func (k MemberEventKind) String() string {
+	switch k {
+	case MemberJoined:
+		return "joined"
+	case MemberDraining:
+		return "draining"
+	case MemberLeft:
+		return "left"
+	}
+	return "unknown"
+}
+
+// MemberEvent is one membership transition, stamped with the epoch that
+// ordered it. Events on a watch arrive in strictly ascending epoch
+// order.
+type MemberEvent struct {
+	Kind  MemberEventKind
+	Node  int
+	Epoch uint64
+}
+
+func (e MemberEvent) String() string {
+	return fmt.Sprintf("n%d %s@e%d", e.Node, e.Kind, e.Epoch)
+}
+
+// MemberInfo is one member's row in a Members snapshot.
+type MemberInfo struct {
+	Node    int
+	State   MemberState
+	Healthy bool
+	// JoinEpoch is the epoch at which the member entered (0 for the
+	// construction-time nodes).
+	JoinEpoch uint64
+}
+
+// MembershipJournal is the optional extension of RouteJournal for full
+// coordinator state: a journal that also records membership transitions,
+// so a restarted coordinator replays the epoch sequence the crashed one
+// established (and a resumed run verifies it re-traces that sequence
+// exactly). The journal package's *Journal satisfies it.
+type MembershipJournal interface {
+	RouteJournal
+	// RecordMember durably appends one membership transition. During a
+	// resume, re-recording a transition the journal already holds for
+	// that epoch is a verification, not an append.
+	RecordMember(epoch uint64, kind uint8, node int)
+}
+
+// MemberWatch is one subscription to the membership event stream.
+// Events are delivered in epoch order on C. A subscriber that falls
+// behind its buffer is disconnected rather than blocking membership
+// transitions: its channel closes and Lagged reports true — resubscribe
+// and resynchronize from a Members snapshot.
+type MemberWatch struct {
+	ch     chan MemberEvent
+	c      *Cluster
+	mu     sync.Mutex
+	closed bool
+	lagged bool
+}
+
+// C is the event stream. It closes when the watch is closed, the
+// cluster shuts down, or the subscriber lagged.
+func (w *MemberWatch) C() <-chan MemberEvent { return w.ch }
+
+// Lagged reports whether the watch was disconnected for falling behind.
+func (w *MemberWatch) Lagged() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lagged
+}
+
+// Close unsubscribes. Safe to call more than once.
+func (w *MemberWatch) Close() {
+	w.c.watchMu.Lock()
+	delete(w.c.watchers, w)
+	w.c.watchMu.Unlock()
+	w.closeCh(false)
+}
+
+func (w *MemberWatch) closeCh(lagged bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		w.lagged = lagged
+		close(w.ch)
+	}
+}
+
+// deliver hands the watch one event without ever blocking the cluster's
+// transition path. Callers hold c.watchMu.
+func (w *MemberWatch) deliver(ev MemberEvent) bool {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return false
+	}
+	select {
+	case w.ch <- ev:
+		w.mu.Unlock()
+		return true
+	default:
+		w.mu.Unlock()
+		w.closeCh(true)
+		return false
+	}
+}
+
+// Watch subscribes to membership events from this point on, with the
+// given channel buffer (minimum 1). Pair it with Members to initialize:
+// snapshot first, then apply events with a higher epoch.
+func (c *Cluster) Watch(buffer int) (*MemberWatch, error) {
+	if c.closed.Load() {
+		return nil, noCoordinatorError("watch")
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	w := &MemberWatch{ch: make(chan MemberEvent, buffer), c: c}
+	c.watchMu.Lock()
+	c.watchers[w] = struct{}{}
+	c.watchMu.Unlock()
+	return w, nil
+}
+
+// Members returns a point-in-time snapshot of the membership table,
+// including departed members (their node ids are never reused, so
+// journaled placements stay resolvable).
+func (c *Cluster) Members() []MemberInfo {
+	nodes := c.nodeList()
+	out := make([]MemberInfo, len(nodes))
+	for i, n := range nodes {
+		out[i] = MemberInfo{
+			Node:      n.id,
+			State:     MemberState(n.state.Load()),
+			Healthy:   n.healthy.Load(),
+			JoinEpoch: n.joinEpoch,
+		}
+	}
+	return out
+}
+
+// Epoch returns the current membership epoch. Epoch 0 is the
+// construction-time membership; every Join/Drain/Leave increments it.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// emitLocked records one transition everywhere it must land: the
+// journal (when it understands membership), the span stream, and every
+// subscriber. Callers hold c.memMu, so events are globally ordered by
+// epoch.
+func (c *Cluster) emitLocked(ev MemberEvent) {
+	if j := c.opts.Journal; j != nil {
+		if mj, ok := j.(MembershipJournal); ok {
+			mj.RecordMember(ev.Epoch, uint8(ev.Kind), ev.Node)
+		}
+	}
+	if tr := c.opts.Obs; tr != nil {
+		tr.Emit("cluster", obs.KindMember, ev.String(), -1, int64(ev.Node), 0)
+	}
+	c.watchMu.Lock()
+	for w := range c.watchers {
+		if !w.deliver(ev) {
+			delete(c.watchers, w)
+			c.counters.Inc("watch_lagged")
+		}
+	}
+	c.watchMu.Unlock()
+}
+
+// Join adds a fresh worker node to the cluster and returns its id. The
+// node's transport comes from Options.Listen with the new id; it is
+// immediately placeable and (when heartbeats are on) probed like every
+// other member.
+func (c *Cluster) Join() (int, error) {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	if c.closed.Load() {
+		return -1, noCoordinatorError("join")
+	}
+	nodes := c.nodeList()
+	id := len(nodes)
+	n := newWorkerNode(id, c.opts.Listen(id), c.opts)
+	epoch := c.epoch.Add(1)
+	n.joinEpoch = epoch
+	next := make([]*workerNode, len(nodes), len(nodes)+1)
+	copy(next, nodes)
+	next = append(next, n)
+	c.members.Store(&next)
+	c.counters.Inc("member_join")
+	c.emitLocked(MemberEvent{Kind: MemberJoined, Node: id, Epoch: epoch})
+	if c.opts.HeartbeatInterval > 0 {
+		c.hbWG.Add(1)
+		go c.heartbeatLoop(n)
+	}
+	return id, nil
+}
+
+// Drain marks a member draining: no new tasks are placed on it, its
+// worker refuses spawns that were already routed its way, and every
+// pre-progress in-flight task it hosts is torn down and re-spawned from
+// its original snapshot on another member (the live rebalance).
+// Conversations whose operations already merged finish where they are.
+// Draining an already-draining member is a no-op; draining a departed
+// one is an ErrStaleEpoch.
+func (c *Cluster) Drain(node int) error {
+	c.memMu.Lock()
+	if c.closed.Load() {
+		c.memMu.Unlock()
+		return noCoordinatorError("drain")
+	}
+	nodes := c.nodeList()
+	if node < 0 || node >= len(nodes) {
+		c.memMu.Unlock()
+		return fmt.Errorf("dist: drain: no worker node %d", node)
+	}
+	n := nodes[node]
+	switch MemberState(n.state.Load()) {
+	case StateLeft:
+		c.memMu.Unlock()
+		return StaleEpochError{Node: node, Epoch: c.epoch.Load()}
+	case StateDraining:
+		c.memMu.Unlock()
+		return nil
+	}
+	n.state.Store(int32(StateDraining))
+	epoch := c.epoch.Add(1)
+	c.counters.Inc("member_drain")
+	c.emitLocked(MemberEvent{Kind: MemberDraining, Node: node, Epoch: epoch})
+	c.memMu.Unlock()
+
+	c.rebalanceFrom(node)
+	return nil
+}
+
+// drainWait bounds how long Leave waits for a draining member's
+// in-flight conversations; past it the node is closed anyway (the
+// graceful leave degrades to the kill path, which the failover machinery
+// already survives).
+const drainWait = 10 * time.Second
+
+// Leave removes a member: drain (if not already draining), wait for its
+// hosted conversations to finish, then close it and mark it left. Node
+// ids are never reused. Leaving a departed member is an ErrStaleEpoch.
+func (c *Cluster) Leave(node int) error {
+	if err := c.Drain(node); err != nil {
+		return err
+	}
+	nodes := c.nodeList()
+	n := nodes[node]
+	deadline := time.Now().Add(drainWait)
+	for n.taskConns.Load() > 0 {
+		if time.Now().After(deadline) {
+			c.counters.Inc("leave_forced")
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	c.memMu.Lock()
+	if c.closed.Load() {
+		c.memMu.Unlock()
+		return noCoordinatorError("leave")
+	}
+	if MemberState(n.state.Load()) == StateLeft {
+		c.memMu.Unlock()
+		return StaleEpochError{Node: node, Epoch: c.epoch.Load()}
+	}
+	n.state.Store(int32(StateLeft))
+	epoch := c.epoch.Add(1)
+	c.counters.Inc("member_leave")
+	c.emitLocked(MemberEvent{Kind: MemberLeft, Node: node, Epoch: epoch})
+	c.memMu.Unlock()
+
+	n.close()
+	return nil
+}
+
+// inflight is one live coordinator↔worker task conversation, registered
+// so drains can shed it. Its mutex arbitrates the one race that
+// matters: a drain must never tear down a conversation whose operations
+// have entered the merge pipeline, and a proxy must never merge
+// operations from a conversation a drain already cancelled.
+type inflight struct {
+	node int
+	conn interface{ Close() error }
+
+	mu         sync.Mutex
+	progressed bool
+	cancelled  bool
+}
+
+// markProgressed flips the conversation to progressed unless a drain won
+// the race; it reports whether the proxy may keep going.
+func (fl *inflight) markProgressed() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.cancelled {
+		return false
+	}
+	fl.progressed = true
+	return true
+}
+
+// interrupted reports whether a drain cancelled this conversation.
+func (fl *inflight) interrupted() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.cancelled
+}
+
+// hasProgressed reports whether any of the task's operations merged.
+func (fl *inflight) hasProgressed() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.progressed
+}
+
+// cancel tears the conversation down if (and only if) it has not
+// progressed. It reports whether it did.
+func (fl *inflight) cancel() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.progressed || fl.cancelled {
+		return false
+	}
+	fl.cancelled = true
+	fl.conn.Close()
+	return true
+}
+
+func (c *Cluster) trackInflight(fl *inflight) {
+	c.flMu.Lock()
+	c.inflightSet[fl] = struct{}{}
+	c.flMu.Unlock()
+}
+
+func (c *Cluster) untrackInflight(fl *inflight) {
+	c.flMu.Lock()
+	delete(c.inflightSet, fl)
+	c.flMu.Unlock()
+}
+
+// rebalanceFrom sheds every pre-progress conversation hosted on node.
+// The torn conversations surface as rebalance errors in their proxies,
+// which re-spawn from the original snapshots on the next placeable
+// member — results stay bit-identical because the replacement execution
+// starts from the same state.
+func (c *Cluster) rebalanceFrom(node int) {
+	c.flMu.Lock()
+	var victims []*inflight
+	for fl := range c.inflightSet {
+		if fl.node == node {
+			victims = append(victims, fl)
+		}
+	}
+	c.flMu.Unlock()
+	for _, fl := range victims {
+		if fl.cancel() {
+			c.counters.Inc("rebalance")
+		}
+	}
+}
+
+// nextPlaceable picks the target after a failure (or drain) on `failed`:
+// the first active, healthy member scanning forward from failed+1,
+// wrapping around. The failed member itself is considered last, and only
+// if it is still active and believed healthy (a transient reset, not a
+// death). The scan is purely positional, so placement — like everything
+// else in the runtime — is deterministic.
+func (c *Cluster) nextPlaceable(failed int) (int, bool) {
+	nodes := c.nodeList()
+	n := len(nodes)
+	for i := 1; i <= n; i++ {
+		cand := (failed + i) % n
+		if MemberState(nodes[cand].state.Load()) == StateActive && nodes[cand].healthy.Load() {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// anyDraining reports whether some member is draining — used to
+// classify a failed placement as ErrDraining rather than a plain
+// no-healthy-node failure.
+func (c *Cluster) anyDraining() (int, bool) {
+	for _, n := range c.nodeList() {
+		if MemberState(n.state.Load()) == StateDraining {
+			return n.id, true
+		}
+	}
+	return 0, false
+}

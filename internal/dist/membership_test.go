@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mergeable"
+	"repro/internal/task"
+	"repro/internal/testutil"
+)
+
+// collectEvents drains w until it has n events or the deadline hits.
+func collectEvents(t *testing.T, w *MemberWatch, n int) []MemberEvent {
+	t.Helper()
+	var out []MemberEvent
+	deadline := time.After(10 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-w.C():
+			if !ok {
+				t.Fatalf("watch closed after %d events, want %d", len(out), n)
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("timed out after %d events, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestMembershipLifecycle walks a member through join → drain → leave
+// and checks the event stream, the epoch ordering, the Members snapshot
+// and the stale-epoch rejections.
+func TestMembershipLifecycle(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, HeartbeatInterval: -1})
+		defer cluster.Close()
+
+		w, err := cluster.Watch(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+
+		id, err := cluster.Join()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 2 {
+			t.Fatalf("joined node id = %d, want 2", id)
+		}
+		if err := cluster.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+		// Draining a draining member is a no-op — no error, no epoch bump.
+		epochBefore := cluster.Epoch()
+		if err := cluster.Drain(id); err != nil {
+			t.Fatalf("second drain = %v, want nil", err)
+		}
+		if got := cluster.Epoch(); got != epochBefore {
+			t.Fatalf("idempotent drain bumped epoch %d -> %d", epochBefore, got)
+		}
+		if err := cluster.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+
+		events := collectEvents(t, w, 3)
+		want := []MemberEvent{
+			{Kind: MemberJoined, Node: 2, Epoch: 1},
+			{Kind: MemberDraining, Node: 2, Epoch: 2},
+			{Kind: MemberLeft, Node: 2, Epoch: 3},
+		}
+		for i, ev := range events {
+			if ev != want[i] {
+				t.Fatalf("event %d = %v, want %v", i, ev, want[i])
+			}
+		}
+		if got := cluster.Epoch(); got != 3 {
+			t.Fatalf("epoch = %d, want 3", got)
+		}
+
+		members := cluster.Members()
+		if len(members) != 3 {
+			t.Fatalf("members = %d rows, want 3 (tombstones included)", len(members))
+		}
+		if members[0].State != StateActive || members[1].State != StateActive {
+			t.Fatalf("construction-time members not active: %+v", members[:2])
+		}
+		if members[2].State != StateLeft || members[2].JoinEpoch != 1 {
+			t.Fatalf("departed member row = %+v, want left with join epoch 1", members[2])
+		}
+
+		// Operations on a departed member reject with the stale-epoch
+		// taxonomy.
+		if err := cluster.Drain(id); !errors.Is(err, ErrStaleEpoch) {
+			t.Fatalf("drain after leave = %v, want ErrStaleEpoch", err)
+		}
+		if err := cluster.Leave(id); !errors.Is(err, ErrStaleEpoch) {
+			t.Fatalf("leave after leave = %v, want ErrStaleEpoch", err)
+		}
+	})
+}
+
+// TestJoinedNodeHostsTasks: a node admitted at runtime is a first-class
+// placement target.
+func TestJoinedNodeHostsTasks(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 1, HeartbeatInterval: -1})
+		defer cluster.Close()
+		id, err := cluster.Join()
+		if err != nil {
+			t.Fatal(err)
+		}
+		list := mergeable.NewList[int]()
+		err = task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, id, "append5", data[0])
+			return ctx.MergeAll()
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); len(got) != 1 || got[0] != 5 {
+			t.Fatalf("list = %v, want [5]", got)
+		}
+	})
+}
+
+// TestDrainRedirectsPlacement: a spawn requested on a draining member is
+// silently re-placed on the next active one; the run's outcome is
+// unchanged.
+func TestDrainRedirectsPlacement(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, HeartbeatInterval: -1})
+		defer cluster.Close()
+		if err := cluster.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		list := mergeable.NewList[int]()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "append5", data[0])
+			return ctx.MergeAll()
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); len(got) != 1 || got[0] != 5 {
+			t.Fatalf("list = %v, want [5]", got)
+		}
+		if got := cluster.Stats().Get("placement_redirect"); got != 1 {
+			t.Fatalf("placement_redirect = %d, want 1", got)
+		}
+	})
+}
+
+// TestAllMembersDrainingRefusesSpawn: when no placeable member remains,
+// the spawn surfaces the draining taxonomy instead of hanging or
+// misclassifying as transport trouble.
+func TestAllMembersDrainingRefusesSpawn(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, HeartbeatInterval: -1})
+		defer cluster.Close()
+		if err := cluster.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Drain(1); err != nil {
+			t.Fatal(err)
+		}
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "append5", data[0])
+			mergeErr := ctx.MergeAll()
+			if !IsDraining(mergeErr) {
+				t.Errorf("MergeAll = %v, want ErrDraining", mergeErr)
+			}
+			if IsTransportError(mergeErr) {
+				t.Errorf("drain refusal misclassified as transport error: %v", mergeErr)
+			}
+			return nil
+		}, mergeable.NewList[int]())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// staleRouteJournal always replays one fixed node for every slot — a
+// stand-in for a crashed coordinator's journal whose routes point at a
+// member that started draining before the restart finished re-driving.
+type staleRouteJournal struct{ node int }
+
+func (s staleRouteJournal) RecordRoute(string, int)      {}
+func (s staleRouteJournal) NextRoute(string) (int, bool) { return s.node, true }
+
+// TestWorkerRefusesSpawnWhileDraining: a journaled route is replayed
+// with fidelity even onto a draining member, and the worker-side refusal
+// (wireDraining) re-places the task instead of failing the run.
+func TestWorkerRefusesSpawnWhileDraining(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{
+			Nodes:             2,
+			HeartbeatInterval: -1,
+			Journal:           staleRouteJournal{node: 0},
+		})
+		defer cluster.Close()
+		if err := cluster.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		list := mergeable.NewList[int]()
+		err := task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 1, "append5", data[0])
+			return ctx.MergeAll()
+		}, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := list.Values(); len(got) != 1 || got[0] != 5 {
+			t.Fatalf("list = %v, want [5]", got)
+		}
+		if got := cluster.Stats().Get("drain_refused"); got != 1 {
+			t.Fatalf("drain_refused = %d, want 1", got)
+		}
+	})
+}
+
+// TestWatchLagged: a subscriber that stops reading is disconnected
+// (channel closed, Lagged true) instead of blocking membership
+// transitions.
+func TestWatchLagged(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 1, HeartbeatInterval: -1})
+		defer cluster.Close()
+		w, err := cluster.Watch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := cluster.Join(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Buffer 1, three events, zero reads: the watch must have lagged.
+		if _, ok := <-w.C(); !ok {
+			t.Fatal("expected the one buffered event before the close")
+		}
+		if _, ok := <-w.C(); ok {
+			t.Fatal("lagged watch still delivering")
+		}
+		if !w.Lagged() {
+			t.Fatal("Lagged() = false after overflow disconnect")
+		}
+		if got := cluster.Stats().Get("watch_lagged"); got != 1 {
+			t.Fatalf("watch_lagged = %d, want 1", got)
+		}
+	})
+}
+
+// TestClosedClusterRejectsMembershipOps: every coordinator entry point
+// classifies as ErrNoCoordinator once the cluster is closed.
+func TestClosedClusterRejectsMembershipOps(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewClusterWith(Options{Nodes: 2, HeartbeatInterval: -1})
+		w, err := cluster.Watch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.Close()
+
+		if _, ok := <-w.C(); ok {
+			t.Fatal("watch channel still open after cluster close")
+		}
+		if w.Lagged() {
+			t.Fatal("clean close misreported as lag")
+		}
+		if _, err := cluster.Join(); !errors.Is(err, ErrNoCoordinator) {
+			t.Fatalf("Join on closed cluster = %v, want ErrNoCoordinator", err)
+		}
+		if err := cluster.Drain(0); !errors.Is(err, ErrNoCoordinator) {
+			t.Fatalf("Drain on closed cluster = %v, want ErrNoCoordinator", err)
+		}
+		if _, err := cluster.Watch(1); !errors.Is(err, ErrNoCoordinator) {
+			t.Fatalf("Watch on closed cluster = %v, want ErrNoCoordinator", err)
+		}
+		err = task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+			cluster.SpawnRemote(ctx, 0, "append5", data[0])
+			mergeErr := ctx.MergeAll()
+			if !errors.Is(mergeErr, ErrNoCoordinator) {
+				t.Errorf("spawn on closed cluster = %v, want ErrNoCoordinator", mergeErr)
+			}
+			return nil
+		}, mergeable.NewList[int]())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestKillNodeAfterCloseIsNoop is the regression test for the
+// KillNode-after-Close bug: killing any node (in range or not) on a
+// closed cluster must be a harmless no-op.
+func TestKillNodeAfterCloseIsNoop(t *testing.T) {
+	testutil.WithTimeout(t, 30*time.Second, func() {
+		cluster := NewCluster(2)
+		cluster.Close()
+		cluster.KillNode(0)
+		cluster.KillNode(1)
+		cluster.KillNode(99)
+		cluster.KillNode(-1)
+		// Close twice for good measure; both must stay idempotent.
+		cluster.Close()
+	})
+}

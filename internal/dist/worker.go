@@ -81,6 +81,10 @@ func (w *WorkerCtx) refresh(snaps []snapshot) error {
 const (
 	wireAborted  = "\x00aborted"
 	wireRejected = "\x00rejected"
+	// wireDraining is a worker's refusal of a spawn that was routed to it
+	// after it started draining; the coordinator re-places the task on an
+	// active member.
+	wireDraining = "\x00draining"
 )
 
 // workerNode is one simulated remote address space: a listener plus an
@@ -94,6 +98,15 @@ type workerNode struct {
 	// healthy is the coordinator's view of the node, maintained by the
 	// heartbeat loop and by dial/transport failures.
 	healthy atomic.Bool
+
+	// state is the member's lifecycle position (MemberState); draining
+	// and departed nodes refuse new spawns. joinEpoch is the epoch the
+	// member entered at (0 for construction-time nodes), and taskConns
+	// counts the task conversations the node currently hosts, so Leave
+	// can wait for a drain to finish.
+	state     atomic.Int32
+	joinEpoch uint64
+	taskConns atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -188,8 +201,17 @@ func (n *workerNode) serveHeartbeat(p *peer) {
 }
 
 // serveTask hosts one remote task: decode the spawn message, rebuild the
-// structures, run the registered function, and report completion.
+// structures, run the registered function, and report completion. A
+// draining (or departed) member refuses the spawn outright — the
+// coordinator re-places it — but conversations already under way are
+// unaffected: drain stops new work, it never corrupts old work.
 func (n *workerNode) serveTask(p *peer, spawn envelope) {
+	if MemberState(n.state.Load()) != StateActive {
+		p.send(envelope{Kind: kindDone, Err: wireDraining})
+		return
+	}
+	n.taskConns.Add(1)
+	defer n.taskConns.Add(-1)
 	data := make([]mergeable.Mergeable, len(spawn.Snapshots))
 	for i, s := range spawn.Snapshots {
 		c, err := codecByName(s.Codec)

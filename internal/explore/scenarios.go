@@ -26,6 +26,18 @@ func init() {
 			return nil
 		})
 	}
+	// The churn scenario's workload: one registered function per task
+	// slot, its effect a pure function of the slot — never of the node
+	// that happens to host it — so any placement, failover or rebalance
+	// must converge on one fingerprint.
+	for slot := 0; slot < churnWaves*churnTasksPerWave; slot++ {
+		s := slot
+		dist.RegisterFunc(fmt.Sprintf("explore-churn-%d", s), func(wctx *dist.WorkerCtx, data []mergeable.Mergeable) error {
+			data[0].(*mergeable.List[int]).Append(s)
+			data[1].(*mergeable.Counter).Add(1 << uint(s))
+			return nil
+		})
+	}
 }
 
 // Fanout is the determinism workhorse: three rounds of three children
@@ -206,9 +218,124 @@ func Chaos() Scenario {
 	}
 }
 
+// Churn scenario sizing: waves of remote work interleaved with
+// membership transitions. Every task slot's effect is a pure function of
+// the slot number, so any placement the explorer picks must converge on
+// the one fingerprint.
+const (
+	churnWaves        = 3
+	churnTasksPerWave = 2
+)
+
+// churnEligible lists members that may be drained, removed or killed
+// while keeping the cluster placeable: active and not already killed.
+// Victim actions run only when two or more remain, so at least one
+// live, undrained member always survives to host the wave's tasks.
+func churnEligible(cluster *dist.Cluster, killed map[int]bool) []int {
+	var out []int
+	for _, m := range cluster.Members() {
+		if m.State == dist.StateActive && !killed[m.Node] {
+			out = append(out, m.Node)
+		}
+	}
+	return out
+}
+
+// churnTargets lists spawn targets: every active member, including
+// killed ones — requesting a dead member is legal and exercises the
+// failover path, which must land on the same outcome.
+func churnTargets(cluster *dist.Cluster) []int {
+	var out []int
+	for _, m := range cluster.Members() {
+		if m.State == dist.StateActive {
+			out = append(out, m.Node)
+		}
+	}
+	return out
+}
+
+// Churn is the elastic-membership scenario: every wave the decision
+// stream picks a membership transition (none, join, drain, leave, kill)
+// and a victim, places two remote tasks on explored targets — dead
+// members included — and may start a late drain while the wave's tasks
+// are still in flight, racing rebalancing against the merge. The
+// workload is MergeAll-only and slot-addressed, so the paper's
+// determinism claim extends verbatim: every join/leave/drain/kill
+// schedule must produce the one bit-identical fingerprint.
+func Churn() Scenario {
+	return Scenario{
+		Name:          "churn",
+		Deterministic: true,
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			cluster := dist.NewClusterWith(dist.Options{
+				Nodes:             2,
+				SendTimeout:       time.Second,
+				RecvTimeout:       time.Second,
+				HeartbeatInterval: -1,
+				Retry:             dist.RetryPolicy{MaxAttempts: 6},
+			})
+			env.Defer(cluster.Close)
+			killed := make(map[int]bool)
+			list := mergeable.NewList[int]()
+			cnt := mergeable.NewCounter(0)
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for wave := 0; wave < churnWaves; wave++ {
+					// Membership transition for this wave. Victim actions are
+					// offered only while a second placeable member exists.
+					eligible := churnEligible(cluster, killed)
+					actions := 2 // none, join
+					if len(eligible) >= 2 {
+						actions = 5 // + drain, leave, kill
+					}
+					switch env.Decide(fmt.Sprintf("churn.w%d.action", wave), actions) {
+					case 1:
+						if _, err := cluster.Join(); err != nil {
+							return err
+						}
+					case 2:
+						victim := eligible[env.Decide(fmt.Sprintf("churn.w%d.victim", wave), len(eligible))]
+						if err := cluster.Drain(victim); err != nil {
+							return err
+						}
+					case 3:
+						victim := eligible[env.Decide(fmt.Sprintf("churn.w%d.victim", wave), len(eligible))]
+						if err := cluster.Leave(victim); err != nil {
+							return err
+						}
+					case 4:
+						victim := eligible[env.Decide(fmt.Sprintf("churn.w%d.victim", wave), len(eligible))]
+						cluster.KillNode(victim)
+						killed[victim] = true
+					}
+					// The wave's work, on explored placements.
+					for tk := 0; tk < churnTasksPerWave; tk++ {
+						slot := wave*churnTasksPerWave + tk
+						targets := churnTargets(cluster)
+						target := targets[env.Decide(fmt.Sprintf("churn.w%d.t%d.target", wave, tk), len(targets))]
+						cluster.SpawnRemote(ctx, target, fmt.Sprintf("explore-churn-%d", slot), data[0], data[1])
+					}
+					// A late drain races rebalancing against the merge: the
+					// tasks just spawned may still be in flight on the victim.
+					if late := churnEligible(cluster, killed); len(late) >= 2 &&
+						env.Decide(fmt.Sprintf("churn.w%d.late", wave), 2) == 1 {
+						if err := cluster.Drain(late[0]); err != nil {
+							return err
+						}
+					}
+					if err := ctx.MergeAll(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fn, []mergeable.Mergeable{list, cnt}
+		},
+	}
+}
+
 // Builtins returns the built-in scenarios in a stable order.
 func Builtins() []Scenario {
-	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos()}
+	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn()}
 }
 
 // BuiltinScenario looks a built-in up by name.

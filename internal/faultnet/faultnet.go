@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/memnet"
@@ -109,7 +110,7 @@ func New(cfg Config) *Network {
 }
 
 // Stats exposes the network's fault counters ("delay", "drop", "reset",
-// "dial_fail", "partition_swallow").
+// "dial_fail", "dial_closed", "partition_swallow").
 func (n *Network) Stats() *stats.Counters { return n.counters }
 
 // Partition blackholes node: every write on the node's connections — in
@@ -137,9 +138,10 @@ func (n *Network) isPartitioned(node int) bool {
 // Listener wraps a memnet listener for one node; both ends of every
 // connection it produces inject faults.
 type Listener struct {
-	net   *Network
-	node  int
-	inner *memnet.Listener
+	net    *Network
+	node   int
+	inner  *memnet.Listener
+	closed atomic.Bool
 
 	mu        sync.Mutex
 	dialRng   *rand.Rand
@@ -190,6 +192,15 @@ func (l *Listener) Accept() (net.Conn, error) {
 // Dial connects to the listener, possibly failing with an injected
 // error, and returns the fault-wrapped client end.
 func (l *Listener) Dial() (net.Conn, error) {
+	// A dial to a closed listener fails before any fault decision is
+	// drawn: it can never succeed, so burning a decision (or a seeded
+	// variate) on it would shift every later connection's fault schedule
+	// by the timing of the node's death — nondeterminism injected by the
+	// injector itself.
+	if l.closed.Load() {
+		l.net.counters.Inc("dial_closed")
+		return nil, fmt.Errorf("faultnet: dial node %d: %w", l.node, memnet.ErrClosed)
+	}
 	var fail bool
 	if d := l.net.cfg.Decider; d != nil {
 		fail = d(fmt.Sprintf("fault.dial:n%d", l.node), 2) == DialFail
@@ -209,8 +220,12 @@ func (l *Listener) Dial() (net.Conn, error) {
 	return l.net.wrap(c, l.node, l.nextSeed(false)), nil
 }
 
-// Close closes the underlying listener.
-func (l *Listener) Close() error { return l.inner.Close() }
+// Close closes the underlying listener. Subsequent dials fail without
+// consuming a fault decision.
+func (l *Listener) Close() error {
+	l.closed.Store(true)
+	return l.inner.Close()
+}
 
 func (n *Network) wrap(c net.Conn, node int, seed int64) net.Conn {
 	return &conn{

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/memnet"
 	"repro/internal/testutil"
 )
 
@@ -285,4 +286,70 @@ func TestPartitionAndHeal(t *testing.T) {
 			t.Fatalf("read after heal = %q, %v", buf[:got], err)
 		}
 	})
+}
+
+// TestClosedDialConsumesNoDecision is the determinism regression for
+// dead-node dials: once a listener closes (a killed node), dialing it
+// must fail immediately without drawing a fault decision — under a
+// decider or from the seeded stream — so the timing of a node's death
+// cannot shift any later connection's fault schedule.
+func TestClosedDialConsumesNoDecision(t *testing.T) {
+	decisions := 0
+	n := New(Config{Decider: func(site string, alts int) int {
+		decisions++
+		return 0
+	}})
+	l := n.Listen(4, 4)
+	l.Close()
+	_, err := l.Dial()
+	if !errors.Is(err, memnet.ErrClosed) {
+		t.Fatalf("dial after close = %v, want memnet.ErrClosed", err)
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Fatalf("closed-listener dial misreported as injected fault: %v", err)
+	}
+	if decisions != 0 {
+		t.Fatalf("closed dial consumed %d decisions, want 0", decisions)
+	}
+	if got := n.Stats().Get("dial_closed"); got != 1 {
+		t.Fatalf("dial_closed = %d, want 1", got)
+	}
+	if got := n.Stats().Get("dial_fail"); got != 0 {
+		t.Fatalf("dial_fail = %d, want 0 (no fault was injected)", got)
+	}
+
+	// Seeded mode: the dial rng must not advance either. Two networks with
+	// the same seed — one that dials a closed listener between two live
+	// dials, one that does not — must agree on the live dials' outcomes.
+	outcomes := func(closeBetween bool) []bool {
+		nw := New(Config{Seed: 99, DialFailProb: 0.5})
+		live := nw.Listen(1, 4)
+		defer live.Close()
+		go func() {
+			for {
+				if _, err := live.Accept(); err != nil {
+					return
+				}
+			}
+		}()
+		dead := nw.Listen(2, 4)
+		dead.Close()
+		var out []bool
+		for i := 0; i < 8; i++ {
+			if closeBetween {
+				if _, err := dead.Dial(); err == nil {
+					t.Fatal("dial to closed listener succeeded")
+				}
+			}
+			_, err := live.Dial()
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	plain, interleaved := outcomes(false), outcomes(true)
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("dead-node dials drifted the seeded schedule: %v vs %v", plain, interleaved)
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package journal
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/dist"
@@ -74,5 +76,114 @@ func TestCoordinatorRoutesSurviveRestart(t *testing.T) {
 	}
 	if got := clusterB.Stats().Get("failover"); got != 0 {
 		t.Fatalf("failover after restart = %d, want 0 (route came from the journal)", got)
+	}
+}
+
+// churnTransitions drives the canonical membership sequence on cluster:
+// admit a third node, drain node 0, then remove it.
+func churnTransitions(t *testing.T, cluster *dist.Cluster) {
+	t.Helper()
+	if _, err := cluster.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMembershipSurvivesRestart is the membership half of full
+// coordinator state: run 1's transitions land in the WAL epoch by epoch;
+// a restarted coordinator recovers the exact sequence, and re-driving
+// the same transitions verifies against the record instead of appending.
+func TestMembershipSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.writeInputs(anyData()); err != nil {
+		t.Fatal(err)
+	}
+	clusterA := dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1, Journal: j})
+	churnTransitions(t, clusterA)
+	wantFP := routedRun(t, clusterA) // requested node 0 is gone; placement redirects
+	clusterA.Close()
+	if got := j.Stats().Get("member_recorded"); got != 3 {
+		t.Fatalf("member_recorded = %d, want 3", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify after membership records: %v", err)
+	}
+
+	j2, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	wantSeq := []MemberRec{
+		{Epoch: 1, Kind: uint8(dist.MemberJoined), Node: 2},
+		{Epoch: 2, Kind: uint8(dist.MemberDraining), Node: 0},
+		{Epoch: 3, Kind: uint8(dist.MemberLeft), Node: 0},
+	}
+	if got := j2.Recovery().Members; !reflect.DeepEqual(got, wantSeq) {
+		t.Fatalf("recovered members = %+v, want %+v", got, wantSeq)
+	}
+
+	clusterB := dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1, Journal: j2})
+	defer clusterB.Close()
+	churnTransitions(t, clusterB)
+	gotFP := routedRun(t, clusterB)
+	if gotFP != wantFP {
+		t.Fatalf("fingerprint after restart = %x, want %x", gotFP, wantFP)
+	}
+	if got := j2.Stats().Get("member_replayed"); got != 3 {
+		t.Fatalf("member_replayed = %d, want 3", got)
+	}
+	if got := j2.Stats().Get("member_recorded"); got != 0 {
+		t.Fatalf("member_recorded on resume = %d, want 0", got)
+	}
+	if err := j2.Err(); err != nil {
+		t.Fatalf("journal error after faithful replay: %v", err)
+	}
+}
+
+// TestMembershipDivergenceDetected: a restarted coordinator that drives
+// a different transition at a journaled epoch is not resuming the same
+// run — the journal must flag the divergence rather than rewrite
+// history.
+func TestMembershipDivergenceDetected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.writeInputs(anyData()); err != nil {
+		t.Fatal(err)
+	}
+	clusterA := dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1, Journal: j})
+	if _, err := clusterA.Join(); err != nil { // epoch 1: joined node 2
+		t.Fatal(err)
+	}
+	clusterA.Close()
+	j.Close()
+
+	j2, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	clusterB := dist.NewClusterWith(dist.Options{Nodes: 2, HeartbeatInterval: -1, Journal: j2})
+	defer clusterB.Close()
+	if err := clusterB.Drain(0); err != nil { // epoch 1: draining node 0 — not what the WAL holds
+		t.Fatal(err)
+	}
+	if err := j2.Err(); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("journal error = %v, want ErrDiverged", err)
 	}
 }

@@ -56,7 +56,8 @@ type Options struct {
 	// Stats, when non-nil, receives the journal's counters instead of an
 	// internal set: "record_written", "bytes_written", "pick_recorded",
 	// "pick_replayed", "checkpoint_written", "checkpoint_verified",
-	// "route_recorded", "route_replayed", "torn_tail_truncated",
+	// "route_recorded", "route_replayed", "member_recorded",
+	// "member_replayed", "torn_tail_truncated",
 	// "torn_bytes", "resume", "done_verified", "tmp_removed",
 	// "checkpoint_damaged".
 	Stats *stats.Counters
@@ -81,6 +82,14 @@ type Options struct {
 	// merge protocol (see task.RunConfig.Jitter) — harnesses use it as a
 	// progress pulse for stall watchdogs.
 	Jitter func()
+
+	// OnOpen, when non-nil, is invoked with the live journal just before
+	// the run's root task starts — after Create initialized it (Run) or
+	// Open recovered it (Resume). Callers use it to hand the journal to
+	// collaborators that must write through the same WAL, e.g. a dist
+	// cluster's Options.Journal, so coordinator state (routes, membership
+	// epochs) and merge picks land in one crash-consistent log.
+	OnOpen func(*Journal)
 }
 
 func (o Options) normalized() (Options, error) {
@@ -107,6 +116,10 @@ type Recovery struct {
 	Snaps  []NamedSnapshot
 	Picks  map[string][]uint64
 	Routes map[string]int
+	// Members is the durable membership transition sequence, ascending by
+	// epoch — the part of the coordinator's state that, together with
+	// Routes, lets a restarted coordinator re-drive its placement.
+	Members []MemberRec
 	// Checkpoints are the intact checkpoints, ascending by index; Latest
 	// is the highest index (0 when none).
 	Checkpoints []Checkpoint
@@ -153,11 +166,21 @@ type Journal struct {
 	// sink's replay-dedupe: the first len(recPicks[p]) picks a resumed
 	// run makes for path p are already durable — they are verified
 	// against the record instead of re-appended.
-	rec    *Recovery
-	cursor map[string]int
-	routes map[string]int // slot -> last recorded node (recovered + live)
-	ckpts  map[int]uint64 // intact prior checkpoints, for verification
-	record *task.MergeScript
+	rec     *Recovery
+	cursor  map[string]int
+	routes  map[string]int       // slot -> last recorded node (recovered + live)
+	members map[uint64]MemberRec // epoch -> transition (recovered + live)
+	ckpts   map[int]uint64       // intact prior checkpoints, for verification
+	record  *task.MergeScript
+}
+
+// MemberRec is one durable cluster membership transition (see the dist
+// package's MembershipJournal). Kind is dist's MemberEventKind as a raw
+// byte; the journal only promises the epoch sequence replays verbatim.
+type MemberRec struct {
+	Epoch uint64
+	Kind  uint8
+	Node  int
 }
 
 // Stats returns the journal's counters.
@@ -217,6 +240,7 @@ func Create(dir string, opts Options) (*Journal, error) {
 		wal:      f,
 		cursor:   make(map[string]int),
 		routes:   make(map[string]int),
+		members:  make(map[uint64]MemberRec),
 		ckpts:    make(map[int]uint64),
 	}
 	j.w = j.wrapWriter(f)
@@ -258,6 +282,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		wal:      f,
 		cursor:   make(map[string]int),
 		routes:   make(map[string]int),
+		members:  make(map[uint64]MemberRec),
 		ckpts:    make(map[int]uint64),
 	}
 	if err := j.recover(); err != nil {
@@ -336,6 +361,12 @@ func (j *Journal) recover() error {
 				return err
 			}
 			rec.Routes[body.Slot] = body.Node
+		case recMember:
+			var body memberRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			rec.Members = append(rec.Members, MemberRec(body))
 		case recDone:
 			var body doneRec
 			if err := decodeBody(r, &body); err != nil {
@@ -385,6 +416,9 @@ func (j *Journal) recover() error {
 	}
 	for slot, node := range rec.Routes {
 		j.routes[slot] = node
+	}
+	for _, m := range rec.Members {
+		j.members[m.Epoch] = m
 	}
 	j.rec = rec
 	return nil
@@ -535,6 +569,38 @@ func (j *Journal) RecordRoute(slot string, node int) {
 			// Per-slot track: the slot's proxy task is the single logical
 			// writer of its routing history.
 			tr.Emit("route/"+slot, obs.KindAppend, "route", -1, int64(node), 0)
+		}
+	}
+}
+
+// RecordMember journals one cluster membership transition —
+// dist.MembershipJournal's write half. Membership is epoch-keyed: a
+// fresh epoch is appended write-ahead of the transition taking effect,
+// while a resumed run re-executing a transition the journal already
+// holds verifies it against the record instead (a mismatch — different
+// kind or node at the same epoch — is a divergence, the resumed run is
+// not re-tracing the crashed one).
+func (j *Journal) RecordMember(epoch uint64, kind uint8, node int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if have, ok := j.members[epoch]; ok {
+		if (have.Kind != kind || have.Node != node) && j.diverged == nil {
+			j.diverged = DivergedError{Detail: fmt.Sprintf(
+				"member epoch %d: journal has kind %d node %d, resumed run chose kind %d node %d",
+				epoch, have.Kind, have.Node, kind, node)}
+		}
+		j.counters.Inc("member_replayed")
+		if tr := j.opts.Obs; tr != nil {
+			tr.Emit("journal", obs.KindReplay, "member", -1, int64(epoch), 0)
+		}
+		return
+	}
+	m := MemberRec{Epoch: epoch, Kind: kind, Node: node}
+	j.members[epoch] = m
+	if j.appendLocked(recMember, memberRec(m)) == nil {
+		j.counters.Inc("member_recorded")
+		if tr := j.opts.Obs; tr != nil {
+			tr.Emit("journal", obs.KindAppend, "member", -1, int64(epoch), 0)
 		}
 	}
 }

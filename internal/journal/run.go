@@ -28,6 +28,9 @@ func Run(dir string, opts Options, fn task.Func, data ...mergeable.Mergeable) er
 	if err := j.writeInputs(data); err != nil {
 		return err
 	}
+	if opts.OnOpen != nil {
+		opts.OnOpen(j)
+	}
 	return j.execute(nil, fn, data)
 }
 
@@ -50,6 +53,9 @@ func Resume(dir string, opts Options, fn task.Func) ([]mergeable.Mergeable, erro
 		return nil, err
 	}
 	j.counters.Inc("resume")
+	if opts.OnOpen != nil {
+		opts.OnOpen(j)
+	}
 	if err := j.execute(j.rec.Script(), fn, data); err != nil {
 		return nil, err
 	}
@@ -143,6 +149,9 @@ func Verify(dir string) error {
 			decodeErr = decodeBody(r, &body)
 		case recDone:
 			var body doneRec
+			decodeErr = decodeBody(r, &body)
+		case recMember:
+			var body memberRec
 			decodeErr = decodeBody(r, &body)
 		default:
 			return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}

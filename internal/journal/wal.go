@@ -36,6 +36,7 @@ const (
 	recCkpt   byte = 3 // checkpoint marker (the state lives in its own file)
 	recRoute  byte = 4 // one dist coordinator routing decision
 	recDone   byte = 5 // successful completion + final fingerprint
+	recMember byte = 6 // one cluster membership transition, keyed by epoch
 )
 
 // NamedSnapshot is one structure's serialized value, tagged with the codec
@@ -60,6 +61,15 @@ type routeRec struct {
 	Node int
 }
 type doneRec struct{ Fingerprint uint64 }
+
+// memberRec is one cluster membership transition. Kind is the dist
+// layer's MemberEventKind as a raw byte — the journal stays ignorant of
+// dist's types, it only promises to replay the epoch sequence verbatim.
+type memberRec struct {
+	Epoch uint64
+	Kind  uint8
+	Node  int
+}
 
 // frameRecord renders one framed record: header + type byte + gob body.
 func frameRecord(typ byte, body any) ([]byte, error) {

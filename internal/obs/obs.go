@@ -58,6 +58,10 @@ const (
 	KindAppend     // WAL record made durable
 	KindCheckpoint // checkpoint written or verified
 	KindReplay     // durable record verified against a resumed run
+
+	// Elastic membership.
+	KindMember    // membership transition (join, drain, leave)
+	KindRebalance // in-flight task moved off a draining node
 )
 
 var kindNames = [...]string{
@@ -74,6 +78,8 @@ var kindNames = [...]string{
 	KindAppend:     "wal.append",
 	KindCheckpoint: "checkpoint",
 	KindReplay:     "replay",
+	KindMember:     "member",
+	KindRebalance:  "rebalance",
 }
 
 // String returns the kind's short name.
