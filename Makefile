@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figure3 figure3-full soak soak-trace soak-kill explore explore-deep churn fuzz fuzz-ot examples
+.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill explore explore-deep churn fuzz fuzz-ot fuzz-batch examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -22,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Quick trajectory with the allocation gate: fails if a spawn-merge
+# roundtrip allocates more than the committed budget (see cmd/bench).
+bench-gate:
+	$(GO) run ./cmd/bench -quick -gate -out BENCH_PR7.quick.json
 
 # Regenerates Figure 3 and the Section III analysis (scaled-down sweep).
 figure3:
@@ -86,6 +91,11 @@ fuzz:
 # satisfy TP1, transform-path agreement and compaction soundness.
 fuzz-ot:
 	$(GO) test ./internal/ot -run '^$$' -fuzz FuzzListTransform -fuzztime 30s -fuzzminimizetime 10x
+
+# Differential fuzzing of the batched run-length transform engine: it
+# must produce op sequences identical to the pairwise shape engine.
+fuzz-batch:
+	$(GO) test ./internal/ot -run '^$$' -fuzz FuzzBatchedTransform -fuzztime 30s -fuzzminimizetime 10x
 
 examples:
 	for ex in quickstart server simulation collabtext semaphore distributed bank pipeline stencil; do \

@@ -191,6 +191,46 @@ func BenchmarkOTTransform(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedTransform measures the batched run-length engine on
+// run-heavy histories — a 512-op client append run against a 256-op
+// server append run followed by a 128-op pop run — with the pairwise
+// shape engine as the ablation. Both engines produce identical op
+// sequences (FuzzBatchedTransform pins that); the gap is the payoff of
+// walking the transform grid at run granularity. Mirrored verbatim as
+// cmd/bench's batched_transform / batched_transform_pairwise families.
+func BenchmarkBatchedTransform(b *testing.B) {
+	histories := func() (client, server []ot.Op) {
+		client = make([]ot.Op, 512)
+		for i := range client {
+			client[i] = ot.SeqInsert{Pos: i, Elems: []any{i}}
+		}
+		server = make([]ot.Op, 0, 384)
+		for i := 0; i < 256; i++ {
+			server = append(server, ot.SeqInsert{Pos: i, Elems: []any{-i}})
+		}
+		for i := 0; i < 128; i++ {
+			server = append(server, ot.SeqDelete{Pos: 0, N: 1})
+		}
+		return client, server
+	}
+	for _, batched := range []bool{true, false} {
+		name := "batched"
+		if !batched {
+			name = "pairwise"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			client, server := histories()
+			prev := ot.SetBatchedTransform(batched)
+			defer ot.SetBatchedTransform(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ot.TransformAgainst(client, server)
+			}
+		})
+	}
+}
+
 // BenchmarkCompaction measures the payoff of operation-log compaction:
 // transforming a drained queue's operations (n pops) against a concurrent
 // history, raw versus compacted. The transform is quadratic, so the

@@ -1,5 +1,5 @@
 // Command bench runs the repository's core benchmark families outside `go
-// test` and writes a BENCH_PR2.json trajectory file, so successive PRs can
+// test` and writes a BENCH_PR7.json trajectory file, so successive PRs can
 // track ns/op and allocs/op against the recorded pre-PR baseline instead
 // of eyeballing `go test -bench` output.
 //
@@ -8,6 +8,8 @@
 //	go run ./cmd/bench            # full run (300ms per family, 5 rounds)
 //	go run ./cmd/bench -quick     # CI smoke: 30ms per family, 1 round
 //	go run ./cmd/bench -out F     # write the trajectory to F
+//	go run ./cmd/bench -gate      # exit non-zero if the roundtrip's
+//	                              # allocs/op exceed the committed budget
 //
 // Each family is measured with testing.Benchmark and the median of
 // `rounds` ns/op is recorded — this machine's run-to-run noise is ±8%, so
@@ -22,37 +24,47 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
 	"repro/internal/mergeable"
 	"repro/internal/obs"
+	"repro/internal/ot"
 	"repro/internal/task"
 )
 
-// baselines are the pre-PR numbers for each family, measured at the seed
-// commit (c929b53, the state before the parallel merge engine and the
-// zero-copy spawn pipeline) on this machine. ns/op baselines for families
-// that exist at the seed are medians of runs of the seed-commit test
-// binary interleaved pairwise with the current one in the same session
-// that produced the committed BENCH_PR2.json (this single-core box has
-// ~±8% run-to-run drift, so only paired same-session ratios are fair);
-// allocs/op are exact and session-independent. The merge_many baseline
-// was measured once at the seed with the same median-of-rounds
-// methodology (its ~15x delta dwarfs any drift). Families without a
-// pre-PR equivalent (the fan-out encode split did not exist) carry zeros.
+// baselines are the pre-PR numbers for each family, taken from the
+// committed BENCH_PR2.json trajectory measured at b50f421 (the state
+// before the batched run-length transform engine and the pooled-frame
+// allocation work) on this machine. Re-using the committed trajectory
+// keeps the baselines exactly the numbers past CI runs recorded;
+// allocs/op are exact and session-independent, ns/op carry this
+// single-core box's ~±8% run-to-run drift, so judge ns ratios with that
+// margin. Families without a pre-PR equivalent (the batched_transform
+// pair did not exist; its in-run ablation partner *is* its baseline)
+// carry zeros.
 var baselines = map[string]baseline{
-	"spawn_copy_overhead":              {NsPerOp: 119131, AllocsPerOp: 1406},
-	"merge_many_structs_64x100_serial": {NsPerOp: 48263501, AllocsPerOp: 220458},
-	"spawn_merge_roundtrip":            {NsPerOp: 3175, AllocsPerOp: 39},
+	"spawn_copy_overhead":                {NsPerOp: 62721, AllocsPerOp: 760},
+	"merge_many_structs_64x100_serial":   {NsPerOp: 3245633, AllocsPerOp: 48020},
+	"merge_many_structs_64x100_parallel": {NsPerOp: 3201682, AllocsPerOp: 48020},
+	"spawn_merge_roundtrip":              {NsPerOp: 3838, AllocsPerOp: 41},
 	// Same workload as spawn_merge_roundtrip, run through the hook-bearing
-	// RunWith entry point with tracing disabled. The baseline is the
-	// roundtrip's own: the observability layer must be free when off
-	// (BenchmarkSpawnMergeTraceOff guards allocs/op exactly).
-	"spawn_merge_trace_off": {NsPerOp: 3175, AllocsPerOp: 39},
-	"queue_push_pop":        {NsPerOp: 243, AllocsPerOp: 4},
+	// RunWith entry point with tracing disabled. The observability layer
+	// must be free when off (BenchmarkSpawnMergeTraceOff guards allocs/op
+	// exactly).
+	"spawn_merge_trace_off":     {NsPerOp: 3693, AllocsPerOp: 41},
+	"queue_push_pop":            {NsPerOp: 281, AllocsPerOp: 4},
+	"remote_fanout_encode_once": {NsPerOp: 792800, AllocsPerOp: 3395},
 }
+
+// roundtripAllocBudget is the committed allocation budget for one
+// spawn-merge roundtrip: frame + shells + logs + scratch are all pooled,
+// so a steady-state roundtrip performs at most this many allocations.
+// `-gate` fails the run when the measured family exceeds it.
+const roundtripAllocBudget = 8
 
 type baseline struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -177,6 +189,32 @@ func families() []family {
 				}
 			}
 		}},
+		// BenchmarkBatchedTransform: raw transform of run-heavy histories
+		// (one long append run against an append run followed by a pop
+		// run) through the batched run-length engine, with the pairwise
+		// shape engine as the in-run ablation partner. Both produce
+		// identical op sequences; the gap between the two families is the
+		// run-granularity payoff.
+		{"batched_transform", func(b *testing.B) {
+			b.ReportAllocs()
+			client, server := batchedTransformHistories()
+			prev := ot.SetBatchedTransform(true)
+			defer ot.SetBatchedTransform(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ot.TransformAgainst(client, server)
+			}
+		}},
+		{"batched_transform_pairwise", func(b *testing.B) {
+			b.ReportAllocs()
+			client, server := batchedTransformHistories()
+			prev := ot.SetBatchedTransform(false)
+			defer ot.SetBatchedTransform(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ot.TransformAgainst(client, server)
+			}
+		}},
 		// BenchmarkRemoteFanout/encode-once: scatter one snapshot to a
 		// 4-node cluster with a single serialization.
 		{"remote_fanout_encode_once", func(b *testing.B) {
@@ -202,6 +240,25 @@ func families() []family {
 			}
 		}},
 	}
+}
+
+// batchedTransformHistories builds the run-heavy operation histories the
+// batched_transform families transform: a 512-op client append run
+// against a 256-op server append run followed by a 128-op pop run — the
+// shape a producer task racing a consumer task leaves in its log.
+func batchedTransformHistories() (client, server []ot.Op) {
+	client = make([]ot.Op, 512)
+	for i := range client {
+		client[i] = ot.SeqInsert{Pos: i, Elems: []any{i}}
+	}
+	server = make([]ot.Op, 0, 384)
+	for i := 0; i < 256; i++ {
+		server = append(server, ot.SeqInsert{Pos: i, Elems: []any{-i}})
+	}
+	for i := 0; i < 128; i++ {
+		server = append(server, ot.SeqDelete{Pos: 0, N: 1})
+	}
+	return client, server
 }
 
 func mergeManyStructs(b *testing.B, structs, ops int) {
@@ -284,7 +341,11 @@ func spanDump(path string) error {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: one short round per family")
-	out := flag.String("out", "BENCH_PR2.json", "trajectory file to write")
+	out := flag.String("out", "BENCH_PR7.json", "trajectory file to write")
+	gate := flag.Bool("gate", false, "fail (exit 1) if spawn_merge_roundtrip exceeds its allocs/op budget")
+	familyFilter := flag.String("family", "", "only run families whose name contains this substring")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured families to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the measured families to this file")
 	spandump := flag.String("spandump", "", "write (and diff against) a reference span-tree JSON dump at this path")
 	testing.Init()
 	flag.Parse()
@@ -318,10 +379,39 @@ func main() {
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		BenchTime:      benchtime,
 		Rounds:         rounds,
-		BaselineCommit: "c929b53",
+		BaselineCommit: "b50f421",
 		Families:       map[string]familyResult{},
 	}
-	for _, f := range families() {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+		}()
+	}
+
+	fams := families()
+	for _, f := range fams {
+		if *familyFilter != "" && !strings.Contains(f.name, *familyFilter) {
+			continue
+		}
 		nsSamples := make([]float64, 0, rounds)
 		var last testing.BenchmarkResult
 		for r := 0; r < rounds; r++ {
@@ -366,4 +456,30 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d families, benchtime %s × %d rounds)\n", *out, len(traj.Families), benchtime, rounds)
+
+	if *gate {
+		res, ok := traj.Families["spawn_merge_roundtrip"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "bench: gate: spawn_merge_roundtrip was filtered out of this run")
+			os.Exit(1)
+		}
+		allocs := res.AllocsPerOp
+		if allocs > roundtripAllocBudget {
+			// A single short quick-mode round can catch the frame, shell
+			// and scratch pools cold and amortize their warm-up over too
+			// few iterations; re-measure once warm before declaring a
+			// regression.
+			for _, f := range fams {
+				if f.name == "spawn_merge_roundtrip" {
+					allocs = uint64(testing.Benchmark(f.fn).AllocsPerOp())
+				}
+			}
+		}
+		if allocs > roundtripAllocBudget {
+			fmt.Fprintf(os.Stderr, "bench: gate FAILED: spawn_merge_roundtrip allocs/op = %d, budget %d\n",
+				allocs, roundtripAllocBudget)
+			os.Exit(1)
+		}
+		fmt.Printf("gate: spawn_merge_roundtrip allocs/op %d within budget %d\n", allocs, roundtripAllocBudget)
+	}
 }

@@ -40,6 +40,14 @@ type Vector[T any] struct {
 	shift uint
 	root  *node[T]
 	tail  []T
+	// sharedTail records that another live Vector value shares this tail's
+	// backing array *within its length* (set by MarkShared when a sealed
+	// view is handed out). It blocks SetOwned's in-place write — a write
+	// inside the shared length would be visible through the other view —
+	// while leaving AppendOwned's beyond-length writes alone, which sealed
+	// (length-clipped) views can never observe. Any operation that installs
+	// a freshly copied tail clears it.
+	sharedTail bool
 }
 
 // New returns a vector holding vals.
@@ -62,7 +70,14 @@ func FromSlice[T any](vals []T) Vector[T] {
 	if count >= width {
 		tailOff = ((count - 1) >> bits) << bits
 	}
-	tail := append(make([]T, 0, count-tailOff), vals[tailOff:]...)
+	// Pad small tails: structures rebuilt via FromSlice almost always keep
+	// appending (or overwriting) in owned mode right after, and the spare
+	// capacity turns their next growth into an in-place write.
+	tailCap := count - tailOff
+	if tailCap < 8 {
+		tailCap = 8
+	}
+	tail := append(make([]T, 0, tailCap), vals[tailOff:]...)
 	if tailOff == 0 {
 		return Vector[T]{count: count, shift: bits, tail: tail}
 	}
@@ -176,9 +191,53 @@ func (v Vector[T]) AppendOwned(x T) Vector[T] {
 		copy(nt, v.tail)
 		v.tail = append(nt, x)
 		v.count++
+		v.sharedTail = false // fresh backing, no other view can see it
 		return v
 	}
 	return v.Append(x) // tail full: spill into the trie
+}
+
+// MarkShared records that a second view of the receiver's tail is about to
+// be handed out (see Sealed); subsequent SetOwned calls copy the tail
+// before writing inside its shared length. The single-owner façades call
+// this on the parent side of a clone, keeping the parent's spare tail
+// capacity — and therefore its in-place append run — intact.
+func (v *Vector[T]) MarkShared() { v.sharedTail = true }
+
+// SetOwned is Set for a caller that exclusively owns the receiver (same
+// contract as AppendOwned): when the index lands in a tail that no sealed
+// view shares and that carries spare capacity — the signature of owned
+// growth, never of a freshly shared backing — the element is written in
+// place. A run of owned overwrites then amortizes to at most one tail copy
+// instead of one per write. Trie-resident indexes take the ordinary
+// path-copying route, which never touches the tail.
+func (v Vector[T]) SetOwned(i int, x T) Vector[T] {
+	if i < 0 || i >= v.count {
+		panic(fmt.Sprintf("cow: index %d out of range [0,%d)", i, v.count))
+	}
+	off := v.tailOffset()
+	if i < off {
+		v.root = setInTrie(v.root, v.shift, i, x)
+		return v
+	}
+	if !v.sharedTail && cap(v.tail) > len(v.tail) {
+		v.tail[i-off] = x
+		return v
+	}
+	n := len(v.tail)
+	newCap := 2 * n
+	if newCap < 8 {
+		newCap = 8
+	}
+	if newCap > width {
+		newCap = width
+	}
+	nt := make([]T, n, newCap)
+	copy(nt, v.tail)
+	nt[i-off] = x
+	v.tail = nt
+	v.sharedTail = false
+	return v
 }
 
 // Sealed returns the vector with its tail capacity clipped to its length,
@@ -237,7 +296,8 @@ func (v Vector[T]) Set(i int, x T) Vector[T] {
 		newTail[i-v.tailOffset()] = x
 		return Vector[T]{count: v.count, shift: v.shift, root: v.root, tail: newTail}
 	}
-	return Vector[T]{count: v.count, shift: v.shift, root: setInTrie(v.root, v.shift, i, x), tail: v.tail}
+	// The tail is reused, so the shared-tail mark must ride along.
+	return Vector[T]{count: v.count, shift: v.shift, root: setInTrie(v.root, v.shift, i, x), tail: v.tail, sharedTail: v.sharedTail}
 }
 
 func setInTrie[T any](n *node[T], level uint, i int, x T) *node[T] {

@@ -254,3 +254,51 @@ func TestAppendOwnedSealing(t *testing.T) {
 		t.Fatalf("append after pop wrong: %d", appended.Get(99))
 	}
 }
+
+// TestSetOwnedSharing exercises the SetOwned/MarkShared contract: in-place
+// overwrites are permitted only while no sealed view shares the tail, and
+// marking re-establishes copy-on-set exactly once.
+func TestSetOwnedSharing(t *testing.T) {
+	var v Vector[int]
+	for i := 0; i < 40; i++ {
+		v = v.AppendOwned(i)
+	}
+	// Owned overwrites agree with Set everywhere, including trie indexes.
+	w := v
+	for i := 0; i < 40; i += 3 {
+		v = v.SetOwned(i, 1000+i)
+		w = w.Set(i, 1000+i)
+	}
+	if !reflect.DeepEqual(v.Slice(), w.Slice()) {
+		t.Fatalf("SetOwned diverged from Set: %v vs %v", v.Slice(), w.Slice())
+	}
+
+	// Hand out a sealed view, then overwrite a tail slot in owned mode: the
+	// sealed view must keep the old value.
+	v.MarkShared()
+	view := v.Sealed()
+	before := view.Get(39)
+	v2 := v.SetOwned(39, -1)
+	if got := view.Get(39); got != before {
+		t.Fatalf("SetOwned wrote through a sealed view: %d", got)
+	}
+	if v2.Get(39) != -1 {
+		t.Fatalf("SetOwned lost the write: %d", v2.Get(39))
+	}
+	// After the copy-on-set, further owned overwrites are invisible to the
+	// view as well (fresh backing).
+	v3 := v2.SetOwned(38, -2)
+	if got := view.Get(38); got != 38 {
+		t.Fatalf("second SetOwned wrote through a sealed view: %d", got)
+	}
+	if v3.Get(38) != -2 || v3.Get(39) != -1 {
+		t.Fatalf("owned overwrites lost: %v", v3.Slice()[36:])
+	}
+
+	// The parent's in-place append run survives sharing: beyond-length
+	// writes are invisible to length-clipped views.
+	v4 := v3.AppendOwned(77)
+	if view.Len() != 40 || v4.Get(40) != 77 {
+		t.Fatalf("append after sharing broke: viewLen=%d", view.Len())
+	}
+}

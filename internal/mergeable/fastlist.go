@@ -2,7 +2,6 @@ package mergeable
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cow"
 	"repro/internal/ot"
@@ -17,6 +16,9 @@ import (
 type FastList[T any] struct {
 	log Log
 	vec cow.Vector[T]
+	// fp caches the running FNV-1a state of the fingerprint rendering;
+	// appends extend it incrementally, other mutations invalidate.
+	fp fpCache
 }
 
 // NewFastList returns a COW-backed mergeable list holding vals.
@@ -45,31 +47,32 @@ func (l *FastList[T]) Values() []T {
 	return l.vec.Slice()
 }
 
-// Append adds vals to the end of the list.
+// Append adds vals to the end of the list. Each element goes straight into
+// the vector and the run-coalescing recorder: an append loop logs one
+// composite SeqInsert without intermediate []any boxes.
 func (l *FastList[T]) Append(vals ...T) {
 	l.log.ensureUsable()
 	if len(vals) == 0 {
 		return
 	}
-	elems := make([]any, len(vals))
-	for i, v := range vals {
-		elems[i] = v
-	}
-	op := ot.SeqInsert{Pos: l.vec.Len(), Elems: elems}
-	for _, v := range vals {
+	pos := l.vec.Len()
+	for j, v := range vals {
 		l.vec = l.vec.AppendOwned(v)
+		l.fp.fold(v)
+		l.log.recordSeqInsert1(pos+j, v)
 	}
-	l.log.Record(op)
 }
 
-// Set overwrites the element at index i.
+// Set overwrites the element at index i (in place when the tail is
+// exclusively owned; see List.Set).
 func (l *FastList[T]) Set(i int, v T) {
 	l.log.ensureUsable()
 	if i < 0 || i >= l.vec.Len() {
 		panic(fmt.Sprintf("mergeable: FastList.Set index %d out of range [0,%d)", i, l.vec.Len()))
 	}
-	l.vec = l.vec.Set(i, v)
-	l.log.Record(ot.SeqSet{Pos: i, Elem: v})
+	l.vec = l.vec.SetOwned(i, v)
+	l.fp.invalidate()
+	l.log.recordSeqSet(i, v)
 }
 
 func (l *FastList[T]) applySeq(op ot.Op) error {
@@ -79,6 +82,19 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 		if v.Pos < 0 || v.Pos > n {
 			return fmt.Errorf("mergeable: fastlist %s out of range for length %d", v, n)
 		}
+		if v.Pos == n { // append fast path, no intermediate []T
+			for _, e := range v.Elems { // validate first: an op applies atomically
+				if tv, ok := e.(T); !ok {
+					return fmt.Errorf("mergeable: fastlist %s carries %T, want %T", v, e, tv)
+				}
+			}
+			for _, e := range v.Elems {
+				tv := e.(T)
+				l.vec = l.vec.AppendOwned(tv)
+				l.fp.fold(tv)
+			}
+			return nil
+		}
 		vals := make([]T, len(v.Elems))
 		for i, e := range v.Elems {
 			tv, ok := e.(T)
@@ -87,23 +103,25 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 			}
 			vals[i] = tv
 		}
-		if v.Pos == n { // append fast path
-			for _, x := range vals {
-				l.vec = l.vec.AppendOwned(x)
-			}
-			return nil
-		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
-		l.vec = cow.New(out...)
+		l.vec = cow.FromSlice(out)
+		l.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
 		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
 			return fmt.Errorf("mergeable: fastlist %s out of range for length %d", v, n)
 		}
+		l.fp.invalidate()
+		if v.Pos+v.N == n { // trailing deletion fast path
+			for i := 0; i < v.N; i++ {
+				l.vec = l.vec.Pop()
+			}
+			return nil
+		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
-		l.vec = cow.New(out...)
+		l.vec = cow.FromSlice(out)
 		return nil
 	case ot.SeqSet:
 		if v.Pos < 0 || v.Pos >= n {
@@ -113,16 +131,18 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 		if !ok {
 			return fmt.Errorf("mergeable: fastlist %s carries %T", v, v.Elem)
 		}
-		l.vec = l.vec.Set(v.Pos, tv)
+		l.vec = l.vec.SetOwned(v.Pos, tv)
+		l.fp.invalidate()
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a list operation", op.Kind())
 }
 
-// CloneValue implements Mergeable in O(1).
+// CloneValue implements Mergeable in O(1). The parent marks its tail
+// shared and hands the child a capacity-clipped view (see List.CloneValue).
 func (l *FastList[T]) CloneValue() Mergeable {
-	l.vec.SealTail() // shared from here on; AppendOwned must copy
-	return &FastList[T]{vec: l.vec}
+	l.vec.MarkShared()
+	return &FastList[T]{vec: l.vec.Sealed(), fp: l.fp}
 }
 
 // ApplyRemote implements Mergeable.
@@ -141,24 +161,23 @@ func (l *FastList[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(l, src)
 	}
-	s.vec.SealTail() // shared from here on; see CloneValue
-	l.vec = s.vec
+	s.vec.MarkShared() // shared from here on; see CloneValue
+	l.vec = s.vec.Sealed()
+	l.fp = s.fp
 	return nil
 }
 
 // Fingerprint implements Mergeable; equal contents fingerprint equal to
-// List's.
+// List's. O(1) for append-only histories via the running hash.
 func (l *FastList[T]) Fingerprint() uint64 {
-	var sb strings.Builder
-	sb.WriteString("list[")
-	for i := 0; i < l.vec.Len(); i++ {
-		if i > 0 {
-			sb.WriteByte(' ')
+	if !l.fp.ok {
+		c := fpCache{h: fnvFoldString(fnvOffset64, "list["), ok: true}
+		for _, e := range l.vec.Slice() {
+			c.fold(e)
 		}
-		fmt.Fprintf(&sb, "%v", l.vec.Get(i))
+		l.fp = c
 	}
-	sb.WriteByte(']')
-	return FingerprintString(sb.String())
+	return fnvFoldByte(l.fp.h, ']')
 }
 
 // String renders the list like fmt does for slices.

@@ -2,7 +2,6 @@ package mergeable
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cow"
 	"repro/internal/ot"
@@ -24,6 +23,9 @@ type FastQueue[T any] struct {
 	log  Log
 	vec  cow.Vector[T]
 	head int
+	// fp caches the running FNV-1a state of the fingerprint rendering;
+	// pushes extend it incrementally, pops and splices invalidate.
+	fp fpCache
 }
 
 // NewFastQueue returns a COW-backed mergeable queue holding vals
@@ -44,12 +46,15 @@ func (q *FastQueue[T]) Len() int {
 // Empty reports whether the queue holds no elements.
 func (q *FastQueue[T]) Empty() bool { return q.Len() == 0 }
 
-// Push appends v to the back of the queue.
+// Push appends v to the back of the queue. The push is recorded through
+// the run-coalescing recorder: a burst of pushes logs one composite
+// SeqInsert, and a push immediately popped again logs nothing at all.
 func (q *FastQueue[T]) Push(v T) {
 	q.log.ensureUsable()
-	op := ot.SeqInsert{Pos: q.vec.Len() - q.head, Elems: []any{v}}
+	pos := q.vec.Len() - q.head
 	q.vec = q.vec.AppendOwned(v)
-	q.log.Record(op)
+	q.fp.fold(v)
+	q.log.recordSeqInsert1(pos, v)
 }
 
 // PopFront removes and returns the front element. ok is false when the
@@ -62,7 +67,8 @@ func (q *FastQueue[T]) PopFront() (v T, ok bool) {
 	v = q.vec.Get(q.head)
 	q.head++
 	q.maybeCompact()
-	q.log.Record(ot.SeqDelete{Pos: 0, N: 1})
+	q.fp.invalidate()
+	q.log.recordSeqDelete(0, 1)
 	return v, true
 }
 
@@ -78,11 +84,7 @@ func (q *FastQueue[T]) Peek() (v T, ok bool) {
 // Values returns a copy of the queued elements, front first.
 func (q *FastQueue[T]) Values() []T {
 	q.log.ensureUsable()
-	out := make([]T, 0, q.Len())
-	for i := q.head; i < q.vec.Len(); i++ {
-		out = append(out, q.vec.Get(i))
-	}
-	return out
+	return q.tail()
 }
 
 // maybeCompact rebuilds the vector without the consumed prefix once the
@@ -91,16 +93,17 @@ func (q *FastQueue[T]) maybeCompact() {
 	if q.head < 64 || q.head <= q.vec.Len()/2 {
 		return
 	}
-	q.vec = cow.New(q.tail()...)
+	q.vec = cow.FromSlice(q.tail())
 	q.head = 0
 }
 
+// tail returns the live elements via one bulk Slice instead of a per-index
+// trie walk.
 func (q *FastQueue[T]) tail() []T {
-	out := make([]T, 0, q.vec.Len()-q.head)
-	for i := q.head; i < q.vec.Len(); i++ {
-		out = append(out, q.vec.Get(i))
+	if q.head == 0 {
+		return q.vec.Slice()
 	}
-	return out
+	return q.vec.Slice()[q.head:]
 }
 
 // applySeq applies one remote sequence op. Front deletions and back
@@ -125,17 +128,20 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		if v.Pos == n { // append fast path
 			for _, x := range vals {
 				q.vec = q.vec.AppendOwned(x)
+				q.fp.fold(x)
 			}
 			return nil
 		}
 		cur := q.tail()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
-		q.vec, q.head = cow.New(out...), 0
+		q.vec, q.head = cow.FromSlice(out), 0
+		q.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
 		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
 			return fmt.Errorf("mergeable: fastqueue %s out of range for length %d", v, n)
 		}
+		q.fp.invalidate()
 		if v.Pos == 0 { // front-deletion fast path
 			q.head += v.N
 			q.maybeCompact()
@@ -143,7 +149,7 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		}
 		cur := q.tail()
 		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
-		q.vec, q.head = cow.New(out...), 0
+		q.vec, q.head = cow.FromSlice(out), 0
 		return nil
 	case ot.SeqSet:
 		if v.Pos < 0 || v.Pos >= n {
@@ -153,17 +159,19 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		if !ok {
 			return fmt.Errorf("mergeable: fastqueue %s carries %T", v, v.Elem)
 		}
-		q.vec = q.vec.Set(q.head+v.Pos, tv)
+		q.vec = q.vec.SetOwned(q.head+v.Pos, tv)
+		q.fp.invalidate()
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a queue operation", op.Kind())
 }
 
 // CloneValue implements Mergeable. It is O(1): the persistent vector is
-// shared structurally.
+// shared structurally. The parent marks its tail shared and hands the
+// child a capacity-clipped view (see List.CloneValue).
 func (q *FastQueue[T]) CloneValue() Mergeable {
-	q.vec.SealTail() // shared from here on; AppendOwned must copy
-	return &FastQueue[T]{vec: q.vec, head: q.head}
+	q.vec.MarkShared()
+	return &FastQueue[T]{vec: q.vec.Sealed(), head: q.head, fp: q.fp}
 }
 
 // ApplyRemote implements Mergeable.
@@ -182,24 +190,24 @@ func (q *FastQueue[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(q, src)
 	}
-	s.vec.SealTail() // shared from here on; see CloneValue
-	q.vec, q.head = s.vec, s.head
+	s.vec.MarkShared() // shared from here on; see CloneValue
+	q.vec, q.head = s.vec.Sealed(), s.head
+	q.fp = s.fp
 	return nil
 }
 
 // Fingerprint implements Mergeable. It matches Queue's fingerprint for
 // equal contents, so cross-ablation oracles can compare them directly.
+// O(1) for push-only histories via the running hash.
 func (q *FastQueue[T]) Fingerprint() uint64 {
-	var sb strings.Builder
-	sb.WriteString("queue[")
-	for i := q.head; i < q.vec.Len(); i++ {
-		if i > q.head {
-			sb.WriteByte(' ')
+	if !q.fp.ok {
+		c := fpCache{h: fnvFoldString(fnvOffset64, "queue["), ok: true}
+		for _, e := range q.tail() {
+			c.fold(e)
 		}
-		fmt.Fprintf(&sb, "%v", q.vec.Get(i))
+		q.fp = c
 	}
-	sb.WriteByte(']')
-	return FingerprintString(sb.String())
+	return fnvFoldByte(q.fp.h, ']')
 }
 
 // String renders the queue front-to-back.

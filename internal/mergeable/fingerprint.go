@@ -1,0 +1,120 @@
+package mergeable
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Interning: the one-element Elems slices recorded by list appends and
+// queue pushes dominate merge-path allocations in integer-heavy workloads.
+// For small ints the slice (and the boxed element inside it) comes from a
+// precomputed table instead of the heap. The slices are shared and must be
+// treated as immutable — operation Elems already are throughout the
+// codebase (compaction and transformation splice into fresh slices).
+const (
+	smallIntMin = -128
+	smallIntMax = 256
+)
+
+var (
+	smallIntAny   [smallIntMax - smallIntMin]any
+	smallIntElems [smallIntMax - smallIntMin][]any
+)
+
+func init() {
+	for i := range smallIntAny {
+		smallIntAny[i] = i + smallIntMin
+		smallIntElems[i] = smallIntAny[i : i+1 : i+1]
+	}
+}
+
+// internElems1 returns a one-element []any for e, interned when e is a
+// small int.
+func internElems1(e any) []any {
+	if v, ok := e.(int); ok && v >= smallIntMin && v < smallIntMax {
+		return smallIntElems[v-smallIntMin]
+	}
+	return []any{e}
+}
+
+// Incremental fingerprints. Every provided structure fingerprints a
+// deterministic string rendering of its value ("list[e0 e1 ...]" etc.) with
+// FNV-1a. Rebuilding that rendering on every Fingerprint call is O(n) and
+// allocates; append-heavy structures instead maintain the running FNV-1a
+// state over the rendering's prefix and fold each appended element as it
+// arrives. The helpers below reproduce fmt's %v byte-for-byte for the
+// element types that matter, falling back to fmt for the rest, so the
+// incremental hash is bit-identical to FingerprintString of the full
+// rendering.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fpCache is the running-hash state embedded in append-heavy structures.
+// When ok, h is the FNV-1a state over the rendering of the first count
+// elements (including the opening "kind[" prefix but no closing bracket);
+// any mutation other than an append invalidates it.
+type fpCache struct {
+	h     uint64
+	count int
+	ok    bool
+}
+
+// fold absorbs one appended element into the running hash (no-op when the
+// cache is invalid).
+func (c *fpCache) fold(e any) {
+	if !c.ok {
+		return
+	}
+	h := c.h
+	if c.count > 0 {
+		h = (h ^ ' ') * fnvPrime64
+	}
+	c.h = fnvFoldElem(h, e)
+	c.count++
+}
+
+func (c *fpCache) invalidate() { c.ok = false }
+
+func fnvFoldByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvFoldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvFoldElem folds the %v rendering of e into h without going through fmt
+// for the common scalar element types.
+func fnvFoldElem(h uint64, e any) uint64 {
+	var buf [32]byte
+	switch v := e.(type) {
+	case int:
+		return fnvFoldBytes(h, strconv.AppendInt(buf[:0], int64(v), 10))
+	case int64:
+		return fnvFoldBytes(h, strconv.AppendInt(buf[:0], v, 10))
+	case uint64:
+		return fnvFoldBytes(h, strconv.AppendUint(buf[:0], v, 10))
+	case string:
+		return fnvFoldString(h, v)
+	case bool:
+		if v {
+			return fnvFoldString(h, "true")
+		}
+		return fnvFoldString(h, "false")
+	case float64:
+		return fnvFoldBytes(h, strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+	default:
+		return fnvFoldString(h, fmt.Sprintf("%v", e))
+	}
+}
+
+func fnvFoldBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}

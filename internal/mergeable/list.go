@@ -25,6 +25,9 @@ import (
 type List[T any] struct {
 	log Log
 	vec cow.Vector[T]
+	// fp caches the running FNV-1a state of the fingerprint rendering's
+	// prefix; appends extend it incrementally, other mutations invalidate.
+	fp fpCache
 }
 
 // NewList returns a mergeable list holding vals.
@@ -58,13 +61,25 @@ func (l *List[T]) Append(vals ...T) {
 	l.Insert(l.vec.Len(), vals...)
 }
 
-// Insert inserts vals before index i.
+// Insert inserts vals before index i. Appends skip the generic operation
+// path entirely: each element goes straight into the vector and the
+// run-coalescing recorder, so an append loop logs one composite SeqInsert
+// and never builds intermediate []any boxes.
 func (l *List[T]) Insert(i int, vals ...T) {
 	l.log.ensureUsable()
-	if i < 0 || i > l.vec.Len() {
-		panic(fmt.Sprintf("mergeable: List.Insert index %d out of range [0,%d]", i, l.vec.Len()))
+	n := l.vec.Len()
+	if i < 0 || i > n {
+		panic(fmt.Sprintf("mergeable: List.Insert index %d out of range [0,%d]", i, n))
 	}
 	if len(vals) == 0 {
+		return
+	}
+	if i == n { // append fast path
+		for j, v := range vals {
+			l.vec = l.vec.AppendOwned(v)
+			l.fp.fold(v)
+			l.log.recordSeqInsert1(i+j, v)
+		}
 		return
 	}
 	elems := make([]any, len(vals))
@@ -88,20 +103,30 @@ func (l *List[T]) DeleteN(i, n int) {
 	if n == 0 {
 		return
 	}
-	op := ot.SeqDelete{Pos: i, N: n}
-	l.applySeq(op)
-	l.log.Record(op)
+	if i+n == l.vec.Len() { // trailing deletion fast path
+		for k := 0; k < n; k++ {
+			l.vec = l.vec.Pop()
+		}
+	} else {
+		cur := l.vec.Slice()
+		l.vec = cow.FromSlice(append(cur[:i:i], cur[i+n:]...))
+	}
+	l.fp.invalidate()
+	l.log.recordSeqDelete(i, n)
 }
 
-// Set overwrites the element at index i.
+// Set overwrites the element at index i. The write goes through SetOwned —
+// the single-owner façade guarantees exclusive ownership of the backing
+// vector (clones mark the tail shared first) — so an overwrite loop mutates
+// the tail in place instead of copying it per write.
 func (l *List[T]) Set(i int, v T) {
 	l.log.ensureUsable()
 	if i < 0 || i >= l.vec.Len() {
 		panic(fmt.Sprintf("mergeable: List.Set index %d out of range [0,%d)", i, l.vec.Len()))
 	}
-	op := ot.SeqSet{Pos: i, Elem: v}
-	l.applySeq(op)
-	l.log.Record(op)
+	l.vec = l.vec.SetOwned(i, v)
+	l.fp.invalidate()
+	l.log.recordSeqSet(i, v)
 }
 
 // applySeq applies a sequence op to the backing vector. Appends, trailing
@@ -114,6 +139,19 @@ func (l *List[T]) applySeq(op ot.Op) error {
 		if v.Pos < 0 || v.Pos > n {
 			return fmt.Errorf("mergeable: list %s out of range for length %d", v, n)
 		}
+		if v.Pos == n { // append fast path, no intermediate []T
+			for _, e := range v.Elems { // validate first: an op applies atomically
+				if tv, ok := e.(T); !ok {
+					return fmt.Errorf("mergeable: list %s carries %T, want %T", v, e, tv)
+				}
+			}
+			for _, e := range v.Elems {
+				tv := e.(T)
+				l.vec = l.vec.AppendOwned(tv)
+				l.fp.fold(tv)
+			}
+			return nil
+		}
 		vals := make([]T, len(v.Elems))
 		for i, e := range v.Elems {
 			tv, ok := e.(T)
@@ -122,20 +160,16 @@ func (l *List[T]) applySeq(op ot.Op) error {
 			}
 			vals[i] = tv
 		}
-		if v.Pos == n { // append fast path
-			for _, x := range vals {
-				l.vec = l.vec.AppendOwned(x)
-			}
-			return nil
-		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
 		l.vec = cow.FromSlice(out)
+		l.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
 		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
 			return fmt.Errorf("mergeable: list %s out of range for length %d", v, n)
 		}
+		l.fp.invalidate()
 		if v.Pos+v.N == n { // trailing deletion fast path
 			for i := 0; i < v.N; i++ {
 				l.vec = l.vec.Pop()
@@ -154,7 +188,8 @@ func (l *List[T]) applySeq(op ot.Op) error {
 		if !ok {
 			return fmt.Errorf("mergeable: list %s carries %T", v, v.Elem)
 		}
-		l.vec = l.vec.Set(v.Pos, tv)
+		l.vec = l.vec.SetOwned(v.Pos, tv)
+		l.fp.invalidate()
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a list operation", op.Kind())
@@ -162,11 +197,13 @@ func (l *List[T]) applySeq(op ot.Op) error {
 
 // CloneValue implements Mergeable. It is O(1): the persistent vector is
 // shared structurally, which is what makes spawning on large lists cheap.
-// Sealing the tail first keeps AppendOwned's exclusive-ownership contract:
-// once two lists share the vector, neither may append into it in place.
+// The parent marks its tail shared (so in-place overwrites copy first) and
+// hands the child a capacity-clipped view (so in-place appends on either
+// side stay invisible to the other); the parent's own append run keeps its
+// spare capacity and continues in place.
 func (l *List[T]) CloneValue() Mergeable {
-	l.vec.SealTail()
-	return &List[T]{vec: l.vec}
+	l.vec.MarkShared()
+	return &List[T]{vec: l.vec.Sealed(), fp: l.fp}
 }
 
 // ApplyRemote implements Mergeable.
@@ -185,14 +222,24 @@ func (l *List[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(l, src)
 	}
-	s.vec.SealTail() // shared from here on; see CloneValue
-	l.vec = s.vec
+	s.vec.MarkShared() // shared from here on; see CloneValue
+	l.vec = s.vec.Sealed()
+	l.fp = s.fp
 	return nil
 }
 
-// Fingerprint implements Mergeable.
+// Fingerprint implements Mergeable. The running hash makes it O(1) for
+// append-only histories; anything else rebuilds lazily (and re-arms the
+// incremental path).
 func (l *List[T]) Fingerprint() uint64 {
-	return FingerprintString(l.render())
+	if !l.fp.ok {
+		c := fpCache{h: fnvFoldString(fnvOffset64, "list["), ok: true}
+		for _, e := range l.vec.Slice() {
+			c.fold(e)
+		}
+		l.fp = c
+	}
+	return fnvFoldByte(l.fp.h, ']')
 }
 
 func (l *List[T]) render() string {

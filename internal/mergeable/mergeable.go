@@ -21,6 +21,7 @@ package mergeable
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"repro/internal/ot"
 )
@@ -70,7 +71,7 @@ type Mergeable interface {
 //
 // The committed history can be trimmed once no live child's base precedes
 // a prefix; offset keeps version numbers stable across trims.
-// Log is one pointer wide: the actual state lives behind it and is
+// Log is two words wide: the actual state lives behind a pointer and is
 // allocated on first use. CloneValue runs once per structure per spawn —
 // the hottest allocation site in fan-out-heavy programs — and every clone
 // starts with an empty log, so embedding the full state inline would make
@@ -79,6 +80,11 @@ type Mergeable interface {
 // never mutates a structure never allocates log state at all.
 type Log struct {
 	s *logState
+	// off preserves the committed version number across Recycle: a
+	// recycled log seeds its next state at the version it reached, so
+	// CommittedLen stays monotone over the structure's whole lifetime
+	// exactly as if the state had never been pooled.
+	off int
 }
 
 // bufOwner values: which slice currently uses logState.buf as backing.
@@ -86,6 +92,14 @@ const (
 	bufFree int8 = iota
 	bufLocal
 	bufCommitted
+)
+
+// runKind values: the kind of the pending, not-yet-sealed operation run.
+const (
+	runNone int8 = iota
+	runIns
+	runDel
+	runSet
 )
 
 type logState struct {
@@ -106,15 +120,72 @@ type logState struct {
 	// a slice that outgrows the buffer silently migrates to the heap and
 	// the owner mark just goes stale until the next reset point.
 	bufOwner int8
-	buf      [8]ot.Op
+
+	// Pending run: the sequence-structure mutators record appends and pops
+	// through recordSeqInsert1/recordSeqDelete, which coalesce contiguous
+	// same-kind operations here and only seal them into one composite
+	// operation when the run breaks (or the log is read). An insert run
+	// holds its single element in runFirst until a second arrives, so the
+	// push-then-pop steady state of a queue never allocates a buffer — the
+	// pop cancels the pending push in place and nothing reaches the log at
+	// all. The coalesced forms are exactly the ones CompactSeq would
+	// produce, whose merge-soundness the compaction property tests pin.
+	runKind  int8
+	runPos   int
+	runN     int
+	runFirst any
+	runElems []any
+	runSpare []any // retained backing of a fully-cancelled buffered run
+
+	// Pending set run: a burst of SeqSets keeps only the last write per
+	// position (runSetPos/runSetElems are parallel, first-write order).
+	// Sets never shift positions, so they commute with each other, and an
+	// overwritten set inside one unflushed batch is observable by no
+	// concurrent operation — the same shielding argument as above.
+	runSetPos   []int
+	runSetElems []any
+
+	buf [8]ot.Op
 }
+
+// statePool recycles logStates: the runtime returns a structure's state at
+// the moment its history becomes empty again (see Recycle), making the
+// per-iteration log allocation of a long-lived root structure amortize to
+// zero.
+var statePool = sync.Pool{New: func() any { return new(logState) }}
 
 // state returns the backing state, allocating it on first use.
 func (l *Log) state() *logState {
 	if l.s == nil {
-		l.s = &logState{}
+		l.s = statePool.Get().(*logState)
+		l.s.offset = l.off
 	}
 	return l.s
+}
+
+// Recycle returns the log's heap state to the shared pool when nothing
+// lives in it anymore — no history, no locals, no pending run, no tracker,
+// not stale — and detaches it from the log, which lazily reallocates on
+// next use. The runtime calls it after fully trimming a root structure's
+// history; it is a no-op in every other state, so callers need no
+// precondition beyond owning the structure.
+func (l *Log) Recycle() {
+	s := l.s
+	if s == nil {
+		return
+	}
+	if len(s.committed) != 0 || len(s.local) != 0 || s.runKind != runNone ||
+		s.stale || s.tracker != nil {
+		return
+	}
+	l.off = s.offset
+	// Keep the (reference-free) run-buffer backings with the pooled state:
+	// the next owner would otherwise reallocate them on its first burst.
+	spare, rsp, rse := s.runSpare, s.runSetPos[:0], s.runSetElems[:0]
+	*s = logState{}
+	s.runSpare, s.runSetPos, s.runSetElems = spare, rsp, rse
+	l.s = nil
+	statePool.Put(s)
 }
 
 // Tracker returns the opaque owner token set by SetTracker.
@@ -136,11 +207,23 @@ func (l *Log) SetTracker(v any) {
 }
 
 // Record appends a local operation. Structures call it from every mutator.
+// Any pending run is sealed first, preserving sequential order; the generic
+// path never coalesces, so callers that need exact op streams (replay,
+// journaling) keep them.
 func (l *Log) Record(op ot.Op) {
 	s := l.state()
 	if s.stale {
 		l.ensureUsable()
 	}
+	if s.runKind != runNone {
+		s.sealRun()
+	}
+	s.appendLocal(op)
+}
+
+// appendLocal appends to the local slice, borrowing the inline buffer for
+// the first batch.
+func (s *logState) appendLocal(op ot.Op) {
 	if s.local == nil {
 		if s.bufOwner == bufFree {
 			s.bufOwner = bufLocal
@@ -155,11 +238,152 @@ func (l *Log) Record(op ot.Op) {
 	s.local = append(s.local, op)
 }
 
+// sealRun flushes the pending run into the local slice as one composite
+// operation and clears the run.
+func (s *logState) sealRun() {
+	switch s.runKind {
+	case runIns:
+		var elems []any
+		if s.runElems != nil {
+			elems = s.runElems
+			s.runElems = nil
+		} else {
+			elems = internElems1(s.runFirst)
+			s.runFirst = nil
+		}
+		s.appendLocal(ot.SeqInsert{Pos: s.runPos, Elems: elems})
+	case runDel:
+		s.appendLocal(ot.SeqDelete{Pos: s.runPos, N: s.runN})
+	case runSet:
+		for i, p := range s.runSetPos {
+			s.appendLocal(ot.SeqSet{Pos: p, Elem: s.runSetElems[i]})
+			s.runSetElems[i] = nil
+		}
+		s.runSetPos = s.runSetPos[:0]
+		s.runSetElems = s.runSetElems[:0]
+	}
+	s.runKind = runNone
+}
+
+// runExtend adds one element to a pending insert run, migrating from the
+// single-element fast representation to the buffered one on the second
+// element.
+func (s *logState) runExtend(elem any) {
+	if s.runElems == nil {
+		if s.runSpare != nil {
+			s.runElems = append(s.runSpare, s.runFirst)
+			s.runSpare = nil
+		} else {
+			s.runElems = append(make([]any, 0, 8), s.runFirst)
+		}
+		s.runFirst = nil
+	}
+	s.runElems = append(s.runElems, elem)
+	s.runN++
+}
+
+// recordSeqInsert1 records the insertion of one element at pos, coalescing
+// contiguous ascending insertions (appends, typing runs) into a single
+// pending SeqInsert.
+func (l *Log) recordSeqInsert1(pos int, elem any) {
+	s := l.state()
+	if s.stale {
+		l.ensureUsable()
+	}
+	if s.runKind == runIns && pos == s.runPos+s.runN {
+		s.runExtend(elem)
+		return
+	}
+	if s.runKind != runNone {
+		s.sealRun()
+	}
+	s.runKind = runIns
+	s.runPos = pos
+	s.runN = 1
+	s.runFirst = elem
+}
+
+// recordSeqDelete records the deletion of n elements at pos. Same-position
+// deletions (queue pops, block drains) coalesce into one pending SeqDelete;
+// a deletion falling entirely inside a pending insert run cancels the
+// inserted elements in place — those elements were never observable by any
+// concurrent operation (the same argument as the CompactSeq insert/delete
+// rule), so a push-then-pop steady state records nothing at all.
+func (l *Log) recordSeqDelete(pos, n int) {
+	s := l.state()
+	if s.stale {
+		l.ensureUsable()
+	}
+	switch {
+	case s.runKind == runIns && pos >= s.runPos && pos+n <= s.runPos+s.runN:
+		if s.runElems == nil { // runN == 1, so n == 1: whole-run cancel
+			s.runFirst = nil
+			s.runKind = runNone
+			return
+		}
+		k := pos - s.runPos
+		s.runElems = append(s.runElems[:k], s.runElems[k+n:]...)
+		s.runN -= n
+		if s.runN == 0 {
+			s.runSpare = s.runElems[:0]
+			s.runElems = nil
+			s.runKind = runNone
+		}
+		return
+	case s.runKind == runDel && pos == s.runPos:
+		s.runN += n
+		return
+	}
+	if s.runKind != runNone {
+		s.sealRun()
+	}
+	s.runKind = runDel
+	s.runPos = pos
+	s.runN = n
+}
+
+// recordSeqSet records an element overwrite at pos. Bursts of sets — the
+// read-modify-write loops merge-scaling workloads are made of — coalesce
+// into one pending run holding only the last write per position: an
+// overwritten set was never observable by any concurrent operation, and
+// sets at distinct positions commute (they shift nothing), so the sealed
+// run is merge-equivalent to the full stream. The run is bounded so the
+// per-set position scan stays cache-resident; overflowing seals and
+// starts over.
+func (l *Log) recordSeqSet(pos int, elem any) {
+	s := l.state()
+	if s.stale {
+		l.ensureUsable()
+	}
+	if s.runKind == runSet {
+		for i, p := range s.runSetPos {
+			if p == pos {
+				s.runSetElems[i] = elem
+				return
+			}
+		}
+		if len(s.runSetPos) < 32 {
+			s.runSetPos = append(s.runSetPos, pos)
+			s.runSetElems = append(s.runSetElems, elem)
+			return
+		}
+		s.sealRun()
+	} else if s.runKind != runNone {
+		s.sealRun()
+	}
+	s.runKind = runSet
+	s.runSetPos = append(s.runSetPos[:0], pos)
+	s.runSetElems = append(s.runSetElems[:0], elem)
+}
+
 // LocalOps returns the not-yet-committed local operations (shared slice;
-// callers must not modify it).
+// callers must not modify it). Any pending run is sealed first.
 func (l *Log) LocalOps() []ot.Op {
 	if l.s == nil {
 		return nil
+	}
+	if l.s.runKind != runNone {
+		l.s.sealRun()
 	}
 	return l.s.local
 }
@@ -172,6 +396,9 @@ func (l *Log) TakeLocal() []ot.Op {
 		return nil
 	}
 	s := l.s
+	if s.runKind != runNone {
+		s.sealRun()
+	}
 	ops := s.local
 	s.local = nil
 	if s.bufOwner == bufLocal {
@@ -189,7 +416,13 @@ func (l *Log) TakeLocal() []ot.Op {
 // per-merge flush runs over every bound structure, most with nothing
 // pending, so the empty case stays write-free.
 func (l *Log) FlushLocal() {
-	if l.s == nil || len(l.s.local) == 0 {
+	if l.s == nil {
+		return
+	}
+	if l.s.runKind != runNone {
+		l.s.sealRun()
+	}
+	if len(l.s.local) == 0 {
 		return
 	}
 	s := l.s
@@ -213,7 +446,7 @@ func (l *Log) FlushLocal() {
 // total number of operations ever committed, including trimmed ones.
 func (l *Log) CommittedLen() int {
 	if l.s == nil {
-		return 0
+		return l.off
 	}
 	return l.s.offset + len(l.s.committed)
 }
@@ -223,8 +456,8 @@ func (l *Log) CommittedLen() int {
 // the runtime trimmed history still needed by a live child.
 func (l *Log) CommittedSince(base int) []ot.Op {
 	if l.s == nil {
-		if base != 0 {
-			panic(fmt.Sprintf("mergeable: empty history cannot satisfy base %d", base))
+		if base != l.off {
+			panic(fmt.Sprintf("mergeable: empty history at version %d cannot satisfy base %d", l.off, base))
 		}
 		return nil
 	}

@@ -2,7 +2,6 @@ package mergeable
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cow"
 	"repro/internal/ot"
@@ -26,6 +25,9 @@ type Queue[T any] struct {
 	log  Log
 	vec  cow.Vector[T]
 	head int
+	// fp caches the running FNV-1a state of the fingerprint rendering;
+	// pushes extend it incrementally, pops and splices invalidate.
+	fp fpCache
 }
 
 // NewQueue returns a mergeable queue holding vals front-to-back.
@@ -45,12 +47,15 @@ func (q *Queue[T]) Len() int {
 // Empty reports whether the queue holds no elements.
 func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
 
-// Push appends v to the back of the queue.
+// Push appends v to the back of the queue. The push is recorded through
+// the run-coalescing recorder: a burst of pushes logs one composite
+// SeqInsert, and a push immediately popped again logs nothing at all.
 func (q *Queue[T]) Push(v T) {
 	q.log.ensureUsable()
-	op := ot.SeqInsert{Pos: q.vec.Len() - q.head, Elems: []any{v}}
+	pos := q.vec.Len() - q.head
 	q.vec = q.vec.AppendOwned(v)
-	q.log.Record(op)
+	q.fp.fold(v)
+	q.log.recordSeqInsert1(pos, v)
 }
 
 // PopFront removes and returns the front element. ok is false when the
@@ -63,7 +68,8 @@ func (q *Queue[T]) PopFront() (v T, ok bool) {
 	v = q.vec.Get(q.head)
 	q.head++
 	q.maybeCompact()
-	q.log.Record(ot.SeqDelete{Pos: 0, N: 1})
+	q.fp.invalidate()
+	q.log.recordSeqDelete(0, 1)
 	return v, true
 }
 
@@ -121,17 +127,20 @@ func (q *Queue[T]) applySeq(op ot.Op) error {
 		if v.Pos == n { // append fast path
 			for _, x := range vals {
 				q.vec = q.vec.AppendOwned(x)
+				q.fp.fold(x)
 			}
 			return nil
 		}
 		cur := q.tail()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
 		q.vec, q.head = cow.FromSlice(out), 0
+		q.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
 		if v.N < 0 || v.Pos < 0 || v.Pos+v.N > n {
 			return fmt.Errorf("mergeable: queue %s out of range for length %d", v, n)
 		}
+		q.fp.invalidate()
 		if v.Pos == 0 { // front-deletion fast path
 			q.head += v.N
 			q.maybeCompact()
@@ -149,19 +158,20 @@ func (q *Queue[T]) applySeq(op ot.Op) error {
 		if !ok {
 			return fmt.Errorf("mergeable: queue %s carries %T", v, v.Elem)
 		}
-		q.vec = q.vec.Set(q.head+v.Pos, tv)
+		q.vec = q.vec.SetOwned(q.head+v.Pos, tv)
+		q.fp.invalidate()
 		return nil
 	}
 	return fmt.Errorf("mergeable: %s is not a queue operation", op.Kind())
 }
 
 // CloneValue implements Mergeable. It is O(1): the persistent vector is
-// shared structurally. Sealing the tail first keeps AppendOwned's
-// exclusive-ownership contract: once two queues share the vector, neither
-// may append into it in place.
+// shared structurally. The parent marks its tail shared and hands the
+// child a capacity-clipped view (see List.CloneValue); the parent's own
+// in-place append run continues undisturbed.
 func (q *Queue[T]) CloneValue() Mergeable {
-	q.vec.SealTail()
-	return &Queue[T]{vec: q.vec, head: q.head}
+	q.vec.MarkShared()
+	return &Queue[T]{vec: q.vec.Sealed(), head: q.head, fp: q.fp}
 }
 
 // ApplyRemote implements Mergeable.
@@ -180,23 +190,23 @@ func (q *Queue[T]) AdoptFrom(src Mergeable) error {
 	if !ok {
 		return adoptErr(q, src)
 	}
-	s.vec.SealTail() // shared from here on; see CloneValue
-	q.vec, q.head = s.vec, s.head
+	s.vec.MarkShared() // shared from here on; see CloneValue
+	q.vec, q.head = s.vec.Sealed(), s.head
+	q.fp = s.fp
 	return nil
 }
 
-// Fingerprint implements Mergeable.
+// Fingerprint implements Mergeable. O(1) for push-only histories via the
+// running hash; pops force a lazy rebuild.
 func (q *Queue[T]) Fingerprint() uint64 {
-	var sb strings.Builder
-	sb.WriteString("queue[")
-	for i, e := range q.tail() {
-		if i > 0 {
-			sb.WriteByte(' ')
+	if !q.fp.ok {
+		c := fpCache{h: fnvFoldString(fnvOffset64, "queue["), ok: true}
+		for _, e := range q.tail() {
+			c.fold(e)
 		}
-		fmt.Fprintf(&sb, "%v", e)
+		q.fp = c
 	}
-	sb.WriteByte(']')
-	return FingerprintString(sb.String())
+	return fnvFoldByte(q.fp.h, ']')
 }
 
 // String renders the queue front-to-back.

@@ -11,6 +11,11 @@ import (
 type Text struct {
 	log   Log
 	runes []rune
+	// fp caches the running FNV-1a state over "text:" + the buffer's UTF-8
+	// rendering; appends at the end extend it, everything else invalidates.
+	// Text has no separators, so fp.count is unused (fold is not used — the
+	// hash state is extended directly).
+	fp fpCache
 }
 
 // NewText returns a mergeable text buffer initialized with s.
@@ -43,6 +48,11 @@ func (t *Text) Insert(pos int, s string) {
 		return
 	}
 	op := ot.TextInsert{Pos: pos, Text: s}
+	if pos == len(t.runes) && t.fp.ok {
+		t.fp.h = fnvFoldString(t.fp.h, s)
+	} else {
+		t.fp.invalidate()
+	}
 	t.mustApply(op)
 	t.log.Record(op)
 }
@@ -60,6 +70,7 @@ func (t *Text) Delete(pos, n int) {
 		return
 	}
 	op := ot.TextDelete{Pos: pos, N: n}
+	t.fp.invalidate()
 	t.mustApply(op)
 	t.log.Record(op)
 }
@@ -74,17 +85,24 @@ func (t *Text) mustApply(op ot.Op) {
 
 // CloneValue implements Mergeable.
 func (t *Text) CloneValue() Mergeable {
-	return &Text{runes: append([]rune(nil), t.runes...)}
+	return &Text{runes: append([]rune(nil), t.runes...), fp: t.fp}
 }
 
 // ApplyRemote implements Mergeable.
 func (t *Text) ApplyRemote(ops []ot.Op) error {
 	for _, op := range ops {
+		v, isAppend := op.(ot.TextInsert)
+		isAppend = isAppend && v.Pos == len(t.runes) && t.fp.ok
 		out, err := ot.ApplyText(t.runes, op)
 		if err != nil {
 			return err
 		}
 		t.runes = out
+		if isAppend {
+			t.fp.h = fnvFoldString(t.fp.h, v.Text)
+		} else {
+			t.fp.invalidate()
+		}
 	}
 	return nil
 }
@@ -96,10 +114,17 @@ func (t *Text) AdoptFrom(src Mergeable) error {
 		return adoptErr(t, src)
 	}
 	t.runes = append(t.runes[:0:0], s.runes...)
+	t.fp = s.fp
 	return nil
 }
 
-// Fingerprint implements Mergeable.
+// Fingerprint implements Mergeable. O(1) for append-only histories via the
+// running hash.
 func (t *Text) Fingerprint() uint64 {
-	return FingerprintString("text:" + string(t.runes))
+	if !t.fp.ok {
+		h := fnvFoldString(fnvOffset64, "text:")
+		h = fnvFoldString(h, string(t.runes))
+		t.fp = fpCache{h: h, ok: true}
+	}
+	return t.fp.h
 }

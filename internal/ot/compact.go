@@ -72,6 +72,25 @@ func tryMergeAdjacent(a, b Op) (Op, bool) {
 				return SeqInsert{Pos: x.Pos, Elems: elems}, true
 			}
 		}
+		if y, ok := b.(SeqDelete); ok {
+			// Deleting entirely within the span just inserted removes
+			// elements no concurrent operation has ever observed (any server
+			// range overlapping the span is split around it during
+			// transformation), so the pair compacts to the surviving insert —
+			// and a producer/consumer log that pushes then pops everything
+			// cancels to nothing. Ranges reaching outside the span touch
+			// pre-existing state and must not compact.
+			if y.Pos >= x.Pos && y.Pos+y.N <= x.Pos+len(x.Elems) {
+				if y.N == len(x.Elems) {
+					return nil, true
+				}
+				k := y.Pos - x.Pos
+				elems := make([]any, 0, len(x.Elems)-y.N)
+				elems = append(elems, x.Elems[:k]...)
+				elems = append(elems, x.Elems[k+y.N:]...)
+				return SeqInsert{Pos: x.Pos, Elems: elems}, true
+			}
+		}
 	case SeqDelete:
 		if y, ok := b.(SeqDelete); ok && y.Pos == x.Pos {
 			// Deleting again at the same position extends the range.
@@ -83,6 +102,17 @@ func tryMergeAdjacent(a, b Op) (Op, bool) {
 			if y.Pos >= x.Pos && y.Pos <= x.Pos+len(xr) {
 				k := y.Pos - x.Pos
 				return TextInsert{Pos: x.Pos, Text: string(xr[:k]) + y.Text + string(xr[k:])}, true
+			}
+		}
+		if y, ok := b.(TextDelete); ok {
+			// Rune-level mirror of the SeqInsert/SeqDelete rule above.
+			xr := []rune(x.Text)
+			if y.Pos >= x.Pos && y.Pos+y.N <= x.Pos+len(xr) {
+				if y.N == len(xr) {
+					return nil, true
+				}
+				k := y.Pos - x.Pos
+				return TextInsert{Pos: x.Pos, Text: string(xr[:k]) + string(xr[k+y.N:])}, true
 			}
 		}
 	case TextDelete:

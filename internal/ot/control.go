@@ -57,6 +57,20 @@ func TransformSeqs(a, b []Op) (aT, bT []Op) {
 		return TransformPair(a[0], b[0])
 	}
 	if aS, bS, ok := toShapeOps(a, b); ok {
+		if batchedTransform.Load() {
+			// Run-length engine (batch.go): identical output, O(runs) walk.
+			sc := scratchPool.Get().(*MergeScratch)
+			bRuns := sc.batch.transformRuns(aS, bS)
+			aT = materializeShapes(sc.batch.aOut)
+			bSh := sc.batch.xsh[:0]
+			for _, r := range bRuns {
+				bSh = appendRunShapes(bSh, r, sc.batch.bCons)
+			}
+			sc.batch.xsh = bSh
+			bT = materializeShapes(bSh)
+			scratchPool.Put(sc)
+			return aT, bT
+		}
 		aR, bR := transformShapeSeqs(aS, bS)
 		return materializeShapes(aR), materializeShapes(bR)
 	}
@@ -103,29 +117,23 @@ func TransformAgainst(client, server []Op) []Op {
 	if len(client) == 0 || len(server) == 0 {
 		return client
 	}
-	if out, ok := transformScalarFast(client, server); ok {
-		return out
-	}
-	if out, ok := transformSetFast(client, server); ok {
-		return out
-	}
-	if len(client) > 1 || len(server) > 1 {
-		// Shape fast path, materializing only the client side: the merge
-		// step discards the transformed server history, so boxing it back
-		// into interface values would be pure waste.
-		if aS, bS, ok := toShapeOps(client, server); ok {
-			aR, _ := transformShapeSeqs(aS, bS)
-			return materializeShapes(aR)
-		}
-	}
-	aT, _ := TransformSeqs(client, server)
-	return aT
+	sc := scratchPool.Get().(*MergeScratch)
+	out := transformAgainstScratch(client, server, sc, true)
+	scratchPool.Put(sc)
+	return out
 }
 
 // transformScalarFast handles client/server sequences drawn entirely from
 // the scalar families. ok is false when any operation is positional (or
 // unknown), in which case the caller falls back to the general algorithm.
 func transformScalarFast(client, server []Op) ([]Op, bool) {
+	return transformScalarFastInto(client, server, nil)
+}
+
+// transformScalarFastInto is transformScalarFast appending surviving
+// operations onto dst (which may be an arena; it is guaranteed untouched
+// when ok is false). A nil dst allocates lazily.
+func transformScalarFastInto(client, server, dst []Op) ([]Op, bool) {
 	if len(client) == 0 || len(server) == 0 {
 		return client, true
 	}
@@ -166,7 +174,7 @@ func transformScalarFast(client, server []Op) ([]Op, bool) {
 		}
 	}
 
-	out := make([]Op, 0, len(client))
+	out := dst
 	for _, op := range client {
 		switch v := op.(type) {
 		case MapSet:

@@ -220,11 +220,18 @@ func allSeqSets(ops []Op) bool {
 // sequence is never modified. Mirrors transformAgainstSet with
 // bPriority=true, pinned by TestSetFastPathMatchesGeneric.
 func transformSetFast(client, server []Op) ([]Op, bool) {
+	return transformSetFastInto(client, server, nil)
+}
+
+// transformSetFastInto is transformSetFast appending surviving operations
+// onto dst (which may be an arena; it is guaranteed untouched when ok is
+// false). A nil dst allocates lazily.
+func transformSetFastInto(client, server, dst []Op) ([]Op, bool) {
 	if len(client) == 0 || len(server) == 0 {
 		return client, true
 	}
 	if !allSeqSets(client) || !allSeqSets(server) {
-		return nil, false
+		return dst, false
 	}
 	// Index the server's written slots; linear scan for tiny histories to
 	// skip the map allocation.
@@ -248,7 +255,7 @@ func transformSetFast(client, server []Op) ([]Op, bool) {
 		}
 		return false
 	}
-	out := make([]Op, 0, len(client))
+	out := dst
 	for _, op := range client {
 		if !absorbed(op.(SeqSet).Pos) {
 			out = append(out, op)

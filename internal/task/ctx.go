@@ -69,19 +69,37 @@ func (c *Ctx) SeedRand(seed uint64) { c.task.runtime.randSeed = seed }
 // (or rely on the implicit MergeAll when the parent's Func returns).
 func (c *Ctx) Spawn(fn Func, data ...mergeable.Mergeable) *Task {
 	p := c.task
-	tr := p.runtime.obs
+	rt := p.runtime
+	tr := rt.obs
 	var spawnStart time.Time
 	if tr != nil {
 		spawnStart = time.Now()
 	}
 	n := len(data)
-	copies := make([]mergeable.Mergeable, n)
-	// bases and floors share one backing array: Spawn is the hottest
-	// allocation site in fan-out-heavy programs, and the two slices have
-	// the same length and lifetime.
-	bf := make([]int, 2*n)
+	// The copies, the parent-structure bindings and the fused bases/floors
+	// array all live in buffers owned by the child shell: respawning from a
+	// pooled frame reuses them, and copying data out of the variadic slice
+	// keeps the caller's argument slice from escaping.
+	child := rt.getShell()
+	buf := child.dataBuf
+	if cap(buf) < 2*n {
+		buf = make([]mergeable.Mergeable, 2*n)
+	} else {
+		buf = buf[:2*n]
+	}
+	child.dataBuf = buf
+	copies, parents := buf[:n:n], buf[n:]
+	copy(parents, data)
+	bf := child.bfBuf
+	if cap(bf) < 2*n {
+		bf = make([]int, 2*n)
+	} else {
+		bf = bf[:2*n]
+	}
+	child.bfBuf = bf
 	bases, floors := bf[:n:n], bf[n:]
-	for i, m := range data {
+	clear(floors) // reused backing: floors must start at zero
+	for i, m := range parents {
 		// Flush the parent's local operations into the committed history so
 		// the child's base version covers everything in its copy.
 		lg := m.Log()
@@ -90,16 +108,13 @@ func (c *Ctx) Spawn(fn Func, data ...mergeable.Mergeable) *Task {
 		copies[i] = m.CloneValue()
 		// Track the structure for history trimming. The log's tracker token
 		// short-circuits re-insertion: fanning many children over the same
-		// data set pays one map insert per structure total, not per spawn.
+		// data set pays one append per structure total, not per spawn.
 		if lg.Tracker() != p {
-			if p.tracked == nil {
-				p.tracked = make(map[mergeable.Mergeable]bool, n)
-			}
-			p.tracked[m] = true
+			p.tracked = append(p.tracked, m)
 			lg.SetTracker(p)
 		}
 	}
-	child := newTask(p, fn, copies, data, bases, floors, p.runtime)
+	initTask(child, p, fn, copies, parents, bases, floors, rt)
 	p.registerChild(child)
 	if tr != nil {
 		// Named by the child's stable path; the duration covers the deep
@@ -136,13 +151,33 @@ func (c *Ctx) Clone(fn Func) *Task {
 	if tr != nil {
 		cloneStart = time.Now()
 	}
-	copies := make([]mergeable.Mergeable, len(t.data))
+	n := len(t.data)
+	sib := t.runtime.getShell()
+	buf := sib.dataBuf
+	if cap(buf) < 2*n {
+		buf = make([]mergeable.Mergeable, 2*n)
+	} else {
+		buf = buf[:2*n]
+	}
+	sib.dataBuf = buf
+	copies, parents := buf[:n:n], buf[n:]
+	copy(parents, t.parentData)
 	for i, m := range t.data {
 		cp := m.CloneValue()
 		cp.Log().MarkStale()
 		copies[i] = cp
 	}
-	sib := newTask(p, fn, copies, t.parentData, append([]int(nil), t.bases...), nil, t.runtime)
+	bf := sib.bfBuf
+	if cap(bf) < 2*n {
+		bf = make([]int, 2*n)
+	} else {
+		bf = bf[:2*n]
+	}
+	sib.bfBuf = bf
+	bases, floors := bf[:n:n], bf[n:]
+	copy(bases, t.bases)
+	clear(floors)
+	initTask(sib, p, fn, copies, parents, bases, floors, t.runtime)
 	p.registerChild(sib)
 	if tr != nil {
 		// The span goes on the cloning task's own track (the clone caller is

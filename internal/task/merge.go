@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/mergeable"
@@ -44,12 +45,45 @@ func evalCondition(cond Condition, preview []mergeable.Mergeable) (ok bool) {
 	return cond(preview)
 }
 
+// zeroMergeConfig is the shared config for option-less merge calls — the
+// overwhelmingly common case. Merge paths only ever read the config, so
+// sharing one instance is safe and keeps MergeAll allocation-free.
+var zeroMergeConfig mergeConfig
+
 func applyOptions(opts []MergeOption) *mergeConfig {
+	if len(opts) == 0 {
+		return &zeroMergeConfig
+	}
 	cfg := &mergeConfig{}
 	for _, o := range opts {
 		o(cfg)
 	}
 	return cfg
+}
+
+// mergeScratch bundles the per-merge working memory: the transformed-ops
+// result table, the OT transform arena and the pending-chain map for
+// aliased positions. Pooled and reused across merges, which is what keeps
+// a steady-state no-surprise merge allocation-free.
+type mergeScratch struct {
+	transformed [][]ot.Op
+	ot          ot.MergeScratch
+	pending     map[mergeable.Mergeable][]ot.Op
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// releaseMergeScratch clears the scratch's references (so pooled entries
+// pin neither operations nor structures) and returns it to the pool. The
+// arena reset invalidates every transform window handed out this merge;
+// callers must have committed (copied) them already.
+func releaseMergeScratch(ms *mergeScratch) {
+	clear(ms.transformed)
+	ms.ot.Reset()
+	if ms.pending != nil {
+		clear(ms.pending)
+	}
+	mergeScratchPool.Put(ms)
 }
 
 // mergeSet waits for and merges the given children in slice order. Skips
@@ -238,6 +272,8 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 		// preview and apply steps then see empty contributions.
 		var transformed [][]ot.Op
 		if contributed {
+			ms := mergeScratchPool.Get().(*mergeScratch)
+			defer releaseMergeScratch(ms)
 			// With tracing on, transformChild fills per-position durations
 			// (measured inside the engine, so parallel positions report their
 			// own time, not the wall-clock of the whole wave). Spans are
@@ -247,7 +283,7 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 			if tr != nil {
 				tdurs = make([]time.Duration, len(c.parentData))
 			}
-			transformed = t.transformChild(c, tdurs)
+			transformed = t.transformChild(c, ms, tdurs)
 			if tr != nil {
 				for i := range transformed {
 					tr.Emit(mtrack, obs.KindTransform, "s"+strconv.Itoa(i), mseq, int64(len(transformed[i])), tdurs[i])
@@ -326,6 +362,15 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 			c.err = ErrMergeRejected // condition rejection
 		}
 		c.merged = true
+		// The child's working copies are dead: their histories will never
+		// be consulted again, so trim them to nothing and recycle the log
+		// states into the shared pool. Recycle is a checked no-op for any
+		// log that still holds something (e.g. a never-synced stale clone).
+		for _, m := range c.data {
+			lg := m.Log()
+			lg.Trim(lg.CommittedLen())
+			lg.Recycle()
+		}
 		t.reap(c)
 		return reportErr
 	}
@@ -367,19 +412,24 @@ func (t *Task) trimHistories() {
 	if len(live) == 0 && t.parent == nil {
 		// Root with every child collected: nothing pins any history, so
 		// trim everything and drop the tracking set without building the
-		// min-version maps below. This is the tail of every fan-out.
-		for m := range t.tracked {
+		// min-version maps below. This is the tail of every fan-out. With
+		// the history gone and the tracker cleared the log state is fully
+		// empty, so it is recycled into the state pool — the next fan-out
+		// (or the next Run) picks it up instead of allocating.
+		for i, m := range t.tracked {
 			lg := m.Log()
 			lg.Trim(lg.CommittedLen())
-			delete(t.tracked, m)
 			if lg.Tracker() == t {
 				lg.SetTracker(nil)
 			}
+			lg.Recycle()
+			t.tracked[i] = nil
 		}
+		t.tracked = t.tracked[:0]
 		return
 	}
 	minKeep := make(map[mergeable.Mergeable]int, len(t.tracked))
-	for m := range t.tracked {
+	for _, m := range t.tracked {
 		minKeep[m] = m.Log().CommittedLen()
 	}
 	// History at or after a live child's base must survive.
@@ -406,15 +456,23 @@ func (t *Task) trimHistories() {
 			referenced[pm] = true
 		}
 	}
-	for m, b := range minKeep {
-		m.Log().Trim(b)
-		if !referenced[m] {
-			delete(t.tracked, m)
-			// Keep the tracker-token invariant: clear it only if it is
-			// still ours (another task may have started tracking since).
-			if m.Log().Tracker() == t {
-				m.Log().SetTracker(nil)
-			}
+	keep := t.tracked[:0]
+	for _, m := range t.tracked {
+		m.Log().Trim(minKeep[m])
+		if referenced[m] {
+			keep = append(keep, m)
+			continue
+		}
+		// Keep the tracker-token invariant: clear it only if it is
+		// still ours (another task may have started tracking since).
+		if m.Log().Tracker() == t {
+			m.Log().SetTracker(nil)
 		}
 	}
+	// keep compacted in place; nil out the dropped tail so the backing
+	// array does not pin untracked structures.
+	for i := len(keep); i < len(t.tracked); i++ {
+		t.tracked[i] = nil
+	}
+	t.tracked = keep
 }

@@ -87,9 +87,20 @@ func submitOrRun(jobs chan func(), f func()) {
 // observability layer's per-structure spans); it must have length
 // len(c.parentData). Passing nil — the tracing-off case — measures
 // nothing and allocates nothing.
-func (t *Task) transformChild(c *Task, durs []time.Duration) [][]ot.Op {
+// The result table and (on the serial path) the transform windows are
+// carved from ms and stay valid until the scratch is released, which the
+// caller does once the merge has committed them.
+func (t *Task) transformChild(c *Task, ms *mergeScratch, durs []time.Duration) [][]ot.Op {
 	n := len(c.parentData)
-	transformed := make([][]ot.Op, n)
+	transformed := ms.transformed
+	if cap(transformed) < n {
+		transformed = make([][]ot.Op, n)
+	} else {
+		// Entries up to cap were nil'ed when their merge released the
+		// scratch, so the reslice needs no clearing.
+		transformed = transformed[:n]
+	}
+	ms.transformed = transformed
 	if n > 1 && parallelMerge.Load() && runtime.GOMAXPROCS(0) > 1 {
 		if jobs := mergePoolJobs(); jobs != nil {
 			t.transformParallel(c, transformed, jobs, durs)
@@ -99,8 +110,9 @@ func (t *Task) transformChild(c *Task, durs []time.Duration) [][]ot.Op {
 
 	// Inline serial path: pending chains operations across positions that
 	// alias one parent structure, which also makes it the aliasing oracle
-	// the parallel path must match.
-	var pending map[mergeable.Mergeable][]ot.Op
+	// the parallel path must match. A single position cannot alias, so it
+	// skips the chain bookkeeping entirely.
+	pending := ms.pending
 	for i, pm := range c.parentData {
 		var start time.Time
 		if durs != nil {
@@ -116,10 +128,11 @@ func (t *Task) transformChild(c *Task, durs []time.Duration) [][]ot.Op {
 			}
 		}
 		childOps := ot.CompactSeq(c.data[i].Log().CommittedSince(c.floors[i]))
-		transformed[i] = ot.TransformAgainst(childOps, server)
-		if len(transformed[i]) > 0 {
+		transformed[i] = ms.ot.TransformAgainst(childOps, server)
+		if n > 1 && len(transformed[i]) > 0 {
 			if pending == nil {
 				pending = make(map[mergeable.Mergeable][]ot.Op)
+				ms.pending = pending
 			}
 			pending[pm] = append(pending[pm], transformed[i]...)
 		}

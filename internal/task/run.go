@@ -1,6 +1,8 @@
 package task
 
 import (
+	"sync"
+
 	"repro/internal/mergeable"
 	"repro/internal/obs"
 )
@@ -36,6 +38,69 @@ type RunConfig struct {
 	Obs *obs.Tracer
 }
 
+// runFrame is the pooled per-Run allocation unit: the tree runtime, the
+// root task and the shells of every task the run spawns all live here and
+// are reused by later Runs. Handles returned by Spawn are valid for the
+// duration of their Run; once Run returns, the frame may be recycled and
+// the handles with it (reading Err/Merged from a stale handle remains
+// memory-safe, but observes a later run once the frame is reused).
+type runFrame struct {
+	rt   treeRuntime
+	root Task
+	// data backs the root's working set, copied from Run's variadic so the
+	// caller-side argument slice does not escape.
+	data []mergeable.Mergeable
+	// shells is the freelist of child task shells; used counts how many
+	// are handed out in the current run. Guarded by mu (spawns race).
+	mu     sync.Mutex
+	shells []*Task
+	used   int
+}
+
+var framePool = sync.Pool{New: func() any { return new(runFrame) }}
+
+// getFrame takes a frame from the pool and resets its runtime for a new
+// run. Fields are cleared one by one: treeRuntime embeds atomics, so a
+// struct assignment would copy locks.
+func getFrame() *runFrame {
+	f := framePool.Get().(*runFrame)
+	rt := &f.rt
+	rt.nextID.Store(0)
+	rt.tracer = nil
+	rt.record = nil
+	rt.replay = nil
+	rt.choose = nil
+	rt.randSeed = 0
+	rt.onRootMerge = nil
+	rt.rootMerges = 0
+	rt.jitter = nil
+	rt.slots = nil
+	rt.obs = nil
+	rt.frame = f
+	return f
+}
+
+// putFrame scrubs user-data references out of the frame and returns it to
+// the pool. Every task of the finished run is quiescent by now: the root
+// collected all children before run() returned, and a child's last action
+// is its readiness announcement, which the root consumed.
+func putFrame(f *runFrame) {
+	for _, s := range f.shells[:f.used] {
+		s.scrub()
+	}
+	f.used = 0
+	f.root.scrub()
+	clear(f.data)
+	f.data = f.data[:0]
+	framePool.Put(f)
+}
+
+// initRoot seats the run's working set and root task in the frame.
+func initRoot(f *runFrame, fn Func, data []mergeable.Mergeable) *Task {
+	f.data = append(f.data[:0], data...)
+	return initTask(&f.root, nil, fn, f.data, nil, nil, nil, &f.rt)
+}
+
 // RunWith executes fn as the root task of a new task tree with the given
 // configuration. It is the single entry point all other runners reduce
 // to; see Run for the core semantics.
@@ -43,21 +108,23 @@ func RunWith(cfg RunConfig, fn Func, data ...mergeable.Mergeable) error {
 	if cfg.Replay != nil {
 		cfg.Replay.resetCursors()
 	}
-	rt := &treeRuntime{
-		tracer:      cfg.Trace,
-		record:      cfg.Record,
-		replay:      cfg.Replay,
-		choose:      cfg.Choose,
-		jitter:      cfg.Jitter,
-		onRootMerge: cfg.OnRootMerge,
-		obs:         cfg.Obs,
-	}
+	f := getFrame()
+	rt := &f.rt
+	rt.tracer = cfg.Trace
+	rt.record = cfg.Record
+	rt.replay = cfg.Replay
+	rt.choose = cfg.Choose
+	rt.jitter = cfg.Jitter
+	rt.onRootMerge = cfg.OnRootMerge
+	rt.obs = cfg.Obs
 	if cfg.MaxParallel > 0 {
 		rt.slots = make(chan struct{}, cfg.MaxParallel)
 	}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
+	root := initRoot(f, fn, data)
 	root.run()
-	return root.err
+	err := root.err
+	putFrame(f)
+	return err
 }
 
 // Run executes fn as the root task of a new task tree, on the calling
@@ -71,10 +138,12 @@ func RunWith(cfg RunConfig, fn Func, data ...mergeable.Mergeable) error {
 // on any number of cores — the paper's headline guarantee. Determinism is
 // surrendered exactly where MergeAny/MergeAnyFromSet is chosen.
 func Run(fn Func, data ...mergeable.Mergeable) error {
-	rt := &treeRuntime{}
-	root := newTask(nil, fn, data, nil, nil, nil, rt)
+	f := getFrame()
+	root := initRoot(f, fn, data)
 	root.run()
-	return root.err
+	err := root.err
+	putFrame(f)
+	return err
 }
 
 // RunPooled is Run with task execution bounded to maxParallel

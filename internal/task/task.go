@@ -89,9 +89,14 @@ type Task struct {
 	ready    chan *Task // children announce quiescence here
 	// pendingList queues quiescent children not yet merged, in arrival
 	// order. tracked remembers structures handed to children, for history
-	// trimming. Both are touched only by this task's own goroutine.
+	// trimming (a slice, not a map: the log's tracker token already
+	// deduplicates, so membership tests never happen). Both are touched
+	// only by this task's own goroutine.
 	pendingList []*Task
-	tracked     map[mergeable.Mergeable]bool
+	tracked     []mergeable.Mergeable
+	// snapBuf backs liveChildren snapshots; reused across calls, valid
+	// until the next snapshot on the same task.
+	snapBuf []*Task
 
 	// Quiescence handshake (this task acting as a child).
 	phase  atomic.Int32
@@ -111,6 +116,17 @@ type Task struct {
 	track string
 
 	runtime *treeRuntime
+
+	// ctx is the task's own Ctx, embedded so run() hands user code a
+	// pointer into the task instead of allocating one per task.
+	ctx Ctx
+
+	// dataBuf and bfBuf are shell-owned backing arrays for the spawn-time
+	// copies and the fused bases/floors array. They belong to the shell,
+	// not the run: when a pooled frame reuses this shell for a later task,
+	// the buffers are reused too (see runFrame).
+	dataBuf []mergeable.Mergeable
+	bfBuf   []int
 }
 
 // spanTrack returns the task's stable span track (its creation path),
@@ -157,6 +173,32 @@ type treeRuntime struct {
 	// event (see package obs). Every hook site checks for nil first, so a
 	// run without a tracer pays nothing on the spawn/merge hot path.
 	obs *obs.Tracer
+	// frame is the pooled run frame this runtime belongs to, nil when the
+	// runtime was built by hand (tests). It owns the task-shell freelist.
+	frame *runFrame
+}
+
+// getShell hands out a task shell: a recycled one from the frame's
+// freelist when available, a fresh allocation otherwise. Shells handed out
+// during a run are returned to the freelist only when the whole run ends
+// (putFrame), so a handle stays valid for the entire Run that created it.
+// Spawns may race from several goroutines; the freelist has its own lock.
+func (rt *treeRuntime) getShell() *Task {
+	f := rt.frame
+	if f == nil {
+		return &Task{}
+	}
+	f.mu.Lock()
+	var t *Task
+	if f.used < len(f.shells) {
+		t = f.shells[f.used]
+	} else {
+		t = &Task{}
+		f.shells = append(f.shells, t)
+	}
+	f.used++
+	f.mu.Unlock()
+	return t
 }
 
 // acquire takes an execution slot (no-op without a pool).
@@ -210,23 +252,67 @@ func (t *Task) Merged() bool { return t.merged }
 // newTask builds a task node. data are the working copies; parentData the
 // parent structures they pair with (nil for the root).
 func newTask(parent *Task, fn Func, data, parentData []mergeable.Mergeable, bases, floors []int, rt *treeRuntime) *Task {
+	return initTask(rt.getShell(), parent, fn, data, parentData, bases, floors, rt)
+}
+
+// initTask (re)initializes a task shell for a new life. Shells come from a
+// run frame's freelist (see runFrame) and carry reusable capacity — the
+// ready/resume channels, the children/pending/tracked backing arrays and
+// the spawn-copy buffers — all of which are kept; everything run-specific
+// is reset here.
+func initTask(t *Task, parent *Task, fn Func, data, parentData []mergeable.Mergeable, bases, floors []int, rt *treeRuntime) *Task {
 	// ready and resume are created lazily — ready when the first child is
 	// registered, resume on the first Sync — so leaf tasks (the common
 	// case in wide fan-outs) allocate neither. Spawn passes floors fused
-	// into the bases allocation; other callers pass nil.
-	if floors == nil {
+	// into the bases allocation; the root never consults its floors, so
+	// only non-root callers that pass nil pay an allocation here.
+	if floors == nil && parent != nil {
 		floors = make([]int, len(data))
 	}
-	return &Task{
-		id:         rt.nextID.Add(1),
-		parent:     parent,
-		fn:         fn,
-		data:       data,
-		parentData: parentData,
-		bases:      bases,
-		floors:     floors,
-		runtime:    rt,
-	}
+	t.id = rt.nextID.Add(1)
+	t.seq = 0
+	t.parent = parent
+	t.fn = fn
+	t.data = data
+	t.parentData = parentData
+	t.bases = bases
+	t.floors = floors
+	t.children = t.children[:0]
+	t.nextSeq = 0
+	t.pendingList = t.pendingList[:0]
+	t.tracked = t.tracked[:0]
+	t.phase.Store(int32(phaseRunning))
+	t.err = nil
+	t.merged = false
+	t.abortFlag.Store(false)
+	t.rng = nil
+	t.track = ""
+	t.runtime = rt
+	t.ctx.task = t
+	return t
+}
+
+// scrub drops every reference a retired shell holds into user data so a
+// pooled frame does not pin structures or closures between runs. The
+// result fields (err, merged, abortFlag) survive on purpose: handles
+// returned by Spawn stay readable until the frame is actually reused.
+func (t *Task) scrub() {
+	t.parent = nil
+	t.fn = nil
+	t.data = nil
+	t.parentData = nil
+	t.bases = nil
+	t.floors = nil
+	clear(t.children)
+	t.children = t.children[:0]
+	clear(t.pendingList)
+	t.pendingList = t.pendingList[:0]
+	clear(t.tracked)
+	t.tracked = t.tracked[:0]
+	clear(t.snapBuf)
+	t.snapBuf = t.snapBuf[:0]
+	t.rng = nil
+	clear(t.dataBuf)
 }
 
 // registerChild appends c to t's live children. Called by the spawning
@@ -248,11 +334,16 @@ func (t *Task) registerChild(c *Task) {
 	t.mu.Unlock()
 }
 
-// liveChildren snapshots the live children in creation order.
+// liveChildren snapshots the live children in creation order. The
+// snapshot reuses a per-task buffer: it stays valid until the next
+// liveChildren call on the same task, which every caller satisfies (no
+// caller holds a snapshot across a nested snapshot — merges iterate it,
+// then re-snapshot on the next round).
 func (t *Task) liveChildren() []*Task {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]*Task(nil), t.children...)
+	t.snapBuf = append(t.snapBuf[:0], t.children...)
+	return t.snapBuf
 }
 
 // hasLiveChildren reports whether any live child exists, without the
@@ -326,7 +417,7 @@ func (t *Task) reap(c *Task) {
 // running child tasks finishes MergeAll is called implicitly") and
 // announces completion to the parent.
 func (t *Task) run() {
-	ctx := &Ctx{task: t}
+	ctx := &t.ctx // embedded: no per-task Ctx allocation
 	t.runtime.acquire()
 	if profileLabels.Load() {
 		// Label the user-code phase so CPU and goroutine profiles attribute
@@ -427,7 +518,7 @@ func (t *Task) enterSync() error {
 	}
 	var childErr error
 	for t.hasLiveChildren() {
-		if err := t.mergeSet(t.liveChildren(), &mergeConfig{}); err != nil && childErr == nil {
+		if err := t.mergeSet(t.liveChildren(), &zeroMergeConfig); err != nil && childErr == nil {
 			childErr = err
 		}
 	}
