@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill explore explore-deep churn fuzz fuzz-ot fuzz-batch examples
+.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill soak-collab explore explore-deep churn fuzz fuzz-ot fuzz-batch examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -49,6 +49,14 @@ soak-kill:
 soak-trace:
 	$(GO) run ./cmd/soak -trace -duration 30s
 
+# Collab front-door soak: seeded chaos rounds (drops, resets, dial
+# failures, partition pulses) must complete the full multi-client edit
+# workload via reconnect+RESUME and converge on the fault-free canonical
+# fingerprint; a final overload round must shed visibly without losing
+# or duplicating an acked edit.
+soak-collab:
+	$(GO) run ./cmd/soak -collab -duration 30s
+
 # Bounded schedule exploration: exhaustively enumerate the MergeAny
 # fixtures, then random-walk the deterministic and chaos fixtures. The
 # whole pass fits in a CI smoke budget (well under 60s).
@@ -58,6 +66,7 @@ explore:
 	$(GO) run ./cmd/explore -scenario abortsync -strategy exhaustive -procs 1,4
 	$(GO) run ./cmd/explore -scenario fanout -schedules 32 -procs 1,4
 	$(GO) run ./cmd/explore -scenario chaos -schedules 16
+	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128
 
 # Deep exploration for the nightly job: big random-walk budgets, a
 # GOMAXPROCS sweep, crash-point sweeps on the journaled fixture, and
@@ -71,7 +80,9 @@ explore-deep:
 	$(GO) run ./cmd/explore -scenario chaos -schedules 128 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario churn -strategy exhaustive -schedules 4000 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario churn -schedules 16 -crash -crash-points 3 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128 -seeds explore-seeds
 	$(GO) run ./cmd/soak -churn -duration 60s
+	$(GO) run ./cmd/soak -collab -duration 120s
 	$(GO) run ./cmd/soak -explore -duration 120s
 
 # Elastic-cluster churn smoke (<10s of runtime): a bounded exhaustive

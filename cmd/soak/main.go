@@ -38,10 +38,21 @@
 // probe also exercises forced MergeAny pick orders and decision-driven
 // fault injection; -metrics exports the explorer's progress counters.
 //
+// With -collab the soak probes the collaborative front door end to end:
+// every round runs a full multi-client editing workload through a seeded
+// faultnet (drops, resets, dial failures and self-healing partition
+// pulses) — every client must complete its whole edit script via
+// automatic reconnect+resume, and the canonical final fingerprint and
+// exact edit count must match a fault-free reference run. A final
+// overload round starves the admission gates (session cap, token bucket,
+// merge backpressure) and demands explicit BUSY shedding with zero lost
+// or duplicated acked edits.
+//
 //	go run ./cmd/soak -duration 30s
 //	go run ./cmd/soak -duration 30s -chaos
 //	go run ./cmd/soak -duration 30s -kill
 //	go run ./cmd/soak -duration 30s -churn
+//	go run ./cmd/soak -duration 30s -collab
 //	go run ./cmd/soak -duration 30s -explore -metrics localhost:0
 package main
 
@@ -56,13 +67,16 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/collab"
 	"repro/internal/dist"
 	"repro/internal/explore"
 	"repro/internal/faultnet"
 	"repro/internal/journal"
+	"repro/internal/memnet"
 	"repro/internal/mergeable"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -720,6 +734,207 @@ func exploreSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegis
 		rounds, counters.Get("schedule"), counters.Get("decision"), counters.Get("lost"))
 }
 
+const (
+	collabClients = 8
+	collabEdits   = 50
+)
+
+// collabDrive runs the front-door workload: `clients` concurrent editors
+// each prepend `edits` unique `;`-terminated markers and say BYE. It
+// returns the first client error — under reconnect+resume a chaos run is
+// expected to complete the exact same workload a fault-free run does.
+func collabDrive(d collab.Dialer, clients, edits int, opts collab.ClientOptions) error {
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := collab.DialWith(d, opts)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", id, err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < edits; j++ {
+				if _, err := c.Insert(0, fmt.Sprintf("c%d-e%d;", id, j)); err != nil {
+					errs <- fmt.Errorf("client %d edit %d: %w", id, j, err)
+					return
+				}
+			}
+			errs <- c.Bye()
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collabReference runs the workload fault-free on memnet and returns the
+// canonical fingerprint and exact edit count every probe must reproduce.
+func collabReference() (uint64, int64, error) {
+	l := memnet.Listen(64)
+	srv := collab.Serve(l, "")
+	err := collabDrive(l, collabClients, collabEdits, collab.ClientOptions{})
+	l.Close()
+	if werr := srv.Wait(); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return collab.CanonicalFingerprint(srv.Document()), srv.Edits(), nil
+}
+
+// collabProbe runs one seeded chaos round: drops, resets, dial failures
+// and periodic self-healing partition pulses, with every client riding
+// automatic reconnect+resume. Server and faultnet counters are merged
+// into `counters` for the final report.
+func collabProbe(seed int64, counters *stats.Counters) (uint64, int64, error) {
+	fnet := faultnet.New(faultnet.Config{
+		Seed:         seed,
+		DropProb:     0.03,
+		ResetProb:    0.01,
+		DialFailProb: 0.02,
+	})
+	l := fnet.Listen(0, 64)
+	srv := collab.ServeWith(l, "", collab.Options{Seed: seed, Counters: stats.NewCounters()})
+
+	// A bounded burst of partition pulses: each blackholes the next few
+	// writes and self-heals on traffic. The burst must end — a pulse every
+	// few tens of milliseconds forever stalls more client time per second
+	// than a second holds, and the probe would livelock.
+	stop := make(chan struct{})
+	pulses := make(chan struct{})
+	go func() {
+		defer close(pulses)
+		for i := 0; i < 8; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				fnet.PartitionFor(0, 3)
+			}
+		}
+	}()
+	err := collabDrive(l, collabClients, collabEdits, collab.ClientOptions{
+		RequestTimeout: 100 * time.Millisecond,
+		Backoff:        collab.Backoff{Base: time.Millisecond, Cap: 20 * time.Millisecond, MaxAttempts: 2000},
+	})
+	close(stop)
+	<-pulses
+	fnet.Heal(0)
+	l.Close()
+	if werr := srv.Wait(); werr != nil && err == nil {
+		err = werr
+	}
+	for k, v := range srv.Stats().Snapshot() {
+		counters.Add("collab."+k, v)
+	}
+	for k, v := range fnet.Stats().Snapshot() {
+		counters.Add("faultnet."+k, v)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return collab.CanonicalFingerprint(srv.Document()), srv.Edits(), nil
+}
+
+// collabOverloadProbe starves the admission gates — session cap, token
+// bucket and merge backpressure — on a healthy network. The server must
+// shed explicitly (BUSY, counted) and still lose or duplicate nothing.
+func collabOverloadProbe(counters *stats.Counters) (fp uint64, edits, shed int64, err error) {
+	l := memnet.Listen(64)
+	srv := collab.ServeWith(l, "", collab.Options{
+		Admission: collab.Admission{
+			MaxSessions: 3,
+			MaxPending:  1,
+			RateBurst:   4,
+			RateEvery:   2,
+			RetryAfter:  time.Millisecond,
+		},
+	})
+	err = collabDrive(l, collabClients, collabEdits, collab.ClientOptions{
+		RequestTimeout: 2 * time.Second,
+		Backoff:        collab.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, MaxAttempts: 50000},
+	})
+	l.Close()
+	if werr := srv.Wait(); werr != nil && err == nil {
+		err = werr
+	}
+	for k, v := range srv.Stats().Snapshot() {
+		counters.Add("overload."+k, v)
+	}
+	st := srv.Stats()
+	shed = st.Get("shed") + st.Get("busy_rate") + st.Get("busy_merges")
+	if err != nil {
+		return 0, 0, shed, err
+	}
+	return collab.CanonicalFingerprint(srv.Document()), srv.Edits(), shed, nil
+}
+
+// collabSoak probes the collaborative front door until the deadline:
+// every chaos round must complete the full workload via reconnect+resume
+// and converge on the fault-free canonical fingerprint with an exact edit
+// count, then one overload round must shed visibly without loss.
+func collabSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistry) {
+	refFp, refEdits, err := collabReference()
+	if err != nil {
+		fmt.Printf("COLLAB REFERENCE FAILED (fault-free run, nothing injected): %v\n", err)
+		os.Exit(1)
+	}
+	counters := stats.NewCounters()
+	if reg != nil {
+		reg.AddCounters("collab", counters)
+	}
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+	probes := 0
+	for time.Now().Before(deadline) {
+		s := r.Int63()
+		fp, edits, err := collabProbe(s, counters)
+		if err != nil {
+			fmt.Printf("COLLAB RESILIENCE VIOLATION: seed %d: a client failed to complete under chaos: %v\n", s, err)
+			os.Exit(1)
+		}
+		if fp != refFp || edits != refEdits {
+			fmt.Printf("COLLAB CONVERGENCE VIOLATION: seed %d: canonical fingerprint %016x (%d edits) != fault-free %016x (%d edits)\n",
+				s, fp, edits, refFp, refEdits)
+			os.Exit(1)
+		}
+		probes++
+	}
+	fp, edits, shed, err := collabOverloadProbe(counters)
+	if err != nil {
+		fmt.Printf("COLLAB OVERLOAD VIOLATION: a client failed to complete under admission pressure: %v\n", err)
+		os.Exit(1)
+	}
+	if fp != refFp || edits != refEdits {
+		fmt.Printf("COLLAB OVERLOAD VIOLATION: canonical fingerprint %016x (%d edits) != fault-free %016x (%d edits)\n",
+			fp, edits, refFp, refEdits)
+		os.Exit(1)
+	}
+	if shed == 0 {
+		fmt.Printf("COLLAB OVERLOAD VIOLATION: the gates shed nothing; overload was never exercised\n")
+		os.Exit(1)
+	}
+	injected := counters.Get("faultnet.drop") + counters.Get("faultnet.reset") +
+		counters.Get("faultnet.dial_fail") + counters.Get("faultnet.partition_heal")
+	fmt.Printf("clean: %d chaos probes (%d clients × %d edits each, %d faults injected, %d resumes, %d replays) + 1 overload probe (%d shed), all converged on %016x\n",
+		probes, collabClients, collabEdits, injected,
+		counters.Get("collab.resumed"), counters.Get("collab.replayed"), shed, refFp)
+	fmt.Printf("counters: %s\n", counters)
+	if probes == 0 {
+		fmt.Println("WARNING: no chaos probes completed inside the soak window")
+		os.Exit(1)
+	}
+}
+
 func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to soak")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
@@ -728,6 +943,7 @@ func main() {
 	churn := flag.Bool("churn", false, "soak the elastic cluster: seeded join/drain/leave churn with coordinator SIGKILL, journal resume and fingerprint verification")
 	trace := flag.Bool("trace", false, "soak the span tracer: traced probes must be bit-identical across GOMAXPROCS 1/4")
 	explores := flag.Bool("explore", false, "soak the schedule explorer: rotate the built-in scenarios under random-walk exploration")
+	collabs := flag.Bool("collab", false, "soak the collab front door: chaos rounds must complete via reconnect+resume and converge, an overload round must shed without loss")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
 	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
@@ -772,6 +988,10 @@ func main() {
 	}
 	if *explores {
 		exploreSoak(*duration, *seed, reg)
+		return
+	}
+	if *collabs {
+		collabSoak(*duration, *seed, reg)
 		return
 	}
 	var agg *repro.Tracer

@@ -15,8 +15,16 @@
 // -linger keeps the process (and the endpoints) up after the workload
 // finishes, for interactive scraping.
 //
+// With -resilient the example instead runs the collaborative editor's
+// resilient front door (internal/collab): flaky clients edit one shared
+// document through a fault-injecting network, dropping connections
+// mid-script and transparently reconnecting with RESUME; the final
+// document carries every acked edit exactly once, and the run prints the
+// session counters (resumes, replays, detaches) that prove the churn.
+//
 //	go run ./examples/server [-clients 4] [-requests 3]
 //	go run ./examples/server -metrics 127.0.0.1:8321 -linger 60s
+//	go run ./examples/server -resilient [-clients 6] [-requests 8]
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/collab"
+	"repro/internal/faultnet"
 	"repro/internal/memnet"
 )
 
@@ -100,12 +110,68 @@ func handle(store *repro.Map[string, string], req string) string {
 	}
 }
 
+// resilientDemo runs the collab front door under fire: every client edits
+// the shared document through a seeded fault-injecting network, and on
+// top of the injected drops and resets each client yanks its own
+// connection once mid-script. The Client reconnects and RESUMEs on its
+// own; the session's replay window dedupes any retried request, so the
+// final document holds each edit exactly once.
+func resilientDemo(clients, edits int, seed int64) {
+	fnet := faultnet.New(faultnet.Config{Seed: seed, DropProb: 0.05, ResetProb: 0.02})
+	listener := fnet.Listen(0, clients)
+	srv := collab.ServeWith(listener, "", collab.Options{Seed: seed})
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := collab.DialWith(listener, collab.ClientOptions{
+				RequestTimeout: 100 * time.Millisecond,
+				Backoff:        collab.Backoff{Base: time.Millisecond, Cap: 20 * time.Millisecond, MaxAttempts: 500},
+			})
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			defer cl.Close()
+			for i := 0; i < edits; i++ {
+				if i == edits/2 {
+					cl.Drop() // simulate a flaky client: kill the socket mid-script
+				}
+				if _, err := cl.Insert(0, fmt.Sprintf("c%d-e%d;", c, i)); err != nil {
+					log.Fatalf("client %d edit %d: %v", c, i, err)
+				}
+			}
+			if err := cl.Bye(); err != nil {
+				log.Fatalf("client %d: bye: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	listener.Close()
+	if err := srv.Wait(); err != nil {
+		log.Fatal(err)
+	}
+
+	doc := srv.Document()
+	fmt.Printf("final document (%d bytes, %d edits, canonical fingerprint %016x):\n  %s\n",
+		len(doc), srv.Edits(), collab.CanonicalFingerprint(doc), doc)
+	fmt.Printf("session counters: %s\n", srv.Stats())
+	fmt.Printf("injected faults:  %s\n", fnet.Stats())
+}
+
 func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	requests := flag.Int("requests", 3, "SET requests per client")
+	resilient := flag.Bool("resilient", false, "demo the collab front door: flaky clients reconnect+RESUME through injected faults")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address")
 	linger := flag.Duration("linger", 0, "keep the process (and metrics endpoints) alive this long after the workload")
 	flag.Parse()
+
+	if *resilient {
+		resilientDemo(*clients, max(*requests, 8), 42)
+		return
+	}
 
 	var tracer *repro.Tracer
 	if *metricsAddr != "" {

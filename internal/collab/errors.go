@@ -1,0 +1,82 @@
+package collab
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors classify every failure the collaborative front door can
+// hand a client, mirroring dist's errors.Is taxonomy: wrap-aware sentinel
+// values plus detail-carrying concrete types that Is() onto them.
+var (
+	// ErrProtocol marks request-level protocol failures: malformed lines,
+	// bad positions, unknown documents, sequence gaps. The session stays
+	// usable after one.
+	ErrProtocol = errors.New("collab: protocol error")
+
+	// ErrOverloaded marks admission-control shedding: the server refused a
+	// session (HELLO shed) or a request (rate limit, pending-merge gate)
+	// with a BUSY reply and the client's retry budget ran out.
+	ErrOverloaded = errors.New("collab: server overloaded")
+
+	// ErrSessionExpired marks a resume attempt on a session the server has
+	// evicted (idle timeout), closed (BYE), or never issued — exactly-once
+	// delivery can no longer be guaranteed for that session's in-flight
+	// request, so the client must open a fresh session and reconcile.
+	ErrSessionExpired = errors.New("collab: session expired")
+
+	// ErrReadOnly marks a mutation refused because the server is draining
+	// or otherwise degraded to read-only service. Reads still succeed.
+	ErrReadOnly = errors.New("collab: server is read-only")
+
+	// ErrClientClosed is returned by client calls after Close.
+	ErrClientClosed = errors.New("collab: client closed")
+)
+
+// ProtocolError is a request-level protocol failure with the server's
+// detail text. errors.Is(err, ErrProtocol) matches it.
+type ProtocolError struct{ Detail string }
+
+func (e *ProtocolError) Error() string { return fmt.Sprintf("collab: protocol error: %s", e.Detail) }
+
+// Is reports sentinel identity for errors.Is.
+func (e *ProtocolError) Is(target error) bool { return target == ErrProtocol }
+
+// OverloadedError is an admission-control rejection carrying the server's
+// advertised retry hint. errors.Is(err, ErrOverloaded) matches it.
+type OverloadedError struct {
+	// Reason says which gate shed the work ("sessions", "rate", "merges").
+	Reason string
+	// RetryAfter is the server's advertised backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("collab: server overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is reports sentinel identity for errors.Is.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// SessionExpiredError is a failed resume: the named session is gone.
+// errors.Is(err, ErrSessionExpired) matches it.
+type SessionExpiredError struct{ ID string }
+
+func (e *SessionExpiredError) Error() string {
+	return fmt.Sprintf("collab: session %s expired", e.ID)
+}
+
+// Is reports sentinel identity for errors.Is.
+func (e *SessionExpiredError) Is(target error) bool { return target == ErrSessionExpired }
+
+// ReadOnlyError is a refused mutation with the server's typed reason
+// ("draining", "overload"). errors.Is(err, ErrReadOnly) matches it.
+type ReadOnlyError struct{ Reason string }
+
+func (e *ReadOnlyError) Error() string {
+	return fmt.Sprintf("collab: server is read-only (%s)", e.Reason)
+}
+
+// Is reports sentinel identity for errors.Is.
+func (e *ReadOnlyError) Is(target error) bool { return target == ErrReadOnly }

@@ -1,0 +1,25 @@
+package collab
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// CanonicalFingerprint hashes a document's `;`-terminated markers in
+// sorted order. Chaos workloads write one unique marker per edit; the
+// interleaving of concurrent clients (and hence the markers' order in the
+// final document) legitimately varies run to run with MergeAny's
+// first-completed order, but the marker *multiset* must not: an edit
+// acked exactly once appears exactly once regardless of faults. Sorting
+// before hashing makes the fingerprint insensitive to the legitimate
+// variation and bit-sensitive to any lost or duplicated edit.
+func CanonicalFingerprint(doc string) uint64 {
+	markers := strings.SplitAfter(doc, ";")
+	sort.Strings(markers)
+	h := fnv.New64a()
+	for _, m := range markers {
+		h.Write([]byte(m))
+	}
+	return h.Sum64()
+}

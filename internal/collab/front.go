@@ -1,0 +1,253 @@
+package collab
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// The session wire grammar, layered over the legacy command set (see
+// DESIGN.md §13). A connection's first line selects the mode:
+//
+//	HELLO                      → OK <sid>               new session
+//	                           → BUSY <retry-ms>        admission shed, connection closed
+//	RESUME <sid> <client-seq>  → OK <sid> <acked-seq>   session re-attached
+//	                           → ERR SESSION-EXPIRED <sid>
+//	                           → BUSY <retry-ms>
+//	anything else              → served sessionless (legacy mode, no resume)
+//
+// Session-mode requests carry a client-chosen monotone sequence number:
+//
+//	<seq> INS <pos> <quoted-text> | <seq> DEL <pos> <n> | <seq> GET |
+//	<seq> BYE | <seq> USE <name>  | <seq> LIST
+//
+// and replies echo it:
+//
+//	OK <seq> <payload>          applied (or replayed from the window)
+//	ERR <seq> PROTOCOL <why>    request-level error; acked and replayable
+//	ERR <seq> READONLY <why>    mutation refused: draining/degraded
+//	ERR <seq> INTERNAL <why>    server-side merge failure (terminal)
+//	BUSY <seq> <retry-ms>       shed by rate limit or merge backpressure;
+//	                            NOT acked — retry the same seq
+//	GONE <seq>                  seq fell outside the replay window;
+//	                            exactly-once lost, session unusable
+type front struct {
+	adm      Admission
+	table    *sessionTable
+	counters *stats.Counters
+	pending  atomic.Int64 // merges currently in flight
+	draining atomic.Bool
+}
+
+func newFront(opts Options) *front {
+	return &front{
+		adm:      opts.Admission,
+		table:    newSessionTable(opts.Admission, opts.Seed, opts.Counters, opts.Tracer),
+		counters: opts.Counters,
+	}
+}
+
+// sessionOutcome is one applied request, produced by a server-specific
+// apply callback. payload renders the OK reply's argument and runs after
+// the request's merge, so it always reflects the post-merge state.
+type sessionOutcome struct {
+	status  string // "OK", or an "ERR <detail>" protocol error
+	payload func() string
+	mutated bool
+	quit    bool
+	noSync  bool // USE/LIST answer from session state; no merge needed
+}
+
+// sessionHandler binds the front door to one connection task: apply
+// executes a command against the task's data copies, sync merges them
+// into the root, onMutate accounts an applied edit.
+type sessionHandler struct {
+	apply    func(sess *Session, cmd string) sessionOutcome
+	sync     func() error
+	onMutate func()
+}
+
+// isHandshake reports whether a connection's first line enters session
+// mode.
+func isHandshake(line string) bool {
+	return line == "HELLO" || strings.HasPrefix(line, "RESUME ")
+}
+
+// isMutation classifies a session-mode command as document-mutating for
+// the drain gate and merge backpressure. Clamped no-op deletes still
+// count: the gate prices the attempt, not the outcome.
+func isMutation(cmd string) bool {
+	return strings.HasPrefix(cmd, "INS ") || strings.HasPrefix(cmd, "DEL ")
+}
+
+// serve runs the session-mode protocol on one connection, from the
+// handshake line to detach. It always returns nil for transport-level
+// endings (the client can resume); only a failed merge — a runtime
+// error — propagates.
+func (f *front) serve(socket net.Conn, r *bufio.Reader, first string, h sessionHandler) error {
+	sess, ok := f.handshake(socket, first)
+	if !ok {
+		return nil // shed or expired; reply already written, connection closes
+	}
+	defer func() {
+		if sess.detachConn(socket, f.table.tick()) {
+			f.counters.Inc("detached")
+		}
+	}()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil // transport gone: detach, session stays resumable
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		seqStr, cmd, found := strings.Cut(line, " ")
+		seq, perr := strconv.ParseUint(seqStr, 10, 64)
+		if !found || perr != nil || seq == 0 {
+			f.counters.Inc("bad_request")
+			fmt.Fprintf(socket, "ERR 0 PROTOCOL numbered request expected, got %q\n", line)
+			continue
+		}
+		quit, err := f.request(socket, sess, seq, cmd, h)
+		if err != nil {
+			return err
+		}
+		if quit {
+			f.table.remove(sess)
+			f.counters.Inc("closed")
+			return nil
+		}
+	}
+}
+
+// handshake processes HELLO / RESUME and attaches the session.
+func (f *front) handshake(socket net.Conn, first string) (*Session, bool) {
+	switch {
+	case first == "HELLO":
+		sess, ok := f.table.hello()
+		if !ok {
+			f.counters.Inc("shed")
+			fmt.Fprintf(socket, "BUSY %d\n", f.adm.retryMillis())
+			return nil, false
+		}
+		f.counters.Inc("admitted")
+		sess.attach(socket)
+		fmt.Fprintf(socket, "OK %s\n", sess.id)
+		return sess, true
+	default: // "RESUME <sid> <client-seq>"
+		fields := strings.Fields(first)
+		if len(fields) != 3 {
+			f.counters.Inc("bad_request")
+			fmt.Fprintf(socket, "ERR 0 PROTOCOL usage: RESUME <sid> <seq>\n")
+			return nil, false
+		}
+		sid := fields[1]
+		sess, ok := f.table.resume(sid)
+		if !ok {
+			f.counters.Inc("expired_resume")
+			fmt.Fprintf(socket, "ERR SESSION-EXPIRED %s\n", sid)
+			return nil, false
+		}
+		f.counters.Inc("resumed")
+		sess.attach(socket)
+		fmt.Fprintf(socket, "OK %s %d\n", sess.id, sess.acked())
+		return sess, true
+	}
+}
+
+// request processes one numbered request under the session's processing
+// lock: the seq check, the apply, the merge and the ack are atomic with
+// respect to a racing resumed connection re-sending the same request, so
+// every seq is applied exactly once no matter how many transports carried
+// it.
+func (f *front) request(socket net.Conn, sess *Session, seq uint64, cmd string, h sessionHandler) (quit bool, err error) {
+	tick := f.table.tick()
+	sess.proc.Lock()
+	defer sess.proc.Unlock()
+
+	switch last := sess.acked(); {
+	case seq <= last:
+		// At-least-once retry of an acked request: replay the recorded
+		// reply, never re-apply.
+		if reply, ok := sess.replay(seq); ok {
+			f.counters.Inc("replayed")
+			fmt.Fprintln(socket, reply)
+		} else {
+			f.counters.Inc("window_miss")
+			fmt.Fprintf(socket, "GONE %d\n", seq)
+		}
+		return false, nil
+	case seq != last+1:
+		f.counters.Inc("bad_request")
+		fmt.Fprintf(socket, "ERR %d PROTOCOL sequence gap (want %d)\n", seq, last+1)
+		return false, nil
+	}
+
+	mutating := isMutation(cmd)
+	if mutating && f.draining.Load() {
+		// Graceful degradation: reads flow, mutations get a typed reason.
+		f.counters.Inc("readonly_refused")
+		reply := fmt.Sprintf("ERR %d READONLY draining", seq)
+		sess.ack(seq, reply, f.adm.WindowSize)
+		fmt.Fprintln(socket, reply)
+		return false, nil
+	}
+	if !sess.takeToken(tick, f.adm) {
+		f.counters.Inc("busy_rate")
+		fmt.Fprintf(socket, "BUSY %d %d\n", seq, f.adm.retryMillis())
+		return false, nil
+	}
+	overloaded := f.adm.MaxPending > 0 && f.pending.Load() >= int64(f.adm.MaxPending)
+	if mutating && overloaded {
+		f.counters.Inc("busy_merges")
+		fmt.Fprintf(socket, "BUSY %d %d\n", seq, f.adm.retryMillis())
+		return false, nil
+	}
+
+	out := h.apply(sess, cmd)
+	if out.mutated {
+		h.onMutate()
+	}
+	degraded := overloaded && !out.mutated && strings.HasPrefix(cmd, "GET")
+	if degraded {
+		// Under merge backpressure a GET answers from the connection
+		// task's local copy — possibly one exchange stale — instead of
+		// joining the merge queue.
+		f.counters.Inc("degraded_get")
+	} else if !out.noSync {
+		f.pending.Add(1)
+		err := h.sync()
+		f.pending.Add(-1)
+		if err != nil {
+			fmt.Fprintf(socket, "ERR %d INTERNAL %v\n", seq, err)
+			return false, err
+		}
+	}
+	var reply string
+	if out.status == "OK" {
+		reply = fmt.Sprintf("OK %d %s", seq, out.payload())
+	} else {
+		reply = fmt.Sprintf("ERR %d PROTOCOL %s", seq, strings.TrimPrefix(out.status, "ERR "))
+	}
+	sess.ack(seq, reply, f.adm.WindowSize)
+	fmt.Fprintln(socket, reply)
+	return out.quit, nil
+}
+
+// drain flips the server read-only: GETs are served, mutations refused
+// with a typed READONLY reason.
+func (f *front) drain() { f.draining.Store(true) }
+
+// undrain restores full service.
+func (f *front) undrain() { f.draining.Store(false) }
+
+// shutdown flushes every live session (closing attached transports so
+// connection tasks complete). Called by the accept task on its way out.
+func (f *front) shutdown() { f.table.flush() }

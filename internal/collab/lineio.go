@@ -1,0 +1,29 @@
+package collab
+
+import (
+	"bufio"
+	"io"
+)
+
+// lineReader is a thin buffered line reader. The client stores it next to
+// the connection it wraps and always discards the two together, so a
+// half-consumed buffer can never leak onto a fresh transport (the bug the
+// old client had: it rebuilt the bufio.Reader per call, losing any bytes
+// the previous reader had buffered past its line).
+type lineReader struct {
+	r *bufio.Reader
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: bufio.NewReader(r)}
+}
+
+// ReadLine returns the next newline-terminated line without the
+// terminator.
+func (l *lineReader) ReadLine() (string, error) {
+	s, err := l.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return s[:len(s)-1], nil
+}

@@ -9,8 +9,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/memnet"
 	"repro/internal/mergeable"
+	"repro/internal/stats"
 	"repro/internal/task"
 )
 
@@ -18,19 +18,31 @@ import (
 // receives copies of all documents (they are one data set, merged
 // atomically per request), selects one with USE and edits it; different
 // clients can edit different documents — or the same one — concurrently.
+//
+// In session mode the USE selection is session state, not connection
+// state: it survives reconnects and RESUME.
 type MultiServer struct {
-	listener *memnet.Listener
+	listener Listener
 	names    []string
 	docs     []*mergeable.Text
 	edits    *mergeable.Counter
+	front    *front
+	opts     Options
 	done     chan struct{}
 	err      error
 }
 
-// ServeDocs starts a multi-document server. The document set is fixed for
-// the server's lifetime (the task data passed at Spawn is a fixed set);
-// initial maps name to initial content.
-func ServeDocs(listener *memnet.Listener, initial map[string]string) *MultiServer {
+// ServeDocs starts a multi-document server with default options. The
+// document set is fixed for the server's lifetime (the task data passed
+// at Spawn is a fixed set); initial maps name to initial content.
+func ServeDocs(listener Listener, initial map[string]string) *MultiServer {
+	return ServeDocsWith(listener, initial, Options{})
+}
+
+// ServeDocsWith starts a multi-document server with explicit front-door
+// options.
+func ServeDocsWith(listener Listener, initial map[string]string, opts Options) *MultiServer {
+	opts = opts.withDefaults()
 	names := make([]string, 0, len(initial))
 	for name := range initial {
 		names = append(names, name)
@@ -40,6 +52,8 @@ func ServeDocs(listener *memnet.Listener, initial map[string]string) *MultiServe
 		listener: listener,
 		names:    names,
 		edits:    mergeable.NewCounter(0),
+		front:    newFront(opts),
+		opts:     opts,
 		done:     make(chan struct{}),
 	}
 	data := make([]mergeable.Mergeable, 0, len(names)+1)
@@ -52,7 +66,7 @@ func ServeDocs(listener *memnet.Listener, initial map[string]string) *MultiServe
 
 	go func() {
 		defer close(s.done)
-		s.err = task.Run(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+		s.err = task.RunWith(task.RunConfig{Obs: opts.Tracer}, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
 			ctx.Spawn(s.acceptTask, d...)
 			for {
 				if _, err := ctx.MergeAny(); err != nil {
@@ -89,7 +103,25 @@ func (s *MultiServer) Names() []string { return append([]string(nil), s.names...
 // Edits returns the number of applied edits. Valid after Wait.
 func (s *MultiServer) Edits() int64 { return s.edits.Value() }
 
+// Stats returns the front door's counters.
+func (s *MultiServer) Stats() *stats.Counters { return s.opts.Counters }
+
+// Drain flips the server read-only for session-mode mutations.
+func (s *MultiServer) Drain() { s.front.drain() }
+
+// Undrain restores full service.
+func (s *MultiServer) Undrain() { s.front.undrain() }
+
+// Shutdown drains, closes the listener, flushes live sessions, and waits.
+func (s *MultiServer) Shutdown() error {
+	s.front.drain()
+	s.listener.Close()
+	s.front.shutdown()
+	return s.Wait()
+}
+
 func (s *MultiServer) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	defer s.front.shutdown()
 	for {
 		socket, err := s.listener.Accept()
 		if err != nil {
@@ -106,46 +138,94 @@ func (s *MultiServer) connTask(socket net.Conn) task.Func {
 			return err
 		}
 		edits := data[len(s.names)].(*mergeable.Counter)
-		current := -1
 		r := bufio.NewReader(socket)
-		for {
-			line, err := r.ReadString('\n')
-			if err != nil {
-				return nil
-			}
-			line = strings.TrimSpace(line)
+		first, err := r.ReadString('\n')
+		if err != nil {
+			return nil
+		}
+		first = strings.TrimSpace(first)
+		if isHandshake(first) {
+			return s.front.serve(socket, r, first, sessionHandler{
+				apply:    func(sess *Session, cmd string) sessionOutcome { return s.applyMulti(sess, cmd, data) },
+				sync:     ctx.Sync,
+				onMutate: edits.Inc,
+			})
+		}
+		s.opts.Counters.Inc("legacy")
+		current := -1
+		return legacyLoop(ctx, socket, r, first, func(line string) legacyOutcome {
 			if name, ok := strings.CutPrefix(line, "USE "); ok {
 				idx := s.docIndex(strings.TrimSpace(name))
 				if idx < 0 {
-					fmt.Fprintf(socket, "ERR no document %q\n", name)
-					continue
+					return legacyOutcome{status: fmt.Sprintf("ERR no document %q", name), noSync: true}
 				}
 				current = idx
-				fmt.Fprintf(socket, "OK %s\n", strconv.Quote(data[idx].(*mergeable.Text).String()))
-				continue
+				doc := data[idx].(*mergeable.Text)
+				return legacyOutcome{
+					status:  "OK",
+					payload: func() string { return strconv.Quote(doc.String()) },
+					noSync:  true,
+				}
 			}
 			if line == "LIST" {
-				fmt.Fprintf(socket, "OK %s\n", strconv.Quote(strings.Join(s.names, ",")))
-				continue
+				return legacyOutcome{
+					status:  "OK",
+					payload: func() string { return strconv.Quote(strings.Join(s.names, ",")) },
+					noSync:  true,
+				}
 			}
 			if current < 0 {
-				fmt.Fprintf(socket, "ERR select a document with USE first\n")
-				continue
+				return legacyOutcome{status: "ERR select a document with USE first", noSync: true}
 			}
-			doc := data[current].(*mergeable.Text)
-			reply, mutated, quit := applyRequest(doc, line)
+			reply, mutated, quit := applyRequest(data[current].(*mergeable.Text), line)
 			if mutated {
 				edits.Inc()
 			}
-			if err := ctx.Sync(); err != nil {
-				fmt.Fprintf(socket, "ERR %v\n", err)
-				return err
+			doc := data[current].(*mergeable.Text)
+			return legacyOutcome{
+				status:  reply,
+				payload: func() string { return strconv.Quote(doc.String()) },
+				quit:    quit,
 			}
-			fmt.Fprintf(socket, "%s %s\n", reply, strconv.Quote(doc.String()))
-			if quit {
-				return nil
-			}
+		})
+	}
+}
+
+// applyMulti executes one session-mode command against this connection
+// task's copies, with the document selection read from (and written to)
+// the session so it survives reconnects.
+func (s *MultiServer) applyMulti(sess *Session, cmd string, data []mergeable.Mergeable) sessionOutcome {
+	if name, ok := strings.CutPrefix(cmd, "USE "); ok {
+		idx := s.docIndex(strings.TrimSpace(name))
+		if idx < 0 {
+			return sessionOutcome{status: fmt.Sprintf("ERR no document %q", name), noSync: true}
 		}
+		sess.setDocIdx(idx)
+		doc := data[idx].(*mergeable.Text)
+		return sessionOutcome{
+			status:  "OK",
+			payload: func() string { return strconv.Quote(doc.String()) },
+			noSync:  true,
+		}
+	}
+	if cmd == "LIST" {
+		return sessionOutcome{
+			status:  "OK",
+			payload: func() string { return strconv.Quote(strings.Join(s.names, ",")) },
+			noSync:  true,
+		}
+	}
+	idx := sess.getDocIdx()
+	if idx < 0 {
+		return sessionOutcome{status: "ERR select a document with USE first", noSync: true}
+	}
+	doc := data[idx].(*mergeable.Text)
+	reply, mutated, quit := applyRequest(doc, cmd)
+	return sessionOutcome{
+		status:  reply,
+		payload: func() string { return strconv.Quote(doc.String()) },
+		mutated: mutated,
+		quit:    quit,
 	}
 }
 
@@ -156,15 +236,4 @@ func (s *MultiServer) docIndex(name string) int {
 		}
 	}
 	return -1
-}
-
-// Use selects the named document for subsequent edits on this client and
-// returns its current content.
-func (c *Client) Use(name string) (string, error) {
-	return c.roundtrip("USE %s", name)
-}
-
-// List returns the comma-joined document names hosted by a MultiServer.
-func (c *Client) List() (string, error) {
-	return c.roundtrip("LIST")
 }

@@ -10,6 +10,14 @@
 // Concurrent edits from different clients are reconciled by the OT merge
 // exactly as in a classic collaborative editor: no locks, no rejected
 // edits, every client converges onto the same document.
+//
+// On top of that core sits a resilient front door (see front.go and
+// DESIGN.md §13): server-issued sessions with a bounded replay window
+// give exactly-once request processing across reconnects, an admission
+// gate sheds overload with explicit BUSY replies, and a draining server
+// degrades to read-only instead of going dark. Connections whose first
+// line is HELLO or RESUME get the session protocol; anything else is
+// served in the original sessionless mode, byte-for-byte compatible.
 package collab
 
 import (
@@ -20,34 +28,54 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/memnet"
 	"repro/internal/mergeable"
+	"repro/internal/stats"
 	"repro/internal/task"
 )
 
+// Listener is the accept side of a transport; *memnet.Listener and
+// *faultnet.Listener both satisfy it, so the same server runs hermetic
+// and under injected chaos.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Close() error
+}
+
 // Server is a running collaborative document server. Create one with
-// Serve; stop it by closing the listener (and the clients).
+// Serve or ServeWith; stop it by closing the listener (or Shutdown).
 type Server struct {
-	listener *memnet.Listener
+	listener Listener
 	doc      *mergeable.Text
 	edits    *mergeable.Counter
+	front    *front
+	opts     Options
 	done     chan struct{}
 	err      error
 }
 
 // Serve starts a server for a single shared document with the given
-// initial content. It returns immediately; the deterministic core runs
-// until the listener closes and every connection task has completed.
-func Serve(listener *memnet.Listener, initial string) *Server {
+// initial content and default options. It returns immediately; the
+// deterministic core runs until the listener closes and every connection
+// task has completed.
+func Serve(listener Listener, initial string) *Server {
+	return ServeWith(listener, initial, Options{})
+}
+
+// ServeWith starts a server with explicit front-door options (admission
+// gates, eviction seed, counters, tracer).
+func ServeWith(listener Listener, initial string, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
 		listener: listener,
 		doc:      mergeable.NewText(initial),
 		edits:    mergeable.NewCounter(0),
+		front:    newFront(opts),
+		opts:     opts,
 		done:     make(chan struct{}),
 	}
 	go func() {
 		defer close(s.done)
-		s.err = task.Run(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		s.err = task.RunWith(task.RunConfig{Obs: opts.Tracer}, func(ctx *task.Ctx, data []mergeable.Mergeable) error {
 			ctx.Spawn(s.acceptTask, data...)
 			for {
 				if _, err := ctx.MergeAny(); err != nil {
@@ -77,8 +105,35 @@ func (s *Server) Document() string { return s.doc.String() }
 // Edits returns the number of applied edit requests. Valid after Wait.
 func (s *Server) Edits() int64 { return s.edits.Value() }
 
+// Stats returns the front door's counters (admitted, shed, resumed,
+// replayed, evicted, busy_rate, busy_merges, degraded_get, ...).
+func (s *Server) Stats() *stats.Counters { return s.opts.Counters }
+
+// Sessions returns the number of currently live sessions.
+func (s *Server) Sessions() int { return s.front.table.live() }
+
+// Drain flips the server read-only: GETs are served, session mutations
+// refused with a typed READONLY reason the client surfaces as
+// ErrReadOnly.
+func (s *Server) Drain() { s.front.drain() }
+
+// Undrain restores full service.
+func (s *Server) Undrain() { s.front.undrain() }
+
+// Shutdown drains, closes the listener, flushes every live session so
+// their connection tasks complete, and waits for the task tree to exit.
+func (s *Server) Shutdown() error {
+	s.front.drain()
+	s.listener.Close()
+	s.front.shutdown()
+	return s.Wait()
+}
+
 // acceptTask is Listing 3's accept(): clone a connection task per client.
+// On listener close it flushes live sessions so every attached connection
+// task winds down before the accept task's exit lets the root finish.
 func (s *Server) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	defer s.front.shutdown()
 	for {
 		socket, err := s.listener.Accept()
 		if err != nil {
@@ -89,7 +144,9 @@ func (s *Server) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
 }
 
 // connTask is Listing 3's conn(): refresh the inherited stale copy, then
-// serve edit requests, syncing after each one.
+// serve edit requests, syncing after each one. The first line selects the
+// protocol: HELLO/RESUME enters session mode, anything else is served in
+// the original sessionless mode.
 func (s *Server) connTask(socket net.Conn) task.Func {
 	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
 		defer socket.Close()
@@ -99,27 +156,80 @@ func (s *Server) connTask(socket net.Conn) task.Func {
 		doc := data[0].(*mergeable.Text)
 		edits := data[1].(*mergeable.Counter)
 		r := bufio.NewReader(socket)
-		for {
-			line, err := r.ReadString('\n')
-			if err != nil {
-				return nil // client hung up
-			}
-			reply, mutated, quit := applyRequest(doc, strings.TrimSpace(line))
+		first, err := r.ReadString('\n')
+		if err != nil {
+			return nil // client hung up before a request
+		}
+		first = strings.TrimSpace(first)
+		if isHandshake(first) {
+			return s.front.serve(socket, r, first, sessionHandler{
+				apply: func(_ *Session, cmd string) sessionOutcome {
+					reply, mutated, quit := applyRequest(doc, cmd)
+					return sessionOutcome{
+						status:  reply,
+						payload: func() string { return strconv.Quote(doc.String()) },
+						mutated: mutated,
+						quit:    quit,
+					}
+				},
+				sync:     ctx.Sync,
+				onMutate: edits.Inc,
+			})
+		}
+		s.opts.Counters.Inc("legacy")
+		return legacyLoop(ctx, socket, r, first, func(line string) legacyOutcome {
+			reply, mutated, quit := applyRequest(doc, line)
 			if mutated {
 				edits.Inc()
 			}
+			return legacyOutcome{
+				status:  reply,
+				payload: func() string { return strconv.Quote(doc.String()) },
+				quit:    quit,
+			}
+		})
+	}
+}
+
+// legacyOutcome is one handled request of the original sessionless
+// protocol. payload (when non-nil) renders the reply's argument after the
+// request's merge; noSync answers from local state without merging (the
+// multi-document USE/LIST commands).
+type legacyOutcome struct {
+	status  string
+	payload func() string
+	quit    bool
+	noSync  bool
+}
+
+// legacyLoop serves the original sessionless protocol: apply, sync, reply
+// with the post-merge document. first is the already-read opening line.
+func legacyLoop(ctx *task.Ctx, socket net.Conn, r *bufio.Reader, first string,
+	handle func(line string) legacyOutcome) error {
+	line := first
+	for {
+		out := handle(line)
+		if !out.noSync {
 			if err := ctx.Sync(); err != nil { // merge this request's edit
 				fmt.Fprintf(socket, "ERR %v\n", err)
 				return err
 			}
-			// The reply always carries the post-merge document, so the
-			// client sees concurrent edits no later than its next
-			// round-trip.
-			fmt.Fprintf(socket, "%s %s\n", reply, strconv.Quote(doc.String()))
-			if quit {
-				return nil
-			}
 		}
+		// The reply carries the post-merge document, so the client sees
+		// concurrent edits no later than its next round-trip.
+		if out.payload != nil {
+			fmt.Fprintf(socket, "%s %s\n", out.status, out.payload())
+		} else {
+			fmt.Fprintln(socket, out.status)
+		}
+		if out.quit {
+			return nil
+		}
+		next, err := r.ReadString('\n')
+		if err != nil {
+			return nil // client hung up
+		}
+		line = strings.TrimSpace(next)
 	}
 }
 
@@ -186,64 +296,3 @@ func clamp(v, lo, hi int) int {
 	}
 	return v
 }
-
-// Client is a test/demo client for the collaborative server.
-type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-// Dial connects a new client.
-func Dial(listener *memnet.Listener) (*Client, error) {
-	conn, err := listener.Dial()
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
-}
-
-// roundtrip sends one request line and parses the reply.
-func (c *Client) roundtrip(format string, args ...any) (string, error) {
-	if _, err := fmt.Fprintf(c.conn, format+"\n", args...); err != nil {
-		return "", err
-	}
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	line = strings.TrimSpace(line)
-	status, rest, _ := strings.Cut(line, " ")
-	if status != "OK" {
-		return "", fmt.Errorf("collab: server: %s %s", status, rest)
-	}
-	doc, err := strconv.Unquote(strings.TrimSpace(rest))
-	if err != nil {
-		return "", fmt.Errorf("collab: bad reply %q: %w", line, err)
-	}
-	return doc, nil
-}
-
-// Insert inserts text at pos and returns the post-merge document.
-func (c *Client) Insert(pos int, text string) (string, error) {
-	return c.roundtrip("INS %d %s", pos, strconv.Quote(text))
-}
-
-// Delete removes n runes at pos and returns the post-merge document.
-func (c *Client) Delete(pos, n int) (string, error) {
-	return c.roundtrip("DEL %d %d", pos, n)
-}
-
-// Get fetches the current document.
-func (c *Client) Get() (string, error) {
-	return c.roundtrip("GET")
-}
-
-// Bye ends the session gracefully and closes the connection.
-func (c *Client) Bye() error {
-	_, err := c.roundtrip("BYE")
-	c.conn.Close()
-	return err
-}
-
-// Close terminates the connection without a goodbye.
-func (c *Client) Close() { c.conn.Close() }

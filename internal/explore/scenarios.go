@@ -1,11 +1,14 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/collab"
 	"repro/internal/dist"
 	"repro/internal/faultnet"
+	"repro/internal/memnet"
 	"repro/internal/mergeable"
 	"repro/internal/task"
 )
@@ -333,9 +336,150 @@ func Churn() Scenario {
 	}
 }
 
+// sessionWaitDetach blocks until the server has registered one more
+// detach than base — the decision path needs the detach on the books
+// before pumping the logical clock, or the eviction it expects would
+// race the server's notice of the dead socket.
+func sessionWaitDetach(srv *collab.Server, base int64) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Get("detached") <= base {
+		if time.Now().After(deadline) {
+			return errors.New("session: detach was never observed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
+// Session explores the collaborative front door's session churn: after
+// each of client A's edits the decision stream picks continue, a
+// drop+resume, a drop left idle until B's traffic evicts the session
+// (then a fresh HELLO), or a lost-ack retransmit through the replay
+// window. Client B spends a fixed total edit budget — partly pumped as
+// eviction traffic, the rest at the end — so every decision path
+// produces the same marker multiset, which (with the exact edit counter)
+// is the deterministic fingerprint: 4³ = 64 schedules, one outcome.
+// Exactly-once across every churn combination is the property under
+// test — a lost or double-applied edit on any path splits the
+// fingerprint.
+func Session() Scenario {
+	return Scenario{
+		Name:          "session",
+		Deterministic: true,
+		Fingerprint: func(data []mergeable.Mergeable) uint64 {
+			doc := data[0].(*mergeable.Text).String()
+			edits := data[1].(*mergeable.Counter).Value()
+			return collab.CanonicalFingerprint(doc) ^ uint64(edits)*0x9E3779B97F4A7C15
+		},
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			finalDoc := mergeable.NewText("")
+			finalEdits := mergeable.NewCounter(0)
+			l := memnet.Listen(16)
+			srv := collab.ServeWith(l, "", collab.Options{
+				Seed:      1,
+				Admission: collab.Admission{IdleTicks: 3, IdleJitter: 2},
+			})
+			env.Defer(func() { l.Close(); srv.Wait() })
+
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				opts := collab.ClientOptions{
+					RequestTimeout: 10 * time.Second,
+					NoAutoResume:   true, // churn is explicit; nothing may hide behind retries
+				}
+				a, err := collab.DialWith(l, opts)
+				if err != nil {
+					return err
+				}
+				defer a.Close()
+				b, err := collab.DialWith(l, opts)
+				if err != nil {
+					return err
+				}
+				defer b.Close()
+
+				const bBudget = 18
+				bNext := 0
+				pumpB := func(n int) error {
+					for ; n > 0 && bNext < bBudget; n-- {
+						if _, err := b.Insert(0, fmt.Sprintf("b%d;", bNext)); err != nil {
+							return err
+						}
+						bNext++
+					}
+					return nil
+				}
+
+				for i := 0; i < 3; i++ {
+					marker := fmt.Sprintf("a%d;", i)
+					switch env.Decide(fmt.Sprintf("sess.a%d", i), 4) {
+					case 0: // plain edit
+						if _, err := a.Insert(0, marker); err != nil {
+							return err
+						}
+					case 1: // transport dies after the ack; resume
+						if _, err := a.Insert(0, marker); err != nil {
+							return err
+						}
+						a.Drop()
+						if err := a.Reconnect(); err != nil {
+							return fmt.Errorf("session: resume after drop: %w", err)
+						}
+					case 2: // detach long enough for eviction; fresh session
+						if _, err := a.Insert(0, marker); err != nil {
+							return err
+						}
+						base := srv.Stats().Get("detached")
+						a.Drop()
+						if err := sessionWaitDetach(srv, base); err != nil {
+							return err
+						}
+						if err := pumpB(6); err != nil { // 6 ticks > IdleTicks+jitter
+							return err
+						}
+						if err := a.Reconnect(); !errors.Is(err, collab.ErrSessionExpired) {
+							return fmt.Errorf("session: resume after eviction: err = %v, want ErrSessionExpired", err)
+						}
+						if err := a.NewSession(); err != nil {
+							return err
+						}
+					case 3: // ack lost mid-flight; the replay window dedupes
+						if err := a.BeginInsert(0, marker); err != nil {
+							return err
+						}
+						a.Drop()
+						if err := a.Reconnect(); err != nil {
+							return fmt.Errorf("session: resume for dedup: %w", err)
+						}
+						if _, err := a.Finish(); err != nil {
+							return err
+						}
+					}
+				}
+				if err := pumpB(bBudget); err != nil { // B's remaining budget
+					return err
+				}
+				if err := a.Bye(); err != nil {
+					return err
+				}
+				if err := b.Bye(); err != nil {
+					return err
+				}
+				l.Close()
+				if err := srv.Wait(); err != nil {
+					return err
+				}
+				data[0].(*mergeable.Text).Insert(0, srv.Document())
+				data[1].(*mergeable.Counter).Add(srv.Edits())
+				return nil
+			}
+			return fn, []mergeable.Mergeable{finalDoc, finalEdits}
+		},
+	}
+}
+
 // Builtins returns the built-in scenarios in a stable order.
 func Builtins() []Scenario {
-	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn()}
+	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn(), Session()}
 }
 
 // BuiltinScenario looks a built-in up by name.

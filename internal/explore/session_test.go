@@ -1,0 +1,44 @@
+package explore
+
+import (
+	"testing"
+)
+
+// TestSessionExhaustive enumerates every session-churn decision path —
+// continue / drop+resume / evict+new-session / lost-ack-dedup after each
+// of client A's edits, 4³ = 64 schedules — and demands a clean sweep
+// with exactly one outcome: exactly-once editing survives every churn
+// combination, and the final state is bit-identical across all of them.
+func TestSessionExhaustive(t *testing.T) {
+	res, err := Run(Session(), Options{Strategy: Exhaustive, Schedules: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("violation on session churn: %v", res.Violations[0])
+	}
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost schedules = %d, want 0", res.Lost)
+	}
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want exactly one (exactly-once broke on some churn path)", len(res.Outcomes))
+	}
+}
+
+// TestSessionRandomWalkSmoke is the fast always-on leg: a few random
+// churn schedules, all clean, one fingerprint.
+func TestSessionRandomWalkSmoke(t *testing.T) {
+	res, err := Run(Session(), Options{Schedules: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("violations on session random walk: %v", res.Violations[0])
+	}
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want exactly one", len(res.Outcomes))
+	}
+}

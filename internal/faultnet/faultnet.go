@@ -95,22 +95,25 @@ type Network struct {
 	cfg Config
 
 	mu          sync.Mutex
-	partitioned map[int]bool
+	partitioned map[int]int // remaining swallow budget, or partitionForever
 
 	counters *stats.Counters
 }
+
+// partitionForever marks an unbounded partition (explicit Heal required).
+const partitionForever = -1
 
 // New creates a network with the given fault configuration.
 func New(cfg Config) *Network {
 	return &Network{
 		cfg:         cfg,
-		partitioned: make(map[int]bool),
+		partitioned: make(map[int]int),
 		counters:    stats.NewCounters(),
 	}
 }
 
 // Stats exposes the network's fault counters ("delay", "drop", "reset",
-// "dial_fail", "dial_closed", "partition_swallow").
+// "dial_fail", "dial_closed", "partition_swallow", "partition_heal").
 func (n *Network) Stats() *stats.Counters { return n.counters }
 
 // Partition blackholes node: every write on the node's connections — in
@@ -118,7 +121,21 @@ func (n *Network) Stats() *stats.Counters { return n.counters }
 // open, so only deadline or heartbeat machinery can notice.
 func (n *Network) Partition(node int) {
 	n.mu.Lock()
-	n.partitioned[node] = true
+	n.partitioned[node] = partitionForever
+	n.mu.Unlock()
+}
+
+// PartitionFor blackholes node until `swallows` writes have been eaten,
+// then auto-heals. Healing on traffic count rather than wall time keeps
+// the pulse meaningful at any load: the partition is guaranteed to be
+// observed by exactly that many writes, whether they take a microsecond
+// or a minute to arrive. swallows <= 0 is a no-op.
+func (n *Network) PartitionFor(node, swallows int) {
+	if swallows <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.partitioned[node] = swallows
 	n.mu.Unlock()
 }
 
@@ -129,10 +146,26 @@ func (n *Network) Heal(node int) {
 	n.mu.Unlock()
 }
 
-func (n *Network) isPartitioned(node int) bool {
+// swallowPartition consumes one write against node's partition budget,
+// reporting whether the write is blackholed. A bounded partition whose
+// budget hits zero heals itself.
+func (n *Network) swallowPartition(node int) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.partitioned[node]
+	budget, ok := n.partitioned[node]
+	if !ok {
+		return false
+	}
+	if budget != partitionForever {
+		budget--
+		if budget <= 0 {
+			delete(n.partitioned, node)
+			n.counters.Inc("partition_heal")
+		} else {
+			n.partitioned[node] = budget
+		}
+	}
+	return true
 }
 
 // Listener wraps a memnet listener for one node; both ends of every
@@ -273,7 +306,7 @@ func (c *conn) Write(b []byte) (int, error) {
 		c.mu.Unlock()
 	}
 
-	if c.net.isPartitioned(c.node) {
+	if c.net.swallowPartition(c.node) {
 		c.net.counters.Inc("partition_swallow")
 		return len(b), nil
 	}

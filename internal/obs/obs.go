@@ -62,6 +62,9 @@ const (
 	// Elastic membership.
 	KindMember    // membership transition (join, drain, leave)
 	KindRebalance // in-flight task moved off a draining node
+
+	// Collaborative front door.
+	KindSession // session lifecycle (hello, resume, evict)
 )
 
 var kindNames = [...]string{
@@ -80,6 +83,7 @@ var kindNames = [...]string{
 	KindReplay:     "replay",
 	KindMember:     "member",
 	KindRebalance:  "rebalance",
+	KindSession:    "session",
 }
 
 // String returns the kind's short name.
