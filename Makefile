@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill soak-collab explore explore-deep churn fuzz fuzz-ot fuzz-batch examples
+.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill soak-collab soak-mem explore explore-deep churn compact fuzz fuzz-ot fuzz-batch fuzz-segment examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -26,7 +26,7 @@ bench:
 # Quick trajectory with the allocation gate: fails if a spawn-merge
 # roundtrip allocates more than the committed budget (see cmd/bench).
 bench-gate:
-	$(GO) run ./cmd/bench -quick -gate -out BENCH_PR7.quick.json
+	$(GO) run ./cmd/bench -quick -gate -out BENCH_PR9.quick.json
 
 # Regenerates Figure 3 and the Section III analysis (scaled-down sweep).
 figure3:
@@ -57,6 +57,13 @@ soak-trace:
 soak-collab:
 	$(GO) run ./cmd/soak -collab -duration 30s
 
+# Bounded-memory soak: compressed long-lived rounds where the bounded run
+# (history GC + WAL rotation + checkpoint pruning) must hold retained
+# history, journal disk and post-GC heap flat while staying bit-identical
+# to an unbounded reference run and to a full journal replay.
+soak-mem:
+	$(GO) run ./cmd/soak -mem -duration 30s
+
 # Bounded schedule exploration: exhaustively enumerate the MergeAny
 # fixtures, then random-walk the deterministic and chaos fixtures. The
 # whole pass fits in a CI smoke budget (well under 60s).
@@ -67,6 +74,7 @@ explore:
 	$(GO) run ./cmd/explore -scenario fanout -schedules 32 -procs 1,4
 	$(GO) run ./cmd/explore -scenario chaos -schedules 16
 	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128
+	$(GO) run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048
 
 # Deep exploration for the nightly job: big random-walk budgets, a
 # GOMAXPROCS sweep, crash-point sweeps on the journaled fixture, and
@@ -81,9 +89,12 @@ explore-deep:
 	$(GO) run ./cmd/explore -scenario churn -strategy exhaustive -schedules 4000 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario churn -schedules 16 -crash -crash-points 3 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario compact -schedules 8 -crash -crash-points 5 -segment-bytes 256 -retain-ckpts 1 -seeds explore-seeds
 	$(GO) run ./cmd/soak -churn -duration 60s
 	$(GO) run ./cmd/soak -collab -duration 120s
 	$(GO) run ./cmd/soak -explore -duration 120s
+	$(GO) run ./cmd/soak -mem -duration 120s
 
 # Elastic-cluster churn smoke (<10s of runtime): a bounded exhaustive
 # enumeration of membership schedules (join/drain/leave/kill × explored
@@ -92,6 +103,15 @@ explore-deep:
 churn:
 	$(GO) run ./cmd/explore -scenario churn -strategy exhaustive -schedules 300
 	$(GO) run ./cmd/soak -churn -duration 4s
+
+# Compaction smoke (<15s of runtime): exhaustively enumerate the compact
+# scenario's decision space (GC policy × abort × drain × MergeAny pick
+# order must land on one fingerprint), crash-sweep it with forced WAL
+# rotation + checkpoint pruning, and run a short bounded-memory soak.
+compact:
+	$(GO) run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048
+	$(GO) run ./cmd/explore -scenario compact -schedules 4 -crash -segment-bytes 256 -retain-ckpts 1
+	$(GO) run ./cmd/soak -mem -duration 8s
 
 # Journal recovery fuzzing (arbitrary WAL bytes must never panic and
 # must classify as corrupt / torn-tail / no-run).
@@ -107,6 +127,13 @@ fuzz-ot:
 # must produce op sequences identical to the pairwise shape engine.
 fuzz-batch:
 	$(GO) test ./internal/ot -run '^$$' -fuzz FuzzBatchedTransform -fuzztime 30s -fuzzminimizetime 10x
+
+# Segmented-WAL recovery fuzzing: arbitrary bytes as a rotated segment
+# (with and without a stale base wal.log underneath) must recover to a
+# classified outcome, never resurrect truncated history, and survive
+# re-open after recovery.
+fuzz-segment:
+	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzSegmentRecover -fuzztime 30s -fuzzminimizetime 10x
 
 examples:
 	for ex in quickstart server simulation collabtext semaphore distributed bank pipeline stencil; do \

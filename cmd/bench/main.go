@@ -1,5 +1,5 @@
 // Command bench runs the repository's core benchmark families outside `go
-// test` and writes a BENCH_PR7.json trajectory file, so successive PRs can
+// test` and writes a BENCH_PR9.json trajectory file, so successive PRs can
 // track ns/op and allocs/op against the recorded pre-PR baseline instead
 // of eyeballing `go test -bench` output.
 //
@@ -30,6 +30,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/journal"
 	"repro/internal/mergeable"
 	"repro/internal/obs"
 	"repro/internal/ot"
@@ -37,27 +38,29 @@ import (
 )
 
 // baselines are the pre-PR numbers for each family, taken from the
-// committed BENCH_PR2.json trajectory measured at b50f421 (the state
-// before the batched run-length transform engine and the pooled-frame
-// allocation work) on this machine. Re-using the committed trajectory
-// keeps the baselines exactly the numbers past CI runs recorded;
-// allocs/op are exact and session-independent, ns/op carry this
-// single-core box's ~±8% run-to-run drift, so judge ns ratios with that
-// margin. Families without a pre-PR equivalent (the batched_transform
-// pair did not exist; its in-run ablation partner *is* its baseline)
-// carry zeros.
+// committed BENCH_PR7.json trajectory measured at 95016df (the state
+// before history compaction, WAL segment rotation and COW chunk reclaim)
+// on this machine. Re-using the committed trajectory keeps the baselines
+// exactly the numbers past CI runs recorded; allocs/op are exact and
+// session-independent, ns/op carry this single-core box's ~±8%
+// run-to-run drift, so judge ns ratios with that margin. Families
+// without a pre-PR equivalent (the compaction families did not exist;
+// their in-run GC-off / unbounded ablation partners *are* their
+// baselines) carry zeros.
 var baselines = map[string]baseline{
-	"spawn_copy_overhead":                {NsPerOp: 62721, AllocsPerOp: 760},
-	"merge_many_structs_64x100_serial":   {NsPerOp: 3245633, AllocsPerOp: 48020},
-	"merge_many_structs_64x100_parallel": {NsPerOp: 3201682, AllocsPerOp: 48020},
-	"spawn_merge_roundtrip":              {NsPerOp: 3838, AllocsPerOp: 41},
+	"spawn_copy_overhead":                {NsPerOp: 59922, AllocsPerOp: 480},
+	"merge_many_structs_64x100_serial":   {NsPerOp: 581530, AllocsPerOp: 7939},
+	"merge_many_structs_64x100_parallel": {NsPerOp: 560454, AllocsPerOp: 7939},
+	"spawn_merge_roundtrip":              {NsPerOp: 1808, AllocsPerOp: 7},
 	// Same workload as spawn_merge_roundtrip, run through the hook-bearing
 	// RunWith entry point with tracing disabled. The observability layer
 	// must be free when off (BenchmarkSpawnMergeTraceOff guards allocs/op
 	// exactly).
-	"spawn_merge_trace_off":     {NsPerOp: 3693, AllocsPerOp: 41},
-	"queue_push_pop":            {NsPerOp: 281, AllocsPerOp: 4},
-	"remote_fanout_encode_once": {NsPerOp: 792800, AllocsPerOp: 3395},
+	"spawn_merge_trace_off":      {NsPerOp: 2470, AllocsPerOp: 7},
+	"queue_push_pop":             {NsPerOp: 90, AllocsPerOp: 2},
+	"batched_transform":          {NsPerOp: 56493, AllocsPerOp: 513},
+	"batched_transform_pairwise": {NsPerOp: 18441664, AllocsPerOp: 517},
+	"remote_fanout_encode_once":  {NsPerOp: 648437, AllocsPerOp: 3307},
 }
 
 // roundtripAllocBudget is the committed allocation budget for one
@@ -215,6 +218,28 @@ func families() []family {
 				ot.TransformAgainst(client, server)
 			}
 		}},
+		// Compaction families (PR 9): the same long-lived spawn/merge wave
+		// workload with history GC on (the production default) and off —
+		// the ablation partner is the baseline. The gap in bytes/op is the
+		// retained-history cost compaction reclaims; ns/op shows the trim
+		// passes pay for themselves on long runs.
+		{"compaction_history_gc_on", func(b *testing.B) {
+			compactionWaves(b, task.HistoryGC{})
+		}},
+		{"compaction_history_gc_off", func(b *testing.B) {
+			compactionWaves(b, task.HistoryGC{Disable: true})
+		}},
+		// Journaled variant: a multi-root-merge run against a 4 KiB WAL
+		// rotation threshold with checkpoint pruning, versus one unbounded
+		// segment keeping every checkpoint. Measures the full durability
+		// path (fsyncs included), so ns/op dwarfs the in-memory families;
+		// the comparison of interest is rotate vs unbounded.
+		{"compaction_journal_rotate", func(b *testing.B) {
+			compactionJournal(b, 4<<10, 2)
+		}},
+		{"compaction_journal_unbounded", func(b *testing.B) {
+			compactionJournal(b, 0, 0)
+		}},
 		// BenchmarkRemoteFanout/encode-once: scatter one snapshot to a
 		// 4-node cluster with a single serialization.
 		{"remote_fanout_encode_once", func(b *testing.B) {
@@ -239,6 +264,79 @@ func families() []family {
 				}
 			}
 		}},
+	}
+}
+
+// compactionWaves is the long-lived-structure workload behind the
+// compaction_history_* families: 32 spawn/merge waves over a list and a
+// counter, with the list's value size clamped so retained op history is
+// the only quantity the GC knob changes.
+func compactionWaves(b *testing.B, h task.HistoryGC) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := mergeable.NewList[int]()
+		cnt := mergeable.NewCounter(0)
+		err := task.RunWith(task.RunConfig{History: h}, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+			for wave := 0; wave < 32; wave++ {
+				ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+					for k := 0; k < 8; k++ {
+						d[0].(*mergeable.List[int]).Append(k)
+					}
+					d[1].(*mergeable.Counter).Inc()
+					return nil
+				}, d...)
+				for k := 0; k < 8; k++ {
+					d[0].(*mergeable.List[int]).Append(-k)
+				}
+				if err := ctx.MergeAll(); err != nil {
+					return err
+				}
+				if lst := d[0].(*mergeable.List[int]); lst.Len() > 64 {
+					lst.DeleteN(0, lst.Len()-64)
+				}
+			}
+			return nil
+		}, l, cnt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// compactionJournal is the durability-path workload behind the
+// compaction_journal_* families: one journaled 8-wave run per iteration
+// in a fresh scratch directory, checkpointing on every root merge.
+func compactionJournal(b *testing.B, segBytes int64, retain int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-journal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := mergeable.NewList(0)
+		err = journal.Run(dir, journal.Options{
+			Encode:            dist.EncodeSnapshot,
+			Decode:            dist.DecodeSnapshot,
+			CheckpointEvery:   1,
+			SegmentBytes:      segBytes,
+			RetainCheckpoints: retain,
+		}, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+			for wave := 0; wave < 8; wave++ {
+				w := wave
+				ctx.Spawn(func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+					d[0].(*mergeable.List[int]).Append(w)
+					return nil
+				}, d...)
+				if err := ctx.MergeAll(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, l)
+		os.RemoveAll(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -341,7 +439,7 @@ func spanDump(path string) error {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: one short round per family")
-	out := flag.String("out", "BENCH_PR7.json", "trajectory file to write")
+	out := flag.String("out", "BENCH_PR9.json", "trajectory file to write")
 	gate := flag.Bool("gate", false, "fail (exit 1) if spawn_merge_roundtrip exceeds its allocs/op budget")
 	familyFilter := flag.String("family", "", "only run families whose name contains this substring")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured families to this file")
@@ -379,7 +477,7 @@ func main() {
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		BenchTime:      benchtime,
 		Rounds:         rounds,
-		BaselineCommit: "b50f421",
+		BaselineCommit: "95016df",
 		Families:       map[string]familyResult{},
 	}
 	if *cpuprofile != "" {

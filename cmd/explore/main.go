@@ -11,6 +11,8 @@
 //	go run ./cmd/explore -scenario anyorder -strategy exhaustive
 //	go run ./cmd/explore -scenario fanout -schedules 256 -procs 1,4,8
 //	go run ./cmd/explore -scenario fanout -crash
+//	go run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048
+//	go run ./cmd/explore -scenario compact -crash -segment-bytes 256 -retain-ckpts 1
 //	go run ./cmd/explore -scenario chaos -schedules 64 -seeds out/
 //	go run ./cmd/explore -scenario buggy -replay out/buggy-determinism-000.seed
 //
@@ -45,6 +47,8 @@ func main() {
 		replay    = flag.String("replay", "", "replay a persisted seed file instead of exploring")
 		crash     = flag.Bool("crash", false, "sweep injected crash points over every schedule")
 		points    = flag.Int("crash-points", 3, "crash boundaries per schedule with -crash")
+		segBytes  = flag.Int64("segment-bytes", 0, "WAL rotation threshold for -crash journals (0 = one unbounded segment)")
+		retain    = flag.Int("retain-ckpts", 0, "prune -crash journal checkpoints to the newest N (0 = keep all)")
 		failFast  = flag.Bool("fail-fast", false, "stop at the first violation")
 		list      = flag.Bool("list", false, "list built-in scenarios and exit")
 	)
@@ -99,9 +103,11 @@ func main() {
 	}
 	if *crash {
 		opts.Crash = &explore.CrashCheck{
-			Encode: dist.EncodeSnapshot,
-			Decode: dist.DecodeSnapshot,
-			Points: *points,
+			Encode:            dist.EncodeSnapshot,
+			Decode:            dist.DecodeSnapshot,
+			Points:            *points,
+			SegmentBytes:      *segBytes,
+			RetainCheckpoints: *retain,
 		}
 	}
 

@@ -48,6 +48,14 @@
 // merge backpressure) and demands explicit BUSY shedding with zero lost
 // or duplicated acked edits.
 //
+// With -mem the soak probes the bounded-memory guarantee: every round
+// runs a compressed endurance workload unbounded (history GC off, no
+// journal) and bounded (eager op-log GC, WAL segment rotation, checkpoint
+// pruning), demands bit-identical fingerprints, retained history a small
+// fraction of the unbounded run's, journal disk under a fixed bound at
+// every wave, a clean read-only Verify plus a full replay of the sealed
+// rotated journal, and a post-GC heap that stays flat across rounds.
+//
 //	go run ./cmd/soak -duration 30s
 //	go run ./cmd/soak -duration 30s -chaos
 //	go run ./cmd/soak -duration 30s -kill
@@ -72,6 +80,7 @@ import (
 
 	"repro"
 	"repro/internal/collab"
+	"repro/internal/cow"
 	"repro/internal/dist"
 	"repro/internal/explore"
 	"repro/internal/faultnet"
@@ -561,6 +570,287 @@ func churnSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistr
 	}
 }
 
+// Memory soak sizing: each round runs memWaves waves; even waves churn
+// the sequence structures and drain through MergeAll, odd waves apply
+// commuting counter/set effects and drain through MergeAny, so the
+// journal carries real picks across rotations while the final
+// fingerprint stays pick-order-independent.
+const (
+	memWaves        = 128
+	memTasks        = 3
+	memChurnOps     = 32
+	memCommuteOps   = 8
+	memValueCap     = 96
+	memSegmentBytes = 4 << 10
+)
+
+// memData returns fresh instances of the -mem workload's structures. The
+// workload keeps every value bounded — churn pairs inserts with deletes,
+// the root clamps after each merge, set elements repeat modulo a small
+// space — so the only unbounded growth is history: op logs in memory,
+// WAL segments and checkpoints on disk. Exactly the growth the
+// compaction layers must cap.
+func memData() []mergeable.Mergeable {
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = i
+	}
+	return []mergeable.Mergeable{
+		mergeable.NewList(vals...),
+		mergeable.NewText("bounded-memory-soak"),
+		mergeable.NewCounter(0),
+		mergeable.NewSet[int](),
+	}
+}
+
+// memFingerprint folds the -mem structures' fingerprints in data order.
+func memFingerprint(data []mergeable.Mergeable) uint64 {
+	fps := make([]uint64, len(data))
+	for i, m := range data {
+		fps[i] = m.Fingerprint()
+	}
+	return mergeable.CombineFingerprints(fps...)
+}
+
+// memWorkload is the compressed endurance workload behind -mem. Every
+// observable effect derives from seed; MergeAny appears only on waves
+// whose child effects commute, so the one fingerprint is reachable under
+// any pick order — journaled, resumed and unjournaled runs must all land
+// on it. onWave (may be nil) observes the root between waves without
+// touching the data.
+func memWorkload(seed int64, waves int, onWave func(wave int)) task.Func {
+	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		for wave := 0; wave < waves; wave++ {
+			churn := wave%2 == 0
+			for c := 0; c < memTasks; c++ {
+				childSeed := seed ^ int64(wave)*1000003 ^ int64(c)*7919
+				slot := wave*memTasks + c
+				ctx.Spawn(func(_ *task.Ctx, data []mergeable.Mergeable) error {
+					if churn {
+						r := rand.New(rand.NewSource(childSeed))
+						l := data[0].(*mergeable.List[int])
+						tx := data[1].(*mergeable.Text)
+						cnt := data[2].(*mergeable.Counter)
+						for i := 0; i < memChurnOps; i++ {
+							switch r.Intn(5) {
+							case 0:
+								l.Insert(r.Intn(l.Len()+1), r.Intn(1000))
+							case 1:
+								if l.Len() > 0 {
+									l.Delete(r.Intn(l.Len()))
+								}
+							case 2:
+								tx.Insert(r.Intn(tx.Len()+1), string(rune('a'+r.Intn(26))))
+							case 3:
+								if tx.Len() > 0 {
+									tx.Delete(r.Intn(tx.Len()), 1)
+								}
+							default:
+								cnt.Add(int64(r.Intn(100) - 50))
+							}
+						}
+						return nil
+					}
+					// Commuting effects only: this wave drains via MergeAny
+					// and any pick order must produce the same values.
+					cnt := data[2].(*mergeable.Counter)
+					set := data[3].(*mergeable.Set[int])
+					for i := 0; i < memCommuteOps; i++ {
+						cnt.Add(1 << uint((slot+i)%60))
+						set.Add((slot*memCommuteOps + i) % 251)
+					}
+					return nil
+				}, data...)
+			}
+			if churn {
+				if err := ctx.MergeAll(); err != nil {
+					return err
+				}
+			} else {
+				for c := 0; c < memTasks; c++ {
+					if _, err := ctx.MergeAny(); err != nil {
+						return err
+					}
+				}
+			}
+			// Root rebalance: clamp the merged values back under the cap so
+			// they cannot trend upward across thousands of waves.
+			l := data[0].(*mergeable.List[int])
+			if l.Len() > memValueCap {
+				l.DeleteN(memValueCap, l.Len()-memValueCap)
+			}
+			for l.Len() < 16 {
+				l.Append(l.Len())
+			}
+			tx := data[1].(*mergeable.Text)
+			if tx.Len() > memValueCap {
+				tx.Delete(memValueCap, tx.Len()-memValueCap)
+			}
+			if tx.Len() == 0 {
+				tx.Append("reseed")
+			}
+			if onWave != nil {
+				onWave(wave)
+			}
+		}
+		return nil
+	}
+}
+
+// retainedOps sums how many committed operations the structures' op logs
+// physically retain — the in-memory quantity history GC bounds.
+func retainedOps(data []mergeable.Mergeable) int {
+	type logger interface{ Log() *mergeable.Log }
+	total := 0
+	for _, m := range data {
+		if l, ok := m.(logger); ok {
+			total += l.Log().RetainedLen()
+		}
+	}
+	return total
+}
+
+// dirBytes sums the sizes of dir's entries — the journal's disk
+// footprint (live segment, any mid-rotation sibling, checkpoints).
+func dirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// memSoak is PR 9's bounded-memory acceptance harness: every round runs
+// the compressed endurance workload three ways — unbounded reference
+// (history GC off, no journal), bounded journaled run (eager GC, WAL
+// segment rotation, checkpoint pruning), and a full replay of the sealed
+// rotated journal — and demands bit-identical fingerprints, retained
+// history a fraction of the unbounded run's, journal disk under a fixed
+// bound at every wave, and a post-GC heap that stays flat across rounds.
+func memSoak(duration time.Duration, baseSeed int64, reg *repro.MetricsRegistry) {
+	counters := stats.NewCounters()
+	if reg != nil {
+		reg.AddCounters("mem", counters)
+	}
+	memOpts := func() journal.Options {
+		return journal.Options{
+			Encode:            dist.EncodeSnapshot,
+			Decode:            dist.DecodeSnapshot,
+			SegmentBytes:      memSegmentBytes,
+			RetainCheckpoints: 2,
+			History:           task.HistoryGC{Stats: counters},
+			Stats:             counters,
+		}
+	}
+	const diskBound = int64(6*memSegmentBytes + 64<<10)
+	r := rand.New(rand.NewSource(baseSeed))
+	deadline := time.Now().Add(duration)
+	var heapSamples []uint64
+	var maxDisk int64
+	rounds := 0
+	lastBounded, lastUnbounded := 0, 0
+
+	for rounds == 0 || time.Now().Before(deadline) {
+		seed := r.Int63()
+
+		// Unbounded reference: the fingerprint authority and the
+		// retained-history yardstick.
+		ref := memData()
+		if err := task.RunWith(task.RunConfig{History: task.HistoryGC{Disable: true}},
+			memWorkload(seed, memWaves, nil), ref...); err != nil {
+			log.Fatalf("mem reference run failed (seed %d): %v", seed, err)
+		}
+		want := memFingerprint(ref)
+		unbounded := retainedOps(ref)
+
+		// Bounded journaled run: eager history GC, rotating WAL, pruned
+		// checkpoints. Disk is probed after every wave.
+		dir, err := os.MkdirTemp("", "soak-mem-*")
+		if err != nil {
+			log.Fatalf("mkdir: %v", err)
+		}
+		data := memData()
+		onWave := func(int) {
+			if size := dirBytes(dir); size > maxDisk {
+				maxDisk = size
+			}
+			if maxDisk > diskBound {
+				fmt.Printf("MEM DISK VIOLATION: seed %d: journal dir grew to %d bytes (bound %d)\n", seed, maxDisk, diskBound)
+				os.Exit(1)
+			}
+		}
+		if err := journal.Run(dir, memOpts(), memWorkload(seed, memWaves, onWave), data...); err != nil {
+			log.Fatalf("mem journaled run failed (seed %d): %v", seed, err)
+		}
+		if got := memFingerprint(data); got != want {
+			fmt.Printf("MEM DETERMINISM VIOLATION: seed %d: bounded run fingerprint %016x != unbounded reference %016x\n", seed, got, want)
+			os.Exit(1)
+		}
+		bounded := retainedOps(data)
+		if bounded*4 > unbounded {
+			fmt.Printf("MEM COMPACTION VIOLATION: seed %d: GC-on run retains %d ops vs %d unbounded — history was not trimmed\n", seed, bounded, unbounded)
+			os.Exit(1)
+		}
+
+		// The sealed, rotated, pruned journal must verify read-only and
+		// replay end to end onto the same fingerprint.
+		if err := journal.Verify(dir); err != nil {
+			fmt.Printf("MEM JOURNAL VIOLATION: seed %d: sealed journal fails verification: %v\n", seed, err)
+			os.Exit(1)
+		}
+		out, err := journal.Resume(dir, memOpts(), memWorkload(seed, memWaves, nil))
+		if err != nil {
+			fmt.Printf("MEM REPLAY VIOLATION: seed %d: sealed journal replay failed: %v\n", seed, err)
+			os.Exit(1)
+		}
+		if got := memFingerprint(out); got != want {
+			fmt.Printf("MEM REPLAY VIOLATION: seed %d: replayed fingerprint %016x != reference %016x\n", seed, got, want)
+			os.Exit(1)
+		}
+		os.RemoveAll(dir)
+		lastBounded, lastUnbounded = bounded, unbounded
+		rounds++
+
+		// One post-GC heap sample per round: with values clamped and
+		// history trimmed, the live set must not trend upward.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapSamples = append(heapSamples, ms.HeapAlloc)
+	}
+
+	if counters.Get("compaction.wal.rotations") == 0 {
+		fmt.Println("WARNING: the WAL never rotated; the segment budget was never exceeded")
+		os.Exit(1)
+	}
+	if len(heapSamples) >= 4 {
+		base := heapSamples[len(heapSamples)/4]
+		last := heapSamples[len(heapSamples)-1]
+		if last > base*2+(32<<20) {
+			fmt.Printf("MEM GROWTH VIOLATION: post-GC heap grew from %d to %d bytes over %d rounds\n", base, last, rounds)
+			os.Exit(1)
+		}
+	}
+	allocd, reclaimed := cow.ChunkAccounting()
+	fmt.Printf("clean: %d mem rounds (%d waves × %d tasks each; %d rotations, %d segments deleted, %d checkpoints pruned, %d log trims)\n",
+		rounds, memWaves, memTasks,
+		counters.Get("compaction.wal.rotations"), counters.Get("compaction.wal.segments_deleted"),
+		counters.Get("compaction.ckpt.pruned"), counters.Get("compaction.log.trims"))
+	fmt.Printf("bounded: retained ops %d vs %d unbounded; journal disk peak %d bytes (bound %d); cow chunks %d allocated / %d reclaimed\n",
+		lastBounded, lastUnbounded, maxDisk, diskBound, allocd, reclaimed)
+	if len(heapSamples) > 0 {
+		fmt.Printf("heap: first %.1f MB, last %.1f MB over %d post-GC samples\n",
+			float64(heapSamples[0])/(1<<20), float64(heapSamples[len(heapSamples)-1])/(1<<20), len(heapSamples))
+	}
+	fmt.Printf("counters: %s\n", counters)
+}
+
 // taskProbe builds a random-shaped task tree from seed and returns its
 // result fingerprint. The shape and every operation derive from the seed,
 // so two executions must agree.
@@ -944,6 +1234,7 @@ func main() {
 	trace := flag.Bool("trace", false, "soak the span tracer: traced probes must be bit-identical across GOMAXPROCS 1/4")
 	explores := flag.Bool("explore", false, "soak the schedule explorer: rotate the built-in scenarios under random-walk exploration")
 	collabs := flag.Bool("collab", false, "soak the collab front door: chaos rounds must complete via reconnect+resume and converge, an overload round must shed without loss")
+	mem := flag.Bool("mem", false, "soak bounded memory: journaled GC-on runs must match the unbounded reference bit for bit while history, WAL and heap stay bounded")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
 	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
@@ -992,6 +1283,10 @@ func main() {
 	}
 	if *collabs {
 		collabSoak(*duration, *seed, reg)
+		return
+	}
+	if *mem {
+		memSoak(*duration, *seed, reg)
 		return
 	}
 	var agg *repro.Tracer

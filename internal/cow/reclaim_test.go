@@ -1,0 +1,130 @@
+package cow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSealedOverwriteReclaims is the regression test for the seal/overwrite
+// chunk leak: a tail sealed by its owner and then overwritten by SetOwned
+// before any reader attaches must release the stranded chunk. Accounting
+// proves it — a thousand seal+overwrite cycles may not let live chunks
+// grow.
+func TestSealedOverwriteReclaims(t *testing.T) {
+	vals := make([]int, 40)
+	for i := range vals {
+		vals[i] = i
+	}
+	v := FromSlice(vals)
+	a0, r0 := ChunkAccounting()
+	for i := 0; i < 1000; i++ {
+		v.SealTail()          // owner seals; no reader ever attaches
+		v = v.SetOwned(39, i) // overwrite must reclaim the sealed chunk
+	}
+	a1, r1 := ChunkAccounting()
+	allocs, reclaims := a1-a0, r1-r0
+	if allocs < 1000 {
+		t.Fatalf("expected ~1000 chunk allocs, accounting saw %d", allocs)
+	}
+	if live := allocs - reclaims; live > 2 {
+		t.Fatalf("seal+overwrite leaked %d chunks over 1000 cycles (allocs %d, reclaims %d)", live, allocs, reclaims)
+	}
+	if v.Get(39) != 999 || v.Get(0) != 0 {
+		t.Fatalf("reclaim corrupted contents: %v", v.Slice()[36:])
+	}
+}
+
+// TestReclaimSparesSharedChunks: once a view is handed out (MarkShared +
+// Sealed), owned mutators must copy without releasing — the release would
+// zero the view's elements out from under it.
+func TestReclaimSparesSharedChunks(t *testing.T) {
+	vals := make([]int, 40)
+	for i := range vals {
+		vals[i] = i
+	}
+	v := FromSlice(vals)
+	v.MarkShared()
+	view := v.Sealed()
+	_, r0 := ChunkAccounting()
+	v2 := v.SetOwned(39, -1)
+	_, r1 := ChunkAccounting()
+	if r1 != r0 {
+		t.Fatalf("SetOwned released a chunk a view shares (%d reclaims)", r1-r0)
+	}
+	if got := view.Get(39); got != 39 {
+		t.Fatalf("view corrupted after owned overwrite: %d", got)
+	}
+	if v2.Get(39) != -1 {
+		t.Fatalf("owned overwrite lost: %d", v2.Get(39))
+	}
+
+	// Pop propagates the shared mark: a later owned mutator on the popped
+	// vector still may not release the backing the view reads.
+	p := v.Pop()
+	p2 := p.SetOwned(38, -2)
+	if got := view.Get(38); got != 38 {
+		t.Fatalf("view corrupted after pop+overwrite: %d", got)
+	}
+	if p2.Get(38) != -2 {
+		t.Fatalf("pop+overwrite lost: %d", p2.Get(38))
+	}
+}
+
+// TestReleaseOwnedAndReplace: the façade rebuild idiom reclaims the old
+// vector's chunk exactly when it is unshared.
+func TestReleaseOwnedAndReplace(t *testing.T) {
+	v := FromSlice([]int{1, 2, 3})
+	_, r0 := ChunkAccounting()
+	Replace(&v, FromSlice([]int{4, 5, 6}))
+	_, r1 := ChunkAccounting()
+	if r1-r0 != 1 {
+		t.Fatalf("Replace reclaimed %d chunks, want 1", r1-r0)
+	}
+	if !reflect.DeepEqual(v.Slice(), []int{4, 5, 6}) {
+		t.Fatalf("Replace lost contents: %v", v.Slice())
+	}
+
+	// Shared old vector: Replace must leave the chunk alone.
+	v.MarkShared()
+	view := v.Sealed()
+	_, r2 := ChunkAccounting()
+	Replace(&v, FromSlice([]int{7}))
+	_, r3 := ChunkAccounting()
+	if r3 != r2 {
+		t.Fatalf("Replace released a shared chunk (%d reclaims)", r3-r2)
+	}
+	if !reflect.DeepEqual(view.Slice(), []int{4, 5, 6}) {
+		t.Fatalf("view corrupted by Replace: %v", view.Slice())
+	}
+}
+
+// TestCompact: the reclaim pass preserves contents, drops the receiver's
+// owned chunk, and produces an exact-capacity tail — including after Pops
+// that left a stale rightmost trie path behind.
+func TestCompact(t *testing.T) {
+	var v Vector[int]
+	for i := 0; i < 100; i++ {
+		v = v.AppendOwned(i)
+	}
+	for i := 0; i < 40; i++ {
+		v = v.Pop() // crosses leaf boundaries, leaving stale paths
+	}
+	want := v.Slice()
+	_, r0 := ChunkAccounting()
+	c := v.Compact()
+	_, r1 := ChunkAccounting()
+	if r1-r0 < 1 {
+		t.Fatal("Compact reclaimed nothing")
+	}
+	if !reflect.DeepEqual(c.Slice(), want) {
+		t.Fatalf("Compact changed contents: %v vs %v", c.Slice(), want)
+	}
+	if c.Len() != 60 {
+		t.Fatalf("Compact length %d, want 60", c.Len())
+	}
+	// The compacted vector keeps working as an owned structure.
+	c = c.AppendOwned(1000)
+	if c.Get(60) != 1000 {
+		t.Fatalf("append after Compact lost: %d", c.Get(60))
+	}
+}

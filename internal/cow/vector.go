@@ -12,13 +12,48 @@
 // structures use.
 package cow
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 const (
 	bits  = 5
 	width = 1 << bits // 32
 	mask  = width - 1
 )
+
+// Tail-chunk accounting. Every tail buffer the package allocates counts
+// as one chunk; an explicit release (ReleaseOwned, Compact, or the owned
+// mutators abandoning an exclusively owned backing) counts the chunk
+// reclaimed and zeroes its slots, so element references return to the
+// allocator immediately instead of riding along unreachably until the
+// whole trie dies. allocated - reclaimed bounds the chunks whose slots
+// may still pin memory; leak tests assert it stays flat across
+// long-lived single-owner workloads.
+var chunkAllocs, chunkReclaims atomic.Int64
+
+// ChunkAccounting returns the number of tail chunks allocated and
+// explicitly released since process start.
+func ChunkAccounting() (allocated, reclaimed int64) {
+	return chunkAllocs.Load(), chunkReclaims.Load()
+}
+
+// releaseChunk returns one exclusively owned tail chunk: every slot up to
+// capacity is zeroed (dropping the element references a clipped length
+// would otherwise keep live) and the reclaim is accounted. Callers must
+// hold the only reference to the backing array.
+func releaseChunk[T any](s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	var zero T
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = zero
+	}
+	chunkReclaims.Add(1)
+}
 
 // node is a trie node: either internal (children) or leaf (values).
 type node[T any] struct {
@@ -77,6 +112,7 @@ func FromSlice[T any](vals []T) Vector[T] {
 	if tailCap < 8 {
 		tailCap = 8
 	}
+	chunkAllocs.Add(1)
 	tail := append(make([]T, 0, tailCap), vals[tailOff:]...)
 	if tailOff == 0 {
 		return Vector[T]{count: count, shift: bits, tail: tail}
@@ -137,6 +173,7 @@ func (v Vector[T]) Get(i int) T {
 func (v Vector[T]) Append(x T) Vector[T] {
 	if v.count-v.tailOffset() < width {
 		// Room in the tail: copy only the tail buffer.
+		chunkAllocs.Add(1)
 		newTail := make([]T, len(v.tail), len(v.tail)+1)
 		copy(newTail, v.tail)
 		newTail = append(newTail, x)
@@ -159,6 +196,7 @@ func (v Vector[T]) Append(x T) Vector[T] {
 	default:
 		newRoot = pushTail(v.root, v.shift, v.count-1, tailNode)
 	}
+	chunkAllocs.Add(1)
 	return Vector[T]{count: v.count + 1, shift: newShift, root: newRoot, tail: []T{x}}
 }
 
@@ -187,8 +225,14 @@ func (v Vector[T]) AppendOwned(x T) Vector[T] {
 		if newCap > width {
 			newCap = width
 		}
+		chunkAllocs.Add(1)
 		nt := make([]T, n, newCap)
 		copy(nt, v.tail)
+		if !v.sharedTail {
+			// The receiver's backing was exclusively owned (a sealed tail no
+			// clone ever attached to); the owner is discarding it right now.
+			releaseChunk(v.tail)
+		}
 		v.tail = append(nt, x)
 		v.count++
 		v.sharedTail = false // fresh backing, no other view can see it
@@ -232,9 +276,16 @@ func (v Vector[T]) SetOwned(i int, x T) Vector[T] {
 	if newCap > width {
 		newCap = width
 	}
+	chunkAllocs.Add(1)
 	nt := make([]T, n, newCap)
 	copy(nt, v.tail)
 	nt[i-off] = x
+	if !v.sharedTail {
+		// Sealed tail with no reader attached: the copy above strands the
+		// old chunk, so hand it back — without this, a seal/overwrite cycle
+		// leaks one chunk per overwrite.
+		releaseChunk(v.tail)
+	}
 	v.tail = nt
 	v.sharedTail = false
 	return v
@@ -244,9 +295,13 @@ func (v Vector[T]) SetOwned(i int, x T) Vector[T] {
 // so a later AppendOwned on either the receiver's copy or the result must
 // copy the tail before writing. Callers handing out a second reference to
 // a vector whose tail may carry spare capacity (clone, adopt) seal it
-// first; sealing a vector with an exact-capacity tail is a no-op.
+// first; sealing a vector with an exact-capacity tail is a no-op. The
+// result carries the shared-tail mark: it observes the receiver's
+// backing, so an owned mutator on the result must copy — never release —
+// that chunk.
 func (v Vector[T]) Sealed() Vector[T] {
 	v.tail = v.tail[:len(v.tail):len(v.tail)]
+	v.sharedTail = true
 	return v
 }
 
@@ -292,6 +347,7 @@ func (v Vector[T]) Set(i int, x T) Vector[T] {
 		panic(fmt.Sprintf("cow: index %d out of range [0,%d)", i, v.count))
 	}
 	if i >= v.tailOffset() {
+		chunkAllocs.Add(1)
 		newTail := append([]T(nil), v.tail...)
 		newTail[i-v.tailOffset()] = x
 		return Vector[T]{count: v.count, shift: v.shift, root: v.root, tail: newTail}
@@ -324,9 +380,12 @@ func (v Vector[T]) Pop() Vector[T] {
 	if v.count-v.tailOffset() > 1 {
 		// Clip capacity along with length: the dropped slot may still be
 		// visible through another vector sharing this tail, so the result
-		// must never let AppendOwned write it in place.
+		// must never let AppendOwned write it in place. The shared-tail
+		// mark rides along — the clipped view is the same backing, and a
+		// later owned mutator must not release (zero) it out from under a
+		// clone.
 		n := len(v.tail) - 1
-		return Vector[T]{count: v.count - 1, shift: v.shift, root: v.root, tail: v.tail[:n:n]}
+		return Vector[T]{count: v.count - 1, shift: v.shift, root: v.root, tail: v.tail[:n:n], sharedTail: v.sharedTail}
 	}
 	// Tail exhausted: pull the previous leaf out of the trie as the new
 	// tail. Keep the (now unused) rightmost path; it is unreachable via
@@ -338,7 +397,43 @@ func (v Vector[T]) Pop() Vector[T] {
 	for level := v.shift; level > 0; level -= bits {
 		n = n.children[(lastIdx>>level)&mask]
 	}
+	chunkAllocs.Add(1)
 	return Vector[T]{count: newCount, shift: v.shift, root: v.root, tail: append([]T(nil), n.values...)}
+}
+
+// ReleaseOwned returns the receiver's tail chunk to the allocator and
+// empties the vector. It is for a caller that exclusively owns the
+// receiver and is abandoning it — the façade idiom when a structure
+// rebuilds its backing vector and drops the old one. A tail some clone
+// may still observe (MarkShared was called) is left alone; the empty
+// result is safe to keep using either way.
+func (v *Vector[T]) ReleaseOwned() {
+	if !v.sharedTail {
+		releaseChunk(v.tail)
+	}
+	*v = Vector[T]{shift: bits}
+}
+
+// Replace installs next into *v, releasing the previous vector's
+// exclusively owned tail chunk — shorthand for the rebuild-and-release
+// idiom at every façade site that swaps in a FromSlice result.
+func Replace[T any](v *Vector[T], next Vector[T]) {
+	old := *v
+	*v = next
+	old.ReleaseOwned()
+}
+
+// Compact returns a vector with the same contents and no stale storage:
+// an exact-capacity tail, no unreachable rightmost trie path left behind
+// by Pop, and no clipped-away slots pinning elements. The receiver's
+// exclusively owned tail chunk is released. Long-lived single-owner
+// structures run it as their chunk-reclaim pass after bursts of pops or
+// overwrites.
+func (v Vector[T]) Compact() Vector[T] {
+	out := FromSlice(v.Slice())
+	out.SealTail()
+	v.ReleaseOwned()
+	return out
 }
 
 // Slice returns the vector's contents as a fresh slice. It walks the trie

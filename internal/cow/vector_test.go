@@ -264,7 +264,10 @@ func TestSetOwnedSharing(t *testing.T) {
 		v = v.AppendOwned(i)
 	}
 	// Owned overwrites agree with Set everywhere, including trie indexes.
-	w := v
+	// w is an independent rebuild, not a value copy: SetOwned's contract
+	// gives it leave to release (zero) a backing no marked view shares, so
+	// an unmarked alias of v would observe the reclaim.
+	w := FromSlice(v.Slice())
 	for i := 0; i < 40; i += 3 {
 		v = v.SetOwned(i, 1000+i)
 		w = w.Set(i, 1000+i)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/mergeable"
+	"repro/internal/stats"
 )
 
 // CrashCheck configures crash-point exploration: each explored schedule is
@@ -35,6 +36,18 @@ type CrashCheck struct {
 	// CheckpointEvery is passed through to the journal; zero keeps the
 	// journal's default cadence.
 	CheckpointEvery int
+	// SegmentBytes is the journal's WAL rotation threshold: a small value
+	// forces segment rotation (and old-segment reclaim) inside the crash
+	// sweep, so tears land on segment boundaries, fresh anchors and
+	// half-written rotations too. Zero keeps a single unbounded segment.
+	SegmentBytes int64
+	// RetainCheckpoints prunes the crash journals' checkpoint files down
+	// to the newest N after each new checkpoint; zero keeps every one.
+	RetainCheckpoints int
+	// Stats, when non-nil, receives the journals' counters (rotation,
+	// reclaim and pruning live under "compaction.*") aggregated across
+	// every journaled run of the sweep.
+	Stats *stats.Counters
 }
 
 // countWriter measures a reference run's total journal bytes so crash
@@ -59,12 +72,16 @@ func (p *countProxy) Write(b []byte) (int, error) {
 // and the source keeps pulsing the watchdog.
 func (cc *CrashCheck) journalOpts(env *Env, wrap func(io.Writer) io.Writer) journal.Options {
 	return journal.Options{
-		Encode:          cc.Encode,
-		Decode:          cc.Decode,
-		CheckpointEvery: cc.CheckpointEvery,
-		WrapWriter:      wrap,
-		Choose:          env.chooser,
-		Jitter:          env.src.pulse,
+		Encode:            cc.Encode,
+		Decode:            cc.Decode,
+		CheckpointEvery:   cc.CheckpointEvery,
+		SegmentBytes:      cc.SegmentBytes,
+		RetainCheckpoints: cc.RetainCheckpoints,
+		History:           env.history,
+		Stats:             cc.Stats,
+		WrapWriter:        wrap,
+		Choose:            env.chooser,
+		Jitter:            env.src.pulse,
 	}
 }
 

@@ -84,6 +84,7 @@ func Opaque(name string, f func() (uint64, error)) Scenario {
 type Env struct {
 	src      *Source
 	deferred []func()
+	history  task.HistoryGC
 }
 
 // Decide resolves a scenario-level decision point with n alternatives,
@@ -95,6 +96,14 @@ func (e *Env) Decide(site string, n int) int { return e.src.Choose(site, n) }
 // Defer registers cleanup to run after the schedule completes, LIFO.
 // Build runs on the schedule's goroutine, so no locking is needed.
 func (e *Env) Defer(f func()) { e.deferred = append(e.deferred, f) }
+
+// SetHistory selects the run's history-compaction policy (wired into
+// task.RunConfig.History and, under crash exploration, into the journaled
+// runs). Deciding the policy from the decision stream makes the GC knob
+// itself an explored site: on a Deterministic scenario every choice —
+// eager trim, deferred slack, GC off — must land on one fingerprint,
+// which is the compaction-invisibility claim in executable form.
+func (e *Env) SetHistory(h task.HistoryGC) { e.history = h }
 
 func (e *Env) runDeferred() {
 	for i := len(e.deferred) - 1; i >= 0; i-- {
@@ -492,7 +501,7 @@ func runSchedule(sc Scenario, src *Source, opts Options, tracer *obs.Tracer, rep
 			ch <- out
 		}()
 		fn, data := sc.Build(env)
-		cfg := task.RunConfig{Jitter: src.pulse, Obs: tracer}
+		cfg := task.RunConfig{Jitter: src.pulse, Obs: tracer, History: env.history}
 		if replay != nil {
 			cfg.Replay = replay
 		} else {

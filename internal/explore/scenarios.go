@@ -29,6 +29,8 @@ func init() {
 			return nil
 		})
 	}
+	// The compact scenario's structures cross the crash boundary.
+	dist.RegisterMapCodec[int, int]("explore-map-int-int")
 	// The churn scenario's workload: one registered function per task
 	// slot, its effect a pure function of the slot — never of the node
 	// that happens to host it — so any placement, failover or rebalance
@@ -477,9 +479,115 @@ func Session() Scenario {
 	}
 }
 
+// Compact scenario sizing: two waves of two workers, so the schedule
+// commits multiple root merges — the cadence checkpoints, WAL rotation
+// and history trimming all key off.
+const (
+	compactWaves   = 2
+	compactWorkers = 2
+)
+
+// compactHistory maps the explored GC decision to a history policy. Pick
+// 0 — the benign default every other schedule inherits — is the
+// production eager trim; the alternatives must all be observationally
+// invisible.
+func compactHistory(pick int) task.HistoryGC {
+	switch pick {
+	case 1:
+		return task.HistoryGC{Disable: true}
+	case 2:
+		return task.HistoryGC{Slack: 2}
+	case 3:
+		return task.HistoryGC{Slack: 8}
+	}
+	return task.HistoryGC{}
+}
+
+// Compact turns PR 9's compaction machinery itself into a decision site:
+// the first decision picks the history-GC policy (eager, off, slack 2,
+// slack 8), and the schedule then crosses it with everything else the
+// explorer steers — spawn fan-out, a mid-body Sync that pins the
+// parent's history from a live child, an optional aborted sibling whose
+// effects must vanish, and a MergeAny drain whose pick order is
+// enumerated. All worker effects commute (counter bits, distinct map
+// keys) and the root's non-commuting list appends are sequential, so the
+// paper's claim extends to the knob: every GC choice × abort × drain ×
+// pick-order combination must land on the one bit-identical fingerprint.
+// Under crash exploration (Options.Crash with a small SegmentBytes) the
+// same schedules additionally sweep WAL rotation and checkpoint pruning
+// against kill points at every byte budget.
+func Compact() Scenario {
+	return Scenario{
+		Name:          "compact",
+		Deterministic: true,
+		Build: func(env *Env) (task.Func, []mergeable.Mergeable) {
+			env.SetHistory(compactHistory(env.Decide("compact.gc", 4)))
+			list := mergeable.NewList[int]()
+			cnt := mergeable.NewCounter(0)
+			kv := mergeable.NewMap[int, int]()
+			fn := func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+				for wave := 0; wave < compactWaves; wave++ {
+					// Root-local, non-commuting history: sequential appends
+					// the GC must trim without changing what later merges
+					// transform against.
+					for k := 0; k < 4; k++ {
+						data[0].(*mergeable.List[int]).Append(wave*10 + k)
+					}
+					// An explored abort: the doomed sibling parks in Sync (it
+					// cannot outrun the flag — Sync blocks until the parent
+					// merges), so its sentinel must be discarded wherever the
+					// drain collects it.
+					var doomed *task.Task
+					if env.Decide(fmt.Sprintf("compact.w%d.abort", wave), 2) == 1 {
+						doomed = ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+							data[0].(*mergeable.Counter).Add(1 << 40) // must never commit
+							ctx.Sync()
+							return nil
+						}, data[1])
+					}
+					for w := 0; w < compactWorkers; w++ {
+						slot := wave*compactWorkers + w
+						syncs := w == 0
+						ctx.Spawn(func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+							data[0].(*mergeable.Counter).Add(1 << uint(slot))
+							if syncs {
+								// Pin the parent's history from a live child:
+								// the trim watermark must respect the pin, and
+								// the post-Sync tail rides to the next merge.
+								if err := ctx.Sync(); err != nil {
+									return nil // aborted externally: bow out
+								}
+							}
+							data[1].(*mergeable.Map[int, int]).Set(slot, slot*3+1)
+							return nil
+						}, data[1], data[2])
+					}
+					if doomed != nil {
+						doomed.Abort()
+					}
+					if env.Decide(fmt.Sprintf("compact.w%d.drain", wave), 2) == 1 {
+						// Explored MergeAny order over commuting effects: any
+						// pick sequence must land on the one fingerprint.
+						for w := 0; w < compactWorkers; w++ {
+							if _, err := ctx.MergeAny(); err != nil {
+								return err
+							}
+						}
+					}
+					if err := ctx.MergeAll(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fn, []mergeable.Mergeable{list, cnt, kv}
+		},
+	}
+}
+
 // Builtins returns the built-in scenarios in a stable order.
 func Builtins() []Scenario {
-	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn(), Session()}
+	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn(), Session(), Compact()}
 }
 
 // BuiltinScenario looks a built-in up by name.

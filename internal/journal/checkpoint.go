@@ -88,7 +88,7 @@ func readCheckpoint(path string) (ckptPayload, error) {
 	if len(buf) < len(walMagic) || !bytes.Equal(buf[:len(walMagic)], walMagic) {
 		return p, CorruptError{File: filepath.Base(path), Offset: 0, Reason: "bad magic"}
 	}
-	recs, _, err := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	recs, _, err := scanWAL(buf[len(walMagic):], int64(len(walMagic)), filepath.Base(path))
 	if err != nil {
 		return p, err
 	}
@@ -134,6 +134,38 @@ func (j *Journal) loadCheckpoints() ([]Checkpoint, *ckptPayload, error) {
 	}
 	sort.Slice(cks, func(a, b int) bool { return cks[a].Index < cks[b].Index })
 	return cks, latest, nil
+}
+
+// pruneCheckpoints deletes all but the newest retain checkpoint files.
+// Checkpoints are verification anchors, never recovery state — resume
+// replays from the WAL's inputs regardless — so pruning trades anchor
+// density for bounded disk. Callers hold j.mu.
+func (j *Journal) pruneCheckpoints(retain int) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	var idxs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(name, "ckpt-%d", &idx); err == nil {
+			idxs = append(idxs, idx)
+		}
+	}
+	if len(idxs) <= retain {
+		return
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs[:len(idxs)-retain] {
+		if os.Remove(filepath.Join(j.dir, ckptName(idx))) == nil {
+			j.counters.Inc("compaction.ckpt.pruned")
+		}
+	}
+	syncDir(j.dir)
 }
 
 // syncDir best-effort fsyncs a directory so renames and creates are

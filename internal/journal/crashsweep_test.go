@@ -41,12 +41,20 @@ func sweepStride() int64 {
 // torn tail of each record and each checkpoint tmp file.
 func crashSweep(t *testing.T, want uint64, total int64, stride int64, mk func() []mergeable.Mergeable, fn task.Func) {
 	t.Helper()
+	crashSweepOpts(t, want, total, stride, testOptions, mk, fn)
+}
+
+// crashSweepOpts is crashSweep with the journal options under the
+// harness's control — the segment sweep passes options with a tiny
+// SegmentBytes so the budgets land inside rotations too.
+func crashSweepOpts(t *testing.T, want uint64, total int64, stride int64, mkOpts func() Options, mk func() []mergeable.Mergeable, fn task.Func) {
+	t.Helper()
 	base := t.TempDir()
 	swept, fresh := 0, 0
 	for k := int64(1); k < total; k += stride {
 		dir := filepath.Join(base, fmt.Sprintf("k%06d", k))
 		cw := NewCrashWriter(k)
-		opts := testOptions()
+		opts := mkOpts()
 		opts.WrapWriter = cw.Wrap
 		data := mk()
 		err := Run(dir, opts, fn, data...)
@@ -57,7 +65,7 @@ func crashSweep(t *testing.T, want uint64, total int64, stride int64, mk func() 
 			t.Fatalf("k=%d: crash writer never fired", k)
 		}
 
-		out, err := Resume(dir, testOptions(), fn)
+		out, err := Resume(dir, mkOpts(), fn)
 		var got uint64
 		switch {
 		case err == nil:
@@ -67,7 +75,7 @@ func crashSweep(t *testing.T, want uint64, total int64, stride int64, mk func() 
 			// resume, the caller starts over.
 			freshDir := filepath.Join(base, fmt.Sprintf("k%06d-fresh", k))
 			data := mk()
-			if err := Run(freshDir, testOptions(), fn, data...); err != nil {
+			if err := Run(freshDir, mkOpts(), fn, data...); err != nil {
 				t.Fatalf("k=%d: fresh run after ErrNoRun: %v", k, err)
 			}
 			got = fingerprintAll(data)

@@ -53,13 +53,34 @@ type Options struct {
 	// the default (4); negative disables checkpoints.
 	CheckpointEvery int
 
+	// SegmentBytes, when positive, bounds the WAL on disk: whenever the
+	// live segment grows past this many bytes the journal rotates to a
+	// fresh segment whose first record is a snapshot anchor carrying the
+	// full durable prefix (inputs, picks, routes, membership), then
+	// deletes the superseded segments. Zero — the default — keeps the
+	// historical single-file wal.log. Recovery semantics are unchanged
+	// either way: kill the process at any byte and Open/Resume still
+	// reproduce the run.
+	SegmentBytes int64
+
+	// RetainCheckpoints, when positive, prunes checkpoint files after each
+	// new one lands, keeping only the newest N on disk (counted as
+	// "compaction.ckpt.pruned"). Checkpoints are verification anchors, not
+	// recovery state, so pruning only thins the anchors a resume verifies
+	// against. Zero — the default — keeps every checkpoint.
+	RetainCheckpoints int
+
 	// Stats, when non-nil, receives the journal's counters instead of an
 	// internal set: "record_written", "bytes_written", "pick_recorded",
 	// "pick_replayed", "checkpoint_written", "checkpoint_verified",
 	// "route_recorded", "route_replayed", "member_recorded",
 	// "member_replayed", "torn_tail_truncated",
 	// "torn_bytes", "resume", "done_verified", "tmp_removed",
-	// "checkpoint_damaged".
+	// "checkpoint_damaged", plus the compaction family when SegmentBytes
+	// is set: "compaction.wal.rotations",
+	// "compaction.wal.segments_deleted", "compaction.wal.bytes_reclaimed",
+	// "compaction.wal.stale_segments_removed",
+	// "compaction.wal.torn_segment_dropped".
 	Stats *stats.Counters
 
 	// WrapWriter, when non-nil, intercepts every physical writer the
@@ -82,6 +103,13 @@ type Options struct {
 	// merge protocol (see task.RunConfig.Jitter) — harnesses use it as a
 	// progress pulse for stall watchdogs.
 	Jitter func()
+
+	// History tunes the task runtime's op-log garbage collector for the
+	// journaled run (see task.HistoryGC). The zero value trims eagerly —
+	// the runtime default. The soak harness's unbounded reference runs set
+	// Disable; compaction never changes a result, so the fingerprint a
+	// journal seals is identical either way.
+	History task.HistoryGC
 
 	// OnOpen, when non-nil, is invoked with the live journal just before
 	// the run's root task starts — after Create initialized it (Run) or
@@ -154,6 +182,16 @@ type Journal struct {
 	mu  sync.Mutex
 	wal *os.File
 	w   io.Writer // wal behind WrapWriter
+	// Segment rotation state: seg is the live segment's number (0 = the
+	// plain wal.log), segBytes its on-disk size, and snaps/picks the
+	// accumulated anchor state a rotation snapshots — the run's initial
+	// snapshots and every durable pick per path. snaps doubles as the
+	// rotation gate: until the inputs record is durable there is nothing
+	// an anchor could carry, so rotation stays off.
+	seg      int
+	segBytes int64
+	snaps    []NamedSnapshot
+	picks    map[string][]uint64
 	// dead is the first write failure; once set, the journal drops every
 	// later append. The in-memory run continues (the process "died" only
 	// as far as durability is concerned — exactly a crash simulation) and
@@ -225,10 +263,12 @@ func Create(dir string, opts Options) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create dir: %w", err)
 	}
-	path := filepath.Join(dir, walName)
-	if _, err := os.Stat(path); err == nil {
+	if segs, err := listSegments(dir); err != nil {
+		return nil, err
+	} else if len(segs) > 0 {
 		return nil, fmt.Errorf("journal: %s already holds a run; use Open/Resume", dir)
 	}
+	path := filepath.Join(dir, walName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create wal: %w", err)
@@ -238,6 +278,8 @@ func Create(dir string, opts Options) (*Journal, error) {
 		opts:     opts,
 		counters: opts.Stats,
 		wal:      f,
+		segBytes: int64(len(walMagic)),
+		picks:    make(map[string][]uint64),
 		cursor:   make(map[string]int),
 		routes:   make(map[string]int),
 		members:  make(map[uint64]MemberRec),
@@ -257,7 +299,9 @@ func Create(dir string, opts Options) (*Journal, error) {
 }
 
 // Open recovers the journal in dir and reopens it for appending: the
-// WAL's torn tail (if any) is physically truncated, every surviving
+// newest recoverable WAL segment is selected (a torn mid-rotation
+// artifact is deleted, stale superseded segments are removed), the
+// segment's torn tail (if any) is physically truncated, every surviving
 // record is CRC-validated and decoded, stray checkpoint tmp files are
 // removed and damaged checkpoints discarded, and the latest intact
 // checkpoint is cross-checked against the WAL (its script must be a
@@ -267,38 +311,108 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	path := filepath.Join(dir, walName)
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("journal: open %s: %w", dir, ErrNoRun)
-		}
-		return nil, fmt.Errorf("journal: open wal: %w", err)
-	}
 	j := &Journal{
 		dir:      dir,
 		opts:     opts,
 		counters: opts.Stats,
-		wal:      f,
+		picks:    make(map[string][]uint64),
 		cursor:   make(map[string]int),
 		routes:   make(map[string]int),
 		members:  make(map[uint64]MemberRec),
 		ckpts:    make(map[int]uint64),
 	}
-	if err := j.recover(); err != nil {
-		f.Close()
+	if err := j.recoverDir(); err != nil {
+		if j.wal != nil {
+			j.wal.Close()
+		}
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+	if _, err := j.wal.Seek(0, io.SeekEnd); err != nil {
+		j.wal.Close()
 		return nil, fmt.Errorf("journal: seek wal: %w", err)
 	}
-	j.w = j.wrapWriter(f)
+	j.w = j.wrapWriter(j.wal)
 	return j, nil
 }
 
-// recover parses the WAL and checkpoint files into j.rec.
-func (j *Journal) recover() error {
+// recoverDir picks the authoritative WAL segment and recovers from it.
+// Newest first: a rotated newest segment without an intact anchor is the
+// artifact of a crash mid-rotation — the anchor never became durable, so
+// the previous segment is still the authority; the artifact is deleted
+// and the scan falls back. Once a segment recovers, every older segment
+// is superseded by its anchor and is removed (finishing the deletes a
+// crash may have interrupted).
+func (j *Journal) recoverDir() error {
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("journal: open %s: %w", j.dir, ErrNoRun)
+	}
+	chosen := -1
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		if s.seg == 0 {
+			chosen = i
+			break
+		}
+		buf, err := os.ReadFile(s.path)
+		if err != nil {
+			return fmt.Errorf("journal: read %s: %w", s.name, err)
+		}
+		ok, err := anchoredSegment(buf, s.name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			chosen = i
+			break
+		}
+		// Torn rotation artifact: the previous segment never ceded
+		// authority. Only the newest segment can be one — an anchored
+		// segment's predecessors were all deleted before it accepted a
+		// single append — so seeing a second means the files were
+		// tampered with, which the fallback scan below surfaces as
+		// corruption (no anchored segment and no wal.log → ErrNoRun-ish,
+		// an anchored older segment recovers fine).
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("journal: drop torn segment %s: %w", s.name, err)
+		}
+		j.counters.Inc("compaction.wal.torn_segment_dropped")
+		syncDir(j.dir)
+	}
+	if chosen < 0 {
+		// Every file present was a torn rotation artifact: the run's
+		// authority was lost with the pre-rotation segments, which only
+		// happens if files were removed by hand.
+		return fmt.Errorf("journal: only torn rotation artifacts in %s: %w", j.dir, ErrNoRun)
+	}
+	s := segs[chosen]
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open wal: %w", err)
+	}
+	j.wal = f
+	j.seg = s.seg
+	if err := j.recoverSegment(s); err != nil {
+		return err
+	}
+	for _, old := range segs[:chosen] {
+		if os.Remove(old.path) == nil {
+			j.counters.Inc("compaction.wal.stale_segments_removed")
+		}
+	}
+	if chosen > 0 {
+		syncDir(j.dir)
+	}
+	return nil
+}
+
+// recoverSegment parses the chosen WAL segment and the checkpoint files
+// into j.rec. A rotated segment opens with its anchor record, which seeds
+// the recovered state with everything the deleted predecessors held.
+func (j *Journal) recoverSegment(s segFile) error {
 	buf, err := io.ReadAll(j.wal)
 	if err != nil {
 		return fmt.Errorf("journal: read wal: %w", err)
@@ -309,14 +423,15 @@ func (j *Journal) recover() error {
 	}
 	for i, b := range walMagic {
 		if buf[i] != b {
-			return CorruptError{File: walName, Offset: int64(i), Reason: "bad magic"}
+			return CorruptError{File: s.name, Offset: int64(i), Reason: "bad magic"}
 		}
 	}
-	recs, tornAt, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	recs, tornAt, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)), s.name)
 	rec := &Recovery{
 		Picks:  make(map[string][]uint64),
 		Routes: make(map[string]int),
 	}
+	size := int64(len(buf))
 	switch {
 	case scanErr == nil:
 	case errors.Is(scanErr, ErrTornTail):
@@ -324,6 +439,7 @@ func (j *Journal) recover() error {
 			return fmt.Errorf("journal: truncate torn tail: %w", err)
 		}
 		j.wal.Sync()
+		size = tornAt
 		rec.TornTail = true
 		j.counters.Inc("torn_tail_truncated")
 		j.counters.Add("torn_bytes", int64(len(buf))-tornAt)
@@ -334,14 +450,33 @@ func (j *Journal) recover() error {
 	for i, r := range recs {
 		switch r.typ {
 		case recInputs:
-			if i != 0 {
-				return CorruptError{File: walName, Offset: r.offset, Reason: "duplicate inputs record"}
+			if i != 0 || s.seg != 0 {
+				return CorruptError{File: s.name, Offset: r.offset, Reason: "misplaced inputs record"}
 			}
 			var body inputsRec
 			if err := decodeBody(r, &body); err != nil {
 				return err
 			}
 			rec.Snaps = body.Snaps
+		case recAnchor:
+			if i != 0 || s.seg == 0 {
+				return CorruptError{File: s.name, Offset: r.offset, Reason: "misplaced anchor record"}
+			}
+			var body anchorRec
+			if err := decodeBody(r, &body); err != nil {
+				return err
+			}
+			if body.Seg != s.seg {
+				return CorruptError{File: s.name, Offset: r.offset, Reason: fmt.Sprintf("anchor claims segment %d", body.Seg)}
+			}
+			rec.Snaps = body.Snaps
+			for path, seqs := range body.Picks {
+				rec.Picks[path] = append([]uint64(nil), seqs...)
+			}
+			for slot, node := range body.Routes {
+				rec.Routes[slot] = node
+			}
+			rec.Members = append(rec.Members, body.Members...)
 		case recPick:
 			var body pickRec
 			if err := decodeBody(r, &body); err != nil {
@@ -375,13 +510,18 @@ func (j *Journal) recover() error {
 			rec.Done = true
 			rec.Fingerprint = body.Fingerprint
 		default:
-			return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
+			return CorruptError{File: s.name, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
 		}
 	}
-	if len(recs) == 0 || recs[0].typ != recInputs {
+	if len(recs) == 0 || (recs[0].typ != recInputs && recs[0].typ != recAnchor) {
 		// Died before the inputs record became durable: the run never got
 		// past the starting line, so there is nothing to resume.
 		return fmt.Errorf("journal: no inputs record: %w", ErrNoRun)
+	}
+	j.segBytes = size
+	j.snaps = rec.Snaps
+	for path, seqs := range rec.Picks {
+		j.picks[path] = append([]uint64(nil), seqs...)
 	}
 
 	cks, latest, err := j.loadCheckpoints()
@@ -462,6 +602,13 @@ func (j *Journal) appendLocked(typ byte, body any) error {
 		return j.dead
 	}
 	j.counters.Inc("record_written")
+	j.segBytes += int64(len(frame))
+	// Rotate once the segment outgrows its budget — but never right after
+	// the done record (the final segment must keep it) and never before
+	// the inputs are durable (an anchor would have nothing to carry).
+	if max := j.opts.SegmentBytes; max > 0 && j.segBytes >= max && j.snaps != nil && typ != recDone {
+		j.rotateLocked()
+	}
 	return nil
 }
 
@@ -478,6 +625,9 @@ func (j *Journal) writeInputs(data []mergeable.Mergeable) error {
 	}
 	j.mu.Lock()
 	err = j.appendLocked(recInputs, inputsRec{Snaps: snaps})
+	if err == nil {
+		j.snaps = snaps
+	}
 	j.mu.Unlock()
 	if err == nil && j.opts.Obs != nil {
 		j.opts.Obs.Emit("journal", obs.KindAppend, "inputs", -1, int64(len(snaps)), time.Since(start))
@@ -545,6 +695,9 @@ func (j *Journal) pickSink(path string, seq uint64) {
 			return
 		}
 	}
+	// Accumulate before appending so a rotation triggered by this very
+	// append snapshots an anchor that already includes the pick.
+	j.picks[path] = append(j.picks[path], seq)
 	if j.appendLocked(recPick, pickRec{Path: path, Seq: seq}) == nil {
 		j.counters.Inc("pick_recorded")
 		if tr != nil {
@@ -673,6 +826,9 @@ func (j *Journal) onRootMerge(data []mergeable.Mergeable, n int) {
 	}
 	j.ckpts[n] = fp
 	j.counters.Inc("checkpoint_written")
+	if retain := j.opts.RetainCheckpoints; retain > 0 {
+		j.pruneCheckpoints(retain)
+	}
 	j.appendLocked(recCkpt, ckptRec{Index: n, Fingerprint: fp})
 	if tr != nil {
 		tr.Emit("journal", obs.KindCheckpoint, fmt.Sprintf("ckpt %d written", n), -1, int64(len(snaps)), time.Since(start))

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/mergeable"
 	"repro/internal/obs"
@@ -76,6 +75,7 @@ func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeab
 		Jitter:      j.opts.Jitter,
 		OnRootMerge: j.onRootMerge,
 		Obs:         j.opts.Obs,
+		History:     j.opts.History,
 	}, fn, data...)
 	if err := errors.Join(runErr, j.Err()); err != nil {
 		return err
@@ -102,28 +102,59 @@ func (j *Journal) execute(replay *task.MergeScript, fn task.Func, data []mergeab
 	return err
 }
 
-// Verify is the read-only integrity check: it scans dir's WAL and
-// checkpoints without truncating or appending anything and reports what
-// recovery would find — nil for a clean journal, ErrTornTail for an
-// incomplete final record (recoverable), ErrCorrupt for real damage,
-// ErrNoRun for a directory with no recoverable run.
+// Verify is the read-only integrity check: it scans dir's WAL segments
+// and checkpoints without truncating, deleting or appending anything and
+// reports what recovery would find — nil for a clean journal, ErrTornTail
+// for an incomplete final record or a torn mid-rotation segment (both
+// recoverable), ErrCorrupt for real damage, ErrNoRun for a directory with
+// no recoverable run.
 func Verify(dir string) error {
-	buf, err := os.ReadFile(filepath.Join(dir, walName))
+	segs, err := listSegments(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return fmt.Errorf("journal: verify %s: %w", dir, ErrNoRun)
-		}
-		return fmt.Errorf("journal: verify: %w", err)
+		return err
 	}
+	if len(segs) == 0 {
+		return fmt.Errorf("journal: verify %s: %w", dir, ErrNoRun)
+	}
+	var torn error
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		buf, err := os.ReadFile(s.path)
+		if err != nil {
+			return fmt.Errorf("journal: verify: %w", err)
+		}
+		if s.seg != 0 {
+			ok, err := anchoredSegment(buf, s.name)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// Torn mid-rotation artifact: recovery would delete it and
+				// fall back to the previous segment. Report the tear but
+				// keep verifying the segment that still holds the run.
+				torn = TornTailError{File: s.name, Offset: int64(len(buf))}
+				continue
+			}
+		}
+		if err := verifySegment(buf, s); err != nil {
+			return err
+		}
+		return torn
+	}
+	return fmt.Errorf("journal: only torn rotation artifacts in %s: %w", dir, ErrNoRun)
+}
+
+// verifySegment checks one segment's framing and record decodability.
+func verifySegment(buf []byte, s segFile) error {
 	if len(buf) < len(walMagic) {
 		return fmt.Errorf("journal: wal shorter than magic: %w", ErrNoRun)
 	}
 	for i, b := range walMagic {
 		if buf[i] != b {
-			return CorruptError{File: walName, Offset: int64(i), Reason: "bad magic"}
+			return CorruptError{File: s.name, Offset: int64(i), Reason: "bad magic"}
 		}
 	}
-	recs, _, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)))
+	recs, _, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)), s.name)
 	if scanErr != nil && !errors.Is(scanErr, ErrTornTail) {
 		return scanErr
 	}
@@ -132,10 +163,17 @@ func Verify(dir string) error {
 		var decodeErr error
 		switch r.typ {
 		case recInputs:
-			if i != 0 {
-				return CorruptError{File: walName, Offset: r.offset, Reason: "duplicate inputs record"}
+			if i != 0 || s.seg != 0 {
+				return CorruptError{File: s.name, Offset: r.offset, Reason: "misplaced inputs record"}
 			}
 			var body inputsRec
+			decodeErr = decodeBody(r, &body)
+			sawInputs = decodeErr == nil
+		case recAnchor:
+			if i != 0 || s.seg == 0 {
+				return CorruptError{File: s.name, Offset: r.offset, Reason: "misplaced anchor record"}
+			}
+			var body anchorRec
 			decodeErr = decodeBody(r, &body)
 			sawInputs = decodeErr == nil
 		case recPick:
@@ -154,7 +192,7 @@ func Verify(dir string) error {
 			var body memberRec
 			decodeErr = decodeBody(r, &body)
 		default:
-			return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
+			return CorruptError{File: s.name, Offset: r.offset, Reason: fmt.Sprintf("unknown record type %d", r.typ)}
 		}
 		if decodeErr != nil {
 			return decodeErr

@@ -1,0 +1,195 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WAL segment rotation. A journal's log starts life as the single wal.log
+// (segment 0). When Options.SegmentBytes is set and the current segment
+// outgrows it, the journal rotates: a fresh segment file wal-%08d.log is
+// created whose first record is a snapshot anchor (anchorRec) carrying the
+// complete durable prefix — initial inputs, every pick, route and
+// membership transition so far. Only after the anchor is fsynced (file and
+// directory) do appends switch to the new segment and the older segments
+// get deleted, so at every instant exactly one segment chain on disk can
+// reproduce the run:
+//
+//   - crash before the anchor is durable → the new segment is a torn
+//     artifact; the previous segment is still the authority. Recovery
+//     deletes the artifact and recovers from the previous segment.
+//   - crash after the anchor is durable but before the old segments are
+//     deleted → recovery recovers from the newest segment and finishes
+//     the interrupted deletes. The stale segments are never read: an
+//     intact anchor supersedes everything before it, which is what the
+//     no-resurrection regression test pins.
+//
+// Torn tails keep their single-file semantics because each record (and the
+// magic+anchor pair) is written through the same one-Write framing; a kill
+// at any byte leaves at most one incomplete record in the newest segment.
+
+// segFile is one WAL segment on disk.
+type segFile struct {
+	seg  int
+	name string
+	path string
+}
+
+// segFileName renders a segment's file name; segment 0 is the plain
+// wal.log so unrotated journals keep their historical layout.
+func segFileName(seg int) string {
+	if seg == 0 {
+		return walName
+	}
+	return fmt.Sprintf("wal-%08d.log", seg)
+}
+
+// listSegments returns the WAL segments present in dir, ascending by
+// segment number. A missing directory lists as empty, not as an error.
+func listSegments(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: scan segments: %w", err)
+	}
+	var out []segFile
+	for _, e := range entries {
+		name := e.Name()
+		var seg int
+		switch {
+		case name == walName:
+			seg = 0
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+			if err != nil || n <= 0 {
+				continue
+			}
+			seg = n
+		default:
+			continue
+		}
+		out = append(out, segFile{seg: seg, name: name, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seg < out[b].seg })
+	return out, nil
+}
+
+// anchoredSegment classifies a rotated segment's bytes: (true, nil) when an
+// intact anchor record opens it, (false, nil) when the bytes are the torn
+// prefix a crash mid-rotation leaves (recoverable — the previous segment is
+// still the authority), and a CorruptError when the bytes cannot be either.
+func anchoredSegment(buf []byte, name string) (bool, error) {
+	if len(buf) < len(walMagic) {
+		if bytes.Equal(buf, walMagic[:len(buf)]) {
+			return false, nil
+		}
+		return false, CorruptError{File: name, Offset: 0, Reason: "bad magic"}
+	}
+	if !bytes.Equal(buf[:len(walMagic)], walMagic) {
+		return false, CorruptError{File: name, Offset: 0, Reason: "bad magic"}
+	}
+	recs, _, scanErr := scanWAL(buf[len(walMagic):], int64(len(walMagic)), name)
+	if len(recs) == 0 {
+		if scanErr == nil || errors.Is(scanErr, ErrTornTail) {
+			// Magic landed but the anchor write did not complete: the
+			// rotation never took effect.
+			return false, nil
+		}
+		return false, scanErr
+	}
+	if recs[0].typ != recAnchor {
+		return false, CorruptError{File: name, Offset: recs[0].offset, Reason: "rotated segment does not start with an anchor"}
+	}
+	return true, nil
+}
+
+// memberSeq renders the journal's membership transitions ascending by
+// epoch, the order recovery promises.
+func (j *Journal) memberSeq() []MemberRec {
+	if len(j.members) == 0 {
+		return nil
+	}
+	out := make([]MemberRec, 0, len(j.members))
+	for _, m := range j.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Epoch < out[b].Epoch })
+	return out
+}
+
+// rotateLocked starts a new WAL segment: write magic + snapshot anchor to
+// a fresh file, fsync it and the directory, switch appends over, then
+// delete every superseded segment. Callers hold j.mu. Any failure before
+// the anchor is durable marks the journal dead and leaves the old segment
+// untouched — exactly the artifact a real mid-rotation death leaves, which
+// recovery knows how to drop.
+func (j *Journal) rotateLocked() {
+	if j.dead != nil {
+		return
+	}
+	tr := j.opts.Obs
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	next := j.seg + 1
+	path := filepath.Join(j.dir, segFileName(next))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		j.dead = fmt.Errorf("journal: create segment %d: %w", next, err)
+		return
+	}
+	anchor := anchorRec{
+		Seg:     next,
+		Snaps:   j.snaps,
+		Picks:   j.picks,
+		Routes:  j.routes,
+		Members: j.memberSeq(),
+	}
+	frame, err := frameRecord(recAnchor, anchor)
+	if err != nil {
+		f.Close()
+		j.dead = err
+		return
+	}
+	w := j.wrapWriter(f)
+	if err := j.countWrite(w, walMagic); err == nil {
+		err = j.countWrite(w, frame)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		j.dead = fmt.Errorf("journal: rotate: %w", err)
+		return
+	}
+	syncDir(j.dir)
+	// The anchor is durable: the new segment is now the authority.
+	old, oldName, oldSize := j.wal, segFileName(j.seg), j.segBytes
+	j.wal = f
+	j.w = w
+	j.seg = next
+	j.segBytes = int64(len(walMagic) + len(frame))
+	old.Close()
+	if os.Remove(filepath.Join(j.dir, oldName)) == nil {
+		j.counters.Inc("compaction.wal.segments_deleted")
+		j.counters.Add("compaction.wal.bytes_reclaimed", oldSize)
+	}
+	syncDir(j.dir)
+	j.counters.Inc("compaction.wal.rotations")
+	if tr != nil {
+		tr.Emit("journal", obs.KindCompact, fmt.Sprintf("rotate seg %d", next), -1, oldSize, time.Since(start))
+	}
+}

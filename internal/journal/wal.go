@@ -37,6 +37,7 @@ const (
 	recRoute  byte = 4 // one dist coordinator routing decision
 	recDone   byte = 5 // successful completion + final fingerprint
 	recMember byte = 6 // one cluster membership transition, keyed by epoch
+	recAnchor byte = 7 // rotated-segment anchor: the full durable prefix state
 )
 
 // NamedSnapshot is one structure's serialized value, tagged with the codec
@@ -61,6 +62,20 @@ type routeRec struct {
 	Node int
 }
 type doneRec struct{ Fingerprint uint64 }
+
+// anchorRec is the first record of every rotated WAL segment: a snapshot
+// anchor carrying everything replay-from-inputs recovery needs from the
+// segments it supersedes — the run's initial snapshots plus the accumulated
+// picks, routes and membership transitions. Once an anchor is durable, every
+// older segment is dead weight and is deleted; recovery reads exactly one
+// segment, so resume-of-resume works across any number of rotations.
+type anchorRec struct {
+	Seg     int
+	Snaps   []NamedSnapshot
+	Picks   map[string][]uint64
+	Routes  map[string]int
+	Members []MemberRec // ascending by epoch
+}
 
 // memberRec is one cluster membership transition. Kind is the dist
 // layer's MemberEventKind as a raw byte — the journal stays ignorant of
@@ -91,30 +106,32 @@ type walRecord struct {
 	typ    byte
 	body   []byte // gob bytes after the type byte
 	offset int64  // offset of the record's header in the file
+	file   string // file the record came from, for error reporting
 }
 
 // scanWAL walks the framed records in buf (the file contents after the
 // magic). It stops at the first inconsistency: an incomplete record at the
 // physical end is reported as a TornTailError (recoverable — the caller
 // truncates at its offset); anything else is a CorruptError. base is the
-// file offset of buf's first byte, for error reporting.
-func scanWAL(buf []byte, base int64) (recs []walRecord, tornAt int64, err error) {
+// file offset of buf's first byte and file names the source, both for
+// error reporting.
+func scanWAL(buf []byte, base int64, file string) (recs []walRecord, tornAt int64, err error) {
 	off := int64(0)
 	n := int64(len(buf))
 	for off < n {
 		if n-off < 8 {
-			return recs, base + off, TornTailError{File: walName, Offset: base + off}
+			return recs, base + off, TornTailError{File: file, Offset: base + off}
 		}
 		length := int64(binary.LittleEndian.Uint32(buf[off : off+4]))
 		sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
 		if length == 0 || length > maxRecord {
-			return recs, 0, CorruptError{File: walName, Offset: base + off, Reason: fmt.Sprintf("implausible record length %d", length)}
+			return recs, 0, CorruptError{File: file, Offset: base + off, Reason: fmt.Sprintf("implausible record length %d", length)}
 		}
 		end := off + 8 + length
 		if end > n {
 			// The record claims more bytes than the file holds — the torn
 			// tail of a killed write.
-			return recs, base + off, TornTailError{File: walName, Offset: base + off}
+			return recs, base + off, TornTailError{File: file, Offset: base + off}
 		}
 		payload := buf[off+8 : end]
 		if crc32.ChecksumIEEE(payload) != sum {
@@ -122,11 +139,11 @@ func scanWAL(buf []byte, base int64) (recs []walRecord, tornAt int64, err error)
 				// The final record's bytes are all present but the content
 				// is short-changed — a tear inside the last write (e.g. a
 				// page that never hit the platter). Same recovery: truncate.
-				return recs, base + off, TornTailError{File: walName, Offset: base + off}
+				return recs, base + off, TornTailError{File: file, Offset: base + off}
 			}
-			return recs, 0, CorruptError{File: walName, Offset: base + off, Reason: "CRC mismatch"}
+			return recs, 0, CorruptError{File: file, Offset: base + off, Reason: "CRC mismatch"}
 		}
-		recs = append(recs, walRecord{typ: payload[0], body: payload[1:], offset: base + off})
+		recs = append(recs, walRecord{typ: payload[0], body: payload[1:], offset: base + off, file: file})
 		off = end
 	}
 	return recs, 0, nil
@@ -135,7 +152,7 @@ func scanWAL(buf []byte, base int64) (recs []walRecord, tornAt int64, err error)
 // decodeBody gob-decodes a record body into v.
 func decodeBody(r walRecord, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(r.body)).Decode(v); err != nil {
-		return CorruptError{File: walName, Offset: r.offset, Reason: fmt.Sprintf("record type %d undecodable: %v", r.typ, err)}
+		return CorruptError{File: r.file, Offset: r.offset, Reason: fmt.Sprintf("record type %d undecodable: %v", r.typ, err)}
 	}
 	return nil
 }

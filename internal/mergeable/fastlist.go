@@ -105,7 +105,7 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
-		l.vec = cow.FromSlice(out)
+		cow.Replace(&l.vec, cow.FromSlice(out))
 		l.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
@@ -121,7 +121,7 @@ func (l *FastList[T]) applySeq(op ot.Op) error {
 		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
-		l.vec = cow.FromSlice(out)
+		cow.Replace(&l.vec, cow.FromSlice(out))
 		return nil
 	case ot.SeqSet:
 		if v.Pos < 0 || v.Pos >= n {

@@ -93,7 +93,7 @@ func (q *FastQueue[T]) maybeCompact() {
 	if q.head < 64 || q.head <= q.vec.Len()/2 {
 		return
 	}
-	q.vec = cow.FromSlice(q.tail())
+	cow.Replace(&q.vec, cow.FromSlice(q.tail()))
 	q.head = 0
 }
 
@@ -134,7 +134,8 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		}
 		cur := q.tail()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
-		q.vec, q.head = cow.FromSlice(out), 0
+		cow.Replace(&q.vec, cow.FromSlice(out))
+		q.head = 0
 		q.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
@@ -149,7 +150,8 @@ func (q *FastQueue[T]) applySeq(op ot.Op) error {
 		}
 		cur := q.tail()
 		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
-		q.vec, q.head = cow.FromSlice(out), 0
+		cow.Replace(&q.vec, cow.FromSlice(out))
+		q.head = 0
 		return nil
 	case ot.SeqSet:
 		if v.Pos < 0 || v.Pos >= n {

@@ -109,7 +109,7 @@ func (l *List[T]) DeleteN(i, n int) {
 		}
 	} else {
 		cur := l.vec.Slice()
-		l.vec = cow.FromSlice(append(cur[:i:i], cur[i+n:]...))
+		cow.Replace(&l.vec, cow.FromSlice(append(cur[:i:i], cur[i+n:]...)))
 	}
 	l.fp.invalidate()
 	l.log.recordSeqDelete(i, n)
@@ -162,7 +162,7 @@ func (l *List[T]) applySeq(op ot.Op) error {
 		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], append(vals, cur[v.Pos:]...)...)
-		l.vec = cow.FromSlice(out)
+		cow.Replace(&l.vec, cow.FromSlice(out))
 		l.fp.invalidate()
 		return nil
 	case ot.SeqDelete:
@@ -178,7 +178,7 @@ func (l *List[T]) applySeq(op ot.Op) error {
 		}
 		cur := l.vec.Slice()
 		out := append(cur[:v.Pos:v.Pos], cur[v.Pos+v.N:]...)
-		l.vec = cow.FromSlice(out)
+		cow.Replace(&l.vec, cow.FromSlice(out))
 		return nil
 	case ot.SeqSet:
 		if v.Pos < 0 || v.Pos >= n {

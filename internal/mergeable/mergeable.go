@@ -107,6 +107,18 @@ type logState struct {
 	offset    int
 	local     []ot.Op
 	stale     bool
+	// pinVers/pinCnts are a small refcounted multiset of pinned versions:
+	// each live child of the owning task pins its base version at spawn or
+	// clone adoption and releases it at merge/abort/reap. History below the
+	// minimum pinned version (the watermark) can never be consulted by any
+	// future transform, so the GC may drop it. Parallel slices, unordered;
+	// fan-outs pin a handful of versions, so linear scans beat any map.
+	pinVers []int
+	pinCnts []int
+	// trimMark is transient scratch for the runtime's trim pass: seeded at
+	// the watermark, lowered by upward-propagation floors, then consumed by
+	// TrimToMark. Meaningless between passes.
+	trimMark int
 	// tracker is an opaque owner token for the runtime: the task currently
 	// holding this structure in its history-tracking set. It lets the
 	// per-spawn tracking pass skip structures already tracked with one
@@ -175,15 +187,18 @@ func (l *Log) Recycle() {
 		return
 	}
 	if len(s.committed) != 0 || len(s.local) != 0 || s.runKind != runNone ||
-		s.stale || s.tracker != nil {
+		s.stale || s.tracker != nil || len(s.pinVers) != 0 {
 		return
 	}
 	l.off = s.offset
-	// Keep the (reference-free) run-buffer backings with the pooled state:
-	// the next owner would otherwise reallocate them on its first burst.
+	// Keep the (reference-free) run-buffer and pin backings with the pooled
+	// state: the next owner would otherwise reallocate them on its first
+	// burst or fan-out.
 	spare, rsp, rse := s.runSpare, s.runSetPos[:0], s.runSetElems[:0]
+	pv, pc := s.pinVers[:0], s.pinCnts[:0]
 	*s = logState{}
 	s.runSpare, s.runSetPos, s.runSetElems = spare, rsp, rse
+	s.pinVers, s.pinCnts = pv, pc
 	l.s = nil
 	statePool.Put(s)
 }
@@ -475,24 +490,143 @@ func (l *Log) Commit(ops []ot.Op) {
 	}
 }
 
-// Trim drops committed history before version min. The runtime calls it
-// with the minimum base version across live children so long-running tasks
-// (e.g. the network simulation) do not accumulate unbounded history.
-func (l *Log) Trim(min int) {
+// Trim drops committed history before version min and reports how many
+// operations were dropped. The runtime calls it with the minimum base
+// version across live children so long-running tasks (e.g. the network
+// simulation) do not accumulate unbounded history.
+func (l *Log) Trim(min int) int {
 	if l.s == nil || min <= l.s.offset {
-		return
+		return 0
 	}
 	s := l.s
 	if max := l.CommittedLen(); min > max {
 		min = max
 	}
 	n := min - s.offset
+	if n <= 0 {
+		return 0
+	}
 	s.committed = append([]ot.Op(nil), s.committed[n:]...)
 	s.offset = min
 	if s.bufOwner == bufCommitted {
 		// The copy above moved the history off the inline buffer.
 		s.bufOwner = bufFree
 	}
+	return n
+}
+
+// Pin records a live reference to version ver of the committed history:
+// trims will never drop history at or after the minimum pinned version.
+// The runtime pins a child's base version at spawn (or when it adopts a
+// clone) and releases it when the child is reaped. Pins are refcounted, so
+// aliased data positions and sibling children sharing a base are fine.
+func (l *Log) Pin(ver int) {
+	s := l.state()
+	for i, v := range s.pinVers {
+		if v == ver {
+			s.pinCnts[i]++
+			return
+		}
+	}
+	s.pinVers = append(s.pinVers, ver)
+	s.pinCnts = append(s.pinCnts, 1)
+}
+
+// Unpin releases one reference to version ver. It panics on a version that
+// was never pinned — that would mean the runtime's spawn/reap accounting
+// broke, exactly the bug the panic exists to surface.
+func (l *Log) Unpin(ver int) {
+	s := l.s
+	if s != nil {
+		for i, v := range s.pinVers {
+			if v != ver {
+				continue
+			}
+			if s.pinCnts[i]--; s.pinCnts[i] == 0 {
+				last := len(s.pinVers) - 1
+				s.pinVers[i] = s.pinVers[last]
+				s.pinCnts[i] = s.pinCnts[last]
+				s.pinVers = s.pinVers[:last]
+				s.pinCnts = s.pinCnts[:last]
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("mergeable: Unpin(%d) without matching Pin", ver))
+}
+
+// MovePin atomically rebases one pin from version old to version new — the
+// sync-refresh path, where a child's base advances to the parent's current
+// version.
+func (l *Log) MovePin(old, new int) {
+	if old == new {
+		return
+	}
+	l.Pin(new)
+	l.Unpin(old)
+}
+
+// Pinned reports whether any live reference pins this log's history.
+func (l *Log) Pinned() bool { return l.s != nil && len(l.s.pinVers) > 0 }
+
+// Watermark returns the minimum pinned version — the version below which
+// no live child can ever look — and whether any pin exists.
+func (l *Log) Watermark() (int, bool) {
+	s := l.s
+	if s == nil || len(s.pinVers) == 0 {
+		return 0, false
+	}
+	min := s.pinVers[0]
+	for _, v := range s.pinVers[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min, true
+}
+
+// ResetTrimMark seeds the transient trim mark for one GC pass: at the pin
+// watermark when live children exist, at the full committed length (trim
+// everything) otherwise. The runtime then lowers the mark with
+// LowerTrimMark for every version it must keep and consumes it with
+// TrimToMark. The mark is scratch — it carries no meaning between passes.
+func (l *Log) ResetTrimMark() {
+	s := l.s
+	if s == nil {
+		return
+	}
+	if len(s.pinVers) > 0 {
+		min := s.pinVers[0]
+		for _, v := range s.pinVers[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		s.trimMark = min
+	} else {
+		s.trimMark = s.offset + len(s.committed)
+	}
+}
+
+// LowerTrimMark lowers the transient trim mark to v if v is lower.
+func (l *Log) LowerTrimMark(v int) {
+	if l.s != nil && v < l.s.trimMark {
+		l.s.trimMark = v
+	}
+}
+
+// TrimToMark trims to the transient trim mark, skipping the copy when
+// fewer than slack operations would drop (slack <= 0 trims eagerly).
+// Returns how many operations were dropped.
+func (l *Log) TrimToMark(slack int) int {
+	s := l.s
+	if s == nil {
+		return 0
+	}
+	if slack > 0 && s.trimMark-s.offset < slack {
+		return 0
+	}
+	return l.Trim(s.trimMark)
 }
 
 // RetainedLen returns how many committed operations are physically

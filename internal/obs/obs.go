@@ -65,6 +65,9 @@ const (
 
 	// Collaborative front door.
 	KindSession // session lifecycle (hello, resume, evict)
+
+	// Bounded-memory compaction.
+	KindCompact // history trim, WAL segment rotation, chunk reclaim
 )
 
 var kindNames = [...]string{
@@ -84,6 +87,7 @@ var kindNames = [...]string{
 	KindMember:     "member",
 	KindRebalance:  "rebalance",
 	KindSession:    "session",
+	KindCompact:    "compact",
 }
 
 // String returns the kind's short name.

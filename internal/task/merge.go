@@ -202,7 +202,35 @@ func (t *Task) awaitAny(set map[*Task]bool) *Task {
 // The returned error reports failures the parent did not choose: the
 // child's own error or a condition rejection. Externally aborted children
 // merge silently.
+// adoptPins pins c's base versions on its parent structures' logs. Spawn
+// leaves pinning to the parent (the child's bases are covered by the
+// spawner's own live pins until then — for a clone, by the cloning
+// sibling's) so pins are only ever touched from the goroutine that owns
+// the logs. Called before any merge of c and before any trim pass that
+// observes c live; idempotent via c.pinned.
+func (t *Task) adoptPins(c *Task) {
+	if c.pinned {
+		return
+	}
+	for i, pm := range c.parentData {
+		pm.Log().Pin(c.bases[i])
+	}
+	c.pinned = true
+}
+
+// dropPins releases c's base pins when the parent reaps it.
+func (t *Task) dropPins(c *Task) {
+	if !c.pinned {
+		return
+	}
+	for i, pm := range c.parentData {
+		pm.Log().Unpin(c.bases[i])
+	}
+	c.pinned = false
+}
+
 func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
+	t.adoptPins(c)
 	if t.parent == nil && t.runtime.onRootMerge != nil {
 		// Root-merge observation for the journal's checkpoint cadence: the
 		// hook runs on the root goroutine once this merge has fully landed
@@ -371,6 +399,7 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 			lg.Trim(lg.CommittedLen())
 			lg.Recycle()
 		}
+		t.dropPins(c)
 		t.reap(c)
 		return reportErr
 	}
@@ -390,7 +419,25 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 				panic(fmt.Sprintf("task: refresh failed: %v", err))
 			}
 			c.data[i].Log().ClearStale()
-			c.bases[i] = pm.Log().CommittedLen()
+			lg := pm.Log()
+			nb := lg.CommittedLen()
+			lg.MovePin(c.bases[i], nb)
+			c.bases[i] = nb
+		}
+	}
+	if !t.runtime.gcDisable {
+		// The parent has consumed the child's contribution up to the floor
+		// and the child — quiescent, with all grandchildren collected — will
+		// never transform below it again. Trimming here is what keeps a
+		// long-lived sync-heavy leaf child's own history bounded: its copies
+		// are refreshed in place, so no other trim point ever sees them.
+		dropped := 0
+		for i, m := range c.data {
+			dropped += m.Log().Trim(c.floors[i])
+		}
+		if dropped > 0 && t.runtime.gcStats != nil {
+			t.runtime.gcStats.Inc("compaction.log.child_trims")
+			t.runtime.gcStats.Add("compaction.log.child_ops_dropped", int64(dropped))
 		}
 	}
 	c.resume <- resumeMsg{err: resumeErr}
@@ -404,21 +451,34 @@ func (t *Task) mergeChild(c *Task, cfg *mergeConfig) error {
 // version nor the upward-propagation floor still needs. Long-running
 // programs (the network simulation syncs thousands of times) would
 // otherwise accumulate unbounded operation logs.
+//
+// The pass is driven entirely by the base pins the runtime maintains on
+// each tracked log (see Log.Pin): pins of just-registered clones are
+// adopted first, each log's transient trim mark is seeded at its pin
+// watermark, lowered by this task's own floors, and consumed by
+// TrimToMark. No maps, no allocation — the old per-call min-version maps
+// were the last allocating step on the merge path.
 func (t *Task) trimHistories() {
-	if len(t.tracked) == 0 {
+	if len(t.tracked) == 0 || t.runtime.gcDisable {
 		return
+	}
+	var start time.Time
+	tr := t.runtime.obs
+	if tr != nil && t.runtime.gcSpans {
+		start = time.Now()
 	}
 	live := t.liveChildren()
 	if len(live) == 0 && t.parent == nil {
 		// Root with every child collected: nothing pins any history, so
-		// trim everything and drop the tracking set without building the
-		// min-version maps below. This is the tail of every fan-out. With
-		// the history gone and the tracker cleared the log state is fully
-		// empty, so it is recycled into the state pool — the next fan-out
-		// (or the next Run) picks it up instead of allocating.
+		// trim everything and drop the tracking set without the mark passes
+		// below. This is the tail of every fan-out. With the history gone
+		// and the tracker cleared the log state is fully empty, so it is
+		// recycled into the state pool — the next fan-out (or the next Run)
+		// picks it up instead of allocating.
+		dropped := 0
 		for i, m := range t.tracked {
 			lg := m.Log()
-			lg.Trim(lg.CommittedLen())
+			dropped += lg.Trim(lg.CommittedLen())
 			if lg.Tracker() == t {
 				lg.SetTracker(nil)
 			}
@@ -426,47 +486,43 @@ func (t *Task) trimHistories() {
 			t.tracked[i] = nil
 		}
 		t.tracked = t.tracked[:0]
+		t.noteTrim(dropped, start)
 		return
 	}
-	minKeep := make(map[mergeable.Mergeable]int, len(t.tracked))
-	for _, m := range t.tracked {
-		minKeep[m] = m.Log().CommittedLen()
-	}
-	// History at or after a live child's base must survive.
+	// Clones register their bases from the cloning sibling's goroutine and
+	// cannot pin the parent's logs themselves; adopt any not-yet-pinned
+	// child before computing watermarks, so its base holds history down.
 	for _, c := range live {
-		for i, pm := range c.parentData {
-			if b, ok := minKeep[pm]; ok && c.bases[i] < b {
-				minKeep[pm] = c.bases[i]
-			}
-		}
+		t.adoptPins(c)
+	}
+	for _, m := range t.tracked {
+		m.Log().ResetTrimMark()
 	}
 	// History at or after this task's own floor must survive too: it is
 	// this task's not-yet-propagated contribution to its parent. The root
 	// has no parent to propagate to, so it is exempt.
 	if t.parent != nil {
 		for i, m := range t.data {
-			if b, ok := minKeep[m]; ok && t.floors[i] < b {
-				minKeep[m] = t.floors[i]
+			if lg := m.Log(); lg.Tracker() == t {
+				lg.LowerTrimMark(t.floors[i])
 			}
 		}
 	}
-	referenced := make(map[mergeable.Mergeable]bool, len(live))
-	for _, c := range live {
-		for _, pm := range c.parentData {
-			referenced[pm] = true
-		}
-	}
+	dropped := 0
 	keep := t.tracked[:0]
 	for _, m := range t.tracked {
-		m.Log().Trim(minKeep[m])
-		if referenced[m] {
+		lg := m.Log()
+		dropped += lg.TrimToMark(t.runtime.gcSlack)
+		// A pinned log is some live child's parent structure and stays
+		// tracked; an unpinned one has no live reference and is released.
+		if lg.Pinned() {
 			keep = append(keep, m)
 			continue
 		}
 		// Keep the tracker-token invariant: clear it only if it is
 		// still ours (another task may have started tracking since).
-		if m.Log().Tracker() == t {
-			m.Log().SetTracker(nil)
+		if lg.Tracker() == t {
+			lg.SetTracker(nil)
 		}
 	}
 	// keep compacted in place; nil out the dropped tail so the backing
@@ -475,4 +531,23 @@ func (t *Task) trimHistories() {
 		t.tracked[i] = nil
 	}
 	t.tracked = keep
+	t.noteTrim(dropped, start)
+}
+
+// noteTrim reports one trim pass's dropped-op count to the compaction
+// counters and, when opted in, as a KindCompact span on a dedicated
+// "gc:<path>" track (dedicated because trim timing for a task with clones
+// in flight depends on registration races that never affect results —
+// span-determinism checks filter gc tracks out).
+func (t *Task) noteTrim(dropped int, start time.Time) {
+	if dropped == 0 {
+		return
+	}
+	if st := t.runtime.gcStats; st != nil {
+		st.Inc("compaction.log.trims")
+		st.Add("compaction.log.ops_dropped", int64(dropped))
+	}
+	if tr := t.runtime.obs; tr != nil && t.runtime.gcSpans {
+		tr.Emit("gc:"+t.spanTrack(), obs.KindCompact, "trim", -1, int64(dropped), time.Since(start))
+	}
 }

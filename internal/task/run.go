@@ -5,7 +5,34 @@ import (
 
 	"repro/internal/mergeable"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
+
+// HistoryGC tunes the incremental op-log garbage collector. The zero value
+// is the default behavior: eager trimming at every merge point, exactly as
+// if no knob existed.
+type HistoryGC struct {
+	// Disable turns history trimming off entirely. Results are identical —
+	// compaction never changes a merge outcome, which the differential
+	// compaction tests pin — but committed histories grow without bound, so
+	// this exists for those tests and for the soak harness's unbounded
+	// reference runs, not for production.
+	Disable bool
+	// Slack defers a trim until at least Slack operations would drop,
+	// amortizing the retained-suffix copy on high-frequency sync loops.
+	// Zero trims eagerly.
+	Slack int
+	// Stats, when non-nil, receives the compaction counter family:
+	// compaction.log.trims, compaction.log.ops_dropped,
+	// compaction.log.child_trims, compaction.log.child_ops_dropped.
+	Stats *stats.Counters
+	// Spans, when set (and RunConfig.Obs is non-nil), emits a
+	// obs.KindCompact span on a dedicated "gc:<path>" track for every trim
+	// pass that dropped operations. Off by default: trim timing for a task
+	// with clones in flight depends on registration races that never affect
+	// results, so gc spans are excluded from span-determinism checks.
+	Spans bool
+}
 
 // RunConfig bundles every optional runtime hook. The zero value is a
 // plain Run; the specialized runners (Run, RunPooled, RunTraced,
@@ -36,6 +63,9 @@ type RunConfig struct {
 	// obs and RunObserved). With Obs nil the spawn/merge hot path pays
 	// nothing — no allocations, no atomic traffic.
 	Obs *obs.Tracer
+	// History tunes the op-log garbage collector; the zero value trims
+	// eagerly (the default since the runtime existed).
+	History HistoryGC
 }
 
 // runFrame is the pooled per-Run allocation unit: the tree runtime, the
@@ -76,6 +106,10 @@ func getFrame() *runFrame {
 	rt.jitter = nil
 	rt.slots = nil
 	rt.obs = nil
+	rt.gcDisable = false
+	rt.gcSlack = 0
+	rt.gcStats = nil
+	rt.gcSpans = false
 	rt.frame = f
 	return f
 }
@@ -117,6 +151,10 @@ func RunWith(cfg RunConfig, fn Func, data ...mergeable.Mergeable) error {
 	rt.jitter = cfg.Jitter
 	rt.onRootMerge = cfg.OnRootMerge
 	rt.obs = cfg.Obs
+	rt.gcDisable = cfg.History.Disable
+	rt.gcSlack = cfg.History.Slack
+	rt.gcStats = cfg.History.Stats
+	rt.gcSpans = cfg.History.Spans
 	if cfg.MaxParallel > 0 {
 		rt.slots = make(chan struct{}, cfg.MaxParallel)
 	}

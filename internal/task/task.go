@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/mergeable"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // Func is the body of a task. It receives the task's context and its
@@ -106,6 +107,13 @@ type Task struct {
 	err       error
 	merged    bool // reaped by the parent
 	abortFlag atomic.Bool
+	// pinned reports whether this task's base versions are pinned on its
+	// parent structures' logs. The parent adopts pins lazily — at its first
+	// trim pass or merge that observes the child — because clones register
+	// from the cloning sibling's goroutine, which must not touch the
+	// parent's logs. Only the parent's goroutine reads or writes it, always
+	// before any trim of the histories the pins protect.
+	pinned bool
 	// rng is the lazily created task-local deterministic random source
 	// (see Ctx.Rand).
 	rng *rand.Rand
@@ -173,6 +181,11 @@ type treeRuntime struct {
 	// event (see package obs). Every hook site checks for nil first, so a
 	// run without a tracer pays nothing on the spawn/merge hot path.
 	obs *obs.Tracer
+	// History-GC tuning, copied from RunConfig.History (see HistoryGC).
+	gcDisable bool
+	gcSlack   int
+	gcStats   *stats.Counters
+	gcSpans   bool
 	// frame is the pooled run frame this runtime belongs to, nil when the
 	// runtime was built by hand (tests). It owns the task-shell freelist.
 	frame *runFrame
@@ -285,6 +298,7 @@ func initTask(t *Task, parent *Task, fn Func, data, parentData []mergeable.Merge
 	t.err = nil
 	t.merged = false
 	t.abortFlag.Store(false)
+	t.pinned = false
 	t.rng = nil
 	t.track = ""
 	t.runtime = rt
