@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill soak-collab soak-mem explore explore-deep churn compact fuzz fuzz-ot fuzz-batch fuzz-segment examples
+.PHONY: all build vet test race bench bench-gate figure3 figure3-full soak soak-trace soak-kill soak-collab soak-mem soak-shard explore explore-deep churn compact fuzz fuzz-ot fuzz-batch fuzz-segment examples
 
 # race is part of all so the fault-injection suite always runs under the
 # race detector.
@@ -23,10 +23,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Quick trajectory with the allocation gate: fails if a spawn-merge
-# roundtrip allocates more than the committed budget (see cmd/bench).
+# Quick trajectory with the allocation gates: fails if a spawn-merge
+# roundtrip or a shard routing lookup allocates more than the committed
+# budgets (see cmd/bench).
 bench-gate:
-	$(GO) run ./cmd/bench -quick -gate -out BENCH_PR9.quick.json
+	$(GO) run ./cmd/bench -quick -gate -out BENCH_PR10.quick.json
 
 # Regenerates Figure 3 and the Section III analysis (scaled-down sweep).
 figure3:
@@ -64,6 +65,14 @@ soak-collab:
 soak-mem:
 	$(GO) run ./cmd/soak -mem -duration 30s
 
+# Sharded-service smoke (<15s of runtime): one trimmed pass of the full
+# battery — 1/2/4-shard clean runs over memnet, a seeded-chaos round on
+# the inter-shard fabric, and a SIGKILL+resume of one journaled shard —
+# each verified against the single-process reference fingerprints. The
+# nightly job runs the full 100k-op pass.
+soak-shard:
+	$(GO) run ./cmd/soak -shard -shard-ops 4000 -duration 1ms
+
 # Bounded schedule exploration: exhaustively enumerate the MergeAny
 # fixtures, then random-walk the deterministic and chaos fixtures. The
 # whole pass fits in a CI smoke budget (well under 60s).
@@ -75,6 +84,7 @@ explore:
 	$(GO) run ./cmd/explore -scenario chaos -schedules 16
 	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128
 	$(GO) run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048
+	$(GO) run ./cmd/explore -scenario shard -strategy exhaustive -schedules 64
 
 # Deep exploration for the nightly job: big random-walk budgets, a
 # GOMAXPROCS sweep, crash-point sweeps on the journaled fixture, and
@@ -91,7 +101,9 @@ explore-deep:
 	$(GO) run ./cmd/explore -scenario session -strategy exhaustive -schedules 128 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario compact -strategy exhaustive -schedules 2048 -seeds explore-seeds
 	$(GO) run ./cmd/explore -scenario compact -schedules 8 -crash -crash-points 5 -segment-bytes 256 -retain-ckpts 1 -seeds explore-seeds
+	$(GO) run ./cmd/explore -scenario shard -strategy exhaustive -schedules 64 -seeds explore-seeds
 	$(GO) run ./cmd/soak -churn -duration 60s
+	$(GO) run ./cmd/soak -shard -duration 1s
 	$(GO) run ./cmd/soak -collab -duration 120s
 	$(GO) run ./cmd/soak -explore -duration 120s
 	$(GO) run ./cmd/soak -mem -duration 120s

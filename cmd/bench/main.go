@@ -1,5 +1,5 @@
 // Command bench runs the repository's core benchmark families outside `go
-// test` and writes a BENCH_PR9.json trajectory file, so successive PRs can
+// test` and writes a BENCH_PR10.json trajectory file, so successive PRs can
 // track ns/op and allocs/op against the recorded pre-PR baseline instead
 // of eyeballing `go test -bench` output.
 //
@@ -8,8 +8,9 @@
 //	go run ./cmd/bench            # full run (300ms per family, 5 rounds)
 //	go run ./cmd/bench -quick     # CI smoke: 30ms per family, 1 round
 //	go run ./cmd/bench -out F     # write the trajectory to F
-//	go run ./cmd/bench -gate      # exit non-zero if the roundtrip's
-//	                              # allocs/op exceed the committed budget
+//	go run ./cmd/bench -gate      # exit non-zero if the roundtrip's or
+//	                              # shard_route's allocs/op exceed the
+//	                              # committed budgets
 //
 // Each family is measured with testing.Benchmark and the median of
 // `rounds` ns/op is recorded — this machine's run-to-run noise is ±8%, so
@@ -69,6 +70,11 @@ var baselines = map[string]baseline{
 // `-gate` fails the run when the measured family exceeds it.
 const roundtripAllocBudget = 8
 
+// shardRouteAllocBudget is the committed budget for one routing lookup
+// (ring Owner + live-router RouteOf): both are read-locked searches over
+// prebuilt tables, so the steady state allocates nothing.
+const shardRouteAllocBudget = 0
+
 type baseline struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
@@ -92,6 +98,7 @@ type trajectory struct {
 	BaselineCommit string                  `json:"baseline_commit"`
 	Families       map[string]familyResult `json:"families"`
 	Order          []string                `json:"order"`
+	ShardSpine     []spineEntry            `json:"shard_spine,omitempty"`
 }
 
 // family is one named workload. The bodies mirror the same-named
@@ -439,8 +446,8 @@ func spanDump(path string) error {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: one short round per family")
-	out := flag.String("out", "BENCH_PR9.json", "trajectory file to write")
-	gate := flag.Bool("gate", false, "fail (exit 1) if spawn_merge_roundtrip exceeds its allocs/op budget")
+	out := flag.String("out", "BENCH_PR10.json", "trajectory file to write")
+	gate := flag.Bool("gate", false, "fail (exit 1) if spawn_merge_roundtrip or shard_route exceed their allocs/op budgets")
 	familyFilter := flag.String("family", "", "only run families whose name contains this substring")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured families to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the measured families to this file")
@@ -505,7 +512,7 @@ func main() {
 		}()
 	}
 
-	fams := families()
+	fams := append(families(), shardFamilies()...)
 	for _, f := range fams {
 		if *familyFilter != "" && !strings.Contains(f.name, *familyFilter) {
 			continue
@@ -543,6 +550,19 @@ func main() {
 		fmt.Println()
 	}
 
+	// The shard spine sweep is a wall-clock measurement (client throughput
+	// and merge-latency quantiles across topologies), not a testing.B
+	// family — it records absolute numbers per topology point rather than
+	// ns/op medians.
+	if *familyFilter == "" || strings.Contains("shard_spine", *familyFilter) {
+		spine, err := runShardSpine(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		traj.ShardSpine = spine
+	}
+
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -556,28 +576,37 @@ func main() {
 	fmt.Printf("wrote %s (%d families, benchtime %s × %d rounds)\n", *out, len(traj.Families), benchtime, rounds)
 
 	if *gate {
-		res, ok := traj.Families["spawn_merge_roundtrip"]
-		if !ok {
-			fmt.Fprintln(os.Stderr, "bench: gate: spawn_merge_roundtrip was filtered out of this run")
-			os.Exit(1)
+		budgets := []struct {
+			family string
+			budget uint64
+		}{
+			{"spawn_merge_roundtrip", roundtripAllocBudget},
+			{"shard_route", shardRouteAllocBudget},
 		}
-		allocs := res.AllocsPerOp
-		if allocs > roundtripAllocBudget {
-			// A single short quick-mode round can catch the frame, shell
-			// and scratch pools cold and amortize their warm-up over too
-			// few iterations; re-measure once warm before declaring a
-			// regression.
-			for _, f := range fams {
-				if f.name == "spawn_merge_roundtrip" {
-					allocs = uint64(testing.Benchmark(f.fn).AllocsPerOp())
+		for _, g := range budgets {
+			res, ok := traj.Families[g.family]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bench: gate: %s was filtered out of this run\n", g.family)
+				os.Exit(1)
+			}
+			allocs := res.AllocsPerOp
+			if allocs > g.budget {
+				// A single short quick-mode round can catch the frame, shell
+				// and scratch pools cold and amortize their warm-up over too
+				// few iterations; re-measure once warm before declaring a
+				// regression.
+				for _, f := range fams {
+					if f.name == g.family {
+						allocs = uint64(testing.Benchmark(f.fn).AllocsPerOp())
+					}
 				}
 			}
+			if allocs > g.budget {
+				fmt.Fprintf(os.Stderr, "bench: gate FAILED: %s allocs/op = %d, budget %d\n",
+					g.family, allocs, g.budget)
+				os.Exit(1)
+			}
+			fmt.Printf("gate: %s allocs/op %d within budget %d\n", g.family, allocs, g.budget)
 		}
-		if allocs > roundtripAllocBudget {
-			fmt.Fprintf(os.Stderr, "bench: gate FAILED: spawn_merge_roundtrip allocs/op = %d, budget %d\n",
-				allocs, roundtripAllocBudget)
-			os.Exit(1)
-		}
-		fmt.Printf("gate: spawn_merge_roundtrip allocs/op %d within budget %d\n", allocs, roundtripAllocBudget)
 	}
 }

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/memnet"
+	"repro/internal/shard"
+)
+
+// The sharded-spine measurements: a hot-path allocation family for the
+// routing lookups every session request pays (gated to zero allocs/op),
+// and a topology sweep recording merge latency and throughput for 1/2/4
+// shards with wire batching on and off.
+
+const (
+	spineClients = 64
+	spineDocs    = 32
+)
+
+func spineDocNames() []string {
+	names := make([]string, spineDocs)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%02d", i)
+	}
+	return names
+}
+
+func spineInitial() map[string]string {
+	m := make(map[string]string, spineDocs)
+	for _, name := range spineDocNames() {
+		m[name] = ""
+	}
+	return m
+}
+
+// shardFamilies are the allocation-sensitive routing lookups, measured
+// like every other family. shard_route covers both layers a request
+// crosses: the consistent-hash ring's Owner and the live router's
+// RouteOf (session redirect target). Steady state must be zero-alloc —
+// these run on every forwarded op.
+func shardFamilies() []family {
+	return []family{
+		{"shard_route", func(b *testing.B) {
+			b.ReportAllocs()
+			ring := shard.New([]int{0, 1, 2, 3}, 64, 1)
+			names := spineDocNames()
+			l := memnet.Listen(16)
+			s, err := collab.ServeSharded(l, spineInitial(), collab.ShardedOptions{Shards: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Shutdown()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				name := names[i%len(names)]
+				sink += ring.Owner(name) + s.RouteOf(name)
+			}
+			if sink == -1 {
+				b.Fatal("impossible route sum")
+			}
+		}},
+	}
+}
+
+// spineEntry is one topology point of the sharded-service sweep,
+// recorded into the trajectory's shard_spine section.
+type spineEntry struct {
+	Shards     int     `json:"shards"`
+	Batching   bool    `json:"batching"`
+	Ops        int     `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50MergeNs float64 `json:"p50_merge_ns"`
+	P99MergeNs float64 `json:"p99_merge_ns"`
+}
+
+// spineDrive pushes ops client edits through the sharded front door:
+// spineClients concurrent sessions, two per document, prepending unique
+// markers — batched through the queue in frames of 8 when batching is
+// on, one request round trip per op when off.
+func spineDrive(d collab.Dialer, edits int, batching bool) error {
+	names := spineDocNames()
+	errs := make(chan error, spineClients)
+	var wg sync.WaitGroup
+	for id := 0; id < spineClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := collab.DialWith(d, collab.ClientOptions{RequestTimeout: 10 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Use(names[id%len(names)]); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < edits; j++ {
+				marker := fmt.Sprintf("c%d-e%d;", id, j)
+				if batching {
+					c.QueueInsert(0, marker)
+					if c.Queued() >= 8 || j == edits-1 {
+						if err := c.Flush(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				} else if _, err := c.Insert(0, marker); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- c.Bye()
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShardSpine sweeps shards × batching and records per-point merge
+// latency quantiles (from the router's per-batch histogram) and
+// end-to-end client throughput. The same op budget runs at every point,
+// so the entries are directly comparable; quick mode trims the budget
+// for CI smoke.
+func runShardSpine(quick bool) ([]spineEntry, error) {
+	edits := 250 // × 64 clients = 16k ops per point
+	if quick {
+		edits = 30
+	}
+	var entries []spineEntry
+	for _, shards := range []int{1, 2, 4} {
+		for _, batching := range []bool{true, false} {
+			l := memnet.Listen(256)
+			s, err := collab.ServeSharded(l, spineInitial(), collab.ShardedOptions{
+				Shards:  shards,
+				NoBatch: !batching,
+			})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			err = spineDrive(l, edits, batching)
+			if serr := s.Shutdown(); serr != nil && err == nil {
+				err = serr
+			}
+			if err != nil {
+				return nil, fmt.Errorf("spine %d shards batching=%v: %w", shards, batching, err)
+			}
+			elapsed := time.Since(start)
+			ops := spineClients * edits
+			h := s.MergeLatency()
+			e := spineEntry{
+				Shards:     shards,
+				Batching:   batching,
+				Ops:        ops,
+				OpsPerSec:  float64(ops) / elapsed.Seconds(),
+				P50MergeNs: h.Quantile(0.5) * 1e9,
+				P99MergeNs: h.Quantile(0.99) * 1e9,
+			}
+			entries = append(entries, e)
+			fmt.Printf("shard_spine %d shards batching=%-5v %8.0f ops/s, merge p50 %8.0f ns p99 %8.0f ns\n",
+				e.Shards, e.Batching, e.OpsPerSec, e.P50MergeNs, e.P99MergeNs)
+		}
+	}
+	return entries, nil
+}

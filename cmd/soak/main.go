@@ -1235,6 +1235,8 @@ func main() {
 	explores := flag.Bool("explore", false, "soak the schedule explorer: rotate the built-in scenarios under random-walk exploration")
 	collabs := flag.Bool("collab", false, "soak the collab front door: chaos rounds must complete via reconnect+resume and converge, an overload round must shed without loss")
 	mem := flag.Bool("mem", false, "soak bounded memory: journaled GC-on runs must match the unbounded reference bit for bit while history, WAL and heap stay bounded")
+	shard := flag.Bool("shard", false, "soak the sharded document service: 1/2/4-shard runs plus chaos and shard kill/resume must all converge to the single-process reference fingerprints")
+	shardOps := flag.Int("shard-ops", 100000, "with -shard: client ops per run (CI smoke trims this down)")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address while soaking")
 	spandump := flag.String("spandump", "", "with -trace: write the last probe's span tree to this file")
 	killChildDir := flag.String("kill-child", "", "internal: run one journaled -kill worker in this directory")
@@ -1287,6 +1289,10 @@ func main() {
 	}
 	if *mem {
 		memSoak(*duration, *seed, reg)
+		return
+	}
+	if *shard {
+		shardSoak(*duration, *seed, *shardOps, reg)
 		return
 	}
 	var agg *repro.Tracer

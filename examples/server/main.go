@@ -22,9 +22,15 @@
 // document carries every acked edit exactly once, and the run prints the
 // session counters (resumes, replays, detaches) that prove the churn.
 //
+// With -shards the example runs the sharded document service: documents
+// consistent-hash onto per-shard merge loops behind one routing front,
+// clients push batched edits, and a new shard joins mid-traffic — the
+// handoff is invisible to clients thanks to the epoch fence.
+//
 //	go run ./examples/server [-clients 4] [-requests 3]
 //	go run ./examples/server -metrics 127.0.0.1:8321 -linger 60s
 //	go run ./examples/server -resilient [-clients 6] [-requests 8]
+//	go run ./examples/server -shards 2 [-clients 6] [-requests 16]
 package main
 
 import (
@@ -110,6 +116,75 @@ func handle(store *repro.Map[string, string], req string) string {
 	}
 }
 
+// shardedDemo runs the multi-node spine: documents consistent-hash onto
+// per-shard single-writer merge loops behind one routing front, clients
+// push batched edits, and mid-run a new shard joins — its doc ranges
+// hand off via snapshot transfer behind the epoch fence while traffic
+// keeps flowing. The run prints the final routing table, per-document
+// fingerprints and the shard merge-latency quantiles.
+func shardedDemo(shards, clients, edits int, seed int64) {
+	initial := map[string]string{
+		"alpha": "", "beta": "", "gamma": "", "delta": "", "epsilon": "",
+	}
+	listener := memnet.Listen(clients + 4)
+	srv, err := collab.ServeSharded(listener, initial, collab.ShardedOptions{
+		Shards: shards,
+		Front:  collab.Options{Seed: seed},
+	})
+	if err != nil {
+		log.Fatalf("serve sharded: %v", err)
+	}
+	names := srv.Names()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := collab.DialWith(listener, collab.ClientOptions{RequestTimeout: 5 * time.Second})
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			defer cl.Close()
+			if _, err := cl.Use(names[c%len(names)]); err != nil {
+				log.Fatalf("client %d: use: %v", c, err)
+			}
+			for i := 0; i < edits; i++ {
+				cl.QueueInsert(0, fmt.Sprintf("c%d-e%d;", c, i))
+				if cl.Queued() >= 4 || i == edits-1 {
+					if err := cl.Flush(); err != nil {
+						log.Fatalf("client %d edit %d: %v", c, i, err)
+					}
+				}
+			}
+			if err := cl.Bye(); err != nil {
+				log.Fatalf("client %d: bye: %v", c, err)
+			}
+		}(c)
+	}
+
+	// Live rebalance mid-traffic: shard N joins, takes over its ranges.
+	time.Sleep(5 * time.Millisecond)
+	if err := srv.AddShard(shards); err != nil {
+		log.Fatalf("add shard: %v", err)
+	}
+	wg.Wait()
+	if err := srv.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("routing table after shard %d joined (epoch %d):\n", shards, srv.Epoch())
+	for _, name := range names {
+		doc, _ := srv.Document(name)
+		fmt.Printf("  %-8s -> shard %d  (%3d bytes, fingerprint %016x)\n",
+			name, srv.RouteOf(name), len(doc), collab.CanonicalFingerprint(doc))
+	}
+	h := srv.MergeLatency()
+	fmt.Printf("%d edits across %d shards; merge p50 %.0fµs p99 %.0fµs over %d batches\n",
+		srv.Edits(), len(srv.ShardIDs()), h.Quantile(0.5)*1e6, h.Quantile(0.99)*1e6, h.Count())
+	fmt.Printf("service counters: %s\n", srv.Stats())
+}
+
 // resilientDemo runs the collab front door under fire: every client edits
 // the shared document through a seeded fault-injecting network, and on
 // top of the injected drops and resets each client yanks its own
@@ -164,12 +239,17 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	requests := flag.Int("requests", 3, "SET requests per client")
 	resilient := flag.Bool("resilient", false, "demo the collab front door: flaky clients reconnect+RESUME through injected faults")
+	shards := flag.Int("shards", 0, "demo the sharded document service: route documents over this many shards with a live join mid-traffic")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars and /metrics on this address")
 	linger := flag.Duration("linger", 0, "keep the process (and metrics endpoints) alive this long after the workload")
 	flag.Parse()
 
 	if *resilient {
 		resilientDemo(*clients, max(*requests, 8), 42)
+		return
+	}
+	if *shards > 0 {
+		shardedDemo(*shards, max(*clients, 6), max(*requests, 16), 42)
 		return
 	}
 

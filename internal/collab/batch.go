@@ -1,0 +1,241 @@
+package collab
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// Client-side op batching. QueueInsert/QueueDelete accumulate edits
+// locally, coalescing runs (an insert continuing exactly where the last
+// one ended extends it; a delete at the same position widens it), and
+// Flush ships them in CRC-framed batches of at most MaxBatch ops — one
+// wire round trip and one server merge per frame instead of one per op.
+// Any blocking call (Get, Insert, Bye, ...) flushes first, so queued ops
+// are never reordered around direct ones: flush-on-sync.
+//
+// Exactly-once carries over unchanged: every queued op still takes its
+// own sequence number, the server acks each, and a frame cut short by
+// BUSY or a transport failure is re-sent from the first unresolved op
+// with the same numbers — the replay window (or the sharded router's
+// retry identities) deduplicates whatever had already applied.
+
+// queuedOp is one coalesced edit awaiting Flush.
+type queuedOp struct {
+	ins  bool
+	pos  int
+	n    int    // DEL width
+	text string // INS text
+}
+
+// QueueInsert queues an insert for the next Flush, coalescing with the
+// previous queued op when it extends the same run.
+func (c *Client) QueueInsert(pos int, text string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.queue); n > 0 {
+		last := &c.queue[n-1]
+		if last.ins && pos == last.pos+len([]rune(last.text)) {
+			last.text += text
+			c.counters.Inc("coalesced")
+			return
+		}
+	}
+	c.queue = append(c.queue, queuedOp{ins: true, pos: pos, text: text})
+}
+
+// QueueDelete queues a delete for the next Flush, coalescing with a
+// previous delete at the same position (deleting k runes at p twice is
+// one delete of 2k at p).
+func (c *Client) QueueDelete(pos, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k := len(c.queue); k > 0 {
+		last := &c.queue[k-1]
+		if !last.ins && pos == last.pos {
+			last.n += n
+			c.counters.Inc("coalesced")
+			return
+		}
+	}
+	c.queue = append(c.queue, queuedOp{pos: pos, n: n})
+}
+
+// Queued returns the number of queued (post-coalescing) ops.
+func (c *Client) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Flush ships every queued op and waits for all acks. On error the
+// unresolved tail stays queued; resolved ops are acked server-side
+// either way. The first resolved per-op refusal (ErrProtocol,
+// ErrReadOnly) is returned after the rest of the batch settles.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	return c.flushLocked()
+}
+
+func (c *Client) flushLocked() error {
+	for len(c.queue) > 0 {
+		n := c.opts.MaxBatch
+		if n > len(c.queue) {
+			n = len(c.queue)
+		}
+		if err := c.flushChunkLocked(c.queue[:n]); err != nil {
+			return err
+		}
+		c.queue = c.queue[n:]
+	}
+	c.queue = nil
+	return nil
+}
+
+// flushChunkLocked drives one frame of ops to resolution. The frame
+// never exceeds the replay window, so after a reconnect every already-
+// applied op still resolves by replay.
+func (c *Client) flushChunkLocked(ops []queuedOp) error {
+	base := c.nextSeq
+	lines := make([]string, len(ops))
+	for i, op := range ops {
+		seq := base + uint64(i)
+		if op.ins {
+			lines[i] = fmt.Sprintf("%d INS %d %s", seq, op.pos, strconv.Quote(op.text))
+		} else {
+			lines[i] = fmt.Sprintf("%d DEL %d %d", seq, op.pos, op.n)
+		}
+	}
+	resolved := 0
+	var firstErr error
+	for attempt := 0; ; attempt++ {
+		if attempt >= c.opts.Backoff.MaxAttempts {
+			return &OverloadedError{Reason: "retries exhausted", RetryAfter: c.opts.Backoff.Cap}
+		}
+		if c.conn == nil {
+			if c.opts.NoAutoResume {
+				return fmt.Errorf("collab: not connected (auto-resume disabled): %w", net.ErrClosed)
+			}
+			if err := c.resumeLocked(); err != nil {
+				if errors.Is(err, ErrSessionExpired) || errors.Is(err, ErrClientClosed) {
+					return err
+				}
+				c.counters.Inc("reconnect_retry")
+				c.sleep(err, attempt)
+				continue
+			}
+		}
+		done, retryAfter, err := c.sendFrameLocked(lines[resolved:], base+uint64(resolved), &firstErr)
+		resolved += done
+		if resolved == len(ops) {
+			return firstErr
+		}
+		if err != nil {
+			if isResolvedClientError(err) {
+				return err
+			}
+			c.counters.Inc("transport_errors")
+			c.dropLocked()
+			if c.opts.NoAutoResume {
+				return err
+			}
+			c.sleep(err, attempt)
+			continue
+		}
+		// Tail shed with BUSY: retry the unresolved ops after the hint.
+		c.counters.Inc("busy")
+		c.sleep(&OverloadedError{Reason: "request", RetryAfter: retryAfter}, attempt)
+	}
+}
+
+// isResolvedClientError reports an error that terminates the flush
+// because retrying the same bytes cannot change the answer.
+func isResolvedClientError(err error) bool {
+	return errors.Is(err, ErrSessionExpired) || errors.Is(err, ErrClientClosed) ||
+		errors.As(err, new(*serverError))
+}
+
+// sendFrameLocked writes one frame and consumes one reply per line,
+// counting how many ops resolved (acked OK or acked ERR). A BUSY tail
+// stops the advance without error; per-op refusals are recorded into
+// firstErr but keep the frame advancing (they are acked).
+func (c *Client) sendFrameLocked(lines []string, baseSeq uint64, firstErr *error) (resolved int, retryAfter time.Duration, err error) {
+	frame, ferr := shard.AppendFrame(nil, lines)
+	if ferr != nil {
+		return 0, 0, &ProtocolError{Detail: ferr.Error()}
+	}
+	c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+	defer func() {
+		if c.conn != nil {
+			c.conn.SetDeadline(time.Time{})
+		}
+	}()
+	if _, werr := c.conn.Write(frame); werr != nil {
+		return 0, 0, fmt.Errorf("collab: write: %w", werr)
+	}
+	retryAfter = c.opts.Backoff.Base
+	advance := true
+	for i := 0; i < len(lines); i++ {
+		seq := baseSeq + uint64(i)
+		reply, rerr := c.r.ReadLine()
+		if rerr != nil {
+			return resolved, retryAfter, fmt.Errorf("collab: read: %w", rerr)
+		}
+		status, rest, _ := strings.Cut(strings.TrimSpace(reply), " ")
+		seqStr, detail, _ := strings.Cut(rest, " ")
+		rseq, perr := strconv.ParseUint(seqStr, 10, 64)
+		if perr != nil {
+			return resolved, retryAfter, &ProtocolError{Detail: fmt.Sprintf("unnumbered reply %q", reply)}
+		}
+		if rseq < seq {
+			i-- // stale replay from an earlier attempt
+			continue
+		}
+		if rseq > seq {
+			return resolved, retryAfter, &ProtocolError{Detail: fmt.Sprintf("reply for future seq %d (sent %d)", rseq, seq)}
+		}
+		switch status {
+		case "OK":
+			if advance {
+				c.acked, c.nextSeq = seq, seq+1
+				resolved++
+			}
+		case "ERR":
+			cat, why, _ := strings.Cut(detail, " ")
+			if cat != "READONLY" && cat != "PROTOCOL" {
+				return resolved, retryAfter, &serverError{detail: cat + " " + why}
+			}
+			if advance {
+				c.acked, c.nextSeq = seq, seq+1
+				resolved++
+				if *firstErr == nil {
+					if cat == "READONLY" {
+						*firstErr = &ReadOnlyError{Reason: why}
+					} else {
+						*firstErr = &ProtocolError{Detail: why}
+					}
+				}
+			}
+		case "BUSY":
+			// Everything from here on is unresolved; keep draining replies
+			// so the connection stays usable for the retry.
+			advance = false
+			retryAfter = retryHint(detail)
+		case "GONE":
+			c.counters.Inc("gone")
+			return resolved, retryAfter, &SessionExpiredError{ID: c.sid}
+		default:
+			return resolved, retryAfter, &ProtocolError{Detail: fmt.Sprintf("bad reply %q", reply)}
+		}
+	}
+	return resolved, retryAfter, nil
+}

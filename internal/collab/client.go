@@ -68,11 +68,18 @@ type ClientOptions struct {
 	// surface to the caller, who drives Reconnect/NewSession explicitly
 	// (the schedule explorer's mode).
 	NoAutoResume bool
+	// MaxBatch caps ops per batch frame sent by Flush. It must not
+	// exceed the server's replay window or a reconnect mid-frame can
+	// lose replay coverage. Zero means 8 (the default window).
+	MaxBatch int
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = defaultWindow
 	}
 	o.Backoff = o.Backoff.withDefaults()
 	return o
@@ -95,6 +102,7 @@ type Client struct {
 	nextSeq  uint64
 	acked    uint64 // highest reply seq received
 	inflight string // full request line awaiting a reply ("" when idle)
+	queue    []queuedOp
 	closed   bool
 	counters *stats.Counters
 }
@@ -242,6 +250,13 @@ func (c *Client) roundtrip(format string, args ...any) (string, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return "", ErrClientClosed
+	}
+	// Flush-on-sync: queued batch ops ship before any direct request so
+	// the server applies everything in the order the caller issued it.
+	if len(c.queue) > 0 {
+		if err := c.flushLocked(); err != nil {
+			return "", err
+		}
 	}
 	seq := c.nextSeq
 	line := fmt.Sprintf("%d %s", seq, fmt.Sprintf(format, args...))

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -61,15 +62,22 @@ type sessionOutcome struct {
 	mutated bool
 	quit    bool
 	noSync  bool // USE/LIST answer from session state; no merge needed
+	shed    bool // could not be applied now (e.g. shard unreachable):
+	//              reply BUSY, do NOT ack — the client retries the seq
 }
 
 // sessionHandler binds the front door to one connection task: apply
 // executes a command against the task's data copies, sync merges them
-// into the root, onMutate accounts an applied edit.
+// into the root, onMutate accounts an applied edit. applyBatch, when
+// set, handles a whole frame of already-admitted commands at once (the
+// sharded router groups them into wire batches); it must return one
+// outcome per command and, once an outcome sheds, shed every later one
+// too — the front cannot ack past an unresolved sequence number.
 type sessionHandler struct {
-	apply    func(sess *Session, cmd string) sessionOutcome
-	sync     func() error
-	onMutate func()
+	apply      func(sess *Session, seq uint64, cmd string) sessionOutcome
+	applyBatch func(sess *Session, seqs []uint64, cmds []string) []sessionOutcome
+	sync       func() error
+	onMutate   func()
 }
 
 // isHandshake reports whether a connection's first line enters session
@@ -99,10 +107,27 @@ func (f *front) serve(socket net.Conn, r *bufio.Reader, first string, h sessionH
 			f.counters.Inc("detached")
 		}
 	}()
+	fr := shard.NewFrameReader(r)
 	for {
-		line, err := r.ReadString('\n')
+		lines, line, isFrame, err := fr.Next()
 		if err != nil {
-			return nil // transport gone: detach, session stays resumable
+			// Transport gone — or a damaged batch frame, which we treat
+			// the same way: the client re-sends on a fresh connection and
+			// the replay window deduplicates.
+			return nil
+		}
+		if isFrame {
+			f.counters.Inc("frames")
+			quit, err := f.requestFrame(socket, sess, lines, h)
+			if err != nil {
+				return err
+			}
+			if quit {
+				f.table.remove(sess)
+				f.counters.Inc("closed")
+				return nil
+			}
+			continue
 		}
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -171,6 +196,13 @@ func (f *front) request(socket net.Conn, sess *Session, seq uint64, cmd string, 
 	tick := f.table.tick()
 	sess.proc.Lock()
 	defer sess.proc.Unlock()
+	if !sess.current(socket) {
+		// A resume stole the session while we queued for proc. The client
+		// re-sends on the new transport; applying here would spend backend
+		// work (and, sharded, forwarding retries) on a dead socket.
+		f.counters.Inc("stale_conn")
+		return false, nil
+	}
 
 	switch last := sess.acked(); {
 	case seq <= last:
@@ -211,7 +243,14 @@ func (f *front) request(socket net.Conn, sess *Session, seq uint64, cmd string, 
 		return false, nil
 	}
 
-	out := h.apply(sess, cmd)
+	out := h.apply(sess, seq, cmd)
+	if out.shed {
+		// The backend could not take the request (shard handoff or outage
+		// in flight): shed without acking so the retry lands cleanly.
+		f.counters.Inc("busy_route")
+		fmt.Fprintf(socket, "BUSY %d %d\n", seq, f.adm.retryMillis())
+		return false, nil
+	}
 	if out.mutated {
 		h.onMutate()
 	}
@@ -239,6 +278,161 @@ func (f *front) request(socket net.Conn, sess *Session, seq uint64, cmd string, 
 	sess.ack(seq, reply, f.adm.WindowSize)
 	fmt.Fprintln(socket, reply)
 	return out.quit, nil
+}
+
+// requestFrame processes one batch frame of numbered requests under the
+// session's processing lock. Admission runs per request in frame order
+// against a virtual acked frontier; every admitted command is applied,
+// the whole frame merges once (the batching win), and acks are recorded
+// strictly in sequence order. The invariant that makes this safe is the
+// same one request() keeps: a seq is acked only when every earlier seq
+// is acked, so once one request is shed (BUSY) or refused without an
+// ack, everything after it in the frame is shed too — even if a backend
+// already applied it, the retry resolves by replay.
+func (f *front) requestFrame(socket net.Conn, sess *Session, frame []string, h sessionHandler) (quit bool, err error) {
+	sess.proc.Lock()
+	defer sess.proc.Unlock()
+	if !sess.current(socket) {
+		// Same stale-attachment bailout as request(): under chaos, resumed
+		// clients can queue dozens of dead connections on proc; each must
+		// release it immediately or the live connection starves behind
+		// forwarding retries done on behalf of sockets nobody reads.
+		f.counters.Inc("stale_conn")
+		return false, nil
+	}
+
+	type item struct {
+		seq     uint64
+		reply   string // early reply; "" while the outcome is pending
+		ackable bool   // early reply that acks (READONLY refusal)
+		applyAt int    // index into cmds, or -1
+	}
+	items := make([]item, 0, len(frame))
+	var seqs []uint64
+	var cmds []string
+	frontier := sess.acked()
+	blocked := false // a non-acking refusal poisons the rest of the frame
+
+	for _, line := range frame {
+		tick := f.table.tick()
+		seqStr, cmd, found := strings.Cut(line, " ")
+		seq, perr := strconv.ParseUint(seqStr, 10, 64)
+		if !found || perr != nil || seq == 0 {
+			f.counters.Inc("bad_request")
+			items = append(items, item{reply: fmt.Sprintf("ERR 0 PROTOCOL numbered request expected, got %q", line), applyAt: -1})
+			continue
+		}
+		it := item{seq: seq, applyAt: -1}
+		switch {
+		case seq <= sess.acked():
+			if reply, ok := sess.replay(seq); ok {
+				f.counters.Inc("replayed")
+				it.reply = reply
+			} else {
+				f.counters.Inc("window_miss")
+				it.reply = fmt.Sprintf("GONE %d", seq)
+			}
+		case blocked:
+			it.reply = fmt.Sprintf("BUSY %d %d", seq, f.adm.retryMillis())
+		case seq != frontier+1:
+			f.counters.Inc("bad_request")
+			it.reply = fmt.Sprintf("ERR %d PROTOCOL sequence gap (want %d)", seq, frontier+1)
+		default:
+			mutating := isMutation(cmd)
+			switch {
+			case mutating && f.draining.Load():
+				f.counters.Inc("readonly_refused")
+				it.reply = fmt.Sprintf("ERR %d READONLY draining", seq)
+				it.ackable = true
+				frontier++
+			case !sess.takeToken(tick, f.adm):
+				f.counters.Inc("busy_rate")
+				it.reply = fmt.Sprintf("BUSY %d %d", seq, f.adm.retryMillis())
+				blocked = true
+			case mutating && f.adm.MaxPending > 0 && f.pending.Load() >= int64(f.adm.MaxPending):
+				f.counters.Inc("busy_merges")
+				it.reply = fmt.Sprintf("BUSY %d %d", seq, f.adm.retryMillis())
+				blocked = true
+			default:
+				it.applyAt = len(cmds)
+				seqs = append(seqs, seq)
+				cmds = append(cmds, cmd)
+				frontier++
+			}
+		}
+		items = append(items, it)
+	}
+
+	var outs []sessionOutcome
+	if len(cmds) > 0 {
+		if h.applyBatch != nil {
+			outs = h.applyBatch(sess, seqs, cmds)
+		} else {
+			outs = make([]sessionOutcome, len(cmds))
+			for i := range cmds {
+				outs[i] = h.apply(sess, seqs[i], cmds[i])
+			}
+		}
+		needSync := false
+		for _, out := range outs {
+			if out.shed {
+				continue
+			}
+			if out.mutated {
+				h.onMutate()
+			}
+			if !out.noSync {
+				needSync = true
+			}
+		}
+		if needSync {
+			f.pending.Add(1)
+			err := h.sync()
+			f.pending.Add(-1)
+			if err != nil {
+				fmt.Fprintf(socket, "ERR %d INTERNAL %v\n", seqs[0], err)
+				return false, err
+			}
+		}
+	}
+
+	// Finalize in frame order: payloads render post-merge, acks advance
+	// the real frontier sequentially, and the first shed converts every
+	// later would-be ack into a BUSY (no gaps in the ack order).
+	var buf []byte
+	shed := false
+	for _, it := range items {
+		reply := it.reply
+		switch {
+		case it.applyAt >= 0:
+			out := outs[it.applyAt]
+			if shed || out.shed {
+				shed = true
+				f.counters.Inc("busy_route")
+				reply = fmt.Sprintf("BUSY %d %d", it.seq, f.adm.retryMillis())
+				break
+			}
+			if out.status == "OK" {
+				reply = fmt.Sprintf("OK %d %s", it.seq, out.payload())
+			} else {
+				reply = fmt.Sprintf("ERR %d PROTOCOL %s", it.seq, strings.TrimPrefix(out.status, "ERR "))
+			}
+			sess.ack(it.seq, reply, f.adm.WindowSize)
+			if out.quit {
+				quit = true
+			}
+		case it.ackable:
+			if shed {
+				reply = fmt.Sprintf("BUSY %d %d", it.seq, f.adm.retryMillis())
+				break
+			}
+			sess.ack(it.seq, reply, f.adm.WindowSize)
+		}
+		buf = append(buf, reply...)
+		buf = append(buf, '\n')
+	}
+	socket.Write(buf)
+	return quit, nil
 }
 
 // drain flips the server read-only: GETs are served, mutations refused

@@ -146,7 +146,7 @@ func (s *MultiServer) connTask(socket net.Conn) task.Func {
 		first = strings.TrimSpace(first)
 		if isHandshake(first) {
 			return s.front.serve(socket, r, first, sessionHandler{
-				apply:    func(sess *Session, cmd string) sessionOutcome { return s.applyMulti(sess, cmd, data) },
+				apply:    func(sess *Session, _ uint64, cmd string) sessionOutcome { return s.applyMulti(sess, cmd, data) },
 				sync:     ctx.Sync,
 				onMutate: edits.Inc,
 			})

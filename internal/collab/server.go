@@ -163,7 +163,7 @@ func (s *Server) connTask(socket net.Conn) task.Func {
 		first = strings.TrimSpace(first)
 		if isHandshake(first) {
 			return s.front.serve(socket, r, first, sessionHandler{
-				apply: func(_ *Session, cmd string) sessionOutcome {
+				apply: func(_ *Session, _ uint64, cmd string) sessionOutcome {
 					reply, mutated, quit := applyRequest(doc, cmd)
 					return sessionOutcome{
 						status:  reply,

@@ -94,6 +94,16 @@ func (s *Session) attach(c net.Conn) {
 	}
 }
 
+// current reports whether c is still the session's attachment. A serve
+// loop that lost a resume race checks this after acquiring proc: its
+// pending requests will be re-sent on the new transport, so processing
+// them here would only burn backend work on a dead socket.
+func (s *Session) current(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attached == c
+}
+
 // detach marks the session detached at the given logical tick — but only
 // if conn is still the current attachment (a resume may have stolen it).
 // Returns whether this call performed the detach.

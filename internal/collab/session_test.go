@@ -119,6 +119,17 @@ func TestReplayDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Drop()
+	// Wait for the old attachment to finish: it applies the delivered
+	// request, fails to write the reply, and detaches. Resuming before
+	// that would race the steal — the old serve loop abandons requests
+	// once its socket is no longer the session's attachment, and the
+	// re-send would then apply fresh instead of exercising replay.
+	for i := 0; s.Stats().Get("detached") == 0; i++ {
+		if i > 1000 {
+			t.Fatal("old attachment never detached")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if err := c.Reconnect(); err != nil {
 		t.Fatalf("resume: %v", err)
 	}

@@ -1,0 +1,495 @@
+package collab
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mergeable"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// The internal shard protocol, spoken between the sharded router and a
+// shard host over memnet/faultnet. Frames batch APPLY lines; replies are
+// one line per request, in request order:
+//
+//	SHELLO <epoch>                    → OK <epoch> | STALE <host-epoch>
+//	APPLY <rid> <epoch> <doc> <cmd>   → OK <rid> <quoted-doc>
+//	                                  → ERR <rid> <detail>     resolved; never applied
+//	                                  → STALE <rid> <host-epoch>  epoch fence
+//	                                  → MOVED <rid>            doc not owned here
+//
+// rid is the router-assigned retry identity: at-least-once delivery from
+// the router collapses to exactly-once because a shard records every
+// applied rid (durably, when journaled) and answers retries from that
+// table. GETs carry rid "-": they are idempotent and skip the table.
+//
+// Each host is its own task tree — the per-shard single-writer merge
+// loop. Router pipes become connection tasks whose local copies are
+// OT-merged by the root, so concurrent pipes interleave exactly like
+// concurrent clients on the unsharded server.
+
+// ridClaim tracks one rid through apply: done closes when the op is
+// resolved (applied and, when journaled, flushed). A claim that fails
+// before resolution is deleted and its done closed, waking waiters to
+// re-claim.
+type ridClaim struct {
+	doc  string
+	done chan struct{}
+}
+
+// shardHostConfig carries the shared plumbing a ShardedServer hands each
+// incarnation.
+type shardHostConfig struct {
+	counters *stats.Counters
+	tracer   *obs.Tracer
+	hist     *stats.Histogram // merge latency across all shards
+	fence    bool             // epoch fence; false plants the stale-owner bug
+	log      *shard.OpLog     // nil: no durability
+}
+
+// shardHost is one incarnation of one shard: a task-tree server over the
+// shard's document subset at a single fence epoch. Handoffs and resumes
+// build new incarnations; an incarnation's documents are readable only
+// after wait().
+type shardHost struct {
+	id        int
+	epoch     atomic.Uint64
+	names     []string // owned docs, sorted
+	docs      []*mergeable.Text
+	edits     *mergeable.Counter
+	editsBase int64
+	ln        Listener
+	cfg       shardHostConfig
+
+	mu     sync.Mutex
+	dedup  map[string]*ridClaim
+	conns  map[net.Conn]struct{}
+	killed bool
+
+	done chan struct{}
+	err  error
+}
+
+// startShardHost boots an incarnation over the given contents. dedupSeed
+// pre-resolves rids applied by earlier incarnations (handoff transfer or
+// oplog replay). When cfg.log is set, the incarnation's snapshot frame is
+// written before it serves, so a later replay starts from this state.
+func startShardHost(id int, epoch uint64, contents map[string]string, dedupSeed map[string]string, editsBase int64, ln Listener, cfg shardHostConfig) (*shardHost, error) {
+	names := make([]string, 0, len(contents))
+	for name := range contents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := &shardHost{
+		id:        id,
+		names:     names,
+		edits:     mergeable.NewCounter(0),
+		editsBase: editsBase,
+		ln:        ln,
+		cfg:       cfg,
+		dedup:     make(map[string]*ridClaim, len(dedupSeed)),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+	}
+	h.epoch.Store(epoch)
+	for rid, doc := range dedupSeed {
+		c := &ridClaim{doc: doc, done: make(chan struct{})}
+		close(c.done)
+		h.dedup[rid] = c
+	}
+	data := make([]mergeable.Mergeable, 0, len(names)+1)
+	for _, name := range names {
+		doc := mergeable.NewText(contents[name])
+		h.docs = append(h.docs, doc)
+		data = append(data, doc)
+	}
+	data = append(data, h.edits)
+
+	if cfg.log != nil {
+		snap := make([]string, 0, len(names)+len(dedupSeed)+2)
+		snap = append(snap, fmt.Sprintf("E %d", epoch), fmt.Sprintf("B %d", editsBase))
+		for _, name := range names {
+			snap = append(snap, fmt.Sprintf("S %s %s", name, strconv.Quote(contents[name])))
+		}
+		for rid, doc := range dedupSeed {
+			snap = append(snap, fmt.Sprintf("D %s %s", rid, doc))
+		}
+		if err := cfg.log.Append(snap); err != nil {
+			return nil, err
+		}
+		if err := cfg.log.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	go func() {
+		defer close(h.done)
+		h.err = task.RunWith(task.RunConfig{Obs: cfg.tracer}, func(ctx *task.Ctx, d []mergeable.Mergeable) error {
+			ctx.Spawn(h.acceptTask, d...)
+			for {
+				if _, err := ctx.MergeAny(); err != nil {
+					if errors.Is(err, task.ErrNothingToMerge) {
+						return nil
+					}
+					continue
+				}
+			}
+		}, data...)
+	}()
+	return h, nil
+}
+
+func (h *shardHost) acceptTask(ctx *task.Ctx, data []mergeable.Mergeable) error {
+	for {
+		socket, err := h.ln.Accept()
+		if err != nil {
+			return nil
+		}
+		h.mu.Lock()
+		if h.killed {
+			h.mu.Unlock()
+			socket.Close()
+			continue
+		}
+		h.conns[socket] = struct{}{}
+		h.mu.Unlock()
+		ctx.Clone(h.connTask(socket))
+	}
+}
+
+func (h *shardHost) dropConn(socket net.Conn) {
+	h.mu.Lock()
+	delete(h.conns, socket)
+	h.mu.Unlock()
+}
+
+func (h *shardHost) connTask(socket net.Conn) task.Func {
+	return func(ctx *task.Ctx, data []mergeable.Mergeable) error {
+		defer socket.Close()
+		defer h.dropConn(socket)
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		r := bufio.NewReader(socket)
+		fr := shard.NewFrameReader(r)
+
+		// Handshake: a single SHELLO line carrying the dialer's epoch.
+		_, first, isFrame, err := fr.Next()
+		if err != nil || isFrame {
+			return nil
+		}
+		eStr, ok := strings.CutPrefix(first, "SHELLO ")
+		if !ok {
+			fmt.Fprintf(socket, "ERR - bad handshake %q\n", first)
+			return nil
+		}
+		dialEpoch, perr := strconv.ParseUint(strings.TrimSpace(eStr), 10, 64)
+		if own := h.epoch.Load(); perr != nil || (h.cfg.fence && dialEpoch != own) {
+			h.cfg.counters.Inc("shard_stale_hello")
+			fmt.Fprintf(socket, "STALE %d\n", own)
+			return nil
+		}
+		fmt.Fprintf(socket, "OK %d\n", h.epoch.Load())
+
+		for {
+			lines, legacy, isFrame, err := fr.Next()
+			if err != nil {
+				return nil // transport gone or damaged frame: router re-sends
+			}
+			if !isFrame {
+				lines = []string{legacy}
+			} else {
+				h.cfg.counters.Inc("shard_frames")
+			}
+			if err := h.processBatch(ctx, socket, data, lines); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// hostReq is one APPLY of a batch on its way through the pipeline.
+type hostReq struct {
+	rid     string
+	docIdx  int
+	cmd     string
+	reply   string // fixed early reply (parse error / STALE / MOVED / replay)
+	apply   bool
+	mutated bool
+	claim   *ridClaim // claim owned by this batch, nil otherwise
+}
+
+// processBatch runs one frame (or bare line) of APPLYs through the
+// single-writer pipeline: fence, dedup claim, apply to the connection
+// task's copies, one merge for the whole batch, one oplog flush before
+// any ack (flush-on-sync), then replies in request order. Only a failed
+// merge propagates; durability failure silently drops the connection so
+// the router's retry path takes over.
+func (h *shardHost) processBatch(ctx *task.Ctx, socket net.Conn, data []mergeable.Mergeable, lines []string) error {
+	reqs := make([]hostReq, len(lines))
+	inBatch := make(map[string]bool, len(lines))
+	edits := data[len(h.names)].(*mergeable.Counter)
+	needSync := false
+
+	release := func() {
+		for i := range reqs {
+			if c := reqs[i].claim; c != nil {
+				h.mu.Lock()
+				delete(h.dedup, reqs[i].rid)
+				h.mu.Unlock()
+				close(c.done)
+				reqs[i].claim = nil
+			}
+		}
+	}
+
+	for i, line := range lines {
+		req := &reqs[i]
+		fields := strings.SplitN(line, " ", 5)
+		if len(fields) < 5 || fields[0] != "APPLY" {
+			req.rid, req.reply = "-", fmt.Sprintf("ERR - bad request %q", line)
+			continue
+		}
+		req.rid, req.cmd = fields[1], fields[4]
+		epoch, perr := strconv.ParseUint(fields[2], 10, 64)
+		if perr != nil {
+			req.reply = fmt.Sprintf("ERR %s bad epoch", req.rid)
+			continue
+		}
+		if own := h.epoch.Load(); h.cfg.fence && epoch != own {
+			h.cfg.counters.Inc("shard_stale_apply")
+			req.reply = fmt.Sprintf("STALE %s %d", req.rid, own)
+			continue
+		}
+		req.docIdx = h.docIndex(fields[3])
+		if req.docIdx < 0 {
+			h.cfg.counters.Inc("shard_moved")
+			req.reply = fmt.Sprintf("MOVED %s", req.rid)
+			continue
+		}
+		if !isMutation(req.cmd) {
+			req.apply = true // idempotent read: no claim
+			needSync = true
+			continue
+		}
+		if inBatch[req.rid] {
+			req.reply = fmt.Sprintf("ERR %s duplicate rid in batch", req.rid)
+			continue
+		}
+		inBatch[req.rid] = true
+		claim, replay := h.claimRID(req.rid, fields[3])
+		if replay {
+			h.cfg.counters.Inc("shard_replayed")
+			doc := data[req.docIdx].(*mergeable.Text)
+			req.reply = fmt.Sprintf("OK %s %s", req.rid, strconv.Quote(doc.String()))
+			continue
+		}
+		req.claim = claim
+		req.apply = true
+		needSync = true
+	}
+
+	// Apply phase: every fresh op lands on this task's local copies.
+	var records []string
+	for i := range reqs {
+		req := &reqs[i]
+		if !req.apply {
+			continue
+		}
+		doc := data[req.docIdx].(*mergeable.Text)
+		status, mutated, _ := applyRequest(doc, req.cmd)
+		req.mutated = mutated
+		if strings.HasPrefix(status, "ERR") {
+			// Never applied: release this rid so a corrected retry can land.
+			if req.claim != nil {
+				h.mu.Lock()
+				delete(h.dedup, req.rid)
+				h.mu.Unlock()
+				close(req.claim.done)
+				req.claim = nil
+			}
+			req.apply = false
+			req.reply = fmt.Sprintf("ERR %s %s", req.rid, strings.TrimPrefix(status, "ERR "))
+			continue
+		}
+		if mutated {
+			edits.Inc()
+			records = append(records, fmt.Sprintf("A %s %s %s", req.rid, h.names[req.docIdx], req.cmd))
+		}
+	}
+
+	if needSync {
+		start := time.Now()
+		if err := ctx.Sync(); err != nil {
+			release()
+			fmt.Fprintf(socket, "ERR - INTERNAL %v\n", err)
+			return err
+		}
+		h.cfg.hist.RecordDuration(time.Since(start))
+	}
+
+	// Durability before acks: the flush-on-sync rule. A closed log means
+	// this incarnation was killed — drop the connection without acking.
+	if len(records) > 0 && h.cfg.log != nil {
+		if err := h.cfg.log.Append(records); err != nil {
+			release()
+			return nil
+		}
+		if err := h.cfg.log.Flush(); err != nil {
+			release()
+			return nil
+		}
+	}
+
+	// Resolve claims, then ack everything in request order.
+	var out []byte
+	for i := range reqs {
+		req := &reqs[i]
+		if req.claim != nil {
+			close(req.claim.done)
+			req.claim = nil
+		}
+		if req.reply == "" {
+			doc := data[req.docIdx].(*mergeable.Text)
+			req.reply = fmt.Sprintf("OK %s %s", req.rid, strconv.Quote(doc.String()))
+		}
+		out = append(out, req.reply...)
+		out = append(out, '\n')
+	}
+	socket.Write(out)
+	return nil
+}
+
+// claimRID resolves one rid against the applied table: (claim, false)
+// hands the caller ownership of a fresh rid; (nil, true) reports an
+// already-applied rid to answer by replay. A rid mid-flight on another
+// connection blocks until that flight resolves or releases.
+func (h *shardHost) claimRID(rid, doc string) (*ridClaim, bool) {
+	for {
+		h.mu.Lock()
+		c, ok := h.dedup[rid]
+		if !ok {
+			c = &ridClaim{doc: doc, done: make(chan struct{})}
+			h.dedup[rid] = c
+			h.mu.Unlock()
+			return c, false
+		}
+		select {
+		case <-c.done:
+			h.mu.Unlock()
+			return nil, true
+		default:
+		}
+		h.mu.Unlock()
+		<-c.done // another connection owns this rid; wait it out
+	}
+}
+
+func (h *shardHost) docIndex(name string) int {
+	lo, hi := 0, len(h.names)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.names[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.names) && h.names[lo] == name {
+		return lo
+	}
+	return -1
+}
+
+// setEpoch bumps the fence in place — used when a rebalance leaves this
+// shard's document set untouched, so no restart is needed.
+func (h *shardHost) setEpoch(e uint64) { h.epoch.Store(e) }
+
+// closeConns severs every live router pipe.
+func (h *shardHost) closeConns() {
+	h.mu.Lock()
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// shutdown drains the incarnation for handoff: the listener and pipes
+// close, in-flight batches finish their apply-sync-record sequence, the
+// task tree completes. After shutdown the documents are exact — every
+// acked op is merged — and safe to snapshot-transfer.
+func (h *shardHost) shutdown() error {
+	h.ln.Close()
+	h.closeConns()
+	err := h.wait()
+	if h.cfg.log != nil {
+		h.cfg.log.Close()
+	}
+	return err
+}
+
+// kill is the simulated SIGKILL: the incarnation's sockets and oplog
+// close immediately and nobody waits for the task tree. In-flight
+// batches lose their replies; whatever reached the oplog before the
+// close is the incarnation's legacy.
+func (h *shardHost) kill() {
+	h.mu.Lock()
+	h.killed = true
+	h.mu.Unlock()
+	h.ln.Close()
+	h.closeConns()
+	if h.cfg.log != nil {
+		h.cfg.log.Close()
+	}
+}
+
+// wait blocks until the incarnation's task tree completes.
+func (h *shardHost) wait() error {
+	<-h.done
+	return h.err
+}
+
+// contents reads the final documents. Valid only after wait().
+func (h *shardHost) contents() map[string]string {
+	m := make(map[string]string, len(h.names))
+	for i, name := range h.names {
+		m[name] = h.docs[i].String()
+	}
+	return m
+}
+
+// dedupSnapshot exports the applied-rid table for handoff. Valid only
+// after wait() (no claims are in flight then); unresolved claims are
+// dropped — their ops were never acked.
+func (h *shardHost) dedupSnapshot() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := make(map[string]string, len(h.dedup))
+	for rid, c := range h.dedup {
+		select {
+		case <-c.done:
+			m[rid] = c.doc
+		default:
+		}
+	}
+	return m
+}
+
+// finalEdits returns the incarnation's total applied-edit count. Valid
+// after wait().
+func (h *shardHost) finalEdits() int64 { return h.editsBase + h.edits.Value() }

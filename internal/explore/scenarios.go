@@ -1,8 +1,14 @@
 package explore
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/collab"
@@ -585,9 +591,326 @@ func Compact() Scenario {
 	}
 }
 
+// shardNetBook retains the internal transport of every shard incarnation
+// so the scenario can dial a shard host directly — the stale-owner write
+// needs a connection that bypasses the router's own epoch bookkeeping.
+type shardNetBook struct {
+	mu   sync.Mutex
+	nets map[int]collab.ListenDialer
+}
+
+// shardNet is the ShardedOptions.ShardNet hook: a fresh memnet per
+// incarnation, recorded under the shard id (later incarnations replace
+// earlier ones, matching what the router itself dials).
+func (b *shardNetBook) shardNet(id int) collab.ListenDialer {
+	ld := memnet.Listen(64)
+	b.mu.Lock()
+	if b.nets == nil {
+		b.nets = make(map[int]collab.ListenDialer)
+	}
+	b.nets[id] = ld
+	b.mu.Unlock()
+	return ld
+}
+
+func (b *shardNetBook) dialer(id int) collab.ListenDialer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nets[id]
+}
+
+// probeConn is one directly-dialed shard connection with its read side.
+type probeConn struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+// shardProbe is the pre-handoff half of an in-flight write racing a
+// handoff: one SHELLO'd connection per shard plus the epoch and routing
+// table they were dialed under. After the handoff, fire sends a mutating
+// APPLY stamped with that stale epoch to the old owner of a moved
+// document.
+type shardProbe struct {
+	epoch uint64
+	route map[string]int
+	conns map[int]probeConn
+}
+
+// openShardProbe dials every current shard and completes the SHELLO
+// handshake at the current epoch. Shards that cannot be dialed are
+// skipped — fire treats a missing connection as a rejected write.
+func openShardProbe(srv *collab.ShardedServer, book *shardNetBook) *shardProbe {
+	p := &shardProbe{
+		epoch: srv.Epoch(),
+		route: make(map[string]int),
+		conns: make(map[int]probeConn),
+	}
+	for _, name := range srv.Names() {
+		p.route[name] = srv.RouteOf(name)
+	}
+	for _, id := range srv.ShardIDs() {
+		ld := book.dialer(id)
+		if ld == nil {
+			continue
+		}
+		c, err := ld.Dial()
+		if err != nil {
+			continue
+		}
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		r := bufio.NewReader(c)
+		if _, err := fmt.Fprintf(c, "SHELLO %d\n", p.epoch); err != nil {
+			c.Close()
+			continue
+		}
+		line, err := r.ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, "OK ") {
+			c.Close()
+			continue
+		}
+		p.conns[id] = probeConn{c: c, r: r}
+	}
+	return p
+}
+
+// fire sends the stale write: one APPLY at the pre-handoff epoch for the
+// first document the handoff moved (the first document at all when
+// nothing moved), on the connection to its pre-handoff owner. It reports
+// whether the shard ACCEPTED it — under the epoch fence every path must
+// answer STALE or a dead transport, so a true return is exactly the
+// planted stale-owner bug firing.
+func (p *shardProbe) fire(srv *collab.ShardedServer) bool {
+	names := srv.Names()
+	target := names[0]
+	for _, name := range names {
+		if srv.RouteOf(name) != p.route[name] {
+			target = name
+			break
+		}
+	}
+	pc, ok := p.conns[p.route[target]]
+	if !ok {
+		return false
+	}
+	pc.c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(pc.c, "APPLY ghost.1 %d %s INS 0 %s\n", p.epoch, target, strconv.Quote("ghost;")); err != nil {
+		return false
+	}
+	line, err := pc.r.ReadString('\n')
+	return err == nil && strings.HasPrefix(line, "OK ")
+}
+
+func (p *shardProbe) close() {
+	for _, pc := range p.conns {
+		pc.c.Close()
+	}
+}
+
+// shardFingerprint reduces a sharded schedule to its outcome: the final
+// documents (name=content records in sorted order), the exact cross-shard
+// edit count, and the count of stale-owner writes any shard accepted —
+// which must be zero everywhere the fence is on.
+func shardFingerprint(data []mergeable.Mergeable) uint64 {
+	doc := data[0].(*mergeable.Text).String()
+	edits := data[1].(*mergeable.Counter).Value()
+	stale := data[2].(*mergeable.Counter).Value()
+	return collab.CanonicalFingerprint(doc) ^ uint64(edits)*0x9E3779B97F4A7C15 ^ uint64(stale)*0xBF58476D1CE4E5B9
+}
+
+// shardCollect shuts the service down and folds every document, the edit
+// counter and the stale-accept counter into the schedule's mergeables.
+func shardCollect(srv *collab.ShardedServer, data []mergeable.Mergeable) error {
+	if err := srv.Shutdown(); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, name := range srv.Names() {
+		doc, ok := srv.Document(name)
+		if !ok {
+			return fmt.Errorf("shard: lost document %q", name)
+		}
+		fmt.Fprintf(&sb, "%s=%s;", name, doc)
+	}
+	data[0].(*mergeable.Text).Insert(0, sb.String())
+	data[1].(*mergeable.Counter).Add(srv.Edits())
+	return nil
+}
+
+// Shard explores the sharded document service's membership machinery:
+// the decision stream picks a membership change (none, a shard joining,
+// a shard draining), where the handoff lands relative to the client's
+// write waves, whether a write dialed before the handoff races it at the
+// stale epoch, and whether a shard is SIGKILLed and resumed from its
+// journal afterwards. Routed writes are handoff-transparent and the
+// epoch fence must turn every stale in-flight write away, so all
+// join/drain × handoff-point × in-flight-write × crash combinations
+// land on one fingerprint — the cross-shard determinism claim with the
+// handoff itself under explorer control. The unsafe variant
+// (shardStaleOwner) removes the fence and must split.
+func Shard() Scenario {
+	return Scenario{
+		Name:          "shard",
+		Deterministic: true,
+		Fingerprint:   shardFingerprint,
+		Build:         func(env *Env) (task.Func, []mergeable.Mergeable) { return buildShard(env, false) },
+	}
+}
+
+// shardStaleOwner is Shard with the planted stale-owner bug armed
+// (UnsafeLiveHandoff): handoffs snapshot documents from still-running
+// owners with no epoch fence, so the explored in-flight write is ACKED
+// by the old owner and lost. Two non-default decisions — join, then
+// race the write — are necessary and sufficient, which is exactly what
+// the shrinker must find.
+func shardStaleOwner() Scenario {
+	return Scenario{
+		Name:          "shard-stale-owner",
+		Deterministic: true,
+		Fingerprint:   shardFingerprint,
+		Build:         func(env *Env) (task.Func, []mergeable.Mergeable) { return buildShard(env, true) },
+	}
+}
+
+func buildShard(env *Env, unsafe bool) (task.Func, []mergeable.Mergeable) {
+	finalDocs := mergeable.NewText("")
+	finalEdits := mergeable.NewCounter(0)
+	staleAccepted := mergeable.NewCounter(0)
+	data := []mergeable.Mergeable{finalDocs, finalEdits, staleAccepted}
+
+	book := &shardNetBook{}
+	opts := collab.ShardedOptions{
+		Front:             collab.Options{Seed: 1},
+		Shards:            2,
+		ShardNet:          book.shardNet,
+		UnsafeLiveHandoff: unsafe,
+	}
+	if !unsafe {
+		// The crash decision needs per-shard journals; the unsafe variant
+		// keeps the minimal two-site space the shrinker must land on.
+		dir, err := os.MkdirTemp("", "explore-shard-")
+		if err != nil {
+			return func(*task.Ctx, []mergeable.Mergeable) error { return err }, data
+		}
+		env.Defer(func() { os.RemoveAll(dir) })
+		opts.Dir = dir
+	}
+	l := memnet.Listen(16)
+	srv, err := collab.ServeSharded(l, map[string]string{"alpha": "", "beta": "", "gamma": ""}, opts)
+	if err != nil {
+		l.Close()
+		return func(*task.Ctx, []mergeable.Mergeable) error { return err }, data
+	}
+	env.Defer(func() { srv.Shutdown() }) // idempotent; normally already down
+
+	fn := func(ctx *task.Ctx, _ []mergeable.Mergeable) error {
+		names := srv.Names()
+		c, err := collab.DialWith(l, collab.ClientOptions{RequestTimeout: 10 * time.Second})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		writeOne := func(name string, wave int) error {
+			if _, err := c.Use(name); err != nil {
+				return err
+			}
+			_, err := c.Insert(0, fmt.Sprintf("%s%d;", name, wave))
+			return err
+		}
+		writeWave := func(wave int) error {
+			for _, name := range names {
+				if err := writeOne(name, wave); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := writeWave(0); err != nil {
+			return err
+		}
+
+		if unsafe {
+			// Planted-bug variant: all routed writes stay before the
+			// handoff (the live snapshot then matches the abandoned copy,
+			// so the membership change alone is clean) and only a join is
+			// offered — a drain would also orphan the zombie's edit
+			// counter, a coarser failure that would mask the targeted one.
+			if env.Decide("shard.plan", 2) == 1 {
+				probe := openShardProbe(srv, book)
+				defer probe.close()
+				if err := srv.AddShard(7); err != nil {
+					return err
+				}
+				if env.Decide("shard.inflight", 2) == 1 && probe.fire(srv) {
+					staleAccepted.Add(1)
+				}
+			}
+			if err := c.Bye(); err != nil {
+				return err
+			}
+			return shardCollect(srv, data)
+		}
+
+		plan := env.Decide("shard.plan", 3) // 0 none, 1 join, 2 drain
+		handoff := func() error {
+			if plan == 2 {
+				return srv.DrainShard(0)
+			}
+			return srv.AddShard(7)
+		}
+		var probe *shardProbe
+		if plan != 0 {
+			point := env.Decide("shard.point", 2) // before wave 1 | inside it
+			if env.Decide("shard.inflight", 2) == 1 {
+				probe = openShardProbe(srv, book)
+				defer probe.close()
+			}
+			if point == 0 {
+				if err := handoff(); err != nil {
+					return err
+				}
+			}
+			if err := writeOne(names[0], 1); err != nil {
+				return err
+			}
+			if point == 1 {
+				if err := handoff(); err != nil {
+					return err
+				}
+			}
+			for _, name := range names[1:] {
+				if err := writeOne(name, 1); err != nil {
+					return err
+				}
+			}
+			if probe != nil && probe.fire(srv) {
+				staleAccepted.Add(1)
+			}
+		} else if err := writeWave(1); err != nil {
+			return err
+		}
+		if env.Decide("shard.crash", 2) == 1 {
+			id := srv.RouteOf(names[1])
+			if err := srv.KillShard(id); err != nil {
+				return err
+			}
+			if err := srv.ResumeShard(id); err != nil {
+				return err
+			}
+		}
+		if err := writeWave(2); err != nil {
+			return err
+		}
+		if err := c.Bye(); err != nil {
+			return err
+		}
+		return shardCollect(srv, data)
+	}
+	return fn, data
+}
+
 // Builtins returns the built-in scenarios in a stable order.
 func Builtins() []Scenario {
-	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn(), Session(), Compact()}
+	return []Scenario{Fanout(), AnyOrder(), AbortSync(), OverlapAny(), Chaos(), Churn(), Session(), Compact(), Shard()}
 }
 
 // BuiltinScenario looks a built-in up by name.

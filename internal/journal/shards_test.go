@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShardDirNaming(t *testing.T) {
+	if got := ShardDirName(7); got != "shard-0007" {
+		t.Fatalf("ShardDirName(7) = %q", got)
+	}
+	if got := ShardDirName(12345); got != "shard-12345" {
+		t.Fatalf("ShardDirName(12345) = %q", got)
+	}
+
+	base := t.TempDir()
+	for _, id := range []int{3, 0, 11} {
+		dir, err := ShardDir(base, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("ShardDir did not create %s: %v", dir, err)
+		}
+	}
+	// Foreign entries must be ignored.
+	os.MkdirAll(filepath.Join(base, "not-a-shard"), 0o755)
+	os.WriteFile(filepath.Join(base, "shard-0099"), []byte("a file, not a dir"), 0o644)
+
+	ids, err := ListShardDirs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 11}
+	if len(ids) != len(want) {
+		t.Fatalf("ListShardDirs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ListShardDirs = %v, want %v", ids, want)
+		}
+	}
+}

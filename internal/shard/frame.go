@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+)
+
+// The batch frame format. Both the client→router and router→shard legs
+// accumulate run-coalescible op lines and ship them as one frame; the
+// reader transparently interleaves frames with legacy newline-terminated
+// lines, so framed and unframed peers share one listener.
+//
+// Layout (integers big-endian):
+//
+//	byte 0   0x01 (SOH)       — never the first byte of a text line
+//	byte 1   'B'
+//	uint16   line count        1..MaxFrameLines
+//	uint32   payload length    <= MaxFramePayload
+//	uint32   CRC32 (IEEE) of the payload
+//	payload  count lines joined with '\n' (no trailing separator)
+//	byte     '\n'              trailing terminator
+//
+// The trailing newline keeps a framed stream line-structured for
+// debugging tools and doubles as a cheap torn-frame tripwire.
+const (
+	frameMagic0 = 0x01
+	frameMagic1 = 'B'
+	headerSize  = 12
+
+	// MaxFrameLines caps the op count of one frame.
+	MaxFrameLines = 4096
+	// MaxFramePayload caps one frame's payload bytes, bounding what a
+	// decoder will buffer for a single length header.
+	MaxFramePayload = 1 << 20
+)
+
+// Frame damage taxonomy. Every decode failure is one of these three
+// sentinels wrapped in a *FrameError carrying the detail; the decoder
+// never panics on arbitrary bytes (FuzzBatchFrameDecode pins this).
+var (
+	// ErrFrameHeader: the header is structurally invalid — wrong magic,
+	// zero or oversized line count, oversized payload, or a payload whose
+	// line structure contradicts the declared count.
+	ErrFrameHeader = errors.New("shard: bad frame header")
+	// ErrFrameCRC: the payload arrived complete but its checksum does not
+	// match — bit damage in transit.
+	ErrFrameCRC = errors.New("shard: frame payload CRC mismatch")
+	// ErrFrameTruncated: the stream ended inside a frame — a torn write.
+	ErrFrameTruncated = errors.New("shard: truncated frame")
+)
+
+// FrameError is the typed decode failure: Kind is one of the sentinels
+// above (errors.Is-matchable), Detail says what was wrong.
+type FrameError struct {
+	Kind   error
+	Detail string
+}
+
+func (e *FrameError) Error() string { return e.Kind.Error() + ": " + e.Detail }
+func (e *FrameError) Unwrap() error { return e.Kind }
+
+func frameErrf(kind error, format string, args ...any) error {
+	return &FrameError{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AppendFrame encodes lines as one batch frame appended to dst (grown as
+// needed) and returns the extended slice. Lines must be newline-free and
+// the batch must respect MaxFrameLines/MaxFramePayload; violations are
+// caller bugs and reported as errors so a bad op never poisons a wire.
+func AppendFrame(dst []byte, lines []string) ([]byte, error) {
+	if len(lines) == 0 {
+		return dst, errors.New("shard: empty frame")
+	}
+	if len(lines) > MaxFrameLines {
+		return dst, fmt.Errorf("shard: frame of %d lines exceeds cap %d", len(lines), MaxFrameLines)
+	}
+	size := len(lines) - 1 // separators
+	for _, l := range lines {
+		if strings.IndexByte(l, '\n') >= 0 {
+			return dst, fmt.Errorf("shard: frame line contains newline: %q", l)
+		}
+		size += len(l)
+	}
+	if size > MaxFramePayload {
+		return dst, fmt.Errorf("shard: frame payload of %d bytes exceeds cap %d", size, MaxFramePayload)
+	}
+	dst = append(dst, frameMagic0, frameMagic1)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(lines)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(size))
+	payloadAt := len(dst) + 4 // CRC placeholder precedes the payload
+	dst = append(dst, 0, 0, 0, 0)
+	for i, l := range lines {
+		if i > 0 {
+			dst = append(dst, '\n')
+		}
+		dst = append(dst, l...)
+	}
+	crc := crc32.ChecksumIEEE(dst[payloadAt:])
+	binary.BigEndian.PutUint32(dst[payloadAt-4:payloadAt], crc)
+	return append(dst, '\n'), nil
+}
+
+// FrameReader reads a stream that interleaves batch frames with legacy
+// newline-terminated text lines. One byte of lookahead decides which is
+// next: text-protocol lines never start with SOH.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps an existing buffered reader (the byte already
+// buffered by a handshake read stays visible).
+func NewFrameReader(r *bufio.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next returns the next unit of the stream: either a decoded frame
+// (isFrame true, lines valid until the next call) or one legacy line
+// with its terminator stripped (isFrame false). At stream end it returns
+// io.EOF; a torn trailing line without its newline is surfaced as a
+// legacy line first. Decode failures return a *FrameError and leave the
+// stream unusable (a framed transport has no resynchronization point —
+// the connection is dropped and the sender's retry machinery re-sends).
+func (fr *FrameReader) Next() (lines []string, legacy string, isFrame bool, err error) {
+	first, err := fr.r.Peek(1)
+	if err != nil {
+		return nil, "", false, io.EOF
+	}
+	if first[0] != frameMagic0 {
+		s, err := fr.r.ReadString('\n')
+		if err != nil {
+			if len(s) > 0 {
+				return nil, strings.TrimRight(s, "\r"), false, nil
+			}
+			return nil, "", false, io.EOF
+		}
+		return nil, strings.TrimRight(s[:len(s)-1], "\r"), false, nil
+	}
+
+	if cap(fr.buf) < headerSize {
+		fr.buf = make([]byte, headerSize, 512)
+	}
+	header := fr.buf[:headerSize]
+	if _, err := io.ReadFull(fr.r, header); err != nil {
+		return nil, "", false, frameErrf(ErrFrameTruncated, "stream ended inside header: %v", err)
+	}
+	if header[1] != frameMagic1 {
+		return nil, "", false, frameErrf(ErrFrameHeader, "bad magic 0x%02x%02x", header[0], header[1])
+	}
+	count := int(binary.BigEndian.Uint16(header[2:4]))
+	size := int(binary.BigEndian.Uint32(header[4:8]))
+	want := binary.BigEndian.Uint32(header[8:12])
+	if count == 0 || count > MaxFrameLines {
+		return nil, "", false, frameErrf(ErrFrameHeader, "line count %d out of range", count)
+	}
+	if size > MaxFramePayload || size < count-1 {
+		return nil, "", false, frameErrf(ErrFrameHeader, "payload length %d invalid for %d lines", size, count)
+	}
+	if cap(fr.buf) < size+1 {
+		fr.buf = make([]byte, size+1)
+	}
+	body := fr.buf[:size+1] // payload + trailing newline
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return nil, "", false, frameErrf(ErrFrameTruncated, "stream ended inside payload: %v", err)
+	}
+	payload := body[:size]
+	if body[size] != '\n' {
+		return nil, "", false, frameErrf(ErrFrameHeader, "missing frame terminator")
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, "", false, frameErrf(ErrFrameCRC, "crc 0x%08x, header says 0x%08x", got, want)
+	}
+	lines = strings.Split(string(payload), "\n")
+	if len(lines) != count {
+		return nil, "", false, frameErrf(ErrFrameHeader, "payload has %d lines, header says %d", len(lines), count)
+	}
+	return lines, "", true, nil
+}

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain reads a stream to EOF, collecting every unit.
+func drain(t *testing.T, raw []byte) (frames [][]string, legacy []string, err error) {
+	t.Helper()
+	fr := NewFrameReader(bufio.NewReader(bytes.NewReader(raw)))
+	for {
+		lines, line, isFrame, e := fr.Next()
+		if e == io.EOF {
+			return frames, legacy, nil
+		}
+		if e != nil {
+			return frames, legacy, e
+		}
+		if isFrame {
+			frames = append(frames, append([]string(nil), lines...))
+		} else {
+			legacy = append(legacy, line)
+		}
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	batches := [][]string{
+		{"APPLY r0.1 3 doc0 INS 0 \"a;\""},
+		{"1 INS 0 \"x\"", "2 INS 1 \"y\"", "3 DEL 0 1"},
+	}
+	var raw []byte
+	var err error
+	for _, b := range batches {
+		raw, err = AppendFrame(raw, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, legacy, err := drain(t, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != 0 || len(frames) != len(batches) {
+		t.Fatalf("got %d frames %d legacy, want %d frames", len(frames), len(legacy), len(batches))
+	}
+	for i := range batches {
+		if strings.Join(frames[i], "|") != strings.Join(batches[i], "|") {
+			t.Fatalf("frame %d = %q, want %q", i, frames[i], batches[i])
+		}
+	}
+}
+
+func TestFrameInterleavedWithLegacyLines(t *testing.T) {
+	raw := []byte("HELLO\n")
+	raw, err := AppendFrame(raw, []string{"1 INS 0 \"a\"", "2 INS 1 \"b\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, "3 GET\n"...)
+	raw, err = AppendFrame(raw, []string{"4 BYE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, legacy, err := drain(t, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || len(legacy) != 2 {
+		t.Fatalf("got %d frames %d legacy lines, want 2 and 2", len(frames), len(legacy))
+	}
+	if legacy[0] != "HELLO" || legacy[1] != "3 GET" {
+		t.Fatalf("legacy lines = %q", legacy)
+	}
+}
+
+func TestFrameCRCFlip(t *testing.T) {
+	raw, err := AppendFrame(nil, []string{"1 INS 0 \"abc\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x40 // flip a payload bit
+	_, _, err = drain(t, raw)
+	if !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("err = %v, want ErrFrameCRC", err)
+	}
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err %T is not *FrameError", err)
+	}
+}
+
+func TestFrameTornTail(t *testing.T) {
+	raw, err := AppendFrame(nil, []string{"1 INS 0 \"abcdefgh\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := drain(t, raw[:cut])
+		if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameHeader) && !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("cut at %d byte(s): err = %v, want a typed frame error", cut, err)
+		}
+	}
+}
+
+func TestFrameHeaderDamage(t *testing.T) {
+	good, err := AppendFrame(nil, []string{"1 GET"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"bad second magic": append([]byte{frameMagic0, 'X'}, good[2:]...),
+		"zero line count":  append([]byte{frameMagic0, frameMagic1, 0, 0}, good[4:]...),
+		"oversized length": {frameMagic0, frameMagic1, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0},
+	}
+	for name, raw := range cases {
+		_, _, err := drain(t, raw)
+		if !errors.Is(err, ErrFrameHeader) {
+			t.Fatalf("%s: err = %v, want ErrFrameHeader", name, err)
+		}
+	}
+}
+
+func TestAppendFrameRejectsBadInput(t *testing.T) {
+	if _, err := AppendFrame(nil, nil); err == nil {
+		t.Fatal("empty frame must be rejected")
+	}
+	if _, err := AppendFrame(nil, []string{"a\nb"}); err == nil {
+		t.Fatal("embedded newline must be rejected")
+	}
+	if _, err := AppendFrame(nil, make([]string, MaxFrameLines+1)); err == nil {
+		t.Fatal("oversized line count must be rejected")
+	}
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frameClassified reports whether err is one of the frame decoder's
+// public failure classes. Decoding may fail, but only in vocabulary the
+// transport layer can act on.
+func frameClassified(err error) bool {
+	return errors.Is(err, ErrFrameHeader) || errors.Is(err, ErrFrameCRC) || errors.Is(err, ErrFrameTruncated)
+}
+
+// FuzzBatchFrameDecode feeds arbitrary bytes to the batch-frame decoder:
+// it must never panic, every failure must classify as ErrFrameHeader,
+// ErrFrameCRC or ErrFrameTruncated, and everything it accepts must
+// re-encode to bytes that decode to the same lines. The same bytes are
+// then recovered as an oplog, which additionally must truncate to a
+// clean append boundary.
+func FuzzBatchFrameDecode(f *testing.F) {
+	// Seed with real frames and characteristic damage to them: torn
+	// tails, CRC flips, interleaved legacy lines, header-only prefixes.
+	one, err := AppendFrame(nil, []string{`APPLY r0.1 3 doc0 INS 0 "a;"`})
+	if err != nil {
+		f.Fatal(err)
+	}
+	batch, err := AppendFrame(nil, []string{`1 INS 0 "x"`, `2 INS 1 "y"`, `3 DEL 0 1`, `4 GET`})
+	if err != nil {
+		f.Fatal(err)
+	}
+	mixed := append([]byte("HELLO\n"), one...)
+	mixed = append(mixed, "7 GET\n"...)
+	mixed = append(mixed, batch...)
+	f.Add(one)
+	f.Add(batch)
+	f.Add(mixed)
+	f.Add(one[:len(one)-3])      // torn payload
+	f.Add(one[:headerSize-2])    // torn header
+	f.Add([]byte{frameMagic0})   // magic byte only
+	f.Add([]byte{})              // empty stream
+	f.Add([]byte("legacy only\nno frames here\n"))
+	flipped := append([]byte(nil), batch...)
+	flipped[headerSize+3] ^= 0x20 // payload bit flip → CRC mismatch
+	f.Add(flipped)
+	badMagic := append([]byte(nil), one...)
+	badMagic[1] = 'Z'
+	f.Add(badMagic)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Pass 1: the stream decoder. Never panics; typed errors only.
+		var units [][]string
+		fr := NewFrameReader(bufio.NewReader(bytes.NewReader(b)))
+		for {
+			lines, _, isFrame, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !frameClassified(err) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+				break
+			}
+			if isFrame {
+				// Accepted frames must round-trip bit-exactly through the
+				// encoder and decode back to the same lines.
+				re, err := AppendFrame(nil, lines)
+				if err != nil {
+					t.Fatalf("accepted frame %q does not re-encode: %v", lines, err)
+				}
+				lines2, _, isFrame2, err := NewFrameReader(bufio.NewReader(bytes.NewReader(re))).Next()
+				if err != nil || !isFrame2 || len(lines2) != len(lines) {
+					t.Fatalf("re-encoded frame does not decode: %v", err)
+				}
+				for i := range lines {
+					if lines[i] != lines2[i] {
+						t.Fatalf("re-decode line %d = %q, want %q", i, lines2[i], lines[i])
+					}
+				}
+				units = append(units, append([]string(nil), lines...))
+			}
+		}
+
+		// Pass 2: the same bytes as an oplog file. Recovery truncates at
+		// the first damage; the surviving prefix must re-recover cleanly
+		// and accept appends.
+		path := filepath.Join(t.TempDir(), "ops.log")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Skip()
+		}
+		l, frames, damage := RecoverOpLog(path)
+		if l == nil {
+			t.Fatalf("RecoverOpLog returned no log: %v", damage)
+		}
+		if damage != nil && !frameClassified(damage) {
+			t.Fatalf("unclassified oplog damage: %v", damage)
+		}
+		if err := l.Append([]string{"A r9.9 doc0 INS 0 \"z;\""}); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		l2, frames2, damage2 := RecoverOpLog(path)
+		if damage2 != nil {
+			t.Fatalf("recovery not idempotent: second pass damage %v", damage2)
+		}
+		if len(frames2) != len(frames)+1 {
+			t.Fatalf("second recovery sees %d frames, want %d", len(frames2), len(frames)+1)
+		}
+		l2.Close()
+		_ = units
+	})
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpLogAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := CreateOpLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]string{
+		{"S doc0 \"\"", "B 0"},
+		{"A r0.1 doc0 INS 0 \"a;\"", "A r0.2 doc0 INS 2 \"b;\""},
+		{"A r0.3 doc0 DEL 0 2"},
+	}
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, frames, damage := mustRecover(t, path)
+	defer l2.Close()
+	if damage != nil {
+		t.Fatalf("unexpected damage: %v", damage)
+	}
+	if len(frames) != len(batches) {
+		t.Fatalf("recovered %d frames, want %d", len(frames), len(batches))
+	}
+	for i := range batches {
+		if strings.Join(frames[i], "|") != strings.Join(batches[i], "|") {
+			t.Fatalf("frame %d = %q, want %q", i, frames[i], batches[i])
+		}
+	}
+}
+
+func TestOpLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := CreateOpLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]string{"A r0.1 doc0 INS 0 \"x;\""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-write: append half a frame.
+	half, err := AppendFrame(nil, []string{"A r0.2 doc0 INS 2 \"y;\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(half[:len(half)-5])
+	f.Close()
+
+	l2, frames, damage := mustRecover(t, path)
+	if !errors.Is(damage, ErrFrameTruncated) {
+		t.Fatalf("damage = %v, want ErrFrameTruncated", damage)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("recovered %d frames, want 1", len(frames))
+	}
+	// The truncation must leave a clean append boundary.
+	if err := l2.Append([]string{"A r0.2 doc0 INS 2 \"y;\""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, frames, damage = mustRecoverClosed(t, path)
+	if damage != nil {
+		t.Fatalf("damage after clean re-append: %v", damage)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("recovered %d frames after re-append, want 2", len(frames))
+	}
+}
+
+func TestOpLogClosedFence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := CreateOpLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]string{"A r0.1 doc0 GETish"}); !errors.Is(err, ErrOpLogClosed) {
+		t.Fatalf("Append after Close = %v, want ErrOpLogClosed", err)
+	}
+	if err := l.Flush(); !errors.Is(err, ErrOpLogClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrOpLogClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func mustRecover(t *testing.T, path string) (*OpLog, [][]string, error) {
+	t.Helper()
+	l, frames, damage := RecoverOpLog(path)
+	if l == nil {
+		t.Fatalf("recover returned nil log (damage %v)", damage)
+	}
+	return l, frames, damage
+}
+
+func mustRecoverClosed(t *testing.T, path string) (*OpLog, [][]string, error) {
+	t.Helper()
+	l, frames, damage := mustRecover(t, path)
+	l.Close()
+	return l, frames, damage
+}
