@@ -73,10 +73,13 @@ func (c *Client) Queued() int {
 	return len(c.queue)
 }
 
-// Flush ships every queued op and waits for all acks. On error the
-// unresolved tail stays queued; resolved ops are acked server-side
-// either way. The first resolved per-op refusal (ErrProtocol,
-// ErrReadOnly) is returned after the rest of the batch settles.
+// Flush ships every queued op and waits for all acks. On error only the
+// genuinely unresolved tail stays queued; resolved ops (acked OK or
+// acked ERR server-side) always leave the queue, so a later Flush
+// re-sends exactly what the server has not acked, under the sequence
+// numbers its replay window expects. The first resolved per-op refusal
+// (ErrProtocol, ErrReadOnly) is returned after the rest of the batch
+// settles; the refused op is resolved and is never re-sent.
 func (c *Client) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -92,19 +95,26 @@ func (c *Client) flushLocked() error {
 		if n > len(c.queue) {
 			n = len(c.queue)
 		}
-		if err := c.flushChunkLocked(c.queue[:n]); err != nil {
+		resolved, err := c.flushChunkLocked(c.queue[:n])
+		// Resolved ops were acked (and, for OKs, applied) server-side:
+		// they must leave the queue even when the chunk errors, or the
+		// next Flush would re-send them under fresh sequence numbers the
+		// replay window cannot dedup — a double apply.
+		c.queue = c.queue[resolved:]
+		if err != nil {
 			return err
 		}
-		c.queue = c.queue[n:]
 	}
 	c.queue = nil
 	return nil
 }
 
-// flushChunkLocked drives one frame of ops to resolution. The frame
-// never exceeds the replay window, so after a reconnect every already-
-// applied op still resolves by replay.
-func (c *Client) flushChunkLocked(ops []queuedOp) error {
+// flushChunkLocked drives one frame of ops to resolution, returning how
+// many of ops resolved (acked OK or acked ERR — nextSeq advanced past
+// them) alongside any error. The frame never exceeds the replay window,
+// so after a reconnect every already-applied op still resolves by
+// replay.
+func (c *Client) flushChunkLocked(ops []queuedOp) (int, error) {
 	base := c.nextSeq
 	lines := make([]string, len(ops))
 	for i, op := range ops {
@@ -119,15 +129,15 @@ func (c *Client) flushChunkLocked(ops []queuedOp) error {
 	var firstErr error
 	for attempt := 0; ; attempt++ {
 		if attempt >= c.opts.Backoff.MaxAttempts {
-			return &OverloadedError{Reason: "retries exhausted", RetryAfter: c.opts.Backoff.Cap}
+			return resolved, &OverloadedError{Reason: "retries exhausted", RetryAfter: c.opts.Backoff.Cap}
 		}
 		if c.conn == nil {
 			if c.opts.NoAutoResume {
-				return fmt.Errorf("collab: not connected (auto-resume disabled): %w", net.ErrClosed)
+				return resolved, fmt.Errorf("collab: not connected (auto-resume disabled): %w", net.ErrClosed)
 			}
 			if err := c.resumeLocked(); err != nil {
 				if errors.Is(err, ErrSessionExpired) || errors.Is(err, ErrClientClosed) {
-					return err
+					return resolved, err
 				}
 				c.counters.Inc("reconnect_retry")
 				c.sleep(err, attempt)
@@ -137,16 +147,16 @@ func (c *Client) flushChunkLocked(ops []queuedOp) error {
 		done, retryAfter, err := c.sendFrameLocked(lines[resolved:], base+uint64(resolved), &firstErr)
 		resolved += done
 		if resolved == len(ops) {
-			return firstErr
+			return resolved, firstErr
 		}
 		if err != nil {
 			if isResolvedClientError(err) {
-				return err
+				return resolved, err
 			}
 			c.counters.Inc("transport_errors")
 			c.dropLocked()
 			if c.opts.NoAutoResume {
-				return err
+				return resolved, err
 			}
 			c.sleep(err, attempt)
 			continue

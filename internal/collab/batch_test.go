@@ -1,6 +1,7 @@
 package collab
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -118,6 +119,57 @@ func TestFlushOnSync(t *testing.T) {
 	}
 	if err := c.Bye(); err != nil {
 		t.Fatal(err)
+	}
+	l.Close()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushDropsResolvedRefusals pins the queue-trim rule: every op the
+// server acked — including per-op READONLY refusals — leaves the queue
+// even when Flush returns an error. Without the trim a refused op stays
+// queued forever, wedging every later Flush (and Bye), and resolved
+// neighbors are re-sent under fresh sequence numbers the replay window
+// cannot dedup — a double apply.
+func TestFlushDropsResolvedRefusals(t *testing.T) {
+	l := memnet.Listen(16)
+	s := Serve(l, "")
+	c, err := DialWith(l, testClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.QueueInsert(0, "live;")
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush while live: %v", err)
+	}
+
+	s.Drain()
+	c.QueueInsert(0, "refused;")
+	c.QueueDelete(0, 1) // separator: a second distinct queued op
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush while draining succeeded, want *ReadOnlyError")
+	} else if !errors.As(err, new(*ReadOnlyError)) {
+		t.Fatalf("flush while draining = %v, want *ReadOnlyError", err)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Fatalf("queued after refused flush = %d, want 0 (refusals are resolved)", got)
+	}
+
+	s.Undrain()
+	c.QueueInsert(0, "after;")
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush after undrain: %v", err)
+	}
+	doc, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "after;live;" {
+		t.Fatalf("doc = %q, want %q (a resolved refusal must never be re-sent)", doc, "after;live;")
+	}
+	if err := c.Bye(); err != nil {
+		t.Fatalf("bye after refused flush: %v", err)
 	}
 	l.Close()
 	if err := s.Wait(); err != nil {

@@ -737,9 +737,12 @@ func (s *ShardedServer) rebalanceLocked(ids []int) error {
 			if h == nil {
 				continue
 			}
-			if err := h.shutdown(); err != nil {
-				return fmt.Errorf("collab: drain shard %d: %w", id, err)
-			}
+			err := h.shutdown()
+			// Even when the drain errors the incarnation is dead — the
+			// listener, pipes and log are closed and the task tree has
+			// completed — so collect its state either way and let the
+			// rollback below restart it; returning without collecting
+			// would strand its documents on a retired incarnation.
 			for k, v := range h.contents() {
 				contents[k] = v
 			}
@@ -752,12 +755,18 @@ func (s *ShardedServer) rebalanceLocked(ids []int) error {
 				pp.closeAll()
 			}
 			delete(s.pipes, id)
+			if err != nil {
+				return s.rollbackRebalanceLocked(nil, contents, dedup,
+					fmt.Errorf("collab: drain shard %d: %w", id, err))
+			}
 		}
 	}
 
 	// Start fresh incarnations for every affected member of the new ring
 	// (in live-handoff mode, sources that merely lost documents are still
-	// running and keep their incarnation).
+	// running and keep their incarnation). Any failure rolls the drained
+	// shards back to the old epoch so their documents stay reachable.
+	started := make([]int, 0, len(order))
 	for _, id := range order {
 		if !newRing.Contains(id) {
 			continue
@@ -773,7 +782,8 @@ func (s *ShardedServer) rebalanceLocked(ids []int) error {
 			}
 			content, ok := contents[name]
 			if !ok {
-				return fmt.Errorf("collab: handoff lost document %q", name)
+				return s.rollbackRebalanceLocked(started, contents, dedup,
+					fmt.Errorf("collab: handoff lost document %q", name))
 			}
 			owned[name] = content
 		}
@@ -783,8 +793,9 @@ func (s *ShardedServer) rebalanceLocked(ids []int) error {
 			}
 		}
 		if err := s.startShard(id, newEpoch, owned, ownedDedup, 0); err != nil {
-			return err
+			return s.rollbackRebalanceLocked(started, contents, dedup, err)
 		}
+		started = append(started, id)
 	}
 	// Unaffected shards keep their incarnation; only the fence moves.
 	for id, h := range s.hosts {
@@ -795,6 +806,59 @@ func (s *ShardedServer) rebalanceLocked(ids []int) error {
 	s.epoch, s.ring, s.route = newEpoch, newRing, newRoute
 	s.counters.Inc("rebalances")
 	return nil
+}
+
+// rollbackRebalanceLocked restores the pre-rebalance topology after a
+// mid-flight drain or start failure. The incarnations this rebalance
+// already started at the new epoch are killed — the route still points
+// at the old topology and s.mu is held, so no op can have reached them
+// and their seeded state is still in contents/dedup — and every old-ring
+// shard left without an incarnation restarts from the collected
+// snapshots at the OLD epoch under the OLD route, so its documents stay
+// reachable instead of forwarding to a nil pipe forever. Epoch, ring and
+// route never advance; the cause (joined with any restart failure) is
+// returned so the rebalance still reports failed.
+func (s *ShardedServer) rollbackRebalanceLocked(started []int, contents, dedup map[string]string, cause error) error {
+	for _, id := range started {
+		if h := s.hosts[id]; h != nil {
+			h.kill()
+			delete(s.hosts, id)
+		}
+		if pp := s.pipes[id]; pp != nil {
+			pp.closeAll()
+		}
+		delete(s.pipes, id)
+	}
+	for _, id := range s.ring.IDs() {
+		if _, running := s.hosts[id]; running {
+			continue
+		}
+		owned := make(map[string]string)
+		ownedDedup := make(map[string]string)
+		for i, name := range s.names {
+			if int(s.route[i]) != id {
+				continue
+			}
+			content, ok := contents[name]
+			if !ok {
+				cause = errors.Join(cause, fmt.Errorf("collab: rollback lost document %q", name))
+				continue
+			}
+			owned[name] = content
+		}
+		for rid, doc := range dedup {
+			if idx := s.docIndexOf(doc); idx >= 0 && int(s.route[idx]) == id {
+				ownedDedup[rid] = doc
+			}
+		}
+		// The drained incarnation's edits were banked above; the restarted
+		// one counts from zero on top, so Edits() stays exact.
+		if err := s.startShard(id, s.epoch, owned, ownedDedup, 0); err != nil {
+			cause = errors.Join(cause, fmt.Errorf("collab: rollback restart shard %d: %w", id, err))
+		}
+	}
+	s.counters.Inc("rebalance_rollbacks")
+	return cause
 }
 
 // shardGainsDocs reports whether shard id owns documents under newRoute

@@ -154,7 +154,7 @@ func TestShardedConvergesAcrossShardCounts(t *testing.T) {
 					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 					l := memnet.Listen(64)
 					s, err := ServeSharded(l, initialOf(shardedDocs), ShardedOptions{
-						Shards: shards,
+						Shards:  shards,
 						NoBatch: batch == 0, // exercise both router framing modes
 					})
 					if err != nil {

@@ -233,9 +233,10 @@ type hostReq struct {
 // processBatch runs one frame (or bare line) of APPLYs through the
 // single-writer pipeline: fence, dedup claim, apply to the connection
 // task's copies, one merge for the whole batch, one oplog flush before
-// any ack (flush-on-sync), then replies in request order. Only a failed
-// merge propagates; durability failure silently drops the connection so
-// the router's retry path takes over.
+// any ack (flush-on-sync), then replies in request order. A failed
+// merge propagates; a durability failure kills the incarnation (its
+// applied-but-unlogged state must never be acked or re-reached) and the
+// router sheds its documents until a resume.
 func (h *shardHost) processBatch(ctx *task.Ctx, socket net.Conn, data []mergeable.Mergeable, lines []string) error {
 	reqs := make([]hostReq, len(lines))
 	inBatch := make(map[string]bool, len(lines))
@@ -339,16 +340,24 @@ func (h *shardHost) processBatch(ctx *task.Ctx, socket net.Conn, data []mergeabl
 		h.cfg.hist.RecordDuration(time.Since(start))
 	}
 
-	// Durability before acks: the flush-on-sync rule. A closed log means
-	// this incarnation was killed — drop the connection without acking.
+	// Durability before acks: the flush-on-sync rule. Any failure here
+	// kills the incarnation: the batch is already applied and merged, so
+	// if this incarnation kept serving, a router retry of the released
+	// rids would apply them a second time. Killing closes the listener,
+	// every pipe and the log, so no retry can reach this memory again —
+	// the journal (which never saw these records) is the incarnation's
+	// only legacy, exactly as after a SIGKILL. When the log is closed
+	// because kill() already ran, this is a no-op beyond ending the task.
 	if len(records) > 0 && h.cfg.log != nil {
 		if err := h.cfg.log.Append(records); err != nil {
 			release()
-			return nil
+			h.kill()
+			return err
 		}
 		if err := h.cfg.log.Flush(); err != nil {
 			release()
-			return nil
+			h.kill()
+			return err
 		}
 	}
 

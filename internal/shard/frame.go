@@ -121,19 +121,29 @@ func NewFrameReader(r *bufio.Reader) *FrameReader {
 
 // Next returns the next unit of the stream: either a decoded frame
 // (isFrame true, lines valid until the next call) or one legacy line
-// with its terminator stripped (isFrame false). At stream end it returns
-// io.EOF; a torn trailing line without its newline is surfaced as a
-// legacy line first. Decode failures return a *FrameError and leave the
-// stream unusable (a framed transport has no resynchronization point —
-// the connection is dropped and the sender's retry machinery re-sends).
+// with its terminator stripped (isFrame false). At clean stream end it
+// returns io.EOF; a torn trailing line without its newline is surfaced
+// as a legacy line first. A genuine mid-stream read failure (disk
+// fault, transport error) is NOT end-of-stream: it propagates as a
+// *FrameError wrapping ErrFrameTruncated, so recovery paths can tell
+// unread history from a cleanly exhausted log. Decode failures return a
+// *FrameError and leave the stream unusable (a framed transport has no
+// resynchronization point — the connection is dropped and the sender's
+// retry machinery re-sends).
 func (fr *FrameReader) Next() (lines []string, legacy string, isFrame bool, err error) {
 	first, err := fr.r.Peek(1)
 	if err != nil {
-		return nil, "", false, io.EOF
+		if errors.Is(err, io.EOF) {
+			return nil, "", false, io.EOF
+		}
+		return nil, "", false, frameErrf(ErrFrameTruncated, "read: %v", err)
 	}
 	if first[0] != frameMagic0 {
-		s, err := fr.r.ReadString('\n')
-		if err != nil {
+		s, rerr := fr.r.ReadString('\n')
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				return nil, "", false, frameErrf(ErrFrameTruncated, "read: %v", rerr)
+			}
 			if len(s) > 0 {
 				return nil, strings.TrimRight(s, "\r"), false, nil
 			}

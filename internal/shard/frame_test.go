@@ -126,6 +126,45 @@ func TestFrameHeaderDamage(t *testing.T) {
 	}
 }
 
+// faultyReader yields some good bytes, then a non-EOF read error — the
+// shape of a disk fault or transport reset mid-stream.
+type faultyReader struct {
+	data []byte
+	err  error
+}
+
+func (r *faultyReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestFrameReaderPropagatesReadErrors: a genuine mid-stream read failure
+// is not end-of-stream. Next must surface it as a typed truncation error
+// rather than io.EOF, or recovery paths (RecoverOpLog) would silently
+// treat acked-but-unread history as a complete log.
+func TestFrameReaderPropagatesReadErrors(t *testing.T) {
+	good, err := AppendFrame(nil, []string{"1 INS 0 \"a\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("simulated disk fault")
+	fr := NewFrameReader(bufio.NewReader(&faultyReader{data: good, err: boom}))
+	if _, _, isFrame, err := fr.Next(); err != nil || !isFrame {
+		t.Fatalf("intact frame before the fault: isFrame=%v err=%v", isFrame, err)
+	}
+	_, _, _, err = fr.Next()
+	if errors.Is(err, io.EOF) {
+		t.Fatal("mid-stream read fault collapsed to io.EOF")
+	}
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("err = %v, want ErrFrameTruncated", err)
+	}
+}
+
 func TestAppendFrameRejectsBadInput(t *testing.T) {
 	if _, err := AppendFrame(nil, nil); err == nil {
 		t.Fatal("empty frame must be rejected")

@@ -40,10 +40,10 @@ func FuzzBatchFrameDecode(f *testing.F) {
 	f.Add(one)
 	f.Add(batch)
 	f.Add(mixed)
-	f.Add(one[:len(one)-3])      // torn payload
-	f.Add(one[:headerSize-2])    // torn header
-	f.Add([]byte{frameMagic0})   // magic byte only
-	f.Add([]byte{})              // empty stream
+	f.Add(one[:len(one)-3])    // torn payload
+	f.Add(one[:headerSize-2])  // torn header
+	f.Add([]byte{frameMagic0}) // magic byte only
+	f.Add([]byte{})            // empty stream
 	f.Add([]byte("legacy only\nno frames here\n"))
 	flipped := append([]byte(nil), batch...)
 	flipped[headerSize+3] ^= 0x20 // payload bit flip → CRC mismatch
